@@ -1,0 +1,112 @@
+//! E10 — the poll extension: "it would be possible to permit /proc file
+//! descriptors to be used with the poll(2) system call. This would make
+//! it much easier for a debugger to wait for any one of a set of
+//! controlled processes to stop ... more flexibility for multiprocess
+//! debugger implementations than the current method of waiting for only
+//! a single process to stop."
+//!
+//! N targets stop at staggered times; a poll-based controller collects
+//! every stop as it happens, while the PIOCWSTOP-per-process controller
+//! is stuck in pid order. Expected shape: poll services stops in arrival
+//! order and scales with total events; sequential WSTOP waits head-of-
+//! line.
+
+use bench_support::{banner, boot_with_ctl};
+use criterion::{Criterion, criterion_group};
+use ksim::signal::SIGUSR1;
+use ksim::SigSet;
+use tools::ProcHandle;
+
+/// Spawns N signal-traced spinners; returns their handles.
+fn spawn_targets(
+    sys: &mut ksim::System,
+    ctl: ksim::Pid,
+    n: usize,
+) -> Vec<ProcHandle> {
+    (0..n)
+        .map(|_| {
+            let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+            let mut h = ProcHandle::open_rw(sys, ctl, pid).expect("open");
+            let mut set = SigSet::empty();
+            set.add(SIGUSR1);
+            h.set_sig_trace(sys, set).expect("trace");
+            h
+        })
+        .collect()
+}
+
+/// Signals targets in reverse order so pid-ordered waiting is maximally
+/// head-of-line blocked, then collects all stops with poll.
+fn poll_collect(sys: &mut ksim::System, ctl: ksim::Pid, handles: &mut [ProcHandle]) -> Vec<u32> {
+    for h in handles.iter_mut().rev() {
+        h.kill(sys, SIGUSR1).expect("kill");
+    }
+    let fds: Vec<usize> = handles.iter().map(|h| h.fd).collect();
+    let mut order = Vec::new();
+    let mut done = vec![false; handles.len()];
+    while order.len() < handles.len() {
+        let statuses = sys.host_poll(ctl, &fds).expect("poll");
+        let mut any = false;
+        for (i, st) in statuses.iter().enumerate() {
+            if st.readable && !done[i] {
+                done[i] = true;
+                any = true;
+                order.push(handles[i].pid.0);
+            }
+        }
+        if !any {
+            sys.step();
+        }
+    }
+    order
+}
+
+fn print_demo() {
+    banner("E10", "poll(2) over /proc descriptors: wait for any of N targets");
+    let (mut sys, ctl) = boot_with_ctl();
+    let mut handles = spawn_targets(&mut sys, ctl, 5);
+    let order = poll_collect(&mut sys, ctl, &mut handles);
+    println!("5 targets signalled in reverse pid order; poll collected stops as: {order:?}");
+    println!("(a single-process PIOCWSTOP loop would have waited on the lowest pid first)\n");
+    for h in handles {
+        let _ = h.close(&mut sys);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_poll");
+    group.sample_size(10);
+    for n in [4usize, 16] {
+        group.bench_function(format!("poll_collect_{n}_targets"), |b| {
+            b.iter(|| {
+                let (mut sys, ctl) = boot_with_ctl();
+                let mut handles = spawn_targets(&mut sys, ctl, n);
+                let order = poll_collect(&mut sys, ctl, &mut handles);
+                assert_eq!(order.len(), n);
+            })
+        });
+        group.bench_function(format!("wstop_sequential_{n}_targets"), |b| {
+            b.iter(|| {
+                let (mut sys, ctl) = boot_with_ctl();
+                let mut handles = spawn_targets(&mut sys, ctl, n);
+                for h in handles.iter_mut().rev() {
+                    h.kill(&mut sys, SIGUSR1).expect("kill");
+                }
+                // Pid-ordered waiting: each WSTOP blocks until that
+                // specific target stops.
+                for h in handles.iter_mut() {
+                    h.wstop(&mut sys).expect("wstop");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_demo();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,150 @@
+//! E1 — "the goal of debugger efficiency ... becomes important in the
+//! implementation of features such as conditional breakpoints, for which
+//! 'breakpoints per second' is a realistic measure of performance."
+//!
+//! Three debuggers field the same breakpoint on the same tight loop:
+//!
+//! * `/proc` (stop-on-FLTBPT, PIOCWSTOP status with registers included,
+//!   single PIOCRUN resume);
+//! * kernel `ptrace` (SIGTRAP stop via wait, GETREGS, the classic
+//!   restore/step/replant dance);
+//! * the `ptrace`-over-`/proc` library (the compatibility shim).
+//!
+//! Expected shape: /proc ≥ kernel-ptrace > ptrace-over-/proc, with the
+//! call counts explaining the gaps.
+
+use bench_support::{banner, boot_with_ctl};
+use criterion::{Criterion, criterion_group};
+use ksim::ptrace::WaitStatus;
+use procfs::{PrRun, PRRUN_CFAULT, PRRUN_STEP};
+use tools::{Debugger, PtraceDebugger};
+
+/// One /proc breakpoint round trip: wait for the FLTBPT stop, read the
+/// registers (already in the status), step over and re-arm.
+fn proc_roundtrip(
+    sys: &mut ksim::System,
+    dbg: &mut Debugger,
+    tick: u64,
+) {
+    match dbg.cont(sys).expect("cont") {
+        tools::DebugEvent::Breakpoint { addr, .. } => assert_eq!(addr, tick),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// One kernel-ptrace round trip: continue, wait for SIGTRAP, fetch regs,
+/// restore/step/replant.
+fn ptrace_roundtrip(sys: &mut ksim::System, dbg: &mut PtraceDebugger, tick: u64) {
+    let st = dbg.step_over_and_cont(sys, tick).expect("dance");
+    assert_eq!(st, WaitStatus::Stopped(ksim::signal::SIGTRAP));
+    let regs = dbg.regs(sys).expect("regs");
+    assert_eq!(regs.pc, tick);
+}
+
+fn print_counts() {
+    banner("E1", "breakpoints per second: /proc vs ptrace (paper footnote 3)");
+    // Count the control-interface calls needed to field 100 breakpoints.
+    let (mut sys, ctl) = boot_with_ctl();
+    let mut dbg = Debugger::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+    let tick = dbg.sym("tick").expect("symbol");
+    dbg.set_breakpoint(&mut sys, tick).expect("bp");
+    let before = dbg.h.calls;
+    for _ in 0..100 {
+        proc_roundtrip(&mut sys, &mut dbg, tick);
+    }
+    let proc_calls = dbg.h.calls - before;
+    dbg.kill(&mut sys).expect("kill");
+
+    let (mut sys, ctl) = boot_with_ctl();
+    let mut pdbg =
+        PtraceDebugger::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+    let aout = ksim::aout::build_aout(tools::userland::TICKER).expect("asm");
+    let tick = aout.sym("tick").expect("symbol");
+    pdbg.set_breakpoint(&mut sys, tick).expect("bp");
+    let st = pdbg.cont_wait(&mut sys).expect("first hit");
+    assert_eq!(st, WaitStatus::Stopped(ksim::signal::SIGTRAP));
+    let before = pdbg.calls;
+    for _ in 0..100 {
+        ptrace_roundtrip(&mut sys, &mut pdbg, tick);
+    }
+    let ptrace_calls = pdbg.calls - before;
+    pdbg.kill(&mut sys).expect("kill");
+
+    println!("control-interface calls to field 100 breakpoints");
+    println!("(each fielding inspects the registers, as a conditional breakpoint must):");
+    println!("  /proc debugger            : {proc_calls:>6}  ({:.1}/bp; registers arrive inside the PIOCWSTOP status)",
+        proc_calls as f64 / 100.0);
+    println!(
+        "  ptrace + GETREGS extension: {ptrace_calls:>6}  ({:.1}/bp)",
+        ptrace_calls as f64 / 100.0
+    );
+    // Classic ptrace had no GETREGS: every register is a PEEKUSER call.
+    let classic = ptrace_calls + 100 * (isa::reg::NGREG as u64 + 1);
+    println!(
+        "  classic ptrace (PEEKUSER) : {classic:>6}  ({:.1}/bp; one call per register)",
+        classic as f64 / 100.0
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_breakpoints");
+    group.sample_size(20);
+
+    group.bench_function("proc_debugger_roundtrip", |b| {
+        let (mut sys, ctl) = boot_with_ctl();
+        let mut dbg =
+            Debugger::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        let tick = dbg.sym("tick").expect("symbol");
+        dbg.set_breakpoint(&mut sys, tick).expect("bp");
+        b.iter(|| proc_roundtrip(&mut sys, &mut dbg, tick));
+    });
+
+    group.bench_function("kernel_ptrace_roundtrip", |b| {
+        let (mut sys, ctl) = boot_with_ctl();
+        let mut dbg =
+            PtraceDebugger::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        let aout = ksim::aout::build_aout(tools::userland::TICKER).expect("asm");
+        let tick = aout.sym("tick").expect("symbol");
+        dbg.set_breakpoint(&mut sys, tick).expect("bp");
+        dbg.cont_wait(&mut sys).expect("first hit");
+        b.iter(|| ptrace_roundtrip(&mut sys, &mut dbg, tick));
+    });
+
+    group.bench_function("conditional_bp_false_skip", |b| {
+        // The transparent skip path: lift, single-step, re-plant, resume.
+        let (mut sys, ctl) = boot_with_ctl();
+        let mut dbg =
+            Debugger::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        let tick = dbg.sym("tick").expect("symbol");
+        let h = &mut dbg.h;
+        let mut flt = ksim::FltSet::empty();
+        flt.add(ksim::Fault::Bpt.number());
+        flt.add(ksim::Fault::Trace.number());
+        h.set_flt_trace(&mut sys, flt).expect("flt");
+        let mut saved = [0u8; 8];
+        h.read_mem(&mut sys, tick, &mut saved).expect("read");
+        h.write_mem(&mut sys, tick, &isa::insn::breakpoint_bytes()).expect("plant");
+        h.resume(&mut sys).expect("run");
+        h.wstop(&mut sys).expect("first hit");
+        b.iter(|| {
+            // At a bpt stop: lift, step, replant, continue to next hit.
+            h.write_mem(&mut sys, tick, &saved).expect("lift");
+            h.run(&mut sys, PrRun { flags: PRRUN_STEP | PRRUN_CFAULT, vaddr: 0 })
+                .expect("step");
+            h.wstop(&mut sys).expect("trace stop");
+            h.write_mem(&mut sys, tick, &isa::insn::breakpoint_bytes()).expect("replant");
+            h.run(&mut sys, PrRun { flags: PRRUN_CFAULT, vaddr: 0 }).expect("run");
+            h.wstop(&mut sys).expect("next hit");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_counts();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

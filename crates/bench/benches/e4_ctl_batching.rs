@@ -1,0 +1,112 @@
+//! E4 — "the use of a control file to which structured messages are
+//! written makes it possible to combine several control operations in a
+//! single write system call; this can improve the performance of some
+//! applications for which the number of system calls is a bottleneck."
+//!
+//! The same debugger resume sequence (set traced signals, set traced
+//! faults, clear the current signal via PCSSIG, run) is issued as k flat
+//! ioctls versus one batched hierarchical write. Expected shape: the
+//! batch costs one interface crossing instead of k, and wins by roughly
+//! the per-crossing overhead times (k-1).
+
+use bench_support::{banner, boot_with_ctl};
+use criterion::{Criterion, criterion_group};
+use ksim::signal::SigSet;
+use ksim::fault::FltSet;
+use procfs::hier::{ctl_batch, PCRUN, PCSFAULT, PCSSIG, PCSTRACE};
+use procfs::ioctl::{PIOCRUN, PIOCSFAULT, PIOCSSIG, PIOCSTRACE};
+use vfs::OFlags;
+
+fn sequences() -> (SigSet, FltSet) {
+    let mut sigs = SigSet::empty();
+    sigs.add(ksim::signal::SIGINT);
+    let mut flts = FltSet::empty();
+    flts.add(ksim::Fault::Bpt.number());
+    (sigs, flts)
+}
+
+fn print_comparison() {
+    banner("E4", "batched control writes vs one ioctl per operation");
+    println!("resume sequence = set sig trace, set fault trace, clear cursig, run");
+    println!("flat interface : 4 ioctl(2) calls");
+    println!("hierarchical   : 1 write(2) call carrying 4 records\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_ctl");
+    let (sigs, flts) = sequences();
+
+    group.bench_function("flat_4_ioctls", |b| {
+        let (mut sys, ctl) = boot_with_ctl();
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        let fd = sys
+            .host_open(ctl, &format!("/proc/{:05}", pid.0), OFlags::rdwr())
+            .expect("open");
+        sys.host_ioctl(ctl, fd, procfs::ioctl::PIOCSTOP, &[]).expect("stop");
+        b.iter(|| {
+            sys.host_ioctl(ctl, fd, PIOCSTRACE, &sigs.to_bytes()).expect("strace");
+            sys.host_ioctl(ctl, fd, PIOCSFAULT, &flts.to_bytes()).expect("sfault");
+            sys.host_ioctl(ctl, fd, PIOCSSIG, &0u32.to_le_bytes()).expect("ssig");
+            sys.host_ioctl(ctl, fd, PIOCRUN, &[]).expect("run");
+            // Re-stop for the next iteration.
+            sys.host_ioctl(ctl, fd, procfs::ioctl::PIOCSTOP, &[]).expect("stop");
+        });
+    });
+
+    group.bench_function("hier_1_batched_write", |b| {
+        let (mut sys, ctl) = boot_with_ctl();
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        let cfd = sys
+            .host_open(ctl, &format!("/proc2/{}/ctl", pid.0), OFlags::wronly())
+            .expect("open ctl");
+        let stop = ctl_batch(&[(procfs::hier::PCSTOP, vec![])]);
+        sys.host_write(ctl, cfd, &stop).expect("stop");
+        let batch = ctl_batch(&[
+            (PCSTRACE, sigs.to_bytes()),
+            (PCSFAULT, flts.to_bytes()),
+            (PCSSIG, 0u32.to_le_bytes().to_vec()),
+            (PCRUN, vec![]),
+        ]);
+        b.iter(|| {
+            sys.host_write(ctl, cfd, &batch).expect("batch");
+            sys.host_write(ctl, cfd, &stop).expect("stop");
+        });
+    });
+
+    // Scaling with batch size: k kill/unkill pairs.
+    for k in [1usize, 4, 16] {
+        group.bench_function(format!("hier_batch_{k}_records"), |b| {
+            let (mut sys, ctl) = boot_with_ctl();
+            let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+            let cfd = sys
+                .host_open(ctl, &format!("/proc2/{}/ctl", pid.0), OFlags::wronly())
+                .expect("open ctl");
+            let records: Vec<(u32, Vec<u8>)> = (0..k)
+                .map(|_| (procfs::hier::PCSFORK, vec![]))
+                .collect();
+            let batch = ctl_batch(&records);
+            b.iter(|| sys.host_write(ctl, cfd, &batch).expect("batch"));
+        });
+        group.bench_function(format!("flat_{k}_separate_ioctls"), |b| {
+            let (mut sys, ctl) = boot_with_ctl();
+            let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+            let fd = sys
+                .host_open(ctl, &format!("/proc/{:05}", pid.0), OFlags::rdwr())
+                .expect("open");
+            b.iter(|| {
+                for _ in 0..k {
+                    sys.host_ioctl(ctl, fd, procfs::ioctl::PIOCSFORK, &[]).expect("op");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_comparison();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,139 @@
+//! E5 — "Removing the dependence on ioctl simplifies the implementation
+//! of /proc in a network environment. The unstructured nature of ioctl
+//! operations and the variability of operand sizes and I/O directions
+//! make it difficult to cleanly separate the client/server interactions;
+//! read and write don't share these problems."
+//!
+//! Both `/proc` generations are mounted *behind the RFS-like remote
+//! shim*. The flat interface only works because a hand-maintained
+//! per-request wire table teaches the shim every `PIOC*` operand shape —
+//! and operations outside the table (the deprecated variable-size dumps)
+//! cannot cross at all. The hierarchical interface crosses generically.
+
+use bench_support::banner;
+use criterion::{Criterion, criterion_group};
+use ksim::{Cred, System};
+use procfs::{HierFs, ProcFs, PrStatus};
+use vfs::remote::{IoctlWireSpec, RemoteFs};
+use vfs::OFlags;
+
+/// Boots a system whose /proc generations are mounted across the wire.
+fn boot_remote() -> (System, ksim::Pid) {
+    let mut sys = System::boot();
+    tools::install_userland(&mut sys);
+    // Flat /proc: needs the full ioctl wire table.
+    let table: vfs::remote::IoctlTable = Box::new(|req| {
+        procfs::ioctl::wire_spec(req).map(|(i, o)| IoctlWireSpec { in_len: i, out_len: o })
+    });
+    let flat = RemoteFs::new(Box::new(ProcFs::new())).with_ioctl_table(table);
+    sys.mount("/proc", Box::new(flat));
+    // Hierarchical /proc: crosses with no table at all.
+    let hier = RemoteFs::new(Box::new(HierFs::new()));
+    sys.mount("/proc2", Box::new(hier));
+    let ctl = sys.spawn_hosted("remote-ctl", Cred::new(100, 10));
+    (sys, ctl)
+}
+
+fn print_comparison() {
+    banner("E5", "marshalling /proc across an RFS-like wire");
+    // Drive the shims directly (unmounted) so their traffic counters are
+    // observable.
+    let mut sys = System::boot();
+    tools::install_userland(&mut sys);
+    let ctl = sys.spawn_hosted("remote-ctl", Cred::new(100, 10));
+    let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+    let cred = Cred::new(100, 10);
+
+    let table: vfs::remote::IoctlTable = Box::new(|req| {
+        procfs::ioctl::wire_spec(req).map(|(i, o)| IoctlWireSpec { in_len: i, out_len: o })
+    });
+    let mut flat = RemoteFs::new(Box::new(ProcFs::new())).with_ioctl_table(table);
+    let mut hier = RemoteFs::new(Box::new(HierFs::new()));
+    use vfs::FileSystem;
+
+    // Flat: lookup, open, PIOCSTATUS via remote ioctl.
+    let root = flat.root();
+    let node = flat
+        .lookup(&mut sys.kernel, ctl, root, &format!("{:05}", pid.0))
+        .expect("lookup");
+    let tok = flat.open(&mut sys.kernel, ctl, node, OFlags::rdonly(), &cred).expect("open");
+    let reply = flat
+        .ioctl(&mut sys.kernel, ctl, node, tok, procfs::ioctl::PIOCSTATUS, &[])
+        .expect("status");
+    if let vfs::IoctlReply::Done(bytes) = reply {
+        assert!(PrStatus::from_bytes(&bytes).is_some());
+    }
+    println!(
+        "flat PIOCSTATUS over the wire: OK — {} ops, {}B sent, {}B received",
+        flat.stats.ops, flat.stats.bytes_sent, flat.stats.bytes_received
+    );
+    // The deprecated variable-size dump cannot cross.
+    let err = flat.ioctl(&mut sys.kernel, ctl, node, tok, procfs::ioctl::PIOCGETPR, &[]);
+    println!(
+        "flat PIOCGETPR over the wire : {err:?} ({} refusal(s) — no wire shape exists)",
+        flat.stats.unsupported_ioctls
+    );
+
+    // Hierarchical: pure lookup + read, no table anywhere.
+    let root = hier.root();
+    let pdir = hier
+        .lookup(&mut sys.kernel, ctl, root, &pid.0.to_string())
+        .expect("lookup pid");
+    let snode = hier.lookup(&mut sys.kernel, ctl, pdir, "status").expect("lookup status");
+    let stok = hier.open(&mut sys.kernel, ctl, snode, OFlags::rdonly(), &cred).expect("open");
+    let mut buf = vec![0u8; PrStatus::WIRE_LEN];
+    let reply = hier.read(&mut sys.kernel, ctl, snode, stok, 0, &mut buf).expect("read");
+    assert_eq!(reply, vfs::IoReply::Done(PrStatus::WIRE_LEN));
+    println!(
+        "hier status by read(2)       : OK — {} ops, {}B sent, {}B received, 0 refusals",
+        hier.stats.ops, hier.stats.bytes_sent, hier.stats.bytes_received
+    );
+    println!();
+    println!("wire table size for the flat interface: {} PIOC requests", count_table());
+    println!("wire table size for the hierarchy     : 0\n");
+}
+
+fn count_table() -> usize {
+    (0x5001..=0x5025u32).filter(|r| procfs::ioctl::wire_spec(*r).is_some()).count()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_remote");
+    group.bench_function("flat_remote_piocstatus", |b| {
+        let (mut sys, ctl) = boot_remote();
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        let fd = sys
+            .host_open(ctl, &format!("/proc/{:05}", pid.0), OFlags::rdonly())
+            .expect("open");
+        b.iter(|| sys.host_ioctl(ctl, fd, procfs::ioctl::PIOCSTATUS, &[]).expect("status"));
+    });
+    group.bench_function("hier_remote_status_read", |b| {
+        let (mut sys, ctl) = boot_remote();
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        let sfd = sys
+            .host_open(ctl, &format!("/proc2/{}/status", pid.0), OFlags::rdonly())
+            .expect("open");
+        let mut buf = vec![0u8; PrStatus::WIRE_LEN];
+        b.iter(|| {
+            sys.host_lseek(ctl, sfd, 0, 0).expect("rewind");
+            sys.host_read(ctl, sfd, &mut buf).expect("read")
+        });
+    });
+    group.bench_function("local_piocstatus_baseline", |b| {
+        let (mut sys, ctl) = bench_support::boot_with_ctl();
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        let fd = sys
+            .host_open(ctl, &format!("/proc/{:05}", pid.0), OFlags::rdonly())
+            .expect("open");
+        b.iter(|| sys.host_ioctl(ctl, fd, procfs::ioctl::PIOCSTATUS, &[]).expect("status"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_comparison();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

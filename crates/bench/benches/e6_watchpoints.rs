@@ -1,0 +1,123 @@
+//! E6 — the proposed watchpoint facility: "The traced process stops only
+//! when a watchpoint really fires; the system takes care of the details
+//! of recovering from machine faults taken due to references to
+//! unwatched data that happens to fall in the same page as watched
+//! data."
+//!
+//! Measured: target progress (instructions retired per host step budget)
+//! with (a) no watchpoint, (b) a watchpoint in a page the loop never
+//! touches, (c) a watchpoint sharing a page with unwatched data the loop
+//! stores to. Expected shape: (a) ≈ (b) ≫ cost of an actual stop; (c)
+//! slower than (b) (every same-page store takes the recovery path) but
+//! the process never stops.
+
+use bench_support::{banner, boot_with_ctl};
+use criterion::{Criterion, criterion_group};
+use procfs::PrWatch;
+use tools::ProcHandle;
+
+/// A loop that stores only to `quiet` (offset +512 from `cell`, same
+/// page) — never to the watched bytes themselves.
+const SAME_PAGE_LOOP: &str = r#"
+_start:
+    la   a0, cell
+loop:
+    addi a1, a1, 1
+    st   a1, [a0+512]
+    jmp  loop
+.data
+.align 8
+cell: .space 1024
+"#;
+
+fn progress_with(watch: Option<PrWatch>) -> (u64, u64) {
+    let (mut sys, ctl) = boot_with_ctl();
+    sys.install_program("/bin/samepage", SAME_PAGE_LOOP);
+    let pid = sys.spawn_program(ctl, "/bin/samepage", &["samepage"]).expect("spawn");
+    let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+    if let Some(w) = watch {
+        h.stop(&mut sys).expect("stop");
+        h.set_watch(&mut sys, w).expect("watch");
+        h.resume(&mut sys).expect("run");
+    }
+    sys.run_idle(500);
+    let usage = h.usage(&mut sys).expect("usage");
+    (usage.cpu_ticks, usage.watch_recoveries)
+}
+
+fn print_table() {
+    banner("E6", "watchpoint overhead: fires only on watched bytes");
+    let cell = {
+        let aout = ksim::aout::build_aout(SAME_PAGE_LOOP).expect("asm");
+        aout.sym("cell").expect("cell")
+    };
+    let (base, _) = progress_with(None);
+    let (other, rec_other) =
+        progress_with(Some(PrWatch { vaddr: cell + 8192, size: 8, flags: 2 }));
+    let (same, rec_same) = progress_with(Some(PrWatch { vaddr: cell, size: 8, flags: 2 }));
+    println!("target progress over a fixed 500-step budget:");
+    println!("  no watchpoint            : {base:>8} insns, 0 recoveries");
+    println!("  watch in another page    : {other:>8} insns, {rec_other} recoveries");
+    println!("  watch sharing the page   : {same:>8} insns, {rec_same} recoveries");
+    println!("  (the process never stopped: no store touched the watched bytes)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_watch");
+    group.bench_function("store_no_watch", |b| {
+        let (mut sys, ctl) = boot_with_ctl();
+        sys.install_program("/bin/samepage", SAME_PAGE_LOOP);
+        sys.spawn_program(ctl, "/bin/samepage", &["samepage"]).expect("spawn");
+        b.iter(|| sys.run_idle(10));
+    });
+    group.bench_function("store_same_page_recovered", |b| {
+        let (mut sys, ctl) = boot_with_ctl();
+        sys.install_program("/bin/samepage", SAME_PAGE_LOOP);
+        let pid = sys.spawn_program(ctl, "/bin/samepage", &["samepage"]).expect("spawn");
+        let cell = ksim::aout::build_aout(SAME_PAGE_LOOP)
+            .expect("asm")
+            .sym("cell")
+            .expect("cell");
+        let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+        h.stop(&mut sys).expect("stop");
+        h.set_watch(&mut sys, PrWatch { vaddr: cell, size: 8, flags: 2 }).expect("watch");
+        h.resume(&mut sys).expect("run");
+        b.iter(|| sys.run_idle(10));
+    });
+    group.bench_function("watch_fire_stop_resume", |b| {
+        // The full fire-stop-resume cycle on /bin/watched.
+        let (mut sys, ctl) = boot_with_ctl();
+        let pid = sys.spawn_program(ctl, "/bin/watched", &["watched"]).expect("spawn");
+        let cell = ksim::aout::build_aout(tools::userland::WATCH_TARGET)
+            .expect("asm")
+            .sym("cell")
+            .expect("cell");
+        let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+        h.stop(&mut sys).expect("stop");
+        let mut flt = ksim::FltSet::empty();
+        flt.add(ksim::Fault::Watch.number());
+        h.set_flt_trace(&mut sys, flt).expect("trace");
+        h.set_watch(&mut sys, PrWatch { vaddr: cell, size: 8, flags: 2 }).expect("watch");
+        h.resume(&mut sys).expect("run");
+        b.iter(|| {
+            h.wstop(&mut sys).expect("fire");
+            h.run(
+                &mut sys,
+                procfs::PrRun {
+                    flags: procfs::PRRUN_CFAULT | procfs::PRRUN_WBYPASS,
+                    vaddr: 0,
+                },
+            )
+            .expect("resume");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,134 @@
+//! E7 — "This combination of facilities enables complete encapsulation
+//! of the system call execution environment of a process so that, for
+//! example, older system calls or alternate versions of them can be
+//! simulated entirely at user level."
+//!
+//! The retired call is emulated by a controller (entry stop, kernel
+//! abort, manufactured exit values) and its throughput compared with a
+//! native call the kernel still implements. Expected shape:
+//! encapsulation costs a few controller round trips per call — orders of
+//! magnitude slower than native, but the *program* is byte-for-byte
+//! unmodified and cannot tell.
+
+use bench_support::{banner, boot_with_ctl};
+use criterion::{Criterion, criterion_group};
+use ksim::ptrace::{decode_status, WaitStatus};
+use ksim::sysno::{SysSet, SYS_RETIRED};
+use procfs::{PrRun, PRRUN_SABORT};
+use tools::{Debugger, ProcHandle};
+
+/// Calls retired_op N times; exits with the last result's low byte.
+const RETIRED_LOOP: &str = r#"
+_start:
+    movi a4, 50
+    movi a3, 0
+loop:
+    beq  a3, a4, done
+    movi rv, 79         ; retired_op(a3)
+    mov  a0, a3
+    syscall
+    addi a3, a3, 1
+    jmp  loop
+done:
+    mov  a0, rv
+    movi rv, 1
+    syscall
+"#;
+
+const NATIVE_LOOP: &str = r#"
+_start:
+    movi a4, 50
+    movi a3, 0
+loop:
+    beq  a3, a4, done
+    movi rv, 20         ; getpid (native)
+    syscall
+    addi a3, a3, 1
+    jmp  loop
+done:
+    movi rv, 1
+    movi a0, 0
+    syscall
+"#;
+
+fn print_demo() {
+    banner("E7", "syscall encapsulation: retired calls simulated at user level");
+    let (mut sys, ctl) = boot_with_ctl();
+    sys.install_program("/bin/retloop", RETIRED_LOOP);
+    let mut dbg = Debugger::launch(&mut sys, ctl, "/bin/retloop", &["retloop"]).expect("launch");
+    let mut calls = SysSet::empty();
+    calls.add(SYS_RETIRED as usize);
+    let mut emulated = 0u64;
+    let status = dbg
+        .encapsulate(&mut sys, calls, |_nr, regs| {
+            emulated += 1;
+            Ok(regs.arg(0) + 1)
+        })
+        .expect("encapsulate");
+    println!("50 retired calls emulated ({emulated} interceptions),");
+    println!("target exited {:?} — it saw every manufactured return value", decode_status(status));
+    assert_eq!(decode_status(status), WaitStatus::Exited(50));
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_encapsulation");
+    group.sample_size(10);
+    group.bench_function("native_50_syscalls", |b| {
+        b.iter(|| {
+            let (mut sys, ctl) = boot_with_ctl();
+            sys.install_program("/bin/natloop", NATIVE_LOOP);
+            sys.spawn_program(ctl, "/bin/natloop", &["natloop"]).expect("spawn");
+            let (_, status) = sys.host_wait(ctl).expect("wait");
+            assert_eq!(decode_status(status), WaitStatus::Exited(0));
+        })
+    });
+    group.bench_function("encapsulated_50_syscalls", |b| {
+        b.iter(|| {
+            let (mut sys, ctl) = boot_with_ctl();
+            sys.install_program("/bin/retloop", RETIRED_LOOP);
+            let mut dbg =
+                Debugger::launch(&mut sys, ctl, "/bin/retloop", &["retloop"]).expect("launch");
+            let mut calls = SysSet::empty();
+            calls.add(SYS_RETIRED as usize);
+            let status = dbg
+                .encapsulate(&mut sys, calls, |_nr, regs| Ok(regs.arg(0) + 1))
+                .expect("encapsulate");
+            assert_eq!(decode_status(status), WaitStatus::Exited(50));
+        })
+    });
+    group.bench_function("single_intercept_roundtrip", |b| {
+        // Just the entry-stop + abort + exit-stop + set-regs + resume
+        // cycle on an endless retired caller.
+        let (mut sys, ctl) = boot_with_ctl();
+        sys.install_program(
+            "/bin/retspin",
+            "_start:\nloop: movi rv, 79\nmovi a0, 1\nsyscall\njmp loop",
+        );
+        let pid = sys.spawn_program(ctl, "/bin/retspin", &["retspin"]).expect("spawn");
+        let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+        let mut calls = SysSet::empty();
+        calls.add(SYS_RETIRED as usize);
+        h.set_entry_trace(&mut sys, calls).expect("entry");
+        h.set_exit_trace(&mut sys, calls).expect("exit");
+        b.iter(|| {
+            let st = h.wstop(&mut sys).expect("entry stop");
+            assert_eq!(st.why, procfs::PrWhy::SyscallEntry);
+            h.run(&mut sys, PrRun { flags: PRRUN_SABORT, vaddr: 0 }).expect("abort");
+            let st = h.wstop(&mut sys).expect("exit stop");
+            let mut regs = st.reg;
+            regs.set_rv(7);
+            h.set_gregs(&mut sys, &regs).expect("manufacture");
+            h.resume(&mut sys).expect("run");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_demo();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,84 @@
+//! E8 — "truss will not alter the behavior of a process other than by
+//! slowing it down."
+//!
+//! A syscall-heavy program runs traced and untraced: the observable
+//! behaviour (exit status, file side effects) is identical; the trace
+//! costs two stops plus controller work per system call. Expected shape:
+//! a large constant slowdown factor per syscall, zero behavioural
+//! difference.
+
+use bench_support::{banner, boot_with_ctl};
+use criterion::{Criterion, criterion_group};
+use ksim::ptrace::{decode_status, WaitStatus};
+use tools::{truss_command, TrussOptions};
+
+fn print_demo() {
+    banner("E8", "truss overhead: identical behaviour, slower execution");
+    // Untraced run.
+    let (mut sys, ctl) = boot_with_ctl();
+    sys.spawn_program(ctl, "/bin/greeter", &["greeter"]).expect("spawn");
+    let (_, status) = sys.host_wait(ctl).expect("wait");
+    let untraced = decode_status(status);
+    let untraced_file = read_greeting(&mut sys, ctl);
+    // Traced run.
+    let (mut sys, ctl) = boot_with_ctl();
+    let report = truss_command(
+        &mut sys,
+        ctl,
+        "/bin/greeter",
+        &["greeter"],
+        &TrussOptions::default(),
+    )
+    .expect("truss");
+    let traced = decode_status(report.exits[0].1);
+    let traced_file = read_greeting(&mut sys, ctl);
+    println!("untraced: exit {untraced:?}, file content {untraced_file:?}");
+    println!("traced  : exit {traced:?}, file content {traced_file:?}");
+    assert_eq!(untraced, traced);
+    assert_eq!(untraced_file, traced_file);
+    println!("behaviour identical; {} trace lines produced\n", report.lines.len());
+}
+
+fn read_greeting(sys: &mut ksim::System, ctl: ksim::Pid) -> String {
+    let fd = sys.host_open(ctl, "/tmp/greeting", vfs::OFlags::rdonly()).expect("open");
+    let mut buf = [0u8; 64];
+    let n = sys.host_read(ctl, fd, &mut buf).expect("read");
+    sys.host_close(ctl, fd).expect("close");
+    String::from_utf8_lossy(&buf[..n]).into_owned()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_truss");
+    group.sample_size(10);
+    group.bench_function("burst_untraced", |b| {
+        b.iter(|| {
+            let (mut sys, ctl) = boot_with_ctl();
+            sys.spawn_program(ctl, "/bin/burst", &["burst"]).expect("spawn");
+            let (_, status) = sys.host_wait(ctl).expect("wait");
+            assert_eq!(decode_status(status), WaitStatus::Exited(0));
+        })
+    });
+    group.bench_function("burst_traced", |b| {
+        b.iter(|| {
+            let (mut sys, ctl) = boot_with_ctl();
+            let report = truss_command(
+                &mut sys,
+                ctl,
+                "/bin/burst",
+                &["burst"],
+                &TrussOptions { faults: false, follow: false, max_events: 50_000 },
+            )
+            .expect("truss");
+            assert_eq!(decode_status(report.exits[0].1), WaitStatus::Exited(0));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_demo();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

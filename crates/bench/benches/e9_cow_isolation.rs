@@ -1,0 +1,99 @@
+//! E9 — "Copy-on-write is performed by the system excepting only
+//! bona-fide shared memory; writing to one process will not corrupt
+//! another process executing the same executable file or shared
+//! library."
+//!
+//! Two processes run the same a.out; a breakpoint planted in one is
+//! invisible to the other and to the executable file. The benchmark
+//! times the first (copying) write against subsequent writes to the
+//! already-private page.
+
+use bench_support::{banner, boot_with_ctl};
+use criterion::{Criterion, criterion_group};
+use tools::ProcHandle;
+
+fn print_demo() {
+    banner("E9", "copy-on-write isolation of /proc writes");
+    let (mut sys, ctl) = boot_with_ctl();
+    let a = sys.spawn_program(ctl, "/bin/ticker", &["ticker"]).expect("spawn a");
+    let b = sys.spawn_program(ctl, "/bin/ticker", &["ticker"]).expect("spawn b");
+    let tick = ksim::aout::build_aout(tools::userland::TICKER)
+        .expect("asm")
+        .sym("tick")
+        .expect("sym");
+    let mut ha = ProcHandle::open_rw(&mut sys, ctl, a).expect("open a");
+    let mut hb = ProcHandle::open_rw(&mut sys, ctl, b).expect("open b");
+    ha.write_mem(&mut sys, tick, &isa::insn::breakpoint_bytes()).expect("plant in a");
+    let mut wa = [0u8; 8];
+    let mut wb = [0u8; 8];
+    ha.read_mem(&mut sys, tick, &mut wa).expect("read a");
+    hb.read_mem(&mut sys, tick, &mut wb).expect("read b");
+    println!("breakpoint planted in process {}:", a.0);
+    println!("  process {} sees {:02x?}", a.0, &wa[..2]);
+    println!("  process {} sees {:02x?}  (unchanged)", b.0, &wb[..2]);
+    assert_ne!(wa, wb);
+    // The executable file itself is untouched.
+    let meta = sys.stat_path(ctl, "/bin/ticker").expect("stat");
+    let fd = sys.host_open(ctl, "/bin/ticker", vfs::OFlags::rdonly()).expect("open file");
+    let mut image = vec![0u8; meta.size as usize];
+    let mut off = 0;
+    while off < image.len() {
+        let n = sys.host_read(ctl, fd, &mut image[off..]).expect("read");
+        if n == 0 {
+            break;
+        }
+        off += n;
+    }
+    let aout = ksim::Aout::from_bytes(&image).expect("parse");
+    let text_off = (tick - aout.text_base) as usize;
+    println!(
+        "  the a.out file still holds  {:02x?}  at that offset",
+        &aout.text[text_off..text_off + 2]
+    );
+    assert_ne!(&aout.text[text_off..text_off + 8], &wa);
+    // And process b still runs correctly.
+    sys.run_idle(100);
+    assert!(!sys.kernel.proc(b).expect("alive").zombie);
+    println!("  process {} continues running the shared text unharmed\n", b.0);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_cow");
+    group.bench_function("first_write_copies_page", |b| {
+        // Fresh process each iteration: the write must copy the shared
+        // text page.
+        let (mut sys, ctl) = boot_with_ctl();
+        let tick = ksim::aout::build_aout(tools::userland::TICKER)
+            .expect("asm")
+            .sym("tick")
+            .expect("sym");
+        b.iter(|| {
+            let pid = sys.spawn_program(ctl, "/bin/ticker", &["t"]).expect("spawn");
+            let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+            h.write_mem(&mut sys, tick, &isa::insn::breakpoint_bytes()).expect("plant");
+            sys.host_kill(ctl, pid, ksim::signal::SIGKILL).expect("kill");
+            h.close(&mut sys).expect("close");
+            let _ = sys.host_wait(ctl);
+        });
+    });
+    group.bench_function("repeat_write_private_page", |b| {
+        let (mut sys, ctl) = boot_with_ctl();
+        let pid = sys.spawn_program(ctl, "/bin/ticker", &["t"]).expect("spawn");
+        let tick = ksim::aout::build_aout(tools::userland::TICKER)
+            .expect("asm")
+            .sym("tick")
+            .expect("sym");
+        let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+        h.write_mem(&mut sys, tick, &isa::insn::breakpoint_bytes()).expect("first");
+        b.iter(|| h.write_mem(&mut sys, tick, &isa::insn::breakpoint_bytes()).expect("plant"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_demo();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

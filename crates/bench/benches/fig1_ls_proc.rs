@@ -1,0 +1,52 @@
+//! FIG1 — regenerates the paper's Figure 1, `ls -l /proc`: a directory of
+//! process files named by pid, owned by the real uid/gid, sized by total
+//! virtual memory, with system processes at size zero. Times the full
+//! readdir-plus-stat pass that `ls` performs.
+
+use bench_support::{banner, boot_with_root};
+use criterion::{Criterion, criterion_group};
+use ksim::Cred;
+use tools::lsproc::ls_l_proc;
+use tools::UserTable;
+
+fn print_figure() {
+    banner("FIG1", "ls -l /proc (paper Figure 1)");
+    let (mut sys, root) = boot_with_root();
+    // Recreate the figure's population: system processes (0, 1, 2 — our
+    // pid 2 is the hosted root controller standing in for pageout) plus
+    // user processes owned by different users, as in the paper.
+    let rrg = sys.spawn_hosted("rrg-shell", Cred::new(101, 10));
+    let weath = sys.spawn_hosted("weath-shell", Cred::new(102, 10));
+    let raf = sys.spawn_hosted("raf-shell", Cred::new(103, 10));
+    sys.spawn_program(rrg, "/bin/spin", &["spin"]).expect("spawn");
+    sys.spawn_program(weath, "/bin/sleeper", &["sleeper"]).expect("spawn");
+    sys.spawn_program(raf, "/bin/ticker", &["ticker"]).expect("spawn");
+    sys.run_idle(100);
+    let mut users = UserTable::default();
+    users.add_user(101, "rrg").add_user(102, "weath").add_user(103, "raf");
+    print!("{}", ls_l_proc(&mut sys, root, &users).expect("ls"));
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let (mut sys, root) = boot_with_root();
+    for i in 0..20 {
+        let owner = sys.spawn_hosted(&format!("sh{i}"), Cred::new(100 + i, 10));
+        sys.spawn_program(owner, "/bin/spin", &["spin"]).expect("spawn");
+    }
+    let users = UserTable::default();
+    c.bench_function("fig1/ls_l_proc_23_processes", |b| {
+        b.iter(|| ls_l_proc(&mut sys, root, &users).expect("ls"))
+    });
+    c.bench_function("fig1/readdir_only", |b| {
+        b.iter(|| sys.list_dir(root, "/proc").expect("readdir"))
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,39 @@
+//! FIG2 — regenerates the paper's Figure 2: the memory map returned by
+//! `PIOCMAP` for a process running an a.out linked against a shared
+//! library — private read/exec code mappings and read/write data
+//! mappings for both, plus the named stack and break segments. Times
+//! `PIOCMAP` itself.
+
+use bench_support::{banner, boot_with_ctl};
+use criterion::{Criterion, criterion_group};
+use tools::pmap::pmap;
+use tools::ProcHandle;
+
+fn print_figure() {
+    banner("FIG2", "PIOCMAP memory map of a library-linked process (paper Figure 2)");
+    let (mut sys, ctl) = boot_with_ctl();
+    let pid = sys.spawn_program(ctl, "/bin/libuser", &["libuser"]).expect("spawn");
+    print!("{}", pmap(&mut sys, ctl, pid).expect("pmap"));
+    println!(
+        "\n(all mappings are MAP_PRIVATE; a controlling process can still\n\
+         write the read/exec text through /proc, with copy-on-write)\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let (mut sys, ctl) = boot_with_ctl();
+    let pid = sys.spawn_program(ctl, "/bin/libuser", &["libuser"]).expect("spawn");
+    let mut h = ProcHandle::open_ro(&mut sys, ctl, pid).expect("open");
+    c.bench_function("fig2/piocmap", |b| b.iter(|| h.maps(&mut sys).expect("maps")));
+    c.bench_function("fig2/piocmap_plus_render", |b| {
+        b.iter(|| tools::pmap::render(&h.maps(&mut sys).expect("maps")))
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

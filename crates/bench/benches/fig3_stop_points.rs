@@ -1,0 +1,134 @@
+//! FIG3 — the paper's Figure 3: the points in the kernel at which a
+//! traced process may stop. One target is driven through every stop
+//! point — system call entry, system call exit, machine fault, signalled
+//! stop, requested stop, job-control stop — and the observed trace is
+//! printed. Times a stop-resume round trip at each point.
+
+use bench_support::{banner, boot_with_ctl};
+use criterion::{Criterion, criterion_group};
+use ksim::fault::FltSet;
+use ksim::signal::{SigSet, SIGCONT, SIGTSTP, SIGUSR1};
+use ksim::sysno::{SysSet, SYS_GETPID};
+use procfs::{PrRun, PrWhy, PRRUN_CFAULT, PRRUN_CSIG};
+use tools::ProcHandle;
+
+const TARGET: &str = r#"
+_start:
+loop:
+    movi rv, 20        ; getpid — entry and exit stop points
+    syscall
+    jmp  loop
+"#;
+
+fn why_name(w: PrWhy) -> &'static str {
+    match w {
+        PrWhy::Requested => "PR_REQUESTED (stop directive)",
+        PrWhy::Signalled => "PR_SIGNALLED (traced signal received)",
+        PrWhy::SyscallEntry => "PR_SYSENTRY (system call entry)",
+        PrWhy::SyscallExit => "PR_SYSEXIT  (system call exit)",
+        PrWhy::Faulted => "PR_FAULTED  (traced machine fault)",
+        PrWhy::JobControl => "PR_JOBCONTROL (stop signal default action)",
+        PrWhy::Ptrace => "PR_PTRACE   (old-style ptrace)",
+        PrWhy::None => "running",
+    }
+}
+
+fn print_figure() {
+    banner("FIG3", "stop points in the kernel (paper Figure 3)");
+    let (mut sys, ctl) = boot_with_ctl();
+    sys.install_program("/bin/fig3", TARGET);
+    let pid = sys.spawn_program(ctl, "/bin/fig3", &["fig3"]).expect("spawn");
+    let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+    let mut seen = Vec::new();
+
+    // 1. Requested stop.
+    let st = h.stop(&mut sys).expect("stop");
+    seen.push((st.why, st.what));
+    // 2/3. Syscall entry and exit.
+    let mut set = SysSet::empty();
+    set.add(SYS_GETPID as usize);
+    h.set_entry_trace(&mut sys, set).expect("entry");
+    h.set_exit_trace(&mut sys, set).expect("exit");
+    h.resume(&mut sys).expect("run");
+    let st = h.wstop(&mut sys).expect("wstop");
+    seen.push((st.why, st.what));
+    h.resume(&mut sys).expect("run");
+    let st = h.wstop(&mut sys).expect("wstop");
+    seen.push((st.why, st.what));
+    h.set_entry_trace(&mut sys, SysSet::empty()).expect("entry off");
+    h.set_exit_trace(&mut sys, SysSet::empty()).expect("exit off");
+    // 4. Machine fault: plant a breakpoint over the loop.
+    let aout = h.read_aout(&mut sys).expect("aout");
+    let looppc = aout.sym("loop").expect("loop");
+    let mut saved = [0u8; 8];
+    h.read_mem(&mut sys, looppc, &mut saved).expect("read");
+    h.write_mem(&mut sys, looppc, &isa::insn::breakpoint_bytes()).expect("plant");
+    let mut flt = FltSet::empty();
+    flt.add(ksim::Fault::Bpt.number());
+    h.set_flt_trace(&mut sys, flt).expect("fault trace");
+    h.resume(&mut sys).expect("run");
+    let st = h.wstop(&mut sys).expect("wstop");
+    seen.push((st.why, st.what));
+    h.write_mem(&mut sys, looppc, &saved).expect("restore");
+    // 5. Signalled stop.
+    let mut sigs = SigSet::empty();
+    sigs.add(SIGUSR1);
+    sigs.add(SIGTSTP);
+    h.set_sig_trace(&mut sys, sigs).expect("sig trace");
+    h.kill(&mut sys, SIGUSR1).expect("kill");
+    h.run(&mut sys, PrRun { flags: PRRUN_CFAULT, vaddr: 0 }).expect("run");
+    let st = h.wstop(&mut sys).expect("wstop");
+    seen.push((st.why, st.what));
+    // 6. Job-control stop: run on with SIGTSTP uncleared ("stops twice").
+    h.kill(&mut sys, SIGTSTP).expect("tstp");
+    h.run(&mut sys, PrRun { flags: PRRUN_CSIG, vaddr: 0 }).expect("run");
+    let st = h.wstop(&mut sys).expect("signalled for TSTP");
+    seen.push((st.why, st.what));
+    h.resume(&mut sys).expect("run without clearing");
+    sys.run_idle(10);
+    let st = h.status(&mut sys).expect("status");
+    seen.push((st.why, st.what));
+    let _ = sys.host_kill(ctl, pid, SIGCONT);
+
+    println!("observed stop sequence for one process:");
+    for (i, (why, what)) in seen.iter().enumerate() {
+        println!("  {}. {:<44} what={}", i + 1, why_name(*why), what);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    // Round-trip cost per stop point: requested, syscall-entry, fault.
+    let (mut sys, ctl) = boot_with_ctl();
+    let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+    let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+    c.bench_function("fig3/requested_stop_resume", |b| {
+        b.iter(|| {
+            h.stop(&mut sys).expect("stop");
+            h.resume(&mut sys).expect("run");
+            sys.run_idle(2);
+        })
+    });
+
+    let (mut sys2, ctl2) = boot_with_ctl();
+    sys2.install_program("/bin/fig3", TARGET);
+    let pid2 = sys2.spawn_program(ctl2, "/bin/fig3", &["fig3"]).expect("spawn");
+    let mut h2 = ProcHandle::open_rw(&mut sys2, ctl2, pid2).expect("open");
+    let mut set = SysSet::empty();
+    set.add(SYS_GETPID as usize);
+    h2.set_entry_trace(&mut sys2, set).expect("entry");
+    c.bench_function("fig3/syscall_entry_stop_resume", |b| {
+        b.iter(|| {
+            h2.wstop(&mut sys2).expect("wstop");
+            h2.resume(&mut sys2).expect("run");
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,164 @@
+//! FIG4 — the paper's Figure 4: the complete control logic of `issig()`.
+//! Every branch is driven by a scripted scenario directly against the
+//! kernel, and the decision trace is printed; the benchmark times the
+//! promotion/gate machinery itself.
+
+use bench_support::banner;
+use criterion::{Criterion, criterion_group};
+use ksim::sched::{Issig, SleepSig};
+use ksim::signal::{SigAction, SigSet, Handler, SIGCONT, SIGINT, SIGTSTP};
+use ksim::{Cred, Kernel, Pid, RunOpts, Tid};
+
+fn fresh() -> (Kernel, Pid) {
+    let mut k = Kernel::new();
+    let p0 = k.new_proc(Pid(0), Pid(0), Pid(0), Cred::superuser(), "sched", true);
+    let pid = k.new_proc(p0, p0, p0, Cred::new(100, 10), "t", false);
+    (k, pid)
+}
+
+const T: Tid = Tid(1);
+
+fn scenario(name: &str, steps: impl FnOnce(&mut Kernel, Pid) -> Vec<String>) {
+    let (mut k, pid) = fresh();
+    println!("scenario: {name}");
+    for line in steps(&mut k, pid) {
+        println!("    {line}");
+    }
+}
+
+fn print_figure() {
+    banner("FIG4", "issig() control logic branch coverage (paper Figure 4)");
+
+    scenario("untraced terminating signal", |k, pid| {
+        k.post_signal(pid, SIGINT).expect("post");
+        vec![format!("issig -> {:?} (promote, deliver via psig)", k.issig(pid, T))]
+    });
+
+    scenario("traced signal: signalled stop, then delivery if not cleared", |k, pid| {
+        k.proc_mut(pid).expect("p").trace.sig_trace.add(SIGINT);
+        k.post_signal(pid, SIGINT).expect("post");
+        let mut out = vec![format!("issig -> {:?} (signalled stop)", k.issig(pid, T))];
+        k.run_lwp(pid, T, RunOpts::default()).expect("run");
+        out.push(format!("resume uncleared; issig -> {:?}", k.issig(pid, T)));
+        out
+    });
+
+    scenario("traced signal cleared by debugger: nothing to do", |k, pid| {
+        k.proc_mut(pid).expect("p").trace.sig_trace.add(SIGINT);
+        k.post_signal(pid, SIGINT).expect("post");
+        let mut out = vec![format!("issig -> {:?}", k.issig(pid, T))];
+        k.run_lwp(pid, T, RunOpts { clear_sig: true, ..Default::default() }).expect("run");
+        out.push(format!("resume cleared;   issig -> {:?}", k.issig(pid, T)));
+        out
+    });
+
+    scenario("job-control double stop (traced SIGTSTP)", |k, pid| {
+        k.proc_mut(pid).expect("p").trace.sig_trace.add(SIGTSTP);
+        k.post_signal(pid, SIGTSTP).expect("post");
+        let mut out = vec![format!("issig -> {:?} (signalled stop)", k.issig(pid, T))];
+        k.run_lwp(pid, T, RunOpts::default()).expect("run");
+        out.push(format!(
+            "resume uncleared; issig -> {:?} (job-control stop, within issig)",
+            k.issig(pid, T)
+        ));
+        out.push(format!(
+            "PIOCRUN on job-control stop -> {:?} (only SIGCONT releases it)",
+            k.run_lwp(pid, T, RunOpts::default())
+        ));
+        k.post_signal(pid, SIGCONT).expect("cont");
+        out.push(format!("SIGCONT; issig -> {:?}", k.issig(pid, T)));
+        out
+    });
+
+    scenario("/proc gets the last word after SIGCONT", |k, pid| {
+        k.post_signal(pid, SIGTSTP).expect("post");
+        let mut out = vec![format!("issig -> {:?} (job-control stop)", k.issig(pid, T))];
+        k.direct_stop(pid).expect("dstop");
+        k.post_signal(pid, SIGCONT).expect("cont");
+        out.push(format!(
+            "directive latched; SIGCONT; issig -> {:?} (requested stop before exiting issig)",
+            k.issig(pid, T)
+        ));
+        out
+    });
+
+    scenario("ptrace competes: /proc first, then ptrace has control", |k, pid| {
+        {
+            let p = k.proc_mut(pid).expect("p");
+            p.ptraced = true;
+            p.trace.sig_trace.add(SIGINT);
+        }
+        k.post_signal(pid, SIGINT).expect("post");
+        let mut out = vec![format!("issig -> {:?} (signalled stop first)", k.issig(pid, T))];
+        k.run_lwp(pid, T, RunOpts::default()).expect("run via /proc");
+        out.push(format!("issig -> {:?} (ptrace stop)", k.issig(pid, T)));
+        out.push(format!(
+            "PIOCRUN now -> {:?} (\"ptrace has control\")",
+            k.run_lwp(pid, T, RunOpts::default())
+        ));
+        out
+    });
+
+    scenario("ignored-but-traced signal stops, then evaporates", |k, pid| {
+        {
+            let p = k.proc_mut(pid).expect("p");
+            p.trace.sig_trace.add(SIGINT);
+            p.actions.set(SIGINT, SigAction { handler: Handler::Ignore, mask: SigSet::empty() });
+        }
+        k.post_signal(pid, SIGINT).expect("post");
+        let mut out = vec![format!("issig -> {:?} (tracing sees ignored signals)", k.issig(pid, T))];
+        k.run_lwp(pid, T, RunOpts::default()).expect("run");
+        out.push(format!("issig -> {:?} (nothing delivered)", k.issig(pid, T)));
+        out
+    });
+
+    scenario("inside an interruptible sleep", |k, pid| {
+        let mut out = Vec::new();
+        k.proc_mut(pid).expect("p").lwps[0].stop_directive = true;
+        out.push(format!(
+            "directive while sleeping: issig_insleep -> {:?} (call undisturbed)",
+            k.issig_insleep(pid, T)
+        ));
+        k.run_lwp(pid, T, RunOpts::default()).expect("run");
+        out.push(format!("resumed: issig_insleep -> {:?}", k.issig_insleep(pid, T)));
+        k.post_signal(pid, SIGINT).expect("post");
+        out.push(format!(
+            "real signal: issig_insleep -> {:?} (EINTR)",
+            k.issig_insleep(pid, T)
+        ));
+        out
+    });
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig4/issig_no_signal", |b| {
+        let (mut k, pid) = fresh();
+        b.iter(|| {
+            assert_eq!(k.issig(pid, T), Issig::Run);
+        })
+    });
+    c.bench_function("fig4/issig_promote_and_deliver", |b| {
+        let (mut k, pid) = fresh();
+        b.iter(|| {
+            k.post_signal(pid, SIGINT).expect("post");
+            let _ = k.issig(pid, T);
+            // psig would terminate; just clear the current signal.
+            k.set_cursig(pid, T, None).expect("clear");
+        })
+    });
+    c.bench_function("fig4/issig_insleep_retry", |b| {
+        let (mut k, pid) = fresh();
+        b.iter(|| {
+            assert_eq!(k.issig_insleep(pid, T), SleepSig::Retry);
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

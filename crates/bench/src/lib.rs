@@ -1,0 +1,34 @@
+//! Shared scaffolding for the benchmark harness.
+//!
+//! Every bench regenerates a paper artifact (figure or claim) by
+//! printing it to stdout, then times the operations behind it with
+//! criterion. EXPERIMENTS.md records the expected shape of each result.
+
+#![forbid(unsafe_code)]
+
+use ksim::{Cred, Pid, System};
+use tools::install_userland;
+
+/// Boots a demo system (both `/proc` generations + userland) with a
+/// uid-100 controller.
+pub fn boot_with_ctl() -> (System, Pid) {
+    let mut sys = procfs::boot_with_proc();
+    install_userland(&mut sys);
+    let ctl = sys.spawn_hosted("bench-ctl", Cred::new(100, 10));
+    (sys, ctl)
+}
+
+/// Boots with a super-user controller (`ps`/`ls` style tools).
+pub fn boot_with_root() -> (System, Pid) {
+    let mut sys = procfs::boot_with_proc();
+    install_userland(&mut sys);
+    let ctl = sys.spawn_hosted("bench-root", Cred::superuser());
+    (sys, ctl)
+}
+
+/// Prints the standard banner naming the regenerated artifact.
+pub fn banner(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}

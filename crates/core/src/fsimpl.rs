@@ -1,0 +1,302 @@
+//! The flat SVR4 `/proc` file system type.
+//!
+//! "The name of each entry is a decimal number corresponding to the
+//! process id. The owner and group of the file are the process's real
+//! user-id and group-id, but permission to open the file is more
+//! restrictive than traditional file system permissions. The reported
+//! 'size' is the total virtual memory size of the process."
+//!
+//! Node encoding: node 0 is the `/proc` directory; node `pid+1` is the
+//! process file for `pid`. The open token carries the exec generation at
+//! open time; a set-id exec bumps the generation, after which "no further
+//! operation on that file descriptor will succeed except close(2)".
+
+use crate::ioctl::{needs_write, prioctl};
+use ksim::proc::LwpState;
+use ksim::{Kernel, HZ};
+use vfs::{
+    Cred, DirEntry, Errno, FileSystem, IoReply, IoctlReply, Metadata, NodeId, OFlags, OpenToken,
+    Pid, PollStatus, SysResult, VnodeKind,
+};
+
+/// The flat `/proc` file system. Stateless: every bit of tracing and
+/// bookkeeping state lives in the kernel, where it belongs (tracing must
+/// survive any particular descriptor).
+#[derive(Debug, Default)]
+pub struct ProcFs;
+
+impl ProcFs {
+    /// Creates the file system (mount it with `System::mount`).
+    pub fn new() -> ProcFs {
+        ProcFs
+    }
+
+    fn node_pid(node: NodeId) -> SysResult<Pid> {
+        if node.0 == 0 {
+            return Err(Errno::EISDIR);
+        }
+        Ok(Pid((node.0 - 1) as u32))
+    }
+
+    fn check_gen(k: &Kernel, pid: Pid, token: OpenToken) -> SysResult<()> {
+        let proc = k.proc(pid)?;
+        if proc.exec_gen as u64 != token.0 & !WRITABLE_BIT {
+            // The descriptor predates a set-id exec: dead, except for
+            // close.
+            return Err(Errno::EBADF);
+        }
+        Ok(())
+    }
+}
+
+impl FileSystem<Kernel> for ProcFs {
+    fn type_name(&self) -> &'static str {
+        "proc"
+    }
+
+    fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    fn lookup(&mut self, k: &mut Kernel, _cur: Pid, dir: NodeId, name: &str) -> SysResult<NodeId> {
+        if dir.0 != 0 {
+            return Err(Errno::ENOTDIR);
+        }
+        if name.is_empty() || name.len() > 10 || !name.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(Errno::ENOENT);
+        }
+        let pid: u32 = name.parse().map_err(|_| Errno::ENOENT)?;
+        k.proc(Pid(pid))?;
+        Ok(NodeId(pid as u64 + 1))
+    }
+
+    fn getattr(&mut self, k: &mut Kernel, node: NodeId) -> SysResult<Metadata> {
+        if node.0 == 0 {
+            return Ok(Metadata {
+                kind: VnodeKind::Directory,
+                mode: 0o555,
+                uid: 0,
+                gid: 0,
+                size: k.procs.len() as u64,
+                nlink: 2,
+                mtime: k.clock / HZ,
+            });
+        }
+        let pid = Self::node_pid(node)?;
+        let proc = k.proc(pid)?;
+        Ok(Metadata {
+            kind: VnodeKind::Proc,
+            mode: 0o600,
+            uid: proc.cred.ruid,
+            gid: proc.cred.rgid,
+            size: proc.aspace.total_size(),
+            nlink: 1,
+            mtime: proc.start_time / HZ,
+        })
+    }
+
+    fn readdir(&mut self, k: &mut Kernel, _cur: Pid, dir: NodeId) -> SysResult<Vec<DirEntry>> {
+        if dir.0 != 0 {
+            return Err(Errno::ENOTDIR);
+        }
+        // Five-digit zero-padded names, exactly as in the paper's
+        // Figure 1.
+        Ok(k.procs
+            .values()
+            .map(|p| DirEntry { name: format!("{:05}", p.pid.0), node: NodeId(p.pid.0 as u64 + 1) })
+            .collect())
+    }
+
+    fn open(
+        &mut self,
+        k: &mut Kernel,
+        _cur: Pid,
+        node: NodeId,
+        flags: OFlags,
+        cred: &Cred,
+    ) -> SysResult<OpenToken> {
+        if node.0 == 0 {
+            if flags.write {
+                return Err(Errno::EISDIR);
+            }
+            return Ok(OpenToken(0));
+        }
+        let pid = Self::node_pid(node)?;
+        let proc = k.proc_mut(pid)?;
+        // "Permission to open a /proc file requires that both the uid and
+        // gid of the traced process match those of the controlling
+        // process; setuid and setgid processes can be opened only by the
+        // super-user."
+        if !cred.can_control(&proc.cred) {
+            return Err(Errno::EACCES);
+        }
+        if flags.write {
+            // Exclusive-use arbitration: "a /proc file can be opened for
+            // exclusive read/write use ... in this way a controlling
+            // process can avoid collisions with other controlling
+            // processes. Read-only opens are unaffected."
+            if proc.trace.excl {
+                return Err(Errno::EBUSY);
+            }
+            if flags.excl {
+                if proc.trace.writers > 0 {
+                    return Err(Errno::EBUSY);
+                }
+                proc.trace.excl = true;
+            }
+            proc.trace.writers += 1;
+        }
+        let mut token = proc.exec_gen as u64;
+        if flags.write {
+            token |= WRITABLE_BIT;
+        }
+        Ok(OpenToken(token))
+    }
+
+    fn close(&mut self, k: &mut Kernel, _cur: Pid, node: NodeId, _token: OpenToken, flags: OFlags) {
+        let Ok(pid) = Self::node_pid(node) else { return };
+        let Ok(proc) = k.proc_mut(pid) else { return };
+        if !flags.write {
+            return;
+        }
+        proc.trace.writers = proc.trace.writers.saturating_sub(1);
+        if flags.excl {
+            proc.trace.excl = false;
+        }
+        if proc.trace.writers == 0 && proc.trace.run_on_last_close {
+            // "When this flag is set and the last writable /proc file
+            // descriptor for the process is closed, all of the tracing
+            // flags are cleared and, if the process is stopped, it is set
+            // running."
+            proc.trace.clear_tracing();
+            let tids: Vec<_> = proc
+                .lwps
+                .iter()
+                .filter(|l| l.is_event_stopped())
+                .map(|l| l.tid)
+                .collect();
+            for l in &mut proc.lwps {
+                l.stop_directive = false;
+            }
+            for tid in tids {
+                let _ = k.run_lwp(pid, tid, ksim::RunOpts::default());
+            }
+        }
+    }
+
+    fn read(
+        &mut self,
+        k: &mut Kernel,
+        _cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        off: u64,
+        buf: &mut [u8],
+    ) -> SysResult<IoReply> {
+        let pid = Self::node_pid(node)?;
+        Self::check_gen(k, pid, token)?;
+        let proc = k.proc(pid)?;
+        if proc.zombie {
+            return Err(Errno::EIO);
+        }
+        // "A process file contains data only at file offsets that match
+        // valid virtual addresses ... operations with a file offset in an
+        // unmapped area fail. I/O operations that extend into unmapped
+        // areas do not fail but are truncated at the boundary."
+        let span = proc.aspace.valid_span(off, buf.len() as u64) as usize;
+        if span == 0 {
+            return Err(Errno::EIO);
+        }
+        proc.aspace
+            .kernel_read(&k.objects, off, &mut buf[..span])
+            .map_err(|_| Errno::EIO)?;
+        Ok(IoReply::Done(span))
+    }
+
+    fn write(
+        &mut self,
+        k: &mut Kernel,
+        _cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        off: u64,
+        data: &[u8],
+    ) -> SysResult<IoReply> {
+        let pid = Self::node_pid(node)?;
+        Self::check_gen(k, pid, token)?;
+        let Kernel { procs, objects, .. } = k;
+        let proc = procs.get_mut(&pid.0).ok_or(Errno::ESRCH)?;
+        if proc.zombie {
+            return Err(Errno::EIO);
+        }
+        // Truncation applies to writes as well as reads; copy-on-write is
+        // performed by the VM layer so breakpoints planted through here
+        // never corrupt other processes or the executable file.
+        let span = proc.aspace.valid_span(off, data.len() as u64) as usize;
+        if span == 0 {
+            return Err(Errno::EIO);
+        }
+        proc.aspace
+            .kernel_write(objects, off, &data[..span])
+            .map_err(|_| Errno::EIO)?;
+        Ok(IoReply::Done(span))
+    }
+
+    fn ioctl(
+        &mut self,
+        k: &mut Kernel,
+        cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        req: u32,
+        arg: &[u8],
+    ) -> SysResult<IoctlReply> {
+        let pid = Self::node_pid(node).map_err(|_| Errno::ENOTTY)?;
+        Self::check_gen(k, pid, token)?;
+        if needs_write(req) {
+            // Enforced by the caller's open mode; the System layer stores
+            // the mode on the open file. The flat interface additionally
+            // re-derives it here from the kernel's writer accounting:
+            // a read-only opener never incremented `writers`, but that is
+            // shared state, so the mode check must come from the
+            // descriptor. The System layer passes it via the token's
+            // high bit.
+            if token.0 & WRITABLE_BIT == 0 {
+                return Err(Errno::EBADF);
+            }
+        }
+        prioctl(k, cur, pid, req, arg)
+    }
+
+    fn poll(&mut self, k: &mut Kernel, node: NodeId, _token: OpenToken) -> SysResult<PollStatus> {
+        let Ok(pid) = Self::node_pid(node) else {
+            return Ok(PollStatus { readable: true, writable: false, hangup: false });
+        };
+        // "By appropriately defining what it means for a /proc file to be
+        // 'ready'": readable when stopped on an event of interest,
+        // hangup when gone.
+        match k.proc(pid) {
+            Err(_) => Ok(PollStatus { readable: false, writable: false, hangup: true }),
+            Ok(p) if p.zombie => Ok(PollStatus { readable: false, writable: false, hangup: true }),
+            Ok(p) => Ok(PollStatus {
+                readable: p.is_event_stopped(),
+                writable: true,
+                hangup: false,
+            }),
+        }
+    }
+}
+
+/// Token bit recording that the descriptor was opened writable (the
+/// token otherwise carries the exec generation).
+pub const WRITABLE_BIT: u64 = 1 << 63;
+
+impl ProcFs {
+    /// Helper used by tests: the number of live (non-zombie) LWPs of a
+    /// process.
+    pub fn live_lwps(k: &Kernel, pid: Pid) -> usize {
+        k.proc(pid)
+            .map(|p| p.lwps.iter().filter(|l| l.state != LwpState::Zombie).count())
+            .unwrap_or(0)
+    }
+}

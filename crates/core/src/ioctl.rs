@@ -1,0 +1,382 @@
+//! The flat interface's control operations: the `PIOC*` ioctl family.
+//!
+//! "Information and control operations are provided through ioctl." The
+//! interface distinguishes read-only operations (status inspection) from
+//! read/write operations (anything that modifies process state or
+//! behaviour); the latter require the descriptor to be open for writing.
+
+use crate::ops;
+use crate::types::{PrCred, PrMap, PrStatus, PrUsage, PsInfo};
+use ksim::Kernel;
+use vfs::{Errno, IoctlReply, Pid, SysResult};
+
+/// Get process status (`prstatus`).
+pub const PIOCSTATUS: u32 = 0x5001;
+/// Direct the process to stop and wait for it; returns `prstatus`.
+pub const PIOCSTOP: u32 = 0x5002;
+/// Wait for the process to stop on an event of interest; returns
+/// `prstatus`.
+pub const PIOCWSTOP: u32 = 0x5003;
+/// Make the stopped process runnable (operand: `prrun`).
+pub const PIOCRUN: u32 = 0x5004;
+/// Define the set of traced signals (operand: `sigset`).
+pub const PIOCSTRACE: u32 = 0x5005;
+/// Get the set of traced signals.
+pub const PIOCGTRACE: u32 = 0x5006;
+/// Define the set of traced machine faults (operand: `fltset`).
+pub const PIOCSFAULT: u32 = 0x5007;
+/// Get the set of traced machine faults.
+pub const PIOCGFAULT: u32 = 0x5008;
+/// Define the set of traced system call entries (operand: `sysset`).
+pub const PIOCSENTRY: u32 = 0x5009;
+/// Get the traced entry set.
+pub const PIOCGENTRY: u32 = 0x500A;
+/// Define the set of traced system call exits (operand: `sysset`).
+pub const PIOCSEXIT: u32 = 0x500B;
+/// Get the traced exit set.
+pub const PIOCGEXIT: u32 = 0x500C;
+/// Get the general registers.
+pub const PIOCGREG: u32 = 0x500D;
+/// Set the general registers (process must be stopped).
+pub const PIOCSREG: u32 = 0x500E;
+/// Get the floating-point registers.
+pub const PIOCGFPREG: u32 = 0x500F;
+/// Set the floating-point registers (process must be stopped).
+pub const PIOCSFPREG: u32 = 0x5010;
+/// Number of mappings in the address space.
+pub const PIOCNMAP: u32 = 0x5011;
+/// Get the address map (array of `prmap`).
+pub const PIOCMAP: u32 = 0x5012;
+/// Open the object mapped at a virtual address (operand: `u64` vaddr;
+/// returns a descriptor number).
+pub const PIOCOPENM: u32 = 0x5013;
+/// Get credentials (`prcred`).
+pub const PIOCCRED: u32 = 0x5014;
+/// Get supplementary groups (array of `u32`).
+pub const PIOCGROUPS: u32 = 0x5015;
+/// Get the kernel `proc` structure (deprecated; implementation-revealing
+/// by design — "their very existence reveals details of system
+/// implementation").
+pub const PIOCGETPR: u32 = 0x5016;
+/// Get the user area (deprecated, as above).
+pub const PIOCGETU: u32 = 0x5017;
+/// Get the `ps` snapshot (`psinfo`).
+pub const PIOCPSINFO: u32 = 0x5018;
+/// Post a signal (operand: `u32`).
+pub const PIOCKILL: u32 = 0x5019;
+/// Delete a pending signal (operand: `u32`).
+pub const PIOCUNKILL: u32 = 0x501A;
+/// Set or clear the current signal (operand: `u32`, 0 clears).
+pub const PIOCSSIG: u32 = 0x501B;
+/// Set the held-signal mask (operand: `sigset`).
+pub const PIOCSHOLD: u32 = 0x501C;
+/// Get the held-signal mask.
+pub const PIOCGHOLD: u32 = 0x501D;
+/// Set inherit-on-fork.
+pub const PIOCSFORK: u32 = 0x501E;
+/// Clear inherit-on-fork.
+pub const PIOCRFORK: u32 = 0x501F;
+/// Set run-on-last-close.
+pub const PIOCSRLC: u32 = 0x5020;
+/// Clear run-on-last-close.
+pub const PIOCRRLC: u32 = 0x5021;
+/// Add (or, with size 0, remove) a watched area (operand: `prwatch`).
+pub const PIOCSWATCH: u32 = 0x5022;
+/// Get the watched areas (array of `prwatch`).
+pub const PIOCGWATCH: u32 = 0x5023;
+/// Get resource usage (`prusage`) — proposed extension.
+pub const PIOCUSAGE: u32 = 0x5024;
+/// Adjust priority (operand: `i32`).
+pub const PIOCNICE: u32 = 0x5025;
+
+/// True if the request modifies process state or behaviour and therefore
+/// requires a descriptor open for writing. "The former are regarded as
+/// 'read/write' operations and the latter as 'read-only.'"
+pub fn needs_write(req: u32) -> bool {
+    !matches!(
+        req,
+        PIOCSTATUS
+            | PIOCWSTOP
+            | PIOCGTRACE
+            | PIOCGFAULT
+            | PIOCGENTRY
+            | PIOCGEXIT
+            | PIOCGREG
+            | PIOCGFPREG
+            | PIOCNMAP
+            | PIOCMAP
+            | PIOCOPENM
+            | PIOCCRED
+            | PIOCGROUPS
+            | PIOCGETPR
+            | PIOCGETU
+            | PIOCPSINFO
+            | PIOCGHOLD
+            | PIOCGWATCH
+            | PIOCUSAGE
+    )
+}
+
+/// Wire sizes of each request's operand, for the remote (RFS) shim —
+/// exactly the per-request knowledge the paper complains `ioctl` needs.
+/// Returns `(in_len, max_out_len)`.
+pub fn wire_spec(req: u32) -> Option<(usize, usize)> {
+    use isa::{FpregSet, GregSet};
+    use ksim::signal::SigSet;
+    use ksim::sysno::SysSet;
+    Some(match req {
+        PIOCSTATUS | PIOCSTOP | PIOCWSTOP => (0, PrStatus::WIRE_LEN),
+        PIOCRUN => (crate::types::PrRun::WIRE_LEN, 0),
+        PIOCSTRACE | PIOCSHOLD => (SigSet::WIRE_LEN, 0),
+        PIOCGTRACE | PIOCGHOLD => (0, SigSet::WIRE_LEN),
+        PIOCSFAULT => (SigSet::WIRE_LEN, 0),
+        PIOCGFAULT => (0, SigSet::WIRE_LEN),
+        PIOCSENTRY | PIOCSEXIT => (SysSet::WIRE_LEN, 0),
+        PIOCGENTRY | PIOCGEXIT => (0, SysSet::WIRE_LEN),
+        PIOCGREG => (0, GregSet::WIRE_LEN),
+        PIOCSREG => (GregSet::WIRE_LEN, 0),
+        PIOCGFPREG => (0, FpregSet::WIRE_LEN),
+        PIOCSFPREG => (FpregSet::WIRE_LEN, 0),
+        PIOCNMAP => (0, 8),
+        PIOCMAP => (0, 256 * PrMap::WIRE_LEN),
+        PIOCOPENM => (8, 8),
+        PIOCCRED => (0, PrCred::WIRE_LEN),
+        PIOCGROUPS => (0, 64 * 4),
+        PIOCPSINFO => (0, PsInfo::WIRE_LEN),
+        PIOCKILL | PIOCUNKILL | PIOCSSIG | PIOCNICE => (4, 0),
+        PIOCSFORK | PIOCRFORK | PIOCSRLC | PIOCRRLC => (0, 0),
+        PIOCSWATCH => (crate::types::PrWatch::WIRE_LEN, 8),
+        PIOCGWATCH => (0, 64 * crate::types::PrWatch::WIRE_LEN),
+        PIOCUSAGE => (0, PrUsage::WIRE_LEN),
+        // PIOCGETPR / PIOCGETU are variable-sized implementation dumps —
+        // precisely the kind of operation that cannot cross a wire.
+        _ => return None,
+    })
+}
+
+/// Dispatches one `PIOC*` request against the target process. `caller`
+/// is the process issuing the ioctl (its descriptor table receives
+/// `PIOCOPENM` results).
+pub fn prioctl(
+    k: &mut Kernel,
+    caller: Pid,
+    target: Pid,
+    req: u32,
+    arg: &[u8],
+) -> SysResult<IoctlReply> {
+    let done = |bytes: Vec<u8>| Ok(IoctlReply::Done(bytes));
+    match req {
+        PIOCSTATUS => done(ops::status_bytes(k, target, None)?),
+        PIOCSTOP => {
+            ops::direct_stop(k, target)?;
+            if ops::event_stopped(k, target)? {
+                done(ops::status_bytes(k, target, None)?)
+            } else {
+                Ok(IoctlReply::Block)
+            }
+        }
+        PIOCWSTOP => {
+            if ops::event_stopped(k, target)? {
+                done(ops::status_bytes(k, target, None)?)
+            } else {
+                Ok(IoctlReply::Block)
+            }
+        }
+        PIOCRUN => {
+            ops::run(k, target, None, arg)?;
+            done(vec![])
+        }
+        PIOCSTRACE => {
+            ops::set_sig_trace(k, target, arg)?;
+            done(vec![])
+        }
+        PIOCGTRACE => done(k.proc(target)?.trace.sig_trace.to_bytes()),
+        PIOCSFAULT => {
+            ops::set_flt_trace(k, target, arg)?;
+            done(vec![])
+        }
+        PIOCGFAULT => done(k.proc(target)?.trace.flt_trace.to_bytes()),
+        PIOCSENTRY => {
+            ops::set_entry_trace(k, target, arg)?;
+            done(vec![])
+        }
+        PIOCGENTRY => done(k.proc(target)?.trace.entry_trace.to_bytes()),
+        PIOCSEXIT => {
+            ops::set_exit_trace(k, target, arg)?;
+            done(vec![])
+        }
+        PIOCGEXIT => done(k.proc(target)?.trace.exit_trace.to_bytes()),
+        PIOCGREG => {
+            ops::live(k, target)?;
+            done(k.proc(target)?.rep_lwp().gregs.to_bytes())
+        }
+        PIOCSREG => {
+            ops::live(k, target)?;
+            let mut regs = isa::GregSet::from_bytes(arg).ok_or(Errno::EINVAL)?;
+            regs.normalize();
+            let proc = k.proc_mut(target)?;
+            if !proc.rep_lwp().is_stopped() {
+                return Err(Errno::EBUSY);
+            }
+            proc.rep_lwp_mut().gregs = regs;
+            done(vec![])
+        }
+        PIOCGFPREG => {
+            ops::live(k, target)?;
+            done(k.proc(target)?.rep_lwp().fpregs.to_bytes())
+        }
+        PIOCSFPREG => {
+            ops::live(k, target)?;
+            let regs = isa::FpregSet::from_bytes(arg).ok_or(Errno::EINVAL)?;
+            let proc = k.proc_mut(target)?;
+            if !proc.rep_lwp().is_stopped() {
+                return Err(Errno::EBUSY);
+            }
+            proc.rep_lwp_mut().fpregs = regs;
+            done(vec![])
+        }
+        PIOCNMAP => {
+            let n = PrMap::capture_all(k, target)?.len() as u64;
+            done(n.to_le_bytes().to_vec())
+        }
+        PIOCMAP => {
+            let maps = PrMap::capture_all(k, target)?;
+            let mut out = Vec::with_capacity(maps.len() * PrMap::WIRE_LEN);
+            for m in &maps {
+                out.extend_from_slice(&m.to_bytes());
+            }
+            done(out)
+        }
+        PIOCOPENM => {
+            let fd = ops::open_mapped(k, caller, target, arg)?;
+            done(fd.to_le_bytes().to_vec())
+        }
+        PIOCCRED => done(PrCred::capture(k, target)?.to_bytes()),
+        PIOCGROUPS => {
+            let groups = k.proc(target)?.cred.groups.clone();
+            let mut out = Vec::with_capacity(groups.len() * 4);
+            for g in groups {
+                out.extend_from_slice(&g.to_le_bytes());
+            }
+            done(out)
+        }
+        PIOCGETPR => {
+            // Deprecated on purpose: a raw dump of the internal process
+            // structure, tied to this very implementation.
+            let dump = format!("{:?}", k.proc(target)?);
+            done(dump.into_bytes())
+        }
+        PIOCGETU => {
+            let proc = k.proc(target)?;
+            let dump = format!(
+                "uarea {{ fds: {}, cwd: {:?}, umask: {:#o}, lwps: {:?} }}",
+                proc.fds.count(),
+                proc.cwd,
+                proc.umask,
+                proc.lwps.iter().map(|l| l.tid.0).collect::<Vec<_>>(),
+            );
+            done(dump.into_bytes())
+        }
+        PIOCPSINFO => done(PsInfo::capture(k, target)?.to_bytes()),
+        PIOCKILL => {
+            ops::kill(k, target, arg)?;
+            done(vec![])
+        }
+        PIOCUNKILL => {
+            ops::unkill(k, target, arg)?;
+            done(vec![])
+        }
+        PIOCSSIG => {
+            ops::set_sig(k, target, None, arg)?;
+            done(vec![])
+        }
+        PIOCSHOLD => {
+            ops::set_hold(k, target, None, arg)?;
+            done(vec![])
+        }
+        PIOCGHOLD => {
+            ops::live(k, target)?;
+            done(k.proc(target)?.rep_lwp().held.to_bytes())
+        }
+        PIOCSFORK | PIOCRFORK => {
+            ops::live(k, target)?;
+            k.proc_mut(target)?.trace.inherit_on_fork = req == PIOCSFORK;
+            done(vec![])
+        }
+        PIOCSRLC | PIOCRRLC => {
+            ops::live(k, target)?;
+            k.proc_mut(target)?.trace.run_on_last_close = req == PIOCSRLC;
+            done(vec![])
+        }
+        PIOCSWATCH => {
+            let n = ops::watch(k, target, arg)?;
+            done(n.to_le_bytes().to_vec())
+        }
+        PIOCGWATCH => {
+            ops::live(k, target)?;
+            let proc = k.proc(target)?;
+            let mut out = Vec::new();
+            for w in &proc.aspace.watchpoints {
+                out.extend_from_slice(
+                    &crate::types::PrWatch {
+                        vaddr: w.base,
+                        size: w.len,
+                        flags: w.flags.to_bits(),
+                    }
+                    .to_bytes(),
+                );
+            }
+            done(out)
+        }
+        PIOCUSAGE => done(PrUsage::capture(k, target)?.to_bytes()),
+        PIOCNICE => {
+            ops::nice(k, target, arg)?;
+            done(vec![])
+        }
+        _ => Err(Errno::ENOTTY),
+    }
+}
+
+/// Symbolic name of a request (diagnostics and `truss` decoding).
+pub fn req_name(req: u32) -> &'static str {
+    match req {
+        PIOCSTATUS => "PIOCSTATUS",
+        PIOCSTOP => "PIOCSTOP",
+        PIOCWSTOP => "PIOCWSTOP",
+        PIOCRUN => "PIOCRUN",
+        PIOCSTRACE => "PIOCSTRACE",
+        PIOCGTRACE => "PIOCGTRACE",
+        PIOCSFAULT => "PIOCSFAULT",
+        PIOCGFAULT => "PIOCGFAULT",
+        PIOCSENTRY => "PIOCSENTRY",
+        PIOCGENTRY => "PIOCGENTRY",
+        PIOCSEXIT => "PIOCSEXIT",
+        PIOCGEXIT => "PIOCGEXIT",
+        PIOCGREG => "PIOCGREG",
+        PIOCSREG => "PIOCSREG",
+        PIOCGFPREG => "PIOCGFPREG",
+        PIOCSFPREG => "PIOCSFPREG",
+        PIOCNMAP => "PIOCNMAP",
+        PIOCMAP => "PIOCMAP",
+        PIOCOPENM => "PIOCOPENM",
+        PIOCCRED => "PIOCCRED",
+        PIOCGROUPS => "PIOCGROUPS",
+        PIOCGETPR => "PIOCGETPR",
+        PIOCGETU => "PIOCGETU",
+        PIOCPSINFO => "PIOCPSINFO",
+        PIOCKILL => "PIOCKILL",
+        PIOCUNKILL => "PIOCUNKILL",
+        PIOCSSIG => "PIOCSSIG",
+        PIOCSHOLD => "PIOCSHOLD",
+        PIOCGHOLD => "PIOCGHOLD",
+        PIOCSFORK => "PIOCSFORK",
+        PIOCRFORK => "PIOCRFORK",
+        PIOCSRLC => "PIOCSRLC",
+        PIOCRRLC => "PIOCRRLC",
+        PIOCSWATCH => "PIOCSWATCH",
+        PIOCGWATCH => "PIOCGWATCH",
+        PIOCUSAGE => "PIOCUSAGE",
+        PIOCNICE => "PIOCNICE",
+        _ => "PIOC???",
+    }
+}

@@ -1,0 +1,54 @@
+//! The process file system — the paper's primary contribution.
+//!
+//! Two generations of the interface are provided, exactly as the paper
+//! describes them:
+//!
+//! * [`ProcFs`] — the SVR4 flat form: `/proc` is a directory of process
+//!   files named by five-digit pid; `read`/`write` at a file offset move
+//!   data to and from the process's virtual address space; `ioctl`
+//!   carries the [`ioctl`] module's `PIOC*` information and control
+//!   operations; security follows the uid/gid matching rules, including
+//!   exclusive-use opens (`O_EXCL`), run-on-last-close, and descriptor
+//!   invalidation on set-id exec.
+//! * [`HierFs`] — the proposed restructuring: a directory per process
+//!   containing read-only status files and a write-only control file
+//!   taking structured (and batchable) messages, plus `lwp/<tid>/`
+//!   subdirectories for the threads of a multi-threaded process. No
+//!   ioctl operations at all.
+//!
+//! Both are implementations of [`vfs::FileSystem`] over the simulated
+//! kernel and are mounted with [`ksim::System::mount`]; [`mount_standard`]
+//! installs the conventional pair (`/proc`, `/proc2`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fsimpl;
+pub mod hier;
+pub mod ioctl;
+pub mod ops;
+pub mod types;
+
+pub use fsimpl::ProcFs;
+pub use hier::{ctl_batch, ctl_record, HierFs};
+pub use types::{
+    PrCred, PrMap, PrRun, PrStatus, PrUsage, PrWatch, PrWhy, PsInfo, PRRUN_CFAULT, PRRUN_CSIG,
+    PRRUN_SABORT, PRRUN_SSTOP, PRRUN_STEP, PRRUN_SVADDR, PRRUN_WBYPASS, PR_ASLEEP, PR_DSTOP,
+    PR_FORK, PR_ISSYS, PR_ISTOP, PR_PTRACE, PR_RLC, PR_STOPPED,
+};
+
+/// Mounts the flat interface at `/proc` and the hierarchical proposal at
+/// `/proc2`. Returns `(flat_fsid, hier_fsid)`.
+pub fn mount_standard(sys: &mut ksim::System) -> (u32, u32) {
+    let flat = sys.mount("/proc", Box::new(ProcFs::new()));
+    let hier = sys.mount("/proc2", Box::new(HierFs::new()));
+    (flat, hier)
+}
+
+/// Boots a system with both `/proc` generations mounted — the usual
+/// starting point for examples, tests and benchmarks.
+pub fn boot_with_proc() -> ksim::System {
+    let mut sys = ksim::System::boot();
+    mount_standard(&mut sys);
+    sys
+}

@@ -1,0 +1,426 @@
+//! Instruction encoding and decoding.
+//!
+//! Every instruction is exactly [`INSN_LEN`] (8) bytes:
+//!
+//! ```text
+//! byte 0    byte 1   byte 2   byte 3   bytes 4..8
+//! opcode    rd       rs1      rs2      imm (i32, little-endian)
+//! ```
+//!
+//! The fixed width keeps breakpoint arithmetic trivial (the paper's
+//! variable-length concerns are documented in DESIGN.md, not modelled):
+//! a debugger overwrites the 8 bytes at the breakpoint address with the
+//! encoding of [`Opcode::Bpt`] and restores them later.
+//!
+//! Opcode byte `0x00` deliberately does not decode: execution that falls
+//! into zero-filled memory raises an illegal-instruction fault rather than
+//! sliding silently.
+
+/// Length in bytes of every instruction.
+pub const INSN_LEN: u64 = 8;
+
+/// Machine opcodes.
+///
+/// Register operands index the general register file except for the `F*`
+/// group, where `rd`/`rs1`/`rs2` index the floating register file (and
+/// `CvtIF`/`CvtFI` mix the two as documented on the variants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// No operation.
+    Nop = 0x01,
+    /// Halt the machine. Privileged: raises `FLTPRIV` from user mode.
+    Halt = 0x02,
+    /// Trap into the kernel for a system call. The call number is in `rv`,
+    /// arguments in `a0..a5`. The program counter is advanced past the
+    /// instruction before the trap is reported.
+    Syscall = 0x03,
+    /// The approved breakpoint instruction. Raises a breakpoint trap with
+    /// the program counter left at the breakpoint address.
+    Bpt = 0x04,
+    /// A privileged operation; always raises `FLTPRIV` from user mode.
+    Priv = 0x05,
+
+    /// `rd = rs1 + rs2`
+    Add = 0x10,
+    /// `rd = rs1 - rs2`
+    Sub = 0x11,
+    /// `rd = rs1 * rs2` (wrapping)
+    Mul = 0x12,
+    /// `rd = rs1 / rs2` (signed); division by zero raises an integer
+    /// zero-divide fault.
+    Div = 0x13,
+    /// `rd = rs1 % rs2` (signed); division by zero raises an integer
+    /// zero-divide fault.
+    Rem = 0x14,
+    /// `rd = rs1 & rs2`
+    And = 0x15,
+    /// `rd = rs1 | rs2`
+    Or = 0x16,
+    /// `rd = rs1 ^ rs2`
+    Xor = 0x17,
+    /// `rd = rs1 << (rs2 & 63)`
+    Shl = 0x18,
+    /// `rd = rs1 >> (rs2 & 63)` (logical)
+    Shr = 0x19,
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic)
+    Sar = 0x1A,
+    /// `rd = (rs1 < rs2)` signed compare, 0 or 1
+    Slt = 0x1B,
+    /// `rd = (rs1 < rs2)` unsigned compare, 0 or 1
+    Sltu = 0x1C,
+
+    /// `rd = rs1 + imm`
+    Addi = 0x20,
+    /// `rd = rs1 * imm` (wrapping)
+    Muli = 0x21,
+    /// `rd = rs1 & imm` (imm sign-extended)
+    Andi = 0x22,
+    /// `rd = rs1 | imm`
+    Ori = 0x23,
+    /// `rd = rs1 ^ imm`
+    Xori = 0x24,
+    /// `rd = rs1 << (imm & 63)`
+    Shli = 0x25,
+    /// `rd = rs1 >> (imm & 63)` (logical)
+    Shri = 0x26,
+    /// `rd = (rs1 < imm)` signed compare, 0 or 1
+    Slti = 0x27,
+    /// `rd = imm` (sign-extended to 64 bits)
+    Movi = 0x28,
+    /// `rd = (rd & 0xFFFF_FFFF) | (imm as u32 as u64) << 32` — installs the
+    /// upper half of a 64-bit constant.
+    Moviu = 0x29,
+
+    /// `rd = *(u64*)(rs1 + imm)`
+    Ld = 0x30,
+    /// `*(u64*)(rs1 + imm) = rd`
+    St = 0x31,
+    /// `rd = *(u8*)(rs1 + imm)` zero-extended
+    Ldb = 0x32,
+    /// `*(u8*)(rs1 + imm) = rd as u8`
+    Stb = 0x33,
+    /// `rd = *(u32*)(rs1 + imm)` zero-extended
+    Ldw = 0x34,
+    /// `*(u32*)(rs1 + imm) = rd as u32`
+    Stw = 0x35,
+
+    /// `pc += imm` (imm relative to this instruction's address)
+    Jmp = 0x40,
+    /// `pc = rs1`
+    Jmpr = 0x41,
+    /// `if rs1 == rs2 { pc += imm }`
+    Beq = 0x42,
+    /// `if rs1 != rs2 { pc += imm }`
+    Bne = 0x43,
+    /// `if rs1 < rs2 (signed) { pc += imm }`
+    Blt = 0x44,
+    /// `if rs1 >= rs2 (signed) { pc += imm }`
+    Bge = 0x45,
+    /// `if rs1 < rs2 (unsigned) { pc += imm }`
+    Bltu = 0x46,
+    /// `if rs1 >= rs2 (unsigned) { pc += imm }`
+    Bgeu = 0x47,
+    /// `ra = pc + 8; pc += imm`
+    Call = 0x48,
+    /// `ra = pc + 8; pc = rs1`
+    Callr = 0x49,
+
+    /// `fd = fs1 + fs2`
+    Fadd = 0x50,
+    /// `fd = fs1 - fs2`
+    Fsub = 0x51,
+    /// `fd = fs1 * fs2`
+    Fmul = 0x52,
+    /// `fd = fs1 / fs2`; division by zero raises a floating-point fault.
+    Fdiv = 0x53,
+    /// `fd = *(f64*)(rs1 + imm)` — `rd` names a floating register, `rs1` a
+    /// general register.
+    Fld = 0x54,
+    /// `*(f64*)(rs1 + imm) = fd`
+    Fst = 0x55,
+    /// `fd = rs1 as i64 as f64` — integer to float.
+    CvtIF = 0x56,
+    /// `rd = fs1 as i64` — float to integer (toward zero).
+    CvtFI = 0x57,
+    /// `fd = imm as f64`
+    Fmovi = 0x58,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte; `None` means illegal instruction.
+    pub fn from_byte(b: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match b {
+            0x01 => Nop,
+            0x02 => Halt,
+            0x03 => Syscall,
+            0x04 => Bpt,
+            0x05 => Priv,
+            0x10 => Add,
+            0x11 => Sub,
+            0x12 => Mul,
+            0x13 => Div,
+            0x14 => Rem,
+            0x15 => And,
+            0x16 => Or,
+            0x17 => Xor,
+            0x18 => Shl,
+            0x19 => Shr,
+            0x1A => Sar,
+            0x1B => Slt,
+            0x1C => Sltu,
+            0x20 => Addi,
+            0x21 => Muli,
+            0x22 => Andi,
+            0x23 => Ori,
+            0x24 => Xori,
+            0x25 => Shli,
+            0x26 => Shri,
+            0x27 => Slti,
+            0x28 => Movi,
+            0x29 => Moviu,
+            0x30 => Ld,
+            0x31 => St,
+            0x32 => Ldb,
+            0x33 => Stb,
+            0x34 => Ldw,
+            0x35 => Stw,
+            0x40 => Jmp,
+            0x41 => Jmpr,
+            0x42 => Beq,
+            0x43 => Bne,
+            0x44 => Blt,
+            0x45 => Bge,
+            0x46 => Bltu,
+            0x47 => Bgeu,
+            0x48 => Call,
+            0x49 => Callr,
+            0x50 => Fadd,
+            0x51 => Fsub,
+            0x52 => Fmul,
+            0x53 => Fdiv,
+            0x54 => Fld,
+            0x55 => Fst,
+            0x56 => CvtIF,
+            0x57 => CvtFI,
+            0x58 => Fmovi,
+            _ => return None,
+        })
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Nop => "nop",
+            Halt => "halt",
+            Syscall => "syscall",
+            Bpt => "bpt",
+            Priv => "priv",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Sar => "sar",
+            Slt => "slt",
+            Sltu => "sltu",
+            Addi => "addi",
+            Muli => "muli",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Shli => "shli",
+            Shri => "shri",
+            Slti => "slti",
+            Movi => "movi",
+            Moviu => "moviu",
+            Ld => "ld",
+            St => "st",
+            Ldb => "ldb",
+            Stb => "stb",
+            Ldw => "ldw",
+            Stw => "stw",
+            Jmp => "jmp",
+            Jmpr => "jmpr",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
+            Call => "call",
+            Callr => "callr",
+            Fadd => "fadd",
+            Fsub => "fsub",
+            Fmul => "fmul",
+            Fdiv => "fdiv",
+            Fld => "fld",
+            Fst => "fst",
+            CvtIF => "cvtif",
+            CvtFI => "cvtfi",
+            Fmovi => "fmovi",
+        }
+    }
+
+    /// All defined opcodes, for exhaustive tests.
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        &[
+            Nop, Halt, Syscall, Bpt, Priv, Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Sar,
+            Slt, Sltu, Addi, Muli, Andi, Ori, Xori, Shli, Shri, Slti, Movi, Moviu, Ld, St, Ldb,
+            Stb, Ldw, Stw, Jmp, Jmpr, Beq, Bne, Blt, Bge, Bltu, Bgeu, Call, Callr, Fadd, Fsub,
+            Fmul, Fdiv, Fld, Fst, CvtIF, CvtFI, Fmovi,
+        ]
+    }
+}
+
+/// A decoded instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Insn {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register field.
+    pub rd: u8,
+    /// First source register field.
+    pub rs1: u8,
+    /// Second source register field.
+    pub rs2: u8,
+    /// Immediate operand (sign-extended to 64 bits where used as a value;
+    /// byte displacement relative to the instruction address in branches).
+    pub imm: i32,
+}
+
+impl Insn {
+    /// Builds a register-form instruction.
+    pub fn rform(op: Opcode, rd: usize, rs1: usize, rs2: usize) -> Insn {
+        Insn { op, rd: rd as u8, rs1: rs1 as u8, rs2: rs2 as u8, imm: 0 }
+    }
+
+    /// Builds an immediate-form instruction.
+    pub fn iform(op: Opcode, rd: usize, rs1: usize, imm: i32) -> Insn {
+        Insn { op, rd: rd as u8, rs1: rs1 as u8, rs2: 0, imm }
+    }
+
+    /// Builds a no-operand instruction.
+    pub fn bare(op: Opcode) -> Insn {
+        Insn { op, rd: 0, rs1: 0, rs2: 0, imm: 0 }
+    }
+
+    /// Encodes into the 8-byte wire format.
+    pub fn encode(&self) -> [u8; INSN_LEN as usize] {
+        let mut b = [0u8; INSN_LEN as usize];
+        b[0] = self.op as u8;
+        b[1] = self.rd;
+        b[2] = self.rs1;
+        b[3] = self.rs2;
+        b[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        b
+    }
+
+    /// Decodes from the 8-byte wire format. `None` means the bytes are not
+    /// a legal instruction (undefined opcode or out-of-range register
+    /// field) and execution of them raises an illegal-instruction fault.
+    pub fn decode(b: &[u8; INSN_LEN as usize]) -> Option<Insn> {
+        let op = Opcode::from_byte(b[0])?;
+        let (rd, rs1, rs2) = (b[1], b[2], b[3]);
+        let regs_ok = match op {
+            // Floating ops index the 16-entry floating file; CvtIF takes an
+            // integer source, CvtFI an integer destination.
+            Opcode::Fadd | Opcode::Fsub | Opcode::Fmul | Opcode::Fdiv => {
+                rd < 16 && rs1 < 16 && rs2 < 16
+            }
+            Opcode::Fld | Opcode::Fst => rd < 16 && rs1 < 32,
+            Opcode::CvtIF => rd < 16 && rs1 < 32,
+            Opcode::CvtFI => rd < 32 && rs1 < 16,
+            Opcode::Fmovi => rd < 16,
+            _ => rd < 32 && rs1 < 32 && rs2 < 32,
+        };
+        if !regs_ok {
+            return None;
+        }
+        let imm = i32::from_le_bytes(b[4..8].try_into().expect("slice is 4 bytes"));
+        Some(Insn { op, rd, rs1, rs2, imm })
+    }
+}
+
+/// The canonical encoding of the approved breakpoint instruction.
+pub fn breakpoint_bytes() -> [u8; INSN_LEN as usize] {
+    Insn::bare(Opcode::Bpt).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_opcodes_roundtrip_byte() {
+        for &op in Opcode::all() {
+            assert_eq!(Opcode::from_byte(op as u8), Some(op));
+        }
+    }
+
+    #[test]
+    fn zero_bytes_do_not_decode() {
+        assert!(Insn::decode(&[0u8; 8]).is_none());
+    }
+
+    #[test]
+    fn out_of_range_register_does_not_decode() {
+        let mut b = Insn::rform(Opcode::Add, 1, 2, 3).encode();
+        b[1] = 32;
+        assert!(Insn::decode(&b).is_none());
+        let mut b = Insn::rform(Opcode::Fadd, 1, 2, 3).encode();
+        b[3] = 16;
+        assert!(Insn::decode(&b).is_none());
+    }
+
+    #[test]
+    fn encode_decode_examples() {
+        let i = Insn::iform(Opcode::Addi, 3, 4, -12);
+        assert_eq!(Insn::decode(&i.encode()), Some(i));
+        let i = Insn::bare(Opcode::Syscall);
+        assert_eq!(Insn::decode(&i.encode()), Some(i));
+    }
+
+    #[test]
+    fn breakpoint_is_bpt() {
+        let b = breakpoint_bytes();
+        assert_eq!(Insn::decode(&b).map(|i| i.op), Some(Opcode::Bpt));
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::all() {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn decode_never_panics(bytes in proptest::array::uniform8(any::<u8>())) {
+            let _ = Insn::decode(&bytes);
+        }
+
+        #[test]
+        fn encode_decode_roundtrip(
+            opidx in 0..Opcode::all().len(),
+            rd in 0u8..16,
+            rs1 in 0u8..16,
+            rs2 in 0u8..16,
+            imm in any::<i32>(),
+        ) {
+            let op = Opcode::all()[opidx];
+            let i = Insn { op, rd, rs1, rs2, imm };
+            prop_assert_eq!(Insn::decode(&i.encode()), Some(i));
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Register files: the general register set and floating-point register set.
+//!
+//! These are exactly the structures a controlling process obtains through
+//! `PIOCGREG`/`PIOCGFPREG` and installs through `PIOCSREG`/`PIOCSFPREG`
+//! (`gregset_t` and `fpregset_t` in the paper). They are plain data and are
+//! serialised byte-for-byte by the `/proc` layer.
+
+/// Number of general registers.
+pub const NGREG: usize = 32;
+
+/// Number of floating-point registers.
+pub const NFPREG: usize = 16;
+
+/// Register holding the system call number on entry and the return value on
+/// exit (`rv`, alias of `r1`). On error the kernel stores the negated errno,
+/// mirroring the historical carry-flag convention in two's-complement form.
+pub const REG_RV: usize = 1;
+
+/// First argument register (`a0`, alias of `r2`); arguments occupy
+/// `a0..=a5` (`r2..=r7`).
+pub const REG_A0: usize = 2;
+
+/// Stack pointer (`sp`, alias of `r29`).
+pub const REG_SP: usize = 29;
+
+/// Frame pointer (`fp`, alias of `r30`).
+pub const REG_FP: usize = 30;
+
+/// Return-address (link) register (`ra`, alias of `r31`).
+pub const REG_RA: usize = 31;
+
+/// Processor-status bit: single-step trace. When set, the CPU raises a
+/// trace trap (`FLTTRACE` to the kernel) after executing one instruction.
+pub const PSR_TRACE: u64 = 1 << 0;
+
+/// Processor-status bit: last system call failed. Informational; user code
+/// conventionally tests the sign of `rv` instead.
+pub const PSR_ERR: u64 = 1 << 1;
+
+/// General register set — the `gregset_t` of this machine.
+///
+/// `r[0]` is architecturally zero: reads through [`GregSet::r`] yield the
+/// stored array (kept zero by [`GregSet::set_r`]), and writes to register 0
+/// are discarded. A controlling process writing the structure wholesale via
+/// `PIOCSREG` cannot violate this either; the kernel re-zeroes `r[0]` on
+/// installation.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct GregSet {
+    /// General registers `r0..r31`; `r0` reads as zero.
+    pub r: [u64; NGREG],
+    /// Program counter (byte address of the next instruction to execute).
+    pub pc: u64,
+    /// Processor status register; see [`PSR_TRACE`] and [`PSR_ERR`].
+    pub psr: u64,
+}
+
+impl GregSet {
+    /// Creates a zeroed register set with the given program counter.
+    pub fn at(pc: u64) -> Self {
+        GregSet { pc, ..Default::default() }
+    }
+
+    /// Reads general register `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= NGREG`; the decoder never produces such an index.
+    #[inline]
+    pub fn get(&self, n: usize) -> u64 {
+        self.r[n]
+    }
+
+    /// Writes general register `n`, discarding writes to the hardwired
+    /// zero register.
+    #[inline]
+    pub fn set_r(&mut self, n: usize, v: u64) {
+        if n != 0 {
+            self.r[n] = v;
+        }
+    }
+
+    /// Normalises the set after wholesale installation from bytes:
+    /// re-zeroes the hardwired zero register.
+    pub fn normalize(&mut self) {
+        self.r[0] = 0;
+    }
+
+    /// The stack pointer.
+    #[inline]
+    pub fn sp(&self) -> u64 {
+        self.r[REG_SP]
+    }
+
+    /// Sets the stack pointer.
+    #[inline]
+    pub fn set_sp(&mut self, v: u64) {
+        self.r[REG_SP] = v;
+    }
+
+    /// The syscall-number / return-value register.
+    #[inline]
+    pub fn rv(&self) -> u64 {
+        self.r[REG_RV]
+    }
+
+    /// Sets the return-value register.
+    #[inline]
+    pub fn set_rv(&mut self, v: u64) {
+        self.r[REG_RV] = v;
+    }
+
+    /// Returns syscall argument `i` (0-based, `i < 6`).
+    #[inline]
+    pub fn arg(&self, i: usize) -> u64 {
+        debug_assert!(i < 6);
+        self.r[REG_A0 + i]
+    }
+
+    /// Sets syscall argument `i` (0-based, `i < 6`).
+    #[inline]
+    pub fn set_arg(&mut self, i: usize, v: u64) {
+        debug_assert!(i < 6);
+        self.r[REG_A0 + i] = v;
+    }
+
+    /// Serialises the register set to its byte image (little-endian), as
+    /// transferred by `PIOCGREG`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity((NGREG + 2) * 8);
+        for v in &self.r {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.pc.to_le_bytes());
+        out.extend_from_slice(&self.psr.to_le_bytes());
+        out
+    }
+
+    /// Byte length of the serialised image.
+    pub const WIRE_LEN: usize = (NGREG + 2) * 8;
+
+    /// Deserialises a register set from its byte image, normalising the
+    /// zero register. Returns `None` if `b` is too short.
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let mut g = GregSet::default();
+        for (i, w) in b.chunks_exact(8).take(NGREG).enumerate() {
+            g.r[i] = u64::from_le_bytes(w.try_into().expect("chunk is 8 bytes"));
+        }
+        let off = NGREG * 8;
+        g.pc = u64::from_le_bytes(b[off..off + 8].try_into().expect("slice is 8 bytes"));
+        g.psr = u64::from_le_bytes(b[off + 8..off + 16].try_into().expect("slice is 8 bytes"));
+        g.normalize();
+        Some(g)
+    }
+}
+
+/// Floating-point register set — the `fpregset_t` of this machine.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FpregSet {
+    /// Floating registers `f0..f15`.
+    pub f: [f64; NFPREG],
+    /// Floating-point status register (sticky exception flags).
+    pub fsr: u64,
+}
+
+impl FpregSet {
+    /// Byte length of the serialised image.
+    pub const WIRE_LEN: usize = (NFPREG + 1) * 8;
+
+    /// Serialises to the byte image transferred by `PIOCGFPREG`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_LEN);
+        for v in &self.f {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&self.fsr.to_le_bytes());
+        out
+    }
+
+    /// Deserialises from the byte image; `None` if `b` is too short.
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let mut s = FpregSet::default();
+        for (i, w) in b.chunks_exact(8).take(NFPREG).enumerate() {
+            s.f[i] = f64::from_bits(u64::from_le_bytes(w.try_into().expect("chunk is 8 bytes")));
+        }
+        let off = NFPREG * 8;
+        s.fsr = u64::from_le_bytes(b[off..off + 8].try_into().expect("slice is 8 bytes"));
+        Some(s)
+    }
+}
+
+/// Returns the conventional assembly name for general register `n`
+/// (e.g. `zero`, `rv`, `a0`, `sp`), or `rN` for unnamed ones.
+pub fn reg_name(n: usize) -> String {
+    match n {
+        0 => "zero".to_string(),
+        1 => "rv".to_string(),
+        2..=7 => format!("a{}", n - 2),
+        29 => "sp".to_string(),
+        30 => "fp".to_string(),
+        31 => "ra".to_string(),
+        _ => format!("r{n}"),
+    }
+}
+
+/// Parses a register name as accepted by the assembler. Returns the
+/// register index, or `None` if the name is not a register.
+pub fn parse_reg(s: &str) -> Option<usize> {
+    match s {
+        "zero" => return Some(0),
+        "rv" => return Some(1),
+        "sp" => return Some(REG_SP),
+        "fp" => return Some(REG_FP),
+        "ra" => return Some(REG_RA),
+        _ => {}
+    }
+    if let Some(num) = s.strip_prefix('a') {
+        if let Ok(i) = num.parse::<usize>() {
+            if i < 6 {
+                return Some(REG_A0 + i);
+            }
+        }
+    }
+    if let Some(num) = s.strip_prefix('r') {
+        if let Ok(i) = num.parse::<usize>() {
+            if i < NGREG && !num.starts_with('+') {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Parses a floating register name (`f0`..`f15`).
+pub fn parse_freg(s: &str) -> Option<usize> {
+    let num = s.strip_prefix('f')?;
+    let i = num.parse::<usize>().ok()?;
+    if i < NFPREG && !num.starts_with('+') {
+        Some(i)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut g = GregSet::default();
+        g.set_r(0, 42);
+        assert_eq!(g.get(0), 0);
+        g.set_r(5, 42);
+        assert_eq!(g.get(5), 42);
+    }
+
+    #[test]
+    fn greg_roundtrip() {
+        let mut g = GregSet::at(0x0100_0000);
+        for i in 1..NGREG {
+            g.set_r(i, (i as u64) * 0x1111);
+        }
+        g.psr = PSR_TRACE;
+        let b = g.to_bytes();
+        assert_eq!(b.len(), GregSet::WIRE_LEN);
+        let g2 = GregSet::from_bytes(&b).expect("roundtrip");
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn greg_from_bytes_rejects_short_input() {
+        assert!(GregSet::from_bytes(&[0u8; 8]).is_none());
+    }
+
+    #[test]
+    fn greg_from_bytes_normalizes_zero_reg() {
+        let mut g = GregSet::default();
+        g.r[0] = 99; // Bypass set_r to simulate a hostile byte image.
+        let g2 = GregSet::from_bytes(&g.to_bytes()).expect("roundtrip");
+        assert_eq!(g2.get(0), 0);
+    }
+
+    #[test]
+    fn fpreg_roundtrip() {
+        let mut f = FpregSet::default();
+        f.f[3] = 2.5;
+        f.f[15] = -1.0e300;
+        f.fsr = 7;
+        let b = f.to_bytes();
+        assert_eq!(b.len(), FpregSet::WIRE_LEN);
+        assert_eq!(FpregSet::from_bytes(&b).expect("roundtrip"), f);
+    }
+
+    #[test]
+    fn register_names_parse_back() {
+        for n in 0..NGREG {
+            let name = reg_name(n);
+            assert_eq!(parse_reg(&name), Some(n), "register {name}");
+        }
+        assert_eq!(parse_reg("r29"), Some(REG_SP));
+        assert_eq!(parse_reg("x5"), None);
+        assert_eq!(parse_reg("r32"), None);
+        assert_eq!(parse_reg("a6"), None);
+    }
+
+    #[test]
+    fn freg_names_parse() {
+        assert_eq!(parse_freg("f0"), Some(0));
+        assert_eq!(parse_freg("f15"), Some(15));
+        assert_eq!(parse_freg("f16"), None);
+        assert_eq!(parse_freg("r1"), None);
+    }
+
+    #[test]
+    fn syscall_arg_accessors() {
+        let mut g = GregSet::default();
+        g.set_arg(0, 10);
+        g.set_arg(5, 60);
+        assert_eq!(g.arg(0), 10);
+        assert_eq!(g.arg(5), 60);
+        assert_eq!(g.get(REG_A0), 10);
+        assert_eq!(g.get(REG_A0 + 5), 60);
+    }
+}

@@ -1,0 +1,178 @@
+//! The kernel event log.
+//!
+//! Tests and the figure-regeneration harness need to observe *what the
+//! kernel did*: which stops were taken and why (Figure 3/Figure 4), what
+//! signals were posted and delivered, forks, execs and exits. The kernel
+//! appends to this log at each such point; it costs one `Vec` push and
+//! can be disabled for benchmarks.
+
+use crate::proc::{StopWhy, Tid};
+use vfs::Pid;
+
+/// One kernel event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// An LWP stopped.
+    Stop {
+        /// The process.
+        pid: Pid,
+        /// The LWP.
+        tid: Tid,
+        /// Why it stopped.
+        why: StopWhy,
+    },
+    /// An LWP was set running from a stop.
+    Run {
+        /// The process.
+        pid: Pid,
+        /// The LWP.
+        tid: Tid,
+    },
+    /// A signal was posted (made pending).
+    SigPost {
+        /// Target process.
+        pid: Pid,
+        /// Signal number.
+        sig: usize,
+    },
+    /// A signal was delivered: a handler was entered or the default
+    /// action taken.
+    SigDeliver {
+        /// The process.
+        pid: Pid,
+        /// Signal number.
+        sig: usize,
+        /// True when a user handler was entered (false: default action).
+        handled: bool,
+    },
+    /// The process terminated with a core dump.
+    CoreDump {
+        /// The process.
+        pid: Pid,
+        /// The fatal signal.
+        sig: usize,
+    },
+    /// A process exited.
+    Exit {
+        /// The process.
+        pid: Pid,
+        /// Its wait-status word.
+        status: u16,
+    },
+    /// A fork created `child`.
+    Fork {
+        /// The parent.
+        parent: Pid,
+        /// The new process.
+        child: Pid,
+    },
+    /// A process performed exec.
+    Exec {
+        /// The process.
+        pid: Pid,
+        /// The executable path.
+        path: String,
+        /// The exec installed set-id credentials.
+        setid: bool,
+    },
+}
+
+/// A bounded in-kernel event log.
+#[derive(Debug)]
+pub struct EventLog {
+    events: Vec<Event>,
+    /// Recording on/off (benchmarks switch it off).
+    pub enabled: bool,
+    /// Events discarded after the log filled.
+    pub dropped: u64,
+    cap: usize,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog { events: Vec::new(), enabled: true, dropped: 0, cap: 1 << 16 }
+    }
+}
+
+impl EventLog {
+    /// A log with the default capacity.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Appends an event (no-op when disabled; counts drops when full).
+    pub fn push(&mut self, ev: Event) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(ev);
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Removes and returns all recorded events.
+    pub fn take(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Convenience: the stops recorded for `pid`, in order.
+    pub fn stops_of(&self, pid: Pid) -> Vec<StopWhy> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Stop { pid: p, why, .. } if *p == pid => Some(*why),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_take_clear() {
+        let mut log = EventLog::new();
+        log.push(Event::SigPost { pid: Pid(1), sig: 2 });
+        log.push(Event::Stop { pid: Pid(1), tid: Tid(1), why: StopWhy::Signalled(2) });
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.stops_of(Pid(1)), vec![StopWhy::Signalled(2)]);
+        assert_eq!(log.stops_of(Pid(2)), vec![]);
+        let taken = log.take();
+        assert_eq!(taken.len(), 2);
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::new();
+        log.enabled = false;
+        log.push(Event::SigPost { pid: Pid(1), sig: 2 });
+        assert!(log.events().is_empty());
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn capacity_drops_excess() {
+        let mut log = EventLog { cap: 2, ..Default::default() };
+        for _ in 0..5 {
+            log.push(Event::SigPost { pid: Pid(1), sig: 2 });
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped, 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Machine faults.
+//!
+//! "Machine faults are not used for inter-process communication and
+//! cannot be intercepted or held by a process; stop-on-fault is the
+//! preferred method for fielding breakpoints." Fault numbering follows
+//! the SVR4 `proc(4)` FLT list; the set type provides for 128 faults.
+
+use crate::bitset::BitSet;
+use crate::signal::{SIGBUS, SIGFPE, SIGILL, SIGSEGV, SIGTRAP};
+
+/// Fault set type (`fltset_t`), capacity 128 per the paper.
+pub type FltSet = BitSet<2>;
+
+/// Machine faults a traced process can stop on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Fault {
+    /// Illegal instruction.
+    Ill = 1,
+    /// Privileged instruction.
+    Priv = 2,
+    /// The approved breakpoint instruction.
+    Bpt = 3,
+    /// Trace trap (single-step).
+    Trace = 4,
+    /// Memory access fault (protection violation).
+    Access = 5,
+    /// Memory bounds fault (reference to an unmapped address).
+    Bounds = 6,
+    /// Integer overflow.
+    IntOvf = 7,
+    /// Integer zero divide.
+    IntZDiv = 8,
+    /// Floating-point exception.
+    FpErr = 9,
+    /// Unrecoverable stack fault.
+    Stack = 10,
+    /// Recoverable page fault. Transparent when resolved; reportable as
+    /// an event of interest only if tracing requests it.
+    Page = 11,
+    /// Watched-area access (the proposed watchpoint facility).
+    Watch = 12,
+}
+
+/// Number of defined faults.
+pub const NFAULT_DEFINED: usize = 12;
+
+impl Fault {
+    /// The fault number (1-based, as in `fltset_t`).
+    pub fn number(self) -> usize {
+        self as usize
+    }
+
+    /// Recovers a fault from its number.
+    pub fn from_number(n: usize) -> Option<Fault> {
+        use Fault::*;
+        Some(match n {
+            1 => Ill,
+            2 => Priv,
+            3 => Bpt,
+            4 => Trace,
+            5 => Access,
+            6 => Bounds,
+            7 => IntOvf,
+            8 => IntZDiv,
+            9 => FpErr,
+            10 => Stack,
+            11 => Page,
+            12 => Watch,
+            _ => return None,
+        })
+    }
+
+    /// Symbolic name in `proc(4)` style.
+    pub fn name(self) -> &'static str {
+        use Fault::*;
+        match self {
+            Ill => "FLTILL",
+            Priv => "FLTPRIV",
+            Bpt => "FLTBPT",
+            Trace => "FLTTRACE",
+            Access => "FLTACCESS",
+            Bounds => "FLTBOUNDS",
+            IntOvf => "FLTIOVF",
+            IntZDiv => "FLTIZDIV",
+            FpErr => "FLTFPE",
+            Stack => "FLTSTACK",
+            Page => "FLTPAGE",
+            Watch => "FLTWATCH",
+        }
+    }
+
+    /// The signal sent when the fault is not fielded through `/proc`
+    /// ("Otherwise the process is sent a signal, normally SIGTRAP or
+    /// SIGILL").
+    pub fn default_signal(self) -> usize {
+        use Fault::*;
+        match self {
+            Ill | Priv => SIGILL,
+            Bpt | Trace | Watch => SIGTRAP,
+            Access => SIGBUS,
+            Bounds | Stack | Page => SIGSEGV,
+            IntOvf | IntZDiv | FpErr => SIGFPE,
+        }
+    }
+
+    /// All defined faults.
+    pub fn all() -> &'static [Fault] {
+        use Fault::*;
+        &[Ill, Priv, Bpt, Trace, Access, Bounds, IntOvf, IntZDiv, FpErr, Stack, Page, Watch]
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_roundtrip() {
+        for &f in Fault::all() {
+            assert_eq!(Fault::from_number(f.number()), Some(f));
+        }
+        assert_eq!(Fault::from_number(0), None);
+        assert_eq!(Fault::from_number(13), None);
+    }
+
+    #[test]
+    fn default_signals() {
+        assert_eq!(Fault::Bpt.default_signal(), SIGTRAP);
+        assert_eq!(Fault::Ill.default_signal(), SIGILL);
+        assert_eq!(Fault::IntZDiv.default_signal(), SIGFPE);
+        assert_eq!(Fault::Bounds.default_signal(), SIGSEGV);
+        assert_eq!(Fault::Access.default_signal(), SIGBUS);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Fault::Bpt.name(), "FLTBPT");
+        assert_eq!(Fault::Watch.to_string(), "FLTWATCH");
+    }
+
+    #[test]
+    fn fltset_usage() {
+        let mut s = FltSet::empty();
+        s.add(Fault::Bpt.number());
+        assert!(s.has(Fault::Bpt.number()));
+        assert!(!s.has(Fault::Trace.number()));
+        assert_eq!(FltSet::capacity(), 128);
+    }
+}

@@ -1,0 +1,285 @@
+//! File descriptors, the system open-file table, and pipes.
+
+use std::collections::VecDeque;
+use vfs::{OFlags, OpenToken};
+
+/// Index into the system open-file table.
+pub type FileId = u32;
+
+/// Per-process descriptor table: small integers to open files.
+#[derive(Clone, Debug, Default)]
+pub struct FdTable {
+    slots: Vec<Option<FileId>>,
+}
+
+/// Maximum descriptors per process.
+pub const NOFILE: usize = 256;
+
+impl FdTable {
+    /// An empty table.
+    pub fn new() -> FdTable {
+        FdTable::default()
+    }
+
+    /// Allocates the lowest free descriptor for `file`. `None` if the
+    /// table is full (`EMFILE`).
+    pub fn alloc(&mut self, file: FileId) -> Option<usize> {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(file);
+                return Some(i);
+            }
+        }
+        if self.slots.len() >= NOFILE {
+            return None;
+        }
+        self.slots.push(Some(file));
+        Some(self.slots.len() - 1)
+    }
+
+    /// Looks up descriptor `fd`.
+    pub fn get(&self, fd: usize) -> Option<FileId> {
+        self.slots.get(fd).copied().flatten()
+    }
+
+    /// Removes descriptor `fd`, returning the file it referenced.
+    pub fn remove(&mut self, fd: usize) -> Option<FileId> {
+        self.slots.get_mut(fd).and_then(Option::take)
+    }
+
+    /// All live `(fd, file)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, FileId)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.map(|f| (i, f)))
+    }
+
+    /// Number of live descriptors.
+    pub fn count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// What an open file refers to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// A vnode in mounted file system `fs`.
+    Vnode {
+        /// The file system.
+        fs: u32,
+        /// The node within it.
+        node: vfs::NodeId,
+        /// Per-open token returned by the file system's `open`.
+        token: OpenToken,
+    },
+    /// Read end of pipe `0`.
+    PipeR(u32),
+    /// Write end of pipe `0`.
+    PipeW(u32),
+}
+
+/// An entry in the system open-file table, shared by dup'd and inherited
+/// descriptors (they share the offset, as in UNIX).
+#[derive(Clone, Debug)]
+pub struct OpenFile {
+    /// Reference count (descriptors pointing here).
+    pub refs: u32,
+    /// The object.
+    pub kind: FileKind,
+    /// Current byte offset.
+    pub offset: u64,
+    /// Open mode.
+    pub flags: OFlags,
+}
+
+/// The system open-file table.
+#[derive(Debug, Default)]
+pub struct FileTable {
+    files: Vec<Option<OpenFile>>,
+    free: Vec<FileId>,
+}
+
+impl FileTable {
+    /// An empty table.
+    pub fn new() -> FileTable {
+        FileTable::default()
+    }
+
+    /// Inserts a new open file with one reference.
+    pub fn alloc(&mut self, kind: FileKind, flags: OFlags) -> FileId {
+        let of = OpenFile { refs: 1, kind, offset: 0, flags };
+        match self.free.pop() {
+            Some(id) => {
+                self.files[id as usize] = Some(of);
+                id
+            }
+            None => {
+                self.files.push(Some(of));
+                (self.files.len() - 1) as FileId
+            }
+        }
+    }
+
+    /// Shared access.
+    pub fn get(&self, id: FileId) -> Option<&OpenFile> {
+        self.files.get(id as usize).and_then(Option::as_ref)
+    }
+
+    /// Exclusive access.
+    pub fn get_mut(&mut self, id: FileId) -> Option<&mut OpenFile> {
+        self.files.get_mut(id as usize).and_then(Option::as_mut)
+    }
+
+    /// Adds a reference (dup, fork inheritance).
+    pub fn incref(&mut self, id: FileId) {
+        if let Some(f) = self.get_mut(id) {
+            f.refs += 1;
+        }
+    }
+
+    /// Drops a reference. When the last reference goes, removes the entry
+    /// and returns it so the caller can run close hooks (file system
+    /// close, pipe end bookkeeping).
+    pub fn decref(&mut self, id: FileId) -> Option<OpenFile> {
+        let slot = self.files.get_mut(id as usize)?;
+        let f = slot.as_mut()?;
+        f.refs -= 1;
+        if f.refs == 0 {
+            let dead = slot.take();
+            self.free.push(id);
+            dead
+        } else {
+            None
+        }
+    }
+
+    /// Number of live open files.
+    pub fn live(&self) -> usize {
+        self.files.iter().filter(|f| f.is_some()).count()
+    }
+}
+
+/// An in-kernel pipe.
+#[derive(Debug, Default)]
+pub struct Pipe {
+    /// Buffered bytes.
+    pub buf: VecDeque<u8>,
+    /// Open read ends.
+    pub readers: u32,
+    /// Open write ends.
+    pub writers: u32,
+}
+
+/// Pipe capacity in bytes; writes beyond it block.
+pub const PIPE_CAP: usize = 8192;
+
+/// Table of pipes.
+#[derive(Debug, Default)]
+pub struct PipeTable {
+    pipes: Vec<Option<Pipe>>,
+}
+
+impl PipeTable {
+    /// An empty table.
+    pub fn new() -> PipeTable {
+        PipeTable::default()
+    }
+
+    /// Allocates a pipe with one reader and one writer.
+    pub fn alloc(&mut self) -> u32 {
+        let p = Pipe { buf: VecDeque::new(), readers: 1, writers: 1 };
+        for (i, slot) in self.pipes.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(p);
+                return i as u32;
+            }
+        }
+        self.pipes.push(Some(p));
+        (self.pipes.len() - 1) as u32
+    }
+
+    /// Shared access.
+    pub fn get(&self, id: u32) -> Option<&Pipe> {
+        self.pipes.get(id as usize).and_then(Option::as_ref)
+    }
+
+    /// Exclusive access.
+    pub fn get_mut(&mut self, id: u32) -> Option<&mut Pipe> {
+        self.pipes.get_mut(id as usize).and_then(Option::as_mut)
+    }
+
+    /// Drops an end; removes the pipe when both sides are gone.
+    pub fn drop_end(&mut self, id: u32, write_end: bool) {
+        let Some(p) = self.get_mut(id) else { return };
+        if write_end {
+            p.writers = p.writers.saturating_sub(1);
+        } else {
+            p.readers = p.readers.saturating_sub(1);
+        }
+        if p.readers == 0 && p.writers == 0 {
+            self.pipes[id as usize] = None;
+        }
+    }
+
+    /// Adds a reference to an end (dup/fork).
+    pub fn add_end(&mut self, id: u32, write_end: bool) {
+        if let Some(p) = self.get_mut(id) {
+            if write_end {
+                p.writers += 1;
+            } else {
+                p.readers += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_alloc_lowest_first() {
+        let mut t = FdTable::new();
+        assert_eq!(t.alloc(10), Some(0));
+        assert_eq!(t.alloc(11), Some(1));
+        assert_eq!(t.remove(0), Some(10));
+        assert_eq!(t.alloc(12), Some(0), "reuses the lowest free slot");
+        assert_eq!(t.get(1), Some(11));
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn fd_table_limit() {
+        let mut t = FdTable::new();
+        for i in 0..NOFILE {
+            assert_eq!(t.alloc(0), Some(i));
+        }
+        assert_eq!(t.alloc(0), None, "EMFILE");
+    }
+
+    #[test]
+    fn file_refcounting() {
+        let mut ft = FileTable::new();
+        let id = ft.alloc(FileKind::PipeR(0), OFlags::rdonly());
+        ft.incref(id);
+        assert!(ft.decref(id).is_none(), "still referenced");
+        let dead = ft.decref(id).expect("last close returns the file");
+        assert_eq!(dead.kind, FileKind::PipeR(0));
+        assert!(ft.get(id).is_none());
+        // The slot is reused.
+        let id2 = ft.alloc(FileKind::PipeW(1), OFlags::wronly());
+        assert_eq!(id2, id);
+    }
+
+    #[test]
+    fn pipe_lifecycle() {
+        let mut pt = PipeTable::new();
+        let id = pt.alloc();
+        pt.get_mut(id).expect("pipe").buf.extend([1u8, 2, 3]);
+        pt.add_end(id, false);
+        pt.drop_end(id, false);
+        assert!(pt.get(id).is_some());
+        pt.drop_end(id, false);
+        assert!(pt.get(id).is_some(), "writer still open");
+        pt.drop_end(id, true);
+        assert!(pt.get(id).is_none(), "both sides closed");
+    }
+}

@@ -1,0 +1,53 @@
+//! The simulated SVR4 kernel.
+//!
+//! This crate is the substrate the paper's `/proc` sits on: a complete,
+//! deterministic, single-threaded simulation of the UNIX System V
+//! process model —
+//!
+//! * processes with one or more LWPs (threads of control), credentials,
+//!   address spaces ([`vm`]), descriptor tables and signal state;
+//! * the [`sched`] module's faithful `issig()`/`psig()` (the paper's
+//!   Figure 4), including signalled stops, job-control stops, ptrace
+//!   stops and requested stops, and their precedence interactions;
+//! * a system-call layer (entry/exit stop points — Figure 3), pipes with
+//!   real interruptible sleeps, fork/vfork/exec/exit/wait, mmap/brk,
+//!   signals, LWP creation;
+//! * old-style [`ptrace`] as the competing control mechanism and
+//!   baseline;
+//! * the [`system::System`] orchestrator that owns the kernel plus the
+//!   mounted file systems (memfs, `/proc`) and runs the scheduler.
+//!
+//! Simulated programs execute on the [`isa`] virtual CPU; *hosted*
+//! processes (controlling programs such as a debugger, `ps` or `truss`)
+//! occupy a pid, credentials and a descriptor table inside the simulation
+//! but run their logic as Rust code against [`system::System`]'s
+//! host-level system-call API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aout;
+pub mod bitset;
+pub mod corefile;
+pub mod event;
+pub mod fault;
+pub mod fd;
+pub mod kernel;
+pub mod proc;
+pub mod ptrace;
+pub mod sched;
+pub mod signal;
+pub mod syscall;
+pub mod sysno;
+pub mod system;
+
+pub use aout::Aout;
+pub use event::{Event, EventLog};
+pub use fault::{FltSet, Fault};
+pub use kernel::{Kernel, RunOpts, HZ};
+pub use proc::{Lwp, LwpState, Proc, StopWhy, SysPhase, SyscallCtx, Tid, TraceState, WaitChannel};
+pub use sched::{Issig, Psig, SleepSig};
+pub use signal::{SigAction, SigSet};
+pub use sysno::SysSet;
+pub use system::System;
+pub use vfs::{Cred, Errno, Pid, SysResult};

@@ -1,0 +1,194 @@
+//! System call numbering and names.
+//!
+//! The set type (`sysset_t`) provides for 512 system calls per the paper;
+//! "there is no system call number 0".
+
+use crate::bitset::BitSet;
+
+/// System call set type (`sysset_t`), capacity 512.
+pub type SysSet = BitSet<8>;
+
+/// Terminate the calling process.
+pub const SYS_EXIT: u16 = 1;
+/// Create a new process.
+pub const SYS_FORK: u16 = 2;
+/// Read from a file descriptor.
+pub const SYS_READ: u16 = 3;
+/// Write to a file descriptor.
+pub const SYS_WRITE: u16 = 4;
+/// Open a file.
+pub const SYS_OPEN: u16 = 5;
+/// Close a file descriptor.
+pub const SYS_CLOSE: u16 = 6;
+/// Wait for a child to change state.
+pub const SYS_WAIT: u16 = 7;
+/// Create a file.
+pub const SYS_CREAT: u16 = 8;
+/// Link a file (unsupported by memfs; returns EROFS-style errors).
+pub const SYS_LINK: u16 = 9;
+/// Remove a directory entry.
+pub const SYS_UNLINK: u16 = 10;
+/// Execute a new program image.
+pub const SYS_EXEC: u16 = 11;
+/// Change working directory.
+pub const SYS_CHDIR: u16 = 12;
+/// Current simulated time.
+pub const SYS_TIME: u16 = 13;
+/// Set the break (heap end).
+pub const SYS_BRK: u16 = 17;
+/// File status by path.
+pub const SYS_STAT: u16 = 18;
+/// Reposition a file offset.
+pub const SYS_LSEEK: u16 = 19;
+/// Process id of the caller.
+pub const SYS_GETPID: u16 = 20;
+/// Set user id.
+pub const SYS_SETUID: u16 = 23;
+/// Real user id of the caller.
+pub const SYS_GETUID: u16 = 24;
+/// The old-style ptrace mechanism ("made obsolete by /proc but still
+/// required by the System V Interface Definition").
+pub const SYS_PTRACE: u16 = 26;
+/// Schedule an alarm signal.
+pub const SYS_ALARM: u16 = 27;
+/// Wait for any signal.
+pub const SYS_PAUSE: u16 = 29;
+/// Change scheduling priority.
+pub const SYS_NICE: u16 = 34;
+/// Send a signal.
+pub const SYS_KILL: u16 = 37;
+/// Duplicate a file descriptor.
+pub const SYS_DUP: u16 = 41;
+/// Create a pipe.
+pub const SYS_PIPE: u16 = 42;
+/// Set group id.
+pub const SYS_SETGID: u16 = 46;
+/// Real group id of the caller.
+pub const SYS_GETGID: u16 = 47;
+/// Install a signal action.
+pub const SYS_SIGACTION: u16 = 48;
+/// Device/file control operation.
+pub const SYS_IOCTL: u16 = 54;
+/// Parent process id of the caller.
+pub const SYS_GETPPID: u16 = 57;
+/// Set the file-creation mask.
+pub const SYS_UMASK: u16 = 60;
+/// Create a new process sharing the parent's suspension (classic vfork;
+/// the parent blocks until the child execs or exits).
+pub const SYS_VFORK: u16 = 62;
+/// Read directory entries.
+pub const SYS_GETDENTS: u16 = 63;
+/// Create a directory.
+pub const SYS_MKDIR: u16 = 64;
+/// Wait on multiple file descriptors.
+pub const SYS_POLL: u16 = 65;
+/// Examine or change the held-signal mask.
+pub const SYS_SIGPROCMASK: u16 = 66;
+/// Atomically replace the mask and wait for a signal.
+pub const SYS_SIGSUSPEND: u16 = 67;
+/// Return from a signal handler (invoked via the kernel trampoline).
+pub const SYS_SIGRETURN: u16 = 68;
+/// Sleep for a number of simulated ticks.
+pub const SYS_NANOSLEEP: u16 = 69;
+/// Map an object into the address space.
+pub const SYS_MMAP: u16 = 70;
+/// Unmap part of the address space.
+pub const SYS_MUNMAP: u16 = 71;
+/// Change mapping protections.
+pub const SYS_MPROTECT: u16 = 72;
+/// Create a new thread of control (LWP) in this process.
+pub const SYS_THR_CREATE: u16 = 73;
+/// Terminate the calling LWP.
+pub const SYS_THR_EXIT: u16 = 74;
+/// Yield the processor.
+pub const SYS_YIELD: u16 = 75;
+/// A retired system call kept only so old binaries can be encapsulated
+/// at user level through /proc (experiment E7: "older system calls or
+/// alternate versions of them can be simulated entirely at user level").
+/// The kernel itself fails it with ENOSYS.
+pub const SYS_RETIRED: u16 = 79;
+/// Process group of the caller.
+pub const SYS_GETPGRP: u16 = 80;
+
+/// Number of syscall slots (for `sysset_t`).
+pub const NSYSCALL: usize = 512;
+
+/// Symbolic name of system call `nr` (for `truss`), or `sys#<n>`.
+pub fn sys_name(nr: u16) -> String {
+    let known: &[(u16, &str)] = &[
+        (SYS_EXIT, "exit"),
+        (SYS_FORK, "fork"),
+        (SYS_READ, "read"),
+        (SYS_WRITE, "write"),
+        (SYS_OPEN, "open"),
+        (SYS_CLOSE, "close"),
+        (SYS_WAIT, "wait"),
+        (SYS_CREAT, "creat"),
+        (SYS_LINK, "link"),
+        (SYS_UNLINK, "unlink"),
+        (SYS_EXEC, "exec"),
+        (SYS_CHDIR, "chdir"),
+        (SYS_TIME, "time"),
+        (SYS_BRK, "brk"),
+        (SYS_STAT, "stat"),
+        (SYS_LSEEK, "lseek"),
+        (SYS_GETPID, "getpid"),
+        (SYS_SETUID, "setuid"),
+        (SYS_GETUID, "getuid"),
+        (SYS_PTRACE, "ptrace"),
+        (SYS_ALARM, "alarm"),
+        (SYS_PAUSE, "pause"),
+        (SYS_NICE, "nice"),
+        (SYS_KILL, "kill"),
+        (SYS_DUP, "dup"),
+        (SYS_PIPE, "pipe"),
+        (SYS_SETGID, "setgid"),
+        (SYS_GETGID, "getgid"),
+        (SYS_SIGACTION, "sigaction"),
+        (SYS_IOCTL, "ioctl"),
+        (SYS_GETPPID, "getppid"),
+        (SYS_UMASK, "umask"),
+        (SYS_VFORK, "vfork"),
+        (SYS_GETDENTS, "getdents"),
+        (SYS_MKDIR, "mkdir"),
+        (SYS_POLL, "poll"),
+        (SYS_SIGPROCMASK, "sigprocmask"),
+        (SYS_SIGSUSPEND, "sigsuspend"),
+        (SYS_SIGRETURN, "sigreturn"),
+        (SYS_NANOSLEEP, "nanosleep"),
+        (SYS_MMAP, "mmap"),
+        (SYS_MUNMAP, "munmap"),
+        (SYS_MPROTECT, "mprotect"),
+        (SYS_THR_CREATE, "thr_create"),
+        (SYS_THR_EXIT, "thr_exit"),
+        (SYS_YIELD, "yield"),
+        (SYS_RETIRED, "retired_op"),
+        (SYS_GETPGRP, "getpgrp"),
+    ];
+    known
+        .iter()
+        .find(|(n, _)| *n == nr)
+        .map(|(_, s)| s.to_string())
+        .unwrap_or_else(|| format!("sys#{nr}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_resolve() {
+        assert_eq!(sys_name(SYS_FORK), "fork");
+        assert_eq!(sys_name(SYS_IOCTL), "ioctl");
+        assert_eq!(sys_name(500), "sys#500");
+    }
+
+    #[test]
+    fn sysset_capacity_matches_paper() {
+        assert_eq!(SysSet::capacity(), 512);
+        let mut s = SysSet::empty();
+        s.add(SYS_EXEC as usize);
+        assert!(s.has(SYS_EXEC as usize));
+        assert!(!s.has(SYS_FORK as usize));
+    }
+}

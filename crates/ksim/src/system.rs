@@ -1,0 +1,1586 @@
+//! The `System`: the kernel plus its mounted file systems, the CPU
+//! scheduler, the trap handlers, and the host-level system-call API used
+//! by controlling programs.
+//!
+//! The paper's stop points (Figure 3) all live here:
+//!
+//! * the system-call handler stops the process on entry to or exit from
+//!   traced calls (`syscall_entry`, `finish_syscall`);
+//! * the user trap handler stops it on traced machine faults
+//!   (`take_fault`);
+//! * `issig()` stops it on traced signals, job control, ptrace, and
+//!   requested stops (see [`crate::sched`]) on every return to user
+//!   level and inside interruptible sleeps.
+
+use crate::aout::{self, Aout};
+use crate::fault::Fault;
+use crate::fd::{FileId, FileKind, PIPE_CAP};
+use crate::kernel::{CachedImage, Kernel};
+use crate::proc::{LwpState, StopWhy, SysPhase, SyscallCtx, Tid, WaitChannel};
+use crate::signal::{SIGCHLD, SIGKILL, SIGPIPE, SIGSEGV};
+use crate::sysno::SYS_FORK;
+use isa::{Access, Bus, BusFault, BusFaultKind, Cpu, RunExit, StepEvent, PSR_ERR, PSR_TRACE};
+use vfs::{
+    Cred, DirEntry, Errno, FileSystem, IoReply, IoctlReply, Metadata, MountTable, NodeId, OFlags,
+    Pid, PollStatus, SysResult,
+};
+use vm::PAGE_SIZE;
+
+/// Signal number for SIGPIPE — re-exported into this module's scope via
+/// `crate::signal`; alias kept for readability at call sites.
+const _: () = ();
+
+/// A mounted file system: the root memfs is held concretely (so userland
+/// installation can reach it), everything else as a trait object.
+pub enum FsSlot {
+    /// The concrete root file system.
+    Mem(vfs::MemFs<Kernel>),
+    /// Any other file system type (`/proc`, remote shims, ...).
+    Dyn(Box<dyn FileSystem<Kernel>>),
+}
+
+impl FsSlot {
+    pub(crate) fn as_fs(&mut self) -> &mut dyn FileSystem<Kernel> {
+        match self {
+            FsSlot::Mem(m) => m,
+            FsSlot::Dyn(d) => d.as_mut(),
+        }
+    }
+}
+
+/// Outcome of one system-call dispatch.
+pub enum SysOutcome {
+    /// The call completed with this result.
+    Done(SysResult<u64>),
+    /// The call must sleep on this channel (interruptibly).
+    Sleep(WaitChannel),
+    /// The calling process or LWP no longer runs (exit, thr_exit).
+    Gone,
+}
+
+/// Result of a file-layer operation that can block.
+pub enum FlIo {
+    /// Transferred this many bytes.
+    Done(usize),
+    /// Would block; sleep on this channel and retry.
+    Block(WaitChannel),
+}
+
+/// The whole machine.
+pub struct System {
+    /// Kernel state (processes, files, pipes, objects, clock, log).
+    pub kernel: Kernel,
+    /// Mounted file systems, indexed by `FsId`.
+    pub fss: Vec<FsSlot>,
+    /// Path-prefix mount table.
+    pub mounts: MountTable,
+    cpu: Cpu,
+    run_cursor: usize,
+    /// Instructions per scheduling quantum.
+    pub quantum: u64,
+    /// Idle-step limit for hosted blocking calls before `EDEADLK`.
+    pub pump_limit: u64,
+}
+
+impl System {
+    /// Boots a system: root memfs mounted at `/`, process 0 (`sched`) and
+    /// process 1 (`init`) created as hosted system processes.
+    pub fn boot() -> System {
+        let mut sys = System {
+            kernel: Kernel::new(),
+            fss: vec![FsSlot::Mem(vfs::MemFs::new())],
+            mounts: MountTable::new(),
+            cpu: Cpu::new(),
+            run_cursor: 0,
+            quantum: 256,
+            pump_limit: 1_000_000,
+        };
+        sys.mounts.add("/", 0);
+        let p0 = sys.kernel.new_proc(Pid(0), Pid(0), Pid(0), Cred::superuser(), "sched", true);
+        debug_assert_eq!(p0, Pid(0));
+        let p1 = sys.kernel.new_proc(p0, Pid(1), Pid(1), Cred::superuser(), "init", true);
+        debug_assert_eq!(p1, Pid(1));
+        sys
+    }
+
+    /// Mounts a file system at `path`, returning its id.
+    pub fn mount(&mut self, path: &str, fs: Box<dyn FileSystem<Kernel>>) -> u32 {
+        let id = self.fss.len() as u32;
+        self.fss.push(FsSlot::Dyn(fs));
+        assert!(self.mounts.add(path, id), "mount point {path} already taken");
+        id
+    }
+
+    /// The root memfs, for installing userland files.
+    pub fn memfs_mut(&mut self) -> &mut vfs::MemFs<Kernel> {
+        match &mut self.fss[0] {
+            FsSlot::Mem(m) => m,
+            FsSlot::Dyn(_) => unreachable!("slot 0 is always the root memfs"),
+        }
+    }
+
+    /// Installs an executable image at `path` in the root file system.
+    pub fn install_aout(&mut self, path: &str, aout: &Aout, mode: u16) {
+        self.memfs_mut().install(path, mode, 0, 0, aout.to_bytes());
+    }
+
+    /// Assembles `src` and installs it at `path` (mode 0755).
+    pub fn install_program(&mut self, path: &str, src: &str) {
+        let aout = aout::build_aout(src).expect("program assembles");
+        self.install_aout(path, &aout, 0o755);
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler
+    // ------------------------------------------------------------------
+
+    /// Runs one scheduling step: fires timers, picks a runnable LWP and
+    /// runs it for up to one quantum. Returns false when nothing can make
+    /// progress (no runnable LWPs and no timed sleepers).
+    pub fn step(&mut self) -> bool {
+        self.fire_timers();
+        self.autoreap_init_children();
+        let Some((pid, tid)) = self.pick_next() else {
+            // Idle: fast-forward to the next timed wakeup if one exists.
+            if let Some(t) = self.next_deadline() {
+                self.kernel.clock = self.kernel.clock.max(t);
+                self.fire_timers();
+                return true;
+            }
+            return false;
+        };
+        self.run_slice(pid, tid);
+        true
+    }
+
+    /// Runs steps until `cond` holds or the budget is exhausted. Returns
+    /// whether the condition was met.
+    pub fn run_until(&mut self, budget: u64, mut cond: impl FnMut(&System) -> bool) -> bool {
+        for _ in 0..budget {
+            if cond(self) {
+                return true;
+            }
+            if !self.step() {
+                return cond(self);
+            }
+        }
+        cond(self)
+    }
+
+    /// Steps until the machine is fully idle or the budget is exhausted.
+    pub fn run_idle(&mut self, budget: u64) {
+        for _ in 0..budget {
+            if !self.step() {
+                return;
+            }
+        }
+    }
+
+    fn fire_timers(&mut self) {
+        let clock = self.kernel.clock;
+        let mut alarms = Vec::new();
+        for proc in self.kernel.procs.values_mut() {
+            if let Some(at) = proc.alarm_at {
+                if at <= clock {
+                    proc.alarm_at = None;
+                    alarms.push(proc.pid);
+                }
+            }
+            for lwp in &mut proc.lwps {
+                if let LwpState::Sleeping { chan: WaitChannel::Ticks(t), .. } = lwp.state {
+                    if t <= clock {
+                        lwp.state = LwpState::Runnable;
+                        lwp.sleep_interrupted = false;
+                    }
+                }
+            }
+        }
+        for pid in alarms {
+            let _ = self.kernel.post_signal(pid, crate::signal::SIGALRM);
+        }
+    }
+
+    /// Children of init are reaped automatically (init's only job).
+    fn autoreap_init_children(&mut self) {
+        let dead: Vec<u32> = self
+            .kernel
+            .procs
+            .values()
+            .filter(|p| p.zombie && p.ppid == Pid(1) && p.pid != Pid(1))
+            .map(|p| p.pid.0)
+            .collect();
+        for pid in dead {
+            self.kernel.procs.remove(&pid);
+        }
+    }
+
+    fn next_deadline(&self) -> Option<u64> {
+        let mut min = None;
+        for proc in self.kernel.procs.values() {
+            if let Some(at) = proc.alarm_at {
+                min = Some(min.map_or(at, |m: u64| m.min(at)));
+            }
+            for lwp in &proc.lwps {
+                if let LwpState::Sleeping { chan: WaitChannel::Ticks(t), .. } = lwp.state {
+                    min = Some(min.map_or(t, |m: u64| m.min(t)));
+                }
+            }
+        }
+        min
+    }
+
+    fn pick_next(&mut self) -> Option<(Pid, Tid)> {
+        let mut candidates = Vec::new();
+        for proc in self.kernel.procs.values() {
+            if proc.hosted || proc.zombie {
+                continue;
+            }
+            for lwp in &proc.lwps {
+                if lwp.state == LwpState::Runnable {
+                    candidates.push((proc.pid, lwp.tid));
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = candidates[self.run_cursor % candidates.len()];
+        self.run_cursor = self.run_cursor.wrapping_add(1);
+        Some(pick)
+    }
+
+    /// Runs one LWP for up to a quantum, handling its kernel entries.
+    fn run_slice(&mut self, pid: Pid, tid: Tid) {
+        // Phase A: in-flight system call continuation.
+        let has_syscall = self
+            .kernel
+            .proc(pid)
+            .ok()
+            .and_then(|p| p.lwp(tid))
+            .map(|l| l.syscall.is_some())
+            .unwrap_or(false);
+        if has_syscall {
+            self.continue_syscall(pid, tid);
+        }
+        if !self.lwp_runnable(pid, tid) {
+            return;
+        }
+        // Phase B: the issig()/psig() gate before returning to user code.
+        let pending = self
+            .kernel
+            .proc(pid)
+            .ok()
+            .and_then(|p| p.lwp(tid))
+            .map(|l| l.user_return_pending)
+            .unwrap_or(false);
+        if pending {
+            loop {
+                match self.kernel.issig(pid, tid) {
+                    crate::sched::Issig::Stop => return,
+                    crate::sched::Issig::Deliver(_) => match self.kernel.psig(pid, tid) {
+                        crate::sched::Psig::Terminated(status) => {
+                            self.do_exit(pid, status);
+                            return;
+                        }
+                        _ => continue,
+                    },
+                    crate::sched::Issig::Run => break,
+                }
+            }
+            if let Ok(p) = self.kernel.proc_mut(pid) {
+                if let Some(l) = p.lwp_mut(tid) {
+                    l.user_return_pending = false;
+                }
+            }
+        }
+        // Phase C/D: run user code.
+        let quantum = self.quantum;
+        let System { kernel, cpu, .. } = self;
+        let Kernel { procs, objects, .. } = kernel;
+        let Some(proc) = procs.get_mut(&pid.0) else { return };
+        let crate::proc::Proc { aspace, lwps, cpu_time, .. } = proc;
+        let Some(lwp) = lwps.iter_mut().find(|l| l.tid == tid) else {
+            return;
+        };
+        if lwp.single_step {
+            lwp.gregs.psr |= PSR_TRACE;
+        }
+        let mut bus = ProcBus { asp: aspace, objs: objects };
+        let (n, exit) = cpu.run(&mut lwp.gregs, &mut lwp.fpregs, &mut bus, quantum);
+        *cpu_time += n;
+        lwp.insns += n;
+        kernel.clock += n.max(1);
+        match exit {
+            RunExit::Quantum => {
+                // A clock interrupt is a kernel entry: honour directives
+                // and pending signals before the next user slice.
+                if let Some(l) = kernel
+                    .proc_mut(pid)
+                    .ok()
+                    .and_then(|p| p.lwp_mut(tid))
+                {
+                    l.user_return_pending = true;
+                }
+            }
+            RunExit::Event(ev) => self.handle_trap(pid, tid, ev),
+        }
+    }
+
+    fn lwp_runnable(&self, pid: Pid, tid: Tid) -> bool {
+        self.kernel
+            .proc(pid)
+            .ok()
+            .and_then(|p| p.lwp(tid))
+            .map(|l| l.state == LwpState::Runnable)
+            .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Trap handling
+    // ------------------------------------------------------------------
+
+    fn handle_trap(&mut self, pid: Pid, tid: Tid, ev: StepEvent) {
+        match ev {
+            StepEvent::Syscall => {
+                let Ok(proc) = self.kernel.proc_mut(pid) else { return };
+                let Some(lwp) = proc.lwp_mut(tid) else { return };
+                let nr = lwp.gregs.rv() as u16;
+                let insn_pc = lwp.gregs.pc.wrapping_sub(isa::INSN_LEN);
+                lwp.syscall = Some(SyscallCtx::new(nr, insn_pc));
+                self.syscall_entry(pid, tid);
+            }
+            StepEvent::Breakpoint => self.take_fault(pid, tid, Fault::Bpt),
+            StepEvent::IllegalInsn => self.take_fault(pid, tid, Fault::Ill),
+            StepEvent::PrivInsn => self.take_fault(pid, tid, Fault::Priv),
+            StepEvent::DivZero => self.take_fault(pid, tid, Fault::IntZDiv),
+            StepEvent::FpErr => self.take_fault(pid, tid, Fault::FpErr),
+            StepEvent::TraceTrap => {
+                if let Ok(p) = self.kernel.proc_mut(pid) {
+                    if let Some(l) = p.lwp_mut(tid) {
+                        l.gregs.psr &= !PSR_TRACE;
+                        l.single_step = false;
+                    }
+                }
+                self.take_fault(pid, tid, Fault::Trace);
+            }
+            StepEvent::MemFault(bf) => self.mem_fault(pid, tid, bf),
+        }
+    }
+
+    fn mem_fault(&mut self, pid: Pid, tid: Tid, bf: BusFault) {
+        // The sigreturn trampoline: a fetch at the magic kernel address.
+        if bf.access == Access::Exec && bf.addr == aout::SIGRETURN_ADDR {
+            if self.kernel.sigreturn(pid, tid) {
+                if let Ok(p) = self.kernel.proc_mut(pid) {
+                    if let Some(l) = p.lwp_mut(tid) {
+                        // The restored mask may unblock pending signals.
+                        l.user_return_pending = true;
+                    }
+                }
+            } else {
+                self.force_kill(pid, SIGSEGV);
+            }
+            return;
+        }
+        let fault = match bf.kind {
+            BusFaultKind::Unmapped => Fault::Bounds,
+            BusFaultKind::Protection => Fault::Access,
+            BusFaultKind::Watch => Fault::Watch,
+        };
+        self.take_fault(pid, tid, fault);
+    }
+
+    /// The user trap handler: stop on a traced fault, otherwise convert
+    /// the fault to its signal. If the signal is ignored or held, the
+    /// disposition is forced to default termination (a fault must not
+    /// silently re-execute forever).
+    fn take_fault(&mut self, pid: Pid, tid: Tid, fault: Fault) {
+        let Ok(proc) = self.kernel.proc_mut(pid) else { return };
+        if let Some(lwp) = proc.lwp_mut(tid) {
+            lwp.last_fault = Some(fault);
+        }
+        if proc.trace.flt_trace.has(fault.number()) {
+            self.kernel.stop_lwp(pid, tid, StopWhy::Faulted(fault));
+            return;
+        }
+        let sig = fault.default_signal();
+        let proc = self.kernel.proc_mut(pid).expect("checked above");
+        let ignored = proc.actions.is_ignored(sig);
+        let held = proc.lwp(tid).map(|l| l.held.has(sig)).unwrap_or(false);
+        if (ignored || held) && !proc.trace.sig_trace.has(sig) {
+            self.force_kill(pid, sig);
+            return;
+        }
+        let _ = self.kernel.post_signal(pid, sig);
+        if let Ok(p) = self.kernel.proc_mut(pid) {
+            if let Some(l) = p.lwp_mut(tid) {
+                l.user_return_pending = true;
+            }
+        }
+    }
+
+    /// Unconditionally terminates a process as if by an uncatchable
+    /// signal.
+    pub fn force_kill(&mut self, pid: Pid, sig: usize) {
+        self.do_exit(pid, Kernel::status_signalled(sig, sig != SIGKILL));
+    }
+
+    // ------------------------------------------------------------------
+    // System call machinery (Figure 3 stop points)
+    // ------------------------------------------------------------------
+
+    /// Entry point after the trap: "a stop on system call entry occurs
+    /// before the system has fetched the system call arguments", so a
+    /// debugger may rewrite the argument registers before dispatch.
+    fn syscall_entry(&mut self, pid: Pid, tid: Tid) {
+        let Ok(proc) = self.kernel.proc_mut(pid) else { return };
+        let entry_trace = proc.trace.entry_trace;
+        let Some(lwp) = proc.lwp_mut(tid) else { return };
+        let Some(ctx) = &mut lwp.syscall else { return };
+        let nr = ctx.nr;
+        if entry_trace.has(nr as usize) && !ctx.entry_stop_taken {
+            ctx.entry_stop_taken = true;
+            self.kernel.stop_lwp(pid, tid, StopWhy::SyscallEntry(nr));
+            return;
+        }
+        self.dispatch_syscall(pid, tid);
+    }
+
+    /// Re-entry for an LWP that is runnable with a system call in flight
+    /// (resumed from an entry stop, woken from a sleep, or resumed from
+    /// an exit stop).
+    fn continue_syscall(&mut self, pid: Pid, tid: Tid) {
+        let Some(phase) = self
+            .kernel
+            .proc(pid)
+            .ok()
+            .and_then(|p| p.lwp(tid))
+            .and_then(|l| l.syscall.as_ref().map(|c| c.phase.clone()))
+        else {
+            return;
+        };
+        match phase {
+            SysPhase::Entry => {
+                let abort = self
+                    .kernel
+                    .proc(pid)
+                    .ok()
+                    .and_then(|p| p.lwp(tid))
+                    .and_then(|l| l.syscall.as_ref())
+                    .map(|c| c.abort)
+                    .unwrap_or(false);
+                if abort {
+                    // "A process that is stopped on system call entry can
+                    // be directed to abort execution of the system call
+                    // and go directly to system call exit."
+                    self.finish_syscall(pid, tid, Err(Errno::EINTR));
+                } else {
+                    self.dispatch_syscall(pid, tid);
+                }
+            }
+            SysPhase::Sleeping => {
+                let interrupted = {
+                    let Ok(p) = self.kernel.proc_mut(pid) else { return };
+                    let Some(l) = p.lwp_mut(tid) else { return };
+                    std::mem::take(&mut l.sleep_interrupted)
+                };
+                if interrupted {
+                    match self.kernel.issig_insleep(pid, tid) {
+                        crate::sched::SleepSig::Stop => { /* stopped; retry on resume */ }
+                        crate::sched::SleepSig::Interrupt => {
+                            self.finish_syscall(pid, tid, Err(Errno::EINTR));
+                        }
+                        crate::sched::SleepSig::Retry => self.dispatch_syscall(pid, tid),
+                    }
+                } else {
+                    self.dispatch_syscall(pid, tid);
+                }
+            }
+            SysPhase::Exit(_) => self.complete_syscall(pid, tid),
+        }
+    }
+
+    /// Dispatches (or retries) the call, reading the arguments from the
+    /// registers afresh.
+    fn dispatch_syscall(&mut self, pid: Pid, tid: Tid) {
+        let Some((nr, args)) = ({
+            self.kernel.proc(pid).ok().and_then(|p| p.lwp(tid)).and_then(|l| {
+                l.syscall.as_ref().map(|c| {
+                    let mut args = [0u64; 6];
+                    for (i, a) in args.iter_mut().enumerate() {
+                        *a = l.gregs.arg(i);
+                    }
+                    (c.nr, args)
+                })
+            })
+        }) else {
+            return;
+        };
+        match self.do_syscall(pid, tid, nr, args) {
+            SysOutcome::Done(res) => self.finish_syscall(pid, tid, res),
+            SysOutcome::Sleep(chan) => {
+                if let Ok(p) = self.kernel.proc_mut(pid) {
+                    if let Some(l) = p.lwp_mut(tid) {
+                        l.state = LwpState::Sleeping { chan, interruptible: true };
+                        if let Some(c) = &mut l.syscall {
+                            c.phase = SysPhase::Sleeping;
+                        }
+                    }
+                }
+                // The classic check before committing to the sleep: a
+                // signal (or stop directive) that arrived while we were
+                // deciding must not be slept through.
+                let pending = self.kernel.signal_pending_for(pid, tid)
+                    || self
+                        .kernel
+                        .proc(pid)
+                        .ok()
+                        .and_then(|p| p.lwp(tid))
+                        .map(|l| l.stop_directive)
+                        .unwrap_or(false);
+                if pending {
+                    match self.kernel.issig_insleep(pid, tid) {
+                        crate::sched::SleepSig::Stop => {}
+                        crate::sched::SleepSig::Interrupt => {
+                            if let Ok(p) = self.kernel.proc_mut(pid) {
+                                if let Some(l) = p.lwp_mut(tid) {
+                                    l.state = LwpState::Runnable;
+                                }
+                            }
+                            self.finish_syscall(pid, tid, Err(Errno::EINTR));
+                        }
+                        crate::sched::SleepSig::Retry => {}
+                    }
+                }
+            }
+            SysOutcome::Gone => {}
+        }
+    }
+
+    /// "A stop on system call exit occurs after the system has stored all
+    /// return values in the traced process's ... saved registers" — the
+    /// result is installed first, then the exit stop is considered, so a
+    /// debugger can manufacture whatever return values it wishes.
+    fn finish_syscall(&mut self, pid: Pid, tid: Tid, res: SysResult<u64>) {
+        let Ok(proc) = self.kernel.proc_mut(pid) else { return };
+        let Some(lwp) = proc.lwp_mut(tid) else { return };
+        match res {
+            Ok(v) => {
+                lwp.gregs.set_rv(v);
+                lwp.gregs.psr &= !PSR_ERR;
+            }
+            Err(e) => {
+                lwp.gregs.set_rv((-(e as i64)) as u64);
+                lwp.gregs.psr |= PSR_ERR;
+            }
+        }
+        let Some(ctx) = &mut lwp.syscall else { return };
+        ctx.phase = SysPhase::Exit(res);
+        ctx.deadline = None;
+        if let Some(saved) = ctx.saved_hold.take() {
+            lwp.held = saved;
+        }
+        let nr = ctx.nr;
+        if proc.trace.exit_trace.has(nr as usize) {
+            self.kernel.stop_lwp(pid, tid, StopWhy::SyscallExit(nr));
+            return;
+        }
+        self.complete_syscall(pid, tid);
+    }
+
+    fn complete_syscall(&mut self, pid: Pid, tid: Tid) {
+        if let Ok(p) = self.kernel.proc_mut(pid) {
+            if let Some(l) = p.lwp_mut(tid) {
+                l.syscall = None;
+                l.user_return_pending = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Process lifecycle
+    // ------------------------------------------------------------------
+
+    /// Creates a hosted process (a controlling program running as Rust
+    /// code). It is a child of init unless `parent` says otherwise.
+    pub fn spawn_hosted(&mut self, name: &str, cred: Cred) -> Pid {
+        self.kernel.new_proc(Pid(1), Pid(1), Pid(1), cred, name, true)
+    }
+
+    /// Creates a process and execs `path` in it. The child's parent is
+    /// `parent` (so hosted controllers can `wait` for their targets),
+    /// and it inherits `parent`'s credentials.
+    pub fn spawn_program(&mut self, parent: Pid, path: &str, argv: &[&str]) -> SysResult<Pid> {
+        let (cred, pgrp, sid) = {
+            let p = self.kernel.proc(parent)?;
+            (p.cred.clone(), p.pgrp, p.sid)
+        };
+        let pid = self.kernel.new_proc(parent, pgrp, sid, cred, path, false);
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        match self.do_exec(pid, path, &argv) {
+            Ok(()) => Ok(pid),
+            Err(e) => {
+                self.kernel.procs.remove(&pid.0);
+                Err(e)
+            }
+        }
+    }
+
+    /// Terminates a process: tears down its descriptors and address
+    /// space, zombifies it, reparents its children to init, and notifies
+    /// the parent.
+    pub fn do_exit(&mut self, pid: Pid, status: u16) {
+        let Ok(proc) = self.kernel.proc_mut(pid) else { return };
+        if proc.zombie {
+            return;
+        }
+        let ppid = proc.ppid;
+        // Death by a core-dumping signal: write the post-mortem image
+        // while the address space still exists.
+        if status & 0x80 != 0 {
+            self.write_core(pid, (status & 0x7F) as usize);
+        }
+        let Ok(proc) = self.kernel.proc_mut(pid) else { return };
+        let vfork_parent = proc.vfork_parent.take();
+        // Close descriptors.
+        let fds: Vec<(usize, FileId)> = proc.fds.iter().collect();
+        for (fd, _) in fds {
+            let _ = self.close_fd(pid, fd);
+        }
+        let Kernel { procs, objects, .. } = &mut self.kernel;
+        let proc = procs.get_mut(&pid.0).expect("live above");
+        proc.aspace.clear(objects);
+        for lwp in &mut proc.lwps {
+            lwp.state = LwpState::Zombie;
+            lwp.syscall = None;
+        }
+        proc.zombie = true;
+        proc.exit_status = status;
+        // Reparent children to init.
+        for other in self.kernel.procs.values_mut() {
+            if other.ppid == pid {
+                other.ppid = Pid(1);
+            }
+        }
+        if let Some(vp) = vfork_parent {
+            let _ = vp;
+            self.kernel.wake_channel(WaitChannel::VforkDone(pid));
+        }
+        let _ = self.kernel.post_signal(ppid, SIGCHLD);
+        self.kernel.wake_channel(WaitChannel::Child(ppid));
+        self.kernel.wake_channel(WaitChannel::ProcStop(pid));
+        self.kernel.wake_pollers();
+        self.kernel.log.push(crate::event::Event::Exit { pid, status });
+    }
+
+    /// The fork implementation shared by `fork` and `vfork`.
+    pub fn do_fork(&mut self, parent: Pid, tid: Tid, vfork: bool) -> SysOutcome {
+        // A vfork retry after the child released us: report the child.
+        if let Ok(p) = self.kernel.proc_mut(parent) {
+            if let Some(l) = p.lwp_mut(tid) {
+                if let Some(ctx) = &mut l.syscall {
+                    if let Some(child) = ctx.forked_child.take() {
+                        return SysOutcome::Done(Ok(child.0 as u64));
+                    }
+                }
+            }
+        }
+        let child_pid = self.kernel.alloc_pid();
+        let Kernel { procs, objects, files, pipes, clock, .. } = &mut self.kernel;
+        let Some(pp) = procs.get_mut(&parent.0) else {
+            return SysOutcome::Done(Err(Errno::ESRCH));
+        };
+        let Some(plwp) = pp.lwps.iter().find(|l| l.tid == tid) else {
+            return SysOutcome::Done(Err(Errno::ESRCH));
+        };
+        let nr = plwp.syscall.as_ref().map(|c| c.nr).unwrap_or(SYS_FORK);
+        let insn_pc = plwp.syscall.as_ref().map(|c| c.insn_pc).unwrap_or(0);
+        // Child LWP: a copy of the calling LWP's machine state.
+        let mut clwp = crate::proc::Lwp::new(Tid(1), plwp.gregs.pc, plwp.gregs.sp());
+        clwp.gregs = plwp.gregs.clone();
+        clwp.fpregs = plwp.fpregs.clone();
+        clwp.held = plwp.held;
+        // The child is logically at the exit of fork, returning 0.
+        clwp.gregs.set_rv(0);
+        clwp.gregs.psr &= !PSR_ERR;
+        let mut cctx = SyscallCtx::new(nr, insn_pc);
+        cctx.phase = SysPhase::Exit(Ok(0));
+        clwp.syscall = Some(cctx);
+        // Descriptors: share open files (and pipe ends).
+        let cfds = pp.fds.clone();
+        for (_, fid) in cfds.iter() {
+            files.incref(fid);
+            if let Some(f) = files.get(fid) {
+                match f.kind {
+                    FileKind::PipeR(p) => pipes.add_end(p, false),
+                    FileKind::PipeW(p) => pipes.add_end(p, true),
+                    FileKind::Vnode { .. } => {}
+                }
+            }
+        }
+        let trace = if pp.trace.inherit_on_fork {
+            pp.trace.inherited()
+        } else {
+            crate::proc::TraceState::default()
+        };
+        let child = crate::proc::Proc {
+            pid: child_pid,
+            ppid: parent,
+            pgrp: pp.pgrp,
+            sid: pp.sid,
+            cred: pp.cred.clone(),
+            aspace: pp.aspace.fork_clone(objects),
+            fds: cfds,
+            lwps: vec![clwp],
+            next_tid: 2,
+            pending: crate::signal::SigSet::empty(),
+            actions: pp.actions.clone(),
+            trace,
+            fname: pp.fname.clone(),
+            psargs: pp.psargs.clone(),
+            cwd: pp.cwd.clone(),
+            umask: pp.umask,
+            nice: pp.nice,
+            start_time: *clock,
+            cpu_time: 0,
+            hosted: pp.hosted,
+            zombie: false,
+            exit_status: 0,
+            exec_gen: 0,
+            ptraced: false,
+            stop_reported: false,
+            alarm_at: None,
+            vfork_parent: vfork.then_some(parent),
+        };
+        procs.insert(child_pid.0, child);
+        self.kernel.log.push(crate::event::Event::Fork { parent, child: child_pid });
+        // The child stops on exit from fork if (and only if) it inherited
+        // exit tracing of the call — "both parent and child stop on exit
+        // from the fork".
+        let child_exit_traced = self
+            .kernel
+            .proc(child_pid)
+            .map(|p| p.trace.exit_trace.has(nr as usize))
+            .unwrap_or(false);
+        if child_exit_traced {
+            self.kernel.stop_lwp(child_pid, Tid(1), StopWhy::SyscallExit(nr));
+        } else if let Ok(p) = self.kernel.proc_mut(child_pid) {
+            let l = &mut p.lwps[0];
+            l.syscall = None;
+            l.user_return_pending = true;
+        }
+        if vfork {
+            if let Ok(p) = self.kernel.proc_mut(parent) {
+                if let Some(l) = p.lwp_mut(tid) {
+                    if let Some(ctx) = &mut l.syscall {
+                        ctx.forked_child = Some(child_pid);
+                    }
+                }
+            }
+            SysOutcome::Sleep(WaitChannel::VforkDone(child_pid))
+        } else {
+            SysOutcome::Done(Ok(child_pid.0 as u64))
+        }
+    }
+
+    /// Checks for a waitable child of `parent`. Returns
+    /// `Ok(Some((pid, status)))` when one is ready, `Ok(None)` when the
+    /// caller should sleep, `Err(ECHILD)` when there is nothing to wait
+    /// for.
+    pub fn wait_check(&mut self, parent: Pid) -> SysResult<Option<(Pid, u16)>> {
+        let mut have_child = false;
+        let mut zombie: Option<(Pid, u16)> = None;
+        let mut stopped: Option<(Pid, u16)> = None;
+        for proc in self.kernel.procs.values() {
+            if proc.ppid != parent || proc.pid == parent {
+                continue;
+            }
+            have_child = true;
+            if proc.zombie {
+                zombie = Some((proc.pid, proc.exit_status));
+                break;
+            }
+            if proc.ptraced && !proc.stop_reported {
+                if let Some(StopWhy::Ptrace(sig)) = proc.rep_lwp().stop_why() {
+                    stopped = Some((proc.pid, Kernel::status_stopped(sig)));
+                }
+                // A traced child stopped on a /proc event is also made
+                // visible to the ptrace parent's wait (the mechanisms
+                // compete; wait sees stops).
+                else if let Some(StopWhy::JobControl(sig)) = proc.rep_lwp().stop_why() {
+                    stopped = Some((proc.pid, Kernel::status_stopped(sig)));
+                }
+            }
+        }
+        if let Some((pid, status)) = zombie {
+            self.kernel.procs.remove(&pid.0);
+            return Ok(Some((pid, status)));
+        }
+        if let Some((pid, status)) = stopped {
+            if let Ok(p) = self.kernel.proc_mut(pid) {
+                p.stop_reported = true;
+            }
+            return Ok(Some((pid, status)));
+        }
+        if !have_child {
+            return Err(Errno::ECHILD);
+        }
+        Ok(None)
+    }
+
+    // ------------------------------------------------------------------
+    // exec
+    // ------------------------------------------------------------------
+
+    /// Loads and parses the executable at `path`, caching section objects
+    /// keyed by `(fs, node)` so all processes running one image share its
+    /// pages.
+    fn load_image(&mut self, cur: Pid, path: &str) -> SysResult<(u32, NodeId, u16, u32, u32)> {
+        let (fsid, node) = self.resolve(cur, path)?;
+        let System { kernel, fss, .. } = self;
+        let meta = fss[fsid as usize].as_fs().getattr(kernel, node)?;
+        if meta.kind != vfs::VnodeKind::Regular {
+            return Err(Errno::EACCES);
+        }
+        let cred = kernel.proc(cur)?.cred.clone();
+        if !cred.file_access(meta.mode, meta.uid, meta.gid, 1) {
+            return Err(Errno::EACCES);
+        }
+        if !kernel.images.contains_key(&(fsid, node.0)) {
+            let mut content = vec![0u8; meta.size as usize];
+            let mut off = 0usize;
+            while off < content.len() {
+                match fss[fsid as usize].as_fs().read(
+                    kernel,
+                    cur,
+                    node,
+                    vfs::OpenToken(0),
+                    off as u64,
+                    &mut content[off..],
+                )? {
+                    IoReply::Done(0) => break,
+                    IoReply::Done(n) => off += n,
+                    IoReply::Block => return Err(Errno::EIO),
+                }
+            }
+            let aout = Aout::from_bytes(&content)?;
+            let text_obj = kernel.objects.alloc_file(fsid, node.0, path, &aout.text);
+            let data_obj = kernel.objects.alloc_file(fsid, node.0, path, &aout.data);
+            kernel.images.insert((fsid, node.0), CachedImage { aout, text_obj, data_obj });
+        }
+        Ok((fsid, node, meta.mode, meta.uid, meta.gid))
+    }
+
+    /// Replaces the process image — `exec(2)`.
+    pub fn do_exec(&mut self, pid: Pid, path: &str, argv: &[String]) -> SysResult<()> {
+        let (fsid, node, mode, file_uid, file_gid) = self.load_image(pid, path)?;
+        // Resolve the libraries the image needs (loading them into the
+        // cache) before touching the old address space.
+        let lib_names =
+            self.kernel.images[&(fsid, node.0)].aout.libs.clone();
+        let mut lib_keys = Vec::new();
+        for name in &lib_names {
+            let lib_path = format!("/lib/{name}");
+            let (lfs, lnode, _, _, _) = self.load_image(pid, &lib_path)?;
+            lib_keys.push((lfs, lnode.0, name.clone()));
+        }
+        let Kernel { procs, objects, images, .. } = &mut self.kernel;
+        let proc = procs.get_mut(&pid.0).ok_or(Errno::ESRCH)?;
+        // Point of no return: tear down the old image.
+        proc.aspace.clear(objects);
+        let img = images.get(&(fsid, node.0)).expect("cached above");
+        let _ = &img.aout;
+        let page_up = |v: u64| v.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let map_image = |aspace: &mut vm::AddressSpace,
+                         objects: &mut vm::ObjectStore,
+                         img: &CachedImage,
+                         text_name: vm::SegName,
+                         data_name: vm::SegName|
+         -> SysResult<()> {
+            let a = &img.aout;
+            if !a.text.is_empty() {
+                objects.incref(img.text_obj);
+                aspace
+                    .map_fixed(
+                        a.text_base,
+                        page_up(a.text.len() as u64),
+                        vm::Prot::RX,
+                        vm::MapFlags::default(),
+                        img.text_obj,
+                        0,
+                        text_name,
+                    )
+                    .map_err(|_| Errno::ENOMEM)?;
+            }
+            if !a.data.is_empty() {
+                objects.incref(img.data_obj);
+                aspace
+                    .map_fixed(
+                        a.data_base,
+                        page_up(a.data.len() as u64),
+                        vm::Prot::RW,
+                        vm::MapFlags::default(),
+                        img.data_obj,
+                        0,
+                        data_name,
+                    )
+                    .map_err(|_| Errno::ENOMEM)?;
+            }
+            Ok(())
+        };
+        map_image(&mut proc.aspace, objects, img, vm::SegName::Text, vm::SegName::Data)?;
+        // bss + break after data (or text when there is no data).
+        let img = images.get(&(fsid, node.0)).expect("cached above");
+        let aout_entry = img.aout.entry;
+        let data_end = if img.aout.data.is_empty() {
+            img.aout.text_base + page_up(img.aout.text.len() as u64)
+        } else {
+            img.aout.data_base + page_up(img.aout.data.len() as u64)
+        };
+        let bss_len = page_up(img.aout.bss_len.max(PAGE_SIZE));
+        let bss_obj = objects.alloc_anon(bss_len);
+        proc.aspace
+            .map_fixed(
+                data_end,
+                bss_len,
+                vm::Prot::RW,
+                vm::MapFlags::default(),
+                bss_obj,
+                0,
+                vm::SegName::Bss,
+            )
+            .map_err(|_| Errno::ENOMEM)?;
+        let brk_base = data_end + bss_len;
+        let brk_obj = objects.alloc_anon(PAGE_SIZE);
+        proc.aspace
+            .map_fixed(
+                brk_base,
+                PAGE_SIZE,
+                vm::Prot::RW,
+                vm::MapFlags { is_break: true, ..Default::default() },
+                brk_obj,
+                0,
+                vm::SegName::Break,
+            )
+            .map_err(|_| Errno::ENOMEM)?;
+        // Libraries.
+        for (lfs, lnode, name) in &lib_keys {
+            let limg = images.get(&(*lfs, *lnode)).expect("lib cached above");
+            map_image(
+                &mut proc.aspace,
+                objects,
+                limg,
+                vm::SegName::LibText(name.clone()),
+                vm::SegName::LibData(name.clone()),
+            )?;
+        }
+        // Stack, with the argument vector at the top.
+        let stack_obj = objects.alloc_anon(aout::STACK_INIT);
+        proc.aspace
+            .map_fixed(
+                aout::STACK_TOP - aout::STACK_INIT,
+                aout::STACK_INIT,
+                vm::Prot::RW,
+                vm::MapFlags { grows_down: true, ..Default::default() },
+                stack_obj,
+                0,
+                vm::SegName::Stack,
+            )
+            .map_err(|_| Errno::ENOMEM)?;
+        proc.aspace.stack_limit = aout::STACK_LIMIT;
+        // Argument image: strings then a pointer array.
+        let mut straddr = Vec::with_capacity(argv.len());
+        let strings_len: u64 = argv.iter().map(|a| a.len() as u64 + 1).sum();
+        let ptrs_len = (argv.len() as u64 + 1) * 8;
+        let total = (strings_len + ptrs_len + 15) & !15;
+        let sp = aout::STACK_TOP - total;
+        let argv_addr = sp;
+        let mut cursor = sp + ptrs_len;
+        let mut image = Vec::new();
+        for a in argv {
+            straddr.push(cursor);
+            cursor += a.len() as u64 + 1;
+        }
+        for a in &straddr {
+            image.extend_from_slice(&a.to_le_bytes());
+        }
+        image.extend_from_slice(&0u64.to_le_bytes());
+        for a in argv {
+            image.extend_from_slice(a.as_bytes());
+            image.push(0);
+        }
+        proc.aspace.kernel_write(objects, sp, &image).map_err(|_| Errno::ENOMEM)?;
+        // Reset the (single surviving) LWP.
+        let keep_tid = proc.lwps[0].tid;
+        let held = proc.lwps[0].held;
+        proc.lwps.truncate(1);
+        let lwp = &mut proc.lwps[0];
+        let old_syscall = lwp.syscall.clone();
+        *lwp = crate::proc::Lwp::new(keep_tid, aout_entry, sp);
+        lwp.held = held;
+        lwp.syscall = old_syscall;
+        lwp.gregs.set_arg(0, argv.len() as u64);
+        lwp.gregs.set_arg(1, argv_addr);
+        proc.actions.reset_caught();
+        proc.fname = path.rsplit('/').next().unwrap_or(path).to_string();
+        proc.psargs = argv.join(" ");
+        if proc.psargs.is_empty() {
+            proc.psargs = proc.fname.clone();
+        }
+        // Set-id handling.
+        let mut setid = false;
+        if mode & vfs::node::MODE_SETUID != 0 {
+            proc.cred.euid = file_uid;
+            proc.cred.suid = file_uid;
+            setid = true;
+        }
+        if mode & vfs::node::MODE_SETGID != 0 {
+            proc.cred.egid = file_gid;
+            proc.cred.sgid = file_gid;
+            setid = true;
+        }
+        let writers = proc.trace.writers;
+        if setid {
+            proc.exec_gen += 1;
+        }
+        let vfork_parent = proc.vfork_parent.take();
+        self.kernel.log.push(crate::event::Event::Exec {
+            pid,
+            path: path.to_string(),
+            setid,
+        });
+        if setid && writers > 0 {
+            // "When the set-id exec occurs, the traced process is
+            // directed to stop and its run-on-last-close flag is set."
+            if let Ok(p) = self.kernel.proc_mut(pid) {
+                p.trace.run_on_last_close = true;
+            }
+            let _ = self.kernel.direct_stop(pid);
+        }
+        if vfork_parent.is_some() {
+            self.kernel.wake_channel(WaitChannel::VforkDone(pid));
+        }
+        self.kernel.wake_pollers();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The file layer
+    // ------------------------------------------------------------------
+
+    /// Resolves an absolute or cwd-relative path for process `cur` to a
+    /// `(file system, node)` pair.
+    pub fn resolve(&mut self, cur: Pid, path: &str) -> SysResult<(u32, NodeId)> {
+        let abs = if path.starts_with('/') {
+            path.to_string()
+        } else {
+            let cwd = self.kernel.proc(cur)?.cwd.clone();
+            format!("{}/{}", if cwd == "/" { "" } else { &cwd }, path)
+        };
+        let (fsid, parts) = self.mounts.resolve(&abs).ok_or(Errno::ENOENT)?;
+        let System { kernel, fss, .. } = self;
+        let fs = fss[fsid as usize].as_fs();
+        let mut node = fs.root();
+        for part in &parts {
+            node = fs.lookup(kernel, cur, node, part)?;
+        }
+        Ok((fsid, node))
+    }
+
+    /// Splits a path into its parent directory node and final component.
+    pub(crate) fn resolve_parent(
+        &mut self,
+        cur: Pid,
+        path: &str,
+    ) -> SysResult<(u32, NodeId, String)> {
+        let abs = if path.starts_with('/') {
+            path.to_string()
+        } else {
+            let cwd = self.kernel.proc(cur)?.cwd.clone();
+            format!("{}/{}", if cwd == "/" { "" } else { &cwd }, path)
+        };
+        let (fsid, parts) = self.mounts.resolve(&abs).ok_or(Errno::ENOENT)?;
+        let Some((name, dirs)) = parts.split_last() else {
+            return Err(Errno::EINVAL);
+        };
+        let System { kernel, fss, .. } = self;
+        let fs = fss[fsid as usize].as_fs();
+        let mut node = fs.root();
+        for part in dirs {
+            node = fs.lookup(kernel, cur, node, part)?;
+        }
+        Ok((fsid, node, name.clone()))
+    }
+
+    /// Opens `path` for process `cur`, honouring `creat`/`trunc`.
+    pub fn open_path(&mut self, cur: Pid, path: &str, flags: OFlags) -> SysResult<usize> {
+        let cred = self.kernel.proc(cur)?.cred.clone();
+        let resolved = self.resolve(cur, path);
+        let (fsid, node) = match resolved {
+            Ok(hit) => hit,
+            Err(Errno::ENOENT) if flags.creat => {
+                let (fsid, dir, name) = self.resolve_parent(cur, path)?;
+                let umask = self.kernel.proc(cur)?.umask;
+                let System { kernel, fss, .. } = self;
+                let node = fss[fsid as usize].as_fs().create(
+                    kernel,
+                    cur,
+                    dir,
+                    &name,
+                    0o666 & !umask,
+                    &cred,
+                )?;
+                (fsid, node)
+            }
+            Err(e) => return Err(e),
+        };
+        let System { kernel, fss, .. } = self;
+        let token = fss[fsid as usize].as_fs().open(kernel, cur, node, flags, &cred)?;
+        let fid = kernel.files.alloc(FileKind::Vnode { fs: fsid, node, token }, flags);
+        let proc = kernel.proc_mut(cur)?;
+        match proc.fds.alloc(fid) {
+            Some(fd) => Ok(fd),
+            None => {
+                // Roll back.
+                let dead = kernel.files.decref(fid);
+                if let Some(f) = dead {
+                    if let FileKind::Vnode { fs, node, token } = f.kind {
+                        fss[fs as usize].as_fs().close(kernel, cur, node, token, flags);
+                    }
+                }
+                Err(Errno::EMFILE)
+            }
+        }
+    }
+
+    /// Closes descriptor `fd` of process `cur`.
+    pub fn close_fd(&mut self, cur: Pid, fd: usize) -> SysResult<()> {
+        let fid = {
+            let proc = self.kernel.proc_mut(cur)?;
+            proc.fds.remove(fd).ok_or(Errno::EBADF)?
+        };
+        if let Some(dead) = self.kernel.files.decref(fid) {
+            match dead.kind {
+                FileKind::Vnode { fs, node, token } => {
+                    let System { kernel, fss, .. } = self;
+                    fss[fs as usize].as_fs().close(kernel, cur, node, token, dead.flags);
+                }
+                FileKind::PipeR(p) => {
+                    self.kernel.pipes.drop_end(p, false);
+                    self.kernel.wake_channel(WaitChannel::PipeW(p));
+                    self.kernel.wake_pollers();
+                }
+                FileKind::PipeW(p) => {
+                    self.kernel.pipes.drop_end(p, true);
+                    self.kernel.wake_channel(WaitChannel::PipeR(p));
+                    self.kernel.wake_pollers();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn file_of(&self, cur: Pid, fd: usize) -> SysResult<FileId> {
+        self.kernel.proc(cur)?.fds.get(fd).ok_or(Errno::EBADF)
+    }
+
+    /// Reads from a descriptor into a host buffer at the current offset.
+    pub fn read_fd(&mut self, cur: Pid, fd: usize, buf: &mut [u8]) -> SysResult<FlIo> {
+        let fid = self.file_of(cur, fd)?;
+        let file = self.kernel.files.get(fid).ok_or(Errno::EBADF)?.clone();
+        match file.kind {
+            FileKind::Vnode { fs, node, token } => {
+                if !file.flags.read {
+                    return Err(Errno::EBADF);
+                }
+                let System { kernel, fss, .. } = self;
+                match fss[fs as usize].as_fs().read(kernel, cur, node, token, file.offset, buf)? {
+                    IoReply::Done(n) => {
+                        if let Some(f) = self.kernel.files.get_mut(fid) {
+                            f.offset += n as u64;
+                        }
+                        Ok(FlIo::Done(n))
+                    }
+                    IoReply::Block => Ok(FlIo::Block(WaitChannel::PollWait)),
+                }
+            }
+            FileKind::PipeR(p) => {
+                let pipe = self.kernel.pipes.get_mut(p).ok_or(Errno::EBADF)?;
+                if pipe.buf.is_empty() {
+                    if pipe.writers == 0 {
+                        return Ok(FlIo::Done(0));
+                    }
+                    return Ok(FlIo::Block(WaitChannel::PipeR(p)));
+                }
+                let n = buf.len().min(pipe.buf.len());
+                for b in buf.iter_mut().take(n) {
+                    *b = pipe.buf.pop_front().expect("checked non-empty");
+                }
+                self.kernel.wake_channel(WaitChannel::PipeW(p));
+                self.kernel.wake_pollers();
+                Ok(FlIo::Done(n))
+            }
+            FileKind::PipeW(_) => Err(Errno::EBADF),
+        }
+    }
+
+    /// Writes a host buffer to a descriptor at the current offset.
+    pub fn write_fd(&mut self, cur: Pid, fd: usize, data: &[u8]) -> SysResult<FlIo> {
+        let fid = self.file_of(cur, fd)?;
+        let file = self.kernel.files.get(fid).ok_or(Errno::EBADF)?.clone();
+        match file.kind {
+            FileKind::Vnode { fs, node, token } => {
+                if !file.flags.write {
+                    return Err(Errno::EBADF);
+                }
+                let System { kernel, fss, .. } = self;
+                match fss[fs as usize].as_fs().write(kernel, cur, node, token, file.offset, data)?
+                {
+                    IoReply::Done(n) => {
+                        if let Some(f) = self.kernel.files.get_mut(fid) {
+                            f.offset += n as u64;
+                        }
+                        Ok(FlIo::Done(n))
+                    }
+                    IoReply::Block => Ok(FlIo::Block(WaitChannel::PollWait)),
+                }
+            }
+            FileKind::PipeW(p) => {
+                let pipe = self.kernel.pipes.get_mut(p).ok_or(Errno::EBADF)?;
+                if pipe.readers == 0 {
+                    let _ = self.kernel.post_signal(cur, SIGPIPE);
+                    return Err(Errno::EPIPE);
+                }
+                let space = PIPE_CAP.saturating_sub(pipe.buf.len());
+                if space == 0 {
+                    return Ok(FlIo::Block(WaitChannel::PipeW(p)));
+                }
+                let n = data.len().min(space);
+                pipe.buf.extend(&data[..n]);
+                self.kernel.wake_channel(WaitChannel::PipeR(p));
+                self.kernel.wake_pollers();
+                Ok(FlIo::Done(n))
+            }
+            FileKind::PipeR(_) => Err(Errno::EBADF),
+        }
+    }
+
+    /// Repositions a descriptor's offset; whence 0=set, 1=cur, 2=end.
+    pub fn lseek_fd(&mut self, cur: Pid, fd: usize, off: i64, whence: u32) -> SysResult<u64> {
+        let fid = self.file_of(cur, fd)?;
+        let file = self.kernel.files.get(fid).ok_or(Errno::EBADF)?.clone();
+        let FileKind::Vnode { fs, node, .. } = file.kind else {
+            return Err(Errno::ESPIPE);
+        };
+        let base = match whence {
+            0 => 0i64,
+            1 => file.offset as i64,
+            2 => {
+                let System { kernel, fss, .. } = self;
+                fss[fs as usize].as_fs().getattr(kernel, node)?.size as i64
+            }
+            _ => return Err(Errno::EINVAL),
+        };
+        let new = base.checked_add(off).ok_or(Errno::EINVAL)?;
+        if new < 0 {
+            return Err(Errno::EINVAL);
+        }
+        if let Some(f) = self.kernel.files.get_mut(fid) {
+            f.offset = new as u64;
+        }
+        Ok(new as u64)
+    }
+
+    /// Performs an ioctl on a descriptor.
+    pub fn ioctl_fd(
+        &mut self,
+        cur: Pid,
+        fd: usize,
+        req: u32,
+        arg: &[u8],
+    ) -> SysResult<IoctlReply> {
+        let fid = self.file_of(cur, fd)?;
+        let file = self.kernel.files.get(fid).ok_or(Errno::EBADF)?.clone();
+        let FileKind::Vnode { fs, node, token } = file.kind else {
+            return Err(Errno::ENOTTY);
+        };
+        let System { kernel, fss, .. } = self;
+        fss[fs as usize].as_fs().ioctl(kernel, cur, node, token, req, arg)
+    }
+
+    /// Poll status of a descriptor.
+    pub fn poll_fd(&mut self, cur: Pid, fd: usize) -> SysResult<PollStatus> {
+        let fid = self.file_of(cur, fd)?;
+        let file = self.kernel.files.get(fid).ok_or(Errno::EBADF)?.clone();
+        match file.kind {
+            FileKind::Vnode { fs, node, token } => {
+                let System { kernel, fss, .. } = self;
+                fss[fs as usize].as_fs().poll(kernel, node, token)
+            }
+            FileKind::PipeR(p) => {
+                let pipe = self.kernel.pipes.get(p).ok_or(Errno::EBADF)?;
+                Ok(PollStatus {
+                    readable: !pipe.buf.is_empty() || pipe.writers == 0,
+                    writable: false,
+                    hangup: pipe.writers == 0,
+                })
+            }
+            FileKind::PipeW(p) => {
+                let pipe = self.kernel.pipes.get(p).ok_or(Errno::EBADF)?;
+                Ok(PollStatus {
+                    readable: false,
+                    writable: pipe.buf.len() < PIPE_CAP && pipe.readers > 0,
+                    hangup: pipe.readers == 0,
+                })
+            }
+        }
+    }
+
+    /// Duplicates a descriptor.
+    pub fn dup_fd(&mut self, cur: Pid, fd: usize) -> SysResult<usize> {
+        let fid = self.file_of(cur, fd)?;
+        let kind = self.kernel.files.get(fid).ok_or(Errno::EBADF)?.kind.clone();
+        self.kernel.files.incref(fid);
+        match kind {
+            FileKind::PipeR(p) => self.kernel.pipes.add_end(p, false),
+            FileKind::PipeW(p) => self.kernel.pipes.add_end(p, true),
+            FileKind::Vnode { .. } => {}
+        }
+        let proc = self.kernel.proc_mut(cur)?;
+        match proc.fds.alloc(fid) {
+            Some(nfd) => Ok(nfd),
+            None => {
+                self.kernel.files.decref(fid);
+                Err(Errno::EMFILE)
+            }
+        }
+    }
+
+    /// Creates a pipe; returns (read fd, write fd).
+    pub fn make_pipe(&mut self, cur: Pid) -> SysResult<(usize, usize)> {
+        let p = self.kernel.pipes.alloc();
+        let rfid = self.kernel.files.alloc(FileKind::PipeR(p), OFlags::rdonly());
+        let wfid = self.kernel.files.alloc(FileKind::PipeW(p), OFlags::wronly());
+        let proc = self.kernel.proc_mut(cur)?;
+        let rfd = proc.fds.alloc(rfid).ok_or(Errno::EMFILE)?;
+        let wfd = match proc.fds.alloc(wfid) {
+            Some(fd) => fd,
+            None => {
+                proc.fds.remove(rfd);
+                self.kernel.files.decref(rfid);
+                self.kernel.files.decref(wfid);
+                self.kernel.pipes.drop_end(p, false);
+                self.kernel.pipes.drop_end(p, true);
+                return Err(Errno::EMFILE);
+            }
+        };
+        Ok((rfd, wfd))
+    }
+
+    /// `stat` by path.
+    pub fn stat_path(&mut self, cur: Pid, path: &str) -> SysResult<Metadata> {
+        let (fsid, node) = self.resolve(cur, path)?;
+        let System { kernel, fss, .. } = self;
+        fss[fsid as usize].as_fs().getattr(kernel, node)
+    }
+
+    /// Directory entries of `path`.
+    pub fn list_dir(&mut self, cur: Pid, path: &str) -> SysResult<Vec<DirEntry>> {
+        let (fsid, node) = self.resolve(cur, path)?;
+        let System { kernel, fss, .. } = self;
+        fss[fsid as usize].as_fs().readdir(kernel, cur, node)
+    }
+
+    // ------------------------------------------------------------------
+    // Host-level (controlling-program) API
+    // ------------------------------------------------------------------
+
+    /// Pumps the scheduler until `f` produces a value, failing with
+    /// `EDEADLK` if the simulation goes fully idle (nothing can ever
+    /// complete the call) or the pump budget runs out.
+    pub fn pump_until<T>(
+        &mut self,
+        mut f: impl FnMut(&mut System) -> SysResult<Option<T>>,
+    ) -> SysResult<T> {
+        let mut idle = 0u32;
+        for _ in 0..self.pump_limit {
+            if let Some(v) = f(self)? {
+                return Ok(v);
+            }
+            if self.step() {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle > 2 {
+                    return Err(Errno::EDEADLK);
+                }
+            }
+        }
+        Err(Errno::EDEADLK)
+    }
+
+    /// Host `open(2)`.
+    pub fn host_open(&mut self, cur: Pid, path: &str, flags: OFlags) -> SysResult<usize> {
+        self.open_path(cur, path, flags)
+    }
+
+    /// Host `close(2)`.
+    pub fn host_close(&mut self, cur: Pid, fd: usize) -> SysResult<()> {
+        self.close_fd(cur, fd)
+    }
+
+    /// Host `read(2)`: blocks (pumping the scheduler) until data arrives
+    /// or the pump budget is exhausted.
+    pub fn host_read(&mut self, cur: Pid, fd: usize, buf: &mut [u8]) -> SysResult<usize> {
+        for _ in 0..self.pump_limit {
+            match self.read_fd(cur, fd, buf)? {
+                FlIo::Done(n) => return Ok(n),
+                FlIo::Block(_) => {
+                    if !self.step() {
+                        return Err(Errno::EDEADLK);
+                    }
+                }
+            }
+        }
+        Err(Errno::EDEADLK)
+    }
+
+    /// Host `write(2)`: blocks (pumping) while the file would block, up
+    /// to the pump budget.
+    pub fn host_write(&mut self, cur: Pid, fd: usize, data: &[u8]) -> SysResult<usize> {
+        let mut written = 0;
+        let mut budget = self.pump_limit;
+        while written < data.len() {
+            match self.write_fd(cur, fd, &data[written..])? {
+                FlIo::Done(0) => break,
+                FlIo::Done(n) => written += n,
+                FlIo::Block(_) => {
+                    budget = budget.saturating_sub(1);
+                    if budget == 0 || !self.step() {
+                        return Err(Errno::EDEADLK);
+                    }
+                }
+            }
+        }
+        Ok(written)
+    }
+
+    /// Host `lseek(2)`.
+    pub fn host_lseek(&mut self, cur: Pid, fd: usize, off: i64, whence: u32) -> SysResult<u64> {
+        self.lseek_fd(cur, fd, off, whence)
+    }
+
+    /// Host `ioctl(2)`: blocks (pumping) while the operation would block
+    /// (`PIOCWSTOP`).
+    pub fn host_ioctl(&mut self, cur: Pid, fd: usize, req: u32, arg: &[u8]) -> SysResult<Vec<u8>> {
+        let arg = arg.to_vec();
+        self.pump_until(move |s| match s.ioctl_fd(cur, fd, req, &arg)? {
+            IoctlReply::Done(out) => Ok(Some(out)),
+            IoctlReply::Block => Ok(None),
+        })
+    }
+
+    /// Host `kill(2)` with permission checks.
+    pub fn host_kill(&mut self, cur: Pid, target: Pid, sig: usize) -> SysResult<()> {
+        let sender = self.kernel.proc(cur)?.cred.clone();
+        let tcred = self.kernel.proc(target)?.cred.clone();
+        if !Kernel::kill_permitted(&sender, &tcred) {
+            return Err(Errno::EPERM);
+        }
+        if sig == 0 {
+            return Ok(());
+        }
+        self.kernel.post_signal(target, sig)
+    }
+
+    /// Host `wait(2)`: blocks until a child changes state.
+    pub fn host_wait(&mut self, cur: Pid) -> SysResult<(Pid, u16)> {
+        self.pump_until(move |s| s.wait_check(cur))
+    }
+
+    /// Host `poll(2)` over descriptors: blocks until at least one is
+    /// ready; returns per-descriptor statuses.
+    pub fn host_poll(&mut self, cur: Pid, fds: &[usize]) -> SysResult<Vec<PollStatus>> {
+        let fds = fds.to_vec();
+        self.pump_until(move |s| {
+            let mut out = Vec::with_capacity(fds.len());
+            let mut any = false;
+            for &fd in &fds {
+                let st = s.poll_fd(cur, fd)?;
+                any |= st.readable || st.writable || st.hangup;
+                out.push(st);
+            }
+            Ok(if any { Some(out) } else { None })
+        })
+    }
+}
+
+/// The CPU's view of a process address space: protections, copy-on-write,
+/// transparent stack growth and watchpoint screening all live behind this
+/// bus.
+struct ProcBus<'a> {
+    asp: &'a mut vm::AddressSpace,
+    objs: &'a mut vm::ObjectStore,
+}
+
+impl ProcBus<'_> {
+    fn denied_to_fault(d: vm::AccessDenied, access: Access) -> BusFault {
+        let kind = match d {
+            vm::AccessDenied::Unmapped { .. } => BusFaultKind::Unmapped,
+            vm::AccessDenied::Protection { .. } => BusFaultKind::Protection,
+            vm::AccessDenied::Watch { .. } => BusFaultKind::Watch,
+        };
+        BusFault { addr: d.addr(), access, kind }
+    }
+
+    fn try_grow(&mut self, d: &vm::AccessDenied) -> bool {
+        matches!(d, vm::AccessDenied::Unmapped { addr } if self.asp.as_fault(self.objs, *addr))
+    }
+}
+
+impl Bus for ProcBus<'_> {
+    fn fetch(&mut self, addr: u64, buf: &mut [u8; 8]) -> Result<(), BusFault> {
+        match self.asp.fetch_user(self.objs, addr, buf) {
+            Ok(()) => Ok(()),
+            Err(d) => {
+                if self.try_grow(&d) {
+                    self.asp
+                        .fetch_user(self.objs, addr, buf)
+                        .map_err(|d| Self::denied_to_fault(d, Access::Exec))
+                } else {
+                    Err(Self::denied_to_fault(d, Access::Exec))
+                }
+            }
+        }
+    }
+
+    fn load(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), BusFault> {
+        match self.asp.read_user(self.objs, addr, buf) {
+            Ok(()) => Ok(()),
+            Err(d) => {
+                if self.try_grow(&d) {
+                    self.asp
+                        .read_user(self.objs, addr, buf)
+                        .map_err(|d| Self::denied_to_fault(d, Access::Read))
+                } else {
+                    Err(Self::denied_to_fault(d, Access::Read))
+                }
+            }
+        }
+    }
+
+    fn store(&mut self, addr: u64, data: &[u8]) -> Result<(), BusFault> {
+        match self.asp.write_user(self.objs, addr, data) {
+            Ok(()) => Ok(()),
+            Err(d) => {
+                if self.try_grow(&d) {
+                    self.asp
+                        .write_user(self.objs, addr, data)
+                        .map_err(|d| Self::denied_to_fault(d, Access::Write))
+                } else {
+                    Err(Self::denied_to_fault(d, Access::Write))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The applications the paper builds over `/proc`.
+//!
+//! * [`ps`] — `PIOCPSINFO` snapshots, one operation per process;
+//! * [`lsproc`] — the `ls -l /proc` listing of Figure 1;
+//! * [`pmap`] — the memory-map reporter of Figure 2;
+//! * [`truss`] — system-call/fault/signal tracing with follow-fork;
+//! * [`debugger`] — an `sdb`-like breakpoint debugger (conditional
+//!   breakpoints, single-step, symbols via `PIOCOPENM`, system-call
+//!   encapsulation);
+//! * [`ptrace_lib`] — `ptrace(2)` re-implemented as a library over
+//!   `/proc`, plus the kernel-ptrace baseline debugger used by the
+//!   benchmark harness;
+//! * [`postmortem`] — core-file analysis (death report, symbolised PC,
+//!   heuristic backtrace);
+//! * [`proc_io`] — the typed client handle the tools share;
+//! * [`userland`] — the canned simulated programs everything operates on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod debugger;
+pub mod lsproc;
+pub mod names;
+pub mod pmap;
+pub mod postmortem;
+pub mod proc_io;
+pub mod ps;
+pub mod ptrace_lib;
+pub mod sdb;
+pub mod truss;
+pub mod userland;
+
+pub use debugger::{DebugEvent, Debugger};
+pub use names::UserTable;
+pub use proc_io::ProcHandle;
+pub use ptrace_lib::{PtraceDebugger, PtraceOverProc};
+pub use sdb::Sdb;
+pub use truss::{truss_attach, truss_command, TrussOptions, TrussReport};
+pub use userland::{boot_demo, install_userland};

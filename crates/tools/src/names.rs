@@ -1,0 +1,61 @@
+//! A minimal passwd/group table for rendering listings.
+
+use std::collections::BTreeMap;
+
+/// Maps uids/gids to names for `ls -l` and `ps` output.
+#[derive(Clone, Debug)]
+pub struct UserTable {
+    users: BTreeMap<u32, String>,
+    groups: BTreeMap<u32, String>,
+}
+
+impl Default for UserTable {
+    fn default() -> Self {
+        let mut users = BTreeMap::new();
+        users.insert(0, "root".to_string());
+        let mut groups = BTreeMap::new();
+        groups.insert(0, "root".to_string());
+        groups.insert(10, "staff".to_string());
+        UserTable { users, groups }
+    }
+}
+
+impl UserTable {
+    /// Registers a user name.
+    pub fn add_user(&mut self, uid: u32, name: &str) -> &mut Self {
+        self.users.insert(uid, name.to_string());
+        self
+    }
+
+    /// Registers a group name.
+    pub fn add_group(&mut self, gid: u32, name: &str) -> &mut Self {
+        self.groups.insert(gid, name.to_string());
+        self
+    }
+
+    /// The name for `uid` (`u<uid>` when unknown).
+    pub fn name(&self, uid: u32) -> String {
+        self.users.get(&uid).cloned().unwrap_or_else(|| format!("u{uid}"))
+    }
+
+    /// The name for `gid` (`g<gid>` when unknown).
+    pub fn group(&self, gid: u32) -> String {
+        self.groups.get(&gid).cloned().unwrap_or_else(|| format!("g{gid}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_additions() {
+        let mut t = UserTable::default();
+        assert_eq!(t.name(0), "root");
+        assert_eq!(t.group(10), "staff");
+        assert_eq!(t.name(77), "u77");
+        t.add_user(100, "raf").add_group(20, "wheel");
+        assert_eq!(t.name(100), "raf");
+        assert_eq!(t.group(20), "wheel");
+    }
+}

@@ -1,0 +1,295 @@
+//! A typed client over the flat `/proc` interface.
+//!
+//! [`ProcHandle`] wraps one open `/proc` descriptor with typed accessors
+//! for every `PIOC*` operation and for address-space I/O. It counts the
+//! control-interface calls it makes (`calls`), which is the measurement
+//! the paper cares about when it claims `/proc` "reduces the number of
+//! system calls routinely made by a debugger" (experiment E2).
+
+use isa::{FpregSet, GregSet};
+use ksim::fault::FltSet;
+use ksim::signal::SigSet;
+use ksim::sysno::SysSet;
+use ksim::{Pid, SysResult, System};
+use procfs::ioctl::*;
+use procfs::{PrCred, PrMap, PrRun, PrStatus, PrUsage, PrWatch, PsInfo};
+use vfs::{Errno, OFlags};
+
+/// The `/proc` path of a process (five-digit form, as listed).
+pub fn proc_path(pid: Pid) -> String {
+    format!("/proc/{:05}", pid.0)
+}
+
+/// One open `/proc` descriptor, owned by hosted process `ctl`.
+#[derive(Debug)]
+pub struct ProcHandle {
+    /// The target process.
+    pub pid: Pid,
+    /// The controlling (hosted) process owning the descriptor.
+    pub ctl: Pid,
+    /// The descriptor number in `ctl`'s table.
+    pub fd: usize,
+    /// Control-interface calls made through this handle (each host-level
+    /// open/close/ioctl/lseek/read/write counts one).
+    pub calls: u64,
+}
+
+impl ProcHandle {
+    /// Opens the target's process file with the given flags.
+    pub fn open(sys: &mut System, ctl: Pid, pid: Pid, flags: OFlags) -> SysResult<ProcHandle> {
+        let fd = sys.host_open(ctl, &proc_path(pid), flags)?;
+        Ok(ProcHandle { pid, ctl, fd, calls: 1 })
+    }
+
+    /// Opens read/write (the debugger's usual mode).
+    pub fn open_rw(sys: &mut System, ctl: Pid, pid: Pid) -> SysResult<ProcHandle> {
+        Self::open(sys, ctl, pid, OFlags::rdwr())
+    }
+
+    /// Opens read-only (the `ps` mode: "the opens always succeed and no
+    /// interference is created").
+    pub fn open_ro(sys: &mut System, ctl: Pid, pid: Pid) -> SysResult<ProcHandle> {
+        Self::open(sys, ctl, pid, OFlags::rdonly())
+    }
+
+    /// Opens for exclusive control.
+    pub fn open_excl(sys: &mut System, ctl: Pid, pid: Pid) -> SysResult<ProcHandle> {
+        Self::open(sys, ctl, pid, OFlags::rdwr_excl())
+    }
+
+    /// Closes the descriptor.
+    pub fn close(mut self, sys: &mut System) -> SysResult<()> {
+        self.calls += 1;
+        sys.host_close(self.ctl, self.fd)
+    }
+
+    fn ioctl(&mut self, sys: &mut System, req: u32, arg: &[u8]) -> SysResult<Vec<u8>> {
+        self.calls += 1;
+        sys.host_ioctl(self.ctl, self.fd, req, arg)
+    }
+
+    /// `PIOCSTATUS`: the full status in one operation.
+    pub fn status(&mut self, sys: &mut System) -> SysResult<PrStatus> {
+        let out = self.ioctl(sys, PIOCSTATUS, &[])?;
+        PrStatus::from_bytes(&out).ok_or(Errno::EIO)
+    }
+
+    /// `PIOCSTOP`: direct the process to stop and wait for the stop.
+    pub fn stop(&mut self, sys: &mut System) -> SysResult<PrStatus> {
+        let out = self.ioctl(sys, PIOCSTOP, &[])?;
+        PrStatus::from_bytes(&out).ok_or(Errno::EIO)
+    }
+
+    /// `PIOCWSTOP`: wait for the next event-of-interest stop.
+    pub fn wstop(&mut self, sys: &mut System) -> SysResult<PrStatus> {
+        let out = self.ioctl(sys, PIOCWSTOP, &[])?;
+        PrStatus::from_bytes(&out).ok_or(Errno::EIO)
+    }
+
+    /// `PIOCRUN` with options.
+    pub fn run(&mut self, sys: &mut System, run: PrRun) -> SysResult<()> {
+        self.ioctl(sys, PIOCRUN, &run.to_bytes())?;
+        Ok(())
+    }
+
+    /// `PIOCRUN` with no options.
+    pub fn resume(&mut self, sys: &mut System) -> SysResult<()> {
+        self.run(sys, PrRun::default())
+    }
+
+    /// `PIOCSTRACE`: set traced signals.
+    pub fn set_sig_trace(&mut self, sys: &mut System, set: SigSet) -> SysResult<()> {
+        self.ioctl(sys, PIOCSTRACE, &set.to_bytes())?;
+        Ok(())
+    }
+
+    /// `PIOCGTRACE`: get traced signals.
+    pub fn sig_trace(&mut self, sys: &mut System) -> SysResult<SigSet> {
+        let out = self.ioctl(sys, PIOCGTRACE, &[])?;
+        SigSet::from_bytes(&out).ok_or(Errno::EIO)
+    }
+
+    /// `PIOCSFAULT`: set traced faults.
+    pub fn set_flt_trace(&mut self, sys: &mut System, set: FltSet) -> SysResult<()> {
+        self.ioctl(sys, PIOCSFAULT, &set.to_bytes())?;
+        Ok(())
+    }
+
+    /// `PIOCSENTRY`: set traced system call entries.
+    pub fn set_entry_trace(&mut self, sys: &mut System, set: SysSet) -> SysResult<()> {
+        self.ioctl(sys, PIOCSENTRY, &set.to_bytes())?;
+        Ok(())
+    }
+
+    /// `PIOCSEXIT`: set traced system call exits.
+    pub fn set_exit_trace(&mut self, sys: &mut System, set: SysSet) -> SysResult<()> {
+        self.ioctl(sys, PIOCSEXIT, &set.to_bytes())?;
+        Ok(())
+    }
+
+    /// `PIOCGREG`: fetch the general registers.
+    pub fn gregs(&mut self, sys: &mut System) -> SysResult<GregSet> {
+        let out = self.ioctl(sys, PIOCGREG, &[])?;
+        GregSet::from_bytes(&out).ok_or(Errno::EIO)
+    }
+
+    /// `PIOCSREG`: install the general registers.
+    pub fn set_gregs(&mut self, sys: &mut System, regs: &GregSet) -> SysResult<()> {
+        self.ioctl(sys, PIOCSREG, &regs.to_bytes())?;
+        Ok(())
+    }
+
+    /// `PIOCGFPREG`: fetch the floating registers.
+    pub fn fpregs(&mut self, sys: &mut System) -> SysResult<FpregSet> {
+        let out = self.ioctl(sys, PIOCGFPREG, &[])?;
+        FpregSet::from_bytes(&out).ok_or(Errno::EIO)
+    }
+
+    /// `PIOCSFPREG`: install the floating registers.
+    pub fn set_fpregs(&mut self, sys: &mut System, regs: &FpregSet) -> SysResult<()> {
+        self.ioctl(sys, PIOCSFPREG, &regs.to_bytes())?;
+        Ok(())
+    }
+
+    /// `PIOCMAP`: the address map.
+    pub fn maps(&mut self, sys: &mut System) -> SysResult<Vec<PrMap>> {
+        let out = self.ioctl(sys, PIOCMAP, &[])?;
+        Ok(PrMap::decode_list(&out))
+    }
+
+    /// `PIOCPSINFO`: the `ps` snapshot.
+    pub fn psinfo(&mut self, sys: &mut System) -> SysResult<PsInfo> {
+        let out = self.ioctl(sys, PIOCPSINFO, &[])?;
+        PsInfo::from_bytes(&out).ok_or(Errno::EIO)
+    }
+
+    /// `PIOCCRED`: credentials.
+    pub fn cred(&mut self, sys: &mut System) -> SysResult<PrCred> {
+        let out = self.ioctl(sys, PIOCCRED, &[])?;
+        PrCred::from_bytes(&out).ok_or(Errno::EIO)
+    }
+
+    /// `PIOCUSAGE`: resource usage.
+    pub fn usage(&mut self, sys: &mut System) -> SysResult<PrUsage> {
+        let out = self.ioctl(sys, PIOCUSAGE, &[])?;
+        PrUsage::from_bytes(&out).ok_or(Errno::EIO)
+    }
+
+    /// `PIOCKILL`: post a signal.
+    pub fn kill(&mut self, sys: &mut System, sig: usize) -> SysResult<()> {
+        self.ioctl(sys, PIOCKILL, &(sig as u32).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// `PIOCUNKILL`: delete a pending signal.
+    pub fn unkill(&mut self, sys: &mut System, sig: usize) -> SysResult<()> {
+        self.ioctl(sys, PIOCUNKILL, &(sig as u32).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// `PIOCSSIG`: set (0 clears) the current signal.
+    pub fn set_cursig(&mut self, sys: &mut System, sig: usize) -> SysResult<()> {
+        self.ioctl(sys, PIOCSSIG, &(sig as u32).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// `PIOCSFORK`/`PIOCRFORK`: inherit-on-fork.
+    pub fn set_inherit_on_fork(&mut self, sys: &mut System, on: bool) -> SysResult<()> {
+        self.ioctl(sys, if on { PIOCSFORK } else { PIOCRFORK }, &[])?;
+        Ok(())
+    }
+
+    /// `PIOCSRLC`/`PIOCRRLC`: run-on-last-close.
+    pub fn set_run_on_last_close(&mut self, sys: &mut System, on: bool) -> SysResult<()> {
+        self.ioctl(sys, if on { PIOCSRLC } else { PIOCRRLC }, &[])?;
+        Ok(())
+    }
+
+    /// `PIOCSWATCH`: add (or with `size == 0` remove) a watched area.
+    pub fn set_watch(&mut self, sys: &mut System, w: PrWatch) -> SysResult<()> {
+        self.ioctl(sys, PIOCSWATCH, &w.to_bytes())?;
+        Ok(())
+    }
+
+    /// `PIOCOPENM`: open the object mapped at `vaddr`, returning a plain
+    /// descriptor in the controller's table.
+    pub fn open_mapped(&mut self, sys: &mut System, vaddr: u64) -> SysResult<usize> {
+        let out = self.ioctl(sys, PIOCOPENM, &vaddr.to_le_bytes())?;
+        Ok(u64::from_le_bytes(out.try_into().map_err(|_| Errno::EIO)?) as usize)
+    }
+
+    /// Reads target memory at `addr` (lseek + read: two calls).
+    pub fn read_mem(&mut self, sys: &mut System, addr: u64, buf: &mut [u8]) -> SysResult<usize> {
+        self.calls += 2;
+        sys.host_lseek(self.ctl, self.fd, addr as i64, 0)?;
+        sys.host_read(self.ctl, self.fd, buf)
+    }
+
+    /// Writes target memory at `addr` (lseek + write: two calls).
+    pub fn write_mem(&mut self, sys: &mut System, addr: u64, data: &[u8]) -> SysResult<usize> {
+        self.calls += 2;
+        sys.host_lseek(self.ctl, self.fd, addr as i64, 0)?;
+        sys.host_write(self.ctl, self.fd, data)
+    }
+
+    /// Reads one 64-bit word of target memory.
+    pub fn peek(&mut self, sys: &mut System, addr: u64) -> SysResult<u64> {
+        let mut b = [0u8; 8];
+        self.read_mem(sys, addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes one 64-bit word of target memory.
+    pub fn poke(&mut self, sys: &mut System, addr: u64, value: u64) -> SysResult<()> {
+        self.write_mem(sys, addr, &value.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Reads the target's executable image via `PIOCOPENM` at the current
+    /// program counter and parses it (symbol-table access without
+    /// pathnames).
+    pub fn read_aout(&mut self, sys: &mut System) -> SysResult<ksim::Aout> {
+        let pc = self.status(sys)?.reg.pc;
+        let objfd = self.open_mapped(sys, pc)?;
+        let mut image = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            self.calls += 1;
+            let n = sys.host_read(self.ctl, objfd, &mut buf)?;
+            if n == 0 {
+                break;
+            }
+            image.extend_from_slice(&buf[..n]);
+        }
+        self.calls += 1;
+        sys.host_close(self.ctl, objfd)?;
+        ksim::Aout::from_bytes(&image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::Cred;
+
+    #[test]
+    fn handle_covers_basic_cycle() {
+        let mut sys = procfs::boot_with_proc();
+        let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+        sys.install_program("/bin/spin", "_start:\nloop: jmp loop");
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+        let st = h.stop(&mut sys).expect("stop");
+        assert_ne!(st.flags & procfs::PR_STOPPED, 0);
+        let regs = h.gregs(&mut sys).expect("gregs");
+        assert_eq!(regs.pc, st.reg.pc);
+        let maps = h.maps(&mut sys).expect("maps");
+        assert!(maps.iter().any(|m| m.name == "text"));
+        let aout = h.read_aout(&mut sys).expect("aout");
+        assert!(aout.sym("loop").is_some());
+        h.resume(&mut sys).expect("run");
+        let calls = h.calls;
+        assert!(calls > 0);
+        h.close(&mut sys).expect("close");
+    }
+}

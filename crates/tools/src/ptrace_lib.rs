@@ -1,0 +1,304 @@
+//! `ptrace(2)` as a library over `/proc` — and the kernel-`ptrace`
+//! baseline debugger.
+//!
+//! "It is possible ... to eliminate ptrace from the operating system and
+//! implement it as a library function built on /proc." [`PtraceOverProc`]
+//! is that library: the classic request set re-expressed as `/proc`
+//! operations. [`PtraceDebugger`] is the *kernel*-ptrace baseline used by
+//! experiments E1/E2: word-at-a-time PEEK/POKE plus wait-based stop
+//! handling, exactly the work profile the paper's efficiency argument is
+//! about.
+
+use crate::proc_io::ProcHandle;
+use isa::GregSet;
+use ksim::ptrace::{
+    decode_status, WaitStatus, PT_CONT, PT_KILL, PT_PEEKDATA, PT_PEEKTEXT, PT_POKEDATA,
+    PT_POKETEXT, PT_STEP,
+};
+use ksim::signal::SIGTRAP;
+use ksim::{Errno, Pid, SysResult, System};
+use procfs::{PrRun, PRRUN_CSIG, PRRUN_STEP, PRRUN_SVADDR};
+use std::collections::HashMap;
+
+/// The `ptrace` library built on `/proc`: one instance per controlling
+/// process, caching a `/proc` handle per target.
+pub struct PtraceOverProc {
+    ctl: Pid,
+    handles: HashMap<u32, ProcHandle>,
+    /// Control-interface calls made (each underlying `/proc` call).
+    pub calls: u64,
+}
+
+impl PtraceOverProc {
+    /// Creates the emulation layer for controller `ctl`.
+    pub fn new(ctl: Pid) -> PtraceOverProc {
+        PtraceOverProc { ctl, handles: HashMap::new(), calls: 0 }
+    }
+
+    fn handle(&mut self, sys: &mut System, pid: Pid) -> SysResult<&mut ProcHandle> {
+        if !self.handles.contains_key(&pid.0) {
+            let h = ProcHandle::open_rw(sys, self.ctl, pid)?;
+            self.handles.insert(pid.0, h);
+        }
+        Ok(self.handles.get_mut(&pid.0).expect("inserted above"))
+    }
+
+    /// The classic entry point: `ptrace(request, pid, addr, data)`.
+    pub fn ptrace(
+        &mut self,
+        sys: &mut System,
+        request: u64,
+        pid: Pid,
+        addr: u64,
+        data: u64,
+    ) -> SysResult<u64> {
+        match request {
+            PT_PEEKTEXT | PT_PEEKDATA => {
+                let h = self.handle(sys, pid)?;
+                let v = h.peek(sys, addr)?;
+                self.calls += 2;
+                Ok(v)
+            }
+            PT_POKETEXT | PT_POKEDATA => {
+                let h = self.handle(sys, pid)?;
+                h.poke(sys, addr, data)?;
+                self.calls += 2;
+                Ok(0)
+            }
+            PT_CONT | PT_STEP => {
+                let mut extra = 0u64;
+                let h = self.handle(sys, pid)?;
+                let mut flags = 0;
+                if data == 0 {
+                    flags |= PRRUN_CSIG;
+                } else {
+                    h.set_cursig(sys, data as usize)?;
+                    extra += 1;
+                }
+                if request == PT_STEP {
+                    flags |= PRRUN_STEP;
+                }
+                let vaddr = if addr != 1 { addr } else { 0 };
+                if addr != 1 {
+                    flags |= PRRUN_SVADDR;
+                }
+                h.run(sys, PrRun { flags, vaddr })?;
+                self.calls += extra + 1;
+                Ok(0)
+            }
+            PT_KILL => {
+                let h = self.handle(sys, pid)?;
+                h.kill(sys, ksim::signal::SIGKILL)?;
+                let _ = h.run(sys, PrRun::default());
+                self.calls += 2;
+                Ok(0)
+            }
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    /// Drops the cached handle for a dead target.
+    pub fn forget(&mut self, sys: &mut System, pid: Pid) {
+        if let Some(h) = self.handles.remove(&pid.0) {
+            let _ = h.close(sys);
+        }
+    }
+}
+
+/// A minimal breakpoint debugger built on *kernel* ptrace: the baseline
+/// the paper's `/proc` replaces. The target must be a child that called
+/// (or was marked with) trace-me.
+pub struct PtraceDebugger {
+    /// The controlling (parent) process.
+    pub ctl: Pid,
+    /// The traced child.
+    pub pid: Pid,
+    saved: HashMap<u64, u64>,
+    /// ptrace + wait calls made (E2's count).
+    pub calls: u64,
+}
+
+impl PtraceDebugger {
+    /// Launches `path` as a ptrace-traced child of `ctl`, stopped at its
+    /// first signal... which classic debuggers arrange by having the
+    /// child raise `SIGTRAP` immediately; here we mark it traced and
+    /// send the trap ourselves before it runs.
+    pub fn launch(
+        sys: &mut System,
+        ctl: Pid,
+        path: &str,
+        argv: &[&str],
+    ) -> SysResult<PtraceDebugger> {
+        let pid = sys.spawn_program(ctl, path, argv)?;
+        sys.host_ptrace_traceme(pid)?;
+        sys.host_kill(ctl, pid, SIGTRAP)?;
+        let mut dbg = PtraceDebugger { ctl, pid, saved: HashMap::new(), calls: 2 };
+        dbg.wait_stop(sys)?;
+        Ok(dbg)
+    }
+
+    /// Waits for the child to stop (or exit).
+    pub fn wait_stop(&mut self, sys: &mut System) -> SysResult<WaitStatus> {
+        self.calls += 1;
+        let (_, status) = sys.host_wait(self.ctl)?;
+        Ok(decode_status(status))
+    }
+
+    /// Reads one word.
+    pub fn peek(&mut self, sys: &mut System, addr: u64) -> SysResult<u64> {
+        self.calls += 1;
+        sys.host_ptrace(self.ctl, PT_PEEKTEXT, self.pid, addr, 0)
+    }
+
+    /// Writes one word.
+    pub fn poke(&mut self, sys: &mut System, addr: u64, value: u64) -> SysResult<()> {
+        self.calls += 1;
+        sys.host_ptrace(self.ctl, PT_POKETEXT, self.pid, addr, value)?;
+        Ok(())
+    }
+
+    /// Reads a buffer word by word — the ptrace way.
+    pub fn read_mem(&mut self, sys: &mut System, addr: u64, buf: &mut [u8]) -> SysResult<()> {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let word = self.peek(sys, addr + off as u64)?;
+            let bytes = word.to_le_bytes();
+            let n = (buf.len() - off).min(8);
+            buf[off..off + n].copy_from_slice(&bytes[..n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Fetches the registers (the GETREGS extension; one call).
+    pub fn regs(&mut self, sys: &mut System) -> SysResult<GregSet> {
+        self.calls += 1;
+        sys.host_ptrace_getregs(self.ctl, self.pid)
+    }
+
+    /// Installs registers.
+    pub fn set_regs(&mut self, sys: &mut System, regs: GregSet) -> SysResult<()> {
+        self.calls += 1;
+        sys.host_ptrace_setregs(self.ctl, self.pid, regs)
+    }
+
+    /// Plants a breakpoint.
+    pub fn set_breakpoint(&mut self, sys: &mut System, addr: u64) -> SysResult<()> {
+        let original = self.peek(sys, addr)?;
+        self.saved.insert(addr, original);
+        self.poke(sys, addr, u64::from_le_bytes(isa::insn::breakpoint_bytes()))
+    }
+
+    /// Removes a breakpoint.
+    pub fn clear_breakpoint(&mut self, sys: &mut System, addr: u64) -> SysResult<()> {
+        let original = self.saved.remove(&addr).ok_or(Errno::ENOENT)?;
+        self.poke(sys, addr, original)
+    }
+
+    /// Continues (delivering no signal) and waits for the next stop.
+    pub fn cont_wait(&mut self, sys: &mut System) -> SysResult<WaitStatus> {
+        self.calls += 1;
+        sys.host_ptrace(self.ctl, PT_CONT, self.pid, 1, 0)?;
+        self.wait_stop(sys)
+    }
+
+    /// The classic resume-past-a-breakpoint dance: restore the original
+    /// word, single-step, re-plant, continue.
+    pub fn step_over_and_cont(&mut self, sys: &mut System, addr: u64) -> SysResult<WaitStatus> {
+        let original = *self.saved.get(&addr).ok_or(Errno::ENOENT)?;
+        self.poke(sys, addr, original)?;
+        self.calls += 1;
+        sys.host_ptrace(self.ctl, PT_STEP, self.pid, 1, 0)?;
+        let st = self.wait_stop(sys)?;
+        if !matches!(st, WaitStatus::Stopped(_)) {
+            return Ok(st);
+        }
+        self.poke(sys, addr, u64::from_le_bytes(isa::insn::breakpoint_bytes()))?;
+        self.cont_wait(sys)
+    }
+
+    /// Kills the child.
+    pub fn kill(&mut self, sys: &mut System) -> SysResult<()> {
+        self.calls += 1;
+        sys.host_ptrace(self.ctl, PT_KILL, self.pid, 0, 0)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::Cred;
+
+    #[test]
+    fn ptrace_over_proc_peek_poke_cont() {
+        let mut sys = crate::userland::boot_demo();
+        let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+        let pid = sys.spawn_program(ctl, "/bin/ticker", &["ticker"]).expect("spawn");
+        // Stop it through /proc first (the library needs a stopped
+        // target for poke of registers etc., like real ptrace).
+        let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+        h.stop(&mut sys).expect("stop");
+        let mut pt = PtraceOverProc::new(ctl);
+        let aout = h.read_aout(&mut sys).expect("aout");
+        let tick = aout.sym("tick").expect("symbol");
+        let word = pt.ptrace(&mut sys, PT_PEEKTEXT, pid, tick, 0).expect("peek");
+        assert_ne!(word, 0);
+        pt.ptrace(&mut sys, PT_POKETEXT, pid, tick, word).expect("poke");
+        pt.ptrace(&mut sys, PT_CONT, pid, 1, 0).expect("cont");
+        sys.run_idle(10);
+        assert!(!sys.kernel.proc(pid).expect("alive").is_stopped());
+        assert!(pt.calls >= 5);
+        pt.forget(&mut sys, pid);
+        h.close(&mut sys).expect("close");
+    }
+
+    #[test]
+    fn ptrace_debugger_breakpoint_cycle() {
+        let mut sys = crate::userland::boot_demo();
+        let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+        let mut dbg =
+            PtraceDebugger::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        // Find `tick` from a fresh assembly of the program (ptrace has no
+        // PIOCOPENM; the baseline debugger needs the symbol table on the
+        // side — itself part of the paper's point).
+        let aout = ksim::aout::build_aout(crate::userland::TICKER).expect("asm");
+        let tick = aout.sym("tick").expect("symbol");
+        dbg.set_breakpoint(&mut sys, tick).expect("bp");
+        let st = dbg.cont_wait(&mut sys).expect("cont");
+        assert_eq!(st, WaitStatus::Stopped(SIGTRAP));
+        let regs = dbg.regs(&mut sys).expect("regs");
+        assert_eq!(regs.pc, tick);
+        // Resume past it and hit it again.
+        let st = dbg.step_over_and_cont(&mut sys, tick).expect("dance");
+        assert_eq!(st, WaitStatus::Stopped(SIGTRAP));
+        assert_eq!(dbg.regs(&mut sys).expect("regs").pc, tick);
+        dbg.kill(&mut sys).expect("kill");
+    }
+
+    #[test]
+    fn word_at_a_time_reads_cost_more_calls() {
+        // The core of E2: reading 64 bytes costs 8 PEEKs under ptrace
+        // but one lseek+read pair under /proc.
+        let mut sys = crate::userland::boot_demo();
+        let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+        let mut dbg =
+            PtraceDebugger::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        let aout = ksim::aout::build_aout(crate::userland::TICKER).expect("asm");
+        let tick = aout.sym("tick").expect("symbol");
+        let before = dbg.calls;
+        let mut buf = [0u8; 64];
+        dbg.read_mem(&mut sys, tick, &mut buf).expect("read");
+        let ptrace_calls = dbg.calls - before;
+        assert_eq!(ptrace_calls, 8);
+        let mut h = ProcHandle::open_rw(&mut sys, ctl, dbg.pid).expect("open");
+        let before = h.calls;
+        let mut buf2 = [0u8; 64];
+        h.read_mem(&mut sys, tick, &mut buf2).expect("read");
+        let proc_calls = h.calls - before;
+        assert_eq!(proc_calls, 2);
+        assert_eq!(buf, buf2);
+        dbg.kill(&mut sys).expect("kill");
+        h.close(&mut sys).expect("close");
+    }
+}

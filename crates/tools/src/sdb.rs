@@ -1,0 +1,363 @@
+//! `sdb` — a scripted command-line debugger front-end.
+//!
+//! "The standard debuggers sdb(1) and dbx(1) have been rewritten in SVR4
+//! to use /proc (and, for sdb, to add a few new capabilities, such as the
+//! ability to grab and debug an existing process)." This module provides
+//! the command loop of such a debugger over [`crate::Debugger`]; commands
+//! arrive as strings (a script or an interactive reader) and output is a
+//! transcript, which keeps it testable.
+//!
+//! Commands:
+//!
+//! ```text
+//! break <sym|0xADDR>      plant a breakpoint            (alias: b)
+//! delete <sym|0xADDR>     remove a breakpoint           (alias: d)
+//! cont                    continue to the next event    (alias: c)
+//! step [n]                single-step n instructions    (alias: s)
+//! regs                    show the general registers    (alias: r)
+//! x <sym|0xADDR> [n]      examine n 64-bit words        (alias: examine)
+//! dis <sym|0xADDR> [n]    disassemble n instructions
+//! poke <sym|0xADDR> <v>   write one word
+//! watch <sym|0xADDR> <len> set a write watchpoint
+//! signal <sig>            post a signal to the target
+//! clearsig                discard the current signal
+//! map                     show the address map
+//! where                   symbolise the current PC
+//! kill                    kill the target and finish
+//! detach                  release the target and finish
+//! ```
+
+use crate::debugger::{DebugEvent, Debugger};
+use crate::proc_io::ProcHandle;
+use isa::reg::reg_name;
+use ksim::fault::Fault;
+use ksim::signal::sig_name;
+use ksim::{Errno, Pid, SysResult, System};
+use procfs::PrWatch;
+
+/// The scripted debugger session.
+pub struct Sdb {
+    dbg: Option<Debugger>,
+    transcript: String,
+    finished: bool,
+}
+
+impl Sdb {
+    /// Launches `path` under control, stopped at its first instruction.
+    pub fn launch(sys: &mut System, ctl: Pid, path: &str, argv: &[&str]) -> SysResult<Sdb> {
+        let dbg = Debugger::launch(sys, ctl, path, argv)?;
+        let mut s = Sdb { dbg: Some(dbg), transcript: String::new(), finished: false };
+        s.say(&format!(
+            "sdb: {} (pid {}) stopped before first instruction",
+            path,
+            s.dbg.as_ref().expect("just launched").pid()
+        ));
+        Ok(s)
+    }
+
+    /// Grabs a running process.
+    pub fn attach(sys: &mut System, ctl: Pid, pid: Pid) -> SysResult<Sdb> {
+        let dbg = Debugger::attach(sys, ctl, pid)?;
+        let mut s = Sdb { dbg: Some(dbg), transcript: String::new(), finished: false };
+        s.say(&format!("sdb: grabbed pid {pid}"));
+        Ok(s)
+    }
+
+    /// True once the target exited or was released.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The session transcript so far.
+    pub fn transcript(&self) -> &str {
+        &self.transcript
+    }
+
+    fn say(&mut self, line: &str) {
+        self.transcript.push_str(line);
+        self.transcript.push('\n');
+    }
+
+    fn dbg(&mut self) -> SysResult<&mut Debugger> {
+        self.dbg.as_mut().ok_or(Errno::ESRCH)
+    }
+
+    fn resolve(&mut self, token: &str) -> SysResult<u64> {
+        if let Some(hex) = token.strip_prefix("0x") {
+            return u64::from_str_radix(hex, 16).map_err(|_| Errno::EINVAL);
+        }
+        if let Ok(v) = token.parse::<u64>() {
+            return Ok(v);
+        }
+        self.dbg()?.sym(token)
+    }
+
+    fn describe(&mut self, ev: &DebugEvent) -> String {
+        match ev {
+            DebugEvent::Breakpoint { addr, hits } => {
+                let sym = self
+                    .dbg
+                    .as_ref()
+                    .and_then(|d| d.aout.sym_at(*addr))
+                    .map(|s| format!(" <{s}>"))
+                    .unwrap_or_default();
+                format!("breakpoint at {addr:#x}{sym} (hit {hits})")
+            }
+            DebugEvent::Signal(sig) => format!("received signal {}", sig_name(*sig)),
+            DebugEvent::SyscallEntry(nr) => {
+                format!("stopped at entry to {}", ksim::sysno::sys_name(*nr))
+            }
+            DebugEvent::SyscallExit(nr) => {
+                format!("stopped at exit from {}", ksim::sysno::sys_name(*nr))
+            }
+            DebugEvent::Fault(f) => format!("incurred fault {}", f.name()),
+            DebugEvent::Stepped => "stepped".to_string(),
+            DebugEvent::Watchpoint => "watchpoint fired".to_string(),
+            DebugEvent::Stopped => "stopped".to_string(),
+            DebugEvent::Exited(status) => {
+                format!("process exited, status {:?}", ksim::ptrace::decode_status(*status))
+            }
+        }
+    }
+
+    /// Executes one command line; output goes to the transcript.
+    pub fn exec(&mut self, sys: &mut System, line: &str) -> SysResult<()> {
+        if self.finished {
+            self.say("sdb: session finished");
+            return Ok(());
+        }
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else { return Ok(()) };
+        let args: Vec<&str> = parts.collect();
+        match (cmd, args.as_slice()) {
+            ("break" | "b", [target]) => {
+                let addr = self.resolve(target)?;
+                self.dbg()?.set_breakpoint(sys, addr)?;
+                self.say(&format!("breakpoint set at {addr:#x}"));
+            }
+            ("delete" | "d", [target]) => {
+                let addr = self.resolve(target)?;
+                self.dbg()?.clear_breakpoint(sys, addr)?;
+                self.say(&format!("breakpoint removed from {addr:#x}"));
+            }
+            ("cont" | "c", []) => {
+                let ev = self.dbg()?.cont(sys)?;
+                if matches!(ev, DebugEvent::Exited(_)) {
+                    self.finished = true;
+                }
+                let msg = self.describe(&ev);
+                self.say(&msg);
+            }
+            ("step" | "s", rest) => {
+                let n: usize = rest.first().and_then(|t| t.parse().ok()).unwrap_or(1);
+                for _ in 0..n {
+                    let ev = self.dbg()?.step(sys)?;
+                    if !matches!(ev, DebugEvent::Stepped) {
+                        if matches!(ev, DebugEvent::Exited(_)) {
+                            self.finished = true;
+                        }
+                        let msg = self.describe(&ev);
+                        self.say(&msg);
+                        return Ok(());
+                    }
+                }
+                let regs = self.dbg()?.regs(sys)?;
+                let line = {
+                    let dbg = self.dbg()?;
+                    let mut b = [0u8; 8];
+                    dbg.read(sys, regs.pc, &mut b)?;
+                    isa::dis::disassemble(&b, regs.pc)
+                };
+                self.say(&format!("stepped to {:#x}: {}", regs.pc, line));
+            }
+            ("regs" | "r", []) => {
+                let regs = self.dbg()?.regs(sys)?;
+                self.say(&format!("pc  = {:#018x}  psr = {:#x}", regs.pc, regs.psr));
+                for chunk in (0..32).collect::<Vec<_>>().chunks(4) {
+                    let line = chunk
+                        .iter()
+                        .map(|&i| format!("{:<4}= {:#018x}", reg_name(i), regs.get(i)))
+                        .collect::<Vec<_>>()
+                        .join("  ");
+                    self.say(&line);
+                }
+            }
+            ("x" | "examine", [target, rest @ ..]) => {
+                let addr = self.resolve(target)?;
+                let n: usize = rest.first().and_then(|t| t.parse().ok()).unwrap_or(1);
+                for i in 0..n {
+                    let a = addr + (i as u64) * 8;
+                    let dbg = self.dbg()?;
+                    let mut b = [0u8; 8];
+                    dbg.read(sys, a, &mut b)?;
+                    self.say(&format!("{a:#010x}: {:#018x}", u64::from_le_bytes(b)));
+                }
+            }
+            ("dis", [target, rest @ ..]) => {
+                let addr = self.resolve(target)?;
+                let n: usize = rest.first().and_then(|t| t.parse().ok()).unwrap_or(4);
+                let listing = self.dbg()?.disassemble(sys, addr, n)?;
+                self.transcript.push_str(&listing);
+            }
+            ("poke", [target, value]) => {
+                let addr = self.resolve(target)?;
+                let v = self.resolve(value)?;
+                self.dbg()?.write(sys, addr, &v.to_le_bytes())?;
+                self.say(&format!("poked {v:#x} at {addr:#x}"));
+            }
+            ("watch", [target, len]) => {
+                let addr = self.resolve(target)?;
+                let len: u64 = len.parse().map_err(|_| Errno::EINVAL)?;
+                let dbg = self.dbg()?;
+                let mut flt = ksim::FltSet::empty();
+                flt.add(Fault::Bpt.number());
+                flt.add(Fault::Trace.number());
+                flt.add(Fault::Watch.number());
+                dbg.h.set_flt_trace(sys, flt)?;
+                dbg.h.set_watch(sys, PrWatch { vaddr: addr, size: len, flags: 2 })?;
+                self.say(&format!("watching {len} bytes at {addr:#x} for writes"));
+            }
+            ("signal", [sig]) => {
+                let sig: usize = sig.parse().map_err(|_| Errno::EINVAL)?;
+                self.dbg()?.h.kill(sys, sig)?;
+                self.say(&format!("posted {}", sig_name(sig)));
+            }
+            ("clearsig", []) => {
+                self.dbg()?.clear_signal(sys)?;
+                self.say("current signal cleared");
+            }
+            ("map", []) => {
+                let maps = self.dbg()?.h.maps(sys)?;
+                self.transcript.push_str(&crate::pmap::render(&maps));
+            }
+            ("where", []) => {
+                let regs = self.dbg()?.regs(sys)?;
+                let sym = crate::postmortem::nearest_symbol(&self.dbg()?.aout, regs.pc);
+                match sym {
+                    Some((name, 0)) => self.say(&format!("pc = {:#x} in {name}", regs.pc)),
+                    Some((name, off)) => {
+                        self.say(&format!("pc = {:#x} in {name}+{off:#x}", regs.pc))
+                    }
+                    None => self.say(&format!("pc = {:#x}", regs.pc)),
+                }
+            }
+            ("kill", []) => {
+                if let Some(dbg) = self.dbg.take() {
+                    dbg.kill(sys)?;
+                }
+                self.finished = true;
+                self.say("killed");
+            }
+            ("detach", []) => {
+                if let Some(dbg) = self.dbg.take() {
+                    dbg.detach(sys)?;
+                }
+                self.finished = true;
+                self.say("detached");
+            }
+            _ => self.say(&format!("sdb: unknown command `{line}`")),
+        }
+        Ok(())
+    }
+
+    /// Runs a whole script, returning the transcript.
+    pub fn run_script(
+        sys: &mut System,
+        ctl: Pid,
+        path: &str,
+        argv: &[&str],
+        script: &[&str],
+    ) -> SysResult<String> {
+        let mut sdb = Sdb::launch(sys, ctl, path, argv)?;
+        for line in script {
+            sdb.exec(sys, line)?;
+            if sdb.finished {
+                break;
+            }
+        }
+        if !sdb.finished {
+            if let Some(dbg) = sdb.dbg.take() {
+                let _ = dbg.kill(sys);
+            }
+        }
+        Ok(sdb.transcript)
+    }
+}
+
+/// Reads the handle type used in command implementations (doc aid).
+pub type SdbHandle = ProcHandle;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::Cred;
+
+    fn boot() -> (System, Pid) {
+        let mut sys = crate::userland::boot_demo();
+        let ctl = sys.spawn_hosted("sdb", Cred::new(100, 10));
+        (sys, ctl)
+    }
+
+    #[test]
+    fn scripted_breakpoint_session() {
+        let (mut sys, ctl) = boot();
+        let t = Sdb::run_script(
+            &mut sys,
+            ctl,
+            "/bin/ticker",
+            &["ticker"],
+            &["b tick", "c", "regs", "where", "c", "x tick 2", "dis tick 2", "kill"],
+        )
+        .expect("script");
+        assert!(t.contains("breakpoint set at"), "{t}");
+        assert!(t.contains("<tick> (hit 1)"), "{t}");
+        assert!(t.contains("pc  ="), "{t}");
+        assert!(t.contains("in tick"), "{t}");
+        assert!(t.contains("(hit 2)"), "{t}");
+        assert!(t.contains("killed"), "{t}");
+    }
+
+    #[test]
+    fn step_and_poke() {
+        let (mut sys, ctl) = boot();
+        let t = Sdb::run_script(
+            &mut sys,
+            ctl,
+            "/bin/ticker",
+            &["ticker"],
+            &["s", "s 2", "map", "poke 0x1001000 66", "x 0x1001000 1", "detach"],
+        )
+        .expect("script");
+        assert!(t.contains("stepped to"), "{t}");
+        assert!(t.contains("text"), "{t}");
+        assert!(t.contains("0x01001000: 0x0000000000000042"), "{t}");
+        assert!(t.contains("detached"), "{t}");
+    }
+
+    #[test]
+    fn watch_command_stops_on_store() {
+        let (mut sys, ctl) = boot();
+        let mut sdb = Sdb::launch(&mut sys, ctl, "/bin/watched", &["watched"]).expect("launch");
+        sdb.exec(&mut sys, "watch cell 8").expect("watch");
+        sdb.exec(&mut sys, "cont").expect("cont");
+        assert!(sdb.transcript().contains("watchpoint fired"), "{}", sdb.transcript());
+        sdb.exec(&mut sys, "kill").expect("kill");
+    }
+
+    #[test]
+    fn run_to_exit_reports() {
+        let (mut sys, ctl) = boot();
+        let t = Sdb::run_script(&mut sys, ctl, "/bin/greeter", &["greeter"], &["c"])
+            .expect("script");
+        assert!(t.contains("process exited, status Exited(0)"), "{t}");
+    }
+
+    #[test]
+    fn unknown_command_is_reported_not_fatal() {
+        let (mut sys, ctl) = boot();
+        let t = Sdb::run_script(&mut sys, ctl, "/bin/ticker", &["t"], &["frobnicate", "kill"])
+            .expect("script");
+        assert!(t.contains("unknown command"), "{t}");
+        assert!(t.contains("killed"), "{t}");
+    }
+}

@@ -1,0 +1,365 @@
+//! The canned simulated userland: assembly programs installed into the
+//! root file system for examples, tests and the benchmark harness.
+//!
+//! Each program exercises a facet of the process model: spinning (stop
+//! targets), calling functions (breakpoint targets), bursts of system
+//! calls (tracing targets), forking, pipes, signals, shared libraries,
+//! retired system calls (encapsulation), and watched stores.
+
+use ksim::aout::{build_aout, build_lib};
+use ksim::System;
+
+/// A busy loop; the canonical stop/attach target.
+pub const SPIN: &str = r#"
+_start:
+loop:
+    jmp loop
+"#;
+
+/// Calls `tick` forever; plant breakpoints on `tick`. `a0` counts calls.
+pub const TICKER: &str = r#"
+_start:
+    movi a0, 0
+loop:
+    call tick
+    jmp  loop
+tick:
+    addi a0, a0, 1
+    ret
+"#;
+
+/// Performs `a1` getpid calls, then exits 0. Default count comes from
+/// argv; falls back to 1000.
+pub const SYSCALL_BURST: &str = r#"
+_start:
+    movi a1, 1000
+    movi a2, 0
+loop:
+    beq  a2, a1, done
+    movi rv, 20        ; getpid
+    syscall
+    addi a2, a2, 1
+    jmp  loop
+done:
+    movi rv, 1
+    movi a0, 0
+    syscall
+"#;
+
+/// Calls the retired system call forever, exiting with the first
+/// nonnegative result (only an encapsulating controller can produce
+/// one — the kernel itself fails the call with ENOSYS).
+pub const RETIRED_CALLER: &str = r#"
+_start:
+    movi a5, 100        ; attempts
+loop:
+    movi rv, 79         ; retired_op(7)
+    movi a0, 7
+    syscall
+    slti a1, rv, 0      ; rv < 0 ?
+    beq  a1, zero, got
+    addi a5, a5, -1
+    bne  a5, zero, loop
+    movi rv, 1          ; exhausted: exit 255
+    movi a0, 255
+    syscall
+got:
+    mov  a0, rv
+    movi rv, 1          ; exit(result)
+    syscall
+"#;
+
+/// Forks `a1` children that each exit immediately; reaps them; exits 0.
+pub const FORKER: &str = r#"
+_start:
+    movi a1, 3
+loop:
+    beq  a1, zero, done
+    movi rv, 2          ; fork
+    syscall
+    beq  rv, zero, child
+    movi rv, 7          ; wait(0)
+    movi a0, 0
+    syscall
+    addi a1, a1, -1
+    jmp  loop
+child:
+    movi rv, 20         ; getpid — give truss -f something to see
+    syscall
+    movi rv, 1          ; exit(0)
+    movi a0, 0
+    syscall
+done:
+    movi rv, 1
+    movi a0, 0
+    syscall
+"#;
+
+/// Parent writes through a pipe to a child which echoes the byte count.
+pub const PIPER: &str = r#"
+_start:
+    movi rv, 42
+    la   a0, fds
+    syscall
+    movi rv, 2
+    syscall
+    beq  rv, zero, child
+    la   a0, fds
+    ld   a0, [a0+8]
+    movi rv, 4          ; write(wfd, msg, 5)
+    la   a1, msg
+    movi a2, 5
+    syscall
+    movi rv, 7
+    la   a0, st
+    syscall
+    la   a0, st
+    ld   a0, [a0]
+    shri a0, a0, 8
+    movi rv, 1          ; exit(child code)
+    syscall
+child:
+    la   a0, fds
+    ld   a0, [a0]
+    movi rv, 3          ; read(rfd, buf, 16)
+    la   a1, buf
+    movi a2, 16
+    syscall
+    mov  a0, rv
+    movi rv, 1          ; exit(bytes)
+    syscall
+.data
+.align 8
+fds: .space 16
+st:  .word 0
+msg: .asciz "ping"
+buf: .space 16
+"#;
+
+/// Installs a SIGUSR1 handler that bumps a counter, then pauses forever.
+pub const SIGLOOP: &str = r#"
+_start:
+    movi rv, 48         ; sigaction(SIGUSR1, handler, 0)
+    movi a0, 16
+    la   a1, handler
+    movi a2, 0
+    syscall
+waitloop:
+    movi rv, 29         ; pause
+    syscall
+    jmp  waitloop
+handler:
+    la   a1, counter
+    ld   a2, [a1]
+    addi a2, a2, 1
+    st   a2, [a1]
+    ret
+.data
+.align 8
+counter: .word 0
+"#;
+
+/// Stores into a watched cell and an unwatched same-page cell in a loop.
+pub const WATCH_TARGET: &str = r#"
+_start:
+    la   a0, cell
+    movi a1, 0
+loop:
+    addi a1, a1, 1
+    st   a1, [a0+512]   ; same page, unwatched
+    st   a1, [a0]       ; watched by the controller
+    jmp  loop
+.data
+.align 8
+cell: .space 1024
+"#;
+
+/// Greeter: writes a message into `/tmp/greeting` and exits 0.
+pub const GREETER: &str = r#"
+_start:
+    movi rv, 8          ; creat("/tmp/greeting")
+    la   a0, path
+    syscall
+    mov  a0, rv
+    movi rv, 4          ; write(fd, msg, 24)
+    la   a1, msg
+    movi a2, 24
+    syscall
+    movi rv, 6          ; close
+    syscall
+    movi rv, 1
+    movi a0, 0
+    syscall
+.data
+path: .asciz "/tmp/greeting"
+msg:  .asciz "hello from the simulator"
+"#;
+
+/// Source of the demo shared library: an `lrandom`-ish routine at a
+/// well-known address plus a data cell.
+pub const LIBDEMO: &str = r#"
+; libdemo: triple(a0) -> a0*3, and a library-data cell
+triple:
+    mov  a1, a0
+    add  a0, a0, a1
+    add  a0, a0, a1
+    ret
+.data
+.align 8
+libcell: .word 1234
+"#;
+
+/// A program linked against libdemo: calls `triple(14)` and exits with
+/// the result (42).
+pub fn libuser_src() -> String {
+    let lib = build_lib(LIBDEMO, 0).expect("libdemo assembles");
+    let triple = lib.sym("triple").expect("triple symbol");
+    format!(
+        r#"
+_start:
+    movi a0, 14
+    li   a3, {triple}
+    callr a3
+    movi rv, 1
+    syscall
+"#
+    )
+}
+
+/// Burns CPU with floating point, then sleeps in a loop (ps variety).
+pub const SLEEPER: &str = r#"
+_start:
+    fmovi f0, 1
+    fmovi f1, 3
+loop:
+    fdiv  f2, f0, f1
+    movi rv, 69         ; nanosleep(2000)
+    movi a0, 2000
+    syscall
+    jmp  loop
+"#;
+
+/// Divides by zero (fault demo).
+pub const FAULTY: &str = r#"
+_start:
+    movi a0, 1
+    movi a1, 0
+    div  a2, a0, a1
+    movi rv, 1
+    movi a0, 0
+    syscall
+"#;
+
+/// Creates a second LWP; both spin (multi-threading demo).
+pub const THREADED: &str = r#"
+_start:
+    movi rv, 73
+    la   a0, side
+    addi a1, sp, -8192
+    movi a2, 0
+    syscall
+mainloop:
+    jmp mainloop
+side:
+    jmp side
+"#;
+
+/// Installs every canned program (plus `/lib/libdemo` and `/bin/libuser`)
+/// into the system's root file system.
+pub fn install_userland(sys: &mut System) {
+    let tmp = sys.memfs_mut().mkdir_p(&["tmp"]);
+    sys.memfs_mut().set_mode(tmp, 0o777);
+    for (path, src) in [
+        ("/bin/spin", SPIN),
+        ("/bin/ticker", TICKER),
+        ("/bin/burst", SYSCALL_BURST),
+        ("/bin/retired", RETIRED_CALLER),
+        ("/bin/forker", FORKER),
+        ("/bin/piper", PIPER),
+        ("/bin/sigloop", SIGLOOP),
+        ("/bin/watched", WATCH_TARGET),
+        ("/bin/greeter", GREETER),
+        ("/bin/sleeper", SLEEPER),
+        ("/bin/faulty", FAULTY),
+        ("/bin/threaded", THREADED),
+    ] {
+        sys.install_program(path, src);
+    }
+    // The shared library and its client.
+    let lib = build_lib(LIBDEMO, 0).expect("libdemo assembles");
+    sys.install_aout("/lib/libdemo", &lib, 0o755);
+    let user = build_aout(&libuser_src()).expect("libuser assembles").with_libs(&["libdemo"]);
+    sys.install_aout("/bin/libuser", &user, 0o755);
+}
+
+/// Boots a full demonstration system: `/proc` + `/proc2` mounted and the
+/// userland installed.
+pub fn boot_demo() -> System {
+    let mut sys = procfs::boot_with_proc();
+    install_userland(&mut sys);
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::ptrace::{decode_status, WaitStatus};
+    use ksim::Cred;
+
+    #[test]
+    fn all_programs_assemble_and_install() {
+        let mut sys = boot_demo();
+        let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+        let entries = sys.list_dir(ctl, "/bin").expect("list /bin");
+        assert!(entries.len() >= 12, "{entries:?}");
+    }
+
+    #[test]
+    fn libuser_returns_42_through_the_shared_library() {
+        let mut sys = boot_demo();
+        let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+        let pid = sys.spawn_program(ctl, "/bin/libuser", &["libuser"]).expect("spawn");
+        let _ = pid;
+        let (_, status) = sys.host_wait(ctl).expect("wait");
+        assert_eq!(decode_status(status), WaitStatus::Exited(42));
+    }
+
+    #[test]
+    fn greeter_writes_its_file() {
+        let mut sys = boot_demo();
+        let ctl = sys.spawn_hosted("ctl", Cred::superuser());
+        sys.spawn_program(ctl, "/bin/greeter", &["greeter"]).expect("spawn");
+        sys.host_wait(ctl).expect("wait");
+        let mut buf = [0u8; 32];
+        let fd = sys.host_open(ctl, "/tmp/greeting", vfs::OFlags::rdonly()).expect("open");
+        let n = sys.host_read(ctl, fd, &mut buf).expect("read");
+        assert_eq!(&buf[..n], b"hello from the simulator");
+    }
+
+    #[test]
+    fn piper_round_trip() {
+        let mut sys = boot_demo();
+        let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+        sys.spawn_program(ctl, "/bin/piper", &["piper"]).expect("spawn");
+        let (_, status) = sys.host_wait(ctl).expect("wait");
+        assert_eq!(decode_status(status), WaitStatus::Exited(5), "five piped bytes");
+    }
+
+    #[test]
+    fn forker_completes() {
+        let mut sys = boot_demo();
+        let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+        sys.spawn_program(ctl, "/bin/forker", &["forker"]).expect("spawn");
+        let (_, status) = sys.host_wait(ctl).expect("wait");
+        assert_eq!(decode_status(status), WaitStatus::Exited(0));
+    }
+
+    #[test]
+    fn burst_completes() {
+        let mut sys = boot_demo();
+        let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+        sys.spawn_program(ctl, "/bin/burst", &["burst"]).expect("spawn");
+        let (_, status) = sys.host_wait(ctl).expect("wait");
+        assert_eq!(decode_status(status), WaitStatus::Exited(0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Process credentials.
+//!
+//! "Permission to open a /proc file requires that both the uid and gid of
+//! the traced process match those of the controlling process; setuid and
+//! setgid processes can be opened only by the super-user." The credential
+//! structure carries real, effective and saved ids so the set-id exec
+//! rules can be expressed faithfully.
+
+/// User identifier.
+pub type Uid = u32;
+/// Group identifier.
+pub type Gid = u32;
+
+/// Full credentials of a process (the content of `PIOCCRED`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cred {
+    /// Real user id.
+    pub ruid: Uid,
+    /// Effective user id.
+    pub euid: Uid,
+    /// Saved user id (from the last set-id exec).
+    pub suid: Uid,
+    /// Real group id.
+    pub rgid: Gid,
+    /// Effective group id.
+    pub egid: Gid,
+    /// Saved group id.
+    pub sgid: Gid,
+    /// Supplementary groups (`PIOCGROUPS`).
+    pub groups: Vec<Gid>,
+}
+
+impl Cred {
+    /// Credentials with all ids equal to `uid`/`gid` and no supplementary
+    /// groups.
+    pub fn new(uid: Uid, gid: Gid) -> Cred {
+        Cred { ruid: uid, euid: uid, suid: uid, rgid: gid, egid: gid, sgid: gid, groups: vec![] }
+    }
+
+    /// Root credentials.
+    pub fn superuser() -> Cred {
+        Cred::new(0, 0)
+    }
+
+    /// True if the effective uid is root.
+    pub fn is_superuser(&self) -> bool {
+        self.euid == 0
+    }
+
+    /// True if the process is (or has been) set-id: effective or saved ids
+    /// differ from the real ids. Such processes can be opened through
+    /// `/proc` only by the super-user.
+    pub fn is_setid(&self) -> bool {
+        self.euid != self.ruid
+            || self.egid != self.rgid
+            || self.suid != self.ruid
+            || self.sgid != self.rgid
+    }
+
+    /// True if `self` may open the `/proc` file of a process owning
+    /// `target` credentials: super-user always; otherwise both the uid and
+    /// gid must match and the target must not be set-id.
+    pub fn can_control(&self, target: &Cred) -> bool {
+        if self.is_superuser() {
+            return true;
+        }
+        !target.is_setid() && self.euid == target.ruid && self.egid == target.rgid
+    }
+
+    /// Classic file-permission check against a mode/owner triple.
+    /// `want` bits: 4 read, 2 write, 1 execute.
+    pub fn file_access(&self, mode: u16, uid: Uid, gid: Gid, want: u16) -> bool {
+        if self.is_superuser() {
+            // Root needs at least one execute bit for execute permission.
+            if want & 1 != 0 {
+                return mode & 0o111 != 0;
+            }
+            return true;
+        }
+        let perm = if self.euid == uid {
+            (mode >> 6) & 7
+        } else if self.egid == gid || self.groups.contains(&gid) {
+            (mode >> 3) & 7
+        } else {
+            mode & 7
+        };
+        perm & want == want
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_requires_matching_ids() {
+        let me = Cred::new(100, 10);
+        let mine = Cred::new(100, 10);
+        let other_uid = Cred::new(101, 10);
+        let other_gid = Cred::new(100, 11);
+        assert!(me.can_control(&mine));
+        assert!(!me.can_control(&other_uid));
+        assert!(!me.can_control(&other_gid));
+    }
+
+    #[test]
+    fn setid_targets_are_root_only() {
+        let me = Cred::new(100, 10);
+        let mut setid = Cred::new(100, 10);
+        setid.euid = 0;
+        assert!(setid.is_setid());
+        assert!(!me.can_control(&setid));
+        assert!(Cred::superuser().can_control(&setid));
+    }
+
+    #[test]
+    fn saved_id_makes_process_setid() {
+        let mut c = Cred::new(100, 10);
+        assert!(!c.is_setid());
+        c.suid = 0;
+        assert!(c.is_setid());
+    }
+
+    #[test]
+    fn file_access_triples() {
+        let owner = Cred::new(100, 10);
+        let group = Cred::new(200, 10);
+        let other = Cred::new(300, 30);
+        let mode = 0o640;
+        assert!(owner.file_access(mode, 100, 10, 4));
+        assert!(owner.file_access(mode, 100, 10, 2));
+        assert!(group.file_access(mode, 100, 10, 4));
+        assert!(!group.file_access(mode, 100, 10, 2));
+        assert!(!other.file_access(mode, 100, 10, 4));
+        assert!(Cred::superuser().file_access(mode, 100, 10, 6));
+    }
+
+    #[test]
+    fn supplementary_groups_grant_group_class() {
+        let mut c = Cred::new(300, 30);
+        c.groups.push(10);
+        assert!(c.file_access(0o040, 100, 10, 4));
+    }
+
+    #[test]
+    fn root_execute_needs_an_x_bit() {
+        let root = Cred::superuser();
+        assert!(!root.file_access(0o600, 100, 10, 1));
+        assert!(root.file_access(0o700, 100, 10, 1));
+    }
+}

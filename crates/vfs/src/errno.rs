@@ -1,0 +1,203 @@
+//! System error numbers, following classic System V numbering.
+
+/// UNIX error numbers returned by failing system calls.
+///
+/// The numeric values follow System V so that simulated user programs see
+/// the numbers they would on the real system (`rv` holds `-errno` on
+/// return from a failed call).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(i32)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// No such process.
+    ESRCH = 3,
+    /// Interrupted system call.
+    EINTR = 4,
+    /// I/O error (also: `/proc` I/O at an unmapped offset).
+    EIO = 5,
+    /// No such device or address.
+    ENXIO = 6,
+    /// Argument list too long.
+    E2BIG = 7,
+    /// Exec format error.
+    ENOEXEC = 8,
+    /// Bad file descriptor.
+    EBADF = 9,
+    /// No child processes.
+    ECHILD = 10,
+    /// Resource temporarily unavailable.
+    EAGAIN = 11,
+    /// Out of memory (or out of address space).
+    ENOMEM = 12,
+    /// Permission denied.
+    EACCES = 13,
+    /// Bad address.
+    EFAULT = 14,
+    /// Device or resource busy (also: exclusive-use `/proc` open
+    /// collision).
+    EBUSY = 16,
+    /// File exists.
+    EEXIST = 17,
+    /// No such device.
+    ENODEV = 19,
+    /// Not a directory.
+    ENOTDIR = 20,
+    /// Is a directory.
+    EISDIR = 21,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// Too many open files in system.
+    ENFILE = 23,
+    /// Too many open files in the process.
+    EMFILE = 24,
+    /// Inappropriate ioctl for device.
+    ENOTTY = 25,
+    /// File too large.
+    EFBIG = 27,
+    /// No space left on device.
+    ENOSPC = 28,
+    /// Illegal seek.
+    ESPIPE = 29,
+    /// Read-only file system.
+    EROFS = 30,
+    /// Broken pipe.
+    EPIPE = 32,
+    /// Resource deadlock avoided (also: a hosted blocking call that can
+    /// provably never complete in the simulation).
+    EDEADLK = 45,
+    /// Directory not empty.
+    ENOTEMPTY = 93,
+    /// Operation not supported (e.g. an ioctl that cannot be marshalled
+    /// across the remote shim).
+    ENOTSUP = 48,
+    /// Function not implemented (unknown system call number).
+    ENOSYS = 89,
+}
+
+impl Errno {
+    /// Symbolic name, for `truss`-style output.
+    pub fn name(self) -> &'static str {
+        use Errno::*;
+        match self {
+            EPERM => "EPERM",
+            ENOENT => "ENOENT",
+            ESRCH => "ESRCH",
+            EINTR => "EINTR",
+            EIO => "EIO",
+            ENXIO => "ENXIO",
+            E2BIG => "E2BIG",
+            ENOEXEC => "ENOEXEC",
+            EBADF => "EBADF",
+            ECHILD => "ECHILD",
+            EAGAIN => "EAGAIN",
+            ENOMEM => "ENOMEM",
+            EACCES => "EACCES",
+            EFAULT => "EFAULT",
+            EBUSY => "EBUSY",
+            EEXIST => "EEXIST",
+            ENODEV => "ENODEV",
+            ENOTDIR => "ENOTDIR",
+            EISDIR => "EISDIR",
+            EINVAL => "EINVAL",
+            ENFILE => "ENFILE",
+            EMFILE => "EMFILE",
+            ENOTTY => "ENOTTY",
+            EFBIG => "EFBIG",
+            ENOSPC => "ENOSPC",
+            ESPIPE => "ESPIPE",
+            EROFS => "EROFS",
+            EPIPE => "EPIPE",
+            EDEADLK => "EDEADLK",
+            ENOTEMPTY => "ENOTEMPTY",
+            ENOTSUP => "ENOTSUP",
+            ENOSYS => "ENOSYS",
+        }
+    }
+
+    /// Recovers an `Errno` from its number, if defined.
+    pub fn from_i32(v: i32) -> Option<Errno> {
+        use Errno::*;
+        Some(match v {
+            1 => EPERM,
+            2 => ENOENT,
+            3 => ESRCH,
+            4 => EINTR,
+            5 => EIO,
+            6 => ENXIO,
+            7 => E2BIG,
+            8 => ENOEXEC,
+            9 => EBADF,
+            10 => ECHILD,
+            11 => EAGAIN,
+            12 => ENOMEM,
+            13 => EACCES,
+            14 => EFAULT,
+            16 => EBUSY,
+            17 => EEXIST,
+            19 => ENODEV,
+            20 => ENOTDIR,
+            21 => EISDIR,
+            22 => EINVAL,
+            23 => ENFILE,
+            24 => EMFILE,
+            25 => ENOTTY,
+            27 => EFBIG,
+            28 => ENOSPC,
+            29 => ESPIPE,
+            30 => EROFS,
+            32 => EPIPE,
+            45 => EDEADLK,
+            93 => ENOTEMPTY,
+            48 => ENOTSUP,
+            89 => ENOSYS,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// The standard result type of system-call-layer operations.
+pub type SysResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_numbers() {
+        for e in [
+            Errno::EPERM,
+            Errno::ENOENT,
+            Errno::EINTR,
+            Errno::EIO,
+            Errno::EBADF,
+            Errno::ECHILD,
+            Errno::EACCES,
+            Errno::EBUSY,
+            Errno::EINVAL,
+            Errno::ENOTTY,
+            Errno::EDEADLK,
+            Errno::ENOSYS,
+        ] {
+            assert_eq!(Errno::from_i32(e as i32), Some(e));
+        }
+        assert_eq!(Errno::from_i32(0), None);
+        assert_eq!(Errno::from_i32(-1), None);
+    }
+
+    #[test]
+    fn names_match() {
+        assert_eq!(Errno::EINTR.name(), "EINTR");
+        assert_eq!(Errno::EINTR.to_string(), "EINTR");
+    }
+}

@@ -1,0 +1,265 @@
+//! The file-system-type interface: the set of vnode operations.
+//!
+//! "The upper level requests the creation of vnodes by the lower level,
+//! and these vnodes are subsequently supplied as operands to other file
+//! operations. The set of vnode operations includes open, close, read,
+//! write, ioctl, lookup, create, remove, and many more. The developer of
+//! a file system type provides the code that implements the necessary set
+//! of vnode operations for that type."
+//!
+//! The trait is generic over `K`, the kernel context. Conventional file
+//! systems ([`crate::MemFs`]) ignore it; `/proc` is "an unconventional
+//! file system and not an 'add-on'" — its operations manipulate kernel
+//! process state through `K`.
+
+use crate::cred::Cred;
+use crate::errno::{Errno, SysResult};
+use crate::node::{DirEntry, Metadata, NodeId, Pid};
+
+/// Open flags, decoded from the numeric `open(2)` argument.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing.
+    pub write: bool,
+    /// Exclusive use. For `/proc` this requests exclusive *control*: the
+    /// open fails with `EBUSY` if another writable descriptor exists, and
+    /// subsequent writable opens fail while this one is held. (For
+    /// ordinary file systems it retains its `O_CREAT|O_EXCL` meaning.)
+    pub excl: bool,
+    /// Create if absent.
+    pub creat: bool,
+    /// Truncate on open.
+    pub trunc: bool,
+}
+
+impl OFlags {
+    /// Read-only open.
+    pub fn rdonly() -> OFlags {
+        OFlags { read: true, ..Default::default() }
+    }
+
+    /// Read-write open.
+    pub fn rdwr() -> OFlags {
+        OFlags { read: true, write: true, ..Default::default() }
+    }
+
+    /// Read-write open with exclusive use.
+    pub fn rdwr_excl() -> OFlags {
+        OFlags { read: true, write: true, excl: true, ..Default::default() }
+    }
+
+    /// Write-only open.
+    pub fn wronly() -> OFlags {
+        OFlags { write: true, ..Default::default() }
+    }
+
+    /// Encodes to the numeric `open(2)` flag word used by simulated
+    /// programs: bits 0/1 select rd/wr/rdwr the historical way
+    /// (0 = read, 1 = write, 2 = rdwr), then O_CREAT=0x100, O_TRUNC=0x200,
+    /// O_EXCL=0x400.
+    pub fn to_bits(self) -> u64 {
+        let acc = match (self.read, self.write) {
+            (true, true) => 2,
+            (false, true) => 1,
+            _ => 0,
+        };
+        acc | if self.creat { 0x100 } else { 0 }
+            | if self.trunc { 0x200 } else { 0 }
+            | if self.excl { 0x400 } else { 0 }
+    }
+
+    /// Decodes the numeric `open(2)` flag word.
+    pub fn from_bits(bits: u64) -> OFlags {
+        let (read, write) = match bits & 3 {
+            0 => (true, false),
+            1 => (false, true),
+            _ => (true, true),
+        };
+        OFlags {
+            read,
+            write,
+            creat: bits & 0x100 != 0,
+            trunc: bits & 0x200 != 0,
+            excl: bits & 0x400 != 0,
+        }
+    }
+}
+
+/// Per-open state handle returned by [`FileSystem::open`] and passed back
+/// on later operations; opaque to the generic layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpenToken(pub u64);
+
+/// Result of a read or write that may need to wait.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IoReply {
+    /// Transferred this many bytes.
+    Done(usize),
+    /// The operation cannot complete yet; the caller sleeps (or, for a
+    /// hosted caller, pumps the scheduler) and retries.
+    Block,
+}
+
+/// Result of an ioctl that may need to wait (`PIOCWSTOP`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IoctlReply {
+    /// The operation completed, producing these out-bytes.
+    Done(Vec<u8>),
+    /// The operation cannot complete yet; retry after scheduling.
+    Block,
+}
+
+/// Poll status for a node — the paper's proposed extension "by
+/// appropriately defining what it means for a /proc file to be 'ready'".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PollStatus {
+    /// Data (or an event of interest) is available.
+    pub readable: bool,
+    /// Writing would not block.
+    pub writable: bool,
+    /// The node is in an exceptional state (for `/proc`: the process has
+    /// terminated and the descriptor is effectively dead).
+    pub hangup: bool,
+}
+
+/// The vnode-operations interface implemented by each file system type.
+///
+/// Operations that involve the calling process receive its [`Pid`] and
+/// credentials explicitly; `K` supplies whatever kernel state the file
+/// system type requires (nothing for conventional types, everything for
+/// `/proc`).
+pub trait FileSystem<K> {
+    /// Short type name ("memfs", "proc", ...).
+    fn type_name(&self) -> &'static str;
+
+    /// The root node of this file system.
+    fn root(&self) -> NodeId;
+
+    /// Resolves `name` within directory `dir`.
+    fn lookup(&mut self, k: &mut K, cur: Pid, dir: NodeId, name: &str) -> SysResult<NodeId>;
+
+    /// Attributes of `node`.
+    fn getattr(&mut self, k: &mut K, node: NodeId) -> SysResult<Metadata>;
+
+    /// Entries of directory `dir` (without `.`/`..`).
+    fn readdir(&mut self, k: &mut K, cur: Pid, dir: NodeId) -> SysResult<Vec<DirEntry>>;
+
+    /// Creates a regular file. Conventional file systems only.
+    fn create(
+        &mut self,
+        _k: &mut K,
+        _cur: Pid,
+        _dir: NodeId,
+        _name: &str,
+        _mode: u16,
+        _cred: &Cred,
+    ) -> SysResult<NodeId> {
+        Err(Errno::EROFS)
+    }
+
+    /// Creates a directory. Conventional file systems only.
+    fn mkdir(
+        &mut self,
+        _k: &mut K,
+        _cur: Pid,
+        _dir: NodeId,
+        _name: &str,
+        _mode: u16,
+        _cred: &Cred,
+    ) -> SysResult<NodeId> {
+        Err(Errno::EROFS)
+    }
+
+    /// Removes a directory entry. Conventional file systems only.
+    fn unlink(&mut self, _k: &mut K, _cur: Pid, _dir: NodeId, _name: &str) -> SysResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    /// Opens `node`. Returns a token carried on subsequent per-open
+    /// operations. Permission and exclusivity enforcement live here.
+    fn open(
+        &mut self,
+        k: &mut K,
+        cur: Pid,
+        node: NodeId,
+        flags: OFlags,
+        cred: &Cred,
+    ) -> SysResult<OpenToken>;
+
+    /// Closes a descriptor previously opened with `flags`.
+    fn close(&mut self, k: &mut K, cur: Pid, node: NodeId, token: OpenToken, flags: OFlags);
+
+    /// Reads at `off` into `buf`.
+    fn read(
+        &mut self,
+        k: &mut K,
+        cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        off: u64,
+        buf: &mut [u8],
+    ) -> SysResult<IoReply>;
+
+    /// Writes `data` at `off`.
+    fn write(
+        &mut self,
+        k: &mut K,
+        cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        off: u64,
+        data: &[u8],
+    ) -> SysResult<IoReply>;
+
+    /// Truncates to `len`. Conventional file systems only.
+    fn truncate(&mut self, _k: &mut K, _node: NodeId, _len: u64) -> SysResult<()> {
+        Err(Errno::EINVAL)
+    }
+
+    /// Control operation: `req` selects the operation, `arg` carries the
+    /// in-bytes, the reply carries the out-bytes.
+    fn ioctl(
+        &mut self,
+        _k: &mut K,
+        _cur: Pid,
+        _node: NodeId,
+        _token: OpenToken,
+        _req: u32,
+        _arg: &[u8],
+    ) -> SysResult<IoctlReply> {
+        Err(Errno::ENOTTY)
+    }
+
+    /// Poll readiness of `node`.
+    fn poll(&mut self, _k: &mut K, _node: NodeId, _token: OpenToken) -> SysResult<PollStatus> {
+        Ok(PollStatus { readable: true, writable: true, hangup: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oflags_roundtrip() {
+        for f in [
+            OFlags::rdonly(),
+            OFlags::rdwr(),
+            OFlags::rdwr_excl(),
+            OFlags::wronly(),
+            OFlags { read: true, write: true, creat: true, trunc: true, excl: false },
+        ] {
+            assert_eq!(OFlags::from_bits(f.to_bits()), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn oflags_bit_layout_matches_convention() {
+        assert_eq!(OFlags::rdonly().to_bits(), 0);
+        assert_eq!(OFlags::wronly().to_bits(), 1);
+        assert_eq!(OFlags::rdwr().to_bits(), 2);
+        assert_eq!(OFlags::rdwr_excl().to_bits(), 2 | 0x400);
+    }
+}

@@ -1,0 +1,503 @@
+//! An in-memory conventional file system.
+//!
+//! Stands in for the paper's disk file systems: it holds the simulated
+//! userland's executables and data files and demonstrates that `/proc`
+//! coexists with ordinary fstypes behind the same vnode interface. It is
+//! generic over the kernel context `K` and never touches it.
+
+use crate::cred::Cred;
+use crate::errno::{Errno, SysResult};
+use crate::fs::{FileSystem, IoReply, OFlags, OpenToken};
+use crate::node::{DirEntry, Metadata, NodeId, Pid, VnodeKind};
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+#[derive(Debug)]
+enum Content {
+    File(Vec<u8>),
+    Dir(BTreeMap<String, u64>),
+}
+
+#[derive(Debug)]
+struct MemNode {
+    mode: u16,
+    uid: u32,
+    gid: u32,
+    mtime: u64,
+    nlink: u32,
+    content: Content,
+}
+
+/// The in-memory file system. Node 0 is the root directory.
+#[derive(Debug)]
+pub struct MemFs<K> {
+    nodes: Vec<MemNode>,
+    _kernel: PhantomData<fn(&mut K)>,
+}
+
+impl<K> Default for MemFs<K> {
+    fn default() -> Self {
+        MemFs::new()
+    }
+}
+
+impl<K> MemFs<K> {
+    /// Creates a file system containing only an empty root directory
+    /// owned by root, mode 0755.
+    pub fn new() -> MemFs<K> {
+        MemFs {
+            nodes: vec![MemNode {
+                mode: 0o755,
+                uid: 0,
+                gid: 0,
+                mtime: 0,
+                nlink: 2,
+                content: Content::Dir(BTreeMap::new()),
+            }],
+            _kernel: PhantomData,
+        }
+    }
+
+    fn node(&self, id: NodeId) -> SysResult<&MemNode> {
+        self.nodes.get(id.0 as usize).ok_or(Errno::ENOENT)
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> SysResult<&mut MemNode> {
+        self.nodes.get_mut(id.0 as usize).ok_or(Errno::ENOENT)
+    }
+
+    fn dir_children(&self, id: NodeId) -> SysResult<&BTreeMap<String, u64>> {
+        match &self.node(id)?.content {
+            Content::Dir(c) => Ok(c),
+            Content::File(_) => Err(Errno::ENOTDIR),
+        }
+    }
+
+    fn alloc(&mut self, node: MemNode) -> NodeId {
+        self.nodes.push(node);
+        NodeId((self.nodes.len() - 1) as u64)
+    }
+
+    /// Builder: creates intermediate directories (mode 0755, root-owned)
+    /// along `parts` and returns the final directory's id.
+    pub fn mkdir_p(&mut self, parts: &[&str]) -> NodeId {
+        let mut dir = NodeId(0);
+        for part in parts {
+            let existing = self
+                .dir_children(dir)
+                .expect("mkdir_p path component is a directory")
+                .get(*part)
+                .copied();
+            dir = match existing {
+                Some(id) => NodeId(id),
+                None => {
+                    let id = self.alloc(MemNode {
+                        mode: 0o755,
+                        uid: 0,
+                        gid: 0,
+                        mtime: 0,
+                        nlink: 2,
+                        content: Content::Dir(BTreeMap::new()),
+                    });
+                    match &mut self.node_mut(dir).expect("parent exists").content {
+                        Content::Dir(c) => {
+                            c.insert(part.to_string(), id.0);
+                        }
+                        Content::File(_) => unreachable!("checked directory above"),
+                    }
+                    id
+                }
+            };
+        }
+        dir
+    }
+
+    /// Builder: installs a file at absolute path `path` (intermediate
+    /// directories are created), with the given mode/owner and content.
+    /// Replaces any existing file. Returns the node id.
+    pub fn install(
+        &mut self,
+        path: &str,
+        mode: u16,
+        uid: u32,
+        gid: u32,
+        content: Vec<u8>,
+    ) -> NodeId {
+        let parts = crate::path::components(path).expect("install needs an absolute path");
+        assert!(!parts.is_empty(), "cannot install over the root directory");
+        let (name, dirs) = parts.split_last().expect("non-empty");
+        let dir_refs: Vec<&str> = dirs.iter().map(String::as_str).collect();
+        let dir = self.mkdir_p(&dir_refs);
+        let id = self.alloc(MemNode {
+            mode,
+            uid,
+            gid,
+            mtime: 0,
+            nlink: 1,
+            content: Content::File(content),
+        });
+        match &mut self.node_mut(dir).expect("dir exists").content {
+            Content::Dir(c) => {
+                c.insert(name.clone(), id.0);
+            }
+            Content::File(_) => unreachable!("mkdir_p returns a directory"),
+        }
+        id
+    }
+
+    /// Builder: changes a node's mode bits (e.g. making `/tmp` world
+    /// writable).
+    pub fn set_mode(&mut self, id: NodeId, mode: u16) {
+        if let Ok(n) = self.node_mut(id) {
+            n.mode = mode & 0o7777;
+        }
+    }
+
+    /// Whole-file read by node id, used by the kernel's exec path.
+    pub fn file_bytes(&self, id: NodeId) -> SysResult<&[u8]> {
+        match &self.node(id)?.content {
+            Content::File(b) => Ok(b),
+            Content::Dir(_) => Err(Errno::EISDIR),
+        }
+    }
+}
+
+impl<K> FileSystem<K> for MemFs<K> {
+    fn type_name(&self) -> &'static str {
+        "memfs"
+    }
+
+    fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    fn lookup(&mut self, _k: &mut K, _cur: Pid, dir: NodeId, name: &str) -> SysResult<NodeId> {
+        self.dir_children(dir)?.get(name).map(|&id| NodeId(id)).ok_or(Errno::ENOENT)
+    }
+
+    fn getattr(&mut self, _k: &mut K, node: NodeId) -> SysResult<Metadata> {
+        let n = self.node(node)?;
+        Ok(Metadata {
+            kind: match n.content {
+                Content::File(_) => VnodeKind::Regular,
+                Content::Dir(_) => VnodeKind::Directory,
+            },
+            mode: n.mode,
+            uid: n.uid,
+            gid: n.gid,
+            size: match &n.content {
+                Content::File(b) => b.len() as u64,
+                Content::Dir(c) => c.len() as u64,
+            },
+            nlink: n.nlink,
+            mtime: n.mtime,
+        })
+    }
+
+    fn readdir(&mut self, _k: &mut K, _cur: Pid, dir: NodeId) -> SysResult<Vec<DirEntry>> {
+        Ok(self
+            .dir_children(dir)?
+            .iter()
+            .map(|(name, &id)| DirEntry { name: name.clone(), node: NodeId(id) })
+            .collect())
+    }
+
+    fn create(
+        &mut self,
+        _k: &mut K,
+        _cur: Pid,
+        dir: NodeId,
+        name: &str,
+        mode: u16,
+        cred: &Cred,
+    ) -> SysResult<NodeId> {
+        let d = self.node(dir)?;
+        if !cred.file_access(d.mode, d.uid, d.gid, 2) {
+            return Err(Errno::EACCES);
+        }
+        if self.dir_children(dir)?.contains_key(name) {
+            return Err(Errno::EEXIST);
+        }
+        let id = self.alloc(MemNode {
+            mode: mode & 0o7777,
+            uid: cred.euid,
+            gid: cred.egid,
+            mtime: 0,
+            nlink: 1,
+            content: Content::File(Vec::new()),
+        });
+        match &mut self.node_mut(dir)?.content {
+            Content::Dir(c) => {
+                c.insert(name.to_string(), id.0);
+            }
+            Content::File(_) => return Err(Errno::ENOTDIR),
+        }
+        Ok(id)
+    }
+
+    fn mkdir(
+        &mut self,
+        _k: &mut K,
+        _cur: Pid,
+        dir: NodeId,
+        name: &str,
+        mode: u16,
+        cred: &Cred,
+    ) -> SysResult<NodeId> {
+        let d = self.node(dir)?;
+        if !cred.file_access(d.mode, d.uid, d.gid, 2) {
+            return Err(Errno::EACCES);
+        }
+        if self.dir_children(dir)?.contains_key(name) {
+            return Err(Errno::EEXIST);
+        }
+        let id = self.alloc(MemNode {
+            mode: mode & 0o7777,
+            uid: cred.euid,
+            gid: cred.egid,
+            mtime: 0,
+            nlink: 2,
+            content: Content::Dir(BTreeMap::new()),
+        });
+        match &mut self.node_mut(dir)?.content {
+            Content::Dir(c) => {
+                c.insert(name.to_string(), id.0);
+            }
+            Content::File(_) => return Err(Errno::ENOTDIR),
+        }
+        Ok(id)
+    }
+
+    fn unlink(&mut self, _k: &mut K, _cur: Pid, dir: NodeId, name: &str) -> SysResult<()> {
+        let target = *self.dir_children(dir)?.get(name).ok_or(Errno::ENOENT)?;
+        if let Content::Dir(c) = &self.node(NodeId(target))?.content {
+            if !c.is_empty() {
+                return Err(Errno::ENOTEMPTY);
+            }
+        }
+        match &mut self.node_mut(dir)?.content {
+            Content::Dir(c) => {
+                c.remove(name);
+            }
+            Content::File(_) => return Err(Errno::ENOTDIR),
+        }
+        // Node storage is not compacted; the slot simply becomes
+        // unreachable. Fine for a simulation-lifetime file system.
+        Ok(())
+    }
+
+    fn open(
+        &mut self,
+        _k: &mut K,
+        _cur: Pid,
+        node: NodeId,
+        flags: OFlags,
+        cred: &Cred,
+    ) -> SysResult<OpenToken> {
+        let n = self.node(node)?;
+        let mut want = 0u16;
+        if flags.read {
+            want |= 4;
+        }
+        if flags.write {
+            want |= 2;
+        }
+        if !cred.file_access(n.mode, n.uid, n.gid, want) {
+            return Err(Errno::EACCES);
+        }
+        if flags.write {
+            if let Content::Dir(_) = n.content {
+                return Err(Errno::EISDIR);
+            }
+        }
+        if flags.trunc && flags.write {
+            if let Content::File(b) = &mut self.node_mut(node)?.content {
+                b.clear();
+            }
+        }
+        Ok(OpenToken(0))
+    }
+
+    fn close(&mut self, _k: &mut K, _cur: Pid, _node: NodeId, _token: OpenToken, _flags: OFlags) {}
+
+    fn read(
+        &mut self,
+        _k: &mut K,
+        _cur: Pid,
+        node: NodeId,
+        _token: OpenToken,
+        off: u64,
+        buf: &mut [u8],
+    ) -> SysResult<IoReply> {
+        match &self.node(node)?.content {
+            Content::File(b) => {
+                let off = off as usize;
+                if off >= b.len() {
+                    return Ok(IoReply::Done(0));
+                }
+                let n = buf.len().min(b.len() - off);
+                buf[..n].copy_from_slice(&b[off..off + n]);
+                Ok(IoReply::Done(n))
+            }
+            Content::Dir(_) => Err(Errno::EISDIR),
+        }
+    }
+
+    fn write(
+        &mut self,
+        _k: &mut K,
+        _cur: Pid,
+        node: NodeId,
+        _token: OpenToken,
+        off: u64,
+        data: &[u8],
+    ) -> SysResult<IoReply> {
+        match &mut self.node_mut(node)?.content {
+            Content::File(b) => {
+                let off = off as usize;
+                if b.len() < off + data.len() {
+                    b.resize(off + data.len(), 0);
+                }
+                b[off..off + data.len()].copy_from_slice(data);
+                Ok(IoReply::Done(data.len()))
+            }
+            Content::Dir(_) => Err(Errno::EISDIR),
+        }
+    }
+
+    fn truncate(&mut self, _k: &mut K, node: NodeId, len: u64) -> SysResult<()> {
+        match &mut self.node_mut(node)?.content {
+            Content::File(b) => {
+                b.resize(len as usize, 0);
+                Ok(())
+            }
+            Content::Dir(_) => Err(Errno::EISDIR),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Fs = MemFs<()>;
+    const P: Pid = Pid(1);
+
+    fn open_rw(fs: &mut Fs, node: NodeId, cred: &Cred) -> SysResult<OpenToken> {
+        fs.open(&mut (), P, node, OFlags::rdwr(), cred)
+    }
+
+    #[test]
+    fn install_and_lookup() {
+        let mut fs = Fs::new();
+        let id = fs.install("/bin/spin", 0o755, 0, 0, b"code".to_vec());
+        let bin = fs.lookup(&mut (), P, NodeId(0), "bin").expect("bin");
+        let spin = fs.lookup(&mut (), P, bin, "spin").expect("spin");
+        assert_eq!(spin, id);
+        assert_eq!(fs.file_bytes(id).expect("bytes"), b"code");
+        let meta = fs.getattr(&mut (), spin).expect("attr");
+        assert_eq!(meta.mode, 0o755);
+        assert_eq!(meta.size, 4);
+        assert_eq!(meta.kind, VnodeKind::Regular);
+    }
+
+    #[test]
+    fn read_write_through_trait() {
+        let mut fs = Fs::new();
+        let cred = Cred::superuser();
+        let id = fs.install("/tmp/f", 0o644, 0, 0, vec![]);
+        let tok = open_rw(&mut fs, id, &cred).expect("open");
+        assert_eq!(
+            fs.write(&mut (), P, id, tok, 0, b"hello world").expect("write"),
+            IoReply::Done(11)
+        );
+        let mut buf = [0u8; 5];
+        assert_eq!(fs.read(&mut (), P, id, tok, 6, &mut buf).expect("read"), IoReply::Done(5));
+        assert_eq!(&buf, b"world");
+        // Read past EOF.
+        assert_eq!(fs.read(&mut (), P, id, tok, 100, &mut buf).expect("eof"), IoReply::Done(0));
+        // Sparse write extends with zeroes.
+        fs.write(&mut (), P, id, tok, 20, b"x").expect("sparse");
+        let mut b2 = [9u8; 2];
+        fs.read(&mut (), P, id, tok, 18, &mut b2).expect("read sparse");
+        assert_eq!(b2, [0, 0]);
+    }
+
+    #[test]
+    fn permissions_enforced_on_open() {
+        let mut fs = Fs::new();
+        let id = fs.install("/secret", 0o600, 100, 10, b"s".to_vec());
+        let owner = Cred::new(100, 10);
+        let other = Cred::new(200, 20);
+        assert!(fs.open(&mut (), P, id, OFlags::rdonly(), &owner).is_ok());
+        assert_eq!(fs.open(&mut (), P, id, OFlags::rdonly(), &other), Err(Errno::EACCES));
+        assert_eq!(fs.open(&mut (), P, id, OFlags::rdwr(), &other), Err(Errno::EACCES));
+    }
+
+    #[test]
+    fn create_unlink_cycle() {
+        let mut fs = Fs::new();
+        let cred = Cred::superuser();
+        let root = NodeId(0);
+        let f = fs.create(&mut (), P, root, "new", 0o644, &cred).expect("create");
+        assert_eq!(fs.create(&mut (), P, root, "new", 0o644, &cred), Err(Errno::EEXIST));
+        assert_eq!(fs.lookup(&mut (), P, root, "new").expect("lookup"), f);
+        fs.unlink(&mut (), P, root, "new").expect("unlink");
+        assert_eq!(fs.lookup(&mut (), P, root, "new"), Err(Errno::ENOENT));
+        assert_eq!(fs.unlink(&mut (), P, root, "new"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn unlink_nonempty_dir_fails() {
+        let mut fs = Fs::new();
+        fs.install("/dir/file", 0o644, 0, 0, vec![]);
+        let root = NodeId(0);
+        assert_eq!(fs.unlink(&mut (), P, root, "dir"), Err(Errno::ENOTEMPTY));
+    }
+
+    #[test]
+    fn readdir_lists_sorted() {
+        let mut fs = Fs::new();
+        fs.install("/b", 0o644, 0, 0, vec![]);
+        fs.install("/a", 0o644, 0, 0, vec![]);
+        fs.mkdir_p(&["c"]);
+        let names: Vec<String> = fs
+            .readdir(&mut (), P, NodeId(0))
+            .expect("readdir")
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn trunc_on_open() {
+        let mut fs = Fs::new();
+        let cred = Cred::superuser();
+        let id = fs.install("/f", 0o644, 0, 0, b"old content".to_vec());
+        let flags = OFlags { read: true, write: true, trunc: true, ..Default::default() };
+        fs.open(&mut (), P, id, flags, &cred).expect("open");
+        assert!(fs.file_bytes(id).expect("bytes").is_empty());
+    }
+
+    #[test]
+    fn setuid_mode_preserved() {
+        let mut fs = Fs::new();
+        let id = fs.install("/bin/su", 0o4755, 0, 0, b"x".to_vec());
+        let meta = fs.getattr(&mut (), id).expect("attr");
+        assert_eq!(meta.mode & 0o4000, 0o4000);
+        assert_eq!(meta.ls_mode(), "-rwsr-xr-x");
+    }
+
+    #[test]
+    fn dir_io_is_rejected() {
+        let mut fs = Fs::new();
+        fs.mkdir_p(&["d"]);
+        let d = fs.lookup(&mut (), P, NodeId(0), "d").expect("d");
+        let mut buf = [0u8; 1];
+        assert_eq!(fs.read(&mut (), P, d, OpenToken(0), 0, &mut buf), Err(Errno::EISDIR));
+        assert_eq!(fs.write(&mut (), P, d, OpenToken(0), 0, &[1]), Err(Errno::EISDIR));
+        let cred = Cred::superuser();
+        assert_eq!(fs.open(&mut (), P, d, OFlags::rdwr(), &cred), Err(Errno::EISDIR));
+    }
+}

@@ -1,0 +1,103 @@
+//! The mount table: path-prefix resolution onto file system instances.
+//!
+//! "In general any resource can be made to appear within the file system
+//! name space if it makes sense to view it that way." The kernel mounts
+//! the root memfs at `/`, the flat `/proc` at `/proc`, and the proposed
+//! hierarchical restructuring at `/proc2`; this table routes an absolute
+//! path to the responsible file system plus the remaining components.
+
+use crate::path::components;
+
+/// Identifier of a mounted file system (index into the kernel's file
+/// system vector).
+pub type FsId = u32;
+
+/// A single mount: a path prefix served by one file system instance.
+#[derive(Clone, Debug)]
+struct Mount {
+    prefix: Vec<String>,
+    fs: FsId,
+}
+
+/// The table of mounts. Longest-prefix match wins, so `/proc` shadows the
+/// `proc` directory entry of the root file system (if any).
+#[derive(Clone, Debug, Default)]
+pub struct MountTable {
+    mounts: Vec<Mount>,
+}
+
+impl MountTable {
+    /// An empty table.
+    pub fn new() -> MountTable {
+        MountTable::default()
+    }
+
+    /// Adds a mount of `fs` at absolute path `prefix`. Returns `false`
+    /// (and does nothing) if the path is relative or already mounted.
+    pub fn add(&mut self, prefix: &str, fs: FsId) -> bool {
+        let Some(parts) = components(prefix) else {
+            return false;
+        };
+        if self.mounts.iter().any(|m| m.prefix == parts) {
+            return false;
+        }
+        self.mounts.push(Mount { prefix: parts, fs });
+        // Longest prefixes first for matching.
+        self.mounts.sort_by_key(|m| std::cmp::Reverse(m.prefix.len()));
+        true
+    }
+
+    /// Resolves an absolute path to `(fs, remaining_components)`.
+    /// Returns `None` for relative paths or when nothing is mounted.
+    pub fn resolve(&self, path: &str) -> Option<(FsId, Vec<String>)> {
+        let parts = components(path)?;
+        for m in &self.mounts {
+            if parts.len() >= m.prefix.len() && parts[..m.prefix.len()] == m.prefix[..] {
+                return Some((m.fs, parts[m.prefix.len()..].to_vec()));
+            }
+        }
+        None
+    }
+
+    /// The mounted prefixes (diagnostics).
+    pub fn mounts(&self) -> Vec<(String, FsId)> {
+        self.mounts.iter().map(|m| (crate::path::join(&m.prefix), m.fs)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = MountTable::new();
+        assert!(t.add("/", 0));
+        assert!(t.add("/proc", 1));
+        assert!(t.add("/proc2", 2));
+        assert_eq!(t.resolve("/bin/sh").expect("root"), (0, vec!["bin".into(), "sh".into()]));
+        assert_eq!(t.resolve("/proc").expect("proc"), (1, vec![]));
+        assert_eq!(t.resolve("/proc/00042").expect("proc"), (1, vec!["00042".into()]));
+        assert_eq!(
+            t.resolve("/proc2/42/status").expect("proc2"),
+            (2, vec!["42".into(), "status".into()])
+        );
+        assert_eq!(t.resolve("/").expect("root"), (0, vec![]));
+    }
+
+    #[test]
+    fn duplicate_and_relative_rejected() {
+        let mut t = MountTable::new();
+        assert!(t.add("/", 0));
+        assert!(!t.add("/", 1));
+        assert!(!t.add("proc", 1));
+    }
+
+    #[test]
+    fn no_root_mount_resolves_nothing() {
+        let mut t = MountTable::new();
+        t.add("/proc", 1);
+        assert_eq!(t.resolve("/bin"), None);
+        assert!(t.resolve("/proc/1").is_some());
+    }
+}

@@ -1,0 +1,136 @@
+//! Vnode-level identities and metadata.
+
+use crate::cred::{Gid, Uid};
+
+/// A process identifier. Defined here (the bottom shared crate) because
+/// VFS operations carry the calling process's identity; the kernel crate
+/// re-exports it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A node identifier within one file system. Meaning is private to the
+/// file system type ("private data is opaque to the upper level").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+/// File types as seen in directory listings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VnodeKind {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// A process file (flat `/proc`); lists like a plain file, sized by
+    /// the process's virtual memory.
+    Proc,
+    /// FIFO (pipe given a name; unused by the current memfs).
+    Fifo,
+}
+
+impl VnodeKind {
+    /// The type character used in `ls -l` output.
+    pub fn ls_char(self) -> char {
+        match self {
+            VnodeKind::Regular | VnodeKind::Proc => '-',
+            VnodeKind::Directory => 'd',
+            VnodeKind::Fifo => 'p',
+        }
+    }
+}
+
+/// Mode bit: set-user-id on execute.
+pub const MODE_SETUID: u16 = 0o4000;
+/// Mode bit: set-group-id on execute.
+pub const MODE_SETGID: u16 = 0o2000;
+
+/// File attributes returned by `getattr` (the public vnode data plus what
+/// `stat(2)` reports).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Metadata {
+    /// File type.
+    pub kind: VnodeKind,
+    /// Permission bits plus set-id bits.
+    pub mode: u16,
+    /// Owning user (for `/proc`: the process's real uid).
+    pub uid: Uid,
+    /// Owning group (for `/proc`: the process's real gid).
+    pub gid: Gid,
+    /// Size in bytes (for `/proc`: total virtual memory of the process).
+    pub size: u64,
+    /// Link count.
+    pub nlink: u32,
+    /// Modification time, seconds since the simulated epoch.
+    pub mtime: u64,
+}
+
+impl Metadata {
+    /// Renders the mode in `ls -l` style, e.g. `-rw-------` or
+    /// `-rwsr-xr-x` for a setuid executable.
+    pub fn ls_mode(&self) -> String {
+        let mut s = String::with_capacity(10);
+        s.push(self.kind.ls_char());
+        let trio = |bits: u16| {
+            [
+                if bits & 4 != 0 { 'r' } else { '-' },
+                if bits & 2 != 0 { 'w' } else { '-' },
+                if bits & 1 != 0 { 'x' } else { '-' },
+            ]
+        };
+        let mut owner = trio(self.mode >> 6);
+        if self.mode & MODE_SETUID != 0 {
+            owner[2] = if owner[2] == 'x' { 's' } else { 'S' };
+        }
+        let mut group = trio(self.mode >> 3);
+        if self.mode & MODE_SETGID != 0 {
+            group[2] = if group[2] == 'x' { 's' } else { 'S' };
+        }
+        let other = trio(self.mode);
+        s.extend(owner);
+        s.extend(group);
+        s.extend(other);
+        s
+    }
+}
+
+/// One directory entry from `readdir`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name within the directory.
+    pub name: String,
+    /// The named node.
+    pub node: NodeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(kind: VnodeKind, mode: u16) -> Metadata {
+        Metadata { kind, mode, uid: 0, gid: 0, size: 0, nlink: 1, mtime: 0 }
+    }
+
+    #[test]
+    fn ls_mode_plain() {
+        assert_eq!(meta(VnodeKind::Regular, 0o600).ls_mode(), "-rw-------");
+        assert_eq!(meta(VnodeKind::Directory, 0o755).ls_mode(), "drwxr-xr-x");
+        assert_eq!(meta(VnodeKind::Proc, 0o600).ls_mode(), "-rw-------");
+    }
+
+    #[test]
+    fn ls_mode_setid() {
+        assert_eq!(meta(VnodeKind::Regular, 0o4755).ls_mode(), "-rwsr-xr-x");
+        assert_eq!(meta(VnodeKind::Regular, 0o4644).ls_mode(), "-rwSr--r--");
+        assert_eq!(meta(VnodeKind::Regular, 0o2755).ls_mode(), "-rwxr-sr-x");
+    }
+
+    #[test]
+    fn pid_displays_bare() {
+        assert_eq!(Pid(42).to_string(), "42");
+    }
+}

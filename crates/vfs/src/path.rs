@@ -1,0 +1,52 @@
+//! Path normalisation.
+
+/// Splits an absolute path into normalised components, resolving `.` and
+/// `..` lexically. Returns `None` for relative paths. An empty component
+/// list denotes the root directory.
+pub fn components(path: &str) -> Option<Vec<String>> {
+    if !path.starts_with('/') {
+        return None;
+    }
+    let mut out: Vec<String> = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            p => out.push(p.to_string()),
+        }
+    }
+    Some(out)
+}
+
+/// Joins components back into an absolute path.
+pub fn join(parts: &[String]) -> String {
+    if parts.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", parts.join("/"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises() {
+        assert_eq!(components("/a/b/c").expect("abs"), ["a", "b", "c"]);
+        assert_eq!(components("/a//b/./c/").expect("abs"), ["a", "b", "c"]);
+        assert_eq!(components("/a/b/../c").expect("abs"), ["a", "c"]);
+        assert_eq!(components("/../a").expect("abs"), ["a"]);
+        assert!(components("/").expect("abs").is_empty());
+        assert_eq!(components("relative"), None);
+    }
+
+    #[test]
+    fn join_inverts() {
+        for p in ["/", "/proc", "/proc/00042", "/bin/spin"] {
+            assert_eq!(join(&components(p).expect("abs")), p);
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! An RFS-like remote-access shim.
+//!
+//! "The SVR4 implementation of /proc works correctly with Remote File
+//! Sharing (RFS). With appropriate permission it is possible to inspect,
+//! modify and control processes running on any machine in an RFS
+//! network." And, motivating the proposed restructuring: "Removing the
+//! dependence on ioctl simplifies the implementation of /proc in a
+//! network environment. The unstructured nature of ioctl operations and
+//! the variability of operand sizes and I/O directions make it difficult
+//! to cleanly separate the client/server interactions; read and write
+//! don't share these problems."
+//!
+//! [`RemoteFs`] wraps any [`FileSystem`] and simulates a client/server
+//! split: every operation is marshalled into a request byte image, the
+//! image is parsed back (the "server"), the inner file system executes
+//! the call, and the result is marshalled into a response image and
+//! parsed again (the "client"). Byte and operation counts accumulate in
+//! [`WireStats`], giving experiment E5 its data.
+//!
+//! The crucial asymmetry: `read`, `write`, `lookup` and friends marshal
+//! *generically* — their operand sizes and directions are manifest in the
+//! call. `ioctl` cannot be marshalled without a per-request table of
+//! operand sizes and directions ([`IoctlWireSpec`]); any request missing
+//! from the table is refused with `ENOTSUP` and counted.
+
+use crate::cred::Cred;
+use crate::errno::{Errno, SysResult};
+use crate::fs::{FileSystem, IoReply, IoctlReply, OFlags, OpenToken, PollStatus};
+use crate::node::{DirEntry, Metadata, NodeId, Pid, VnodeKind};
+
+/// Traffic counters for the simulated wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Remote operations performed.
+    pub ops: u64,
+    /// Request bytes sent client to server.
+    pub bytes_sent: u64,
+    /// Response bytes sent server to client.
+    pub bytes_received: u64,
+    /// ioctl requests refused because no wire specification exists.
+    pub unsupported_ioctls: u64,
+}
+
+/// Wire shape of one ioctl request: how many bytes go in and (at most)
+/// how many come back. Exactly the knowledge a remote file system must be
+/// taught per request — the paper's complaint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoctlWireSpec {
+    /// Operand bytes carried with the request.
+    pub in_len: usize,
+    /// Maximum operand bytes returned.
+    pub out_len: usize,
+}
+
+/// Table resolving an ioctl request number to its wire shape.
+pub type IoctlTable = Box<dyn Fn(u32) -> Option<IoctlWireSpec> + Send>;
+
+/// A file system accessed across a simulated wire.
+pub struct RemoteFs<K> {
+    inner: Box<dyn FileSystem<K> + Send>,
+    ioctl_table: Option<IoctlTable>,
+    /// Accumulated traffic counters.
+    pub stats: WireStats,
+}
+
+impl<K> RemoteFs<K> {
+    /// Wraps `inner`. Without an ioctl table, every ioctl is refused.
+    pub fn new(inner: Box<dyn FileSystem<K> + Send>) -> RemoteFs<K> {
+        RemoteFs { inner, ioctl_table: None, stats: WireStats::default() }
+    }
+
+    /// Supplies the per-request ioctl wire table.
+    pub fn with_ioctl_table(mut self, table: IoctlTable) -> RemoteFs<K> {
+        self.ioctl_table = Some(table);
+        self
+    }
+
+    /// Resets the traffic counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = WireStats::default();
+    }
+
+    /// Sends a request image and returns it as the server would parse it.
+    fn send(&mut self, req: Wire) -> Wire {
+        self.stats.ops += 1;
+        self.stats.bytes_sent += req.0.len() as u64;
+        // The image crosses the "wire" by being re-parsed from its bytes.
+        Wire(req.0)
+    }
+
+    /// Sends a response image back.
+    fn respond(&mut self, resp: Wire) -> Wire {
+        self.stats.bytes_received += resp.0.len() as u64;
+        Wire(resp.0)
+    }
+}
+
+/// A marshalled message: just bytes, with cursor-based read-back.
+struct Wire(Vec<u8>);
+
+struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Wire {
+    fn new(op: u8) -> Wire {
+        Wire(vec![op])
+    }
+    fn u32(mut self, v: u32) -> Wire {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    fn u64(mut self, v: u64) -> Wire {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    fn str(mut self, s: &str) -> Wire {
+        self.0.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        self.0.extend_from_slice(s.as_bytes());
+        self
+    }
+    fn bytes(mut self, b: &[u8]) -> Wire {
+        self.0.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        self.0.extend_from_slice(b);
+        self
+    }
+    fn reader(&self) -> WireReader<'_> {
+        WireReader { buf: &self.0, pos: 0 }
+    }
+}
+
+impl WireReader<'_> {
+    fn u8(&mut self) -> u8 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4 bytes"));
+        self.pos += 4;
+        v
+    }
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("8 bytes"));
+        self.pos += 8;
+        v
+    }
+    fn str(&mut self) -> String {
+        let n = self.u32() as usize;
+        let s = String::from_utf8_lossy(&self.buf[self.pos..self.pos + n]).into_owned();
+        self.pos += n;
+        s
+    }
+    fn bytes(&mut self) -> Vec<u8> {
+        let n = self.u32() as usize;
+        let b = self.buf[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        b
+    }
+}
+
+fn cred_wire(w: Wire, c: &Cred) -> Wire {
+    let mut w = w.u32(c.ruid).u32(c.euid).u32(c.suid).u32(c.rgid).u32(c.egid).u32(c.sgid);
+    w = w.u32(c.groups.len() as u32);
+    for g in &c.groups {
+        w = w.u32(*g);
+    }
+    w
+}
+
+fn cred_unwire(r: &mut WireReader<'_>) -> Cred {
+    let (ruid, euid, suid, rgid, egid, sgid) =
+        (r.u32(), r.u32(), r.u32(), r.u32(), r.u32(), r.u32());
+    let n = r.u32();
+    let groups = (0..n).map(|_| r.u32()).collect();
+    Cred { ruid, euid, suid, rgid, egid, sgid, groups }
+}
+
+const OP_LOOKUP: u8 = 1;
+const OP_GETATTR: u8 = 2;
+const OP_READDIR: u8 = 3;
+const OP_OPEN: u8 = 4;
+const OP_CLOSE: u8 = 5;
+const OP_READ: u8 = 6;
+const OP_WRITE: u8 = 7;
+const OP_IOCTL: u8 = 8;
+const OP_POLL: u8 = 9;
+
+fn result_wire(status: SysResult<Wire>) -> Wire {
+    match status {
+        Ok(body) => {
+            let mut w = Wire::new(0);
+            w.0.extend_from_slice(&body.0);
+            w
+        }
+        Err(e) => Wire::new(1).u32(e as u32),
+    }
+}
+
+fn result_unwire(w: &Wire) -> SysResult<WireReader<'_>> {
+    let mut r = w.reader();
+    match r.u8() {
+        0 => Ok(r),
+        _ => {
+            let code = r.u32() as i32;
+            Err(Errno::from_i32(code).unwrap_or(Errno::EIO))
+        }
+    }
+}
+
+impl<K> FileSystem<K> for RemoteFs<K> {
+    fn type_name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn root(&self) -> NodeId {
+        self.inner.root()
+    }
+
+    fn lookup(&mut self, k: &mut K, cur: Pid, dir: NodeId, name: &str) -> SysResult<NodeId> {
+        let req = self.send(Wire::new(OP_LOOKUP).u32(cur.0).u64(dir.0).str(name));
+        // Server side: parse and execute.
+        let mut r = req.reader();
+        let _op = r.u8();
+        let (cur, dir, name) = (Pid(r.u32()), NodeId(r.u64()), r.str());
+        let result = self.inner.lookup(k, cur, dir, &name);
+        let resp = self.respond(result_wire(result.map(|n| Wire(n.0.to_le_bytes().to_vec()))));
+        let mut rr = result_unwire(&resp)?;
+        Ok(NodeId(rr.u64()))
+    }
+
+    fn getattr(&mut self, k: &mut K, node: NodeId) -> SysResult<Metadata> {
+        let req = self.send(Wire::new(OP_GETATTR).u64(node.0));
+        let mut r = req.reader();
+        let _op = r.u8();
+        let node = NodeId(r.u64());
+        let result = self.inner.getattr(k, node).map(|m| {
+            Wire::new(match m.kind {
+                VnodeKind::Regular => 0,
+                VnodeKind::Directory => 1,
+                VnodeKind::Proc => 2,
+                VnodeKind::Fifo => 3,
+            })
+            .u32(m.mode as u32)
+            .u32(m.uid)
+            .u32(m.gid)
+            .u64(m.size)
+            .u32(m.nlink)
+            .u64(m.mtime)
+        });
+        let resp = self.respond(result_wire(result));
+        let mut rr = result_unwire(&resp)?;
+        let kind = match rr.u8() {
+            0 => VnodeKind::Regular,
+            1 => VnodeKind::Directory,
+            2 => VnodeKind::Proc,
+            _ => VnodeKind::Fifo,
+        };
+        Ok(Metadata {
+            kind,
+            mode: rr.u32() as u16,
+            uid: rr.u32(),
+            gid: rr.u32(),
+            size: rr.u64(),
+            nlink: rr.u32(),
+            mtime: rr.u64(),
+        })
+    }
+
+    fn readdir(&mut self, k: &mut K, cur: Pid, dir: NodeId) -> SysResult<Vec<DirEntry>> {
+        let req = self.send(Wire::new(OP_READDIR).u32(cur.0).u64(dir.0));
+        let mut r = req.reader();
+        let _op = r.u8();
+        let (cur, dir) = (Pid(r.u32()), NodeId(r.u64()));
+        let result = self.inner.readdir(k, cur, dir).map(|entries| {
+            let mut w = Wire::new(0).u32(entries.len() as u32);
+            w.0.remove(0); // Drop the placeholder op byte; body only.
+            for e in &entries {
+                w = w.str(&e.name).u64(e.node.0);
+            }
+            w
+        });
+        let resp = self.respond(result_wire(result));
+        let mut rr = result_unwire(&resp)?;
+        let n = rr.u32();
+        Ok((0..n).map(|_| DirEntry { name: rr.str(), node: NodeId(rr.u64()) }).collect())
+    }
+
+    fn open(
+        &mut self,
+        k: &mut K,
+        cur: Pid,
+        node: NodeId,
+        flags: OFlags,
+        cred: &Cred,
+    ) -> SysResult<OpenToken> {
+        let req = self.send(cred_wire(
+            Wire::new(OP_OPEN).u32(cur.0).u64(node.0).u64(flags.to_bits()),
+            cred,
+        ));
+        let mut r = req.reader();
+        let _op = r.u8();
+        let (cur, node, bits) = (Pid(r.u32()), NodeId(r.u64()), r.u64());
+        let cred = cred_unwire(&mut r);
+        let result = self.inner.open(k, cur, node, OFlags::from_bits(bits), &cred);
+        let resp = self.respond(result_wire(result.map(|t| Wire(t.0.to_le_bytes().to_vec()))));
+        let mut rr = result_unwire(&resp)?;
+        Ok(OpenToken(rr.u64()))
+    }
+
+    fn close(&mut self, k: &mut K, cur: Pid, node: NodeId, token: OpenToken, flags: OFlags) {
+        let req = self.send(
+            Wire::new(OP_CLOSE).u32(cur.0).u64(node.0).u64(token.0).u64(flags.to_bits()),
+        );
+        let mut r = req.reader();
+        let _op = r.u8();
+        let (cur, node, token, bits) =
+            (Pid(r.u32()), NodeId(r.u64()), OpenToken(r.u64()), r.u64());
+        self.inner.close(k, cur, node, token, OFlags::from_bits(bits));
+        let _ = self.respond(Wire::new(0));
+    }
+
+    fn read(
+        &mut self,
+        k: &mut K,
+        cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        off: u64,
+        buf: &mut [u8],
+    ) -> SysResult<IoReply> {
+        // A read marshals generically: the request is (node, off, len) and
+        // the response is the data — sizes and direction are manifest.
+        let req = self.send(
+            Wire::new(OP_READ).u32(cur.0).u64(node.0).u64(token.0).u64(off).u64(buf.len() as u64),
+        );
+        let mut r = req.reader();
+        let _op = r.u8();
+        let (cur, node, token, off, len) =
+            (Pid(r.u32()), NodeId(r.u64()), OpenToken(r.u64()), r.u64(), r.u64() as usize);
+        let mut server_buf = vec![0u8; len];
+        let result = self.inner.read(k, cur, node, token, off, &mut server_buf);
+        let result = result.map(|reply| match reply {
+            IoReply::Done(n) => Wire::new(0).bytes(&server_buf[..n]),
+            IoReply::Block => Wire::new(1),
+        });
+        let resp = self.respond(result_wire(result));
+        let mut rr = result_unwire(&resp)?;
+        match rr.u8() {
+            0 => {
+                let data = rr.bytes();
+                buf[..data.len()].copy_from_slice(&data);
+                Ok(IoReply::Done(data.len()))
+            }
+            _ => Ok(IoReply::Block),
+        }
+    }
+
+    fn write(
+        &mut self,
+        k: &mut K,
+        cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        off: u64,
+        data: &[u8],
+    ) -> SysResult<IoReply> {
+        let req = self.send(
+            Wire::new(OP_WRITE).u32(cur.0).u64(node.0).u64(token.0).u64(off).bytes(data),
+        );
+        let mut r = req.reader();
+        let _op = r.u8();
+        let (cur, node, token, off) = (Pid(r.u32()), NodeId(r.u64()), OpenToken(r.u64()), r.u64());
+        let payload = r.bytes();
+        let result = self.inner.write(k, cur, node, token, off, &payload);
+        let result = result.map(|reply| match reply {
+            IoReply::Done(n) => Wire::new(0).u64(n as u64),
+            IoReply::Block => Wire::new(1),
+        });
+        let resp = self.respond(result_wire(result));
+        let mut rr = result_unwire(&resp)?;
+        match rr.u8() {
+            0 => Ok(IoReply::Done(rr.u64() as usize)),
+            _ => Ok(IoReply::Block),
+        }
+    }
+
+    fn ioctl(
+        &mut self,
+        k: &mut K,
+        cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        req_no: u32,
+        arg: &[u8],
+    ) -> SysResult<IoctlReply> {
+        // An ioctl can only cross the wire if someone taught the shim this
+        // request's operand sizes and directions.
+        let spec = match self.ioctl_table.as_ref().and_then(|t| t(req_no)) {
+            Some(s) => s,
+            None => {
+                self.stats.unsupported_ioctls += 1;
+                return Err(Errno::ENOTSUP);
+            }
+        };
+        if arg.len() > spec.in_len {
+            self.stats.unsupported_ioctls += 1;
+            return Err(Errno::ENOTSUP);
+        }
+        let req = self.send(
+            Wire::new(OP_IOCTL).u32(cur.0).u64(node.0).u64(token.0).u32(req_no).bytes(arg),
+        );
+        let mut r = req.reader();
+        let _op = r.u8();
+        let (cur, node, token, req_no) =
+            (Pid(r.u32()), NodeId(r.u64()), OpenToken(r.u64()), r.u32());
+        let payload = r.bytes();
+        let result = self.inner.ioctl(k, cur, node, token, req_no, &payload);
+        let result = result.map(|reply| match reply {
+            IoctlReply::Done(out) => {
+                // The server can only return what the spec promised.
+                let truncated = &out[..out.len().min(spec.out_len)];
+                Wire::new(0).bytes(truncated)
+            }
+            IoctlReply::Block => Wire::new(1),
+        });
+        let resp = self.respond(result_wire(result));
+        let mut rr = result_unwire(&resp)?;
+        match rr.u8() {
+            0 => Ok(IoctlReply::Done(rr.bytes())),
+            _ => Ok(IoctlReply::Block),
+        }
+    }
+
+    fn poll(&mut self, k: &mut K, node: NodeId, token: OpenToken) -> SysResult<PollStatus> {
+        let req = self.send(Wire::new(OP_POLL).u64(node.0).u64(token.0));
+        let mut r = req.reader();
+        let _op = r.u8();
+        let (node, token) = (NodeId(r.u64()), OpenToken(r.u64()));
+        let result = self.inner.poll(k, node, token).map(|p| {
+            Wire::new(
+                (p.readable as u8) | (p.writable as u8) << 1 | (p.hangup as u8) << 2,
+            )
+        });
+        let resp = self.respond(result_wire(result));
+        let mut rr = result_unwire(&resp)?;
+        let bits = rr.u8();
+        Ok(PollStatus { readable: bits & 1 != 0, writable: bits & 2 != 0, hangup: bits & 4 != 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memfs::MemFs;
+
+    const P: Pid = Pid(1);
+
+    fn remote_memfs() -> RemoteFs<()> {
+        let mut fs = MemFs::<()>::new();
+        fs.install("/bin/tool", 0o755, 0, 0, b"payload-bytes".to_vec());
+        RemoteFs::new(Box::new(fs))
+    }
+
+    #[test]
+    fn lookup_and_read_work_across_the_wire() {
+        let mut r = remote_memfs();
+        let cred = Cred::superuser();
+        let bin = r.lookup(&mut (), P, NodeId(0), "bin").expect("bin");
+        let tool = r.lookup(&mut (), P, bin, "tool").expect("tool");
+        let tok = r.open(&mut (), P, tool, OFlags::rdonly(), &cred).expect("open");
+        let mut buf = [0u8; 7];
+        let reply = r.read(&mut (), P, tool, tok, 0, &mut buf).expect("read");
+        assert_eq!(reply, IoReply::Done(7));
+        assert_eq!(&buf, b"payload");
+        assert!(r.stats.ops >= 4);
+        assert!(r.stats.bytes_sent > 0);
+        assert!(r.stats.bytes_received > 0);
+    }
+
+    #[test]
+    fn errors_cross_the_wire() {
+        let mut r = remote_memfs();
+        assert_eq!(r.lookup(&mut (), P, NodeId(0), "missing"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn ioctl_without_table_is_refused() {
+        let mut r = remote_memfs();
+        let err = r
+            .ioctl(&mut (), P, NodeId(0), OpenToken(0), 0x1234, &[])
+            .expect_err("no table");
+        assert_eq!(err, Errno::ENOTSUP);
+        assert_eq!(r.stats.unsupported_ioctls, 1);
+        assert_eq!(r.stats.ops, 0, "the request never even reaches the wire");
+    }
+
+    #[test]
+    fn ioctl_with_table_crosses_but_is_bounded() {
+        // memfs rejects ioctl with ENOTTY; we verify the round trip
+        // carries the error back, which demands a wire spec.
+        let table: IoctlTable =
+            Box::new(|req| (req == 7).then_some(IoctlWireSpec { in_len: 8, out_len: 16 }));
+        let mut r = RemoteFs::new(Box::new(MemFs::<()>::new())).with_ioctl_table(table);
+        let err = r.ioctl(&mut (), P, NodeId(0), OpenToken(0), 7, &[0; 8]).expect_err("enotty");
+        assert_eq!(err, Errno::ENOTTY);
+        assert_eq!(r.stats.ops, 1);
+        // Oversized operand refused client-side.
+        let err = r.ioctl(&mut (), P, NodeId(0), OpenToken(0), 7, &[0; 64]).expect_err("too big");
+        assert_eq!(err, Errno::ENOTSUP);
+        // Unknown request refused.
+        let err = r.ioctl(&mut (), P, NodeId(0), OpenToken(0), 8, &[]).expect_err("unknown");
+        assert_eq!(err, Errno::ENOTSUP);
+    }
+
+    #[test]
+    fn write_marshals_payload() {
+        let mut r = remote_memfs();
+        let cred = Cred::superuser();
+        let f = {
+            let bin = r.lookup(&mut (), P, NodeId(0), "bin").expect("bin");
+            r.lookup(&mut (), P, bin, "tool").expect("tool")
+        };
+        let tok = r.open(&mut (), P, f, OFlags::rdwr(), &cred).expect("open");
+        r.reset_stats();
+        let reply = r.write(&mut (), P, f, tok, 0, b"NEW").expect("write");
+        assert_eq!(reply, IoReply::Done(3));
+        assert!(r.stats.bytes_sent as usize >= 3 + 1 + 4, "payload travelled");
+        let mut buf = [0u8; 3];
+        r.read(&mut (), P, f, tok, 0, &mut buf).expect("read");
+        assert_eq!(&buf, b"NEW");
+    }
+
+    #[test]
+    fn readdir_marshals_entries() {
+        let mut r = remote_memfs();
+        let entries = r.readdir(&mut (), P, NodeId(0)).expect("readdir");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "bin");
+    }
+
+    #[test]
+    fn getattr_roundtrip() {
+        let mut r = remote_memfs();
+        let bin = r.lookup(&mut (), P, NodeId(0), "bin").expect("bin");
+        let tool = r.lookup(&mut (), P, bin, "tool").expect("tool");
+        let meta = r.getattr(&mut (), tool).expect("attr");
+        assert_eq!(meta.mode, 0o755);
+        assert_eq!(meta.size, 13);
+        assert_eq!(meta.kind, VnodeKind::Regular);
+    }
+}

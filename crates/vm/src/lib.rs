@@ -1,0 +1,54 @@
+//! SVR4-style virtual memory for the procsim kernel.
+//!
+//! The paper's process model rests on the SVR4 VM architecture (derived
+//! from SunOS): a process executes in an address space consisting of a
+//! number of *mappings* — contiguous virtual ranges, each with a
+//! protection, a private/shared flag, and a backing *object* (a file or
+//! anonymous zero-fill memory). "Text", "data" and "stack" are not special
+//! in the model; they are ordinary mappings distinguished only by a name
+//! recorded for tools such as `PIOCMAP`.
+//!
+//! This crate implements that model:
+//!
+//! * [`ObjectStore`] — reference-counted backing objects holding 4 KiB
+//!   page frames ([`page::PageFrame`], shared via `Arc`);
+//! * [`Mapping`] — a virtual range with protections, flags, an object
+//!   reference, and (for `MAP_PRIVATE`) a copy-on-write overlay of private
+//!   frames;
+//! * [`AddressSpace`] — the ordered set of mappings plus the paper's
+//!   `as_fault` operation, transparent stack growth, the `brk` segment,
+//!   and the proposed watchpoint facility's watched areas.
+//!
+//! Copy-on-write works at two levels, both required by the paper:
+//!
+//! 1. multiple private mappings of one object share the object's frames
+//!    until a write, at which point the written page is copied into the
+//!    mapping's overlay ("private mappings are implemented so as to
+//!    provide copy-on-write semantics");
+//! 2. `fork` clones an address space by cloning overlay maps — the frames
+//!    themselves stay shared (`Arc`) until either side writes
+//!    (`Arc::make_mut` clones the frame lazily).
+//!
+//! Crucially for `/proc`: [`AddressSpace::kernel_write`] bypasses page
+//! protections but *honours* copy-on-write for private mappings, so a
+//! controlling process can plant breakpoints in a read/execute text
+//! mapping without corrupting the executable file or any other process
+//! running the same image. Only bona-fide shared memory (`MAP_SHARED`)
+//! is written through to the object.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod map;
+pub mod object;
+pub mod page;
+pub mod space;
+pub mod watch;
+
+pub use error::AccessDenied;
+pub use map::{MapFlags, Mapping, Prot, SegName};
+pub use object::{Object, ObjectId, ObjectKind, ObjectStore};
+pub use page::{PageFrame, PAGE_SIZE};
+pub use space::AddressSpace;
+pub use watch::{WatchArea, WatchFlags};

@@ -1,0 +1,250 @@
+//! Backing objects: the things mappings map.
+//!
+//! "The system provides suitably-behaving anonymous objects to which
+//! mappings may be applied in the construction of other segments (e.g.
+//! 'bss', uninitialized zero-filled memory)." File objects carry the
+//! identity of the underlying vnode so `PIOCOPENM` can hand a debugger a
+//! file descriptor for the mapped object (shared-library symbol tables
+//! without pathnames).
+
+use crate::page::{page_chunks, PageFrame, PAGE_SIZE};
+use std::collections::BTreeMap;
+
+/// Handle to an object in an [`ObjectStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+/// What an object is backed by.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// Anonymous zero-fill memory (bss, stack, heap, shared memory).
+    Anon,
+    /// A cached file image. `fs`/`node` identify the vnode for
+    /// `PIOCOPENM`; `path` is advisory (diagnostics only — the interface
+    /// itself never needs pathnames).
+    File {
+        /// File-system identifier of the backing vnode.
+        fs: u32,
+        /// Node identifier within that file system.
+        node: u64,
+        /// Advisory pathname recorded at map time.
+        path: String,
+    },
+}
+
+/// A backing object: a sparse collection of page frames plus a length.
+/// Pages not present read as zeroes and are materialised on first write.
+#[derive(Debug)]
+pub struct Object {
+    /// Backing kind.
+    pub kind: ObjectKind,
+    /// Logical length in bytes (reads beyond it still succeed within the
+    /// mapped range; the length records the initialised extent).
+    pub len: u64,
+    pages: BTreeMap<u64, PageFrame>,
+    refs: u32,
+}
+
+impl Object {
+    /// Reads `buf.len()` bytes at `off`; absent pages read as zero.
+    pub fn read_at(&self, off: u64, buf: &mut [u8]) {
+        let mut done = 0usize;
+        for (page, poff, n) in page_chunks(off, buf.len() as u64) {
+            match self.pages.get(&page) {
+                Some(frame) => buf[done..done + n].copy_from_slice(&frame.bytes()[poff..poff + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
+    /// Writes `data` at `off`, materialising pages as needed and extending
+    /// the logical length.
+    pub fn write_at(&mut self, off: u64, data: &[u8]) {
+        let mut done = 0usize;
+        for (page, poff, n) in page_chunks(off, data.len() as u64) {
+            let frame = self.pages.entry(page).or_insert_with(PageFrame::zeroed);
+            frame.make_mut()[poff..poff + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+        self.len = self.len.max(off + data.len() as u64);
+    }
+
+    /// Returns the frame for `page` if it has been materialised.
+    pub fn page(&self, page: u64) -> Option<&PageFrame> {
+        self.pages.get(&page)
+    }
+
+    /// Returns a clone (shared handle) of the frame for `page`, if any.
+    pub fn page_cloned(&self, page: u64) -> Option<PageFrame> {
+        self.pages.get(&page).cloned()
+    }
+
+    /// Number of materialised pages (resident set contribution).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// A reference-counted table of objects. Mappings hold [`ObjectId`]s;
+/// the address-space code increments the count when a mapping is created
+/// or split and decrements it when a mapping is removed; the object's
+/// pages are freed when the count reaches zero.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    objs: Vec<Option<Object>>,
+    free: Vec<usize>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> ObjectStore {
+        ObjectStore::default()
+    }
+
+    fn insert(&mut self, obj: Object) -> ObjectId {
+        match self.free.pop() {
+            Some(slot) => {
+                self.objs[slot] = Some(obj);
+                ObjectId(slot as u32)
+            }
+            None => {
+                self.objs.push(Some(obj));
+                ObjectId((self.objs.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Allocates an anonymous zero-fill object with one reference.
+    pub fn alloc_anon(&mut self, len: u64) -> ObjectId {
+        self.insert(Object { kind: ObjectKind::Anon, len, pages: BTreeMap::new(), refs: 1 })
+    }
+
+    /// Allocates a file-backed object (a cached file image) initialised
+    /// from `content`, with one reference.
+    pub fn alloc_file(&mut self, fs: u32, node: u64, path: &str, content: &[u8]) -> ObjectId {
+        let mut pages = BTreeMap::new();
+        for (i, chunk) in content.chunks(PAGE_SIZE as usize).enumerate() {
+            pages.insert(i as u64, PageFrame::from_bytes(chunk));
+        }
+        self.insert(Object {
+            kind: ObjectKind::File { fs, node, path: path.to_string() },
+            len: content.len() as u64,
+            pages,
+            refs: 1,
+        })
+    }
+
+    /// Shared access to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale (refcounting bug); the address-space code
+    /// owns all references.
+    pub fn get(&self, id: ObjectId) -> &Object {
+        self.objs[id.0 as usize].as_ref().expect("stale ObjectId")
+    }
+
+    /// Exclusive access to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub fn get_mut(&mut self, id: ObjectId) -> &mut Object {
+        self.objs[id.0 as usize].as_mut().expect("stale ObjectId")
+    }
+
+    /// Adds a reference (a new mapping of the object).
+    pub fn incref(&mut self, id: ObjectId) {
+        self.get_mut(id).refs += 1;
+    }
+
+    /// Drops a reference, freeing the object's pages when none remain.
+    pub fn decref(&mut self, id: ObjectId) {
+        let slot = id.0 as usize;
+        let obj = self.objs[slot].as_mut().expect("stale ObjectId");
+        obj.refs -= 1;
+        if obj.refs == 0 {
+            self.objs[slot] = None;
+            self.free.push(slot);
+        }
+    }
+
+    /// Current reference count (tests and diagnostics).
+    pub fn refcount(&self, id: ObjectId) -> u32 {
+        self.get(id).refs
+    }
+
+    /// True if the object is still live.
+    pub fn is_live(&self, id: ObjectId) -> bool {
+        self.objs.get(id.0 as usize).map(|s| s.is_some()).unwrap_or(false)
+    }
+
+    /// Number of live objects (leak detection in tests).
+    pub fn live_count(&self) -> usize {
+        self.objs.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anon_reads_zero_until_written() {
+        let mut store = ObjectStore::new();
+        let id = store.alloc_anon(8192);
+        let mut buf = [0xAAu8; 16];
+        store.get(id).read_at(100, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        store.get_mut(id).write_at(100, &[1, 2, 3]);
+        store.get(id).read_at(99, &mut buf);
+        assert_eq!(&buf[..5], &[0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn file_object_contains_content_across_pages() {
+        let mut store = ObjectStore::new();
+        let content: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        let id = store.alloc_file(1, 7, "/bin/x", &content);
+        let mut buf = vec![0u8; 100];
+        store.get(id).read_at(4090, &mut buf);
+        let expect: Vec<u8> = (4090..4190u32).map(|i| i as u8).collect();
+        assert_eq!(buf, expect);
+        assert_eq!(store.get(id).len, 10_000);
+    }
+
+    #[test]
+    fn write_extends_length() {
+        let mut store = ObjectStore::new();
+        let id = store.alloc_anon(0);
+        store.get_mut(id).write_at(5000, &[9]);
+        assert_eq!(store.get(id).len, 5001);
+    }
+
+    #[test]
+    fn refcounting_frees_and_reuses_slots() {
+        let mut store = ObjectStore::new();
+        let a = store.alloc_anon(4096);
+        store.incref(a);
+        assert_eq!(store.refcount(a), 2);
+        store.decref(a);
+        assert!(store.is_live(a));
+        store.decref(a);
+        assert!(!store.is_live(a));
+        assert_eq!(store.live_count(), 0);
+        let b = store.alloc_anon(4096);
+        assert_eq!(b, a, "slot is reused");
+    }
+
+    #[test]
+    fn straddling_write_materialises_both_pages() {
+        let mut store = ObjectStore::new();
+        let id = store.alloc_anon(3 * PAGE_SIZE);
+        store.get_mut(id).write_at(PAGE_SIZE - 2, &[1, 2, 3, 4]);
+        assert_eq!(store.get(id).resident_pages(), 2);
+        let mut buf = [0u8; 4];
+        store.get(id).read_at(PAGE_SIZE - 2, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Page frames: the unit of memory sharing and copy-on-write.
+
+use std::sync::Arc;
+
+/// System page size in bytes. The paper notes the granularity of a mapping
+/// is "a system-specific page size, typically a small multiple of 1024
+/// bytes"; we use 4096.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A physical page frame. Frames are shared between address spaces (and
+/// between an object and private overlays) via `Arc`; writes that must not
+/// be seen by other holders go through [`PageFrame::make_mut`], which
+/// clones the frame when it is shared — copy-on-write.
+#[derive(Clone)]
+pub struct PageFrame(Arc<Page>);
+
+/// The actual 4 KiB of storage. Boxed inside the `Arc` as a plain array.
+pub struct Page(pub [u8; PAGE_SIZE as usize]);
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        Page(self.0)
+    }
+}
+
+impl PageFrame {
+    /// Allocates a zero-filled frame.
+    pub fn zeroed() -> PageFrame {
+        PageFrame(Arc::new(Page([0; PAGE_SIZE as usize])))
+    }
+
+    /// Allocates a frame initialised from `data` (zero-padded; at most one
+    /// page of `data` is used).
+    pub fn from_bytes(data: &[u8]) -> PageFrame {
+        let mut p = Page([0; PAGE_SIZE as usize]);
+        let n = data.len().min(PAGE_SIZE as usize);
+        p.0[..n].copy_from_slice(&data[..n]);
+        PageFrame(Arc::new(p))
+    }
+
+    /// Read access to the page bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE as usize] {
+        &self.0 .0
+    }
+
+    /// Write access, performing copy-on-write if the frame is shared with
+    /// any other holder.
+    #[inline]
+    pub fn make_mut(&mut self) -> &mut [u8; PAGE_SIZE as usize] {
+        &mut Arc::make_mut(&mut self.0).0
+    }
+
+    /// True if this frame is currently shared (a write would copy).
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.0) > 1
+    }
+
+    /// True if both handles refer to the same physical frame.
+    pub fn ptr_eq(a: &PageFrame, b: &PageFrame) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl std::fmt::Debug for PageFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageFrame(shared={})", self.is_shared())
+    }
+}
+
+/// Splits a byte range `[addr, addr+len)` into per-page subranges,
+/// yielding `(page_index, offset_in_page, len_in_page)` where `page_index`
+/// is `addr / PAGE_SIZE` for the chunk's start.
+pub fn page_chunks(addr: u64, len: u64) -> impl Iterator<Item = (u64, usize, usize)> {
+    let mut pos = addr;
+    let end = addr + len;
+    std::iter::from_fn(move || {
+        if pos >= end {
+            return None;
+        }
+        let page = pos / PAGE_SIZE;
+        let off = (pos % PAGE_SIZE) as usize;
+        let take = ((PAGE_SIZE as usize) - off).min((end - pos) as usize);
+        pos += take as u64;
+        Some((page, off, take))
+    })
+}
+
+/// Rounds `v` up to a page boundary.
+pub fn page_align_up(v: u64) -> u64 {
+    v.div_ceil(PAGE_SIZE) * PAGE_SIZE
+}
+
+/// Rounds `v` down to a page boundary.
+pub fn page_align_down(v: u64) -> u64 {
+    v - v % PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cow_clones_on_shared_write() {
+        let mut a = PageFrame::zeroed();
+        let b = a.clone();
+        assert!(a.is_shared());
+        a.make_mut()[0] = 7;
+        assert!(!a.is_shared());
+        assert_eq!(a.bytes()[0], 7);
+        assert_eq!(b.bytes()[0], 0, "the other holder must be unaffected");
+        assert!(!PageFrame::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn unshared_write_does_not_copy() {
+        let mut a = PageFrame::from_bytes(&[1, 2, 3]);
+        let before = a.bytes() as *const _;
+        a.make_mut()[0] = 9;
+        assert_eq!(a.bytes() as *const _, before);
+        assert_eq!(a.bytes()[0], 9);
+        assert_eq!(a.bytes()[1], 2);
+    }
+
+    #[test]
+    fn from_bytes_pads_and_truncates() {
+        let a = PageFrame::from_bytes(&[0xFF; 8192]);
+        assert!(a.bytes().iter().all(|&b| b == 0xFF));
+        let b = PageFrame::from_bytes(&[1]);
+        assert_eq!(b.bytes()[0], 1);
+        assert_eq!(b.bytes()[1], 0);
+    }
+
+    #[test]
+    fn page_chunks_cover_range_exactly() {
+        let chunks: Vec<_> = page_chunks(PAGE_SIZE - 10, 30).collect();
+        assert_eq!(chunks, vec![(0, (PAGE_SIZE - 10) as usize, 10), (1, 0, 20)]);
+        let total: usize = page_chunks(12345, 99999).map(|(_, _, n)| n).sum();
+        assert_eq!(total, 99999);
+    }
+
+    #[test]
+    fn page_chunks_empty_range() {
+        assert_eq!(page_chunks(100, 0).count(), 0);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(page_align_up(0), 0);
+        assert_eq!(page_align_up(1), PAGE_SIZE);
+        assert_eq!(page_align_up(PAGE_SIZE), PAGE_SIZE);
+        assert_eq!(page_align_down(PAGE_SIZE + 1), PAGE_SIZE);
+        assert_eq!(page_align_down(PAGE_SIZE - 1), 0);
+    }
+}

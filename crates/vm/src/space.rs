@@ -1,0 +1,909 @@
+//! The address space (`as`) structure and its operations.
+//!
+//! "Each process has an associated address space ('as') data structure to
+//! which a set of standard operations may be applied. One such operation
+//! is `as_fault`, which performs page-fault processing for a specified
+//! range of addresses." Inter-process I/O — the heart of `/proc` reads and
+//! writes — is exactly [`AddressSpace::kernel_read`] /
+//! [`AddressSpace::kernel_write`]: fault the pages in, map them, copy.
+
+use crate::error::AccessDenied;
+use crate::map::{MapFlags, Mapping, Prot, SegName};
+use crate::object::{ObjectId, ObjectStore};
+use crate::page::{page_align_down, page_chunks, PageFrame, PAGE_SIZE};
+use crate::watch::WatchArea;
+use std::collections::BTreeMap;
+
+/// Errors from mapping-management operations (`mmap`/`munmap`/`mprotect`
+/// and kernel segment setup). The kernel translates these to errnos.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// Base or length not page-aligned, or length zero.
+    BadAlign,
+    /// The requested range overlaps an existing mapping.
+    Overlap,
+    /// Part of the requested range is not mapped.
+    NotMapped,
+    /// No room in the search region for an anywhere-mapping.
+    NoRoom,
+}
+
+/// Access mode for permission checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Exec,
+}
+
+/// A process's virtual address space.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    /// Mappings sorted by base address, pairwise disjoint.
+    maps: Vec<Mapping>,
+    /// Watched areas (the proposed watchpoint facility).
+    pub watchpoints: Vec<WatchArea>,
+    /// One-shot bypass: the next access that would fire a watchpoint is
+    /// completed instead (used to step over the watched access after a
+    /// `FLTWATCH` stop).
+    pub watch_bypass_once: bool,
+    /// Count of accesses that faulted on a watched *page* but missed every
+    /// watched *byte range* and were transparently recovered by the
+    /// system (experiment E6 reads this).
+    pub watch_recovered: u64,
+    /// Lowest address automatic stack growth may reach; 0 disables growth.
+    pub stack_limit: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace::default()
+    }
+
+    /// The mappings, sorted by base address.
+    pub fn mappings(&self) -> &[Mapping] {
+        &self.maps
+    }
+
+    /// Total mapped bytes — the "size" reported for the process file in
+    /// `ls -l /proc` (Figure 1).
+    pub fn total_size(&self) -> u64 {
+        self.maps.iter().map(|m| m.len).sum()
+    }
+
+    /// Approximate resident bytes: privately materialised overlay pages
+    /// plus, for shared mappings, materialised object pages in range.
+    pub fn resident_bytes(&self, store: &ObjectStore) -> u64 {
+        let mut pages = 0u64;
+        for m in &self.maps {
+            if m.flags.shared {
+                let obj = store.get(m.object);
+                let first = m.obj_off / PAGE_SIZE;
+                let last = (m.obj_off + m.len - 1) / PAGE_SIZE;
+                pages += (first..=last).filter(|p| obj.page(*p).is_some()).count() as u64;
+            } else {
+                pages += m.overlay.len() as u64;
+            }
+        }
+        pages * PAGE_SIZE
+    }
+
+    /// Finds the mapping containing `addr`.
+    pub fn find(&self, addr: u64) -> Option<&Mapping> {
+        let idx = self.maps.partition_point(|m| m.end() <= addr);
+        self.maps.get(idx).filter(|m| m.contains(addr))
+    }
+
+    fn find_idx(&self, addr: u64) -> Option<usize> {
+        let idx = self.maps.partition_point(|m| m.end() <= addr);
+        if self.maps.get(idx).is_some_and(|m| m.contains(addr)) {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Installs a mapping at a fixed address. The caller transfers one
+    /// object reference for the new mapping (allocate the object, or
+    /// `incref` an existing one, before calling).
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_fixed(
+        &mut self,
+        base: u64,
+        len: u64,
+        prot: Prot,
+        flags: MapFlags,
+        object: ObjectId,
+        obj_off: u64,
+        name: SegName,
+    ) -> Result<(), MapError> {
+        if len == 0 || !base.is_multiple_of(PAGE_SIZE) || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(MapError::BadAlign);
+        }
+        let end = base.checked_add(len).ok_or(MapError::BadAlign)?;
+        let idx = self.maps.partition_point(|m| m.end() <= base);
+        if self.maps.get(idx).is_some_and(|m| m.base < end) {
+            return Err(MapError::Overlap);
+        }
+        self.maps.insert(
+            idx,
+            Mapping { base, len, prot, flags, object, obj_off, overlay: BTreeMap::new(), name },
+        );
+        Ok(())
+    }
+
+    /// Installs a mapping at the lowest free page-aligned slot in
+    /// `[lo, hi)`. The caller transfers one object reference as with
+    /// [`AddressSpace::map_fixed`]. Returns the chosen base address.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_anywhere(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        len: u64,
+        prot: Prot,
+        flags: MapFlags,
+        object: ObjectId,
+        obj_off: u64,
+        name: SegName,
+    ) -> Result<u64, MapError> {
+        if len == 0 || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(MapError::BadAlign);
+        }
+        let mut candidate = lo;
+        for m in &self.maps {
+            if m.end() <= candidate {
+                continue;
+            }
+            if m.base >= candidate + len {
+                break;
+            }
+            candidate = m.end();
+        }
+        if candidate + len > hi {
+            return Err(MapError::NoRoom);
+        }
+        self.map_fixed(candidate, len, prot, flags, object, obj_off, name)?;
+        Ok(candidate)
+    }
+
+    /// Removes all mappings intersecting `[base, base+len)`, splitting
+    /// partial overlaps. Object references held by removed pieces are
+    /// dropped.
+    pub fn unmap(&mut self, store: &mut ObjectStore, base: u64, len: u64) -> Result<(), MapError> {
+        if len == 0 || !base.is_multiple_of(PAGE_SIZE) || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(MapError::BadAlign);
+        }
+        let end = base + len;
+        self.split_boundary(store, base);
+        self.split_boundary(store, end);
+        let mut i = 0;
+        while i < self.maps.len() {
+            if self.maps[i].base >= base && self.maps[i].end() <= end {
+                let dead = self.maps.remove(i);
+                store.decref(dead.object);
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Changes protections on `[base, base+len)`; the entire range must be
+    /// mapped.
+    pub fn protect(
+        &mut self,
+        store: &mut ObjectStore,
+        base: u64,
+        len: u64,
+        prot: Prot,
+    ) -> Result<(), MapError> {
+        if len == 0 || !base.is_multiple_of(PAGE_SIZE) || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(MapError::BadAlign);
+        }
+        // Verify full coverage first so the operation is atomic.
+        if self.valid_span(base, len) != len {
+            return Err(MapError::NotMapped);
+        }
+        let end = base + len;
+        self.split_boundary(store, base);
+        self.split_boundary(store, end);
+        for m in &mut self.maps {
+            if m.base >= base && m.end() <= end {
+                m.prot = prot;
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits the mapping containing `addr` at `addr` (a page boundary),
+    /// if one exists and `addr` is strictly inside it. The new piece gains
+    /// an object reference.
+    fn split_boundary(&mut self, store: &mut ObjectStore, addr: u64) {
+        if !addr.is_multiple_of(PAGE_SIZE) {
+            return;
+        }
+        if let Some(i) = self.find_idx(addr) {
+            if self.maps[i].base < addr {
+                let tail = self.maps[i].split_at(addr);
+                store.incref(tail.object);
+                self.maps.insert(i + 1, tail);
+            }
+        }
+    }
+
+    /// Number of contiguously mapped bytes starting at `addr`, capped at
+    /// `max`. Zero means `addr` itself is unmapped. `/proc` file I/O uses
+    /// this for the paper's truncation rule: "I/O operations that extend
+    /// into unmapped areas do not fail but are truncated at the boundary."
+    pub fn valid_span(&self, addr: u64, max: u64) -> u64 {
+        let mut pos = addr;
+        let end = addr.saturating_add(max);
+        while pos < end {
+            match self.find(pos) {
+                Some(m) => pos = m.end().min(end),
+                None => break,
+            }
+        }
+        pos - addr
+    }
+
+    /// The paper's `as_fault` for a failed access: attempts transparent
+    /// recovery (automatic downward growth of a `grows_down` mapping).
+    /// Returns true if the fault was resolved and the access should be
+    /// retried.
+    pub fn as_fault(&mut self, store: &mut ObjectStore, addr: u64) -> bool {
+        let _ = store;
+        if self.find(addr).is_some() {
+            return false;
+        }
+        if self.stack_limit == 0 || addr < self.stack_limit {
+            return false;
+        }
+        // Find the lowest grows-down mapping above the fault address.
+        let Some(i) = self
+            .maps
+            .iter()
+            .position(|m| m.flags.grows_down && m.base > addr)
+        else {
+            return false;
+        };
+        let new_base = page_align_down(addr);
+        // Do not grow into a neighbour below.
+        if i > 0 && self.maps[i - 1].end() > new_base {
+            return false;
+        }
+        let m = &mut self.maps[i];
+        let delta_pages = (m.base - new_base) / PAGE_SIZE;
+        let old_overlay = std::mem::take(&mut m.overlay);
+        m.overlay = old_overlay.into_iter().map(|(k, v)| (k + delta_pages, v)).collect();
+        m.len += m.base - new_base;
+        m.base = new_base;
+        true
+    }
+
+    /// Grows (or shrinks) the break mapping so that it ends at `new_end`
+    /// (page-rounded up). Supports only growth; shrinking is ignored.
+    pub fn grow_break(&mut self, new_end: u64) -> Result<u64, MapError> {
+        let Some(i) = self.maps.iter().position(|m| m.flags.is_break) else {
+            return Err(MapError::NotMapped);
+        };
+        let end = crate::page::page_align_up(new_end);
+        let cur_end = self.maps[i].end();
+        if end <= cur_end {
+            return Ok(cur_end);
+        }
+        // Do not grow into a neighbour above.
+        if self.maps.get(i + 1).is_some_and(|n| n.base < end) {
+            return Err(MapError::Overlap);
+        }
+        self.maps[i].len = end - self.maps[i].base;
+        Ok(end)
+    }
+
+    /// Checks whether a user-mode access is permitted, applying the
+    /// watchpoint screening described in the paper (page-level trigger,
+    /// byte-level decision, transparent recovery for unwatched bytes).
+    pub fn check_user_access(
+        &mut self,
+        addr: u64,
+        len: u64,
+        mode: Mode,
+    ) -> Result<(), AccessDenied> {
+        let len = len.max(1);
+        // Page protections first.
+        let mut pos = addr;
+        let end = addr + len;
+        while pos < end {
+            match self.find(pos) {
+                None => return Err(AccessDenied::Unmapped { addr: pos }),
+                Some(m) => {
+                    let ok = match mode {
+                        Mode::Read => m.prot.read,
+                        Mode::Write => m.prot.write,
+                        Mode::Exec => m.prot.exec,
+                    };
+                    if !ok {
+                        return Err(AccessDenied::Protection { addr: pos });
+                    }
+                    pos = m.end().min(end);
+                }
+            }
+        }
+        // Watchpoint screening.
+        let (r, w, x) = match mode {
+            Mode::Read => (true, false, false),
+            Mode::Write => (false, true, false),
+            Mode::Exec => (false, false, true),
+        };
+        let mut recovered = false;
+        for area in &self.watchpoints {
+            if !area.fires_on(r, w, x) {
+                continue;
+            }
+            if area.overlaps(addr, len) {
+                if self.watch_bypass_once {
+                    self.watch_bypass_once = false;
+                    self.watch_recovered += 1;
+                    return Ok(());
+                }
+                let hit = addr.max(area.base);
+                let area = *area;
+                return Err(AccessDenied::Watch { addr: hit, area });
+            }
+            if area.same_page(addr, len) {
+                recovered = true;
+            }
+        }
+        if recovered {
+            self.watch_recovered += 1;
+        }
+        Ok(())
+    }
+
+    /// Adds a watched area. Overlapping areas coexist; the first
+    /// overlapping area (in insertion order) reports the fault.
+    pub fn add_watch(&mut self, area: WatchArea) {
+        self.watchpoints.push(area);
+    }
+
+    /// Removes watched areas exactly matching `base`/`len`. Returns how
+    /// many were removed.
+    pub fn remove_watch(&mut self, base: u64, len: u64) -> usize {
+        let before = self.watchpoints.len();
+        self.watchpoints.retain(|w| !(w.base == base && w.len == len));
+        before - self.watchpoints.len()
+    }
+
+    /// Reads bytes with kernel privilege: protections and watchpoints are
+    /// bypassed; unmapped addresses fail. This is the read half of `/proc`
+    /// address-space I/O.
+    pub fn kernel_read(
+        &self,
+        store: &ObjectStore,
+        addr: u64,
+        buf: &mut [u8],
+    ) -> Result<(), AccessDenied> {
+        let mut done = 0usize;
+        let mut pos = addr;
+        let end = addr + buf.len() as u64;
+        while pos < end {
+            let m = self.find(pos).ok_or(AccessDenied::Unmapped { addr: pos })?;
+            let chunk_end = m.end().min(end);
+            for (vpage, off, n) in page_chunks(pos, chunk_end - pos) {
+                let rel_page = vpage - m.base / PAGE_SIZE;
+                let out = &mut buf[done..done + n];
+                if !m.flags.shared {
+                    if let Some(frame) = m.overlay.get(&rel_page) {
+                        out.copy_from_slice(&frame.bytes()[off..off + n]);
+                        done += n;
+                        continue;
+                    }
+                }
+                let obj_pos = m.obj_off + (vpage * PAGE_SIZE + off as u64 - m.base);
+                store.get(m.object).read_at(obj_pos, out);
+                done += n;
+            }
+            pos = chunk_end;
+        }
+        Ok(())
+    }
+
+    /// Writes bytes with kernel privilege. Protections and watchpoints
+    /// are bypassed, but copy-on-write is honoured: writes to a private
+    /// mapping land in its overlay (copying the object page on first
+    /// touch), so "writing to one process will not corrupt another process
+    /// executing the same executable file or shared library". Writes to a
+    /// shared mapping go to the object — bona-fide shared memory.
+    pub fn kernel_write(
+        &mut self,
+        store: &mut ObjectStore,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<(), AccessDenied> {
+        // Validate the whole range first so the write is atomic.
+        if self.valid_span(addr, data.len() as u64) != data.len() as u64 {
+            let hole = addr + self.valid_span(addr, data.len() as u64);
+            return Err(AccessDenied::Unmapped { addr: hole });
+        }
+        let mut done = 0usize;
+        let mut pos = addr;
+        let end = addr + data.len() as u64;
+        while pos < end {
+            let i = self.find_idx(pos).expect("validated above");
+            let m = &mut self.maps[i];
+            let chunk_end = m.end().min(end);
+            for (vpage, off, n) in page_chunks(pos, chunk_end - pos) {
+                let rel_page = vpage - m.base / PAGE_SIZE;
+                let src = &data[done..done + n];
+                if m.flags.shared {
+                    let obj_pos = m.obj_off + (vpage * PAGE_SIZE + off as u64 - m.base);
+                    store.get_mut(m.object).write_at(obj_pos, src);
+                } else {
+                    let frame = match m.overlay.get_mut(&rel_page) {
+                        Some(f) => f,
+                        None => {
+                            let obj_page = (m.obj_off / PAGE_SIZE) + rel_page;
+                            debug_assert_eq!(m.obj_off % PAGE_SIZE, 0);
+                            let fresh = store
+                                .get(m.object)
+                                .page_cloned(obj_page)
+                                .unwrap_or_else(PageFrame::zeroed);
+                            m.overlay.entry(rel_page).or_insert(fresh)
+                        }
+                    };
+                    frame.make_mut()[off..off + n].copy_from_slice(src);
+                }
+                done += n;
+            }
+            pos = chunk_end;
+        }
+        Ok(())
+    }
+
+    /// User-mode read: permission + watchpoint check, then data movement.
+    pub fn read_user(
+        &mut self,
+        store: &ObjectStore,
+        addr: u64,
+        buf: &mut [u8],
+    ) -> Result<(), AccessDenied> {
+        self.check_user_access(addr, buf.len() as u64, Mode::Read)?;
+        self.kernel_read(store, addr, buf)
+    }
+
+    /// User-mode write: permission + watchpoint check, then data movement
+    /// (copy-on-write for private mappings, write-through for shared).
+    pub fn write_user(
+        &mut self,
+        store: &mut ObjectStore,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<(), AccessDenied> {
+        self.check_user_access(addr, data.len() as u64, Mode::Write)?;
+        self.kernel_write(store, addr, data)
+    }
+
+    /// Instruction fetch: exec permission + watch check, then read.
+    pub fn fetch_user(
+        &mut self,
+        store: &ObjectStore,
+        addr: u64,
+        buf: &mut [u8],
+    ) -> Result<(), AccessDenied> {
+        self.check_user_access(addr, buf.len() as u64, Mode::Exec)?;
+        self.kernel_read(store, addr, buf)
+    }
+
+    /// Clones the address space for `fork`: mappings are duplicated,
+    /// overlay frames stay shared until written (copy-on-write across the
+    /// fork), and every mapping's object gains a reference.
+    pub fn fork_clone(&self, store: &mut ObjectStore) -> AddressSpace {
+        for m in &self.maps {
+            store.incref(m.object);
+        }
+        AddressSpace {
+            maps: self.maps.clone(),
+            watchpoints: Vec::new(),
+            watch_bypass_once: false,
+            watch_recovered: 0,
+            stack_limit: self.stack_limit,
+        }
+    }
+
+    /// Drops every mapping, releasing object references. Used by `exec`
+    /// and `exit`.
+    pub fn clear(&mut self, store: &mut ObjectStore) {
+        for m in self.maps.drain(..) {
+            store.decref(m.object);
+        }
+        self.watchpoints.clear();
+        self.watch_bypass_once = false;
+        self.stack_limit = 0;
+    }
+
+    /// Verifies internal invariants (sortedness, disjointness, alignment);
+    /// used by tests.
+    pub fn check_invariants(&self) {
+        for w in self.maps.windows(2) {
+            assert!(w[0].end() <= w[1].base, "mappings overlap or unsorted");
+        }
+        for m in &self.maps {
+            assert_eq!(m.base % PAGE_SIZE, 0, "unaligned base");
+            assert_eq!(m.len % PAGE_SIZE, 0, "unaligned len");
+            assert!(m.len > 0, "empty mapping");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::watch::WatchFlags;
+    use proptest::prelude::*;
+
+    const K: u64 = 1024;
+
+    fn setup() -> (AddressSpace, ObjectStore) {
+        (AddressSpace::new(), ObjectStore::new())
+    }
+
+    fn anon_map(
+        a: &mut AddressSpace,
+        s: &mut ObjectStore,
+        base: u64,
+        len: u64,
+        prot: Prot,
+    ) -> ObjectId {
+        let obj = s.alloc_anon(len);
+        a.map_fixed(base, len, prot, MapFlags::default(), obj, 0, SegName::Anon)
+            .expect("map");
+        obj
+    }
+
+    #[test]
+    fn map_read_write_roundtrip() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 16 * K, Prot::RW);
+        a.write_user(&mut s, 0x10100, b"hello").expect("write");
+        let mut buf = [0u8; 5];
+        a.read_user(&s, 0x10100, &mut buf).expect("read");
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 16 * K, Prot::RW);
+        let obj = s.alloc_anon(4096);
+        let err = a
+            .map_fixed(0x12000, 4096, Prot::RW, MapFlags::default(), obj, 0, SegName::Anon)
+            .expect_err("overlap");
+        assert_eq!(err, MapError::Overlap);
+    }
+
+    #[test]
+    fn unmapped_access_denied() {
+        let (mut a, s) = setup();
+        let mut buf = [0u8; 4];
+        let err = a.read_user(&s, 0x5000, &mut buf).expect_err("unmapped");
+        assert_eq!(err, AccessDenied::Unmapped { addr: 0x5000 });
+    }
+
+    #[test]
+    fn protection_enforced_for_user_not_kernel() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 8 * K, Prot::RX);
+        // User write denied.
+        let err = a.write_user(&mut s, 0x10000, &[1]).expect_err("prot");
+        assert!(matches!(err, AccessDenied::Protection { .. }));
+        // Kernel (that is, /proc) write succeeds — breakpoint planting.
+        a.kernel_write(&mut s, 0x10000, &[0xCC]).expect("kernel write");
+        let mut b = [0u8; 1];
+        a.read_user(&s, 0x10000, &mut b).expect("read");
+        assert_eq!(b[0], 0xCC);
+    }
+
+    #[test]
+    fn private_mappings_cow_from_shared_object() {
+        let (mut a, mut s) = setup();
+        let obj = s.alloc_file(1, 1, "/bin/prog", &[7u8; 8192]);
+        s.incref(obj);
+        // Two private mappings of the same object, as two processes
+        // running one executable would have.
+        a.map_fixed(0x10000, 8192, Prot::RX, MapFlags::default(), obj, 0, SegName::Text)
+            .expect("map 1");
+        a.map_fixed(0x40000, 8192, Prot::RX, MapFlags::default(), obj, 0, SegName::Text)
+            .expect("map 2");
+        // Plant a "breakpoint" through the first mapping.
+        a.kernel_write(&mut s, 0x10000, &[0xCC]).expect("plant");
+        let mut b1 = [0u8; 1];
+        let mut b2 = [0u8; 1];
+        a.kernel_read(&s, 0x10000, &mut b1).expect("read 1");
+        a.kernel_read(&s, 0x40000, &mut b2).expect("read 2");
+        assert_eq!(b1[0], 0xCC);
+        assert_eq!(b2[0], 7, "the second mapping (other process) is unaffected");
+        // The object itself (the executable file image) is unchanged.
+        let mut ob = [0u8; 1];
+        s.get(obj).read_at(0, &mut ob);
+        assert_eq!(ob[0], 7);
+    }
+
+    #[test]
+    fn shared_mapping_writes_through() {
+        let (mut a, mut s) = setup();
+        let obj = s.alloc_anon(4096);
+        s.incref(obj);
+        let shared = MapFlags { shared: true, ..Default::default() };
+        a.map_fixed(0x10000, 4096, Prot::RW, shared, obj, 0, SegName::Anon).expect("map 1");
+        a.map_fixed(0x20000, 4096, Prot::RW, shared, obj, 0, SegName::Anon).expect("map 2");
+        a.write_user(&mut s, 0x10010, b"shared!").expect("write");
+        let mut buf = [0u8; 7];
+        a.read_user(&s, 0x20010, &mut buf).expect("read");
+        assert_eq!(&buf, b"shared!");
+    }
+
+    #[test]
+    fn fork_clone_is_cow() {
+        let (mut a, mut s) = setup();
+        let obj = anon_map(&mut a, &mut s, 0x10000, 4096, Prot::RW);
+        a.write_user(&mut s, 0x10000, b"parent").expect("write");
+        let mut child = a.fork_clone(&mut s);
+        assert_eq!(s.refcount(obj), 2);
+        // Child writes; parent must not see it.
+        child.write_user(&mut s, 0x10000, b"child!").expect("child write");
+        let mut pb = [0u8; 6];
+        a.read_user(&s, 0x10000, &mut pb).expect("parent read");
+        assert_eq!(&pb, b"parent");
+        let mut cb = [0u8; 6];
+        child.read_user(&s, 0x10000, &mut cb).expect("child read");
+        assert_eq!(&cb, b"child!");
+        child.clear(&mut s);
+        assert_eq!(s.refcount(obj), 1);
+    }
+
+    #[test]
+    fn valid_span_truncates_at_holes() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 8 * K, Prot::RW);
+        anon_map(&mut a, &mut s, 0x10000 + 8 * K, 4 * K, Prot::R); // contiguous
+        assert_eq!(a.valid_span(0x10000, 100 * K), 12 * K);
+        assert_eq!(a.valid_span(0x10000 + 11 * K, 100 * K), K);
+        assert_eq!(a.valid_span(0x9000, 10), 0);
+        assert_eq!(a.valid_span(0x10500, 100), 100);
+    }
+
+    #[test]
+    fn unmap_splits_and_releases() {
+        let (mut a, mut s) = setup();
+        let obj = anon_map(&mut a, &mut s, 0x10000, 16 * K, Prot::RW);
+        a.write_user(&mut s, 0x10000, &[1]).expect("w0");
+        a.write_user(&mut s, 0x10000 + 12 * K, &[4]).expect("w3");
+        // Punch a hole in the middle two pages.
+        a.unmap(&mut s, 0x10000 + 4 * K, 8 * K).expect("unmap");
+        a.check_invariants();
+        assert_eq!(a.mappings().len(), 2);
+        assert_eq!(s.refcount(obj), 2, "head and tail each hold a reference");
+        assert_eq!(a.valid_span(0x10000, 100 * K), 4 * K);
+        // Overlay data survived in the right pieces.
+        let mut b = [0u8; 1];
+        a.read_user(&s, 0x10000, &mut b).expect("r0");
+        assert_eq!(b[0], 1);
+        a.read_user(&s, 0x10000 + 12 * K, &mut b).expect("r3");
+        assert_eq!(b[0], 4);
+        let err = a.read_user(&s, 0x10000 + 5 * K, &mut b).expect_err("hole");
+        assert!(matches!(err, AccessDenied::Unmapped { .. }));
+    }
+
+    #[test]
+    fn protect_splits_and_applies() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 12 * K, Prot::RW);
+        a.protect(&mut s, 0x10000 + 4 * K, 4 * K, Prot::R).expect("protect");
+        a.check_invariants();
+        assert_eq!(a.mappings().len(), 3);
+        a.write_user(&mut s, 0x10000, &[1]).expect("head still rw");
+        let err = a.write_user(&mut s, 0x10000 + 4 * K, &[1]).expect_err("mid is ro");
+        assert!(matches!(err, AccessDenied::Protection { .. }));
+        a.write_user(&mut s, 0x10000 + 8 * K, &[1]).expect("tail still rw");
+    }
+
+    #[test]
+    fn protect_requires_full_coverage() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 4 * K, Prot::RW);
+        let err = a.protect(&mut s, 0x10000, 8 * K, Prot::R).expect_err("hole");
+        assert_eq!(err, MapError::NotMapped);
+        // And nothing changed (atomicity).
+        assert_eq!(a.mappings()[0].prot, Prot::RW);
+    }
+
+    #[test]
+    fn stack_grows_down_transparently() {
+        let (mut a, mut s) = setup();
+        let obj = s.alloc_anon(16 * K);
+        let flags = MapFlags { grows_down: true, ..Default::default() };
+        a.map_fixed(0x7F000, 4 * K, Prot::RW, flags, obj, 0, SegName::Stack).expect("map");
+        a.stack_limit = 0x70000;
+        a.write_user(&mut s, 0x7F100, b"top").expect("in range");
+        // Fault below the mapping: as_fault grows it.
+        assert!(a.find(0x7E000).is_none());
+        assert!(a.as_fault(&mut s, 0x7EFF8));
+        a.check_invariants();
+        a.write_user(&mut s, 0x7EFF8, b"grown").expect("after growth");
+        let mut b = [0u8; 3];
+        a.read_user(&s, 0x7F100, &mut b).expect("old data intact");
+        assert_eq!(&b, b"top");
+        // Below the limit: not grown.
+        assert!(!a.as_fault(&mut s, 0x6F000));
+    }
+
+    #[test]
+    fn break_grows_on_request() {
+        let (mut a, mut s) = setup();
+        let obj = s.alloc_anon(4 * K);
+        let flags = MapFlags { is_break: true, ..Default::default() };
+        a.map_fixed(0x30000, 4 * K, Prot::RW, flags, obj, 0, SegName::Break).expect("map");
+        let new_end = a.grow_break(0x30000 + 10 * K).expect("grow");
+        assert_eq!(new_end, 0x30000 + 12 * K, "page rounded");
+        a.write_user(&mut s, 0x30000 + 9 * K, &[5]).expect("grown area usable");
+        // Shrinking is a no-op.
+        assert_eq!(a.grow_break(0x30000).expect("noop"), 0x30000 + 12 * K);
+    }
+
+    #[test]
+    fn watchpoint_fires_only_on_watched_bytes() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 8 * K, Prot::RW);
+        a.add_watch(WatchArea { base: 0x10100, len: 4, flags: WatchFlags::write_only() });
+        // Write to a different byte in the same page: recovered, allowed.
+        a.write_user(&mut s, 0x10200, &[1]).expect("recovered");
+        assert_eq!(a.watch_recovered, 1);
+        // Read of the watched bytes: write-only watch does not fire.
+        let mut b = [0u8; 4];
+        a.read_user(&s, 0x10100, &mut b).expect("read ok");
+        // Write to the watched bytes: fires.
+        let err = a.write_user(&mut s, 0x10102, &[9]).expect_err("watch");
+        match err {
+            AccessDenied::Watch { addr, area } => {
+                assert_eq!(addr, 0x10102);
+                assert_eq!(area.base, 0x10100);
+            }
+            other => panic!("wrong denial {other:?}"),
+        }
+        // Bypass-once lets the access complete (and counts as recovery).
+        a.watch_bypass_once = true;
+        a.write_user(&mut s, 0x10102, &[9]).expect("bypassed");
+        assert!(!a.watch_bypass_once);
+        // Other-page access: no recovery, no trigger.
+        let before = a.watch_recovered;
+        a.write_user(&mut s, 0x11000, &[1]).expect("other page");
+        assert_eq!(a.watch_recovered, before, "other-page access costs nothing");
+    }
+
+    #[test]
+    fn kernel_write_bypasses_watchpoints() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 4 * K, Prot::RW);
+        a.add_watch(WatchArea { base: 0x10000, len: 8, flags: WatchFlags::read_write() });
+        a.kernel_write(&mut s, 0x10000, &[1, 2, 3]).expect("kernel ignores watches");
+        assert_eq!(a.watch_recovered, 0);
+    }
+
+    #[test]
+    fn remove_watch_by_range() {
+        let (mut a, _s) = setup();
+        a.add_watch(WatchArea { base: 0x10, len: 4, flags: WatchFlags::write_only() });
+        a.add_watch(WatchArea { base: 0x20, len: 4, flags: WatchFlags::write_only() });
+        assert_eq!(a.remove_watch(0x10, 4), 1);
+        assert_eq!(a.watchpoints.len(), 1);
+        assert_eq!(a.remove_watch(0x999, 4), 0);
+    }
+
+    #[test]
+    fn map_anywhere_finds_gaps() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x40000, 4 * K, Prot::RW);
+        let obj = s.alloc_anon(8 * K);
+        let base = a
+            .map_anywhere(
+                0x40000,
+                0x50000,
+                8 * K,
+                Prot::RW,
+                MapFlags::default(),
+                obj,
+                0,
+                SegName::Anon,
+            )
+            .expect("fits after the existing mapping");
+        assert_eq!(base, 0x41000);
+        let obj2 = s.alloc_anon(0x10000);
+        let err = a
+            .map_anywhere(
+                0x40000,
+                0x44000,
+                0x10000,
+                Prot::RW,
+                MapFlags::default(),
+                obj2,
+                0,
+                SegName::Anon,
+            )
+            .expect_err("no room");
+        assert_eq!(err, MapError::NoRoom);
+    }
+
+    #[test]
+    fn kernel_write_is_atomic_over_holes() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 4 * K, Prot::RW);
+        // Write extending past the end must not partially apply.
+        let data = vec![9u8; 8 * K as usize];
+        let err = a.kernel_write(&mut s, 0x10000 + 2 * K, &data).expect_err("hole");
+        assert!(matches!(err, AccessDenied::Unmapped { .. }));
+        let mut b = [0u8; 1];
+        a.kernel_read(&s, 0x10000 + 2 * K, &mut b).expect("read");
+        assert_eq!(b[0], 0, "no partial write");
+    }
+
+    proptest! {
+        /// Random map/unmap/protect sequences preserve the invariants.
+        #[test]
+        fn invariants_hold_under_random_ops(ops in proptest::collection::vec(
+            (0u8..3, 0u64..64, 1u64..16), 1..40))
+        {
+            let (mut a, mut s) = setup();
+            for (op, page, pages) in ops {
+                let base = 0x10000 + page * PAGE_SIZE;
+                let len = pages * PAGE_SIZE;
+                match op {
+                    0 => {
+                        let obj = s.alloc_anon(len);
+                        if a.map_fixed(base, len, Prot::RW, MapFlags::default(), obj, 0,
+                                       SegName::Anon).is_err() {
+                            s.decref(obj);
+                        }
+                    }
+                    1 => { let _ = a.unmap(&mut s, base, len); }
+                    _ => { let _ = a.protect(&mut s, base, len, Prot::R); }
+                }
+                a.check_invariants();
+            }
+            // Total refcounts equal live mappings.
+            let live = a.mappings().len();
+            let total_refs: u32 = a
+                .mappings()
+                .iter()
+                .map(|m| m.object)
+                .collect::<std::collections::BTreeSet<_>>()
+                .iter()
+                .map(|&o| s.refcount(o))
+                .sum();
+            prop_assert_eq!(total_refs as usize, live, "every mapping holds one reference");
+            // Clearing releases everything.
+            a.clear(&mut s);
+            prop_assert_eq!(s.live_count(), 0);
+        }
+
+        /// Data written user-mode is read back identically through both
+        /// user and kernel paths.
+        #[test]
+        fn write_read_consistency(off in 0u64..8000, data in proptest::collection::vec(any::<u8>(), 1..256)) {
+            let (mut a, mut s) = setup();
+            anon_map(&mut a, &mut s, 0x10000, 3 * PAGE_SIZE, Prot::RW);
+            prop_assume!(off + data.len() as u64 <= 3 * PAGE_SIZE);
+            a.write_user(&mut s, 0x10000 + off, &data).expect("write");
+            let mut ub = vec![0u8; data.len()];
+            a.read_user(&s, 0x10000 + off, &mut ub).expect("user read");
+            prop_assert_eq!(&ub, &data);
+            let mut kb = vec![0u8; data.len()];
+            a.kernel_read(&s, 0x10000 + off, &mut kb).expect("kernel read");
+            prop_assert_eq!(&kb, &data);
+        }
+    }
+}

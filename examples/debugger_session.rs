@@ -1,0 +1,68 @@
+//! A debugger session: breakpoints, conditional breakpoints,
+//! single-stepping, register and memory inspection, disassembly —
+//! everything the paper says `/proc` provides "sufficient mechanism" for.
+//!
+//! Run with: `cargo run --example debugger_session`
+
+use procsim::ksim::Cred;
+use procsim::tools::{self, DebugEvent, Debugger};
+
+fn main() {
+    let mut sys = tools::boot_demo();
+    let ctl = sys.spawn_hosted("sdb", Cred::new(100, 10));
+
+    // Launch /bin/ticker stopped before its first instruction.
+    let mut dbg = Debugger::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+    println!("launched /bin/ticker as pid {}", dbg.pid());
+
+    // Symbols come from the executable found via PIOCOPENM — no pathname
+    // was needed.
+    let tick = dbg.sym("tick").expect("symbol tick");
+    println!("tick is at {tick:#x}; disassembly:");
+    print!("{}", dbg.disassemble(&mut sys, tick, 2).expect("disassemble"));
+
+    // Plain breakpoint: stop the first three calls.
+    dbg.set_breakpoint(&mut sys, tick).expect("breakpoint");
+    for _ in 0..3 {
+        let ev = dbg.cont(&mut sys).expect("cont");
+        let regs = dbg.regs(&mut sys).expect("regs");
+        println!("stopped: {ev:?}; a0 (call count) = {}", regs.arg(0));
+    }
+
+    // Single steps.
+    for _ in 0..2 {
+        dbg.step(&mut sys).expect("step");
+        let regs = dbg.regs(&mut sys).expect("regs");
+        println!("stepped to pc={:#x}", regs.pc);
+    }
+
+    // Conditional breakpoint: report only when a0 == 10.
+    dbg.clear_breakpoint(&mut sys, tick).expect("clear");
+    dbg.set_conditional_breakpoint(&mut sys, tick, Box::new(|r| r.arg(0) == 10))
+        .expect("conditional");
+    match dbg.cont(&mut sys).expect("cont") {
+        DebugEvent::Breakpoint { addr, hits } => {
+            let regs = dbg.regs(&mut sys).expect("regs");
+            println!(
+                "conditional hit at {addr:#x} after {hits} silent skips; a0 = {}",
+                regs.arg(0)
+            );
+        }
+        other => println!("unexpected event {other:?}"),
+    }
+
+    // Rewrite a register through /proc: jump the counter ahead.
+    let mut regs = dbg.regs(&mut sys).expect("regs");
+    regs.set_arg(0, 1000);
+    dbg.set_regs(&mut sys, &regs).expect("set regs");
+    dbg.clear_breakpoint(&mut sys, tick).expect("clear");
+    dbg.set_conditional_breakpoint(&mut sys, tick, Box::new(|r| r.arg(0) >= 1002))
+        .expect("conditional");
+    if let DebugEvent::Breakpoint { .. } = dbg.cont(&mut sys).expect("cont") {
+        let regs = dbg.regs(&mut sys).expect("regs");
+        println!("after register rewrite, a0 = {}", regs.arg(0));
+    }
+
+    dbg.kill(&mut sys).expect("kill");
+    println!("target killed; session over");
+}

@@ -1,0 +1,53 @@
+//! System-call encapsulation: "older system calls or alternate versions
+//! of them can be simulated entirely at user level. (This is one way in
+//! which obsolete facilities could be supported 'forever' without
+//! cluttering up the operating system.)"
+//!
+//! `/bin/retired` calls a system call the kernel no longer implements
+//! (it fails with ENOSYS). A controlling process traces entry to the
+//! call, aborts the kernel's execution, and manufactures the return
+//! value the old kernel would have produced — the target cannot tell the
+//! difference.
+//!
+//! Run with: `cargo run --example encapsulate_syscall`
+
+use procsim::ksim::ptrace::{decode_status, WaitStatus};
+use procsim::ksim::sysno::{SysSet, SYS_RETIRED};
+use procsim::ksim::Cred;
+use procsim::tools::{self, Debugger};
+
+fn main() {
+    let mut sys = tools::boot_demo();
+    let ctl = sys.spawn_hosted("emulator", Cred::new(100, 10));
+
+    // First, without encapsulation: the kernel refuses the call and the
+    // program gives up with 255.
+    let pid = sys.spawn_program(ctl, "/bin/retired", &["retired"]).expect("spawn");
+    let _ = pid;
+    let (_, status) = sys.host_wait(ctl).expect("wait");
+    println!("uncontrolled run exits with {:?} (the kernel says ENOSYS)", decode_status(status));
+
+    // Now under encapsulation.
+    let mut dbg = Debugger::launch(&mut sys, ctl, "/bin/retired", &["retired"]).expect("launch");
+    let mut calls = SysSet::empty();
+    calls.add(SYS_RETIRED as usize);
+    let mut emulated = 0u64;
+    let status = dbg
+        .encapsulate(&mut sys, calls, |nr, regs| {
+            emulated += 1;
+            println!(
+                "  intercepted {} (arg {}): kernel aborted, answering {}",
+                procsim::ksim::sysno::sys_name(nr),
+                regs.arg(0),
+                regs.arg(0) * 6
+            );
+            Ok(regs.arg(0) * 6)
+        })
+        .expect("encapsulate");
+    match decode_status(status) {
+        WaitStatus::Exited(code) => {
+            println!("encapsulated run exits with code {code} after {emulated} emulated call(s)");
+        }
+        other => println!("unexpected end: {other:?}"),
+    }
+}

@@ -1,0 +1,32 @@
+//! A scripted `sdb` session — the command-line face of the debugger the
+//! paper's interface was built for.
+//!
+//! Run with: `cargo run --example sdb_session`
+
+use procsim::ksim::Cred;
+use procsim::tools::{self, Sdb};
+
+fn main() {
+    let mut sys = tools::boot_demo();
+    let ctl = sys.spawn_hosted("sdb", Cred::new(100, 10));
+    let script = [
+        "dis tick 2",
+        "b tick",
+        "cont",
+        "where",
+        "regs",
+        "cont",
+        "cont",
+        "x tick 2",
+        "map",
+        "kill",
+    ];
+    println!("$ sdb /bin/ticker");
+    for line in &script {
+        println!("sdb> {line}");
+    }
+    println!("--- transcript ---");
+    let transcript =
+        Sdb::run_script(&mut sys, ctl, "/bin/ticker", &["ticker"], &script).expect("session");
+    print!("{transcript}");
+}

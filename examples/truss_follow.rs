@@ -1,0 +1,41 @@
+//! `truss -f`: follow children across fork, each process reported under
+//! its own pid — the multi-process control story of the paper
+//! (inherit-on-fork + stop-on-fork-exit).
+//!
+//! Run with: `cargo run --example truss_follow`
+
+use procsim::ksim::Cred;
+use procsim::tools::{self, truss_command, TrussOptions};
+
+fn main() {
+    let mut sys = tools::boot_demo();
+    let ctl = sys.spawn_hosted("truss", Cred::new(100, 10));
+
+    println!("$ truss -f /bin/forker");
+    let report = truss_command(
+        &mut sys,
+        ctl,
+        "/bin/forker",
+        &["forker"],
+        &TrussOptions { follow: true, ..Default::default() },
+    )
+    .expect("truss");
+    println!("{}", report.text());
+
+    println!("\nper-syscall completion counts:");
+    for (nr, count) in &report.counts {
+        println!("  {:<12} {}", procsim::ksim::sysno::sys_name(*nr), count);
+    }
+    println!("\n{} process exits observed", report.exits.len());
+
+    println!("\n$ truss /bin/forker            (children unmolested)");
+    let report = truss_command(
+        &mut sys,
+        ctl,
+        "/bin/forker",
+        &["forker"],
+        &TrussOptions { follow: false, ..Default::default() },
+    )
+    .expect("truss");
+    println!("{} exits observed (only the parent)", report.exits.len());
+}

@@ -1,0 +1,15 @@
+//! procsim — reproduction of *The Process File System and Process Model in
+//! UNIX System V* (Faulkner & Gomes, USENIX Winter 1991).
+//!
+//! This umbrella crate re-exports the workspace crates. See the README for
+//! the architecture overview and DESIGN.md for the full system inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use isa;
+pub use ksim;
+pub use procfs;
+pub use tools;
+pub use vfs;
+pub use vm;

@@ -1,0 +1,200 @@
+//! The acid test of the interface's uniformity: a *simulated* program —
+//! running on the virtual CPU, using nothing but its own system calls —
+//! opens `/proc/<child>`, stops the child with `PIOCSTOP`, reads its
+//! status, and kills it via `PIOCKILL`. Controlling processes in the
+//! paper are ordinary user programs; here one demonstrably is.
+
+use procsim::ksim::ptrace::{decode_status, WaitStatus};
+use procsim::ksim::{Cred, System};
+use procsim::tools;
+
+/// The controller, in assembly. Protocol:
+///   fork; the child spins.
+///   Build "/proc/NNNNN" from the child's pid (five digits).
+///   open(path, O_RDWR) -> fd
+///   ioctl(fd, PIOCSTOP, 0, 0, status_buf, 368)  — blocks until stopped
+///   check status_buf flags: PR_STOPPED|PR_ISTOP set (low byte = 3)
+///   ioctl(fd, PIOCKILL, &SIGKILL, 4, 0, 0)
+///   ioctl(fd, PIOCRUN, 0, 0, 0, 0)              — release so it dies
+///   wait() for the child; exit 0 if it died by SIGKILL (status 9).
+const CONTROLLER: &str = r#"
+_start:
+    movi rv, 2          ; fork
+    syscall
+    bne  rv, zero, parent
+child:
+    jmp  child
+parent:
+    mov  r20, rv        ; child pid
+    ; ---- render five decimal digits into path[6..11] ----
+    la   a0, path
+    mov  r21, r20
+    movi r22, 10        ; divisor
+    movi r23, 4         ; digit index (from the last)
+digits:
+    rem  r24, r21, r22  ; digit
+    div  r21, r21, r22
+    addi r24, r24, '0'
+    add  r25, a0, r23
+    stb  r24, [r25+6]   ; path + 6 + index
+    addi r23, r23, -1
+    slti r26, r23, 0
+    beq  r26, zero, digits
+    ; ---- open("/proc/NNNNN", O_RDWR) ----
+    movi rv, 5
+    la   a0, path
+    movi a1, 2          ; O_RDWR
+    syscall
+    mov  r19, rv        ; /proc fd
+    slti r26, r19, 0
+    bne  r26, zero, fail
+    ; ---- ioctl(fd, PIOCSTOP, 0, 0, status, 368) ----
+    movi rv, 54
+    mov  a0, r19
+    li   a1, 0x5002     ; PIOCSTOP
+    movi a2, 0
+    movi a3, 0
+    la   a4, status
+    movi a5, 368
+    syscall
+    slti r26, rv, 0
+    bne  r26, zero, fail
+    ; flags low byte must have PR_STOPPED|PR_ISTOP (0x3)
+    la   a0, status
+    ldb  a1, [a0]
+    andi a1, a1, 3
+    movi a2, 3
+    bne  a1, a2, fail
+    ; ---- ioctl(fd, PIOCKILL, &sig9, 4, 0, 0) ----
+    movi rv, 54
+    mov  a0, r19
+    li   a1, 0x5019     ; PIOCKILL
+    la   a2, sig9
+    movi a3, 4
+    movi a4, 0
+    movi a5, 0
+    syscall
+    slti r26, rv, 0
+    bne  r26, zero, fail
+    ; ---- ioctl(fd, PIOCRUN, 0, 0, 0, 0) ----
+    movi rv, 54
+    mov  a0, r19
+    li   a1, 0x5004     ; PIOCRUN
+    movi a2, 0
+    movi a3, 0
+    movi a4, 0
+    movi a5, 0
+    syscall
+    ; ---- wait for the child; expect status == 9 (SIGKILL) ----
+    movi rv, 7
+    la   a0, wstatus
+    syscall
+    la   a0, wstatus
+    ld   a1, [a0]
+    movi a2, 9
+    bne  a1, a2, fail
+    movi rv, 1          ; exit(0): success
+    movi a0, 0
+    syscall
+fail:
+    movi rv, 1
+    movi a0, 1
+    syscall
+.data
+path:    .asciz "/proc/00000"
+.align 8
+sig9:    .word 9
+wstatus: .word 0
+status:  .space 376
+"#;
+
+#[test]
+fn simulated_program_controls_its_child_through_proc() {
+    let mut sys: System = tools::boot_demo();
+    let ctl = sys.spawn_hosted("host", Cred::new(100, 10));
+    sys.install_program("/bin/controller", CONTROLLER);
+    let pid = sys.spawn_program(ctl, "/bin/controller", &["controller"]).expect("spawn");
+    let _ = pid;
+    let (_, status) = sys.host_wait(ctl).expect("wait");
+    assert_eq!(
+        decode_status(status),
+        WaitStatus::Exited(0),
+        "the simulated controller completed the whole stop/kill protocol"
+    );
+}
+
+#[test]
+fn simulated_poll_waits_on_proc_descriptor() {
+    // A simulated process polls its (stopped-later) child's /proc fd —
+    // the poll extension exercised from inside the machine.
+    const POLLER: &str = r#"
+_start:
+    movi rv, 2          ; fork
+    syscall
+    bne  rv, zero, parent
+child:
+    movi rv, 69         ; nanosleep(3000)
+    movi a0, 3000
+    syscall
+    movi a0, 1
+    movi a1, 0
+    div  a2, a0, a1     ; die with SIGFPE after a while
+parent:
+    mov  r20, rv
+    ; render child pid digits into path[6..11]
+    la   a0, path
+    mov  r21, r20
+    movi r22, 10
+    movi r23, 4
+digits:
+    rem  r24, r21, r22
+    div  r21, r21, r22
+    addi r24, r24, '0'
+    add  r25, a0, r23
+    stb  r24, [r25+6]
+    addi r23, r23, -1
+    slti r26, r23, 0
+    beq  r26, zero, digits
+    movi rv, 5          ; open(path, O_RDONLY)
+    la   a0, path
+    movi a1, 0
+    syscall
+    mov  r19, rv
+    ; build pollfd: [u64 fd][u16 events=4 hangup][u16 revents]
+    la   a0, pfd
+    st   r19, [a0]
+    movi a1, 4          ; interested in hangup only
+    stb  a1, [a0+8]
+    ; poll(&pfd, 1, 0) — blocks until the child dies (hangup)
+    movi rv, 65
+    la   a0, pfd
+    movi a1, 1
+    movi a2, 0
+    syscall
+    ; revents must include hangup (bit 2)
+    la   a0, pfd
+    ldb  a1, [a0+10]
+    andi a1, a1, 4
+    beq  a1, zero, fail
+    movi rv, 7          ; reap the child
+    movi a0, 0
+    syscall
+    movi rv, 1
+    movi a0, 0
+    syscall
+fail:
+    movi rv, 1
+    movi a0, 1
+    syscall
+.data
+path: .asciz "/proc/00000"
+.align 8
+pfd:  .space 16
+"#;
+    let mut sys: System = tools::boot_demo();
+    let ctl = sys.spawn_hosted("host", Cred::new(100, 10));
+    sys.install_program("/bin/poller", POLLER);
+    sys.spawn_program(ctl, "/bin/poller", &["poller"]).expect("spawn");
+    let (_, status) = sys.host_wait(ctl).expect("wait");
+    assert_eq!(decode_status(status), WaitStatus::Exited(0));
+}
