@@ -12,7 +12,7 @@
 //! line.
 
 use bench_support::{banner, boot_with_ctl};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use ksim::signal::SIGUSR1;
 use ksim::SigSet;
 use tools::ProcHandle;

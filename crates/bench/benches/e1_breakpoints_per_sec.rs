@@ -14,7 +14,7 @@
 //! call counts explaining the gaps.
 
 use bench_support::{banner, boot_with_ctl};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use ksim::ptrace::WaitStatus;
 use procfs::{PrRun, PRRUN_CFAULT, PRRUN_STEP};
 use tools::{Debugger, PtraceDebugger};

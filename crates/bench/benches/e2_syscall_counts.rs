@@ -15,7 +15,7 @@
 //! growing linearly in W.
 
 use bench_support::{banner, boot_with_ctl};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use ksim::ptrace::WaitStatus;
 use tools::{ProcHandle, PtraceDebugger};
 

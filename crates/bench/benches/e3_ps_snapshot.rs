@@ -8,7 +8,7 @@
 //! hazard the single operation eliminates.
 
 use bench_support::{banner, boot_with_root};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use ksim::Cred;
 use tools::ProcHandle;
 

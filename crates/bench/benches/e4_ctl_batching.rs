@@ -10,7 +10,7 @@
 //! the per-crossing overhead times (k-1).
 
 use bench_support::{banner, boot_with_ctl};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use ksim::signal::SigSet;
 use ksim::fault::FltSet;
 use procfs::hier::{ctl_batch, PCRUN, PCSFAULT, PCSSIG, PCSTRACE};

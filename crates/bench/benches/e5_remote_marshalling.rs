@@ -11,7 +11,7 @@
 //! cannot cross at all. The hierarchical interface crosses generically.
 
 use bench_support::banner;
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use ksim::{Cred, System};
 use procfs::{HierFs, ProcFs, PrStatus};
 use vfs::remote::{IoctlWireSpec, RemoteFs};

@@ -12,7 +12,7 @@
 //! the process never stops.
 
 use bench_support::{banner, boot_with_ctl};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use procfs::PrWatch;
 use tools::ProcHandle;
 

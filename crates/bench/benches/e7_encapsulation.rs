@@ -11,7 +11,7 @@
 //! unmodified and cannot tell.
 
 use bench_support::{banner, boot_with_ctl};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use ksim::ptrace::{decode_status, WaitStatus};
 use ksim::sysno::{SysSet, SYS_RETIRED};
 use procfs::{PrRun, PRRUN_SABORT};

@@ -8,7 +8,7 @@
 //! difference.
 
 use bench_support::{banner, boot_with_ctl};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use ksim::ptrace::{decode_status, WaitStatus};
 use tools::{truss_command, TrussOptions};
 

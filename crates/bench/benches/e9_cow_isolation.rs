@@ -9,7 +9,7 @@
 //! already-private page.
 
 use bench_support::{banner, boot_with_ctl};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use tools::ProcHandle;
 
 fn print_demo() {

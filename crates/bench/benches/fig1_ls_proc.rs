@@ -4,7 +4,7 @@
 //! readdir-plus-stat pass that `ls` performs.
 
 use bench_support::{banner, boot_with_root};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use ksim::Cred;
 use tools::lsproc::ls_l_proc;
 use tools::UserTable;

@@ -5,7 +5,7 @@
 //! `PIOCMAP` itself.
 
 use bench_support::{banner, boot_with_ctl};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use tools::pmap::pmap;
 use tools::ProcHandle;
 

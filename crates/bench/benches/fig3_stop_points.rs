@@ -5,7 +5,7 @@
 //! printed. Times a stop-resume round trip at each point.
 
 use bench_support::{banner, boot_with_ctl};
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use ksim::fault::FltSet;
 use ksim::signal::{SigSet, SIGCONT, SIGTSTP, SIGUSR1};
 use ksim::sysno::{SysSet, SYS_GETPID};

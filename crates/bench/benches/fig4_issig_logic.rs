@@ -4,7 +4,7 @@
 //! promotion/gate machinery itself.
 
 use bench_support::banner;
-use criterion::{Criterion, criterion_group};
+use bench_support::{criterion_group, Criterion};
 use ksim::sched::{Issig, SleepSig};
 use ksim::signal::{SigAction, SigSet, Handler, SIGCONT, SIGINT, SIGTSTP};
 use ksim::{Cred, Kernel, Pid, RunOpts, Tid};

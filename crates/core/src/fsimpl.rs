@@ -11,7 +11,10 @@
 //! open time; a set-id exec bumps the generation, after which "no further
 //! operation on that file descriptor will succeed except close(2)".
 
-use crate::ioctl::{needs_write, prioctl};
+use crate::ioctl::{
+    needs_write, prioctl, PIOCCACHESTATS, PIOCCRED, PIOCMAP, PIOCPSINFO, PIOCSTATUS, PIOCUSAGE,
+};
+use crate::snap::{snap_handle, DirSlot, SnapHandle};
 use ksim::proc::LwpState;
 use ksim::{Kernel, HZ};
 use vfs::{
@@ -19,16 +22,47 @@ use vfs::{
     Pid, PollStatus, SysResult, VnodeKind,
 };
 
-/// The flat `/proc` file system. Stateless: every bit of tracing and
-/// bookkeeping state lives in the kernel, where it belongs (tracing must
-/// survive any particular descriptor).
-#[derive(Debug, Default)]
-pub struct ProcFs;
+/// The flat `/proc` file system. All tracing and bookkeeping state
+/// lives in the kernel, where it belongs (tracing must survive any
+/// particular descriptor); the file system itself holds only the
+/// snapshot cache, which is pure memoisation of kernel state.
+#[derive(Debug)]
+pub struct ProcFs {
+    cache: SnapHandle,
+}
+
+impl Default for ProcFs {
+    fn default() -> ProcFs {
+        ProcFs::new()
+    }
+}
+
+/// The snapshot-cache kind code a cacheable pure-read request maps to.
+/// The codes (and the cached bytes) are shared with the hierarchical
+/// interface, whose file images are byte-identical renders.
+fn flat_cache_kind(req: u32) -> Option<u8> {
+    match req {
+        PIOCSTATUS => Some(2),
+        PIOCPSINFO => Some(3),
+        PIOCMAP => Some(6),
+        PIOCCRED => Some(7),
+        PIOCUSAGE => Some(8),
+        _ => None,
+    }
+}
 
 impl ProcFs {
-    /// Creates the file system (mount it with `System::mount`).
+    /// Creates the file system with a private snapshot cache (mount it
+    /// with `System::mount`).
     pub fn new() -> ProcFs {
-        ProcFs
+        ProcFs { cache: snap_handle() }
+    }
+
+    /// Creates the file system around a shared snapshot cache —
+    /// [`crate::mount_standard`] passes one handle to both generations
+    /// so their byte-identical renders share entries.
+    pub fn with_cache(cache: SnapHandle) -> ProcFs {
+        ProcFs { cache }
     }
 
     fn node_pid(node: NodeId) -> SysResult<Pid> {
@@ -99,12 +133,37 @@ impl FileSystem<Kernel> for ProcFs {
         if dir.0 != 0 {
             return Err(Errno::ENOTDIR);
         }
+        let mut cache = self.cache.lock().expect("snap cache poisoned");
+        if let Some(list) = cache.dir(DirSlot::Flat, k.table_gen) {
+            return Ok(list);
+        }
         // Five-digit zero-padded names, exactly as in the paper's
-        // Figure 1.
-        Ok(k.procs
+        // Figure 1. Digits are emitted by hand into a reused buffer —
+        // `format!` per pid dominated the listing profile.
+        let mut name = [0u8; 10];
+        let list: Vec<DirEntry> = k
+            .procs
             .values()
-            .map(|p| DirEntry { name: format!("{:05}", p.pid.0), node: NodeId(p.pid.0 as u64 + 1) })
-            .collect())
+            .map(|p| {
+                let mut v = p.pid.0;
+                let mut i = name.len();
+                while v > 0 || i > name.len() - 5 {
+                    i -= 1;
+                    name[i] = b'0' + (v % 10) as u8;
+                    v /= 10;
+                }
+                DirEntry {
+                    name: std::str::from_utf8(&name[i..]).expect("digits").to_string(),
+                    node: NodeId(p.pid.0 as u64 + 1),
+                }
+            })
+            .collect();
+        // The table changed shape since the last rebuild: any cached
+        // image of a since-departed pid can never validate again (pids
+        // are not reused), so drop them here.
+        cache.retain_pids(|pid| k.procs.contains_key(&pid));
+        cache.set_dir(DirSlot::Flat, k.table_gen, list.clone());
+        Ok(list)
     }
 
     fn open(
@@ -239,6 +298,9 @@ impl FileSystem<Kernel> for ProcFs {
         proc.aspace
             .kernel_write(objects, off, &data[..span])
             .map_err(|_| Errno::EIO)?;
+        // A private-overlay write bypasses the shared page cache's
+        // generation, so stamp the owner explicitly.
+        proc.touch();
         Ok(IoReply::Done(span))
     }
 
@@ -265,7 +327,34 @@ impl FileSystem<Kernel> for ProcFs {
                 return Err(Errno::EBADF);
             }
         }
-        prioctl(k, cur, pid, req, arg)
+        if req == PIOCCACHESTATS {
+            return Ok(IoctlReply::Done(self.cache.lock().expect("snap cache poisoned").stats().to_bytes()));
+        }
+        if let Some(kind) = flat_cache_kind(req) {
+            let pr_gen = k.proc(pid)?.pr_gen;
+            let mem_gen = k.objects.content_gen;
+            let mut cache = self.cache.lock().expect("snap cache poisoned");
+            if let Some(bytes) =
+                cache.lookup(pid.0, kind, 0, pr_gen, mem_gen, |b| b.to_vec())
+            {
+                return Ok(IoctlReply::Done(bytes));
+            }
+            let reply = prioctl(k, cur, pid, req, arg)?;
+            if let IoctlReply::Done(bytes) = &reply {
+                cache.insert(pid.0, kind, 0, pr_gen, mem_gen, bytes.clone());
+            }
+            return Ok(reply);
+        }
+        let reply = prioctl(k, cur, pid, req, arg)?;
+        if needs_write(req) {
+            // The control operation may have changed process state the
+            // kernel primitives did not stamp (trace sets, hold masks,
+            // registers, flags); one bump here covers them all.
+            if let Ok(p) = k.proc_mut(pid) {
+                p.touch();
+            }
+        }
+        Ok(reply)
     }
 
     fn poll(&mut self, k: &mut Kernel, node: NodeId, _token: OpenToken) -> SysResult<PollStatus> {

@@ -30,6 +30,7 @@
 //! are remembered per open descriptor so the retry resumes after them.
 
 use crate::ops;
+use crate::snap::{snap_handle, DirSlot, SnapHandle};
 use crate::types::{PrCred, PrMap, PrUsage, PsInfo};
 use ksim::proc::LwpState;
 use ksim::{Kernel, Tid, HZ};
@@ -151,17 +152,59 @@ fn kind_code(kind: Kind) -> u8 {
 const WRITABLE_BIT: u64 = 1 << 63;
 
 /// The hierarchical `/proc`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct HierFs {
     /// Mid-batch progress of blocked control writes, per `(node, token)`.
     ctl_progress: HashMap<(u64, u64), usize>,
+    /// Rendered-image cache, shared with the flat interface when
+    /// mounted via [`crate::mount_standard`].
+    cache: SnapHandle,
+}
+
+impl Default for HierFs {
+    fn default() -> HierFs {
+        HierFs::new()
+    }
 }
 
 impl HierFs {
-    /// Creates the file system (mount it with `System::mount`, e.g. at
-    /// `/proc2`).
+    /// Creates the file system with a private snapshot cache (mount it
+    /// with `System::mount`, e.g. at `/proc2`).
     pub fn new() -> HierFs {
-        HierFs::default()
+        HierFs { ctl_progress: HashMap::new(), cache: snap_handle() }
+    }
+
+    /// Creates the file system around a shared snapshot cache.
+    pub fn with_cache(cache: SnapHandle) -> HierFs {
+        HierFs { ctl_progress: HashMap::new(), cache }
+    }
+
+    /// Serves the read-only file image for a node through the snapshot
+    /// cache: a hit runs `f` over the cached bytes, a miss renders via
+    /// [`Self::file_image`] and stores the result under the process's
+    /// current generation stamps.
+    fn cached_image<R>(
+        &self,
+        k: &Kernel,
+        pid: Pid,
+        kind: Kind,
+        tid: Tid,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> SysResult<R> {
+        let pr_gen = k.proc(pid)?.pr_gen;
+        let mem_gen = k.objects.content_gen;
+        let code = kind_code(kind);
+        let mut cache = self.cache.lock().expect("snap cache poisoned");
+        let mut f = Some(f);
+        if let Some(r) =
+            cache.lookup(pid.0, code, tid.0, pr_gen, mem_gen, |b| (f.take().expect("once"))(b))
+        {
+            return Ok(r);
+        }
+        let img = Self::file_image(k, pid, kind, tid)?;
+        let r = (f.take().expect("once"))(&img);
+        cache.insert(pid.0, code, tid.0, pr_gen, mem_gen, img);
+        Ok(r)
     }
 
     /// Renders the read-only file image for a node.
@@ -417,8 +460,8 @@ impl FileSystem<Kernel> for HierFs {
             Kind::Ctl | Kind::LwpCtl => (VnodeKind::Regular, 0o200, 0),
             Kind::As => (VnodeKind::Regular, 0o600, proc.aspace.total_size()),
             _ => {
-                let img_len = Self::file_image(k, pid, kind, tid)
-                    .map(|b| b.len() as u64)
+                let img_len = self
+                    .cached_image(k, pid, kind, tid, |b| b.len() as u64)
                     .unwrap_or(0);
                 (VnodeKind::Regular, 0o400, img_len)
             }
@@ -437,14 +480,23 @@ impl FileSystem<Kernel> for HierFs {
     fn readdir(&mut self, k: &mut Kernel, _cur: Pid, dir: NodeId) -> SysResult<Vec<DirEntry>> {
         let (pid, kind, tid) = unpack(dir).ok_or(Errno::ENOENT)?;
         match kind {
-            Kind::Root => Ok(k
-                .procs
-                .values()
-                .map(|p| DirEntry {
-                    name: p.pid.0.to_string(),
-                    node: pack(p.pid, kind_code(Kind::PidDir), 0),
-                })
-                .collect()),
+            Kind::Root => {
+                let mut cache = self.cache.lock().expect("snap cache poisoned");
+                if let Some(list) = cache.dir(DirSlot::Hier, k.table_gen) {
+                    return Ok(list);
+                }
+                let list: Vec<DirEntry> = k
+                    .procs
+                    .values()
+                    .map(|p| DirEntry {
+                        name: p.pid.0.to_string(),
+                        node: pack(p.pid, kind_code(Kind::PidDir), 0),
+                    })
+                    .collect();
+                cache.retain_pids(|pid| k.procs.contains_key(&pid));
+                cache.set_dir(DirSlot::Hier, k.table_gen, list.clone());
+                Ok(list)
+            }
             Kind::PidDir => {
                 k.proc(pid)?;
                 Ok([
@@ -531,6 +583,12 @@ impl FileSystem<Kernel> for HierFs {
 
     fn close(&mut self, k: &mut Kernel, _cur: Pid, node: NodeId, token: OpenToken, flags: OFlags) {
         self.ctl_progress.remove(&(node.0, token.0));
+        // A blocked batch whose target exited leaves a progress entry
+        // under a different (node, token) key than the one closing now;
+        // such entries can never be resumed (pids are not reused), so
+        // sweep them whenever any descriptor closes.
+        self.ctl_progress
+            .retain(|(n, _), _| unpack(NodeId(*n)).is_some_and(|(p, _, _)| k.procs.contains_key(&p.0)));
         let Some((pid, kind, _)) = unpack(node) else { return };
         if kind == Kind::Root || !flags.write {
             return;
@@ -585,16 +643,15 @@ impl FileSystem<Kernel> for HierFs {
             }
             Kind::Ctl | Kind::LwpCtl => Err(Errno::EACCES),
             Kind::Root | Kind::PidDir | Kind::LwpDir | Kind::LwpSub => Err(Errno::EISDIR),
-            _ => {
-                let img = Self::file_image(k, pid, kind, tid)?;
+            _ => self.cached_image(k, pid, kind, tid, |img| {
                 let off = off as usize;
                 if off >= img.len() {
-                    return Ok(IoReply::Done(0));
+                    return IoReply::Done(0);
                 }
                 let n = buf.len().min(img.len() - off);
                 buf[..n].copy_from_slice(&img[off..off + n]);
-                Ok(IoReply::Done(n))
-            }
+                IoReply::Done(n)
+            }),
         }
     }
 
@@ -626,6 +683,9 @@ impl FileSystem<Kernel> for HierFs {
                 proc.aspace
                     .kernel_write(objects, off, &data[..span])
                     .map_err(|_| Errno::EIO)?;
+                // Private-overlay writes bypass the shared page cache's
+                // generation; stamp the owner explicitly.
+                proc.touch();
                 Ok(IoReply::Done(span))
             }
             Kind::Ctl | Kind::LwpCtl => {
@@ -646,7 +706,15 @@ impl FileSystem<Kernel> for HierFs {
                     }
                     let payload = &data[pos + 8..pos + 8 + len];
                     match Self::exec_ctl(k, cur, pid, ctl_tid, op, payload) {
-                        Ok(true) => pos += 8 + len,
+                        Ok(true) => {
+                            pos += 8 + len;
+                            // The record may have changed state the
+                            // kernel primitives did not stamp (trace
+                            // sets, registers, flags).
+                            if let Ok(p) = k.proc_mut(pid) {
+                                p.touch();
+                            }
+                        }
                         Ok(false) => {
                             // Blocking op not yet satisfied: remember the
                             // records already consumed and suspend.

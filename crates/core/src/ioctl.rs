@@ -88,6 +88,9 @@ pub const PIOCGWATCH: u32 = 0x5023;
 pub const PIOCUSAGE: u32 = 0x5024;
 /// Adjust priority (operand: `i32`).
 pub const PIOCNICE: u32 = 0x5025;
+/// Get snapshot-cache counters (`prcachestats`). Answered by the file
+/// system layer, not `prioctl`: the cache lives above the kernel.
+pub const PIOCCACHESTATS: u32 = 0x5026;
 
 /// True if the request modifies process state or behaviour and therefore
 /// requires a descriptor open for writing. "The former are regarded as
@@ -114,6 +117,7 @@ pub fn needs_write(req: u32) -> bool {
             | PIOCGHOLD
             | PIOCGWATCH
             | PIOCUSAGE
+            | PIOCCACHESTATS
     )
 }
 
@@ -148,6 +152,7 @@ pub fn wire_spec(req: u32) -> Option<(usize, usize)> {
         PIOCSWATCH => (crate::types::PrWatch::WIRE_LEN, 8),
         PIOCGWATCH => (0, 64 * crate::types::PrWatch::WIRE_LEN),
         PIOCUSAGE => (0, PrUsage::WIRE_LEN),
+        PIOCCACHESTATS => (0, crate::types::PrCacheStats::WIRE_LEN),
         // PIOCGETPR / PIOCGETU are variable-sized implementation dumps —
         // precisely the kind of operation that cannot cross a wire.
         _ => return None,
@@ -377,6 +382,7 @@ pub fn req_name(req: u32) -> &'static str {
         PIOCGWATCH => "PIOCGWATCH",
         PIOCUSAGE => "PIOCUSAGE",
         PIOCNICE => "PIOCNICE",
+        PIOCCACHESTATS => "PIOCCACHESTATS",
         _ => "PIOC???",
     }
 }

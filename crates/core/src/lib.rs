@@ -27,28 +27,44 @@ pub mod fsimpl;
 pub mod hier;
 pub mod ioctl;
 pub mod ops;
+pub mod snap;
 pub mod types;
 
 pub use fsimpl::ProcFs;
 pub use hier::{ctl_batch, ctl_record, HierFs};
+pub use snap::{snap_handle, SnapCache, SnapHandle};
 pub use types::{
-    PrCred, PrMap, PrRun, PrStatus, PrUsage, PrWatch, PrWhy, PsInfo, PRRUN_CFAULT, PRRUN_CSIG,
-    PRRUN_SABORT, PRRUN_SSTOP, PRRUN_STEP, PRRUN_SVADDR, PRRUN_WBYPASS, PR_ASLEEP, PR_DSTOP,
-    PR_FORK, PR_ISSYS, PR_ISTOP, PR_PTRACE, PR_RLC, PR_STOPPED,
+    PrCacheStats, PrCred, PrMap, PrRun, PrStatus, PrUsage, PrWatch, PrWhy, PsInfo, PRRUN_CFAULT,
+    PRRUN_CSIG, PRRUN_SABORT, PRRUN_SSTOP, PRRUN_STEP, PRRUN_SVADDR, PRRUN_WBYPASS, PR_ASLEEP,
+    PR_DSTOP, PR_FORK, PR_ISSYS, PR_ISTOP, PR_PTRACE, PR_RLC, PR_STOPPED,
 };
 
 /// Mounts the flat interface at `/proc` and the hierarchical proposal at
 /// `/proc2`. Returns `(flat_fsid, hier_fsid)`.
 pub fn mount_standard(sys: &mut ksim::System) -> (u32, u32) {
-    let flat = sys.mount("/proc", Box::new(ProcFs::new()));
-    let hier = sys.mount("/proc2", Box::new(HierFs::new()));
+    let (flat, hier, _) = mount_standard_with_cache(sys);
     (flat, hier)
+}
+
+/// Like [`mount_standard`], but also hands back the snapshot cache the
+/// two file systems share, so callers can inspect hit/miss counters
+/// without going through the `PIOCCACHESTATS` ioctl.
+pub fn mount_standard_with_cache(sys: &mut ksim::System) -> (u32, u32, SnapHandle) {
+    let cache = snap_handle();
+    let flat = sys.mount("/proc", Box::new(ProcFs::with_cache(cache.clone())));
+    let hier = sys.mount("/proc2", Box::new(HierFs::with_cache(cache.clone())));
+    (flat, hier, cache)
 }
 
 /// Boots a system with both `/proc` generations mounted — the usual
 /// starting point for examples, tests and benchmarks.
 pub fn boot_with_proc() -> ksim::System {
+    boot_with_proc_cache().0
+}
+
+/// Like [`boot_with_proc`], but also returns the shared snapshot cache.
+pub fn boot_with_proc_cache() -> (ksim::System, SnapHandle) {
     let mut sys = ksim::System::boot();
-    mount_standard(&mut sys);
-    sys
+    let (_, _, cache) = mount_standard_with_cache(&mut sys);
+    (sys, cache)
 }

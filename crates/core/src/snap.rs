@@ -1,0 +1,214 @@
+//! Generation-stamped snapshot caching for both `/proc` generations.
+//!
+//! The hot paths of `ps` and `truss` are dominated by repeated renders
+//! of the same wire images: a process that has not run since the last
+//! inspection produces byte-identical `psinfo`, `prstatus`, `prmap`,
+//! `prcred` and `prusage` snapshots, and a process table that has not
+//! changed shape produces an identical directory listing. The kernel
+//! stamps every externally visible mutation with a per-process
+//! generation counter ([`ksim::proc::Proc::pr_gen`]), every table-shape
+//! change with [`ksim::Kernel::table_gen`], and every shared-page write
+//! with [`vm::ObjectStore::content_gen`]; this module caches rendered
+//! images against those stamps so an unchanged process costs one hash
+//! lookup instead of a full capture.
+//!
+//! One [`SnapCache`] is shared (via [`SnapHandle`]) between the flat
+//! [`crate::ProcFs`] and the hierarchical [`crate::HierFs`]: the five
+//! pure-read `PIOC*` replies are byte-identical to the corresponding
+//! hierarchical file images, so both interfaces hit the same entries.
+
+use crate::types::PrCacheStats;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use vfs::DirEntry;
+
+/// Shared handle to a [`SnapCache`]; the two `/proc` file systems
+/// mounted by [`crate::mount_standard`] hold clones of one handle.
+/// A `Mutex` (uncontended in the single-threaded simulator) rather than
+/// a `RefCell` keeps the file systems `Send` for remote-mount tests.
+pub type SnapHandle = Arc<Mutex<SnapCache>>;
+
+/// Creates a fresh shared cache handle.
+pub fn snap_handle() -> SnapHandle {
+    Arc::new(Mutex::new(SnapCache::default()))
+}
+
+/// Which cached directory listing (the two roots differ in entry names
+/// and node encodings).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirSlot {
+    /// The flat `/proc` root (five-digit names).
+    Flat,
+    /// The hierarchical `/proc2` root (plain decimal names).
+    Hier,
+}
+
+#[derive(Debug)]
+struct Entry {
+    pr_gen: u64,
+    mem_gen: u64,
+    bytes: Vec<u8>,
+}
+
+/// A cache of rendered `/proc` wire images keyed on
+/// `(pid, kind, tid)` and validated against generation stamps.
+#[derive(Debug, Default)]
+pub struct SnapCache {
+    entries: HashMap<(u32, u8, u32), Entry>,
+    dir_flat: Option<(u64, Vec<DirEntry>)>,
+    dir_hier: Option<(u64, Vec<DirEntry>)>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+/// True if the image for this node kind depends on address-space
+/// contents (resident-set sizes, map arrays) and must therefore also be
+/// validated against the page-cache content generation. Credentials and
+/// register images depend only on the process's own stamp.
+fn mem_dependent(kind: u8) -> bool {
+    // Kind codes follow the hierarchical node encoding: 2 status,
+    // 3 psinfo, 6 map, 8 usage, 11 lwp status.
+    matches!(kind, 2 | 3 | 6 | 8 | 11)
+}
+
+impl SnapCache {
+    /// Looks up a cached image; on a hit, runs `f` over the bytes.
+    /// `pr_gen` and `mem_gen` are the *current* stamps; a stale entry is
+    /// counted as an invalidation and removed.
+    pub fn lookup<R>(
+        &mut self,
+        pid: u32,
+        kind: u8,
+        tid: u32,
+        pr_gen: u64,
+        mem_gen: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Option<R> {
+        let key = (pid, kind, tid);
+        match self.entries.get(&key) {
+            Some(e) if e.pr_gen == pr_gen && (!mem_dependent(kind) || e.mem_gen == mem_gen) => {
+                self.hits += 1;
+                Some(f(&e.bytes))
+            }
+            Some(_) => {
+                self.invalidations += 1;
+                self.entries.remove(&key);
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly rendered image under the given stamps.
+    pub fn insert(&mut self, pid: u32, kind: u8, tid: u32, pr_gen: u64, mem_gen: u64, bytes: Vec<u8>) {
+        self.entries.insert((pid, kind, tid), Entry { pr_gen, mem_gen, bytes });
+    }
+
+    /// Drops every entry for a pid (the process is gone; pids are never
+    /// reused, so the entries can only waste memory).
+    pub fn drop_pid(&mut self, pid: u32) {
+        self.entries.retain(|k, _| k.0 != pid);
+    }
+
+    /// Drops entries whose pid fails the `live` predicate — called when
+    /// a directory rebuild observes the new process table.
+    pub fn retain_pids(&mut self, live: impl Fn(u32) -> bool) {
+        self.entries.retain(|k, _| live(k.0));
+    }
+
+    /// The cached root listing, if still valid for `table_gen`.
+    pub fn dir(&mut self, slot: DirSlot, table_gen: u64) -> Option<Vec<DirEntry>> {
+        let cached = match slot {
+            DirSlot::Flat => &self.dir_flat,
+            DirSlot::Hier => &self.dir_hier,
+        };
+        match cached {
+            Some((gen, list)) if *gen == table_gen => {
+                self.hits += 1;
+                Some(list.clone())
+            }
+            Some(_) => {
+                self.invalidations += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a rebuilt root listing under `table_gen`.
+    pub fn set_dir(&mut self, slot: DirSlot, table_gen: u64, list: Vec<DirEntry>) {
+        match slot {
+            DirSlot::Flat => self.dir_flat = Some((table_gen, list)),
+            DirSlot::Hier => self.dir_hier = Some((table_gen, list)),
+        }
+    }
+
+    /// Counter snapshot for the `PIOCCACHESTATS` read path.
+    pub fn stats(&self) -> PrCacheStats {
+        PrCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+            entries: self.entries.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_invalidate_accounting() {
+        let mut c = SnapCache::default();
+        assert!(c.lookup(1, 3, 0, 7, 0, |b| b.to_vec()).is_none());
+        c.insert(1, 3, 0, 7, 0, vec![0xAA]);
+        assert_eq!(c.lookup(1, 3, 0, 7, 0, |b| b.to_vec()), Some(vec![0xAA]));
+        // A moved pr_gen invalidates.
+        assert!(c.lookup(1, 3, 0, 8, 0, |b| b.to_vec()).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 1, 1));
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn mem_gen_only_guards_memory_kinds() {
+        let mut c = SnapCache::default();
+        // Cred (kind 7) ignores the content generation...
+        c.insert(1, 7, 0, 1, 10, vec![1]);
+        assert!(c.lookup(1, 7, 0, 1, 99, |_| ()).is_some());
+        // ...but psinfo (kind 3) does not.
+        c.insert(1, 3, 0, 1, 10, vec![2]);
+        assert!(c.lookup(1, 3, 0, 1, 99, |_| ()).is_none());
+    }
+
+    #[test]
+    fn dir_cache_tracks_table_gen() {
+        let mut c = SnapCache::default();
+        assert!(c.dir(DirSlot::Flat, 5).is_none());
+        c.set_dir(DirSlot::Flat, 5, vec![]);
+        assert!(c.dir(DirSlot::Flat, 5).is_some());
+        assert!(c.dir(DirSlot::Flat, 6).is_none());
+        // The hier slot is independent.
+        assert!(c.dir(DirSlot::Hier, 5).is_none());
+    }
+
+    #[test]
+    fn pid_pruning() {
+        let mut c = SnapCache::default();
+        c.insert(1, 3, 0, 0, 0, vec![]);
+        c.insert(2, 3, 0, 0, 0, vec![]);
+        c.insert(2, 2, 0, 0, 0, vec![]);
+        c.retain_pids(|p| p == 1);
+        assert_eq!(c.stats().entries, 1);
+        c.drop_pid(1);
+        assert_eq!(c.stats().entries, 0);
+    }
+}

@@ -691,6 +691,49 @@ impl PrUsage {
     }
 }
 
+/// Snapshot-cache counters (`prcachestats`) — read through
+/// `PIOCCACHESTATS` or [`crate::mount_standard_with_cache`]; the
+/// observability half of the generation-stamped caching layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrCacheStats {
+    /// Renders served from cache.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Lookups that found a stale entry (a generation stamp moved).
+    pub invalidations: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+}
+
+impl PrCacheStats {
+    /// Encoded length.
+    pub const WIRE_LEN: usize = 32;
+
+    /// Serialises.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(Self::WIRE_LEN);
+        for v in [self.hits, self.misses, self.invalidations, self.entries] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        b
+    }
+
+    /// Deserialises.
+    pub fn from_bytes(b: &[u8]) -> Option<PrCacheStats> {
+        if b.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().expect("8 bytes"));
+        Some(PrCacheStats {
+            hits: u64_at(0),
+            misses: u64_at(8),
+            invalidations: u64_at(16),
+            entries: u64_at(24),
+        })
+    }
+}
+
 /// Maps a [`SegName`]-style display string back for tools; kept here so
 /// tools do not depend on `vm` directly.
 pub fn seg_display(name: &SegName) -> String {

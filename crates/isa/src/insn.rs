@@ -358,7 +358,6 @@ pub fn breakpoint_bytes() -> [u8; INSN_LEN as usize] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn all_opcodes_roundtrip_byte() {
@@ -404,23 +403,38 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn decode_never_panics(bytes in proptest::array::uniform8(any::<u8>())) {
+    /// Minimal deterministic xorshift64* generator for randomized tests.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    #[test]
+    fn decode_never_panics() {
+        let mut rng = 0x1157_u64;
+        for _ in 0..4096 {
+            let bytes = xorshift(&mut rng).to_le_bytes();
             let _ = Insn::decode(&bytes);
         }
+    }
 
-        #[test]
-        fn encode_decode_roundtrip(
-            opidx in 0..Opcode::all().len(),
-            rd in 0u8..16,
-            rs1 in 0u8..16,
-            rs2 in 0u8..16,
-            imm in any::<i32>(),
-        ) {
-            let op = Opcode::all()[opidx];
-            let i = Insn { op, rd, rs1, rs2, imm };
-            prop_assert_eq!(Insn::decode(&i.encode()), Some(i));
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = 0xDEC0DE_u64;
+        for _ in 0..4096 {
+            let op = Opcode::all()[xorshift(&mut rng) as usize % Opcode::all().len()];
+            let i = Insn {
+                op,
+                rd: (xorshift(&mut rng) % 16) as u8,
+                rs1: (xorshift(&mut rng) % 16) as u8,
+                rs2: (xorshift(&mut rng) % 16) as u8,
+                imm: xorshift(&mut rng) as i32,
+            };
+            assert_eq!(Insn::decode(&i.encode()), Some(i));
         }
     }
 }

@@ -71,6 +71,9 @@ pub struct Kernel {
     /// Bumped on every pollable state change; `poll` sleepers retry when
     /// it moves.
     pub poll_gen: u64,
+    /// Bumped whenever the process table changes shape (create, exit,
+    /// reap). `/proc` directory listings are cached against this value.
+    pub table_gen: u64,
     /// Image cache keyed by `(fs, node)`.
     pub images: std::collections::HashMap<(u32, u64), CachedImage>,
 }
@@ -141,8 +144,10 @@ impl Kernel {
             stop_reported: false,
             alarm_at: None,
             vfork_parent: None,
+            pr_gen: 0,
         };
         self.procs.insert(pid.0, proc);
+        self.table_gen = self.table_gen.wrapping_add(1);
         pid
     }
 
@@ -167,6 +172,7 @@ impl Kernel {
         if proc.zombie {
             return Ok(());
         }
+        proc.touch();
         let _ = clock;
         if sig == SIGCONT {
             // SIGCONT discards pending stop signals and releases
@@ -218,6 +224,7 @@ impl Kernel {
     /// waiting for the stop.
     pub fn stop_lwp(&mut self, pid: Pid, tid: Tid, why: StopWhy) {
         if let Ok(proc) = self.proc_mut(pid) {
+            proc.touch();
             if let Some(lwp) = proc.lwp_mut(tid) {
                 lwp.state = LwpState::Stopped(why);
             }
@@ -238,6 +245,9 @@ impl Kernel {
     /// job control (only `SIGCONT` releases those).
     pub fn run_lwp(&mut self, pid: Pid, tid: Tid, opts: RunOpts) -> SysResult<()> {
         let proc = self.proc_mut(pid)?;
+        // A failed resume leaves state untouched; the spurious bump on
+        // the error paths below merely costs one cache refill.
+        proc.touch();
         let Some(lwp) = proc.lwp_mut(tid) else {
             return Err(Errno::ESRCH);
         };
@@ -307,6 +317,7 @@ impl Kernel {
         if proc.zombie {
             return Err(Errno::ESRCH);
         }
+        proc.touch();
         for lwp in &mut proc.lwps {
             match &lwp.state {
                 LwpState::Zombie => continue,
@@ -340,13 +351,18 @@ impl Kernel {
     /// Wakes every LWP sleeping on `chan`.
     pub fn wake_channel(&mut self, chan: WaitChannel) {
         for proc in self.procs.values_mut() {
+            let mut woke = false;
             for lwp in &mut proc.lwps {
                 if let LwpState::Sleeping { chan: c, .. } = lwp.state {
                     if c == chan {
                         lwp.state = LwpState::Runnable;
                         lwp.sleep_interrupted = false;
+                        woke = true;
                     }
                 }
+            }
+            if woke {
+                proc.touch();
             }
         }
     }

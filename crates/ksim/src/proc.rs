@@ -356,9 +356,21 @@ pub struct Proc {
     pub alarm_at: Option<u64>,
     /// Set while a vforked child still borrows the parent.
     pub vfork_parent: Option<Pid>,
+    /// Generation counter bumped by every externally visible state
+    /// mutation (signal post/delivery, stop/run transitions, exec,
+    /// register/memory pokes, usage ticks). Snapshot caches key cached
+    /// `/proc` renderings on this value; a stale stamp means re-render.
+    pub pr_gen: u64,
 }
 
 impl Proc {
+    /// Marks the process state as changed, invalidating any cached
+    /// `/proc` snapshot of it.
+    #[inline]
+    pub fn touch(&mut self) {
+        self.pr_gen = self.pr_gen.wrapping_add(1);
+    }
+
     /// Finds an LWP by id.
     pub fn lwp(&self, tid: Tid) -> Option<&Lwp> {
         self.lwps.iter().find(|l| l.tid == tid)

@@ -67,6 +67,7 @@ impl System {
                 proc.aspace
                     .kernel_write(objects, args[2], &args[3].to_le_bytes())
                     .map_err(|_| Errno::EIO)?;
+                proc.touch();
                 Ok(0)
             }
             PT_GETREGS => {
@@ -82,6 +83,7 @@ impl System {
                 let regs = GregSet::from_bytes(&image).ok_or(Errno::EINVAL)?;
                 let proc = self.kernel.proc_mut(target)?;
                 proc.rep_lwp_mut().gregs = regs;
+                proc.touch();
                 Ok(0)
             }
             PT_CONT | PT_STEP => {
@@ -124,6 +126,7 @@ impl System {
                 proc.aspace
                     .kernel_write(objects, addr, &data.to_le_bytes())
                     .map_err(|_| Errno::EIO)?;
+                proc.touch();
                 Ok(0)
             }
             PT_CONT | PT_STEP => {
@@ -157,6 +160,7 @@ impl System {
         let mut regs = regs;
         regs.normalize();
         proc.rep_lwp_mut().gregs = regs;
+        proc.touch();
         Ok(())
     }
 
@@ -165,6 +169,7 @@ impl System {
     pub fn host_ptrace_traceme(&mut self, child: Pid) -> SysResult<()> {
         let proc = self.kernel.proc_mut(child)?;
         proc.ptraced = true;
+        proc.touch();
         Ok(())
     }
 
@@ -186,6 +191,7 @@ impl System {
     /// single-steps.
     fn ptrace_cont(&mut self, target: Pid, addr: u64, sig: usize, step: bool) -> SysResult<u64> {
         let proc = self.kernel.proc_mut(target)?;
+        proc.touch();
         let lwp = proc.rep_lwp_mut();
         let tid = lwp.tid;
         if !matches!(lwp.state, LwpState::Stopped(StopWhy::Ptrace(_))) {

@@ -240,6 +240,7 @@ impl Kernel {
         };
         lwp.sig_stop_taken = false;
         lwp.ptrace_stop_taken = false;
+        proc.touch();
         let action = proc.actions.get(sig);
         match action.handler {
             Handler::Catch(handler_pc) if sig != SIGKILL => {
@@ -323,6 +324,7 @@ impl Kernel {
         l.gregs.psr = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
         l.held = SigSet::from_bytes(&frame[16..32]).expect("16 bytes");
         l.gregs.set_sp(sp + SIGFRAME_LEN);
+        proc.touch();
         true
     }
 
@@ -334,6 +336,7 @@ impl Kernel {
         lwp.cursig = sig.filter(|&s| s != 0);
         lwp.sig_stop_taken = false;
         lwp.ptrace_stop_taken = false;
+        proc.touch();
         Ok(())
     }
 }

@@ -186,13 +186,18 @@ impl System {
                     alarms.push(proc.pid);
                 }
             }
+            let mut woke = false;
             for lwp in &mut proc.lwps {
                 if let LwpState::Sleeping { chan: WaitChannel::Ticks(t), .. } = lwp.state {
                     if t <= clock {
                         lwp.state = LwpState::Runnable;
                         lwp.sleep_interrupted = false;
+                        woke = true;
                     }
                 }
+            }
+            if woke {
+                proc.touch();
             }
         }
         for pid in alarms {
@@ -211,6 +216,7 @@ impl System {
             .collect();
         for pid in dead {
             self.kernel.procs.remove(&pid);
+            self.kernel.table_gen = self.kernel.table_gen.wrapping_add(1);
         }
     }
 
@@ -251,6 +257,12 @@ impl System {
 
     /// Runs one LWP for up to a quantum, handling its kernel entries.
     fn run_slice(&mut self, pid: Pid, tid: Tid) {
+        // The LWP is about to run: registers, instruction counts and any
+        // self-inflicted state all change, so one generation bump here
+        // covers every mutation the slice makes to its own process.
+        if let Ok(p) = self.kernel.proc_mut(pid) {
+            p.touch();
+        }
         // Phase A: in-flight system call continuation.
         let has_syscall = self
             .kernel
@@ -621,6 +633,7 @@ impl System {
             Ok(()) => Ok(pid),
             Err(e) => {
                 self.kernel.procs.remove(&pid.0);
+                self.kernel.table_gen = self.kernel.table_gen.wrapping_add(1);
                 Err(e)
             }
         }
@@ -656,12 +669,15 @@ impl System {
         }
         proc.zombie = true;
         proc.exit_status = status;
+        proc.touch();
         // Reparent children to init.
         for other in self.kernel.procs.values_mut() {
             if other.ppid == pid {
                 other.ppid = Pid(1);
+                other.touch();
             }
         }
+        self.kernel.table_gen = self.kernel.table_gen.wrapping_add(1);
         if let Some(vp) = vfork_parent {
             let _ = vp;
             self.kernel.wake_channel(WaitChannel::VforkDone(pid));
@@ -751,8 +767,10 @@ impl System {
             stop_reported: false,
             alarm_at: None,
             vfork_parent: vfork.then_some(parent),
+            pr_gen: 0,
         };
         procs.insert(child_pid.0, child);
+        self.kernel.table_gen = self.kernel.table_gen.wrapping_add(1);
         self.kernel.log.push(crate::event::Event::Fork { parent, child: child_pid });
         // The child stops on exit from fork if (and only if) it inherited
         // exit tracing of the call — "both parent and child stop on exit
@@ -814,6 +832,7 @@ impl System {
         }
         if let Some((pid, status)) = zombie {
             self.kernel.procs.remove(&pid.0);
+            self.kernel.table_gen = self.kernel.table_gen.wrapping_add(1);
             return Ok(Some((pid, status)));
         }
         if let Some((pid, status)) = stopped {
@@ -1044,6 +1063,7 @@ impl System {
             proc.exec_gen += 1;
         }
         let vfork_parent = proc.vfork_parent.take();
+        proc.touch();
         self.kernel.log.push(crate::event::Event::Exec {
             pid,
             path: path.to_string(),

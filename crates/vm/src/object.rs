@@ -94,6 +94,10 @@ impl Object {
 pub struct ObjectStore {
     objs: Vec<Option<Object>>,
     free: Vec<usize>,
+    /// Bumped whenever any object is handed out mutably: shared-object
+    /// writes are visible to every process mapping the object, so
+    /// cross-process snapshot caches invalidate on this counter.
+    pub content_gen: u64,
 }
 
 impl ObjectStore {
@@ -151,6 +155,7 @@ impl ObjectStore {
     ///
     /// Panics if `id` is stale.
     pub fn get_mut(&mut self, id: ObjectId) -> &mut Object {
+        self.content_gen = self.content_gen.wrapping_add(1);
         self.objs[id.0 as usize].as_mut().expect("stale ObjectId")
     }
 

@@ -544,9 +544,18 @@ impl AddressSpace {
 mod tests {
     use super::*;
     use crate::watch::WatchFlags;
-    use proptest::prelude::*;
 
     const K: u64 = 1024;
+
+    /// Minimal deterministic xorshift64* generator for randomized tests.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
 
     fn setup() -> (AddressSpace, ObjectStore) {
         (AddressSpace::new(), ObjectStore::new())
@@ -851,14 +860,17 @@ mod tests {
         assert_eq!(b[0], 0, "no partial write");
     }
 
-    proptest! {
-        /// Random map/unmap/protect sequences preserve the invariants.
-        #[test]
-        fn invariants_hold_under_random_ops(ops in proptest::collection::vec(
-            (0u8..3, 0u64..64, 1u64..16), 1..40))
-        {
+    /// Random map/unmap/protect sequences preserve the invariants.
+    #[test]
+    fn invariants_hold_under_random_ops() {
+        let mut rng = 0x1417_A5_u64;
+        for _ in 0..64 {
             let (mut a, mut s) = setup();
-            for (op, page, pages) in ops {
+            let nops = 1 + (xorshift(&mut rng) % 39) as usize;
+            for _ in 0..nops {
+                let op = (xorshift(&mut rng) % 3) as u8;
+                let page = xorshift(&mut rng) % 64;
+                let pages = 1 + xorshift(&mut rng) % 15;
                 let base = 0x10000 + page * PAGE_SIZE;
                 let len = pages * PAGE_SIZE;
                 match op {
@@ -884,26 +896,31 @@ mod tests {
                 .iter()
                 .map(|&o| s.refcount(o))
                 .sum();
-            prop_assert_eq!(total_refs as usize, live, "every mapping holds one reference");
+            assert_eq!(total_refs as usize, live, "every mapping holds one reference");
             // Clearing releases everything.
             a.clear(&mut s);
-            prop_assert_eq!(s.live_count(), 0);
+            assert_eq!(s.live_count(), 0);
         }
+    }
 
-        /// Data written user-mode is read back identically through both
-        /// user and kernel paths.
-        #[test]
-        fn write_read_consistency(off in 0u64..8000, data in proptest::collection::vec(any::<u8>(), 1..256)) {
+    /// Data written user-mode is read back identically through both
+    /// user and kernel paths.
+    #[test]
+    fn write_read_consistency() {
+        let mut rng = 0xC0515_u64;
+        for _ in 0..128 {
             let (mut a, mut s) = setup();
             anon_map(&mut a, &mut s, 0x10000, 3 * PAGE_SIZE, Prot::RW);
-            prop_assume!(off + data.len() as u64 <= 3 * PAGE_SIZE);
+            let len = 1 + (xorshift(&mut rng) % 255) as usize;
+            let off = xorshift(&mut rng) % (3 * PAGE_SIZE - len as u64);
+            let data: Vec<u8> = (0..len).map(|_| xorshift(&mut rng) as u8).collect();
             a.write_user(&mut s, 0x10000 + off, &data).expect("write");
             let mut ub = vec![0u8; data.len()];
             a.read_user(&s, 0x10000 + off, &mut ub).expect("user read");
-            prop_assert_eq!(&ub, &data);
+            assert_eq!(&ub, &data);
             let mut kb = vec![0u8; data.len()];
             a.kernel_read(&s, 0x10000 + off, &mut kb).expect("kernel read");
-            prop_assert_eq!(&kb, &data);
+            assert_eq!(&kb, &data);
         }
     }
 }

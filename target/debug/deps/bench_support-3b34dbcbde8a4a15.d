@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench_support-3b34dbcbde8a4a15.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench_support-3b34dbcbde8a4a15.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench_support-3b34dbcbde8a4a15.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-f14a602f68c04d2b.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-f14a602f68c04d2b: tests/integration.rs
+
+tests/integration.rs:

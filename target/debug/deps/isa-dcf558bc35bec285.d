@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/isa-dcf558bc35bec285.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cpu.rs crates/isa/src/dis.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libisa-dcf558bc35bec285.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cpu.rs crates/isa/src/dis.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libisa-dcf558bc35bec285.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cpu.rs crates/isa/src/dis.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/cpu.rs:
+crates/isa/src/dis.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/reg.rs:

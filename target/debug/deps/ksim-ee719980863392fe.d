@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ksim-ee719980863392fe.d: crates/ksim/src/lib.rs crates/ksim/src/aout.rs crates/ksim/src/bitset.rs crates/ksim/src/corefile.rs crates/ksim/src/event.rs crates/ksim/src/fault.rs crates/ksim/src/fd.rs crates/ksim/src/kernel.rs crates/ksim/src/proc.rs crates/ksim/src/ptrace.rs crates/ksim/src/sched.rs crates/ksim/src/signal.rs crates/ksim/src/syscall.rs crates/ksim/src/sysno.rs crates/ksim/src/system.rs
+
+/root/repo/target/debug/deps/libksim-ee719980863392fe.rlib: crates/ksim/src/lib.rs crates/ksim/src/aout.rs crates/ksim/src/bitset.rs crates/ksim/src/corefile.rs crates/ksim/src/event.rs crates/ksim/src/fault.rs crates/ksim/src/fd.rs crates/ksim/src/kernel.rs crates/ksim/src/proc.rs crates/ksim/src/ptrace.rs crates/ksim/src/sched.rs crates/ksim/src/signal.rs crates/ksim/src/syscall.rs crates/ksim/src/sysno.rs crates/ksim/src/system.rs
+
+/root/repo/target/debug/deps/libksim-ee719980863392fe.rmeta: crates/ksim/src/lib.rs crates/ksim/src/aout.rs crates/ksim/src/bitset.rs crates/ksim/src/corefile.rs crates/ksim/src/event.rs crates/ksim/src/fault.rs crates/ksim/src/fd.rs crates/ksim/src/kernel.rs crates/ksim/src/proc.rs crates/ksim/src/ptrace.rs crates/ksim/src/sched.rs crates/ksim/src/signal.rs crates/ksim/src/syscall.rs crates/ksim/src/sysno.rs crates/ksim/src/system.rs
+
+crates/ksim/src/lib.rs:
+crates/ksim/src/aout.rs:
+crates/ksim/src/bitset.rs:
+crates/ksim/src/corefile.rs:
+crates/ksim/src/event.rs:
+crates/ksim/src/fault.rs:
+crates/ksim/src/fd.rs:
+crates/ksim/src/kernel.rs:
+crates/ksim/src/proc.rs:
+crates/ksim/src/ptrace.rs:
+crates/ksim/src/sched.rs:
+crates/ksim/src/signal.rs:
+crates/ksim/src/syscall.rs:
+crates/ksim/src/sysno.rs:
+crates/ksim/src/system.rs:

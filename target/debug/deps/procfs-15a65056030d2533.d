@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/procfs-15a65056030d2533.d: crates/core/src/lib.rs crates/core/src/fsimpl.rs crates/core/src/hier.rs crates/core/src/ioctl.rs crates/core/src/ops.rs crates/core/src/snap.rs crates/core/src/types.rs
+
+/root/repo/target/debug/deps/libprocfs-15a65056030d2533.rlib: crates/core/src/lib.rs crates/core/src/fsimpl.rs crates/core/src/hier.rs crates/core/src/ioctl.rs crates/core/src/ops.rs crates/core/src/snap.rs crates/core/src/types.rs
+
+/root/repo/target/debug/deps/libprocfs-15a65056030d2533.rmeta: crates/core/src/lib.rs crates/core/src/fsimpl.rs crates/core/src/hier.rs crates/core/src/ioctl.rs crates/core/src/ops.rs crates/core/src/snap.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fsimpl.rs:
+crates/core/src/hier.rs:
+crates/core/src/ioctl.rs:
+crates/core/src/ops.rs:
+crates/core/src/snap.rs:
+crates/core/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/procsim-810fefb3d446c1bf.d: src/lib.rs
+
+/root/repo/target/debug/deps/procsim-810fefb3d446c1bf: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/procsim-c7e8be4e7834c833.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprocsim-c7e8be4e7834c833.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libprocsim-c7e8be4e7834c833.rmeta: src/lib.rs
+
+src/lib.rs:

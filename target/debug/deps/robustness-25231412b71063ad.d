@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-25231412b71063ad.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-25231412b71063ad: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/self_hosted_controller-6442043834184db2.d: tests/self_hosted_controller.rs
+
+/root/repo/target/debug/deps/self_hosted_controller-6442043834184db2: tests/self_hosted_controller.rs
+
+tests/self_hosted_controller.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshot_cache-c9afb94fbc4f4c8a.d: tests/snapshot_cache.rs
+
+/root/repo/target/debug/deps/snapshot_cache-c9afb94fbc4f4c8a: tests/snapshot_cache.rs
+
+tests/snapshot_cache.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tools-e9eb738b450aefe0.d: crates/tools/src/lib.rs crates/tools/src/debugger.rs crates/tools/src/lsproc.rs crates/tools/src/names.rs crates/tools/src/pmap.rs crates/tools/src/postmortem.rs crates/tools/src/proc_io.rs crates/tools/src/ps.rs crates/tools/src/ptrace_lib.rs crates/tools/src/sdb.rs crates/tools/src/truss.rs crates/tools/src/userland.rs
+
+/root/repo/target/debug/deps/libtools-e9eb738b450aefe0.rlib: crates/tools/src/lib.rs crates/tools/src/debugger.rs crates/tools/src/lsproc.rs crates/tools/src/names.rs crates/tools/src/pmap.rs crates/tools/src/postmortem.rs crates/tools/src/proc_io.rs crates/tools/src/ps.rs crates/tools/src/ptrace_lib.rs crates/tools/src/sdb.rs crates/tools/src/truss.rs crates/tools/src/userland.rs
+
+/root/repo/target/debug/deps/libtools-e9eb738b450aefe0.rmeta: crates/tools/src/lib.rs crates/tools/src/debugger.rs crates/tools/src/lsproc.rs crates/tools/src/names.rs crates/tools/src/pmap.rs crates/tools/src/postmortem.rs crates/tools/src/proc_io.rs crates/tools/src/ps.rs crates/tools/src/ptrace_lib.rs crates/tools/src/sdb.rs crates/tools/src/truss.rs crates/tools/src/userland.rs
+
+crates/tools/src/lib.rs:
+crates/tools/src/debugger.rs:
+crates/tools/src/lsproc.rs:
+crates/tools/src/names.rs:
+crates/tools/src/pmap.rs:
+crates/tools/src/postmortem.rs:
+crates/tools/src/proc_io.rs:
+crates/tools/src/ps.rs:
+crates/tools/src/ptrace_lib.rs:
+crates/tools/src/sdb.rs:
+crates/tools/src/truss.rs:
+crates/tools/src/userland.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vfs-191182c0699df019.d: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs
+
+/root/repo/target/debug/deps/libvfs-191182c0699df019.rlib: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs
+
+/root/repo/target/debug/deps/libvfs-191182c0699df019.rmeta: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/cred.rs:
+crates/vfs/src/errno.rs:
+crates/vfs/src/fs.rs:
+crates/vfs/src/memfs.rs:
+crates/vfs/src/mount.rs:
+crates/vfs/src/node.rs:
+crates/vfs/src/path.rs:
+crates/vfs/src/remote.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vm-3f9907e801426cc7.d: crates/vm/src/lib.rs crates/vm/src/error.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/space.rs crates/vm/src/watch.rs
+
+/root/repo/target/debug/deps/libvm-3f9907e801426cc7.rlib: crates/vm/src/lib.rs crates/vm/src/error.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/space.rs crates/vm/src/watch.rs
+
+/root/repo/target/debug/deps/libvm-3f9907e801426cc7.rmeta: crates/vm/src/lib.rs crates/vm/src/error.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/space.rs crates/vm/src/watch.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/error.rs:
+crates/vm/src/map.rs:
+crates/vm/src/object.rs:
+crates/vm/src/page.rs:
+crates/vm/src/space.rs:
+crates/vm/src/watch.rs:

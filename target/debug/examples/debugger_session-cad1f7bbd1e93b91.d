@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debugger_session-cad1f7bbd1e93b91.d: examples/debugger_session.rs
+
+/root/repo/target/debug/examples/debugger_session-cad1f7bbd1e93b91: examples/debugger_session.rs
+
+examples/debugger_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encapsulate_syscall-2f908198dd66e31f.d: examples/encapsulate_syscall.rs
+
+/root/repo/target/debug/examples/encapsulate_syscall-2f908198dd66e31f: examples/encapsulate_syscall.rs
+
+examples/encapsulate_syscall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/postmortem-76c3a99c3fe18eef.d: examples/postmortem.rs
+
+/root/repo/target/debug/examples/postmortem-76c3a99c3fe18eef: examples/postmortem.rs
+
+examples/postmortem.rs:

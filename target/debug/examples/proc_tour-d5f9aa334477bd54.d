@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/proc_tour-d5f9aa334477bd54.d: examples/proc_tour.rs
+
+/root/repo/target/debug/examples/proc_tour-d5f9aa334477bd54: examples/proc_tour.rs
+
+examples/proc_tour.rs:

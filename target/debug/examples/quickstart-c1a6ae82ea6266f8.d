@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c1a6ae82ea6266f8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c1a6ae82ea6266f8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sdb_session-7d244d7987dc8547.d: examples/sdb_session.rs
+
+/root/repo/target/debug/examples/sdb_session-7d244d7987dc8547: examples/sdb_session.rs
+
+examples/sdb_session.rs:

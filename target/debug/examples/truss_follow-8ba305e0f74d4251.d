@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/truss_follow-8ba305e0f74d4251.d: examples/truss_follow.rs
+
+/root/repo/target/debug/examples/truss_follow-8ba305e0f74d4251: examples/truss_follow.rs
+
+examples/truss_follow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/watchpoints-7430c3ad132ee3a4.d: examples/watchpoints.rs
+
+/root/repo/target/debug/examples/watchpoints-7430c3ad132ee3a4: examples/watchpoints.rs
+
+examples/watchpoints.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_support-5b1e5226e0261328.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench_support-5b1e5226e0261328: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_support-9ecf8c445efe8349.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench_support-9ecf8c445efe8349.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench_support-9ecf8c445efe8349.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

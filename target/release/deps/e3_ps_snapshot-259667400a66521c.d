@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e3_ps_snapshot-259667400a66521c.d: crates/bench/benches/e3_ps_snapshot.rs
+
+/root/repo/target/release/deps/e3_ps_snapshot-259667400a66521c: crates/bench/benches/e3_ps_snapshot.rs
+
+crates/bench/benches/e3_ps_snapshot.rs:

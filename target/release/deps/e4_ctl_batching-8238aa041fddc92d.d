@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e4_ctl_batching-8238aa041fddc92d.d: crates/bench/benches/e4_ctl_batching.rs
+
+/root/repo/target/release/deps/e4_ctl_batching-8238aa041fddc92d: crates/bench/benches/e4_ctl_batching.rs
+
+crates/bench/benches/e4_ctl_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e8_truss_overhead-459b6054395b237a.d: crates/bench/benches/e8_truss_overhead.rs
+
+/root/repo/target/release/deps/e8_truss_overhead-459b6054395b237a: crates/bench/benches/e8_truss_overhead.rs
+
+crates/bench/benches/e8_truss_overhead.rs:

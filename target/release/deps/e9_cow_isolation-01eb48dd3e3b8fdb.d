@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e9_cow_isolation-01eb48dd3e3b8fdb.d: crates/bench/benches/e9_cow_isolation.rs
+
+/root/repo/target/release/deps/e9_cow_isolation-01eb48dd3e3b8fdb: crates/bench/benches/e9_cow_isolation.rs
+
+crates/bench/benches/e9_cow_isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_ls_proc-5ccab63dfbaf731e.d: crates/bench/benches/fig1_ls_proc.rs
+
+/root/repo/target/release/deps/fig1_ls_proc-5ccab63dfbaf731e: crates/bench/benches/fig1_ls_proc.rs
+
+crates/bench/benches/fig1_ls_proc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hier_e2e-6d12d93eaa94d440.d: crates/core/tests/hier_e2e.rs
+
+/root/repo/target/release/deps/hier_e2e-6d12d93eaa94d440: crates/core/tests/hier_e2e.rs
+
+crates/core/tests/hier_e2e.rs:

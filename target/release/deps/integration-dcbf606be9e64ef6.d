@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-dcbf606be9e64ef6.d: tests/integration.rs
+
+/root/repo/target/release/deps/integration-dcbf606be9e64ef6: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/isa-aae087d929d64976.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cpu.rs crates/isa/src/dis.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libisa-aae087d929d64976.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cpu.rs crates/isa/src/dis.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libisa-aae087d929d64976.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cpu.rs crates/isa/src/dis.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/cpu.rs:
+crates/isa/src/dis.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/reg.rs:

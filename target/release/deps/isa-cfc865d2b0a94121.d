@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/isa-cfc865d2b0a94121.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cpu.rs crates/isa/src/dis.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/isa-cfc865d2b0a94121: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cpu.rs crates/isa/src/dis.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/cpu.rs:
+crates/isa/src/dis.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/reg.rs:

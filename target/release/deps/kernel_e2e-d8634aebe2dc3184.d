@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_e2e-d8634aebe2dc3184.d: crates/ksim/tests/kernel_e2e.rs
+
+/root/repo/target/release/deps/kernel_e2e-d8634aebe2dc3184: crates/ksim/tests/kernel_e2e.rs
+
+crates/ksim/tests/kernel_e2e.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/procfs-0c835e285263abe6.d: crates/core/src/lib.rs crates/core/src/fsimpl.rs crates/core/src/hier.rs crates/core/src/ioctl.rs crates/core/src/ops.rs crates/core/src/snap.rs crates/core/src/types.rs
+
+/root/repo/target/release/deps/libprocfs-0c835e285263abe6.rlib: crates/core/src/lib.rs crates/core/src/fsimpl.rs crates/core/src/hier.rs crates/core/src/ioctl.rs crates/core/src/ops.rs crates/core/src/snap.rs crates/core/src/types.rs
+
+/root/repo/target/release/deps/libprocfs-0c835e285263abe6.rmeta: crates/core/src/lib.rs crates/core/src/fsimpl.rs crates/core/src/hier.rs crates/core/src/ioctl.rs crates/core/src/ops.rs crates/core/src/snap.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fsimpl.rs:
+crates/core/src/hier.rs:
+crates/core/src/ioctl.rs:
+crates/core/src/ops.rs:
+crates/core/src/snap.rs:
+crates/core/src/types.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/procfs-d20540502470985f.d: crates/core/src/lib.rs crates/core/src/fsimpl.rs crates/core/src/hier.rs crates/core/src/ioctl.rs crates/core/src/ops.rs crates/core/src/snap.rs crates/core/src/types.rs
+
+/root/repo/target/release/deps/procfs-d20540502470985f: crates/core/src/lib.rs crates/core/src/fsimpl.rs crates/core/src/hier.rs crates/core/src/ioctl.rs crates/core/src/ops.rs crates/core/src/snap.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fsimpl.rs:
+crates/core/src/hier.rs:
+crates/core/src/ioctl.rs:
+crates/core/src/ops.rs:
+crates/core/src/snap.rs:
+crates/core/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/procfs_e2e-a520ee8882b1c354.d: crates/core/tests/procfs_e2e.rs
+
+/root/repo/target/release/deps/procfs_e2e-a520ee8882b1c354: crates/core/tests/procfs_e2e.rs
+
+crates/core/tests/procfs_e2e.rs:

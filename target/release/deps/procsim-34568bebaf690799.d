@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/procsim-34568bebaf690799.d: src/lib.rs
+
+/root/repo/target/release/deps/libprocsim-34568bebaf690799.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libprocsim-34568bebaf690799.rmeta: src/lib.rs
+
+src/lib.rs:

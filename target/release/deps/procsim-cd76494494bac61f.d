@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/procsim-cd76494494bac61f.d: src/lib.rs
+
+/root/repo/target/release/deps/procsim-cd76494494bac61f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-1d40ac87613d1b5f.d: tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-1d40ac87613d1b5f: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/self_hosted_controller-4d7ff77099b42704.d: tests/self_hosted_controller.rs
+
+/root/repo/target/release/deps/self_hosted_controller-4d7ff77099b42704: tests/self_hosted_controller.rs
+
+tests/self_hosted_controller.rs:

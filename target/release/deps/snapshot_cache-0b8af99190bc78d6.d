@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/snapshot_cache-0b8af99190bc78d6.d: tests/snapshot_cache.rs
+
+/root/repo/target/release/deps/snapshot_cache-0b8af99190bc78d6: tests/snapshot_cache.rs
+
+tests/snapshot_cache.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vfs-300b9a2770b4b16d.d: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs
+
+/root/repo/target/release/deps/vfs-300b9a2770b4b16d: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/cred.rs:
+crates/vfs/src/errno.rs:
+crates/vfs/src/fs.rs:
+crates/vfs/src/memfs.rs:
+crates/vfs/src/mount.rs:
+crates/vfs/src/node.rs:
+crates/vfs/src/path.rs:
+crates/vfs/src/remote.rs:

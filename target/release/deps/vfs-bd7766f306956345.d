@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vfs-bd7766f306956345.d: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs
+
+/root/repo/target/release/deps/libvfs-bd7766f306956345.rlib: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs
+
+/root/repo/target/release/deps/libvfs-bd7766f306956345.rmeta: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/cred.rs:
+crates/vfs/src/errno.rs:
+crates/vfs/src/fs.rs:
+crates/vfs/src/memfs.rs:
+crates/vfs/src/mount.rs:
+crates/vfs/src/node.rs:
+crates/vfs/src/path.rs:
+crates/vfs/src/remote.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vm-567ac93d1f05b076.d: crates/vm/src/lib.rs crates/vm/src/error.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/space.rs crates/vm/src/watch.rs
+
+/root/repo/target/release/deps/vm-567ac93d1f05b076: crates/vm/src/lib.rs crates/vm/src/error.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/space.rs crates/vm/src/watch.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/error.rs:
+crates/vm/src/map.rs:
+crates/vm/src/object.rs:
+crates/vm/src/page.rs:
+crates/vm/src/space.rs:
+crates/vm/src/watch.rs:

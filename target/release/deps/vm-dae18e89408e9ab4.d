@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vm-dae18e89408e9ab4.d: crates/vm/src/lib.rs crates/vm/src/error.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/space.rs crates/vm/src/watch.rs
+
+/root/repo/target/release/deps/libvm-dae18e89408e9ab4.rlib: crates/vm/src/lib.rs crates/vm/src/error.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/space.rs crates/vm/src/watch.rs
+
+/root/repo/target/release/deps/libvm-dae18e89408e9ab4.rmeta: crates/vm/src/lib.rs crates/vm/src/error.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/space.rs crates/vm/src/watch.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/error.rs:
+crates/vm/src/map.rs:
+crates/vm/src/object.rs:
+crates/vm/src/page.rs:
+crates/vm/src/space.rs:
+crates/vm/src/watch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debugger_session-74fb4cc2e69630d6.d: examples/debugger_session.rs
+
+/root/repo/target/release/examples/debugger_session-74fb4cc2e69630d6: examples/debugger_session.rs
+
+examples/debugger_session.rs:

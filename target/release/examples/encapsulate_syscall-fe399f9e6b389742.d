@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/encapsulate_syscall-fe399f9e6b389742.d: examples/encapsulate_syscall.rs
+
+/root/repo/target/release/examples/encapsulate_syscall-fe399f9e6b389742: examples/encapsulate_syscall.rs
+
+examples/encapsulate_syscall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/postmortem-70badeb49f86c3f6.d: examples/postmortem.rs
+
+/root/repo/target/release/examples/postmortem-70badeb49f86c3f6: examples/postmortem.rs
+
+examples/postmortem.rs:

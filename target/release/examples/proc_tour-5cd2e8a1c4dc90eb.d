@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/proc_tour-5cd2e8a1c4dc90eb.d: examples/proc_tour.rs
+
+/root/repo/target/release/examples/proc_tour-5cd2e8a1c4dc90eb: examples/proc_tour.rs
+
+examples/proc_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-878bbb59703735bf.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-878bbb59703735bf: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sdb_session-e09fcd9d3285afac.d: examples/sdb_session.rs
+
+/root/repo/target/release/examples/sdb_session-e09fcd9d3285afac: examples/sdb_session.rs
+
+examples/sdb_session.rs:

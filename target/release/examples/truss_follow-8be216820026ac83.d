@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/truss_follow-8be216820026ac83.d: examples/truss_follow.rs
+
+/root/repo/target/release/examples/truss_follow-8be216820026ac83: examples/truss_follow.rs
+
+examples/truss_follow.rs:

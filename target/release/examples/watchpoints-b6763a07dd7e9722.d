@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/watchpoints-b6763a07dd7e9722.d: examples/watchpoints.rs
+
+/root/repo/target/release/examples/watchpoints-b6763a07dd7e9722: examples/watchpoints.rs
+
+examples/watchpoints.rs:

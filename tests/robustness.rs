@@ -2,9 +2,9 @@
 //! on adversarial programs, and identical runs must produce identical
 //! event logs.
 
+use bench_support::XorShift;
 use procsim::ksim::{Cred, Event, Pid, System};
 use procsim::tools;
-use proptest::prelude::*;
 
 /// Runs a scripted scenario and returns the full event log.
 fn scenario_log() -> Vec<Event> {
@@ -41,23 +41,25 @@ fn fuzz_program(calls: &[(u16, u64, u64, u64)]) -> String {
     src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Arbitrary syscall numbers and arguments never panic or wedge the
-    /// kernel; the process always terminates (normally or by signal).
-    #[test]
-    fn random_syscalls_cannot_break_the_kernel(
-        calls in proptest::collection::vec(
-            (0u16..120, any::<u32>().prop_map(u64::from),
-             any::<u32>().prop_map(u64::from),
-             0u64..1 << 33),
-            1..6,
-        )
-    ) {
+/// Arbitrary syscall numbers and arguments never panic or wedge the
+/// kernel; the process always terminates (normally or by signal).
+#[test]
+fn random_syscalls_cannot_break_the_kernel() {
+    let mut rng = XorShift::new(0x5ca1ab1e);
+    for _ in 0..8 {
         // exit/fork-family calls are fine too, but avoid unbounded
         // vfork/pause hangs dominating the budget: they are included,
         // the run budget simply bounds them.
+        let calls: Vec<(u16, u64, u64, u64)> = (0..1 + rng.below(5))
+            .map(|_| {
+                (
+                    rng.below(120) as u16,
+                    rng.below(1 << 32),
+                    rng.below(1 << 32),
+                    rng.below(1 << 33),
+                )
+            })
+            .collect();
         let src = fuzz_program(&calls);
         let mut sys: System = tools::boot_demo();
         sys.pump_limit = 10_000;
@@ -68,17 +70,22 @@ proptest! {
         sys.run_idle(4_000);
         // Whatever happened, the process table must still be sane.
         for proc in sys.kernel.procs.values() {
-            prop_assert!(proc.lwps.iter().all(|l| l.tid.0 >= 1));
+            assert!(proc.lwps.iter().all(|l| l.tid.0 >= 1));
         }
         // Force-kill anything left and drain.
         let _ = sys.host_kill(ctl, pid, procsim::ksim::signal::SIGKILL);
         sys.run_idle(4_000);
     }
+}
 
-    /// Arbitrary bytes fed to the hierarchical ctl file are rejected
-    /// cleanly (never panic, never corrupt the target).
-    #[test]
-    fn random_ctl_writes_are_safe(data in proptest::collection::vec(any::<u8>(), 0..96)) {
+/// Arbitrary bytes fed to the hierarchical ctl file are rejected
+/// cleanly (never panic, never corrupt the target).
+#[test]
+fn random_ctl_writes_are_safe() {
+    let mut rng = XorShift::new(0xc71f00d);
+    for _ in 0..8 {
+        let len = rng.below(96) as usize;
+        let data = rng.bytes(len);
         let mut sys: System = tools::boot_demo();
         sys.pump_limit = 10_000;
         let ctl = sys.spawn_hosted("fuzz", Cred::new(100, 10));
@@ -90,18 +97,21 @@ proptest! {
         // The target is still there and still controllable.
         let mut h = tools::ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
         let st = h.stop(&mut sys).expect("stop");
-        prop_assert_ne!(st.flags & procsim::procfs::PR_STOPPED, 0);
+        assert_ne!(st.flags & procsim::procfs::PR_STOPPED, 0);
         h.resume(&mut sys).expect("run");
         h.close(&mut sys).expect("close");
     }
+}
 
-    /// Arbitrary ioctl requests with arbitrary operands on a /proc fd
-    /// fail cleanly or succeed; never panic.
-    #[test]
-    fn random_ioctls_are_safe(
-        req in 0x5000u32..0x5030,
-        arg in proptest::collection::vec(any::<u8>(), 0..48),
-    ) {
+/// Arbitrary ioctl requests with arbitrary operands on a /proc fd
+/// fail cleanly or succeed; never panic.
+#[test]
+fn random_ioctls_are_safe() {
+    let mut rng = XorShift::new(0x10c71);
+    for _ in 0..8 {
+        let req = 0x5000 + rng.below(0x30) as u32;
+        let arg_len = rng.below(48) as usize;
+        let arg = rng.bytes(arg_len);
         let mut sys: System = tools::boot_demo();
         let ctl = sys.spawn_hosted("fuzz", Cred::new(100, 10));
         let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
@@ -113,12 +123,16 @@ proptest! {
         // PIOCKILL with a valid signal — allow both, but no panic).
         let _ = sys.kernel.proc(pid);
     }
+}
 
-    /// Random /proc file offsets read or fail with EIO, never panic; the
-    /// truncation rule holds: a successful read never returns more bytes
-    /// than the valid span.
-    #[test]
-    fn random_offset_proc_reads(off in any::<u32>().prop_map(|v| v as u64)) {
+/// Random /proc file offsets read or fail with EIO, never panic; the
+/// truncation rule holds: a successful read never returns more bytes
+/// than the valid span.
+#[test]
+fn random_offset_proc_reads() {
+    let mut rng = XorShift::new(0x0ff5e7);
+    for _ in 0..8 {
+        let off = rng.below(1 << 32);
         let mut sys: System = tools::boot_demo();
         let ctl = sys.spawn_hosted("fuzz", Cred::new(100, 10));
         let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
@@ -130,9 +144,9 @@ proptest! {
         match sys.host_read(ctl, fd, &mut buf) {
             Ok(n) => {
                 let span = sys.kernel.proc(pid).expect("p").aspace.valid_span(off, 256);
-                prop_assert!(n as u64 <= span.max(1));
+                assert!(n as u64 <= span.max(1));
             }
-            Err(e) => prop_assert_eq!(e, procsim::ksim::Errno::EIO),
+            Err(e) => assert_eq!(e, procsim::ksim::Errno::EIO),
         }
     }
 }
