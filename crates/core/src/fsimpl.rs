@@ -335,13 +335,13 @@ impl FileSystem<Kernel> for ProcFs {
             let mem_gen = k.objects.content_gen;
             let mut cache = self.cache.lock().expect("snap cache poisoned");
             if let Some(bytes) =
-                cache.lookup(pid.0, kind, 0, pr_gen, mem_gen, |b| b.to_vec())
+                cache.lookup(pid.0, kind, 0, pr_gen, mem_gen, 0, |b| b.to_vec())
             {
                 return Ok(IoctlReply::Done(bytes));
             }
             let reply = prioctl(k, cur, pid, req, arg)?;
             if let IoctlReply::Done(bytes) = &reply {
-                cache.insert(pid.0, kind, 0, pr_gen, mem_gen, bytes.clone());
+                cache.insert(pid.0, kind, 0, pr_gen, mem_gen, 0, bytes.clone());
             }
             return Ok(reply);
         }

@@ -191,19 +191,29 @@ impl HierFs {
         tid: Tid,
         f: impl FnOnce(&[u8]) -> R,
     ) -> SysResult<R> {
-        let pr_gen = k.proc(pid)?.pr_gen;
+        let proc = k.proc(pid)?;
+        let pr_gen = proc.pr_gen;
+        // LWP-scoped images are additionally stamped with the LWP's own
+        // generation so sibling and whole-process entries survive a
+        // single thread's mutation.
+        let lwp_gen = match kind {
+            Kind::LwpStatus | Kind::LwpGregs => {
+                proc.lwp(tid).ok_or(Errno::ESRCH)?.lwp_gen
+            }
+            _ => 0,
+        };
         let mem_gen = k.objects.content_gen;
         let code = kind_code(kind);
         let mut cache = self.cache.lock().expect("snap cache poisoned");
         let mut f = Some(f);
-        if let Some(r) =
-            cache.lookup(pid.0, code, tid.0, pr_gen, mem_gen, |b| (f.take().expect("once"))(b))
+        if let Some(r) = cache
+            .lookup(pid.0, code, tid.0, pr_gen, mem_gen, lwp_gen, |b| (f.take().expect("once"))(b))
         {
             return Ok(r);
         }
         let img = Self::file_image(k, pid, kind, tid)?;
         let r = (f.take().expect("once"))(&img);
-        cache.insert(pid.0, code, tid.0, pr_gen, mem_gen, img);
+        cache.insert(pid.0, code, tid.0, pr_gen, mem_gen, lwp_gen, img);
         Ok(r)
     }
 
@@ -378,6 +388,32 @@ impl HierFs {
             Some(t) => proc.lwp(t).ok_or(Errno::ESRCH)?.is_event_stopped(),
             None => proc.is_event_stopped(),
         })
+    }
+
+    /// Validates that `data` frames cleanly as a sequence of
+    /// `[op u32][len u32][payload]` control records covering the buffer
+    /// exactly. Rejects a truncated final header, a payload length that
+    /// overruns the buffer, an absurdly oversized payload, and trailing
+    /// bytes that cannot be a record — all with `EINVAL` and before any
+    /// record executes.
+    fn check_ctl_framing(data: &[u8]) -> SysResult<()> {
+        // No legitimate control record carries more than a register-set
+        // image; anything larger is garbage even if the length field
+        // happens to fit the buffer.
+        const MAX_CTL_PAYLOAD: usize = 4096;
+        let mut pos = 0;
+        while pos < data.len() {
+            if pos + 8 > data.len() {
+                return Err(Errno::EINVAL);
+            }
+            let len = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"))
+                as usize;
+            if len > MAX_CTL_PAYLOAD || pos + 8 + len > data.len() {
+                return Err(Errno::EINVAL);
+            }
+            pos += 8 + len;
+        }
+        Ok(())
     }
 
     fn check_gen(k: &Kernel, pid: Pid, token: OpenToken) -> SysResult<()> {
@@ -692,27 +728,33 @@ impl FileSystem<Kernel> for HierFs {
                 let ctl_tid = (kind == Kind::LwpCtl).then_some(tid);
                 let key = (node.0, token.0);
                 let mut pos = self.ctl_progress.remove(&key).unwrap_or(0);
+                // Validate the framing of the *entire* batch before
+                // executing anything: a truncated header, a length that
+                // overruns the buffer, or trailing garbage that does not
+                // frame as a record rejects the whole write with no side
+                // effects. (Semantic failures inside a well-framed batch
+                // still stop at the offending record, SVR4-style.)
+                Self::check_ctl_framing(&data[pos.min(data.len())..])?;
                 while pos < data.len() {
-                    if pos + 8 > data.len() {
-                        return Err(Errno::EINVAL);
-                    }
                     let op =
                         u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
                     let len =
                         u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"))
                             as usize;
-                    if pos + 8 + len > data.len() {
-                        return Err(Errno::EINVAL);
-                    }
                     let payload = &data[pos + 8..pos + 8 + len];
                     match Self::exec_ctl(k, cur, pid, ctl_tid, op, payload) {
                         Ok(true) => {
                             pos += 8 + len;
                             // The record may have changed state the
                             // kernel primitives did not stamp (trace
-                            // sets, registers, flags).
+                            // sets, registers, flags). An LWP-scoped
+                            // record stamps only its own LWP, so sibling
+                            // and whole-process snapshots stay cached.
                             if let Ok(p) = k.proc_mut(pid) {
-                                p.touch();
+                                match ctl_tid {
+                                    Some(t) => p.touch_lwp(t),
+                                    None => p.touch(),
+                                }
                             }
                         }
                         Ok(false) => {

@@ -92,6 +92,13 @@ pub const PIOCNICE: u32 = 0x5025;
 /// system layer, not `prioctl`: the cache lives above the kernel.
 pub const PIOCCACHESTATS: u32 = 0x5026;
 
+/// Get remote-wire traffic/fault/recovery counters (`WireStats`).
+/// Answered locally by the [`vfs::remote::RemoteFs`] client shim — the
+/// counters live on the near side of the wire, so the request never
+/// crosses it. Re-exported here so flat tooling can name it alongside
+/// the other `PIOC*` requests.
+pub use vfs::remote::PIOCWIRESTATS;
+
 /// True if the request modifies process state or behaviour and therefore
 /// requires a descriptor open for writing. "The former are regarded as
 /// 'read/write' operations and the latter as 'read-only.'"
@@ -383,6 +390,7 @@ pub fn req_name(req: u32) -> &'static str {
         PIOCUSAGE => "PIOCUSAGE",
         PIOCNICE => "PIOCNICE",
         PIOCCACHESTATS => "PIOCCACHESTATS",
+        PIOCWIRESTATS => "PIOCWIRESTATS",
         _ => "PIOC???",
     }
 }

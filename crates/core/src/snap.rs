@@ -47,6 +47,7 @@ pub enum DirSlot {
 struct Entry {
     pr_gen: u64,
     mem_gen: u64,
+    lwp_gen: u64,
     bytes: Vec<u8>,
 }
 
@@ -72,10 +73,22 @@ fn mem_dependent(kind: u8) -> bool {
     matches!(kind, 2 | 3 | 6 | 8 | 11)
 }
 
+/// True if the image is scoped to a single LWP (`lwp/<tid>/status`,
+/// `lwp/<tid>/gregs`) and must therefore also be validated against that
+/// LWP's own generation stamp. LWP-scoped mutations bump only the
+/// per-LWP stamp (plus `pr_gen` when the LWP is the representative one),
+/// so mutating one thread leaves its siblings' entries — and the
+/// whole-process entries — valid.
+fn lwp_dependent(kind: u8) -> bool {
+    // Kind codes: 11 lwp status, 13 lwp gregs.
+    matches!(kind, 11 | 13)
+}
+
 impl SnapCache {
     /// Looks up a cached image; on a hit, runs `f` over the bytes.
-    /// `pr_gen` and `mem_gen` are the *current* stamps; a stale entry is
-    /// counted as an invalidation and removed.
+    /// `pr_gen`, `mem_gen` and `lwp_gen` are the *current* stamps (pass
+    /// `lwp_gen` 0 for non-LWP kinds, where it is ignored); a stale
+    /// entry is counted as an invalidation and removed.
     pub fn lookup<R>(
         &mut self,
         pid: u32,
@@ -83,11 +96,16 @@ impl SnapCache {
         tid: u32,
         pr_gen: u64,
         mem_gen: u64,
+        lwp_gen: u64,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Option<R> {
         let key = (pid, kind, tid);
         match self.entries.get(&key) {
-            Some(e) if e.pr_gen == pr_gen && (!mem_dependent(kind) || e.mem_gen == mem_gen) => {
+            Some(e)
+                if e.pr_gen == pr_gen
+                    && (!mem_dependent(kind) || e.mem_gen == mem_gen)
+                    && (!lwp_dependent(kind) || e.lwp_gen == lwp_gen) =>
+            {
                 self.hits += 1;
                 Some(f(&e.bytes))
             }
@@ -104,8 +122,18 @@ impl SnapCache {
     }
 
     /// Stores a freshly rendered image under the given stamps.
-    pub fn insert(&mut self, pid: u32, kind: u8, tid: u32, pr_gen: u64, mem_gen: u64, bytes: Vec<u8>) {
-        self.entries.insert((pid, kind, tid), Entry { pr_gen, mem_gen, bytes });
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &mut self,
+        pid: u32,
+        kind: u8,
+        tid: u32,
+        pr_gen: u64,
+        mem_gen: u64,
+        lwp_gen: u64,
+        bytes: Vec<u8>,
+    ) {
+        self.entries.insert((pid, kind, tid), Entry { pr_gen, mem_gen, lwp_gen, bytes });
     }
 
     /// Drops every entry for a pid (the process is gone; pids are never
@@ -168,11 +196,11 @@ mod tests {
     #[test]
     fn hit_miss_invalidate_accounting() {
         let mut c = SnapCache::default();
-        assert!(c.lookup(1, 3, 0, 7, 0, |b| b.to_vec()).is_none());
-        c.insert(1, 3, 0, 7, 0, vec![0xAA]);
-        assert_eq!(c.lookup(1, 3, 0, 7, 0, |b| b.to_vec()), Some(vec![0xAA]));
+        assert!(c.lookup(1, 3, 0, 7, 0, 0, |b| b.to_vec()).is_none());
+        c.insert(1, 3, 0, 7, 0, 0, vec![0xAA]);
+        assert_eq!(c.lookup(1, 3, 0, 7, 0, 0, |b| b.to_vec()), Some(vec![0xAA]));
         // A moved pr_gen invalidates.
-        assert!(c.lookup(1, 3, 0, 8, 0, |b| b.to_vec()).is_none());
+        assert!(c.lookup(1, 3, 0, 8, 0, 0, |b| b.to_vec()).is_none());
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.invalidations), (1, 1, 1));
         assert_eq!(s.entries, 0);
@@ -182,11 +210,28 @@ mod tests {
     fn mem_gen_only_guards_memory_kinds() {
         let mut c = SnapCache::default();
         // Cred (kind 7) ignores the content generation...
-        c.insert(1, 7, 0, 1, 10, vec![1]);
-        assert!(c.lookup(1, 7, 0, 1, 99, |_| ()).is_some());
+        c.insert(1, 7, 0, 1, 10, 0, vec![1]);
+        assert!(c.lookup(1, 7, 0, 1, 99, 0, |_| ()).is_some());
         // ...but psinfo (kind 3) does not.
-        c.insert(1, 3, 0, 1, 10, vec![2]);
-        assert!(c.lookup(1, 3, 0, 1, 99, |_| ()).is_none());
+        c.insert(1, 3, 0, 1, 10, 0, vec![2]);
+        assert!(c.lookup(1, 3, 0, 1, 99, 0, |_| ()).is_none());
+    }
+
+    #[test]
+    fn lwp_gen_only_guards_lwp_kinds() {
+        let mut c = SnapCache::default();
+        // A whole-process image (kind 2, status) ignores lwp_gen...
+        c.insert(1, 2, 0, 1, 1, 0, vec![1]);
+        assert!(c.lookup(1, 2, 0, 1, 1, 42, |_| ()).is_some());
+        // ...but an LWP gregs image (kind 13) is pinned to its stamp...
+        c.insert(1, 13, 2, 1, 1, 5, vec![2]);
+        assert!(c.lookup(1, 13, 2, 1, 1, 5, |_| ()).is_some());
+        assert!(c.lookup(1, 13, 2, 1, 1, 6, |_| ()).is_none());
+        // ...and an LWP status image (kind 11) checks all three stamps.
+        c.insert(1, 11, 2, 1, 1, 5, vec![3]);
+        assert!(c.lookup(1, 11, 2, 2, 1, 5, |_| ()).is_none());
+        c.insert(1, 11, 2, 1, 1, 5, vec![3]);
+        assert!(c.lookup(1, 11, 2, 1, 1, 6, |_| ()).is_none());
     }
 
     #[test]
@@ -203,9 +248,9 @@ mod tests {
     #[test]
     fn pid_pruning() {
         let mut c = SnapCache::default();
-        c.insert(1, 3, 0, 0, 0, vec![]);
-        c.insert(2, 3, 0, 0, 0, vec![]);
-        c.insert(2, 2, 0, 0, 0, vec![]);
+        c.insert(1, 3, 0, 0, 0, 0, vec![]);
+        c.insert(2, 3, 0, 0, 0, 0, vec![]);
+        c.insert(2, 2, 0, 0, 0, 0, vec![]);
         c.retain_pids(|p| p == 1);
         assert_eq!(c.stats().entries, 1);
         c.drop_pid(1);

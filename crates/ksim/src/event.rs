@@ -128,6 +128,16 @@ impl EventLog {
         self.dropped = 0;
     }
 
+    /// Convenience: how many times `sig` was posted to `pid`. The
+    /// remote-wire oracle counts these to prove that a control message
+    /// retried across a lossy network still took effect exactly once.
+    pub fn sig_posts_of(&self, pid: Pid, sig: usize) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::SigPost { pid: p, sig: s } if *p == pid && *s == sig))
+            .count()
+    }
+
     /// Convenience: the stops recorded for `pid`, in order.
     pub fn stops_of(&self, pid: Pid) -> Vec<StopWhy> {
         self.events

@@ -187,6 +187,12 @@ pub struct Lwp {
     pub sleep_interrupted: bool,
     /// Instructions retired by this LWP.
     pub insns: u64,
+    /// Per-LWP generation stamp, bumped whenever this LWP's externally
+    /// visible state changes. LWP-scoped `/proc` images (`lwp/<tid>/
+    /// status`, `gregs`) are cached against this stamp instead of the
+    /// whole-process `pr_gen`, so mutating one thread does not evict its
+    /// siblings' snapshots.
+    pub lwp_gen: u64,
 }
 
 impl Lwp {
@@ -210,6 +216,7 @@ impl Lwp {
             user_return_pending: false,
             sleep_interrupted: false,
             insns: 0,
+            lwp_gen: 0,
         }
     }
 
@@ -369,6 +376,20 @@ impl Proc {
     #[inline]
     pub fn touch(&mut self) {
         self.pr_gen = self.pr_gen.wrapping_add(1);
+    }
+
+    /// Marks one LWP's state as changed. The process-wide `pr_gen` is
+    /// only bumped when the mutated LWP is the representative one, since
+    /// that is the only LWP the whole-process images render; a mutation
+    /// scoped to any other LWP leaves process-level snapshots valid.
+    pub fn touch_lwp(&mut self, tid: Tid) {
+        let rep = self.rep_lwp().tid;
+        if let Some(l) = self.lwp_mut(tid) {
+            l.lwp_gen = l.lwp_gen.wrapping_add(1);
+        }
+        if tid == rep {
+            self.touch();
+        }
     }
 
     /// Finds an LWP by id.

@@ -211,6 +211,16 @@ impl ProcHandle {
         Ok(())
     }
 
+    /// `PIOCWIRESTATS`: the wire-layer transport counters, when the
+    /// descriptor's `/proc` is mounted behind a [`vfs::remote::RemoteFs`].
+    /// Answered by the client stub without crossing the wire, so it works
+    /// even when the network is down; over a local mount it fails with
+    /// the mount's unknown-ioctl errno.
+    pub fn wire_stats(&mut self, sys: &mut System) -> SysResult<vfs::remote::WireStats> {
+        let out = self.ioctl(sys, vfs::remote::PIOCWIRESTATS, &[])?;
+        vfs::remote::WireStats::from_bytes(&out).ok_or(Errno::EIO)
+    }
+
     /// `PIOCOPENM`: open the object mapped at `vaddr`, returning a plain
     /// descriptor in the controller's table.
     pub fn open_mapped(&mut self, sys: &mut System, vaddr: u64) -> SysResult<usize> {

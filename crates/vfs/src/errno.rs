@@ -75,6 +75,9 @@ pub enum Errno {
     ENOTSUP = 48,
     /// Function not implemented (unknown system call number).
     ENOSYS = 89,
+    /// Connection timed out (a remote `/proc` operation exhausted its
+    /// retry budget without a usable reply).
+    ETIMEDOUT = 145,
 }
 
 impl Errno {
@@ -114,6 +117,7 @@ impl Errno {
             ENOTEMPTY => "ENOTEMPTY",
             ENOTSUP => "ENOTSUP",
             ENOSYS => "ENOSYS",
+            ETIMEDOUT => "ETIMEDOUT",
         }
     }
 
@@ -153,6 +157,7 @@ impl Errno {
             93 => ENOTEMPTY,
             48 => ENOTSUP,
             89 => ENOSYS,
+            145 => ETIMEDOUT,
             _ => return None,
         })
     }
@@ -188,6 +193,7 @@ mod tests {
             Errno::ENOTTY,
             Errno::EDEADLK,
             Errno::ENOSYS,
+            Errno::ETIMEDOUT,
         ] {
             assert_eq!(Errno::from_i32(e as i32), Some(e));
         }

@@ -1,4 +1,4 @@
-//! An RFS-like remote-access shim.
+//! An RFS-like remote-access shim with a lossy, recoverable wire.
 //!
 //! "The SVR4 implementation of /proc works correctly with Remote File
 //! Sharing (RFS). With appropriate permission it is possible to inspect,
@@ -12,33 +12,356 @@
 //!
 //! [`RemoteFs`] wraps any [`FileSystem`] and simulates a client/server
 //! split: every operation is marshalled into a request byte image, the
-//! image is parsed back (the "server"), the inner file system executes
-//! the call, and the result is marshalled into a response image and
-//! parsed again (the "client"). Byte and operation counts accumulate in
+//! image crosses a (possibly faulty) wire, the server parses it and
+//! executes the call against the inner file system, and the result
+//! crosses back the same way. Byte and operation counts accumulate in
 //! [`WireStats`], giving experiment E5 its data.
 //!
-//! The crucial asymmetry: `read`, `write`, `lookup` and friends marshal
-//! *generically* — their operand sizes and directions are manifest in the
-//! call. `ioctl` cannot be marshalled without a per-request table of
-//! operand sizes and directions ([`IoctlWireSpec`]); any request missing
-//! from the table is refused with `ENOTSUP` and counted.
+//! Real process-control traffic must survive a network that corrupts,
+//! loses, duplicates and delays messages, so the wire layer is built
+//! from explicit state rather than hope:
+//!
+//! * every image is framed with a magic, a sequence number, a length and
+//!   a CRC-32 ([`encode_frame`]/[`decode_frame`]); damaged frames are
+//!   rejected with a distinct [`WireError`], never misparsed;
+//! * a seeded, replayable [`FaultPlan`] injects drops, truncations,
+//!   bit-flips, duplications and delays at configured per-mille rates —
+//!   the same seed always yields the same fault schedule;
+//! * a client-side retry engine resends until a usable reply arrives,
+//!   with capped exponential backoff and a bounded time budget; an
+//!   exhausted budget degrades to [`Errno::ETIMEDOUT`], never a panic or
+//!   a silently wrong reply;
+//! * operations are classified by idempotency ([`OpClass`]): pure reads
+//!   retry freely, while mutating operations (`open`, `close`, `write`,
+//!   `ioctl`) carry their sequence number into a server-side dedup
+//!   window so a retried request is applied exactly once.
+//!
+//! The crucial asymmetry from the paper survives intact: `read`,
+//! `write`, `lookup` and friends marshal *generically* — their operand
+//! sizes and directions are manifest in the call. `ioctl` cannot be
+//! marshalled without a per-request table of operand sizes and
+//! directions ([`IoctlWireSpec`]); any request missing from the table is
+//! refused with `ENOTSUP` and counted.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::cred::Cred;
 use crate::errno::{Errno, SysResult};
 use crate::fs::{FileSystem, IoReply, IoctlReply, OFlags, OpenToken, PollStatus};
 use crate::node::{DirEntry, Metadata, NodeId, Pid, VnodeKind};
+use std::collections::VecDeque;
 
-/// Traffic counters for the simulated wire.
+/// Introspection ioctl answered by [`RemoteFs`] itself (never crossing
+/// the wire): returns the [`WireStats`] image. Numbered after the
+/// `PIOC*` family so the flat tooling can issue it on any remote-mounted
+/// descriptor, mirroring `PIOCCACHESTATS`.
+pub const PIOCWIRESTATS: u32 = 0x5030;
+
+/// Traffic, fault and recovery counters for the simulated wire.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WireStats {
     /// Remote operations performed.
     pub ops: u64,
-    /// Request bytes sent client to server.
+    /// Request bytes sent client to server (framed, including retries).
     pub bytes_sent: u64,
-    /// Response bytes sent server to client.
+    /// Response bytes sent server to client (framed).
     pub bytes_received: u64,
     /// ioctl requests refused because no wire specification exists.
     pub unsupported_ioctls: u64,
+    /// Request frames transmitted (one per attempt).
+    pub frames_sent: u64,
+    /// Frames the network dropped.
+    pub drops: u64,
+    /// Frames the network truncated.
+    pub truncations: u64,
+    /// Frames the network bit-flipped.
+    pub bitflips: u64,
+    /// Frames the network duplicated.
+    pub duplicates: u64,
+    /// Frames delivered too late to be useful.
+    pub delays: u64,
+    /// Damaged frames rejected by the length/CRC check (either side).
+    pub checksum_rejects: u64,
+    /// Attempts beyond the first (client resends).
+    pub retries: u64,
+    /// Re-executed sequenced requests answered from the dedup window.
+    pub dedup_hits: u64,
+    /// Operations that exhausted their retry budget (`ETIMEDOUT`).
+    pub timeouts: u64,
+}
+
+impl WireStats {
+    /// Encoded length of the wire image.
+    pub const WIRE_LEN: usize = 14 * 8;
+
+    /// Serialises, `PIOCWIRESTATS`'s reply format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(Self::WIRE_LEN);
+        for v in [
+            self.ops,
+            self.bytes_sent,
+            self.bytes_received,
+            self.unsupported_ioctls,
+            self.frames_sent,
+            self.drops,
+            self.truncations,
+            self.bitflips,
+            self.duplicates,
+            self.delays,
+            self.checksum_rejects,
+            self.retries,
+            self.dedup_hits,
+            self.timeouts,
+        ] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        b
+    }
+
+    /// Deserialises a `PIOCWIRESTATS` reply.
+    pub fn from_bytes(b: &[u8]) -> Option<WireStats> {
+        if b.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let at = |o: usize| {
+            b.get(o..o + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+                .unwrap_or(0)
+        };
+        Some(WireStats {
+            ops: at(0),
+            bytes_sent: at(8),
+            bytes_received: at(16),
+            unsupported_ioctls: at(24),
+            frames_sent: at(32),
+            drops: at(40),
+            truncations: at(48),
+            bitflips: at(56),
+            duplicates: at(64),
+            delays: at(72),
+            checksum_rejects: at(80),
+            retries: at(88),
+            dedup_hits: at(96),
+            timeouts: at(104),
+        })
+    }
+
+    /// Total frames the fault plan perturbed in any way.
+    pub fn faults_injected(&self) -> u64 {
+        self.drops + self.truncations + self.bitflips + self.duplicates + self.delays
+    }
+}
+
+/// How a frame failed validation. Distinct from an [`Errno`] so tests
+/// can tell "the wire rejected a damaged image" apart from "the server
+/// refused the operation"; at the system-call boundary every wire error
+/// degrades to `EIO`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame is shorter than its header claims.
+    Truncated,
+    /// The magic or CRC does not match (bit damage).
+    Corrupt,
+    /// The frame validated but its contents don't parse.
+    Malformed,
+}
+
+impl From<WireError> for Errno {
+    fn from(_: WireError) -> Errno {
+        Errno::EIO
+    }
+}
+
+/// Per-mille probabilities for each fault class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultRates {
+    /// Frame silently discarded.
+    pub drop: u16,
+    /// Frame cut short at a random point.
+    pub truncate: u16,
+    /// One random bit inverted.
+    pub bitflip: u16,
+    /// Frame delivered twice.
+    pub duplicate: u16,
+    /// Frame delivered after the client has given up waiting.
+    pub delay: u16,
+}
+
+impl FaultRates {
+    /// The same per-mille rate for every fault class.
+    pub fn uniform(permille: u16) -> FaultRates {
+        FaultRates {
+            drop: permille,
+            truncate: permille,
+            bitflip: permille,
+            duplicate: permille,
+            delay: permille,
+        }
+    }
+}
+
+/// A deterministic, replayable fault schedule: an xorshift64* stream
+/// seeded once, consumed in a fixed order per frame. Re-running the same
+/// operation sequence under the same seed reproduces every fault.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    state: u64,
+    rates: FaultRates,
+}
+
+/// One frame as the network delivered it.
+struct Delivery {
+    bytes: Vec<u8>,
+    /// Delivered after the client stopped waiting (the effect of a delay
+    /// fault: the work happens, the reply is wasted).
+    late: bool,
+}
+
+impl FaultPlan {
+    /// A plan from a seed and per-fault rates (zero seed is remapped:
+    /// xorshift has an all-zero fixed point).
+    pub fn new(seed: u64, rates: FaultRates) -> FaultPlan {
+        FaultPlan { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed }, rates }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn roll(&mut self, permille: u16) -> bool {
+        permille > 0 && self.next() % 1000 < u64::from(permille)
+    }
+
+    /// Applies the schedule to one outbound frame, returning what the
+    /// network actually delivers (possibly nothing, possibly twice).
+    fn perturb(&mut self, frame: Vec<u8>, stats: &mut WireStats) -> Vec<Delivery> {
+        if self.roll(self.rates.drop) {
+            stats.drops += 1;
+            return Vec::new();
+        }
+        let copies = if self.roll(self.rates.duplicate) {
+            stats.duplicates += 1;
+            2
+        } else {
+            1
+        };
+        let mut out = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            let mut bytes = frame.clone();
+            if self.roll(self.rates.truncate) && !bytes.is_empty() {
+                stats.truncations += 1;
+                let keep = (self.next() as usize) % bytes.len();
+                bytes.truncate(keep);
+            }
+            if self.roll(self.rates.bitflip) && !bytes.is_empty() {
+                stats.bitflips += 1;
+                let bit = (self.next() as usize) % (bytes.len() * 8);
+                if let Some(byte) = bytes.get_mut(bit / 8) {
+                    *byte ^= 1 << (bit % 8);
+                }
+            }
+            let late = self.roll(self.rates.delay);
+            if late {
+                stats.delays += 1;
+            }
+            out.push(Delivery { bytes, late });
+        }
+        out
+    }
+}
+
+/// Client retry discipline: how often and for how long to resend before
+/// degrading to `ETIMEDOUT`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts before giving up (first send included).
+    pub max_attempts: u32,
+    /// Upper bound on the per-attempt backoff, in abstract ticks.
+    pub backoff_cap: u64,
+    /// Total backoff ticks the operation may consume.
+    pub budget: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 8, backoff_cap: 64, budget: 256 }
+    }
+}
+
+/// Idempotency class of one wire operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpClass {
+    /// Safe to execute any number of times (lookup, getattr, readdir,
+    /// read, poll): the client retries freely.
+    Idempotent,
+    /// Carries side effects (open, close, write, ioctl): the sequence
+    /// number enters the server's dedup window so a retried request is
+    /// executed exactly once and re-answered from the cached response.
+    Sequenced,
+}
+
+/// Responses remembered per sequence number for exactly-once execution.
+const DEDUP_WINDOW: usize = 128;
+
+/// Frame magic ("/proc wire").
+const FRAME_MAGIC: u32 = 0x70F5_57E1;
+/// Frame header: magic + seq + body length + CRC-32.
+const FRAME_HEADER: usize = 4 + 8 + 4 + 4;
+
+/// CRC-32 (IEEE 802.3 polynomial, bitwise): guarantees detection of any
+/// single-bit flip and any burst up to 32 bits.
+fn crc32(seed: u32, data: &[u8]) -> u32 {
+    let mut crc = !seed;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+        }
+    }
+    !crc
+}
+
+fn frame_crc(seq: u64, body: &[u8]) -> u32 {
+    let crc = crc32(0, &seq.to_le_bytes());
+    let crc = crc32(crc, &(body.len() as u32).to_le_bytes());
+    crc32(crc, body)
+}
+
+/// Frames a message body: `[magic][seq][len][crc][body]`.
+fn encode_frame(seq: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + body.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_crc(seq, body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Validates and unframes a delivered image. Any damage is reported as a
+/// [`WireError`]; nothing is ever parsed out of a damaged frame.
+fn decode_frame(data: &[u8]) -> Result<(u64, Vec<u8>), WireError> {
+    let mut r = WireReader::new(data);
+    let magic = r.u32().map_err(|_| WireError::Truncated)?;
+    if magic != FRAME_MAGIC {
+        return Err(WireError::Corrupt);
+    }
+    let seq = r.u64().map_err(|_| WireError::Truncated)?;
+    let len = r.u32().map_err(|_| WireError::Truncated)? as usize;
+    let crc = r.u32().map_err(|_| WireError::Truncated)?;
+    if data.len() != FRAME_HEADER + len {
+        return Err(WireError::Truncated);
+    }
+    let body = &data[FRAME_HEADER..];
+    if frame_crc(seq, body) != crc {
+        return Err(WireError::Corrupt);
+    }
+    Ok((seq, body.to_vec()))
 }
 
 /// Wire shape of one ioctl request: how many bytes go in and (at most)
@@ -55,18 +378,33 @@ pub struct IoctlWireSpec {
 /// Table resolving an ioctl request number to its wire shape.
 pub type IoctlTable = Box<dyn Fn(u32) -> Option<IoctlWireSpec> + Send>;
 
-/// A file system accessed across a simulated wire.
+/// A file system accessed across a simulated (and possibly lossy) wire.
 pub struct RemoteFs<K> {
     inner: Box<dyn FileSystem<K> + Send>,
     ioctl_table: Option<IoctlTable>,
+    fault: Option<FaultPlan>,
+    retry: RetryPolicy,
+    /// Next request sequence number.
+    next_seq: u64,
+    /// Server-side dedup window: `(seq, cached response body)`.
+    dedup: VecDeque<(u64, Vec<u8>)>,
     /// Accumulated traffic counters.
     pub stats: WireStats,
 }
 
 impl<K> RemoteFs<K> {
-    /// Wraps `inner`. Without an ioctl table, every ioctl is refused.
+    /// Wraps `inner` over a perfect wire. Without an ioctl table, every
+    /// ioctl is refused.
     pub fn new(inner: Box<dyn FileSystem<K> + Send>) -> RemoteFs<K> {
-        RemoteFs { inner, ioctl_table: None, stats: WireStats::default() }
+        RemoteFs {
+            inner,
+            ioctl_table: None,
+            fault: None,
+            retry: RetryPolicy::default(),
+            next_seq: 1,
+            dedup: VecDeque::new(),
+            stats: WireStats::default(),
+        }
     }
 
     /// Supplies the per-request ioctl wire table.
@@ -75,37 +413,162 @@ impl<K> RemoteFs<K> {
         self
     }
 
+    /// Makes the wire lossy under a deterministic fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> RemoteFs<K> {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Overrides the client retry discipline.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> RemoteFs<K> {
+        self.retry = policy;
+        self
+    }
+
     /// Resets the traffic counters.
     pub fn reset_stats(&mut self) {
         self.stats = WireStats::default();
     }
 
-    /// Sends a request image and returns it as the server would parse it.
-    fn send(&mut self, req: Wire) -> Wire {
+    /// Performs one remote operation end to end: frame and send the
+    /// request, survive the network, execute on the server (through the
+    /// dedup window for sequenced ops), frame and return the reply,
+    /// retrying with capped exponential backoff until a usable reply
+    /// arrives or the budget is gone. Returns the server's response body
+    /// (already status-stripped) or a clean errno.
+    fn transact(
+        &mut self,
+        k: &mut K,
+        class: OpClass,
+        req_body: &[u8],
+        mut server: impl FnMut(
+            &mut (dyn FileSystem<K> + Send),
+            &mut K,
+            &mut WireReader<'_>,
+        ) -> SysResult<Wire>,
+    ) -> SysResult<Vec<u8>> {
         self.stats.ops += 1;
-        self.stats.bytes_sent += req.0.len() as u64;
-        // The image crosses the "wire" by being re-parsed from its bytes.
-        Wire(req.0)
-    }
-
-    /// Sends a response image back.
-    fn respond(&mut self, resp: Wire) -> Wire {
-        self.stats.bytes_received += resp.0.len() as u64;
-        Wire(resp.0)
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let mut backoff: u64 = 1;
+        let mut budget = self.retry.budget;
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            let frame = encode_frame(seq, req_body);
+            self.stats.frames_sent += 1;
+            self.stats.bytes_sent += frame.len() as u64;
+            let deliveries = match self.fault.as_mut() {
+                Some(plan) => plan.perturb(frame, &mut self.stats),
+                None => vec![Delivery { bytes: frame, late: false }],
+            };
+            let mut reply: Option<Vec<u8>> = None;
+            for d in deliveries {
+                // ---- server side: validate, dedup, execute ----
+                let (rseq, rbody) = match decode_frame(&d.bytes) {
+                    Ok(x) => x,
+                    Err(_) => {
+                        self.stats.checksum_rejects += 1;
+                        continue;
+                    }
+                };
+                let cached = (class == OpClass::Sequenced)
+                    .then(|| self.dedup.iter().find(|(s, _)| *s == rseq).map(|(_, b)| b.clone()))
+                    .flatten();
+                let resp_body = match cached {
+                    Some(body) => {
+                        self.stats.dedup_hits += 1;
+                        body
+                    }
+                    None => {
+                        let mut r = WireReader::new(&rbody);
+                        let body = match server(&mut *self.inner, k, &mut r) {
+                            Ok(w) => {
+                                let mut b = vec![0u8];
+                                b.extend_from_slice(&w.0);
+                                b
+                            }
+                            Err(e) => {
+                                let mut b = vec![1u8];
+                                b.extend_from_slice(&(e as u32).to_le_bytes());
+                                b
+                            }
+                        };
+                        if class == OpClass::Sequenced {
+                            self.dedup.push_back((rseq, body.clone()));
+                            if self.dedup.len() > DEDUP_WINDOW {
+                                self.dedup.pop_front();
+                            }
+                        }
+                        body
+                    }
+                };
+                // ---- response crosses back ----
+                let resp_frame = encode_frame(rseq, &resp_body);
+                self.stats.bytes_received += resp_frame.len() as u64;
+                let responses = match self.fault.as_mut() {
+                    Some(plan) => plan.perturb(resp_frame, &mut self.stats),
+                    None => vec![Delivery { bytes: resp_frame, late: false }],
+                };
+                for rd in responses {
+                    if d.late || rd.late {
+                        // The work happened, but the reply missed the
+                        // client's patience window; the retry path (and
+                        // the dedup window) must absorb it.
+                        continue;
+                    }
+                    match decode_frame(&rd.bytes) {
+                        Ok((s, b)) if s == seq => {
+                            reply.get_or_insert(b);
+                        }
+                        Ok(_) => {} // stale sequence: discarded
+                        Err(_) => self.stats.checksum_rejects += 1,
+                    }
+                }
+            }
+            if let Some(body) = reply {
+                return match body.split_first() {
+                    Some((0, rest)) => Ok(rest.to_vec()),
+                    Some((1, rest)) => {
+                        let mut r = WireReader::new(rest);
+                        let code = r.u32().map_err(Errno::from)? as i32;
+                        Err(Errno::from_i32(code).unwrap_or(Errno::EIO))
+                    }
+                    _ => Err(Errno::EIO),
+                };
+            }
+            // No usable reply this attempt: back off, then resend.
+            if budget < backoff {
+                break;
+            }
+            budget -= backoff;
+            backoff = (backoff * 2).min(self.retry.backoff_cap.max(1));
+        }
+        self.stats.timeouts += 1;
+        Err(Errno::ETIMEDOUT)
     }
 }
 
-/// A marshalled message: just bytes, with cursor-based read-back.
+/// A marshalled message body: just bytes, with cursor-based read-back.
 struct Wire(Vec<u8>);
 
+/// Fallible cursor over a received message. Every accessor reports
+/// [`WireError::Truncated`] instead of panicking: recovery paths must
+/// not hide panics.
 struct WireReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
+type WireResult<T> = Result<T, WireError>;
+
 impl Wire {
     fn new(op: u8) -> Wire {
         Wire(vec![op])
+    }
+    fn empty() -> Wire {
+        Wire(Vec::new())
     }
     fn u32(mut self, v: u32) -> Wire {
         self.0.extend_from_slice(&v.to_le_bytes());
@@ -125,38 +588,36 @@ impl Wire {
         self.0.extend_from_slice(b);
         self
     }
-    fn reader(&self) -> WireReader<'_> {
-        WireReader { buf: &self.0, pos: 0 }
-    }
 }
 
-impl WireReader<'_> {
-    fn u8(&mut self) -> u8 {
-        let v = self.buf[self.pos];
-        self.pos += 1;
-        v
+impl<'a> WireReader<'a> {
+    fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
     }
-    fn u32(&mut self) -> u32 {
-        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4 bytes"));
-        self.pos += 4;
-        v
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(s)
     }
-    fn u64(&mut self) -> u64 {
-        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("8 bytes"));
-        self.pos += 8;
-        v
+    fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
     }
-    fn str(&mut self) -> String {
-        let n = self.u32() as usize;
-        let s = String::from_utf8_lossy(&self.buf[self.pos..self.pos + n]).into_owned();
-        self.pos += n;
-        s
+    fn u32(&mut self) -> WireResult<u32> {
+        let s = self.take(4)?;
+        s.try_into().map(u32::from_le_bytes).map_err(|_| WireError::Truncated)
     }
-    fn bytes(&mut self) -> Vec<u8> {
-        let n = self.u32() as usize;
-        let b = self.buf[self.pos..self.pos + n].to_vec();
-        self.pos += n;
-        b
+    fn u64(&mut self) -> WireResult<u64> {
+        let s = self.take(8)?;
+        s.try_into().map(u64::from_le_bytes).map_err(|_| WireError::Truncated)
+    }
+    fn str(&mut self) -> WireResult<String> {
+        let n = self.u32()? as usize;
+        Ok(String::from_utf8_lossy(self.take(n)?).into_owned())
+    }
+    fn bytes(&mut self) -> WireResult<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
     }
 }
 
@@ -169,12 +630,15 @@ fn cred_wire(w: Wire, c: &Cred) -> Wire {
     w
 }
 
-fn cred_unwire(r: &mut WireReader<'_>) -> Cred {
+fn cred_unwire(r: &mut WireReader<'_>) -> WireResult<Cred> {
     let (ruid, euid, suid, rgid, egid, sgid) =
-        (r.u32(), r.u32(), r.u32(), r.u32(), r.u32(), r.u32());
-    let n = r.u32();
-    let groups = (0..n).map(|_| r.u32()).collect();
-    Cred { ruid, euid, suid, rgid, egid, sgid, groups }
+        (r.u32()?, r.u32()?, r.u32()?, r.u32()?, r.u32()?, r.u32()?);
+    let n = r.u32()?;
+    let mut groups = Vec::with_capacity(n.min(64) as usize);
+    for _ in 0..n {
+        groups.push(r.u32()?);
+    }
+    Ok(Cred { ruid, euid, suid, rgid, egid, sgid, groups })
 }
 
 const OP_LOOKUP: u8 = 1;
@@ -187,26 +651,14 @@ const OP_WRITE: u8 = 7;
 const OP_IOCTL: u8 = 8;
 const OP_POLL: u8 = 9;
 
-fn result_wire(status: SysResult<Wire>) -> Wire {
-    match status {
-        Ok(body) => {
-            let mut w = Wire::new(0);
-            w.0.extend_from_slice(&body.0);
-            w
-        }
-        Err(e) => Wire::new(1).u32(e as u32),
+/// Server-side dispatch guard: the op byte must match the handler the
+/// request was routed to (a validated frame with a foreign op byte can
+/// only mean a marshalling bug, not wire damage).
+fn expect_op(r: &mut WireReader<'_>, op: u8) -> WireResult<()> {
+    if r.u8()? != op {
+        return Err(WireError::Malformed);
     }
-}
-
-fn result_unwire(w: &Wire) -> SysResult<WireReader<'_>> {
-    let mut r = w.reader();
-    match r.u8() {
-        0 => Ok(r),
-        _ => {
-            let code = r.u32() as i32;
-            Err(Errno::from_i32(code).unwrap_or(Errno::EIO))
-        }
-    }
+    Ok(())
 }
 
 impl<K> FileSystem<K> for RemoteFs<K> {
@@ -219,72 +671,81 @@ impl<K> FileSystem<K> for RemoteFs<K> {
     }
 
     fn lookup(&mut self, k: &mut K, cur: Pid, dir: NodeId, name: &str) -> SysResult<NodeId> {
-        let req = self.send(Wire::new(OP_LOOKUP).u32(cur.0).u64(dir.0).str(name));
-        // Server side: parse and execute.
-        let mut r = req.reader();
-        let _op = r.u8();
-        let (cur, dir, name) = (Pid(r.u32()), NodeId(r.u64()), r.str());
-        let result = self.inner.lookup(k, cur, dir, &name);
-        let resp = self.respond(result_wire(result.map(|n| Wire(n.0.to_le_bytes().to_vec()))));
-        let mut rr = result_unwire(&resp)?;
-        Ok(NodeId(rr.u64()))
+        let req = Wire::new(OP_LOOKUP).u32(cur.0).u64(dir.0).str(name);
+        let resp = self.transact(k, OpClass::Idempotent, &req.0, |inner, k, r| {
+            expect_op(r, OP_LOOKUP)?;
+            let (cur, dir, name) = (Pid(r.u32()?), NodeId(r.u64()?), r.str()?);
+            inner.lookup(k, cur, dir, &name).map(|n| Wire::empty().u64(n.0))
+        })?;
+        let mut rr = WireReader::new(&resp);
+        Ok(NodeId(rr.u64().map_err(Errno::from)?))
     }
 
     fn getattr(&mut self, k: &mut K, node: NodeId) -> SysResult<Metadata> {
-        let req = self.send(Wire::new(OP_GETATTR).u64(node.0));
-        let mut r = req.reader();
-        let _op = r.u8();
-        let node = NodeId(r.u64());
-        let result = self.inner.getattr(k, node).map(|m| {
-            Wire::new(match m.kind {
-                VnodeKind::Regular => 0,
-                VnodeKind::Directory => 1,
-                VnodeKind::Proc => 2,
-                VnodeKind::Fifo => 3,
+        let req = Wire::new(OP_GETATTR).u64(node.0);
+        let resp = self.transact(k, OpClass::Idempotent, &req.0, |inner, k, r| {
+            expect_op(r, OP_GETATTR)?;
+            let node = NodeId(r.u64()?);
+            inner.getattr(k, node).map(|m| {
+                Wire::new(match m.kind {
+                    VnodeKind::Regular => 0,
+                    VnodeKind::Directory => 1,
+                    VnodeKind::Proc => 2,
+                    VnodeKind::Fifo => 3,
+                })
+                .u32(u32::from(m.mode))
+                .u32(m.uid)
+                .u32(m.gid)
+                .u64(m.size)
+                .u32(m.nlink)
+                .u64(m.mtime)
             })
-            .u32(m.mode as u32)
-            .u32(m.uid)
-            .u32(m.gid)
-            .u64(m.size)
-            .u32(m.nlink)
-            .u64(m.mtime)
-        });
-        let resp = self.respond(result_wire(result));
-        let mut rr = result_unwire(&resp)?;
-        let kind = match rr.u8() {
-            0 => VnodeKind::Regular,
-            1 => VnodeKind::Directory,
-            2 => VnodeKind::Proc,
-            _ => VnodeKind::Fifo,
+        })?;
+        let mut rr = WireReader::new(&resp);
+        let parse = |rr: &mut WireReader<'_>| -> WireResult<Metadata> {
+            let kind = match rr.u8()? {
+                0 => VnodeKind::Regular,
+                1 => VnodeKind::Directory,
+                2 => VnodeKind::Proc,
+                3 => VnodeKind::Fifo,
+                _ => return Err(WireError::Malformed),
+            };
+            Ok(Metadata {
+                kind,
+                mode: rr.u32()? as u16,
+                uid: rr.u32()?,
+                gid: rr.u32()?,
+                size: rr.u64()?,
+                nlink: rr.u32()?,
+                mtime: rr.u64()?,
+            })
         };
-        Ok(Metadata {
-            kind,
-            mode: rr.u32() as u16,
-            uid: rr.u32(),
-            gid: rr.u32(),
-            size: rr.u64(),
-            nlink: rr.u32(),
-            mtime: rr.u64(),
-        })
+        parse(&mut rr).map_err(Errno::from)
     }
 
     fn readdir(&mut self, k: &mut K, cur: Pid, dir: NodeId) -> SysResult<Vec<DirEntry>> {
-        let req = self.send(Wire::new(OP_READDIR).u32(cur.0).u64(dir.0));
-        let mut r = req.reader();
-        let _op = r.u8();
-        let (cur, dir) = (Pid(r.u32()), NodeId(r.u64()));
-        let result = self.inner.readdir(k, cur, dir).map(|entries| {
-            let mut w = Wire::new(0).u32(entries.len() as u32);
-            w.0.remove(0); // Drop the placeholder op byte; body only.
-            for e in &entries {
-                w = w.str(&e.name).u64(e.node.0);
+        let req = Wire::new(OP_READDIR).u32(cur.0).u64(dir.0);
+        let resp = self.transact(k, OpClass::Idempotent, &req.0, |inner, k, r| {
+            expect_op(r, OP_READDIR)?;
+            let (cur, dir) = (Pid(r.u32()?), NodeId(r.u64()?));
+            inner.readdir(k, cur, dir).map(|entries| {
+                let mut w = Wire::empty().u32(entries.len() as u32);
+                for e in &entries {
+                    w = w.str(&e.name).u64(e.node.0);
+                }
+                w
+            })
+        })?;
+        let mut rr = WireReader::new(&resp);
+        let parse = |rr: &mut WireReader<'_>| -> WireResult<Vec<DirEntry>> {
+            let n = rr.u32()?;
+            let mut out = Vec::with_capacity(n.min(4096) as usize);
+            for _ in 0..n {
+                out.push(DirEntry { name: rr.str()?, node: NodeId(rr.u64()?) });
             }
-            w
-        });
-        let resp = self.respond(result_wire(result));
-        let mut rr = result_unwire(&resp)?;
-        let n = rr.u32();
-        Ok((0..n).map(|_| DirEntry { name: rr.str(), node: NodeId(rr.u64()) }).collect())
+            Ok(out)
+        };
+        parse(&mut rr).map_err(Errno::from)
     }
 
     fn open(
@@ -295,30 +756,32 @@ impl<K> FileSystem<K> for RemoteFs<K> {
         flags: OFlags,
         cred: &Cred,
     ) -> SysResult<OpenToken> {
-        let req = self.send(cred_wire(
-            Wire::new(OP_OPEN).u32(cur.0).u64(node.0).u64(flags.to_bits()),
-            cred,
-        ));
-        let mut r = req.reader();
-        let _op = r.u8();
-        let (cur, node, bits) = (Pid(r.u32()), NodeId(r.u64()), r.u64());
-        let cred = cred_unwire(&mut r);
-        let result = self.inner.open(k, cur, node, OFlags::from_bits(bits), &cred);
-        let resp = self.respond(result_wire(result.map(|t| Wire(t.0.to_le_bytes().to_vec()))));
-        let mut rr = result_unwire(&resp)?;
-        Ok(OpenToken(rr.u64()))
+        let req = cred_wire(Wire::new(OP_OPEN).u32(cur.0).u64(node.0).u64(flags.to_bits()), cred);
+        let resp = self.transact(k, OpClass::Sequenced, &req.0, |inner, k, r| {
+            expect_op(r, OP_OPEN)?;
+            let (cur, node, bits) = (Pid(r.u32()?), NodeId(r.u64()?), r.u64()?);
+            let cred = cred_unwire(r)?;
+            inner
+                .open(k, cur, node, OFlags::from_bits(bits), &cred)
+                .map(|t| Wire::empty().u64(t.0))
+        })?;
+        let mut rr = WireReader::new(&resp);
+        Ok(OpenToken(rr.u64().map_err(Errno::from)?))
     }
 
     fn close(&mut self, k: &mut K, cur: Pid, node: NodeId, token: OpenToken, flags: OFlags) {
-        let req = self.send(
-            Wire::new(OP_CLOSE).u32(cur.0).u64(node.0).u64(token.0).u64(flags.to_bits()),
-        );
-        let mut r = req.reader();
-        let _op = r.u8();
-        let (cur, node, token, bits) =
-            (Pid(r.u32()), NodeId(r.u64()), OpenToken(r.u64()), r.u64());
-        self.inner.close(k, cur, node, token, OFlags::from_bits(bits));
-        let _ = self.respond(Wire::new(0));
+        let req = Wire::new(OP_CLOSE).u32(cur.0).u64(node.0).u64(token.0).u64(flags.to_bits());
+        // `close` has no error path to surface, but it still mutates
+        // server state (writer accounting, exclusive-use release), so it
+        // crosses as a sequenced op; a lost close is recorded in
+        // `stats.timeouts`.
+        let _ = self.transact(k, OpClass::Sequenced, &req.0, |inner, k, r| {
+            expect_op(r, OP_CLOSE)?;
+            let (cur, node, token, bits) =
+                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u64()?);
+            inner.close(k, cur, node, token, OFlags::from_bits(bits));
+            Ok(Wire::empty())
+        });
     }
 
     fn read(
@@ -332,26 +795,29 @@ impl<K> FileSystem<K> for RemoteFs<K> {
     ) -> SysResult<IoReply> {
         // A read marshals generically: the request is (node, off, len) and
         // the response is the data — sizes and direction are manifest.
-        let req = self.send(
-            Wire::new(OP_READ).u32(cur.0).u64(node.0).u64(token.0).u64(off).u64(buf.len() as u64),
-        );
-        let mut r = req.reader();
-        let _op = r.u8();
-        let (cur, node, token, off, len) =
-            (Pid(r.u32()), NodeId(r.u64()), OpenToken(r.u64()), r.u64(), r.u64() as usize);
-        let mut server_buf = vec![0u8; len];
-        let result = self.inner.read(k, cur, node, token, off, &mut server_buf);
-        let result = result.map(|reply| match reply {
-            IoReply::Done(n) => Wire::new(0).bytes(&server_buf[..n]),
-            IoReply::Block => Wire::new(1),
-        });
-        let resp = self.respond(result_wire(result));
-        let mut rr = result_unwire(&resp)?;
-        match rr.u8() {
+        let req = Wire::new(OP_READ)
+            .u32(cur.0)
+            .u64(node.0)
+            .u64(token.0)
+            .u64(off)
+            .u64(buf.len() as u64);
+        let resp = self.transact(k, OpClass::Idempotent, &req.0, |inner, k, r| {
+            expect_op(r, OP_READ)?;
+            let (cur, node, token, off, len) =
+                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u64()?, r.u64()? as usize);
+            let mut server_buf = vec![0u8; len];
+            inner.read(k, cur, node, token, off, &mut server_buf).map(|reply| match reply {
+                IoReply::Done(n) => Wire::new(0).bytes(server_buf.get(..n).unwrap_or(&[])),
+                IoReply::Block => Wire::new(1),
+            })
+        })?;
+        let mut rr = WireReader::new(&resp);
+        match rr.u8().map_err(Errno::from)? {
             0 => {
-                let data = rr.bytes();
-                buf[..data.len()].copy_from_slice(&data);
-                Ok(IoReply::Done(data.len()))
+                let data = rr.bytes().map_err(Errno::from)?;
+                let n = data.len().min(buf.len());
+                buf[..n].copy_from_slice(&data[..n]);
+                Ok(IoReply::Done(n))
             }
             _ => Ok(IoReply::Block),
         }
@@ -366,22 +832,20 @@ impl<K> FileSystem<K> for RemoteFs<K> {
         off: u64,
         data: &[u8],
     ) -> SysResult<IoReply> {
-        let req = self.send(
-            Wire::new(OP_WRITE).u32(cur.0).u64(node.0).u64(token.0).u64(off).bytes(data),
-        );
-        let mut r = req.reader();
-        let _op = r.u8();
-        let (cur, node, token, off) = (Pid(r.u32()), NodeId(r.u64()), OpenToken(r.u64()), r.u64());
-        let payload = r.bytes();
-        let result = self.inner.write(k, cur, node, token, off, &payload);
-        let result = result.map(|reply| match reply {
-            IoReply::Done(n) => Wire::new(0).u64(n as u64),
-            IoReply::Block => Wire::new(1),
-        });
-        let resp = self.respond(result_wire(result));
-        let mut rr = result_unwire(&resp)?;
-        match rr.u8() {
-            0 => Ok(IoReply::Done(rr.u64() as usize)),
+        let req = Wire::new(OP_WRITE).u32(cur.0).u64(node.0).u64(token.0).u64(off).bytes(data);
+        let resp = self.transact(k, OpClass::Sequenced, &req.0, |inner, k, r| {
+            expect_op(r, OP_WRITE)?;
+            let (cur, node, token, off) =
+                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u64()?);
+            let payload = r.bytes()?;
+            inner.write(k, cur, node, token, off, &payload).map(|reply| match reply {
+                IoReply::Done(n) => Wire::new(0).u64(n as u64),
+                IoReply::Block => Wire::new(1),
+            })
+        })?;
+        let mut rr = WireReader::new(&resp);
+        match rr.u8().map_err(Errno::from)? {
+            0 => Ok(IoReply::Done(rr.u64().map_err(Errno::from)? as usize)),
             _ => Ok(IoReply::Block),
         }
     }
@@ -395,6 +859,11 @@ impl<K> FileSystem<K> for RemoteFs<K> {
         req_no: u32,
         arg: &[u8],
     ) -> SysResult<IoctlReply> {
+        // Wire introspection is answered locally — the counters being
+        // asked about live on this side of the wire.
+        if req_no == PIOCWIRESTATS {
+            return Ok(IoctlReply::Done(self.stats.to_bytes()));
+        }
         // An ioctl can only cross the wire if someone taught the shim this
         // request's operand sizes and directions.
         let spec = match self.ioctl_table.as_ref().and_then(|t| t(req_no)) {
@@ -408,49 +877,46 @@ impl<K> FileSystem<K> for RemoteFs<K> {
             self.stats.unsupported_ioctls += 1;
             return Err(Errno::ENOTSUP);
         }
-        let req = self.send(
-            Wire::new(OP_IOCTL).u32(cur.0).u64(node.0).u64(token.0).u32(req_no).bytes(arg),
-        );
-        let mut r = req.reader();
-        let _op = r.u8();
-        let (cur, node, token, req_no) =
-            (Pid(r.u32()), NodeId(r.u64()), OpenToken(r.u64()), r.u32());
-        let payload = r.bytes();
-        let result = self.inner.ioctl(k, cur, node, token, req_no, &payload);
-        let result = result.map(|reply| match reply {
-            IoctlReply::Done(out) => {
-                // The server can only return what the spec promised.
-                let truncated = &out[..out.len().min(spec.out_len)];
-                Wire::new(0).bytes(truncated)
-            }
-            IoctlReply::Block => Wire::new(1),
-        });
-        let resp = self.respond(result_wire(result));
-        let mut rr = result_unwire(&resp)?;
-        match rr.u8() {
-            0 => Ok(IoctlReply::Done(rr.bytes())),
+        let req =
+            Wire::new(OP_IOCTL).u32(cur.0).u64(node.0).u64(token.0).u32(req_no).bytes(arg);
+        let resp = self.transact(k, OpClass::Sequenced, &req.0, |inner, k, r| {
+            expect_op(r, OP_IOCTL)?;
+            let (cur, node, token, req_no) =
+                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u32()?);
+            let payload = r.bytes()?;
+            inner.ioctl(k, cur, node, token, req_no, &payload).map(|reply| match reply {
+                IoctlReply::Done(out) => {
+                    // The server can only return what the spec promised.
+                    let n = out.len().min(spec.out_len);
+                    Wire::new(0).bytes(out.get(..n).unwrap_or(&[]))
+                }
+                IoctlReply::Block => Wire::new(1),
+            })
+        })?;
+        let mut rr = WireReader::new(&resp);
+        match rr.u8().map_err(Errno::from)? {
+            0 => Ok(IoctlReply::Done(rr.bytes().map_err(Errno::from)?)),
             _ => Ok(IoctlReply::Block),
         }
     }
 
     fn poll(&mut self, k: &mut K, node: NodeId, token: OpenToken) -> SysResult<PollStatus> {
-        let req = self.send(Wire::new(OP_POLL).u64(node.0).u64(token.0));
-        let mut r = req.reader();
-        let _op = r.u8();
-        let (node, token) = (NodeId(r.u64()), OpenToken(r.u64()));
-        let result = self.inner.poll(k, node, token).map(|p| {
-            Wire::new(
-                (p.readable as u8) | (p.writable as u8) << 1 | (p.hangup as u8) << 2,
-            )
-        });
-        let resp = self.respond(result_wire(result));
-        let mut rr = result_unwire(&resp)?;
-        let bits = rr.u8();
+        let req = Wire::new(OP_POLL).u64(node.0).u64(token.0);
+        let resp = self.transact(k, OpClass::Idempotent, &req.0, |inner, k, r| {
+            expect_op(r, OP_POLL)?;
+            let (node, token) = (NodeId(r.u64()?), OpenToken(r.u64()?));
+            inner.poll(k, node, token).map(|p| {
+                Wire::new(u8::from(p.readable) | u8::from(p.writable) << 1 | u8::from(p.hangup) << 2)
+            })
+        })?;
+        let mut rr = WireReader::new(&resp);
+        let bits = rr.u8().map_err(Errno::from)?;
         Ok(PollStatus { readable: bits & 1 != 0, writable: bits & 2 != 0, hangup: bits & 4 != 0 })
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::memfs::MemFs;
@@ -461,6 +927,12 @@ mod tests {
         let mut fs = MemFs::<()>::new();
         fs.install("/bin/tool", 0o755, 0, 0, b"payload-bytes".to_vec());
         RemoteFs::new(Box::new(fs))
+    }
+
+    fn faulty_memfs(seed: u64, rates: FaultRates) -> RemoteFs<()> {
+        let mut fs = MemFs::<()>::new();
+        fs.install("/bin/tool", 0o755, 0, 0, b"payload-bytes".to_vec());
+        RemoteFs::new(Box::new(fs)).with_faults(FaultPlan::new(seed, rates))
     }
 
     #[test]
@@ -549,5 +1021,121 @@ mod tests {
         assert_eq!(meta.mode, 0o755);
         assert_eq!(meta.size, 13);
         assert_eq!(meta.kind, VnodeKind::Regular);
+    }
+
+    #[test]
+    fn frames_reject_damage_without_misparsing() {
+        let frame = encode_frame(42, b"important bytes");
+        assert_eq!(decode_frame(&frame), Ok((42, b"important bytes".to_vec())));
+        // Any single bit flip is caught by the CRC (or the magic/length
+        // checks before it).
+        for bit in 0..frame.len() * 8 {
+            let mut dam = frame.clone();
+            dam[bit / 8] ^= 1 << (bit % 8);
+            assert!(decode_frame(&dam).is_err(), "bit {bit} slipped through");
+        }
+        // Every truncation point is caught.
+        for keep in 0..frame.len() {
+            assert!(decode_frame(&frame[..keep]).is_err(), "cut at {keep} slipped through");
+        }
+    }
+
+    #[test]
+    fn wirestats_roundtrip() {
+        let s = WireStats { ops: 7, drops: 3, dedup_hits: 11, timeouts: 1, ..Default::default() };
+        let b = s.to_bytes();
+        assert_eq!(b.len(), WireStats::WIRE_LEN);
+        assert_eq!(WireStats::from_bytes(&b), Some(s));
+        assert_eq!(WireStats::from_bytes(&b[..10]), None);
+    }
+
+    #[test]
+    fn faulted_reads_recover_and_stay_correct() {
+        // 10% of frames suffer each fault class; every operation must
+        // still produce the exact fault-free answer (retries are free for
+        // idempotent ops) or a clean timeout.
+        let mut r = faulty_memfs(0xFEED, FaultRates::uniform(100));
+        let cred = Cred::superuser();
+        let bin = r.lookup(&mut (), P, NodeId(0), "bin").expect("bin");
+        let tool = r.lookup(&mut (), P, bin, "tool").expect("tool");
+        let tok = r.open(&mut (), P, tool, OFlags::rdonly(), &cred).expect("open");
+        for _ in 0..200 {
+            let mut buf = [0u8; 13];
+            match r.read(&mut (), P, tool, tok, 0, &mut buf) {
+                Ok(IoReply::Done(13)) => assert_eq!(&buf, b"payload-bytes"),
+                Ok(other) => panic!("unexpected reply {other:?}"),
+                Err(e) => assert_eq!(e, Errno::ETIMEDOUT, "only clean timeouts allowed"),
+            }
+        }
+        assert!(r.stats.faults_injected() > 0, "faults were actually exercised");
+        assert!(r.stats.retries > 0, "recovery actually retried");
+    }
+
+    #[test]
+    fn dead_wire_degrades_to_etimedout() {
+        let rates = FaultRates { drop: 1000, ..FaultRates::default() };
+        let mut r = faulty_memfs(1, rates);
+        let err = r.lookup(&mut (), P, NodeId(0), "bin").expect_err("nothing arrives");
+        assert_eq!(err, Errno::ETIMEDOUT);
+        assert_eq!(r.stats.timeouts, 1);
+        assert!(r.stats.retries > 0);
+        assert_eq!(r.stats.drops as u32, r.stats.frames_sent as u32);
+    }
+
+    #[test]
+    fn duplicated_writes_apply_exactly_once() {
+        // Every frame is duplicated; the dedup window must keep the
+        // second execution from happening.
+        let rates = FaultRates { duplicate: 1000, ..FaultRates::default() };
+        let mut fs = MemFs::<()>::new();
+        fs.install("/log", 0o644, 0, 0, Vec::new());
+        let mut r = RemoteFs::new(Box::new(fs)).with_faults(FaultPlan::new(9, rates));
+        let cred = Cred::superuser();
+        let log = r.lookup(&mut (), P, NodeId(0), "log").expect("log");
+        let tok = r.open(&mut (), P, log, OFlags::rdwr(), &cred).expect("open");
+        r.write(&mut (), P, log, tok, 0, b"once").expect("write");
+        assert!(r.stats.dedup_hits > 0, "the duplicate hit the window");
+        let mut buf = [0u8; 8];
+        let n = match r.read(&mut (), P, log, tok, 0, &mut buf).expect("read") {
+            IoReply::Done(n) => n,
+            IoReply::Block => panic!("memfs never blocks"),
+        };
+        assert_eq!(&buf[..n], b"once", "the write applied exactly once");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = || {
+            let mut r = faulty_memfs(0xD15EA5E, FaultRates::uniform(120));
+            let mut outcomes = Vec::new();
+            for i in 0..50 {
+                let name = if i % 2 == 0 { "bin" } else { "missing" };
+                outcomes.push(r.lookup(&mut (), P, NodeId(0), name));
+            }
+            (outcomes, r.stats)
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b, "per-op outcomes replay exactly");
+        assert_eq!(sa, sb, "fault and retry counters replay exactly");
+        assert!(sa.faults_injected() > 0);
+    }
+
+    #[test]
+    fn wirestats_ioctl_is_answered_locally() {
+        let mut r = remote_memfs();
+        let _ = r.lookup(&mut (), P, NodeId(0), "bin").expect("bin");
+        let ops_before = r.stats.ops;
+        let reply = r
+            .ioctl(&mut (), P, NodeId(0), OpenToken(0), PIOCWIRESTATS, &[])
+            .expect("wirestats");
+        let bytes = match reply {
+            IoctlReply::Done(b) => b,
+            IoctlReply::Block => panic!("never blocks"),
+        };
+        let stats = WireStats::from_bytes(&bytes).expect("decode");
+        assert_eq!(stats.ops, ops_before, "answered without another wire op");
+        assert_eq!(r.stats.ops, ops_before, "no traffic was generated");
+        assert_eq!(r.stats.unsupported_ioctls, 0, "not counted as a refusal");
     }
 }

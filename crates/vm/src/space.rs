@@ -56,6 +56,10 @@ pub struct AddressSpace {
     pub watch_recovered: u64,
     /// Lowest address automatic stack growth may reach; 0 disables growth.
     pub stack_limit: u64,
+    /// Cached sum of mapping lengths, maintained by every size-changing
+    /// operation so [`AddressSpace::total_size`] — the `ls -l /proc`
+    /// size — is O(1) instead of a walk over the map list.
+    total: u64,
 }
 
 impl AddressSpace {
@@ -70,9 +74,12 @@ impl AddressSpace {
     }
 
     /// Total mapped bytes — the "size" reported for the process file in
-    /// `ls -l /proc` (Figure 1).
+    /// `ls -l /proc` (Figure 1). Served from the maintained stamp, so a
+    /// `getattr` storm (`ls -l` over a large process table) never walks
+    /// the map lists.
     pub fn total_size(&self) -> u64 {
-        self.maps.iter().map(|m| m.len).sum()
+        debug_assert_eq!(self.total, self.maps.iter().map(|m| m.len).sum::<u64>());
+        self.total
     }
 
     /// Approximate resident bytes: privately materialised overlay pages
@@ -133,6 +140,7 @@ impl AddressSpace {
             idx,
             Mapping { base, len, prot, flags, object, obj_off, overlay: BTreeMap::new(), name },
         );
+        self.total += len;
         Ok(())
     }
 
@@ -185,6 +193,7 @@ impl AddressSpace {
         while i < self.maps.len() {
             if self.maps[i].base >= base && self.maps[i].end() <= end {
                 let dead = self.maps.remove(i);
+                self.total -= dead.len;
                 store.decref(dead.object);
             } else {
                 i += 1;
@@ -281,8 +290,10 @@ impl AddressSpace {
         let delta_pages = (m.base - new_base) / PAGE_SIZE;
         let old_overlay = std::mem::take(&mut m.overlay);
         m.overlay = old_overlay.into_iter().map(|(k, v)| (k + delta_pages, v)).collect();
-        m.len += m.base - new_base;
+        let grown = m.base - new_base;
+        m.len += grown;
         m.base = new_base;
+        self.total += grown;
         true
     }
 
@@ -301,6 +312,7 @@ impl AddressSpace {
         if self.maps.get(i + 1).is_some_and(|n| n.base < end) {
             return Err(MapError::Overlap);
         }
+        self.total += end - cur_end;
         self.maps[i].len = end - self.maps[i].base;
         Ok(end)
     }
@@ -512,6 +524,7 @@ impl AddressSpace {
             watch_bypass_once: false,
             watch_recovered: 0,
             stack_limit: self.stack_limit,
+            total: self.total,
         }
     }
 
@@ -521,6 +534,7 @@ impl AddressSpace {
         for m in self.maps.drain(..) {
             store.decref(m.object);
         }
+        self.total = 0;
         self.watchpoints.clear();
         self.watch_bypass_once = false;
         self.stack_limit = 0;

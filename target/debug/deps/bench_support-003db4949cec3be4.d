@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_support-003db4949cec3be4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench_support-003db4949cec3be4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_poll_many-2282d3375779f853.d: crates/bench/benches/e10_poll_many.rs
+
+/root/repo/target/debug/deps/e10_poll_many-2282d3375779f853: crates/bench/benches/e10_poll_many.rs
+
+crates/bench/benches/e10_poll_many.rs:

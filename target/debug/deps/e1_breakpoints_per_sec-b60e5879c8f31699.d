@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_breakpoints_per_sec-b60e5879c8f31699.d: crates/bench/benches/e1_breakpoints_per_sec.rs
+
+/root/repo/target/debug/deps/e1_breakpoints_per_sec-b60e5879c8f31699: crates/bench/benches/e1_breakpoints_per_sec.rs
+
+crates/bench/benches/e1_breakpoints_per_sec.rs:

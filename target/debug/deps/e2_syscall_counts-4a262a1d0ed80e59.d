@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_syscall_counts-4a262a1d0ed80e59.d: crates/bench/benches/e2_syscall_counts.rs
+
+/root/repo/target/debug/deps/e2_syscall_counts-4a262a1d0ed80e59: crates/bench/benches/e2_syscall_counts.rs
+
+crates/bench/benches/e2_syscall_counts.rs:

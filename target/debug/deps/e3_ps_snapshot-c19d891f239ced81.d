@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_ps_snapshot-c19d891f239ced81.d: crates/bench/benches/e3_ps_snapshot.rs
+
+/root/repo/target/debug/deps/e3_ps_snapshot-c19d891f239ced81: crates/bench/benches/e3_ps_snapshot.rs
+
+crates/bench/benches/e3_ps_snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_ctl_batching-ad4600b5b7942326.d: crates/bench/benches/e4_ctl_batching.rs
+
+/root/repo/target/debug/deps/e4_ctl_batching-ad4600b5b7942326: crates/bench/benches/e4_ctl_batching.rs
+
+crates/bench/benches/e4_ctl_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_remote_marshalling-f45ad16913680506.d: crates/bench/benches/e5_remote_marshalling.rs
+
+/root/repo/target/debug/deps/e5_remote_marshalling-f45ad16913680506: crates/bench/benches/e5_remote_marshalling.rs
+
+crates/bench/benches/e5_remote_marshalling.rs:

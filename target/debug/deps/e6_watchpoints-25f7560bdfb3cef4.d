@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_watchpoints-25f7560bdfb3cef4.d: crates/bench/benches/e6_watchpoints.rs
+
+/root/repo/target/debug/deps/e6_watchpoints-25f7560bdfb3cef4: crates/bench/benches/e6_watchpoints.rs
+
+crates/bench/benches/e6_watchpoints.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_encapsulation-db1e5938ac041a19.d: crates/bench/benches/e7_encapsulation.rs
+
+/root/repo/target/debug/deps/e7_encapsulation-db1e5938ac041a19: crates/bench/benches/e7_encapsulation.rs
+
+crates/bench/benches/e7_encapsulation.rs:

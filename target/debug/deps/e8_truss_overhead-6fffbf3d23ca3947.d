@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_truss_overhead-6fffbf3d23ca3947.d: crates/bench/benches/e8_truss_overhead.rs
+
+/root/repo/target/debug/deps/e8_truss_overhead-6fffbf3d23ca3947: crates/bench/benches/e8_truss_overhead.rs
+
+crates/bench/benches/e8_truss_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_cow_isolation-347a22b5de8dd85c.d: crates/bench/benches/e9_cow_isolation.rs
+
+/root/repo/target/debug/deps/e9_cow_isolation-347a22b5de8dd85c: crates/bench/benches/e9_cow_isolation.rs
+
+crates/bench/benches/e9_cow_isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_ls_proc-f657d30ea1db856a.d: crates/bench/benches/fig1_ls_proc.rs
+
+/root/repo/target/debug/deps/fig1_ls_proc-f657d30ea1db856a: crates/bench/benches/fig1_ls_proc.rs
+
+crates/bench/benches/fig1_ls_proc.rs:

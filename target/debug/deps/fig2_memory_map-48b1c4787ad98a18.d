@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_memory_map-48b1c4787ad98a18.d: crates/bench/benches/fig2_memory_map.rs
+
+/root/repo/target/debug/deps/fig2_memory_map-48b1c4787ad98a18: crates/bench/benches/fig2_memory_map.rs
+
+crates/bench/benches/fig2_memory_map.rs:

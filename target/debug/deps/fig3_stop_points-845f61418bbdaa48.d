@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_stop_points-845f61418bbdaa48.d: crates/bench/benches/fig3_stop_points.rs
+
+/root/repo/target/debug/deps/fig3_stop_points-845f61418bbdaa48: crates/bench/benches/fig3_stop_points.rs
+
+crates/bench/benches/fig3_stop_points.rs:

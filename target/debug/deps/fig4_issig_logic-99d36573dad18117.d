@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_issig_logic-99d36573dad18117.d: crates/bench/benches/fig4_issig_logic.rs
+
+/root/repo/target/debug/deps/fig4_issig_logic-99d36573dad18117: crates/bench/benches/fig4_issig_logic.rs
+
+crates/bench/benches/fig4_issig_logic.rs:

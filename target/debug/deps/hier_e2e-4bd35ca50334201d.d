@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hier_e2e-4bd35ca50334201d.d: crates/core/tests/hier_e2e.rs
+
+/root/repo/target/debug/deps/hier_e2e-4bd35ca50334201d: crates/core/tests/hier_e2e.rs
+
+crates/core/tests/hier_e2e.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/isa-bdce87f4697877a6.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cpu.rs crates/isa/src/dis.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/isa-bdce87f4697877a6: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/cpu.rs crates/isa/src/dis.rs crates/isa/src/insn.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/cpu.rs:
+crates/isa/src/dis.rs:
+crates/isa/src/insn.rs:
+crates/isa/src/reg.rs:

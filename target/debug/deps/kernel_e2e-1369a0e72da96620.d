@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_e2e-1369a0e72da96620.d: crates/ksim/tests/kernel_e2e.rs
+
+/root/repo/target/debug/deps/kernel_e2e-1369a0e72da96620: crates/ksim/tests/kernel_e2e.rs
+
+crates/ksim/tests/kernel_e2e.rs:

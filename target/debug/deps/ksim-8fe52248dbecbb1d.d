@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ksim-8fe52248dbecbb1d.d: crates/ksim/src/lib.rs crates/ksim/src/aout.rs crates/ksim/src/bitset.rs crates/ksim/src/corefile.rs crates/ksim/src/event.rs crates/ksim/src/fault.rs crates/ksim/src/fd.rs crates/ksim/src/kernel.rs crates/ksim/src/proc.rs crates/ksim/src/ptrace.rs crates/ksim/src/sched.rs crates/ksim/src/signal.rs crates/ksim/src/syscall.rs crates/ksim/src/sysno.rs crates/ksim/src/system.rs
+
+/root/repo/target/debug/deps/ksim-8fe52248dbecbb1d: crates/ksim/src/lib.rs crates/ksim/src/aout.rs crates/ksim/src/bitset.rs crates/ksim/src/corefile.rs crates/ksim/src/event.rs crates/ksim/src/fault.rs crates/ksim/src/fd.rs crates/ksim/src/kernel.rs crates/ksim/src/proc.rs crates/ksim/src/ptrace.rs crates/ksim/src/sched.rs crates/ksim/src/signal.rs crates/ksim/src/syscall.rs crates/ksim/src/sysno.rs crates/ksim/src/system.rs
+
+crates/ksim/src/lib.rs:
+crates/ksim/src/aout.rs:
+crates/ksim/src/bitset.rs:
+crates/ksim/src/corefile.rs:
+crates/ksim/src/event.rs:
+crates/ksim/src/fault.rs:
+crates/ksim/src/fd.rs:
+crates/ksim/src/kernel.rs:
+crates/ksim/src/proc.rs:
+crates/ksim/src/ptrace.rs:
+crates/ksim/src/sched.rs:
+crates/ksim/src/signal.rs:
+crates/ksim/src/syscall.rs:
+crates/ksim/src/sysno.rs:
+crates/ksim/src/system.rs:

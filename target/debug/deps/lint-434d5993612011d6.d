@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint-434d5993612011d6.d: tests/lint.rs
+
+/root/repo/target/debug/deps/lint-434d5993612011d6: tests/lint.rs
+
+tests/lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/procfs-8f2626aebafe1e7a.d: crates/core/src/lib.rs crates/core/src/fsimpl.rs crates/core/src/hier.rs crates/core/src/ioctl.rs crates/core/src/ops.rs crates/core/src/snap.rs crates/core/src/types.rs
+
+/root/repo/target/debug/deps/procfs-8f2626aebafe1e7a: crates/core/src/lib.rs crates/core/src/fsimpl.rs crates/core/src/hier.rs crates/core/src/ioctl.rs crates/core/src/ops.rs crates/core/src/snap.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fsimpl.rs:
+crates/core/src/hier.rs:
+crates/core/src/ioctl.rs:
+crates/core/src/ops.rs:
+crates/core/src/snap.rs:
+crates/core/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/procfs_e2e-586c24d73c235f7d.d: crates/core/tests/procfs_e2e.rs
+
+/root/repo/target/debug/deps/procfs_e2e-586c24d73c235f7d: crates/core/tests/procfs_e2e.rs
+
+crates/core/tests/procfs_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remote_fault-f7950b47146ca332.d: tests/remote_fault.rs
+
+/root/repo/target/debug/deps/remote_fault-f7950b47146ca332: tests/remote_fault.rs
+
+tests/remote_fault.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tools-2c810f4e2c25cc82.d: crates/tools/src/lib.rs crates/tools/src/debugger.rs crates/tools/src/lsproc.rs crates/tools/src/names.rs crates/tools/src/pmap.rs crates/tools/src/postmortem.rs crates/tools/src/proc_io.rs crates/tools/src/ps.rs crates/tools/src/ptrace_lib.rs crates/tools/src/sdb.rs crates/tools/src/truss.rs crates/tools/src/userland.rs
+
+/root/repo/target/debug/deps/tools-2c810f4e2c25cc82: crates/tools/src/lib.rs crates/tools/src/debugger.rs crates/tools/src/lsproc.rs crates/tools/src/names.rs crates/tools/src/pmap.rs crates/tools/src/postmortem.rs crates/tools/src/proc_io.rs crates/tools/src/ps.rs crates/tools/src/ptrace_lib.rs crates/tools/src/sdb.rs crates/tools/src/truss.rs crates/tools/src/userland.rs
+
+crates/tools/src/lib.rs:
+crates/tools/src/debugger.rs:
+crates/tools/src/lsproc.rs:
+crates/tools/src/names.rs:
+crates/tools/src/pmap.rs:
+crates/tools/src/postmortem.rs:
+crates/tools/src/proc_io.rs:
+crates/tools/src/ps.rs:
+crates/tools/src/ptrace_lib.rs:
+crates/tools/src/sdb.rs:
+crates/tools/src/truss.rs:
+crates/tools/src/userland.rs:

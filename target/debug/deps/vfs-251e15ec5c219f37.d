@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vfs-251e15ec5c219f37.d: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs
+
+/root/repo/target/debug/deps/vfs-251e15ec5c219f37: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/cred.rs:
+crates/vfs/src/errno.rs:
+crates/vfs/src/fs.rs:
+crates/vfs/src/memfs.rs:
+crates/vfs/src/mount.rs:
+crates/vfs/src/node.rs:
+crates/vfs/src/path.rs:
+crates/vfs/src/remote.rs:

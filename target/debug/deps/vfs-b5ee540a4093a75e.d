@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/vfs-b5ee540a4093a75e.d: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvfs-b5ee540a4093a75e.rmeta: crates/vfs/src/lib.rs crates/vfs/src/cred.rs crates/vfs/src/errno.rs crates/vfs/src/fs.rs crates/vfs/src/memfs.rs crates/vfs/src/mount.rs crates/vfs/src/node.rs crates/vfs/src/path.rs crates/vfs/src/remote.rs Cargo.toml
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/cred.rs:
+crates/vfs/src/errno.rs:
+crates/vfs/src/fs.rs:
+crates/vfs/src/memfs.rs:
+crates/vfs/src/mount.rs:
+crates/vfs/src/node.rs:
+crates/vfs/src/path.rs:
+crates/vfs/src/remote.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vm-89abff171b53cb14.d: crates/vm/src/lib.rs crates/vm/src/error.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/space.rs crates/vm/src/watch.rs
+
+/root/repo/target/debug/deps/vm-89abff171b53cb14: crates/vm/src/lib.rs crates/vm/src/error.rs crates/vm/src/map.rs crates/vm/src/object.rs crates/vm/src/page.rs crates/vm/src/space.rs crates/vm/src/watch.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/error.rs:
+crates/vm/src/map.rs:
+crates/vm/src/object.rs:
+crates/vm/src/page.rs:
+crates/vm/src/space.rs:
+crates/vm/src/watch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e5_remote_marshalling-112d25891c2fb9c7.d: crates/bench/benches/e5_remote_marshalling.rs
+
+/root/repo/target/release/deps/e5_remote_marshalling-112d25891c2fb9c7: crates/bench/benches/e5_remote_marshalling.rs
+
+crates/bench/benches/e5_remote_marshalling.rs:

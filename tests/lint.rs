@@ -1,0 +1,39 @@
+//! Keeps the wire layer honest inside plain `cargo test`: the remote
+//! `/proc` code promises never to panic on damaged input, so it is held
+//! to `clippy -D warnings` (its source additionally carries
+//! `#![deny(clippy::unwrap_used, clippy::expect_used)]`). Skips cleanly
+//! when the toolchain has no clippy component.
+
+use std::process::Command;
+
+#[test]
+fn wire_layer_is_clippy_clean() {
+    let probe = Command::new("cargo").args(["clippy", "--version"]).output();
+    match probe {
+        Ok(out) if out.status.success() => {}
+        _ => {
+            eprintln!("skipping: cargo clippy is not installed");
+            return;
+        }
+    }
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml");
+    let out = Command::new("cargo")
+        .args([
+            "clippy",
+            "--manifest-path",
+            manifest,
+            "-p",
+            "procsim-vfs",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ])
+        .output()
+        .expect("run cargo clippy");
+    assert!(
+        out.status.success(),
+        "clippy found warnings in the wire layer:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

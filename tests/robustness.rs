@@ -151,6 +151,105 @@ fn random_offset_proc_reads() {
     }
 }
 
+/// A control batch whose framing is damaged — truncated header, length
+/// overrunning the buffer, oversized payload, or trailing garbage that
+/// cannot be a record — is rejected with `EINVAL` before *any* record
+/// executes: a valid `PCKILL` at the front of a malformed batch must
+/// not fire.
+#[test]
+fn malformed_ctl_batches_have_no_side_effects() {
+    use procsim::procfs::hier::PCKILL;
+    use procsim::procfs::ctl_record;
+
+    let kill = ctl_record(PCKILL, &(procsim::ksim::signal::SIGKILL as u32).to_le_bytes());
+
+    // Positive control: the same record alone really does kill.
+    {
+        let mut sys = tools::boot_demo();
+        let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        let cfd = sys
+            .host_open(ctl, &format!("/proc2/{}/ctl", pid.0), vfs::OFlags::wronly())
+            .expect("open ctl");
+        sys.host_write(ctl, cfd, &kill).expect("kill applies");
+        sys.run_idle(2_000);
+        assert!(sys.kernel.proc(pid).map(|p| p.zombie).unwrap_or(true), "control case died");
+    }
+
+    // Each malformed tail must suppress the kill entirely.
+    let oversized = {
+        // Well-formed header whose length field (8 KiB) exceeds any
+        // legitimate control payload, with the payload actually present.
+        let mut r = ctl_record(PCKILL, &vec![0u8; 8192]);
+        r.truncate(8 + 8192);
+        r
+    };
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("truncated header", vec![0x01, 0x00, 0x00]),
+        ("length overrun", {
+            let mut r = Vec::new();
+            r.extend_from_slice(&procsim::procfs::hier::PCSTRACE.to_le_bytes());
+            r.extend_from_slice(&1_000_000u32.to_le_bytes());
+            r
+        }),
+        ("oversized payload", oversized),
+        ("trailing garbage", vec![0xDE, 0xAD, 0xBE, 0xEF, 0x99]),
+    ];
+    for (what, tail) in cases {
+        let mut sys = tools::boot_demo();
+        let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        let cfd = sys
+            .host_open(ctl, &format!("/proc2/{}/ctl", pid.0), vfs::OFlags::wronly())
+            .expect("open ctl");
+        let mut batch = kill.clone();
+        batch.extend_from_slice(&tail);
+        let err = sys.host_write(ctl, cfd, &batch).expect_err(what);
+        assert_eq!(err, procsim::ksim::Errno::EINVAL, "{what}");
+        sys.run_idle(2_000);
+        let proc = sys.kernel.proc(pid).expect("target survives");
+        assert!(!proc.zombie, "{what}: the leading kill record must not have fired");
+    }
+}
+
+/// Fuzz the framing validator: a valid `PCKILL` prefix plus a random
+/// tail that cannot frame as a record (short fragment, or a header whose
+/// length overruns the buffer) is always rejected whole — the leading
+/// kill never fires, across many random shapes.
+#[test]
+fn fuzzed_ctl_tails_never_apply_partially() {
+    use procsim::procfs::ctl_record;
+    use procsim::procfs::hier::PCKILL;
+    let mut rng = XorShift::new(0xbad_f2a9);
+    let kill = ctl_record(PCKILL, &(procsim::ksim::signal::SIGKILL as u32).to_le_bytes());
+    let mut sys = tools::boot_demo();
+    let ctl = sys.spawn_hosted("ctl", Cred::new(100, 10));
+    for round in 0..24 {
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        let cfd = sys
+            .host_open(ctl, &format!("/proc2/{}/ctl", pid.0), vfs::OFlags::wronly())
+            .expect("open ctl");
+        let mut batch = kill.clone();
+        if round % 2 == 0 {
+            // A fragment too short to hold a record header.
+            let n = 1 + rng.below(7) as usize;
+            batch.extend_from_slice(&rng.bytes(n));
+        } else {
+            // A full header whose length field overruns the buffer.
+            batch.extend_from_slice(&(rng.below(1 << 32) as u32).to_le_bytes());
+            batch.extend_from_slice(&(9_000_000 + rng.below(1 << 20) as u32).to_le_bytes());
+            let n = rng.below(16) as usize;
+            batch.extend_from_slice(&rng.bytes(n));
+        }
+        let err = sys.host_write(ctl, cfd, &batch).expect_err("malformed batch");
+        assert_eq!(err, procsim::ksim::Errno::EINVAL, "round {round}");
+        sys.run_idle(1_000);
+        assert!(!sys.kernel.proc(pid).expect("alive").zombie, "round {round}: kill leaked");
+        sys.host_kill(ctl, pid, procsim::ksim::signal::SIGKILL).expect("cleanup");
+        sys.run_idle(1_000);
+    }
+}
+
 #[test]
 fn fork_bomb_is_contained_by_run_budget() {
     // A self-replicating program: every instance forks forever. The

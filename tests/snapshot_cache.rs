@@ -94,6 +94,41 @@ fn check_pid(sys: &mut System, ctl: Pid, pid: Pid) {
             }
         }
     }
+    check_lwps(sys, ctl, pid);
+}
+
+/// Compares the per-LWP cached images (`lwp/<tid>/status`, `gregs`) —
+/// stamped with the per-LWP generation — against fresh renders.
+fn check_lwps(sys: &mut System, ctl: Pid, pid: Pid) {
+    let tids: Vec<u32> = match sys.kernel.proc(pid) {
+        Ok(p) if !p.zombie => p.lwps.iter().map(|l| l.tid.0).collect(),
+        _ => return,
+    };
+    for tid in tids {
+        let expect_status = ops::status_bytes(&sys.kernel, pid, Some(procsim::ksim::Tid(tid)));
+        let expect_gregs = sys
+            .kernel
+            .proc(pid)
+            .ok()
+            .and_then(|p| p.lwp(procsim::ksim::Tid(tid)))
+            .map(|l| l.gregs.to_bytes());
+        for pass in 0..2 {
+            let st = read_all(sys, ctl, &format!("/proc2/{}/lwp/{}/status", pid.0, tid));
+            assert_eq!(
+                st.ok(),
+                expect_status.clone().ok(),
+                "lwp {tid} status pass {pass} pid {} diverged",
+                pid.0
+            );
+            let gr = read_all(sys, ctl, &format!("/proc2/{}/lwp/{}/gregs", pid.0, tid));
+            assert_eq!(
+                gr.ok(),
+                expect_gregs.clone(),
+                "lwp {tid} gregs pass {pass} pid {} diverged",
+                pid.0
+            );
+        }
+    }
 }
 
 /// Compares both cached root listings against the process table.
@@ -227,6 +262,83 @@ fn repeated_psinfo_reads_hit_cache() {
         "cache hit rate below 99%: {hits} hits, {not_hits} misses/invalidations"
     );
     assert!(after.entries >= 1);
+}
+
+/// The per-LWP generation stamp at work: a mutation scoped to a
+/// non-representative LWP (`PCSREG` through its own ctl file) must leave
+/// the whole-process and sibling-LWP cache entries valid — only the
+/// mutated LWP's own images re-render, and they re-render correctly.
+#[test]
+fn lwp_mutation_preserves_process_and_sibling_entries() {
+    use procsim::procfs::hier::{PCSREG, PCSTOP};
+    use procsim::procfs::ctl_record;
+
+    let src = r#"
+        _start:
+            movi rv, 73          ; thr_create(side, sp-8192, 0)
+            la   a0, side
+            addi a1, sp, -8192
+            movi a2, 0
+            syscall
+        mainloop:
+            jmp mainloop
+        side:
+            jmp side
+    "#;
+    let mut sys = tools::boot_demo();
+    let ctl = sys.spawn_hosted("lwp", Cred::superuser());
+    sys.install_program("/bin/threads", src);
+    let pid = sys.spawn_program(ctl, "/bin/threads", &["threads"]).expect("spawn");
+    sys.run_until(10_000, |s| {
+        s.kernel.proc(pid).map(|p| p.lwps.len() == 2).unwrap_or(false)
+    });
+    sys.run_idle(20);
+
+    // Stop only LWP 2, then warm every cache entry we care about.
+    let cfd = sys
+        .host_open(ctl, &format!("/proc2/{}/lwp/2/ctl", pid.0), vfs::OFlags::wronly())
+        .expect("open lwp ctl");
+    sys.host_write(ctl, cfd, &ctl_record(PCSTOP, &[])).expect("stop lwp 2");
+    let status_path = format!("/proc2/{}/status", pid.0);
+    let l1_status_path = format!("/proc2/{}/lwp/1/status", pid.0);
+    let l2_gregs_path = format!("/proc2/{}/lwp/2/gregs", pid.0);
+    for path in [&status_path, &l1_status_path, &l2_gregs_path] {
+        read_all(&mut sys, ctl, path).expect("warm");
+    }
+    let flat_fd = sys
+        .host_open(ctl, &format!("/proc/{:05}", pid.0), vfs::OFlags::rdonly())
+        .expect("open flat");
+
+    // Rewrite LWP 2's registers through its own ctl file.
+    let mut gregs = procsim::isa::GregSet::from_bytes(
+        &read_all(&mut sys, ctl, &l2_gregs_path).expect("gregs"),
+    )
+    .expect("decode gregs");
+    gregs.set_r(7, 0xDEAD_0001);
+    let s1 = cache_stats(&mut sys, ctl, flat_fd);
+    sys.host_write(ctl, cfd, &ctl_record(PCSREG, &gregs.to_bytes())).expect("set regs");
+
+    // Process-level and sibling-LWP images still hit the cache.
+    read_all(&mut sys, ctl, &status_path).expect("status");
+    read_all(&mut sys, ctl, &l1_status_path).expect("lwp1 status");
+    let s2 = cache_stats(&mut sys, ctl, flat_fd);
+    assert_eq!(
+        s2.invalidations, s1.invalidations,
+        "an LWP-scoped mutation evicted process/sibling entries"
+    );
+    assert_eq!(s2.misses, s1.misses, "an LWP-scoped mutation forced a re-render");
+    assert!(s2.hits > s1.hits, "the surviving entries were not actually used");
+
+    // The mutated LWP's own image re-renders — with the new contents.
+    let after = read_all(&mut sys, ctl, &l2_gregs_path).expect("gregs after");
+    let decoded = procsim::isa::GregSet::from_bytes(&after).expect("decode");
+    assert_eq!(decoded.r[7], 0xDEAD_0001, "the cached gregs image went stale");
+    let s3 = cache_stats(&mut sys, ctl, flat_fd);
+    assert_eq!(
+        s3.invalidations,
+        s2.invalidations + 1,
+        "exactly the mutated LWP's entry is invalidated"
+    );
 }
 
 /// The tentpole's sharing claim: an image rendered for the hierarchical
