@@ -5,27 +5,30 @@
 //! read and write don't share these problems."
 //!
 //! Both `/proc` generations are mounted *behind the RFS-like remote
-//! shim*. The flat interface only works because a hand-maintained
-//! per-request wire table teaches the shim every `PIOC*` operand shape —
-//! and operations outside the table (the deprecated variable-size dumps)
-//! cannot cross at all. The hierarchical interface crosses generically.
+//! shim*. The flat interface only works because a per-request wire table
+//! (one shared table, built from the typed `Ioctl` enum) teaches the
+//! shim every `PIOC*` operand shape — and operations outside the table
+//! (the deprecated variable-size dumps) cannot cross at all. The
+//! hierarchical interface crosses generically. E5c adds the wire v2
+//! payoff: many clients' tagged ops in flight at once complete out of
+//! order, beating one-at-a-time calls on the same lossy wire.
 
 use bench_support::banner;
 use bench_support::{criterion_group, Criterion};
 use ksim::{Cred, System};
 use procfs::{HierFs, ProcFs, PrStatus};
-use vfs::remote::{FaultPlan, FaultRates, IoctlWireSpec, RemoteFs};
+use tools::proc_io::ProcHandle;
+use vfs::remote::{FaultPlan, FaultRates, RemoteFs};
 use vfs::OFlags;
 
 /// Boots a system whose /proc generations are mounted across the wire.
 fn boot_remote() -> (System, ksim::Pid) {
     let mut sys = System::boot();
     tools::install_userland(&mut sys);
-    // Flat /proc: needs the full ioctl wire table.
-    let table: vfs::remote::IoctlTable = Box::new(|req| {
-        procfs::ioctl::wire_spec(req).map(|(i, o)| IoctlWireSpec { in_len: i, out_len: o })
-    });
-    let flat = RemoteFs::new(Box::new(ProcFs::new())).with_ioctl_table(table);
+    // Flat /proc: needs the full ioctl wire table — the one the typed
+    // request enum exports, not a hand-rolled copy.
+    let flat = RemoteFs::new(Box::new(ProcFs::new()))
+        .with_ioctl_table(procfs::ioctl::wire_table());
     sys.mount("/proc", Box::new(flat));
     // Hierarchical /proc: crosses with no table at all.
     let hier = RemoteFs::new(Box::new(HierFs::new()));
@@ -36,57 +39,44 @@ fn boot_remote() -> (System, ksim::Pid) {
 
 fn print_comparison() {
     banner("E5", "marshalling /proc across an RFS-like wire");
-    // Drive the shims directly (unmounted) so their traffic counters are
-    // observable.
-    let mut sys = System::boot();
-    tools::install_userland(&mut sys);
-    let ctl = sys.spawn_hosted("remote-ctl", Cred::new(100, 10));
+    // Both generations are mounted; the tools' one transport path (the
+    // same ProcHandle the debugger uses) drives them, and the shim's
+    // locally-answered PIOCWIRESTATS exposes the traffic counters.
+    let (mut sys, ctl) = boot_remote();
     let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
-    let cred = Cred::new(100, 10);
 
-    let table: vfs::remote::IoctlTable = Box::new(|req| {
-        procfs::ioctl::wire_spec(req).map(|(i, o)| IoctlWireSpec { in_len: i, out_len: o })
-    });
-    let mut flat = RemoteFs::new(Box::new(ProcFs::new())).with_ioctl_table(table);
-    let mut hier = RemoteFs::new(Box::new(HierFs::new()));
-    use vfs::FileSystem;
-
-    // Flat: lookup, open, PIOCSTATUS via remote ioctl.
-    let root = flat.root();
-    let node = flat
-        .lookup(&mut sys.kernel, ctl, root, &format!("{:05}", pid.0))
-        .expect("lookup");
-    let tok = flat.open(&mut sys.kernel, ctl, node, OFlags::rdonly(), &cred).expect("open");
-    let reply = flat
-        .ioctl(&mut sys.kernel, ctl, node, tok, procfs::ioctl::PIOCSTATUS, &[])
-        .expect("status");
-    if let vfs::IoctlReply::Done(bytes) = reply {
-        assert!(PrStatus::from_bytes(&bytes).is_some());
-    }
+    // Flat: open + PIOCSTATUS through the wire.
+    let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+    let st = h.status(&mut sys).expect("status");
+    assert_ne!(st.pid, 0);
+    let w = h.wire_stats(&mut sys).expect("wire stats");
     println!(
         "flat PIOCSTATUS over the wire: OK — {} ops, {}B sent, {}B received",
-        flat.stats.ops, flat.stats.bytes_sent, flat.stats.bytes_received
+        w.ops, w.bytes_sent, w.bytes_received
     );
     // The deprecated variable-size dump cannot cross.
-    let err = flat.ioctl(&mut sys.kernel, ctl, node, tok, procfs::ioctl::PIOCGETPR, &[]);
+    let err = sys.host_ioctl(ctl, h.fd, procfs::ioctl::PIOCGETPR, &[]);
+    let w = h.wire_stats(&mut sys).expect("wire stats");
     println!(
         "flat PIOCGETPR over the wire : {err:?} ({} refusal(s) — no wire shape exists)",
-        flat.stats.unsupported_ioctls
+        w.unsupported_ioctls
     );
+    h.close(&mut sys).expect("close");
 
     // Hierarchical: pure lookup + read, no table anywhere.
-    let root = hier.root();
-    let pdir = hier
-        .lookup(&mut sys.kernel, ctl, root, &pid.0.to_string())
-        .expect("lookup pid");
-    let snode = hier.lookup(&mut sys.kernel, ctl, pdir, "status").expect("lookup status");
-    let stok = hier.open(&mut sys.kernel, ctl, snode, OFlags::rdonly(), &cred).expect("open");
+    let path = format!("/proc2/{}/status", pid.0);
+    let sfd = sys.host_open(ctl, &path, OFlags::rdonly()).expect("open status");
     let mut buf = vec![0u8; PrStatus::WIRE_LEN];
-    let reply = hier.read(&mut sys.kernel, ctl, snode, stok, 0, &mut buf).expect("read");
-    assert_eq!(reply, vfs::IoReply::Done(PrStatus::WIRE_LEN));
+    let n = sys.host_read(ctl, sfd, &mut buf).expect("read");
+    assert_eq!(n, PrStatus::WIRE_LEN);
+    let w = vfs::remote::WireStats::from_bytes(
+        &sys.host_ioctl(ctl, sfd, vfs::remote::PIOCWIRESTATS, &[]).expect("wire stats"),
+    )
+    .expect("decode");
+    sys.host_close(ctl, sfd).expect("close");
     println!(
         "hier status by read(2)       : OK — {} ops, {}B sent, {}B received, 0 refusals",
-        hier.stats.ops, hier.stats.bytes_sent, hier.stats.bytes_received
+        w.ops, w.bytes_sent, w.bytes_received
     );
     println!();
     println!("wire table size for the flat interface: {} PIOC requests", count_table());
@@ -94,7 +84,7 @@ fn print_comparison() {
 }
 
 fn count_table() -> usize {
-    (0x5001..=0x5025u32).filter(|r| procfs::ioctl::wire_spec(*r).is_some()).count()
+    (0x5001..=0x5026u32).filter(|r| procfs::ioctl::wire_spec(*r).is_some()).count()
 }
 
 /// Like [`boot_remote`] but the hierarchical mount's wire injects faults
@@ -167,6 +157,31 @@ fn print_fault_sweep() {
     println!();
 }
 
+/// The wire v2 payoff: N client handles, ops tagged and in flight
+/// together, completions demultiplexed out of order — against the same
+/// workload issued one blocking op at a time over an identical fault
+/// schedule. Time is virtual ticks of the session clock (deterministic).
+fn print_multi_client_sweep() {
+    banner("E5c", "pipelined multi-client sessions vs. serial ops");
+    println!(
+        "{:>9} {:>6} {:>10} {:>10} {:>11} {:>11} {:>8}",
+        "rate(\u{2030})", "ops", "serial-ok", "piped-ok", "serial-tick", "piped-tick", "speedup"
+    );
+    for p in bench_support::multi_client_wire_sweep(&[0, 50, 150, 300], 4, 24, 0xE5C0) {
+        println!(
+            "{:>9} {:>6} {:>10} {:>10} {:>11} {:>11} {:>7.1}x",
+            p.permille,
+            p.ops,
+            p.serial_ok,
+            p.pipelined_ok,
+            p.serial_ticks,
+            p.pipelined_ticks,
+            p.serial_ticks as f64 / p.pipelined_ticks.max(1) as f64,
+        );
+    }
+    println!();
+}
+
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_remote");
     group.bench_function("flat_remote_piocstatus", |b| {
@@ -223,6 +238,7 @@ criterion_group!(benches, bench);
 fn main() {
     print_comparison();
     print_fault_sweep();
+    print_multi_client_sweep();
     benches();
     Criterion::default().configure_from_args().final_summary();
 }

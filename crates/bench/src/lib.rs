@@ -201,6 +201,136 @@ impl BenchmarkGroup {
     pub fn finish(self) {}
 }
 
+/// One measured point of the E5c multi-client wire sweep: the same
+/// status workload run serially (one blocking op at a time) and
+/// pipelined (every client's ops in flight at once) over wires with an
+/// identical seeded fault schedule. Time is the wire session's virtual
+/// clock, so the comparison is deterministic — no wall-clock noise.
+#[derive(Clone, Copy, Debug)]
+pub struct WireSweepPoint {
+    /// Per-class fault rate, in permille.
+    pub permille: u16,
+    /// Operations issued per leg.
+    pub ops: u64,
+    /// Operations that returned a well-formed status, serial leg.
+    pub serial_ok: u64,
+    /// Operations that returned a well-formed status, pipelined leg.
+    pub pipelined_ok: u64,
+    /// Virtual ticks consumed by the serial leg.
+    pub serial_ticks: u64,
+    /// Virtual ticks consumed by the pipelined leg.
+    pub pipelined_ticks: u64,
+}
+
+/// A flat `/proc` behind the wire shim with the shared ioctl table and a
+/// seeded fault plan (rate 0 still installs the plan so the two legs'
+/// jitter schedules stay comparable across rates).
+fn faulted_remote_proc(
+    permille: u16,
+    seed: u64,
+) -> vfs::remote::RemoteFs<ksim::Kernel> {
+    vfs::remote::RemoteFs::new(Box::new(procfs::ProcFs::new()))
+        .with_ioctl_table(procfs::ioctl::wire_table())
+        .with_faults(vfs::remote::FaultPlan::new(
+            seed,
+            vfs::remote::FaultRates::uniform(permille),
+        ))
+}
+
+/// Retries an idempotent wire call until the recovery machinery lands
+/// it; panics if the wire never delivers (bounded, deterministic).
+fn until_ok<T>(mut f: impl FnMut() -> vfs::SysResult<T>) -> T {
+    for _ in 0..256 {
+        if let Ok(v) = f() {
+            return v;
+        }
+    }
+    panic!("wire never recovered within 256 attempts");
+}
+
+/// Measures one fault rate of the multi-client sweep:
+/// `clients * ops_per_client` `PIOCSTATUS` calls, serial vs. pipelined.
+pub fn multi_client_wire_point(
+    permille: u16,
+    clients: usize,
+    ops_per_client: usize,
+    seed: u64,
+) -> WireSweepPoint {
+    use vfs::FileSystem;
+    let ops = (clients * ops_per_client) as u64;
+    let (mut sys, ctl) = boot_with_ctl();
+    let target = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+    let cred = Cred::new(100, 10);
+    let name = format!("{:05}", target.0);
+
+    // Serial leg: the blocking FileSystem face, one op at a time.
+    let mut serial = faulted_remote_proc(permille, seed);
+    let root = serial.root();
+    let node = until_ok(|| serial.lookup(&mut sys.kernel, ctl, root, &name));
+    let tok = until_ok(|| serial.open(&mut sys.kernel, ctl, node, vfs::OFlags::rdonly(), &cred));
+    let mut serial_ok = 0u64;
+    for _ in 0..ops {
+        if let Ok(vfs::IoctlReply::Done(b)) =
+            serial.ioctl(&mut sys.kernel, ctl, node, tok, procfs::ioctl::PIOCSTATUS, &[])
+        {
+            if procfs::PrStatus::from_bytes(&b).is_some() {
+                serial_ok += 1;
+            }
+        }
+    }
+    let serial_ticks = serial.ticks();
+
+    // Pipelined leg: same seed, same workload, but every client handle's
+    // ops are submitted up front and demultiplexed as they complete.
+    let mut piped = faulted_remote_proc(permille, seed);
+    let root = piped.root();
+    let node = until_ok(|| piped.lookup(&mut sys.kernel, ctl, root, &name));
+    let tok = until_ok(|| piped.open(&mut sys.kernel, ctl, node, vfs::OFlags::rdonly(), &cred));
+    let handles: Vec<_> = (0..clients).map(|_| piped.client()).collect();
+    let mut futs = Vec::with_capacity(ops as usize);
+    for _ in 0..ops_per_client {
+        for h in &handles {
+            futs.push(h.submit_ioctl(ctl, node, tok, procfs::ioctl::PIOCSTATUS, &[]));
+        }
+    }
+    let pump = piped.client();
+    let mut pipelined_ok = 0u64;
+    while !futs.is_empty() {
+        let advanced = pump.pump(&mut sys.kernel);
+        futs.retain_mut(|f| match pump.try_complete(f) {
+            Some(Ok(vfs::IoctlReply::Done(b))) => {
+                if procfs::PrStatus::from_bytes(&b).is_some() {
+                    pipelined_ok += 1;
+                }
+                false
+            }
+            Some(_) => false,
+            None => true,
+        });
+        if !advanced && !futs.is_empty() {
+            // An idle wire with pending futures cannot make progress;
+            // every remaining op has already timed out.
+            break;
+        }
+    }
+    let pipelined_ticks = piped.ticks();
+
+    WireSweepPoint { permille, ops, serial_ok, pipelined_ok, serial_ticks, pipelined_ticks }
+}
+
+/// The full sweep across fault rates.
+pub fn multi_client_wire_sweep(
+    rates: &[u16],
+    clients: usize,
+    ops_per_client: usize,
+    seed: u64,
+) -> Vec<WireSweepPoint> {
+    rates
+        .iter()
+        .map(|&permille| multi_client_wire_point(permille, clients, ops_per_client, seed))
+        .collect()
+}
+
 /// Declares the bench entry function, criterion-style:
 /// `criterion_group!(benches, bench_a, bench_b)` defines `fn benches()`
 /// that runs each target against a fresh [`Criterion`].

@@ -29,6 +29,7 @@
 //! operation (`PCSTOP`, `PCWSTOP`) suspends the write; consumed records
 //! are remembered per open descriptor so the retry resumes after them.
 
+use crate::ioctl::Ioctl;
 use crate::ops;
 use crate::snap::{snap_handle, DirSlot, SnapHandle};
 use crate::types::{PrCred, PrMap, PrUsage, PsInfo};
@@ -254,59 +255,66 @@ impl HierFs {
         payload: &[u8],
     ) -> SysResult<bool> {
         let _ = caller;
-        match op {
-            PCSTOP => {
+        // PCDSTOP has no flat `PIOC*` twin — a stop directive that does
+        // not wait exists only in this write-based interface — so it is
+        // handled before the shared request mapping.
+        if op == PCDSTOP {
+            match tid {
+                Some(t) => Self::direct_stop_lwp(k, pid, t)?,
+                None => ops::direct_stop(k, pid)?,
+            }
+            return Ok(true);
+        }
+        // Every other control op is the write-based spelling of a flat
+        // ioctl request; the typed `Ioctl` enum is the single source of
+        // the mapping shared with the flat dispatcher and the wire codec.
+        let ioc = Ioctl::from_ctl_op(op).ok_or(Errno::EINVAL)?;
+        match ioc {
+            Ioctl::Stop => {
                 match tid {
                     Some(t) => Self::direct_stop_lwp(k, pid, t)?,
                     None => ops::direct_stop(k, pid)?,
                 }
                 Ok(Self::stopped(k, pid, tid)?)
             }
-            PCDSTOP => {
-                match tid {
-                    Some(t) => Self::direct_stop_lwp(k, pid, t)?,
-                    None => ops::direct_stop(k, pid)?,
-                }
-                Ok(true)
-            }
-            PCWSTOP => Ok(Self::stopped(k, pid, tid)?),
-            PCRUN => {
+            Ioctl::WStop => Ok(Self::stopped(k, pid, tid)?),
+            Ioctl::Run => {
                 ops::run(k, pid, tid, payload)?;
                 Ok(true)
             }
-            PCSTRACE => {
+            Ioctl::SetSigTrace => {
                 ops::set_sig_trace(k, pid, payload)?;
                 Ok(true)
             }
-            PCSFAULT => {
+            Ioctl::SetFltTrace => {
                 ops::set_flt_trace(k, pid, payload)?;
                 Ok(true)
             }
-            PCSENTRY => {
+            Ioctl::SetEntryTrace => {
                 ops::set_entry_trace(k, pid, payload)?;
                 Ok(true)
             }
-            PCSEXIT => {
+            Ioctl::SetExitTrace => {
                 ops::set_exit_trace(k, pid, payload)?;
                 Ok(true)
             }
-            PCKILL => {
+            Ioctl::Kill => {
                 ops::kill(k, pid, payload)?;
                 Ok(true)
             }
-            PCUNKILL => {
+            Ioctl::UnKill => {
                 ops::unkill(k, pid, payload)?;
                 Ok(true)
             }
-            PCSSIG => {
+            Ioctl::SetSig => {
                 ops::set_sig(k, pid, tid, payload)?;
                 Ok(true)
             }
-            PCSHOLD => {
+            Ioctl::SetHold => {
                 ops::set_hold(k, pid, tid, payload)?;
                 Ok(true)
             }
-            PCSREG => {
+            Ioctl::SetRegs => {
                 let mut regs = isa::GregSet::from_bytes(payload).ok_or(Errno::EINVAL)?;
                 regs.normalize();
                 ops::live(k, pid)?;
@@ -321,7 +329,7 @@ impl HierFs {
                 lwp.gregs = regs;
                 Ok(true)
             }
-            PCSFPREG => {
+            Ioctl::SetFpRegs => {
                 let regs = isa::FpregSet::from_bytes(payload).ok_or(Errno::EINVAL)?;
                 ops::live(k, pid)?;
                 let proc = k.proc_mut(pid)?;
@@ -335,21 +343,21 @@ impl HierFs {
                 lwp.fpregs = regs;
                 Ok(true)
             }
-            PCSFORK | PCRFORK => {
+            Ioctl::SetForkInherit | Ioctl::ClearForkInherit => {
                 ops::live(k, pid)?;
-                k.proc_mut(pid)?.trace.inherit_on_fork = op == PCSFORK;
+                k.proc_mut(pid)?.trace.inherit_on_fork = ioc == Ioctl::SetForkInherit;
                 Ok(true)
             }
-            PCSRLC | PCRRLC => {
+            Ioctl::SetRunOnLastClose | Ioctl::ClearRunOnLastClose => {
                 ops::live(k, pid)?;
-                k.proc_mut(pid)?.trace.run_on_last_close = op == PCSRLC;
+                k.proc_mut(pid)?.trace.run_on_last_close = ioc == Ioctl::SetRunOnLastClose;
                 Ok(true)
             }
-            PCWATCH => {
+            Ioctl::SetWatch => {
                 ops::watch(k, pid, payload)?;
                 Ok(true)
             }
-            PCNICE => {
+            Ioctl::Nice => {
                 ops::nice(k, pid, payload)?;
                 Ok(true)
             }

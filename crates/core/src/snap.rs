@@ -89,6 +89,7 @@ impl SnapCache {
     /// `pr_gen`, `mem_gen` and `lwp_gen` are the *current* stamps (pass
     /// `lwp_gen` 0 for non-LWP kinds, where it is ignored); a stale
     /// entry is counted as an invalidation and removed.
+    #[allow(clippy::too_many_arguments)]
     pub fn lookup<R>(
         &mut self,
         pid: u32,

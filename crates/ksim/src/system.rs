@@ -1533,6 +1533,25 @@ impl System {
             Ok(if any { Some(out) } else { None })
         })
     }
+
+    /// Host `poll(2)` waiting for input-readiness only (`POLLIN |
+    /// POLLHUP`): blocks until at least one descriptor has an event
+    /// available or is dead, ignoring writability. `/proc` files of
+    /// live processes are always writable, so this is the mode a
+    /// debugger uses to wait on N traced processes with one call.
+    pub fn host_poll_in(&mut self, cur: Pid, fds: &[usize]) -> SysResult<Vec<PollStatus>> {
+        let fds = fds.to_vec();
+        self.pump_until(move |s| {
+            let mut out = Vec::with_capacity(fds.len());
+            let mut any = false;
+            for &fd in &fds {
+                let st = s.poll_fd(cur, fd)?;
+                any |= st.ready();
+                out.push(st);
+            }
+            Ok(if any { Some(out) } else { None })
+        })
+    }
 }
 
 /// The CPU's view of a process address space: protections, copy-on-write,

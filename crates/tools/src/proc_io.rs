@@ -13,11 +13,68 @@ use ksim::sysno::SysSet;
 use ksim::{Pid, SysResult, System};
 use procfs::ioctl::*;
 use procfs::{PrCred, PrMap, PrRun, PrStatus, PrUsage, PrWatch, PsInfo};
-use vfs::{Errno, OFlags};
+use vfs::{Errno, OFlags, PollStatus};
 
 /// The `/proc` path of a process (five-digit form, as listed).
 pub fn proc_path(pid: Pid) -> String {
     format!("/proc/{:05}", pid.0)
+}
+
+/// The host-call surface a `/proc` client needs. [`ProcHandle`] (and
+/// everything built on it — the debugger, `truss`, `ps`, `pmap`) drives
+/// its descriptors exclusively through this trait, so one call path
+/// serves every kind of mount: the same typed accessors work whether
+/// `/proc` is the local file system or a [`vfs::remote::RemoteFs`] shim
+/// pipelining frames across a faulty wire. [`System`] is the canonical
+/// implementation; benches and tests can supply their own (e.g. to
+/// drive an unmounted file system directly or to count calls).
+pub trait ProcTransport {
+    /// `open(2)`.
+    fn pt_open(&mut self, ctl: Pid, path: &str, flags: OFlags) -> SysResult<usize>;
+    /// `close(2)`.
+    fn pt_close(&mut self, ctl: Pid, fd: usize) -> SysResult<()>;
+    /// `ioctl(2)`, blocking until the reply is complete.
+    fn pt_ioctl(&mut self, ctl: Pid, fd: usize, req: u32, arg: &[u8]) -> SysResult<Vec<u8>>;
+    /// `lseek(2)`.
+    fn pt_lseek(&mut self, ctl: Pid, fd: usize, off: i64, whence: u32) -> SysResult<u64>;
+    /// `read(2)`.
+    fn pt_read(&mut self, ctl: Pid, fd: usize, buf: &mut [u8]) -> SysResult<usize>;
+    /// `write(2)`.
+    fn pt_write(&mut self, ctl: Pid, fd: usize, data: &[u8]) -> SysResult<usize>;
+    /// Non-blocking readiness of one descriptor.
+    fn pt_poll_fd(&mut self, ctl: Pid, fd: usize) -> SysResult<PollStatus>;
+    /// `poll(2)` over a descriptor set: blocks until at least one is
+    /// input-ready (`POLLIN | POLLHUP`), then reports every
+    /// descriptor's status. Writability is ignored — `/proc` files of
+    /// live processes are always writable.
+    fn pt_poll(&mut self, ctl: Pid, fds: &[usize]) -> SysResult<Vec<PollStatus>>;
+}
+
+impl ProcTransport for System {
+    fn pt_open(&mut self, ctl: Pid, path: &str, flags: OFlags) -> SysResult<usize> {
+        self.host_open(ctl, path, flags)
+    }
+    fn pt_close(&mut self, ctl: Pid, fd: usize) -> SysResult<()> {
+        self.host_close(ctl, fd)
+    }
+    fn pt_ioctl(&mut self, ctl: Pid, fd: usize, req: u32, arg: &[u8]) -> SysResult<Vec<u8>> {
+        self.host_ioctl(ctl, fd, req, arg)
+    }
+    fn pt_lseek(&mut self, ctl: Pid, fd: usize, off: i64, whence: u32) -> SysResult<u64> {
+        self.host_lseek(ctl, fd, off, whence)
+    }
+    fn pt_read(&mut self, ctl: Pid, fd: usize, buf: &mut [u8]) -> SysResult<usize> {
+        self.host_read(ctl, fd, buf)
+    }
+    fn pt_write(&mut self, ctl: Pid, fd: usize, data: &[u8]) -> SysResult<usize> {
+        self.host_write(ctl, fd, data)
+    }
+    fn pt_poll_fd(&mut self, ctl: Pid, fd: usize) -> SysResult<PollStatus> {
+        self.poll_fd(ctl, fd)
+    }
+    fn pt_poll(&mut self, ctl: Pid, fds: &[usize]) -> SysResult<Vec<PollStatus>> {
+        self.host_poll_in(ctl, fds)
+    }
 }
 
 /// One open `/proc` descriptor, owned by hosted process `ctl`.
@@ -36,177 +93,177 @@ pub struct ProcHandle {
 
 impl ProcHandle {
     /// Opens the target's process file with the given flags.
-    pub fn open(sys: &mut System, ctl: Pid, pid: Pid, flags: OFlags) -> SysResult<ProcHandle> {
-        let fd = sys.host_open(ctl, &proc_path(pid), flags)?;
+    pub fn open(sys: &mut impl ProcTransport, ctl: Pid, pid: Pid, flags: OFlags) -> SysResult<ProcHandle> {
+        let fd = sys.pt_open(ctl, &proc_path(pid), flags)?;
         Ok(ProcHandle { pid, ctl, fd, calls: 1 })
     }
 
     /// Opens read/write (the debugger's usual mode).
-    pub fn open_rw(sys: &mut System, ctl: Pid, pid: Pid) -> SysResult<ProcHandle> {
+    pub fn open_rw(sys: &mut impl ProcTransport, ctl: Pid, pid: Pid) -> SysResult<ProcHandle> {
         Self::open(sys, ctl, pid, OFlags::rdwr())
     }
 
     /// Opens read-only (the `ps` mode: "the opens always succeed and no
     /// interference is created").
-    pub fn open_ro(sys: &mut System, ctl: Pid, pid: Pid) -> SysResult<ProcHandle> {
+    pub fn open_ro(sys: &mut impl ProcTransport, ctl: Pid, pid: Pid) -> SysResult<ProcHandle> {
         Self::open(sys, ctl, pid, OFlags::rdonly())
     }
 
     /// Opens for exclusive control.
-    pub fn open_excl(sys: &mut System, ctl: Pid, pid: Pid) -> SysResult<ProcHandle> {
+    pub fn open_excl(sys: &mut impl ProcTransport, ctl: Pid, pid: Pid) -> SysResult<ProcHandle> {
         Self::open(sys, ctl, pid, OFlags::rdwr_excl())
     }
 
     /// Closes the descriptor.
-    pub fn close(mut self, sys: &mut System) -> SysResult<()> {
+    pub fn close(mut self, sys: &mut impl ProcTransport) -> SysResult<()> {
         self.calls += 1;
-        sys.host_close(self.ctl, self.fd)
+        sys.pt_close(self.ctl, self.fd)
     }
 
-    fn ioctl(&mut self, sys: &mut System, req: u32, arg: &[u8]) -> SysResult<Vec<u8>> {
+    fn ioctl(&mut self, sys: &mut impl ProcTransport, req: u32, arg: &[u8]) -> SysResult<Vec<u8>> {
         self.calls += 1;
-        sys.host_ioctl(self.ctl, self.fd, req, arg)
+        sys.pt_ioctl(self.ctl, self.fd, req, arg)
     }
 
     /// `PIOCSTATUS`: the full status in one operation.
-    pub fn status(&mut self, sys: &mut System) -> SysResult<PrStatus> {
+    pub fn status(&mut self, sys: &mut impl ProcTransport) -> SysResult<PrStatus> {
         let out = self.ioctl(sys, PIOCSTATUS, &[])?;
         PrStatus::from_bytes(&out).ok_or(Errno::EIO)
     }
 
     /// `PIOCSTOP`: direct the process to stop and wait for the stop.
-    pub fn stop(&mut self, sys: &mut System) -> SysResult<PrStatus> {
+    pub fn stop(&mut self, sys: &mut impl ProcTransport) -> SysResult<PrStatus> {
         let out = self.ioctl(sys, PIOCSTOP, &[])?;
         PrStatus::from_bytes(&out).ok_or(Errno::EIO)
     }
 
     /// `PIOCWSTOP`: wait for the next event-of-interest stop.
-    pub fn wstop(&mut self, sys: &mut System) -> SysResult<PrStatus> {
+    pub fn wstop(&mut self, sys: &mut impl ProcTransport) -> SysResult<PrStatus> {
         let out = self.ioctl(sys, PIOCWSTOP, &[])?;
         PrStatus::from_bytes(&out).ok_or(Errno::EIO)
     }
 
     /// `PIOCRUN` with options.
-    pub fn run(&mut self, sys: &mut System, run: PrRun) -> SysResult<()> {
+    pub fn run(&mut self, sys: &mut impl ProcTransport, run: PrRun) -> SysResult<()> {
         self.ioctl(sys, PIOCRUN, &run.to_bytes())?;
         Ok(())
     }
 
     /// `PIOCRUN` with no options.
-    pub fn resume(&mut self, sys: &mut System) -> SysResult<()> {
+    pub fn resume(&mut self, sys: &mut impl ProcTransport) -> SysResult<()> {
         self.run(sys, PrRun::default())
     }
 
     /// `PIOCSTRACE`: set traced signals.
-    pub fn set_sig_trace(&mut self, sys: &mut System, set: SigSet) -> SysResult<()> {
+    pub fn set_sig_trace(&mut self, sys: &mut impl ProcTransport, set: SigSet) -> SysResult<()> {
         self.ioctl(sys, PIOCSTRACE, &set.to_bytes())?;
         Ok(())
     }
 
     /// `PIOCGTRACE`: get traced signals.
-    pub fn sig_trace(&mut self, sys: &mut System) -> SysResult<SigSet> {
+    pub fn sig_trace(&mut self, sys: &mut impl ProcTransport) -> SysResult<SigSet> {
         let out = self.ioctl(sys, PIOCGTRACE, &[])?;
         SigSet::from_bytes(&out).ok_or(Errno::EIO)
     }
 
     /// `PIOCSFAULT`: set traced faults.
-    pub fn set_flt_trace(&mut self, sys: &mut System, set: FltSet) -> SysResult<()> {
+    pub fn set_flt_trace(&mut self, sys: &mut impl ProcTransport, set: FltSet) -> SysResult<()> {
         self.ioctl(sys, PIOCSFAULT, &set.to_bytes())?;
         Ok(())
     }
 
     /// `PIOCSENTRY`: set traced system call entries.
-    pub fn set_entry_trace(&mut self, sys: &mut System, set: SysSet) -> SysResult<()> {
+    pub fn set_entry_trace(&mut self, sys: &mut impl ProcTransport, set: SysSet) -> SysResult<()> {
         self.ioctl(sys, PIOCSENTRY, &set.to_bytes())?;
         Ok(())
     }
 
     /// `PIOCSEXIT`: set traced system call exits.
-    pub fn set_exit_trace(&mut self, sys: &mut System, set: SysSet) -> SysResult<()> {
+    pub fn set_exit_trace(&mut self, sys: &mut impl ProcTransport, set: SysSet) -> SysResult<()> {
         self.ioctl(sys, PIOCSEXIT, &set.to_bytes())?;
         Ok(())
     }
 
     /// `PIOCGREG`: fetch the general registers.
-    pub fn gregs(&mut self, sys: &mut System) -> SysResult<GregSet> {
+    pub fn gregs(&mut self, sys: &mut impl ProcTransport) -> SysResult<GregSet> {
         let out = self.ioctl(sys, PIOCGREG, &[])?;
         GregSet::from_bytes(&out).ok_or(Errno::EIO)
     }
 
     /// `PIOCSREG`: install the general registers.
-    pub fn set_gregs(&mut self, sys: &mut System, regs: &GregSet) -> SysResult<()> {
+    pub fn set_gregs(&mut self, sys: &mut impl ProcTransport, regs: &GregSet) -> SysResult<()> {
         self.ioctl(sys, PIOCSREG, &regs.to_bytes())?;
         Ok(())
     }
 
     /// `PIOCGFPREG`: fetch the floating registers.
-    pub fn fpregs(&mut self, sys: &mut System) -> SysResult<FpregSet> {
+    pub fn fpregs(&mut self, sys: &mut impl ProcTransport) -> SysResult<FpregSet> {
         let out = self.ioctl(sys, PIOCGFPREG, &[])?;
         FpregSet::from_bytes(&out).ok_or(Errno::EIO)
     }
 
     /// `PIOCSFPREG`: install the floating registers.
-    pub fn set_fpregs(&mut self, sys: &mut System, regs: &FpregSet) -> SysResult<()> {
+    pub fn set_fpregs(&mut self, sys: &mut impl ProcTransport, regs: &FpregSet) -> SysResult<()> {
         self.ioctl(sys, PIOCSFPREG, &regs.to_bytes())?;
         Ok(())
     }
 
     /// `PIOCMAP`: the address map.
-    pub fn maps(&mut self, sys: &mut System) -> SysResult<Vec<PrMap>> {
+    pub fn maps(&mut self, sys: &mut impl ProcTransport) -> SysResult<Vec<PrMap>> {
         let out = self.ioctl(sys, PIOCMAP, &[])?;
         Ok(PrMap::decode_list(&out))
     }
 
     /// `PIOCPSINFO`: the `ps` snapshot.
-    pub fn psinfo(&mut self, sys: &mut System) -> SysResult<PsInfo> {
+    pub fn psinfo(&mut self, sys: &mut impl ProcTransport) -> SysResult<PsInfo> {
         let out = self.ioctl(sys, PIOCPSINFO, &[])?;
         PsInfo::from_bytes(&out).ok_or(Errno::EIO)
     }
 
     /// `PIOCCRED`: credentials.
-    pub fn cred(&mut self, sys: &mut System) -> SysResult<PrCred> {
+    pub fn cred(&mut self, sys: &mut impl ProcTransport) -> SysResult<PrCred> {
         let out = self.ioctl(sys, PIOCCRED, &[])?;
         PrCred::from_bytes(&out).ok_or(Errno::EIO)
     }
 
     /// `PIOCUSAGE`: resource usage.
-    pub fn usage(&mut self, sys: &mut System) -> SysResult<PrUsage> {
+    pub fn usage(&mut self, sys: &mut impl ProcTransport) -> SysResult<PrUsage> {
         let out = self.ioctl(sys, PIOCUSAGE, &[])?;
         PrUsage::from_bytes(&out).ok_or(Errno::EIO)
     }
 
     /// `PIOCKILL`: post a signal.
-    pub fn kill(&mut self, sys: &mut System, sig: usize) -> SysResult<()> {
+    pub fn kill(&mut self, sys: &mut impl ProcTransport, sig: usize) -> SysResult<()> {
         self.ioctl(sys, PIOCKILL, &(sig as u32).to_le_bytes())?;
         Ok(())
     }
 
     /// `PIOCUNKILL`: delete a pending signal.
-    pub fn unkill(&mut self, sys: &mut System, sig: usize) -> SysResult<()> {
+    pub fn unkill(&mut self, sys: &mut impl ProcTransport, sig: usize) -> SysResult<()> {
         self.ioctl(sys, PIOCUNKILL, &(sig as u32).to_le_bytes())?;
         Ok(())
     }
 
     /// `PIOCSSIG`: set (0 clears) the current signal.
-    pub fn set_cursig(&mut self, sys: &mut System, sig: usize) -> SysResult<()> {
+    pub fn set_cursig(&mut self, sys: &mut impl ProcTransport, sig: usize) -> SysResult<()> {
         self.ioctl(sys, PIOCSSIG, &(sig as u32).to_le_bytes())?;
         Ok(())
     }
 
     /// `PIOCSFORK`/`PIOCRFORK`: inherit-on-fork.
-    pub fn set_inherit_on_fork(&mut self, sys: &mut System, on: bool) -> SysResult<()> {
+    pub fn set_inherit_on_fork(&mut self, sys: &mut impl ProcTransport, on: bool) -> SysResult<()> {
         self.ioctl(sys, if on { PIOCSFORK } else { PIOCRFORK }, &[])?;
         Ok(())
     }
 
     /// `PIOCSRLC`/`PIOCRRLC`: run-on-last-close.
-    pub fn set_run_on_last_close(&mut self, sys: &mut System, on: bool) -> SysResult<()> {
+    pub fn set_run_on_last_close(&mut self, sys: &mut impl ProcTransport, on: bool) -> SysResult<()> {
         self.ioctl(sys, if on { PIOCSRLC } else { PIOCRRLC }, &[])?;
         Ok(())
     }
 
     /// `PIOCSWATCH`: add (or with `size == 0` remove) a watched area.
-    pub fn set_watch(&mut self, sys: &mut System, w: PrWatch) -> SysResult<()> {
+    pub fn set_watch(&mut self, sys: &mut impl ProcTransport, w: PrWatch) -> SysResult<()> {
         self.ioctl(sys, PIOCSWATCH, &w.to_bytes())?;
         Ok(())
     }
@@ -216,41 +273,50 @@ impl ProcHandle {
     /// Answered by the client stub without crossing the wire, so it works
     /// even when the network is down; over a local mount it fails with
     /// the mount's unknown-ioctl errno.
-    pub fn wire_stats(&mut self, sys: &mut System) -> SysResult<vfs::remote::WireStats> {
+    pub fn wire_stats(&mut self, sys: &mut impl ProcTransport) -> SysResult<vfs::remote::WireStats> {
         let out = self.ioctl(sys, vfs::remote::PIOCWIRESTATS, &[])?;
         vfs::remote::WireStats::from_bytes(&out).ok_or(Errno::EIO)
     }
 
+    /// Non-blocking `poll` readiness of this descriptor — the paper's
+    /// proposed extension: the process file is "ready" (readable) when
+    /// the target is stopped on an event of interest, and in `hangup`
+    /// when it has terminated.
+    pub fn poll(&mut self, sys: &mut impl ProcTransport) -> SysResult<PollStatus> {
+        self.calls += 1;
+        sys.pt_poll_fd(self.ctl, self.fd)
+    }
+
     /// `PIOCOPENM`: open the object mapped at `vaddr`, returning a plain
     /// descriptor in the controller's table.
-    pub fn open_mapped(&mut self, sys: &mut System, vaddr: u64) -> SysResult<usize> {
+    pub fn open_mapped(&mut self, sys: &mut impl ProcTransport, vaddr: u64) -> SysResult<usize> {
         let out = self.ioctl(sys, PIOCOPENM, &vaddr.to_le_bytes())?;
         Ok(u64::from_le_bytes(out.try_into().map_err(|_| Errno::EIO)?) as usize)
     }
 
     /// Reads target memory at `addr` (lseek + read: two calls).
-    pub fn read_mem(&mut self, sys: &mut System, addr: u64, buf: &mut [u8]) -> SysResult<usize> {
+    pub fn read_mem(&mut self, sys: &mut impl ProcTransport, addr: u64, buf: &mut [u8]) -> SysResult<usize> {
         self.calls += 2;
-        sys.host_lseek(self.ctl, self.fd, addr as i64, 0)?;
-        sys.host_read(self.ctl, self.fd, buf)
+        sys.pt_lseek(self.ctl, self.fd, addr as i64, 0)?;
+        sys.pt_read(self.ctl, self.fd, buf)
     }
 
     /// Writes target memory at `addr` (lseek + write: two calls).
-    pub fn write_mem(&mut self, sys: &mut System, addr: u64, data: &[u8]) -> SysResult<usize> {
+    pub fn write_mem(&mut self, sys: &mut impl ProcTransport, addr: u64, data: &[u8]) -> SysResult<usize> {
         self.calls += 2;
-        sys.host_lseek(self.ctl, self.fd, addr as i64, 0)?;
-        sys.host_write(self.ctl, self.fd, data)
+        sys.pt_lseek(self.ctl, self.fd, addr as i64, 0)?;
+        sys.pt_write(self.ctl, self.fd, data)
     }
 
     /// Reads one 64-bit word of target memory.
-    pub fn peek(&mut self, sys: &mut System, addr: u64) -> SysResult<u64> {
+    pub fn peek(&mut self, sys: &mut impl ProcTransport, addr: u64) -> SysResult<u64> {
         let mut b = [0u8; 8];
         self.read_mem(sys, addr, &mut b)?;
         Ok(u64::from_le_bytes(b))
     }
 
     /// Writes one 64-bit word of target memory.
-    pub fn poke(&mut self, sys: &mut System, addr: u64, value: u64) -> SysResult<()> {
+    pub fn poke(&mut self, sys: &mut impl ProcTransport, addr: u64, value: u64) -> SysResult<()> {
         self.write_mem(sys, addr, &value.to_le_bytes())?;
         Ok(())
     }
@@ -258,21 +324,21 @@ impl ProcHandle {
     /// Reads the target's executable image via `PIOCOPENM` at the current
     /// program counter and parses it (symbol-table access without
     /// pathnames).
-    pub fn read_aout(&mut self, sys: &mut System) -> SysResult<ksim::Aout> {
+    pub fn read_aout(&mut self, sys: &mut impl ProcTransport) -> SysResult<ksim::Aout> {
         let pc = self.status(sys)?.reg.pc;
         let objfd = self.open_mapped(sys, pc)?;
         let mut image = Vec::new();
         let mut buf = [0u8; 4096];
         loop {
             self.calls += 1;
-            let n = sys.host_read(self.ctl, objfd, &mut buf)?;
+            let n = sys.pt_read(self.ctl, objfd, &mut buf)?;
             if n == 0 {
                 break;
             }
             image.extend_from_slice(&buf[..n]);
         }
         self.calls += 1;
-        sys.host_close(self.ctl, objfd)?;
+        sys.pt_close(self.ctl, objfd)?;
         ksim::Aout::from_bytes(&image)
     }
 }

@@ -160,8 +160,20 @@ fn arm_child(sys: &mut System, ctl: Pid, pid: Pid) -> SysResult<Traced> {
 }
 
 /// Non-blocking stop check: returns the status if the target is stopped
-/// on an event of interest.
+/// on an event of interest. The `poll` readiness bit gates the probe —
+/// only a ready process file is worth the full `PIOCSTATUS`, so a
+/// spinning target costs one cheap poll per loop instead of a status
+/// snapshot.
 fn peek_stop(sys: &mut System, t: &mut Traced) -> SysResult<Option<PrStatus>> {
+    let ready = t.handle.poll(sys)?;
+    if ready.hangup {
+        // Terminated: surface the same error path a failed status read
+        // used to take, so the caller reports the exit.
+        return Err(Errno::ESRCH);
+    }
+    if !ready.readable {
+        return Ok(None);
+    }
     let st = t.handle.status(sys)?;
     if st.flags & procfs::PR_ISTOP != 0 {
         Ok(Some(st))

@@ -171,6 +171,19 @@ impl std::fmt::Display for Errno {
 
 impl std::error::Error for Errno {}
 
+impl Errno {
+    /// Encodes for the wire: the `u32` image of the System V number.
+    pub fn to_wire(self) -> u32 {
+        self as i32 as u32
+    }
+
+    /// Decodes a wire error image; unknown numbers degrade to `EIO`
+    /// rather than inventing an errno the kernel never produced.
+    pub fn from_wire(code: u32) -> Errno {
+        Errno::from_i32(code as i32).unwrap_or(Errno::EIO)
+    }
+}
+
 /// The standard result type of system-call-layer operations.
 pub type SysResult<T> = Result<T, Errno>;
 

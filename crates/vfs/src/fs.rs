@@ -124,6 +124,16 @@ pub struct PollStatus {
     pub hangup: bool,
 }
 
+impl PollStatus {
+    /// Input-readiness (`POLLIN | POLLHUP`): an event is available or
+    /// the node is dead. This is the bit a debugger waits on — `/proc`
+    /// files of live processes are always writable, so writability says
+    /// nothing about stop events.
+    pub fn ready(self) -> bool {
+        self.readable || self.hangup
+    }
+}
+
 /// The vnode-operations interface implemented by each file system type.
 ///
 /// Operations that involve the calling process receive its [`Pid`] and

@@ -1,4 +1,5 @@
-//! An RFS-like remote-access shim with a lossy, recoverable wire.
+//! An RFS-like remote-access shim: concurrent tagged sessions over a
+//! lossy, recoverable wire.
 //!
 //! "The SVR4 implementation of /proc works correctly with Remote File
 //! Sharing (RFS). With appropriate permission it is possible to inspect,
@@ -10,31 +11,46 @@
 //! to cleanly separate the client/server interactions; read and write
 //! don't share these problems."
 //!
-//! [`RemoteFs`] wraps any [`FileSystem`] and simulates a client/server
-//! split: every operation is marshalled into a request byte image, the
-//! image crosses a (possibly faulty) wire, the server parses it and
-//! executes the call against the inner file system, and the result
-//! crosses back the same way. Byte and operation counts accumulate in
-//! [`WireStats`], giving experiment E5 its data.
+//! # Wire protocol v2: tagged, pipelined, out of order
+//!
+//! A [`WireSession`] owns one server ([`FileSystem`]) end and one shared
+//! wire. Every request frame carries an **op tag** (a session-unique
+//! monotone counter, travelling in the frame's sequence field); many
+//! operations — from many [`RemoteClient`] handles — may be in flight at
+//! once. The server completes them **out of order** (a seeded service
+//! jitter reorders replies) and the client side demultiplexes each
+//! completion into its per-op [`OpFuture`], a poll-based state machine:
+//! no async runtime, just `submit_*` → [`RemoteClient::pump`] →
+//! [`RemoteClient::try_complete`]. [`RemoteFs`] keeps the blocking
+//! [`FileSystem`] face by submitting and waiting on one future at a
+//! time, so a remote mount drops into [`crate::mount::MountTable`]
+//! unchanged while pipelined clients share its session.
+//!
+//! Time is **virtual**: a deterministic event scheduler orders request
+//! arrivals, service completions, reply arrivals and retry timers on a
+//! tick clock ([`WireSession::ticks`]). No wall clock is ever read, so
+//! every interleaving — including multi-client races — replays exactly
+//! from the seeds.
 //!
 //! Real process-control traffic must survive a network that corrupts,
 //! loses, duplicates and delays messages, so the wire layer is built
 //! from explicit state rather than hope:
 //!
-//! * every image is framed with a magic, a sequence number, a length and
-//!   a CRC-32 ([`encode_frame`]/[`decode_frame`]); damaged frames are
-//!   rejected with a distinct [`WireError`], never misparsed;
+//! * every image is framed with a magic, a tag, a length and a CRC-32
+//!   ([`encode_frame`]/[`decode_frame`]); damaged frames are rejected
+//!   with a distinct [`WireError`], never misparsed;
 //! * a seeded, replayable [`FaultPlan`] injects drops, truncations,
 //!   bit-flips, duplications and delays at configured per-mille rates —
 //!   the same seed always yields the same fault schedule;
-//! * a client-side retry engine resends until a usable reply arrives,
-//!   with capped exponential backoff and a bounded time budget; an
-//!   exhausted budget degrades to [`Errno::ETIMEDOUT`], never a panic or
-//!   a silently wrong reply;
+//! * a per-op retry timer resends until a usable reply arrives, with
+//!   capped exponential backoff and a bounded tick budget; an exhausted
+//!   budget degrades to [`Errno::ETIMEDOUT`], never a panic or a
+//!   silently wrong reply;
 //! * operations are classified by idempotency ([`OpClass`]): pure reads
 //!   retry freely, while mutating operations (`open`, `close`, `write`,
-//!   `ioctl`) carry their sequence number into a server-side dedup
-//!   window so a retried request is applied exactly once.
+//!   `ioctl`) carry their tag into a server-side dedup window so a
+//!   retried or duplicated request is applied exactly once — even when
+//!   retransmissions from different client handles interleave.
 //!
 //! The crucial asymmetry from the paper survives intact: `read`,
 //! `write`, `lookup` and friends marshal *generically* — their operand
@@ -48,7 +64,9 @@ use crate::cred::Cred;
 use crate::errno::{Errno, SysResult};
 use crate::fs::{FileSystem, IoReply, IoctlReply, OFlags, OpenToken, PollStatus};
 use crate::node::{DirEntry, Metadata, NodeId, Pid, VnodeKind};
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Introspection ioctl answered by [`RemoteFs`] itself (never crossing
 /// the wire): returns the [`WireStats`] image. Numbered after the
@@ -299,19 +317,29 @@ enum OpClass {
     /// Safe to execute any number of times (lookup, getattr, readdir,
     /// read, poll): the client retries freely.
     Idempotent,
-    /// Carries side effects (open, close, write, ioctl): the sequence
-    /// number enters the server's dedup window so a retried request is
+    /// Carries side effects (open, close, write, ioctl): the op tag
+    /// enters the server's dedup window so a retried request is
     /// executed exactly once and re-answered from the cached response.
     Sequenced,
 }
 
-/// Responses remembered per sequence number for exactly-once execution.
+/// Responses remembered per op tag for exactly-once execution.
 const DEDUP_WINDOW: usize = 128;
 
-/// Frame magic ("/proc wire").
-const FRAME_MAGIC: u32 = 0x70F5_57E1;
-/// Frame header: magic + seq + body length + CRC-32.
+/// Frame magic ("/proc wire", v2: tagged concurrent sessions).
+const FRAME_MAGIC: u32 = 0x70F5_57E2;
+/// Frame header: magic + tag + body length + CRC-32.
 const FRAME_HEADER: usize = 4 + 8 + 4 + 4;
+
+/// Ticks a frame spends crossing the wire in either direction.
+const TRANSIT_TICKS: u64 = 1;
+/// Server service-time jitter, exclusive upper bound: replies complete
+/// `0..SERVICE_JITTER` ticks after arrival, reordering completions.
+const SERVICE_JITTER: u64 = 3;
+/// Client patience per attempt before the retry timer fires. Must
+/// exceed a round trip plus the worst service jitter or clean wires
+/// would retransmit.
+const RETRY_RTT: u64 = 6;
 
 /// CRC-32 (IEEE 802.3 polynomial, bitwise): guarantees detection of any
 /// single-bit flip and any burst up to 32 bits.
@@ -326,19 +354,19 @@ fn crc32(seed: u32, data: &[u8]) -> u32 {
     !crc
 }
 
-fn frame_crc(seq: u64, body: &[u8]) -> u32 {
-    let crc = crc32(0, &seq.to_le_bytes());
+fn frame_crc(tag: u64, body: &[u8]) -> u32 {
+    let crc = crc32(0, &tag.to_le_bytes());
     let crc = crc32(crc, &(body.len() as u32).to_le_bytes());
     crc32(crc, body)
 }
 
-/// Frames a message body: `[magic][seq][len][crc][body]`.
-fn encode_frame(seq: u64, body: &[u8]) -> Vec<u8> {
+/// Frames a message body: `[magic][tag][len][crc][body]`.
+fn encode_frame(tag: u64, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER + body.len());
     out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
-    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&tag.to_le_bytes());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(&frame_crc(seq, body).to_le_bytes());
+    out.extend_from_slice(&frame_crc(tag, body).to_le_bytes());
     out.extend_from_slice(body);
     out
 }
@@ -351,17 +379,17 @@ fn decode_frame(data: &[u8]) -> Result<(u64, Vec<u8>), WireError> {
     if magic != FRAME_MAGIC {
         return Err(WireError::Corrupt);
     }
-    let seq = r.u64().map_err(|_| WireError::Truncated)?;
+    let tag = r.u64().map_err(|_| WireError::Truncated)?;
     let len = r.u32().map_err(|_| WireError::Truncated)? as usize;
     let crc = r.u32().map_err(|_| WireError::Truncated)?;
     if data.len() != FRAME_HEADER + len {
         return Err(WireError::Truncated);
     }
     let body = &data[FRAME_HEADER..];
-    if frame_crc(seq, body) != crc {
+    if frame_crc(tag, body) != crc {
         return Err(WireError::Corrupt);
     }
-    Ok((seq, body.to_vec()))
+    Ok((tag, body.to_vec()))
 }
 
 /// Wire shape of one ioctl request: how many bytes go in and (at most)
@@ -377,178 +405,6 @@ pub struct IoctlWireSpec {
 
 /// Table resolving an ioctl request number to its wire shape.
 pub type IoctlTable = Box<dyn Fn(u32) -> Option<IoctlWireSpec> + Send>;
-
-/// A file system accessed across a simulated (and possibly lossy) wire.
-pub struct RemoteFs<K> {
-    inner: Box<dyn FileSystem<K> + Send>,
-    ioctl_table: Option<IoctlTable>,
-    fault: Option<FaultPlan>,
-    retry: RetryPolicy,
-    /// Next request sequence number.
-    next_seq: u64,
-    /// Server-side dedup window: `(seq, cached response body)`.
-    dedup: VecDeque<(u64, Vec<u8>)>,
-    /// Accumulated traffic counters.
-    pub stats: WireStats,
-}
-
-impl<K> RemoteFs<K> {
-    /// Wraps `inner` over a perfect wire. Without an ioctl table, every
-    /// ioctl is refused.
-    pub fn new(inner: Box<dyn FileSystem<K> + Send>) -> RemoteFs<K> {
-        RemoteFs {
-            inner,
-            ioctl_table: None,
-            fault: None,
-            retry: RetryPolicy::default(),
-            next_seq: 1,
-            dedup: VecDeque::new(),
-            stats: WireStats::default(),
-        }
-    }
-
-    /// Supplies the per-request ioctl wire table.
-    pub fn with_ioctl_table(mut self, table: IoctlTable) -> RemoteFs<K> {
-        self.ioctl_table = Some(table);
-        self
-    }
-
-    /// Makes the wire lossy under a deterministic fault plan.
-    pub fn with_faults(mut self, plan: FaultPlan) -> RemoteFs<K> {
-        self.fault = Some(plan);
-        self
-    }
-
-    /// Overrides the client retry discipline.
-    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> RemoteFs<K> {
-        self.retry = policy;
-        self
-    }
-
-    /// Resets the traffic counters.
-    pub fn reset_stats(&mut self) {
-        self.stats = WireStats::default();
-    }
-
-    /// Performs one remote operation end to end: frame and send the
-    /// request, survive the network, execute on the server (through the
-    /// dedup window for sequenced ops), frame and return the reply,
-    /// retrying with capped exponential backoff until a usable reply
-    /// arrives or the budget is gone. Returns the server's response body
-    /// (already status-stripped) or a clean errno.
-    fn transact(
-        &mut self,
-        k: &mut K,
-        class: OpClass,
-        req_body: &[u8],
-        mut server: impl FnMut(
-            &mut (dyn FileSystem<K> + Send),
-            &mut K,
-            &mut WireReader<'_>,
-        ) -> SysResult<Wire>,
-    ) -> SysResult<Vec<u8>> {
-        self.stats.ops += 1;
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
-        let mut backoff: u64 = 1;
-        let mut budget = self.retry.budget;
-        for attempt in 0..self.retry.max_attempts.max(1) {
-            if attempt > 0 {
-                self.stats.retries += 1;
-            }
-            let frame = encode_frame(seq, req_body);
-            self.stats.frames_sent += 1;
-            self.stats.bytes_sent += frame.len() as u64;
-            let deliveries = match self.fault.as_mut() {
-                Some(plan) => plan.perturb(frame, &mut self.stats),
-                None => vec![Delivery { bytes: frame, late: false }],
-            };
-            let mut reply: Option<Vec<u8>> = None;
-            for d in deliveries {
-                // ---- server side: validate, dedup, execute ----
-                let (rseq, rbody) = match decode_frame(&d.bytes) {
-                    Ok(x) => x,
-                    Err(_) => {
-                        self.stats.checksum_rejects += 1;
-                        continue;
-                    }
-                };
-                let cached = (class == OpClass::Sequenced)
-                    .then(|| self.dedup.iter().find(|(s, _)| *s == rseq).map(|(_, b)| b.clone()))
-                    .flatten();
-                let resp_body = match cached {
-                    Some(body) => {
-                        self.stats.dedup_hits += 1;
-                        body
-                    }
-                    None => {
-                        let mut r = WireReader::new(&rbody);
-                        let body = match server(&mut *self.inner, k, &mut r) {
-                            Ok(w) => {
-                                let mut b = vec![0u8];
-                                b.extend_from_slice(&w.0);
-                                b
-                            }
-                            Err(e) => {
-                                let mut b = vec![1u8];
-                                b.extend_from_slice(&(e as u32).to_le_bytes());
-                                b
-                            }
-                        };
-                        if class == OpClass::Sequenced {
-                            self.dedup.push_back((rseq, body.clone()));
-                            if self.dedup.len() > DEDUP_WINDOW {
-                                self.dedup.pop_front();
-                            }
-                        }
-                        body
-                    }
-                };
-                // ---- response crosses back ----
-                let resp_frame = encode_frame(rseq, &resp_body);
-                self.stats.bytes_received += resp_frame.len() as u64;
-                let responses = match self.fault.as_mut() {
-                    Some(plan) => plan.perturb(resp_frame, &mut self.stats),
-                    None => vec![Delivery { bytes: resp_frame, late: false }],
-                };
-                for rd in responses {
-                    if d.late || rd.late {
-                        // The work happened, but the reply missed the
-                        // client's patience window; the retry path (and
-                        // the dedup window) must absorb it.
-                        continue;
-                    }
-                    match decode_frame(&rd.bytes) {
-                        Ok((s, b)) if s == seq => {
-                            reply.get_or_insert(b);
-                        }
-                        Ok(_) => {} // stale sequence: discarded
-                        Err(_) => self.stats.checksum_rejects += 1,
-                    }
-                }
-            }
-            if let Some(body) = reply {
-                return match body.split_first() {
-                    Some((0, rest)) => Ok(rest.to_vec()),
-                    Some((1, rest)) => {
-                        let mut r = WireReader::new(rest);
-                        let code = r.u32().map_err(Errno::from)? as i32;
-                        Err(Errno::from_i32(code).unwrap_or(Errno::EIO))
-                    }
-                    _ => Err(Errno::EIO),
-                };
-            }
-            // No usable reply this attempt: back off, then resend.
-            if budget < backoff {
-                break;
-            }
-            budget -= backoff;
-            backoff = (backoff * 2).min(self.retry.backoff_cap.max(1));
-        }
-        self.stats.timeouts += 1;
-        Err(Errno::ETIMEDOUT)
-    }
-}
 
 /// A marshalled message body: just bytes, with cursor-based read-back.
 struct Wire(Vec<u8>);
@@ -651,40 +507,30 @@ const OP_WRITE: u8 = 7;
 const OP_IOCTL: u8 = 8;
 const OP_POLL: u8 = 9;
 
-/// Server-side dispatch guard: the op byte must match the handler the
-/// request was routed to (a validated frame with a foreign op byte can
-/// only mean a marshalling bug, not wire damage).
-fn expect_op(r: &mut WireReader<'_>, op: u8) -> WireResult<()> {
-    if r.u8()? != op {
-        return Err(WireError::Malformed);
+fn op_class(op: u8) -> OpClass {
+    match op {
+        OP_OPEN | OP_CLOSE | OP_WRITE | OP_IOCTL => OpClass::Sequenced,
+        _ => OpClass::Idempotent,
     }
-    Ok(())
 }
 
-impl<K> FileSystem<K> for RemoteFs<K> {
-    fn type_name(&self) -> &'static str {
-        "remote"
-    }
-
-    fn root(&self) -> NodeId {
-        self.inner.root()
-    }
-
-    fn lookup(&mut self, k: &mut K, cur: Pid, dir: NodeId, name: &str) -> SysResult<NodeId> {
-        let req = Wire::new(OP_LOOKUP).u32(cur.0).u64(dir.0).str(name);
-        let resp = self.transact(k, OpClass::Idempotent, &req.0, |inner, k, r| {
-            expect_op(r, OP_LOOKUP)?;
+/// The single server-side dispatcher: validates the op byte, unmarshals
+/// the operands, executes against the inner file system and marshals the
+/// reply. One decode path for every operation, shared by every client.
+fn serve<K>(
+    inner: &mut (dyn FileSystem<K> + Send),
+    table: &Option<IoctlTable>,
+    k: &mut K,
+    body: &[u8],
+) -> SysResult<Wire> {
+    let mut r = WireReader::new(body);
+    let op = r.u8().map_err(Errno::from)?;
+    match op {
+        OP_LOOKUP => {
             let (cur, dir, name) = (Pid(r.u32()?), NodeId(r.u64()?), r.str()?);
             inner.lookup(k, cur, dir, &name).map(|n| Wire::empty().u64(n.0))
-        })?;
-        let mut rr = WireReader::new(&resp);
-        Ok(NodeId(rr.u64().map_err(Errno::from)?))
-    }
-
-    fn getattr(&mut self, k: &mut K, node: NodeId) -> SysResult<Metadata> {
-        let req = Wire::new(OP_GETATTR).u64(node.0);
-        let resp = self.transact(k, OpClass::Idempotent, &req.0, |inner, k, r| {
-            expect_op(r, OP_GETATTR)?;
+        }
+        OP_GETATTR => {
             let node = NodeId(r.u64()?);
             inner.getattr(k, node).map(|m| {
                 Wire::new(match m.kind {
@@ -700,33 +546,8 @@ impl<K> FileSystem<K> for RemoteFs<K> {
                 .u32(m.nlink)
                 .u64(m.mtime)
             })
-        })?;
-        let mut rr = WireReader::new(&resp);
-        let parse = |rr: &mut WireReader<'_>| -> WireResult<Metadata> {
-            let kind = match rr.u8()? {
-                0 => VnodeKind::Regular,
-                1 => VnodeKind::Directory,
-                2 => VnodeKind::Proc,
-                3 => VnodeKind::Fifo,
-                _ => return Err(WireError::Malformed),
-            };
-            Ok(Metadata {
-                kind,
-                mode: rr.u32()? as u16,
-                uid: rr.u32()?,
-                gid: rr.u32()?,
-                size: rr.u64()?,
-                nlink: rr.u32()?,
-                mtime: rr.u64()?,
-            })
-        };
-        parse(&mut rr).map_err(Errno::from)
-    }
-
-    fn readdir(&mut self, k: &mut K, cur: Pid, dir: NodeId) -> SysResult<Vec<DirEntry>> {
-        let req = Wire::new(OP_READDIR).u32(cur.0).u64(dir.0);
-        let resp = self.transact(k, OpClass::Idempotent, &req.0, |inner, k, r| {
-            expect_op(r, OP_READDIR)?;
+        }
+        OP_READDIR => {
             let (cur, dir) = (Pid(r.u32()?), NodeId(r.u64()?));
             inner.readdir(k, cur, dir).map(|entries| {
                 let mut w = Wire::empty().u32(entries.len() as u32);
@@ -735,17 +556,781 @@ impl<K> FileSystem<K> for RemoteFs<K> {
                 }
                 w
             })
-        })?;
-        let mut rr = WireReader::new(&resp);
-        let parse = |rr: &mut WireReader<'_>| -> WireResult<Vec<DirEntry>> {
-            let n = rr.u32()?;
-            let mut out = Vec::with_capacity(n.min(4096) as usize);
-            for _ in 0..n {
-                out.push(DirEntry { name: rr.str()?, node: NodeId(rr.u64()?) });
-            }
-            Ok(out)
+        }
+        OP_OPEN => {
+            let (cur, node, bits) = (Pid(r.u32()?), NodeId(r.u64()?), r.u64()?);
+            let cred = cred_unwire(&mut r)?;
+            inner
+                .open(k, cur, node, OFlags::from_bits(bits), &cred)
+                .map(|t| Wire::empty().u64(t.0))
+        }
+        OP_CLOSE => {
+            let (cur, node, token, bits) =
+                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u64()?);
+            inner.close(k, cur, node, token, OFlags::from_bits(bits));
+            Ok(Wire::empty())
+        }
+        OP_READ => {
+            let (cur, node, token, off, len) =
+                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u64()?, r.u64()? as usize);
+            let mut server_buf = vec![0u8; len];
+            inner.read(k, cur, node, token, off, &mut server_buf).map(|reply| match reply {
+                IoReply::Done(n) => Wire::new(0).bytes(server_buf.get(..n).unwrap_or(&[])),
+                IoReply::Block => Wire::new(1),
+            })
+        }
+        OP_WRITE => {
+            let (cur, node, token, off) =
+                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u64()?);
+            let payload = r.bytes()?;
+            inner.write(k, cur, node, token, off, &payload).map(|reply| match reply {
+                IoReply::Done(n) => Wire::new(0).u64(n as u64),
+                IoReply::Block => Wire::new(1),
+            })
+        }
+        OP_IOCTL => {
+            let (cur, node, token, req_no) =
+                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u32()?);
+            let payload = r.bytes()?;
+            // The server can only return what the spec promised.
+            let out_cap = table
+                .as_ref()
+                .and_then(|t| t(req_no))
+                .map(|s| s.out_len)
+                .unwrap_or(usize::MAX);
+            inner.ioctl(k, cur, node, token, req_no, &payload).map(|reply| match reply {
+                IoctlReply::Done(out) => {
+                    let n = out.len().min(out_cap);
+                    Wire::new(0).bytes(out.get(..n).unwrap_or(&[]))
+                }
+                IoctlReply::Block => Wire::new(1),
+            })
+        }
+        OP_POLL => {
+            let (node, token) = (NodeId(r.u64()?), OpenToken(r.u64()?));
+            inner.poll(k, node, token).map(|p| {
+                Wire::new(u8::from(p.readable) | u8::from(p.writable) << 1 | u8::from(p.hangup) << 2)
+            })
+        }
+        _ => Err(Errno::EIO),
+    }
+}
+
+// ---- client-side reply parsers (one per op, shared by the blocking ----
+// ---- FileSystem face and the pipelined RemoteClient futures)       ----
+
+/// A remote read completion: either the data bytes or a block verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RemoteRead {
+    /// The server returned these bytes.
+    Data(Vec<u8>),
+    /// The server said the read would block.
+    Block,
+}
+
+fn parse_node(b: &[u8]) -> SysResult<NodeId> {
+    let mut r = WireReader::new(b);
+    Ok(NodeId(r.u64().map_err(Errno::from)?))
+}
+
+fn parse_token(b: &[u8]) -> SysResult<OpenToken> {
+    let mut r = WireReader::new(b);
+    Ok(OpenToken(r.u64().map_err(Errno::from)?))
+}
+
+fn parse_unit(_: &[u8]) -> SysResult<()> {
+    Ok(())
+}
+
+fn parse_metadata(b: &[u8]) -> SysResult<Metadata> {
+    let mut rr = WireReader::new(b);
+    let parse = |rr: &mut WireReader<'_>| -> WireResult<Metadata> {
+        let kind = match rr.u8()? {
+            0 => VnodeKind::Regular,
+            1 => VnodeKind::Directory,
+            2 => VnodeKind::Proc,
+            3 => VnodeKind::Fifo,
+            _ => return Err(WireError::Malformed),
         };
-        parse(&mut rr).map_err(Errno::from)
+        Ok(Metadata {
+            kind,
+            mode: rr.u32()? as u16,
+            uid: rr.u32()?,
+            gid: rr.u32()?,
+            size: rr.u64()?,
+            nlink: rr.u32()?,
+            mtime: rr.u64()?,
+        })
+    };
+    parse(&mut rr).map_err(Errno::from)
+}
+
+fn parse_dirents(b: &[u8]) -> SysResult<Vec<DirEntry>> {
+    let mut rr = WireReader::new(b);
+    let parse = |rr: &mut WireReader<'_>| -> WireResult<Vec<DirEntry>> {
+        let n = rr.u32()?;
+        let mut out = Vec::with_capacity(n.min(4096) as usize);
+        for _ in 0..n {
+            out.push(DirEntry { name: rr.str()?, node: NodeId(rr.u64()?) });
+        }
+        Ok(out)
+    };
+    parse(&mut rr).map_err(Errno::from)
+}
+
+fn parse_read(b: &[u8]) -> SysResult<RemoteRead> {
+    let mut rr = WireReader::new(b);
+    match rr.u8().map_err(Errno::from)? {
+        0 => Ok(RemoteRead::Data(rr.bytes().map_err(Errno::from)?)),
+        _ => Ok(RemoteRead::Block),
+    }
+}
+
+fn parse_write(b: &[u8]) -> SysResult<IoReply> {
+    let mut rr = WireReader::new(b);
+    match rr.u8().map_err(Errno::from)? {
+        0 => Ok(IoReply::Done(rr.u64().map_err(Errno::from)? as usize)),
+        _ => Ok(IoReply::Block),
+    }
+}
+
+fn parse_ioctl(b: &[u8]) -> SysResult<IoctlReply> {
+    let mut rr = WireReader::new(b);
+    match rr.u8().map_err(Errno::from)? {
+        0 => Ok(IoctlReply::Done(rr.bytes().map_err(Errno::from)?)),
+        _ => Ok(IoctlReply::Block),
+    }
+}
+
+fn parse_poll(b: &[u8]) -> SysResult<PollStatus> {
+    let mut rr = WireReader::new(b);
+    let bits = rr.u8().map_err(Errno::from)?;
+    Ok(PollStatus { readable: bits & 1 != 0, writable: bits & 2 != 0, hangup: bits & 4 != 0 })
+}
+
+fn parse_never<T>(_: &[u8]) -> SysResult<T> {
+    Err(Errno::EIO)
+}
+
+// ---- the deterministic event scheduler ----
+
+/// What the wire delivers or the client's timer fires.
+enum NetEvent {
+    /// A request frame reaches the server.
+    Request { bytes: Vec<u8>, late: bool },
+    /// A reply frame reaches the client.
+    Reply { bytes: Vec<u8>, late: bool },
+    /// The per-op retry timer expires.
+    Retry { tag: u64 },
+}
+
+/// An event on the virtual clock. Ordered by `(due, id)` — `id` is a
+/// monotone tie-breaker so equal-time events replay in schedule order.
+struct Scheduled {
+    due: u64,
+    id: u64,
+    ev: NetEvent,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Scheduled) -> bool {
+        self.due == other.due && self.id == other.id
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Scheduled) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Scheduled) -> Ordering {
+        // Reversed: the binary heap pops the earliest (due, id) first.
+        other.due.cmp(&self.due).then(other.id.cmp(&self.id))
+    }
+}
+
+/// One submitted operation awaiting completion. The idempotency class
+/// lives server-side (derived from the op byte): the client retries
+/// every op the same way and the dedup window keeps sequenced ones
+/// exactly-once.
+struct InFlight {
+    body: Vec<u8>,
+    attempts: u32,
+    backoff: u64,
+    budget: u64,
+    done: Option<SysResult<Vec<u8>>>,
+}
+
+/// One client/server wire session: the in-flight op table, the event
+/// queue, the fault plan and the server end. Shared (behind a mutex) by
+/// every [`RemoteClient`] handle and the mounted [`RemoteFs`].
+pub struct WireSession<K> {
+    inner: Box<dyn FileSystem<K> + Send>,
+    ioctl_table: Option<IoctlTable>,
+    fault: Option<FaultPlan>,
+    retry: RetryPolicy,
+    /// Virtual wire clock, in ticks.
+    clock: u64,
+    /// Next op tag (session-unique, travels in the frame header).
+    next_tag: u64,
+    /// Monotone event id: ties on the clock break deterministically.
+    next_event_id: u64,
+    events: BinaryHeap<Scheduled>,
+    inflight: HashMap<u64, InFlight>,
+    /// Server-side dedup window: `(tag, cached response body)`.
+    dedup: VecDeque<(u64, Vec<u8>)>,
+    /// Seeded service-jitter stream: reorders reply completions.
+    jitter: u64,
+    stats: WireStats,
+}
+
+impl<K> WireSession<K> {
+    fn new(inner: Box<dyn FileSystem<K> + Send>) -> WireSession<K> {
+        WireSession {
+            inner,
+            ioctl_table: None,
+            fault: None,
+            retry: RetryPolicy::default(),
+            clock: 0,
+            next_tag: 1,
+            next_event_id: 0,
+            events: BinaryHeap::new(),
+            inflight: HashMap::new(),
+            dedup: VecDeque::new(),
+            jitter: 0x5EED_0F0F_CAFE_F00D,
+            stats: WireStats::default(),
+        }
+    }
+
+    fn schedule(&mut self, delay: u64, ev: NetEvent) {
+        let id = self.next_event_id;
+        self.next_event_id += 1;
+        self.events.push(Scheduled { due: self.clock + delay, id, ev });
+    }
+
+    fn service_jitter(&mut self) -> u64 {
+        let mut x = self.jitter;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D) % SERVICE_JITTER
+    }
+
+    /// Runs one frame through the fault plan (or delivers it intact).
+    fn network(&mut self, frame: Vec<u8>) -> Vec<Delivery> {
+        match self.fault.as_mut() {
+            Some(plan) => plan.perturb(frame, &mut self.stats),
+            None => vec![Delivery { bytes: frame, late: false }],
+        }
+    }
+
+    /// Submits one marshalled request; returns its op tag. The request
+    /// frame and the first retry timer enter the event queue; nothing
+    /// blocks.
+    fn submit(&mut self, body: Vec<u8>) -> u64 {
+        self.stats.ops += 1;
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1);
+        self.inflight.insert(
+            tag,
+            InFlight { body, attempts: 0, backoff: 1, budget: self.retry.budget, done: None },
+        );
+        self.send_attempt(tag);
+        tag
+    }
+
+    /// Frames and transmits one attempt for `tag`, arming its retry
+    /// timer.
+    fn send_attempt(&mut self, tag: u64) {
+        let (body, attempt, backoff) = match self.inflight.get_mut(&tag) {
+            Some(op) => {
+                op.attempts += 1;
+                (op.body.clone(), op.attempts, op.backoff)
+            }
+            None => return,
+        };
+        if attempt > 1 {
+            self.stats.retries += 1;
+        }
+        let frame = encode_frame(tag, &body);
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += frame.len() as u64;
+        let deliveries = self.network(frame);
+        for d in deliveries {
+            self.schedule(TRANSIT_TICKS, NetEvent::Request { bytes: d.bytes, late: d.late });
+        }
+        self.schedule(RETRY_RTT + backoff, NetEvent::Retry { tag });
+    }
+
+    /// Processes the next scheduled event, advancing the virtual clock.
+    /// Returns false when the queue is empty (the wire is idle).
+    fn pump_one(&mut self, k: &mut K) -> bool {
+        let Some(s) = self.events.pop() else {
+            return false;
+        };
+        self.clock = self.clock.max(s.due);
+        match s.ev {
+            NetEvent::Request { bytes, late } => self.on_request(k, &bytes, late),
+            NetEvent::Reply { bytes, late } => self.on_reply(&bytes, late),
+            NetEvent::Retry { tag } => self.on_retry(tag),
+        }
+        true
+    }
+
+    /// Server side: validate, dedup, execute, send the reply back with
+    /// seeded service jitter (this is where completions reorder).
+    fn on_request(&mut self, k: &mut K, bytes: &[u8], late: bool) {
+        let (tag, body) = match decode_frame(bytes) {
+            Ok(x) => x,
+            Err(_) => {
+                self.stats.checksum_rejects += 1;
+                return;
+            }
+        };
+        let class = op_class(body.first().copied().unwrap_or(0));
+        let cached = (class == OpClass::Sequenced)
+            .then(|| self.dedup.iter().find(|(t, _)| *t == tag).map(|(_, b)| b.clone()))
+            .flatten();
+        let resp_body = match cached {
+            Some(b) => {
+                self.stats.dedup_hits += 1;
+                b
+            }
+            None => {
+                let resp = match serve(&mut *self.inner, &self.ioctl_table, k, &body) {
+                    Ok(w) => {
+                        let mut b = vec![0u8];
+                        b.extend_from_slice(&w.0);
+                        b
+                    }
+                    Err(e) => {
+                        let mut b = vec![1u8];
+                        b.extend_from_slice(&e.to_wire().to_le_bytes());
+                        b
+                    }
+                };
+                if class == OpClass::Sequenced {
+                    self.dedup.push_back((tag, resp.clone()));
+                    if self.dedup.len() > DEDUP_WINDOW {
+                        self.dedup.pop_front();
+                    }
+                }
+                resp
+            }
+        };
+        let frame = encode_frame(tag, &resp_body);
+        self.stats.bytes_received += frame.len() as u64;
+        let jitter = self.service_jitter();
+        let deliveries = self.network(frame);
+        for d in deliveries {
+            let l = late || d.late;
+            self.schedule(TRANSIT_TICKS + jitter, NetEvent::Reply { bytes: d.bytes, late: l });
+        }
+    }
+
+    /// Client side: demultiplex a completion into its in-flight slot.
+    fn on_reply(&mut self, bytes: &[u8], late: bool) {
+        if late {
+            // The work happened, but the reply missed the client's
+            // patience window; the retry path (and the dedup window)
+            // must absorb it.
+            return;
+        }
+        let (tag, body) = match decode_frame(bytes) {
+            Ok(x) => x,
+            Err(_) => {
+                self.stats.checksum_rejects += 1;
+                return;
+            }
+        };
+        let Some(op) = self.inflight.get_mut(&tag) else {
+            return; // stale tag: the op already completed and was taken
+        };
+        if op.done.is_some() {
+            return; // duplicate reply: first one won
+        }
+        op.done = Some(match body.split_first() {
+            Some((0, rest)) => Ok(rest.to_vec()),
+            Some((1, rest)) => {
+                let mut r = WireReader::new(rest);
+                match r.u32() {
+                    Ok(code) => Err(Errno::from_wire(code)),
+                    Err(_) => Err(Errno::EIO),
+                }
+            }
+            _ => Err(Errno::EIO),
+        });
+    }
+
+    /// Retry timer: resend with doubled (capped) backoff, or degrade the
+    /// op to a clean `ETIMEDOUT` once attempts or budget run out.
+    fn on_retry(&mut self, tag: u64) {
+        let (attempts, backoff, budget) = match self.inflight.get(&tag) {
+            Some(op) if op.done.is_none() => (op.attempts, op.backoff, op.budget),
+            _ => return,
+        };
+        if attempts >= self.retry.max_attempts.max(1) || budget < backoff {
+            if let Some(op) = self.inflight.get_mut(&tag) {
+                op.done = Some(Err(Errno::ETIMEDOUT));
+            }
+            self.stats.timeouts += 1;
+            return;
+        }
+        if let Some(op) = self.inflight.get_mut(&tag) {
+            op.budget -= op.backoff;
+            op.backoff = (op.backoff * 2).min(self.retry.backoff_cap.max(1));
+        }
+        self.send_attempt(tag);
+    }
+
+    /// Removes and returns the completion for `tag` if it has arrived.
+    fn try_take(&mut self, tag: u64) -> Option<SysResult<Vec<u8>>> {
+        if self.inflight.get(&tag)?.done.is_some() {
+            return self.inflight.remove(&tag).and_then(|op| op.done);
+        }
+        None
+    }
+
+    /// Pumps events until `tag` completes; the blocking face of the
+    /// session. Other in-flight ops make progress underneath — their
+    /// completions land in their own slots while we wait for ours.
+    fn wait_raw(&mut self, k: &mut K, tag: u64) -> SysResult<Vec<u8>> {
+        loop {
+            if let Some(done) = self.try_take(tag) {
+                return done;
+            }
+            if !self.inflight.contains_key(&tag) {
+                return Err(Errno::EIO); // taken twice: caller bug
+            }
+            if !self.pump_one(k) {
+                return Err(Errno::EIO); // queue dry with op pending: impossible
+            }
+        }
+    }
+
+    /// The ioctl gate shared by the blocking and pipelined faces:
+    /// wire-stats introspection is answered locally, unknown or
+    /// oversized requests are refused before any traffic.
+    fn ioctl_gate(&mut self, req_no: u32, arg_len: usize) -> Result<IoctlWireSpec, IoctlGate> {
+        if req_no == PIOCWIRESTATS {
+            return Err(IoctlGate::Local(IoctlReply::Done(self.stats.to_bytes())));
+        }
+        let spec = match self.ioctl_table.as_ref().and_then(|t| t(req_no)) {
+            Some(s) => s,
+            None => {
+                self.stats.unsupported_ioctls += 1;
+                return Err(IoctlGate::Refused(Errno::ENOTSUP));
+            }
+        };
+        if arg_len > spec.in_len {
+            self.stats.unsupported_ioctls += 1;
+            return Err(IoctlGate::Refused(Errno::ENOTSUP));
+        }
+        Ok(spec)
+    }
+}
+
+/// Outcome of the client-side ioctl gate when no wire op is needed.
+enum IoctlGate {
+    Local(IoctlReply),
+    Refused(Errno),
+}
+
+fn lock<K>(session: &Arc<Mutex<WireSession<K>>>) -> MutexGuard<'_, WireSession<K>> {
+    session.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A pending remote operation: a poll-based state machine resolved by
+/// [`RemoteClient::try_complete`] or [`RemoteClient::wait`]. No async
+/// runtime — completion is driven by pumping the session's event queue.
+pub struct OpFuture<T> {
+    tag: Option<u64>,
+    ready: Option<SysResult<T>>,
+    parse: fn(&[u8]) -> SysResult<T>,
+}
+
+impl<T> OpFuture<T> {
+    fn pending(tag: u64, parse: fn(&[u8]) -> SysResult<T>) -> OpFuture<T> {
+        OpFuture { tag: Some(tag), ready: None, parse }
+    }
+
+    /// An operation resolved without touching the wire (local ioctl
+    /// answers, client-side refusals).
+    fn resolved(r: SysResult<T>) -> OpFuture<T> {
+        OpFuture { tag: None, ready: Some(r), parse: parse_never }
+    }
+
+    /// The op tag this future is waiting on (`None` once resolved
+    /// locally).
+    pub fn tag(&self) -> Option<u64> {
+        self.tag
+    }
+}
+
+/// One client handle onto a shared [`WireSession`]. Handles are cheap to
+/// clone; ops submitted through any handle share the session's in-flight
+/// table, fault plan and dedup window, so concurrent handles' traffic
+/// interleaves on the wire exactly as concurrent processes' would.
+pub struct RemoteClient<K> {
+    session: Arc<Mutex<WireSession<K>>>,
+}
+
+impl<K> Clone for RemoteClient<K> {
+    fn clone(&self) -> RemoteClient<K> {
+        RemoteClient { session: Arc::clone(&self.session) }
+    }
+}
+
+impl<K> RemoteClient<K> {
+    /// Pipelined lookup.
+    pub fn submit_lookup(&self, cur: Pid, dir: NodeId, name: &str) -> OpFuture<NodeId> {
+        let req = Wire::new(OP_LOOKUP).u32(cur.0).u64(dir.0).str(name);
+        OpFuture::pending(lock(&self.session).submit(req.0), parse_node)
+    }
+
+    /// Pipelined getattr.
+    pub fn submit_getattr(&self, node: NodeId) -> OpFuture<Metadata> {
+        let req = Wire::new(OP_GETATTR).u64(node.0);
+        OpFuture::pending(lock(&self.session).submit(req.0), parse_metadata)
+    }
+
+    /// Pipelined readdir.
+    pub fn submit_readdir(&self, cur: Pid, dir: NodeId) -> OpFuture<Vec<DirEntry>> {
+        let req = Wire::new(OP_READDIR).u32(cur.0).u64(dir.0);
+        OpFuture::pending(lock(&self.session).submit(req.0), parse_dirents)
+    }
+
+    /// Pipelined open (sequenced: exactly-once under retransmission).
+    pub fn submit_open(
+        &self,
+        cur: Pid,
+        node: NodeId,
+        flags: OFlags,
+        cred: &Cred,
+    ) -> OpFuture<OpenToken> {
+        let req = cred_wire(Wire::new(OP_OPEN).u32(cur.0).u64(node.0).u64(flags.to_bits()), cred);
+        OpFuture::pending(lock(&self.session).submit(req.0), parse_token)
+    }
+
+    /// Pipelined close (sequenced).
+    pub fn submit_close(
+        &self,
+        cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        flags: OFlags,
+    ) -> OpFuture<()> {
+        let req = Wire::new(OP_CLOSE).u32(cur.0).u64(node.0).u64(token.0).u64(flags.to_bits());
+        OpFuture::pending(lock(&self.session).submit(req.0), parse_unit)
+    }
+
+    /// Pipelined read.
+    pub fn submit_read(
+        &self,
+        cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        off: u64,
+        len: usize,
+    ) -> OpFuture<RemoteRead> {
+        let req =
+            Wire::new(OP_READ).u32(cur.0).u64(node.0).u64(token.0).u64(off).u64(len as u64);
+        OpFuture::pending(lock(&self.session).submit(req.0), parse_read)
+    }
+
+    /// Pipelined write (sequenced).
+    pub fn submit_write(
+        &self,
+        cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        off: u64,
+        data: &[u8],
+    ) -> OpFuture<IoReply> {
+        let req = Wire::new(OP_WRITE).u32(cur.0).u64(node.0).u64(token.0).u64(off).bytes(data);
+        OpFuture::pending(lock(&self.session).submit(req.0), parse_write)
+    }
+
+    /// Pipelined ioctl (sequenced). Wire-stats introspection and
+    /// table-refused requests resolve immediately without traffic.
+    pub fn submit_ioctl(
+        &self,
+        cur: Pid,
+        node: NodeId,
+        token: OpenToken,
+        req_no: u32,
+        arg: &[u8],
+    ) -> OpFuture<IoctlReply> {
+        let mut s = lock(&self.session);
+        match s.ioctl_gate(req_no, arg.len()) {
+            Ok(_) => {
+                let req =
+                    Wire::new(OP_IOCTL).u32(cur.0).u64(node.0).u64(token.0).u32(req_no).bytes(arg);
+                OpFuture::pending(s.submit(req.0), parse_ioctl)
+            }
+            Err(IoctlGate::Local(reply)) => OpFuture::resolved(Ok(reply)),
+            Err(IoctlGate::Refused(e)) => OpFuture::resolved(Err(e)),
+        }
+    }
+
+    /// Pipelined poll of a remote descriptor's readiness.
+    pub fn submit_poll(&self, node: NodeId, token: OpenToken) -> OpFuture<PollStatus> {
+        let req = Wire::new(OP_POLL).u64(node.0).u64(token.0);
+        OpFuture::pending(lock(&self.session).submit(req.0), parse_poll)
+    }
+
+    /// Processes one scheduled wire event; false when the wire is idle.
+    pub fn pump(&self, k: &mut K) -> bool {
+        lock(&self.session).pump_one(k)
+    }
+
+    /// Polls a future without blocking: `Some` exactly once, when the
+    /// completion has been demultiplexed into its slot.
+    pub fn try_complete<T>(&self, fut: &mut OpFuture<T>) -> Option<SysResult<T>> {
+        if let Some(r) = fut.ready.take() {
+            fut.tag = None;
+            return Some(r);
+        }
+        let tag = fut.tag?;
+        let raw = lock(&self.session).try_take(tag)?;
+        fut.tag = None;
+        Some(raw.and_then(|b| (fut.parse)(&b)))
+    }
+
+    /// Blocks (pumping the wire) until the future completes. Other
+    /// handles' in-flight ops progress underneath.
+    pub fn wait<T>(&self, k: &mut K, mut fut: OpFuture<T>) -> SysResult<T> {
+        if let Some(r) = fut.ready.take() {
+            return r;
+        }
+        let tag = match fut.tag {
+            Some(t) => t,
+            None => return Err(Errno::EIO),
+        };
+        let raw = lock(&self.session).wait_raw(k, tag)?;
+        (fut.parse)(&raw)
+    }
+
+    /// Ops submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        let s = lock(&self.session);
+        s.inflight.values().filter(|op| op.done.is_none()).count()
+    }
+
+    /// The session's virtual clock, in ticks.
+    pub fn ticks(&self) -> u64 {
+        lock(&self.session).clock
+    }
+
+    /// A snapshot of the session's traffic counters.
+    pub fn stats(&self) -> WireStats {
+        lock(&self.session).stats
+    }
+
+    /// Resets the session's traffic counters.
+    pub fn reset_stats(&self) {
+        lock(&self.session).stats = WireStats::default();
+    }
+}
+
+/// A file system accessed across a simulated (and possibly lossy) wire:
+/// the blocking [`FileSystem`] face of a [`WireSession`]. Mint
+/// pipelined handles with [`RemoteFs::client`] before (or after)
+/// mounting — they share this session's wire.
+pub struct RemoteFs<K> {
+    session: Arc<Mutex<WireSession<K>>>,
+}
+
+impl<K> RemoteFs<K> {
+    /// Wraps `inner` over a perfect wire. Without an ioctl table, every
+    /// ioctl is refused.
+    pub fn new(inner: Box<dyn FileSystem<K> + Send>) -> RemoteFs<K> {
+        RemoteFs { session: Arc::new(Mutex::new(WireSession::new(inner))) }
+    }
+
+    /// Supplies the per-request ioctl wire table.
+    pub fn with_ioctl_table(self, table: IoctlTable) -> RemoteFs<K> {
+        lock(&self.session).ioctl_table = Some(table);
+        self
+    }
+
+    /// Makes the wire lossy under a deterministic fault plan. The
+    /// service-jitter stream reseeds from the plan so one seed fixes the
+    /// whole schedule — faults and reorderings both.
+    pub fn with_faults(self, plan: FaultPlan) -> RemoteFs<K> {
+        {
+            let mut s = lock(&self.session);
+            s.jitter = plan.state ^ 0xA5A5_5A5A_0DDC_0DE5;
+            s.fault = Some(plan);
+        }
+        self
+    }
+
+    /// Overrides the client retry discipline.
+    pub fn with_retry_policy(self, policy: RetryPolicy) -> RemoteFs<K> {
+        lock(&self.session).retry = policy;
+        self
+    }
+
+    /// Mints a pipelined client handle sharing this session's wire.
+    pub fn client(&self) -> RemoteClient<K> {
+        RemoteClient { session: Arc::clone(&self.session) }
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> WireStats {
+        lock(&self.session).stats
+    }
+
+    /// Resets the traffic counters.
+    pub fn reset_stats(&mut self) {
+        lock(&self.session).stats = WireStats::default();
+    }
+
+    /// The session's virtual clock, in ticks.
+    pub fn ticks(&self) -> u64 {
+        lock(&self.session).clock
+    }
+
+    /// Blocking submit-and-wait: one op end to end through the shared
+    /// session.
+    fn call<T>(
+        &self,
+        k: &mut K,
+        req: Wire,
+        parse: fn(&[u8]) -> SysResult<T>,
+    ) -> SysResult<T> {
+        let mut s = lock(&self.session);
+        let tag = s.submit(req.0);
+        let raw = s.wait_raw(k, tag)?;
+        parse(&raw)
+    }
+}
+
+impl<K> FileSystem<K> for RemoteFs<K> {
+    fn type_name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn root(&self) -> NodeId {
+        lock(&self.session).inner.root()
+    }
+
+    fn lookup(&mut self, k: &mut K, cur: Pid, dir: NodeId, name: &str) -> SysResult<NodeId> {
+        let req = Wire::new(OP_LOOKUP).u32(cur.0).u64(dir.0).str(name);
+        self.call(k, req, parse_node)
+    }
+
+    fn getattr(&mut self, k: &mut K, node: NodeId) -> SysResult<Metadata> {
+        let req = Wire::new(OP_GETATTR).u64(node.0);
+        self.call(k, req, parse_metadata)
+    }
+
+    fn readdir(&mut self, k: &mut K, cur: Pid, dir: NodeId) -> SysResult<Vec<DirEntry>> {
+        let req = Wire::new(OP_READDIR).u32(cur.0).u64(dir.0);
+        self.call(k, req, parse_dirents)
     }
 
     fn open(
@@ -757,31 +1342,16 @@ impl<K> FileSystem<K> for RemoteFs<K> {
         cred: &Cred,
     ) -> SysResult<OpenToken> {
         let req = cred_wire(Wire::new(OP_OPEN).u32(cur.0).u64(node.0).u64(flags.to_bits()), cred);
-        let resp = self.transact(k, OpClass::Sequenced, &req.0, |inner, k, r| {
-            expect_op(r, OP_OPEN)?;
-            let (cur, node, bits) = (Pid(r.u32()?), NodeId(r.u64()?), r.u64()?);
-            let cred = cred_unwire(r)?;
-            inner
-                .open(k, cur, node, OFlags::from_bits(bits), &cred)
-                .map(|t| Wire::empty().u64(t.0))
-        })?;
-        let mut rr = WireReader::new(&resp);
-        Ok(OpenToken(rr.u64().map_err(Errno::from)?))
+        self.call(k, req, parse_token)
     }
 
     fn close(&mut self, k: &mut K, cur: Pid, node: NodeId, token: OpenToken, flags: OFlags) {
-        let req = Wire::new(OP_CLOSE).u32(cur.0).u64(node.0).u64(token.0).u64(flags.to_bits());
         // `close` has no error path to surface, but it still mutates
         // server state (writer accounting, exclusive-use release), so it
         // crosses as a sequenced op; a lost close is recorded in
         // `stats.timeouts`.
-        let _ = self.transact(k, OpClass::Sequenced, &req.0, |inner, k, r| {
-            expect_op(r, OP_CLOSE)?;
-            let (cur, node, token, bits) =
-                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u64()?);
-            inner.close(k, cur, node, token, OFlags::from_bits(bits));
-            Ok(Wire::empty())
-        });
+        let req = Wire::new(OP_CLOSE).u32(cur.0).u64(node.0).u64(token.0).u64(flags.to_bits());
+        let _ = self.call(k, req, parse_unit);
     }
 
     fn read(
@@ -801,25 +1371,13 @@ impl<K> FileSystem<K> for RemoteFs<K> {
             .u64(token.0)
             .u64(off)
             .u64(buf.len() as u64);
-        let resp = self.transact(k, OpClass::Idempotent, &req.0, |inner, k, r| {
-            expect_op(r, OP_READ)?;
-            let (cur, node, token, off, len) =
-                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u64()?, r.u64()? as usize);
-            let mut server_buf = vec![0u8; len];
-            inner.read(k, cur, node, token, off, &mut server_buf).map(|reply| match reply {
-                IoReply::Done(n) => Wire::new(0).bytes(server_buf.get(..n).unwrap_or(&[])),
-                IoReply::Block => Wire::new(1),
-            })
-        })?;
-        let mut rr = WireReader::new(&resp);
-        match rr.u8().map_err(Errno::from)? {
-            0 => {
-                let data = rr.bytes().map_err(Errno::from)?;
+        match self.call(k, req, parse_read)? {
+            RemoteRead::Data(data) => {
                 let n = data.len().min(buf.len());
                 buf[..n].copy_from_slice(&data[..n]);
                 Ok(IoReply::Done(n))
             }
-            _ => Ok(IoReply::Block),
+            RemoteRead::Block => Ok(IoReply::Block),
         }
     }
 
@@ -833,21 +1391,7 @@ impl<K> FileSystem<K> for RemoteFs<K> {
         data: &[u8],
     ) -> SysResult<IoReply> {
         let req = Wire::new(OP_WRITE).u32(cur.0).u64(node.0).u64(token.0).u64(off).bytes(data);
-        let resp = self.transact(k, OpClass::Sequenced, &req.0, |inner, k, r| {
-            expect_op(r, OP_WRITE)?;
-            let (cur, node, token, off) =
-                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u64()?);
-            let payload = r.bytes()?;
-            inner.write(k, cur, node, token, off, &payload).map(|reply| match reply {
-                IoReply::Done(n) => Wire::new(0).u64(n as u64),
-                IoReply::Block => Wire::new(1),
-            })
-        })?;
-        let mut rr = WireReader::new(&resp);
-        match rr.u8().map_err(Errno::from)? {
-            0 => Ok(IoReply::Done(rr.u64().map_err(Errno::from)? as usize)),
-            _ => Ok(IoReply::Block),
-        }
+        self.call(k, req, parse_write)
     }
 
     fn ioctl(
@@ -860,58 +1404,26 @@ impl<K> FileSystem<K> for RemoteFs<K> {
         arg: &[u8],
     ) -> SysResult<IoctlReply> {
         // Wire introspection is answered locally — the counters being
-        // asked about live on this side of the wire.
-        if req_no == PIOCWIRESTATS {
-            return Ok(IoctlReply::Done(self.stats.to_bytes()));
-        }
-        // An ioctl can only cross the wire if someone taught the shim this
-        // request's operand sizes and directions.
-        let spec = match self.ioctl_table.as_ref().and_then(|t| t(req_no)) {
-            Some(s) => s,
-            None => {
-                self.stats.unsupported_ioctls += 1;
-                return Err(Errno::ENOTSUP);
+        // asked about live on this side of the wire. An ioctl can only
+        // cross if someone taught the shim this request's operand sizes
+        // and directions.
+        let mut s = lock(&self.session);
+        match s.ioctl_gate(req_no, arg.len()) {
+            Ok(_) => {
+                let req =
+                    Wire::new(OP_IOCTL).u32(cur.0).u64(node.0).u64(token.0).u32(req_no).bytes(arg);
+                let tag = s.submit(req.0);
+                let raw = s.wait_raw(k, tag)?;
+                parse_ioctl(&raw)
             }
-        };
-        if arg.len() > spec.in_len {
-            self.stats.unsupported_ioctls += 1;
-            return Err(Errno::ENOTSUP);
-        }
-        let req =
-            Wire::new(OP_IOCTL).u32(cur.0).u64(node.0).u64(token.0).u32(req_no).bytes(arg);
-        let resp = self.transact(k, OpClass::Sequenced, &req.0, |inner, k, r| {
-            expect_op(r, OP_IOCTL)?;
-            let (cur, node, token, req_no) =
-                (Pid(r.u32()?), NodeId(r.u64()?), OpenToken(r.u64()?), r.u32()?);
-            let payload = r.bytes()?;
-            inner.ioctl(k, cur, node, token, req_no, &payload).map(|reply| match reply {
-                IoctlReply::Done(out) => {
-                    // The server can only return what the spec promised.
-                    let n = out.len().min(spec.out_len);
-                    Wire::new(0).bytes(out.get(..n).unwrap_or(&[]))
-                }
-                IoctlReply::Block => Wire::new(1),
-            })
-        })?;
-        let mut rr = WireReader::new(&resp);
-        match rr.u8().map_err(Errno::from)? {
-            0 => Ok(IoctlReply::Done(rr.bytes().map_err(Errno::from)?)),
-            _ => Ok(IoctlReply::Block),
+            Err(IoctlGate::Local(reply)) => Ok(reply),
+            Err(IoctlGate::Refused(e)) => Err(e),
         }
     }
 
     fn poll(&mut self, k: &mut K, node: NodeId, token: OpenToken) -> SysResult<PollStatus> {
         let req = Wire::new(OP_POLL).u64(node.0).u64(token.0);
-        let resp = self.transact(k, OpClass::Idempotent, &req.0, |inner, k, r| {
-            expect_op(r, OP_POLL)?;
-            let (node, token) = (NodeId(r.u64()?), OpenToken(r.u64()?));
-            inner.poll(k, node, token).map(|p| {
-                Wire::new(u8::from(p.readable) | u8::from(p.writable) << 1 | u8::from(p.hangup) << 2)
-            })
-        })?;
-        let mut rr = WireReader::new(&resp);
-        let bits = rr.u8().map_err(Errno::from)?;
-        Ok(PollStatus { readable: bits & 1 != 0, writable: bits & 2 != 0, hangup: bits & 4 != 0 })
+        self.call(k, req, parse_poll)
     }
 }
 
@@ -946,9 +1458,10 @@ mod tests {
         let reply = r.read(&mut (), P, tool, tok, 0, &mut buf).expect("read");
         assert_eq!(reply, IoReply::Done(7));
         assert_eq!(&buf, b"payload");
-        assert!(r.stats.ops >= 4);
-        assert!(r.stats.bytes_sent > 0);
-        assert!(r.stats.bytes_received > 0);
+        assert!(r.stats().ops >= 4);
+        assert!(r.stats().bytes_sent > 0);
+        assert!(r.stats().bytes_received > 0);
+        assert!(r.ticks() > 0, "virtual time advanced");
     }
 
     #[test]
@@ -964,8 +1477,8 @@ mod tests {
             .ioctl(&mut (), P, NodeId(0), OpenToken(0), 0x1234, &[])
             .expect_err("no table");
         assert_eq!(err, Errno::ENOTSUP);
-        assert_eq!(r.stats.unsupported_ioctls, 1);
-        assert_eq!(r.stats.ops, 0, "the request never even reaches the wire");
+        assert_eq!(r.stats().unsupported_ioctls, 1);
+        assert_eq!(r.stats().ops, 0, "the request never even reaches the wire");
     }
 
     #[test]
@@ -977,7 +1490,7 @@ mod tests {
         let mut r = RemoteFs::new(Box::new(MemFs::<()>::new())).with_ioctl_table(table);
         let err = r.ioctl(&mut (), P, NodeId(0), OpenToken(0), 7, &[0; 8]).expect_err("enotty");
         assert_eq!(err, Errno::ENOTTY);
-        assert_eq!(r.stats.ops, 1);
+        assert_eq!(r.stats().ops, 1);
         // Oversized operand refused client-side.
         let err = r.ioctl(&mut (), P, NodeId(0), OpenToken(0), 7, &[0; 64]).expect_err("too big");
         assert_eq!(err, Errno::ENOTSUP);
@@ -998,7 +1511,7 @@ mod tests {
         r.reset_stats();
         let reply = r.write(&mut (), P, f, tok, 0, b"NEW").expect("write");
         assert_eq!(reply, IoReply::Done(3));
-        assert!(r.stats.bytes_sent as usize >= 3 + 1 + 4, "payload travelled");
+        assert!(r.stats().bytes_sent as usize >= 3 + 1 + 4, "payload travelled");
         let mut buf = [0u8; 3];
         r.read(&mut (), P, f, tok, 0, &mut buf).expect("read");
         assert_eq!(&buf, b"NEW");
@@ -1067,8 +1580,8 @@ mod tests {
                 Err(e) => assert_eq!(e, Errno::ETIMEDOUT, "only clean timeouts allowed"),
             }
         }
-        assert!(r.stats.faults_injected() > 0, "faults were actually exercised");
-        assert!(r.stats.retries > 0, "recovery actually retried");
+        assert!(r.stats().faults_injected() > 0, "faults were actually exercised");
+        assert!(r.stats().retries > 0, "recovery actually retried");
     }
 
     #[test]
@@ -1077,9 +1590,9 @@ mod tests {
         let mut r = faulty_memfs(1, rates);
         let err = r.lookup(&mut (), P, NodeId(0), "bin").expect_err("nothing arrives");
         assert_eq!(err, Errno::ETIMEDOUT);
-        assert_eq!(r.stats.timeouts, 1);
-        assert!(r.stats.retries > 0);
-        assert_eq!(r.stats.drops as u32, r.stats.frames_sent as u32);
+        assert_eq!(r.stats().timeouts, 1);
+        assert!(r.stats().retries > 0);
+        assert_eq!(r.stats().drops as u32, r.stats().frames_sent as u32);
     }
 
     #[test]
@@ -1094,7 +1607,7 @@ mod tests {
         let log = r.lookup(&mut (), P, NodeId(0), "log").expect("log");
         let tok = r.open(&mut (), P, log, OFlags::rdwr(), &cred).expect("open");
         r.write(&mut (), P, log, tok, 0, b"once").expect("write");
-        assert!(r.stats.dedup_hits > 0, "the duplicate hit the window");
+        assert!(r.stats().dedup_hits > 0, "the duplicate hit the window");
         let mut buf = [0u8; 8];
         let n = match r.read(&mut (), P, log, tok, 0, &mut buf).expect("read") {
             IoReply::Done(n) => n,
@@ -1112,12 +1625,13 @@ mod tests {
                 let name = if i % 2 == 0 { "bin" } else { "missing" };
                 outcomes.push(r.lookup(&mut (), P, NodeId(0), name));
             }
-            (outcomes, r.stats)
+            (outcomes, r.stats(), r.ticks())
         };
-        let (a, sa) = run();
-        let (b, sb) = run();
+        let (a, sa, ta) = run();
+        let (b, sb, tb) = run();
         assert_eq!(a, b, "per-op outcomes replay exactly");
         assert_eq!(sa, sb, "fault and retry counters replay exactly");
+        assert_eq!(ta, tb, "the virtual clock replays exactly");
         assert!(sa.faults_injected() > 0);
     }
 
@@ -1125,7 +1639,7 @@ mod tests {
     fn wirestats_ioctl_is_answered_locally() {
         let mut r = remote_memfs();
         let _ = r.lookup(&mut (), P, NodeId(0), "bin").expect("bin");
-        let ops_before = r.stats.ops;
+        let ops_before = r.stats().ops;
         let reply = r
             .ioctl(&mut (), P, NodeId(0), OpenToken(0), PIOCWIRESTATS, &[])
             .expect("wirestats");
@@ -1135,7 +1649,114 @@ mod tests {
         };
         let stats = WireStats::from_bytes(&bytes).expect("decode");
         assert_eq!(stats.ops, ops_before, "answered without another wire op");
-        assert_eq!(r.stats.ops, ops_before, "no traffic was generated");
-        assert_eq!(r.stats.unsupported_ioctls, 0, "not counted as a refusal");
+        assert_eq!(r.stats().ops, ops_before, "no traffic was generated");
+        assert_eq!(r.stats().unsupported_ioctls, 0, "not counted as a refusal");
+    }
+
+    #[test]
+    fn pipelined_ops_demux_out_of_order() {
+        // Submit a burst of reads before waiting on any of them: every
+        // future must resolve to its own op's answer even though the
+        // service jitter completes them out of submission order.
+        let r = remote_memfs();
+        let c = r.client();
+        let bin = c.wait(&mut (), c.submit_lookup(P, NodeId(0), "bin")).expect("bin");
+        let tool = c.wait(&mut (), c.submit_lookup(P, bin, "tool")).expect("tool");
+        let cred = Cred::superuser();
+        let tok = c.wait(&mut (), c.submit_open(P, tool, OFlags::rdonly(), &cred)).expect("open");
+        let mut futs: Vec<(u64, OpFuture<RemoteRead>)> = (0..8u64)
+            .map(|off| (off, c.submit_read(P, tool, tok, off, 4)))
+            .collect();
+        assert_eq!(c.in_flight(), 8, "all eight reads are on the wire at once");
+        // Poll-based completion: pump until every future resolves.
+        let mut got = 0;
+        while got < futs.len() {
+            c.pump(&mut ());
+            for (off, fut) in futs.iter_mut() {
+                if let Some(done) = c.try_complete(fut) {
+                    let want: Vec<u8> =
+                        b"payload-bytes"[*off as usize..].iter().copied().take(4).collect();
+                    assert_eq!(done.expect("read"), RemoteRead::Data(want), "offset {off}");
+                    got += 1;
+                }
+            }
+        }
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn two_handles_share_one_wire() {
+        // Two client handles interleave sequenced writes on one session;
+        // both complete, and the server saw one dedup window and one tag
+        // space (no cross-handle collisions).
+        let mut fs = MemFs::<()>::new();
+        fs.install("/a", 0o644, 0, 0, Vec::new());
+        fs.install("/b", 0o644, 0, 0, Vec::new());
+        let r = RemoteFs::new(Box::new(fs));
+        let c1 = r.client();
+        let c2 = c1.clone();
+        let cred = Cred::superuser();
+        let a = c1.wait(&mut (), c1.submit_lookup(P, NodeId(0), "a")).expect("a");
+        let b = c2.wait(&mut (), c2.submit_lookup(P, NodeId(0), "b")).expect("b");
+        let ta = c1.wait(&mut (), c1.submit_open(P, a, OFlags::rdwr(), &cred)).expect("open a");
+        let tb = c2.wait(&mut (), c2.submit_open(P, b, OFlags::rdwr(), &cred)).expect("open b");
+        // Interleave: both writes in flight before either completes.
+        let mut wa = c1.submit_write(P, a, ta, 0, b"from-one");
+        let mut wb = c2.submit_write(P, b, tb, 0, b"from-two");
+        assert!(wa.tag() != wb.tag(), "tags are session-unique across handles");
+        let (mut ra, mut rb) = (None, None);
+        while ra.is_none() || rb.is_none() {
+            c1.pump(&mut ());
+            if ra.is_none() {
+                ra = c1.try_complete(&mut wa);
+            }
+            if rb.is_none() {
+                rb = c2.try_complete(&mut wb);
+            }
+        }
+        assert_eq!(ra.unwrap().expect("write a"), IoReply::Done(8));
+        assert_eq!(rb.unwrap().expect("write b"), IoReply::Done(8));
+        let mut buf = [0u8; 8];
+        let mut rfs = r;
+        rfs.read(&mut (), P, a, ta, 0, &mut buf).expect("read a");
+        assert_eq!(&buf, b"from-one");
+        rfs.read(&mut (), P, b, tb, 0, &mut buf).expect("read b");
+        assert_eq!(&buf, b"from-two");
+    }
+
+    #[test]
+    fn pipelining_beats_serial_on_a_lossy_wire() {
+        // Same seed, same fault rates, same 24 reads: issuing them all
+        // before waiting must finish in strictly fewer virtual ticks
+        // than submit-wait-submit-wait, because retransmission backoffs
+        // overlap instead of summing.
+        let rates = FaultRates::uniform(80);
+        let run = |pipelined: bool| -> u64 {
+            let mut r = faulty_memfs(0xBEEF, rates);
+            let cred = Cred::superuser();
+            let c = r.client();
+            let bin = r.lookup(&mut (), P, NodeId(0), "bin").expect("bin");
+            let tool = r.lookup(&mut (), P, bin, "tool").expect("tool");
+            let tok = r.open(&mut (), P, tool, OFlags::rdonly(), &cred).expect("open");
+            if pipelined {
+                let futs: Vec<OpFuture<RemoteRead>> =
+                    (0..24).map(|_| c.submit_read(P, tool, tok, 0, 13)).collect();
+                for fut in futs {
+                    let _ = c.wait(&mut (), fut);
+                }
+            } else {
+                for _ in 0..24 {
+                    let fut = c.submit_read(P, tool, tok, 0, 13);
+                    let _ = c.wait(&mut (), fut);
+                }
+            }
+            c.ticks()
+        };
+        let serial = run(false);
+        let pipelined = run(true);
+        assert!(
+            pipelined < serial,
+            "pipelined ({pipelined} ticks) must beat serial ({serial} ticks)"
+        );
     }
 }

@@ -1,0 +1,22 @@
+//! Smoke-sized run of the e5 multi-client throughput sweep, gating the
+//! wire v2 headline inside `cargo test` (alias: `cargo bench-smoke`):
+//! pipelined multi-client sessions must finish in strictly fewer
+//! virtual ticks than one-op-at-a-time calls, clean and lossy alike.
+
+#[test]
+fn pipelining_beats_serial_at_smoke_scale() {
+    let points = bench_support::multi_client_wire_sweep(&[0, 80], 3, 8, 0x53_40_CE);
+    for p in &points {
+        assert_eq!(p.ops, 24, "rate {}: wrong workload size", p.permille);
+        assert!(
+            p.pipelined_ticks < p.serial_ticks,
+            "rate {}: pipelined ({} ticks) must beat serial ({} ticks)",
+            p.permille,
+            p.pipelined_ticks,
+            p.serial_ticks
+        );
+    }
+    // On the clean wire every op lands on both legs.
+    assert_eq!(points[0].serial_ok, points[0].ops);
+    assert_eq!(points[0].pipelined_ok, points[0].ops);
+}

@@ -340,15 +340,10 @@ fn remote_mounted_proc_controls_a_process() {
     // through it.
     let mut sys = procsim::ksim::System::boot();
     tools::install_userland(&mut sys);
-    let table: procsim::vfs::remote::IoctlTable = Box::new(|req| {
-        procsim::procfs::ioctl::wire_spec(req).map(|(i, o)| {
-            procsim::vfs::remote::IoctlWireSpec { in_len: i, out_len: o }
-        })
-    });
     let remote = procsim::vfs::remote::RemoteFs::new(Box::new(
         procsim::procfs::ProcFs::new(),
     ))
-    .with_ioctl_table(table);
+    .with_ioctl_table(procsim::procfs::ioctl::wire_table());
     sys.mount("/proc", Box::new(remote));
     let ctl = sys.spawn_hosted("remote-dbg", Cred::new(100, 10));
     let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");

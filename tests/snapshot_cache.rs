@@ -160,7 +160,7 @@ fn poke_memory(sys: &mut System, ctl: Pid, pid: Pid, rng: &mut XorShift) {
         if m.prot & 2 == 0 {
             continue;
         }
-        let off = m.vaddr + rng.below(m.size.max(1).min(64));
+        let off = m.vaddr + rng.below(m.size.clamp(1, 64));
         let n = 1 + rng.below(4) as usize;
         let data = rng.bytes(n);
         if sys.host_lseek(ctl, fd, off as i64, 0).is_ok() && sys.host_write(ctl, fd, &data).is_ok()
