@@ -297,7 +297,12 @@ impl FileSystem<Kernel> for ProcFs {
         }
         proc.aspace
             .kernel_write(objects, off, &data[..span])
-            .map_err(|_| Errno::EIO)?;
+            .map_err(|d| match d {
+                // Copy-on-write frame materialisation failed under
+                // injected pressure: a typed ENOMEM, not a generic EIO.
+                vm::AccessDenied::NoMemory { .. } => Errno::ENOMEM,
+                _ => Errno::EIO,
+            })?;
         // A private-overlay write bypasses the shared page cache's
         // generation, so stamp the owner explicitly.
         proc.touch();

@@ -726,7 +726,12 @@ impl FileSystem<Kernel> for HierFs {
                 }
                 proc.aspace
                     .kernel_write(objects, off, &data[..span])
-                    .map_err(|_| Errno::EIO)?;
+                    .map_err(|d| match d {
+                        // Same ENOMEM discipline as the flat face: a
+                        // denied copy-on-write frame is typed, not EIO.
+                        vm::AccessDenied::NoMemory { .. } => Errno::ENOMEM,
+                        _ => Errno::EIO,
+                    })?;
                 // Private-overlay writes bypass the shared page cache's
                 // generation; stamp the owner explicitly.
                 proc.touch();

@@ -103,6 +103,10 @@ pub const PIOCNICE: u32 = 0x5025;
 /// Get snapshot-cache counters (`prcachestats`). Answered by the file
 /// system layer, not `prioctl`: the cache lives above the kernel.
 pub const PIOCCACHESTATS: u32 = 0x5026;
+/// Get kernel fault-injection counters (`KFaultStats`). Answered by
+/// `prioctl` — the fault plan lives on the kernel — so the reply crosses
+/// the remote wire like any other status request.
+pub const PIOCKFAULTSTATS: u32 = 0x5027;
 
 /// Get remote-wire traffic/fault/recovery counters (`WireStats`).
 /// Answered locally by the [`vfs::remote::RemoteFs`] client shim — the
@@ -192,6 +196,8 @@ pub enum Ioctl {
     Nice,
     /// `PIOCCACHESTATS`
     CacheStats,
+    /// `PIOCKFAULTSTATS`
+    KFaultStats,
     /// `PIOCWIRESTATS`
     WireCounters,
 }
@@ -231,6 +237,8 @@ pub enum IoctlPayload {
     Usage(PrUsage),
     /// Snapshot-cache counters.
     CacheStats(PrCacheStats),
+    /// Kernel fault-injection counters.
+    KFaultStats(ksim::kfault::KFaultStats),
     /// Remote-wire counters.
     WireStats(WireStats),
     /// An implementation dump (`PIOCGETPR`/`PIOCGETU`, deprecated).
@@ -279,6 +287,7 @@ impl Ioctl {
             PIOCUSAGE => Ioctl::Usage,
             PIOCNICE => Ioctl::Nice,
             PIOCCACHESTATS => Ioctl::CacheStats,
+            PIOCKFAULTSTATS => Ioctl::KFaultStats,
             PIOCWIRESTATS => Ioctl::WireCounters,
             _ => return None,
         })
@@ -325,6 +334,7 @@ impl Ioctl {
             Ioctl::Usage => PIOCUSAGE,
             Ioctl::Nice => PIOCNICE,
             Ioctl::CacheStats => PIOCCACHESTATS,
+            Ioctl::KFaultStats => PIOCKFAULTSTATS,
             Ioctl::WireCounters => PIOCWIRESTATS,
         }
     }
@@ -370,6 +380,7 @@ impl Ioctl {
             Ioctl::Usage => "PIOCUSAGE",
             Ioctl::Nice => "PIOCNICE",
             Ioctl::CacheStats => "PIOCCACHESTATS",
+            Ioctl::KFaultStats => "PIOCKFAULTSTATS",
             Ioctl::WireCounters => "PIOCWIRESTATS",
         }
     }
@@ -401,6 +412,7 @@ impl Ioctl {
                 | Ioctl::GetWatch
                 | Ioctl::Usage
                 | Ioctl::CacheStats
+                | Ioctl::KFaultStats
         )
     }
 
@@ -437,6 +449,7 @@ impl Ioctl {
             Ioctl::GetWatch => (0, 64 * PrWatch::WIRE_LEN),
             Ioctl::Usage => (0, PrUsage::WIRE_LEN),
             Ioctl::CacheStats => (0, PrCacheStats::WIRE_LEN),
+            Ioctl::KFaultStats => (0, ksim::kfault::KFaultStats::WIRE_LEN),
             // PIOCGETPR / PIOCGETU are variable-sized implementation
             // dumps — precisely the kind of operation that cannot cross
             // a wire. PIOCWIRESTATS never crosses either: it is
@@ -529,6 +542,9 @@ impl Ioctl {
             Ioctl::CacheStats => {
                 IoctlPayload::CacheStats(PrCacheStats::from_bytes(bytes).ok_or(bad)?)
             }
+            Ioctl::KFaultStats => IoctlPayload::KFaultStats(
+                ksim::kfault::KFaultStats::from_bytes(bytes).map_err(|_| bad)?,
+            ),
             Ioctl::WireCounters => {
                 IoctlPayload::WireStats(WireStats::from_bytes(bytes).ok_or(bad)?)
             }
@@ -741,6 +757,10 @@ pub fn prioctl(
             ops::nice(k, target, arg)?;
             done(vec![])
         }
+        // The fault plan lives on the kernel, so (unlike the two stats
+        // requests below) this one is answered here and crosses the
+        // remote wire to reach the server's kernel.
+        Ioctl::KFaultStats => done(k.kfault_stats().to_bytes()),
         // Answered above the kernel: the cache lives in the file-system
         // layer and the wire counters live on the client side.
         Ioctl::CacheStats | Ioctl::WireCounters => Err(Errno::ENOTTY),

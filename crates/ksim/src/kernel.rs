@@ -76,6 +76,9 @@ pub struct Kernel {
     pub table_gen: u64,
     /// Image cache keyed by `(fs, node)`.
     pub images: std::collections::HashMap<(u32, u64), CachedImage>,
+    /// Installed kernel fault schedule; `None` (the default) means the
+    /// kernel never injects a fault and consumes no generator state.
+    pub fault_plan: Option<crate::kfault::KernelFaultPlan>,
 }
 
 impl Kernel {
@@ -89,6 +92,15 @@ impl Kernel {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         pid
+    }
+
+    /// The fault-injection counters, with the object store's pressure
+    /// denials merged in. All zero when no plan is installed; this is
+    /// what `PIOCKFAULTSTATS` replies with.
+    pub fn kfault_stats(&self) -> crate::kfault::KFaultStats {
+        let mut st = self.fault_plan.as_ref().map(|p| p.stats).unwrap_or_default();
+        st.enomem_vm = self.objects.pressure_denials();
+        st
     }
 
     /// Looks up a live (non-reaped) process.

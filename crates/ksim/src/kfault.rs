@@ -1,0 +1,265 @@
+//! The kernel fault-injection plane.
+//!
+//! PR 2 taught the *wire* to fail (`vfs::remote::FaultPlan`); this module
+//! teaches the *kernel* to fail. A [`KernelFaultPlan`] is installed on the
+//! [`crate::Kernel`] (via [`crate::System::install_fault_plan`]) and rolls
+//! a seeded xorshift64* generator at a fixed set of chokepoints:
+//!
+//! * `EAGAIN` at `fork`/`spawn_program` entry — the process table is
+//!   "full" for one attempt;
+//! * `EINTR` on blocking /proc waits — the first time `PIOCWSTOP` (flat
+//!   ioctl or hier `PCWSTOP` batch) or a host-level read/write would
+//!   block, the sleep is interrupted instead;
+//! * spurious wakeups on `host_poll_in` — the poll returns with nothing
+//!   ready, as a signal-interrupted `poll(2)` restarted by a library
+//!   would;
+//! * asynchronous target death — before any host-level controller
+//!   operation, some live simulated process may be killed (`SIGKILL`) or
+//!   made to exit, modelling a target vanishing *between* two controller
+//!   operations;
+//! * `ENOMEM` at vm allocation sites — these rolls live in
+//!   [`vm::MemPressure`], attached to the object store by
+//!   `install_fault_plan` with a seed derived from the plan's, and fire
+//!   on copy-on-write frame materialisation, `grow_break`, `as_fault`
+//!   stack growth and exec image construction.
+//!
+//! Determinism contract: with no plan installed the kernel consumes no
+//! generator state and behaves byte-for-byte as before; with a plan whose
+//! rates are all zero every roll short-circuits before touching the
+//! generator, so a zero-rate plan is *also* byte-for-byte identical to a
+//! clean run. A given `(seed, rates)` pair replays the exact same fault
+//! schedule, which is what lets `tests/kernel_fault.rs` pin 32 seeds.
+//!
+//! Observability: every injection bumps a [`KFaultStats`] counter; the
+//! flat face answers `PIOCKFAULTSTATS` with the marshalled counters
+//! (vm pressure denials merged in), and the reply crosses the remote
+//! wire like any other ioctl.
+
+use vfs::Errno;
+
+/// Per-site injection rates, in permille (0 = never, 1000 = always).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelFaultRates {
+    /// `ENOMEM` rate for vm allocation sites (applied to the object
+    /// store's [`vm::MemPressure`] by `install_fault_plan`).
+    pub enomem: u16,
+    /// `EAGAIN` rate at `fork`/`spawn` entry.
+    pub eagain: u16,
+    /// `EINTR` rate on blocking /proc waits.
+    pub eintr: u16,
+    /// Spurious-wakeup rate on `host_poll_in`.
+    pub wakeup: u16,
+    /// Asynchronous target-death rate per host-level controller op.
+    pub death: u16,
+}
+
+impl KernelFaultRates {
+    /// The same rate at every site.
+    pub fn uniform(permille: u16) -> KernelFaultRates {
+        KernelFaultRates {
+            enomem: permille,
+            eagain: permille,
+            eintr: permille,
+            wakeup: permille,
+            death: permille,
+        }
+    }
+}
+
+/// Injection counters, marshalled little-endian for `PIOCKFAULTSTATS`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KFaultStats {
+    /// vm allocations denied (`ENOMEM`); merged from the object store's
+    /// pressure source at reply time.
+    pub enomem_vm: u64,
+    /// `fork` attempts failed with `EAGAIN`.
+    pub eagain_fork: u64,
+    /// `spawn_program` attempts failed with `EAGAIN`.
+    pub eagain_spawn: u64,
+    /// Blocking /proc waits interrupted with `EINTR`.
+    pub eintr_wait: u64,
+    /// `host_poll_in` calls returned spuriously with nothing ready.
+    pub spurious_wakeups: u64,
+    /// Targets killed or exited asynchronously.
+    pub deaths: u64,
+}
+
+impl KFaultStats {
+    /// Marshalled size: six little-endian `u64` counters.
+    pub const WIRE_LEN: usize = 6 * 8;
+
+    /// Serialises in field order.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_LEN);
+        for v in [
+            self.enomem_vm,
+            self.eagain_fork,
+            self.eagain_spawn,
+            self.eintr_wait,
+            self.spurious_wakeups,
+            self.deaths,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialises a `PIOCKFAULTSTATS` reply.
+    pub fn from_bytes(b: &[u8]) -> Result<KFaultStats, Errno> {
+        if b.len() != Self::WIRE_LEN {
+            return Err(Errno::EINVAL);
+        }
+        let at = |o: usize| -> u64 {
+            let mut w = [0u8; 8];
+            if let Some(s) = b.get(o..o + 8) {
+                w.copy_from_slice(s);
+            }
+            u64::from_le_bytes(w)
+        };
+        Ok(KFaultStats {
+            enomem_vm: at(0),
+            eagain_fork: at(8),
+            eagain_spawn: at(16),
+            eintr_wait: at(24),
+            spurious_wakeups: at(32),
+            deaths: at(40),
+        })
+    }
+}
+
+/// A seeded, deterministic kernel fault schedule (sibling of the wire
+/// `FaultPlan`). One generator drives every site, so the interleaving of
+/// faults across sites is itself part of the replayable schedule.
+#[derive(Clone, Debug)]
+pub struct KernelFaultPlan {
+    state: u64,
+    /// The per-site rates this plan was built with.
+    pub rates: KernelFaultRates,
+    /// Counters for `PIOCKFAULTSTATS`.
+    pub stats: KFaultStats,
+}
+
+impl KernelFaultPlan {
+    /// Creates a plan; a zero seed is remapped so xorshift never sticks.
+    pub fn new(seed: u64, rates: KernelFaultRates) -> KernelFaultPlan {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        KernelFaultPlan { state, rates, stats: KFaultStats::default() }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Rolls at `permille`; a zero rate consumes no generator state.
+    fn roll(&mut self, permille: u16) -> bool {
+        permille > 0 && self.next() % 1000 < u64::from(permille)
+    }
+
+    /// Should this `fork` fail with `EAGAIN`?
+    pub fn roll_eagain_fork(&mut self) -> bool {
+        let hit = self.roll(self.rates.eagain);
+        if hit {
+            self.stats.eagain_fork += 1;
+        }
+        hit
+    }
+
+    /// Should this `spawn_program` fail with `EAGAIN`?
+    pub fn roll_eagain_spawn(&mut self) -> bool {
+        let hit = self.roll(self.rates.eagain);
+        if hit {
+            self.stats.eagain_spawn += 1;
+        }
+        hit
+    }
+
+    /// Should this blocking wait be interrupted with `EINTR`?
+    pub fn roll_eintr(&mut self) -> bool {
+        let hit = self.roll(self.rates.eintr);
+        if hit {
+            self.stats.eintr_wait += 1;
+        }
+        hit
+    }
+
+    /// Should this poll return spuriously with nothing ready?
+    pub fn roll_spurious_wakeup(&mut self) -> bool {
+        let hit = self.roll(self.rates.wakeup);
+        if hit {
+            self.stats.spurious_wakeups += 1;
+        }
+        hit
+    }
+
+    /// Should a target die before this controller operation? (The caller
+    /// picks the victim and bumps [`KFaultStats::deaths`] once it has.)
+    pub fn roll_death(&mut self) -> bool {
+        self.roll(self.rates.death)
+    }
+
+    /// Uniform pick in `0..n` for victim selection. `n` must be nonzero.
+    pub fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// One deterministic bit: hard kill (`SIGKILL`) vs. quiet exit.
+    pub fn next_bit(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = KernelFaultPlan::new(42, KernelFaultRates::uniform(500));
+        let mut b = KernelFaultPlan::new(42, KernelFaultRates::uniform(500));
+        for _ in 0..200 {
+            assert_eq!(a.roll_eintr(), b.roll_eintr());
+            assert_eq!(a.roll_death(), b.roll_death());
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn zero_rate_consumes_no_state() {
+        let mut plan = KernelFaultPlan::new(7, KernelFaultRates::default());
+        let before = plan.state;
+        assert!(!plan.roll_eagain_fork());
+        assert!(!plan.roll_eintr());
+        assert!(!plan.roll_spurious_wakeup());
+        assert!(!plan.roll_death());
+        assert_eq!(plan.state, before, "zero rates must short-circuit");
+        assert_eq!(plan.stats, KFaultStats::default());
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut plan = KernelFaultPlan::new(0, KernelFaultRates::uniform(1000));
+        assert!(plan.roll_eintr(), "rate 1000 always fires");
+        assert_ne!(plan.state, 0);
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let st = KFaultStats {
+            enomem_vm: 1,
+            eagain_fork: 2,
+            eagain_spawn: 3,
+            eintr_wait: 4,
+            spurious_wakeups: 5,
+            deaths: 6,
+        };
+        let bytes = st.to_bytes();
+        assert_eq!(bytes.len(), KFaultStats::WIRE_LEN);
+        assert_eq!(KFaultStats::from_bytes(&bytes), Ok(st));
+        assert_eq!(KFaultStats::from_bytes(&bytes[1..]), Err(Errno::EINVAL));
+    }
+}

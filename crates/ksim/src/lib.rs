@@ -33,6 +33,7 @@ pub mod event;
 pub mod fault;
 pub mod fd;
 pub mod kernel;
+pub mod kfault;
 pub mod proc;
 pub mod ptrace;
 pub mod sched;
@@ -45,6 +46,7 @@ pub use aout::Aout;
 pub use event::{Event, EventLog};
 pub use fault::{FltSet, Fault};
 pub use kernel::{Kernel, RunOpts, HZ};
+pub use kfault::{KFaultStats, KernelFaultPlan, KernelFaultRates};
 pub use proc::{Lwp, LwpState, Proc, StopWhy, SysPhase, SyscallCtx, Tid, TraceState, WaitChannel};
 pub use sched::{Issig, Psig, SleepSig};
 pub use signal::{SigAction, SigSet};

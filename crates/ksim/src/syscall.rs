@@ -166,11 +166,11 @@ impl System {
             }
             SYS_TIME => done(Ok(self.kernel.clock / HZ)),
             SYS_BRK => {
-                let Kernel { procs, .. } = &mut self.kernel;
+                let Kernel { procs, objects, .. } = &mut self.kernel;
                 let Some(proc) = procs.get_mut(&pid.0) else {
                     return done(Err(Errno::ESRCH));
                 };
-                done(proc.aspace.grow_break(args[0]).map_err(|_| Errno::ENOMEM))
+                done(proc.aspace.grow_break(objects, args[0]).map_err(|_| Errno::ENOMEM))
             }
             SYS_STAT => {
                 let path = match self.copyin_str(pid, args[0]) {

@@ -623,6 +623,11 @@ impl System {
     /// `parent` (so hosted controllers can `wait` for their targets),
     /// and it inherits `parent`'s credentials.
     pub fn spawn_program(&mut self, parent: Pid, path: &str, argv: &[&str]) -> SysResult<Pid> {
+        if let Some(plan) = self.kernel.fault_plan.as_mut() {
+            if plan.roll_eagain_spawn() {
+                return Err(Errno::EAGAIN);
+            }
+        }
         let (cred, pgrp, sid) = {
             let p = self.kernel.proc(parent)?;
             (p.cred.clone(), p.pgrp, p.sid)
@@ -699,6 +704,11 @@ impl System {
                         return SysOutcome::Done(Ok(child.0 as u64));
                     }
                 }
+            }
+        }
+        if let Some(plan) = self.kernel.fault_plan.as_mut() {
+            if plan.roll_eagain_fork() {
+                return SysOutcome::Done(Err(Errno::EAGAIN));
             }
         }
         let child_pid = self.kernel.alloc_pid();
@@ -905,6 +915,12 @@ impl System {
         }
         let Kernel { procs, objects, images, .. } = &mut self.kernel;
         let proc = procs.get_mut(&pid.0).ok_or(Errno::ESRCH)?;
+        // The new image needs fresh anonymous memory (bss, break, stack);
+        // under injected pressure the exec fails cleanly with ENOMEM
+        // while the old image is still intact.
+        if !objects.mem_ok() {
+            return Err(Errno::ENOMEM);
+        }
         // Point of no return: tear down the old image.
         proc.aspace.clear(objects);
         let img = images.get(&(fsid, node.0)).expect("cached above");
@@ -1415,6 +1431,66 @@ impl System {
     // Host-level (controlling-program) API
     // ------------------------------------------------------------------
 
+    /// Installs a kernel fault schedule: the plan itself on the kernel
+    /// and, derived from the same seed, a [`vm::MemPressure`] source on
+    /// the object store so vm allocation sites fail too. Passing
+    /// all-zero rates installs a plan that consumes no generator state —
+    /// byte-for-byte identical to no plan at all.
+    pub fn install_fault_plan(&mut self, seed: u64, rates: crate::kfault::KernelFaultRates) {
+        self.kernel.objects.set_pressure(seed ^ 0xA5A5_5A5A_C3C3_3C3C, rates.enomem);
+        self.kernel.fault_plan = Some(crate::kfault::KernelFaultPlan::new(seed, rates));
+    }
+
+    /// The injection counters (`PIOCKFAULTSTATS` answers with these),
+    /// with the object store's pressure denials merged in. All zero when
+    /// no plan is installed.
+    pub fn kfault_stats(&self) -> crate::kfault::KFaultStats {
+        let mut st =
+            self.kernel.fault_plan.as_ref().map(|p| p.stats).unwrap_or_default();
+        st.enomem_vm = self.kernel.objects.pressure_denials();
+        st
+    }
+
+    /// Asynchronous-death injection: called at the top of every
+    /// host-level controller operation, so a target can vanish *between*
+    /// any two controller ops. Picks a deterministic victim among live,
+    /// non-hosted, non-init simulated processes and either SIGKILLs it
+    /// or makes it exit quietly.
+    fn kfault_maybe_kill(&mut self) {
+        let rolled = match self.kernel.fault_plan.as_mut() {
+            Some(plan) => plan.roll_death(),
+            None => return,
+        };
+        if !rolled {
+            return;
+        }
+        let victims: Vec<Pid> = self
+            .kernel
+            .procs
+            .iter()
+            .filter(|(id, p)| **id > 1 && !p.hosted && !p.zombie)
+            .map(|(id, _)| Pid(*id))
+            .collect();
+        if victims.is_empty() {
+            return;
+        }
+        let Some(plan) = self.kernel.fault_plan.as_mut() else { return };
+        let victim = victims[plan.pick(victims.len() as u64) as usize];
+        let hard = plan.next_bit();
+        plan.stats.deaths += 1;
+        if hard {
+            self.force_kill(victim, SIGKILL);
+        } else {
+            self.do_exit(victim, Kernel::status_exited(0));
+        }
+    }
+
+    /// Rolls the EINTR site once (used the first time a blocking host
+    /// op would actually block).
+    fn kfault_roll_eintr(&mut self) -> bool {
+        self.kernel.fault_plan.as_mut().map(|p| p.roll_eintr()).unwrap_or(false)
+    }
+
     /// Pumps the scheduler until `f` produces a value, failing with
     /// `EDEADLK` if the simulation goes fully idle (nothing can ever
     /// complete the call) or the pump budget runs out.
@@ -1452,10 +1528,20 @@ impl System {
     /// Host `read(2)`: blocks (pumping the scheduler) until data arrives
     /// or the pump budget is exhausted.
     pub fn host_read(&mut self, cur: Pid, fd: usize, buf: &mut [u8]) -> SysResult<usize> {
+        self.kfault_maybe_kill();
+        let mut intr_pending = true;
         for _ in 0..self.pump_limit {
             match self.read_fd(cur, fd, buf)? {
                 FlIo::Done(n) => return Ok(n),
                 FlIo::Block(_) => {
+                    // The sleep is interruptible; the fault plan may cut
+                    // it short the first time we would actually block.
+                    if intr_pending {
+                        intr_pending = false;
+                        if self.kfault_roll_eintr() {
+                            return Err(Errno::EINTR);
+                        }
+                    }
                     if !self.step() {
                         return Err(Errno::EDEADLK);
                     }
@@ -1468,13 +1554,27 @@ impl System {
     /// Host `write(2)`: blocks (pumping) while the file would block, up
     /// to the pump budget.
     pub fn host_write(&mut self, cur: Pid, fd: usize, data: &[u8]) -> SysResult<usize> {
+        self.kfault_maybe_kill();
         let mut written = 0;
         let mut budget = self.pump_limit;
+        let mut intr_pending = true;
         while written < data.len() {
             match self.write_fd(cur, fd, &data[written..])? {
                 FlIo::Done(0) => break,
                 FlIo::Done(n) => written += n,
                 FlIo::Block(_) => {
+                    // Blocking here covers the hier face's PCWSTOP ctl
+                    // batches; per POSIX, EINTR only if nothing has been
+                    // written yet, else the partial count is returned.
+                    if intr_pending {
+                        intr_pending = false;
+                        if self.kfault_roll_eintr() {
+                            if written == 0 {
+                                return Err(Errno::EINTR);
+                            }
+                            return Ok(written);
+                        }
+                    }
                     budget = budget.saturating_sub(1);
                     if budget == 0 || !self.step() {
                         return Err(Errno::EDEADLK);
@@ -1487,16 +1587,29 @@ impl System {
 
     /// Host `lseek(2)`.
     pub fn host_lseek(&mut self, cur: Pid, fd: usize, off: i64, whence: u32) -> SysResult<u64> {
+        self.kfault_maybe_kill();
         self.lseek_fd(cur, fd, off, whence)
     }
 
     /// Host `ioctl(2)`: blocks (pumping) while the operation would block
     /// (`PIOCWSTOP`).
     pub fn host_ioctl(&mut self, cur: Pid, fd: usize, req: u32, arg: &[u8]) -> SysResult<Vec<u8>> {
+        self.kfault_maybe_kill();
         let arg = arg.to_vec();
+        let mut intr_pending = true;
         self.pump_until(move |s| match s.ioctl_fd(cur, fd, req, &arg)? {
             IoctlReply::Done(out) => Ok(Some(out)),
-            IoctlReply::Block => Ok(None),
+            IoctlReply::Block => {
+                // First time the wait (PIOCWSTOP) actually blocks, the
+                // fault plan may interrupt the sleep.
+                if intr_pending {
+                    intr_pending = false;
+                    if s.kfault_roll_eintr() {
+                        return Err(Errno::EINTR);
+                    }
+                }
+                Ok(None)
+            }
         })
     }
 
@@ -1540,6 +1653,22 @@ impl System {
     /// live processes are always writable, so this is the mode a
     /// debugger uses to wait on N traced processes with one call.
     pub fn host_poll_in(&mut self, cur: Pid, fds: &[usize]) -> SysResult<Vec<PollStatus>> {
+        self.kfault_maybe_kill();
+        if let Some(plan) = self.kernel.fault_plan.as_mut() {
+            if plan.roll_eintr() {
+                return Err(Errno::EINTR);
+            }
+            if plan.roll_spurious_wakeup() {
+                // Return the instantaneous statuses without waiting:
+                // possibly nothing is ready, as after a signal-restarted
+                // poll. Callers must re-poll, not trust the wakeup.
+                let mut out = Vec::with_capacity(fds.len());
+                for &fd in fds {
+                    out.push(self.poll_fd(cur, fd)?);
+                }
+                return Ok(out);
+            }
+        }
         let fds = fds.to_vec();
         self.pump_until(move |s| {
             let mut out = Vec::with_capacity(fds.len());
@@ -1568,6 +1697,9 @@ impl ProcBus<'_> {
             vm::AccessDenied::Unmapped { .. } => BusFaultKind::Unmapped,
             vm::AccessDenied::Protection { .. } => BusFaultKind::Protection,
             vm::AccessDenied::Watch { .. } => BusFaultKind::Watch,
+            // A user-mode access the kernel cannot back with a frame dies
+            // as a bounds fault — the CPU has no out-of-memory fault.
+            vm::AccessDenied::NoMemory { .. } => BusFaultKind::Unmapped,
         };
         BusFault { addr: d.addr(), access, kind }
     }

@@ -82,7 +82,21 @@ impl Debugger {
         path: &str,
         argv: &[&str],
     ) -> SysResult<Debugger> {
-        let pid = sys.spawn_program(ctl, path, argv)?;
+        // A starved kernel may refuse the spawn with EAGAIN; back off
+        // (letting the simulation run) and retry a bounded number of
+        // times before surfacing the typed error.
+        let mut pid = None;
+        for attempt in 0..=crate::proc_io::TRANSIENT_RETRIES {
+            match sys.spawn_program(ctl, path, argv) {
+                Ok(p) => {
+                    pid = Some(p);
+                    break;
+                }
+                Err(Errno::EAGAIN) => sys.run_idle(1 << attempt),
+                Err(e) => return Err(e),
+            }
+        }
+        let pid = pid.ok_or(Errno::EAGAIN)?;
         // Nothing has run yet; the directed stop lands before user code.
         Self::attach(sys, ctl, pid)
     }
@@ -91,6 +105,36 @@ impl Debugger {
     /// existing process"), stopping it.
     pub fn attach(sys: &mut System, ctl: Pid, pid: Pid) -> SysResult<Debugger> {
         let mut h = ProcHandle::open_rw(sys, ctl, pid)?;
+        match Self::attach_ops(sys, &mut h) {
+            Ok((st, aout)) => {
+                Ok(Debugger { h, aout, bps: HashMap::new(), last_status: Some(st) })
+            }
+            Err(e) => {
+                // Unwind without leaving a half-grabbed target stopped.
+                // A PIOCSTOP aborted by EINTR latches a directed stop
+                // that lands at the target's next scheduling point, so
+                // let the machine run until the stop surfaces, then
+                // release it (all best-effort: the target may be gone).
+                for _ in 0..4 {
+                    match sys.kernel.proc(pid) {
+                        Ok(p) if p.zombie => break,
+                        Ok(p) if p.is_stopped() => {
+                            let _ = h.resume(sys);
+                            break;
+                        }
+                        Ok(_) => sys.run_idle(50),
+                        Err(_) => break,
+                    }
+                }
+                let _ = h.close(sys);
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible middle of [`Debugger::attach`]: everything between
+    /// opening the descriptor and constructing the debugger.
+    fn attach_ops(sys: &mut System, h: &mut ProcHandle) -> SysResult<(PrStatus, Aout)> {
         let st = h.stop(sys)?;
         // Field breakpoints and single-steps as faults.
         let mut flt = FltSet::empty();
@@ -99,12 +143,28 @@ impl Debugger {
         flt.add(Fault::Watch.number());
         h.set_flt_trace(sys, flt)?;
         let aout = h.read_aout(sys)?;
-        Ok(Debugger { h, aout, bps: HashMap::new(), last_status: Some(st) })
+        Ok((st, aout))
     }
 
     /// The target pid.
     pub fn pid(&self) -> Pid {
         self.h.pid
+    }
+
+    /// True if a failed operation means the target is gone rather than
+    /// the operation being wrong: the process file vanished
+    /// (`ESRCH`/`ENOENT`) or the process is a zombie (address-space and
+    /// control operations on a zombie fail, typically with `EIO`).
+    fn target_gone(&self, sys: &System, e: Errno) -> bool {
+        matches!(e, Errno::ESRCH | Errno::ENOENT)
+            || sys.kernel.proc(self.h.pid).map(|p| p.zombie).unwrap_or(true)
+    }
+
+    /// The clean degradation for a target that died mid-operation.
+    fn exited_event(&mut self, sys: &System) -> DebugEvent {
+        let status = sys.kernel.proc(self.h.pid).map(|p| p.exit_status).unwrap_or(0);
+        self.last_status = None;
+        DebugEvent::Exited(status)
     }
 
     /// Resolves a symbol to its address.
@@ -189,17 +249,33 @@ impl Debugger {
     }
 
     /// Steps one instruction (stepping over a breakpoint at the PC).
+    /// A target that dies at any point in the dance degrades to
+    /// [`DebugEvent::Exited`] instead of a raw error.
     pub fn step(&mut self, sys: &mut System) -> SysResult<DebugEvent> {
-        let st = self.h.status(sys)?;
+        let st = match self.h.status(sys) {
+            Ok(st) => st,
+            Err(e) if self.target_gone(sys, e) => return Ok(self.exited_event(sys)),
+            Err(e) => return Err(e),
+        };
         let pc = st.reg.pc;
         let planted_here = self.bps.contains_key(&pc);
         if planted_here {
             let saved = self.bps[&pc].saved;
-            self.h.write_mem(sys, pc, &saved)?;
+            if let Err(e) = self.h.write_mem(sys, pc, &saved) {
+                if self.target_gone(sys, e) {
+                    return Ok(self.exited_event(sys));
+                }
+                return Err(e);
+            }
         }
-        self.h.run(sys, PrRun { flags: PRRUN_STEP | PRRUN_CFAULT, vaddr: 0 })?;
+        if let Err(e) = self.h.run(sys, PrRun { flags: PRRUN_STEP | PRRUN_CFAULT, vaddr: 0 }) {
+            if self.target_gone(sys, e) {
+                return Ok(self.exited_event(sys));
+            }
+            return Err(e);
+        }
         let ev = self.wait_event(sys)?;
-        if planted_here && self.bps.contains_key(&pc) {
+        if planted_here && self.bps.contains_key(&pc) && !matches!(ev, DebugEvent::Exited(_)) {
             self.h.write_mem(sys, pc, &isa::insn::breakpoint_bytes())?;
         }
         Ok(match ev {
@@ -224,15 +300,23 @@ impl Debugger {
         loop {
             if let Ok(st) = self.h.status(sys) {
                 if st.flags & procfs::PR_ISTOP != 0 {
-                    self.h.run(sys, PrRun { flags: PRRUN_CFAULT, vaddr: 0 })?;
+                    if let Err(e) = self.h.run(sys, PrRun { flags: PRRUN_CFAULT, vaddr: 0 }) {
+                        if self.target_gone(sys, e) {
+                            return Ok(self.exited_event(sys));
+                        }
+                        return Err(e);
+                    }
                 }
             }
             let ev = self.wait_event(sys)?;
             match ev {
                 DebugEvent::Breakpoint { addr, .. } => {
                     let passes = {
-                        let st = self.last_status.as_ref().expect("status captured");
-                        let bp = self.bps.get_mut(&addr).expect("known breakpoint");
+                        // wait_event captured the stop status just above;
+                        // a missing one is an EIO-grade protocol break,
+                        // not a panic.
+                        let st = self.last_status.as_ref().ok_or(Errno::EIO)?;
+                        let bp = self.bps.get_mut(&addr).ok_or(Errno::ENOENT)?;
                         bp.hits += 1;
                         bp.condition.as_ref().map(|c| c(&st.reg)).unwrap_or(true)
                     };
@@ -255,11 +339,11 @@ impl Debugger {
     fn wait_event(&mut self, sys: &mut System) -> SysResult<DebugEvent> {
         let st = match self.h.wstop(sys) {
             Ok(st) => st,
-            Err(Errno::ENOENT) | Err(Errno::ESRCH) => {
-                let status =
-                    sys.kernel.proc(self.h.pid).map(|p| p.exit_status).unwrap_or(0);
-                self.last_status = None;
-                return Ok(DebugEvent::Exited(status));
+            // ESRCH/ENOENT: the process file vanished. target_gone also
+            // catches a target that zombified mid-wait and surfaced some
+            // other errno (e.g. an EINTR retry storm against a corpse).
+            Err(e) if self.target_gone(sys, e) => {
+                return Ok(self.exited_event(sys));
             }
             Err(e) => return Err(e),
         };
@@ -342,32 +426,53 @@ impl Debugger {
     }
 
     /// Detaches: lifts breakpoints, clears tracing and releases the
-    /// target running.
+    /// target running. If the target died along the way the detach
+    /// still succeeds — there is nothing left to release — and the
+    /// descriptor is always closed.
     pub fn detach(mut self, sys: &mut System) -> SysResult<()> {
-        let _ = self.lift_all(sys);
-        self.h.set_entry_trace(sys, SysSet::empty())?;
-        self.h.set_exit_trace(sys, SysSet::empty())?;
-        self.h.set_sig_trace(sys, SigSet::empty())?;
-        self.h.set_flt_trace(sys, FltSet::empty())?;
-        // Release if stopped.
-        let st = self.h.status(sys)?;
-        if st.flags & procfs::PR_ISTOP != 0 {
-            self.h.run(sys, PrRun { flags: PRRUN_CSIG | PRRUN_CFAULT, vaddr: 0 })?;
+        let r = self.detach_ops(sys);
+        let close = self.h.close(sys);
+        match r {
+            Ok(()) => close,
+            Err(e) => Err(e),
         }
-        self.h.close(sys)
     }
 
-    /// Kills the target outright.
+    fn detach_ops(&mut self, sys: &mut System) -> SysResult<()> {
+        let ops = |d: &mut Debugger, sys: &mut System| -> SysResult<()> {
+            let _ = d.lift_all(sys);
+            d.h.set_entry_trace(sys, SysSet::empty())?;
+            d.h.set_exit_trace(sys, SysSet::empty())?;
+            d.h.set_sig_trace(sys, SigSet::empty())?;
+            d.h.set_flt_trace(sys, FltSet::empty())?;
+            // Release if stopped.
+            let st = d.h.status(sys)?;
+            if st.flags & procfs::PR_ISTOP != 0 {
+                d.h.run(sys, PrRun { flags: PRRUN_CSIG | PRRUN_CFAULT, vaddr: 0 })?;
+            }
+            Ok(())
+        };
+        match ops(self, sys) {
+            Err(e) if self.target_gone(sys, e) => Ok(()),
+            other => other,
+        }
+    }
+
+    /// Kills the target outright. A target that already died counts as
+    /// success; the descriptor is always closed.
     pub fn kill(mut self, sys: &mut System) -> SysResult<()> {
-        self.h.kill(sys, SIGKILL)?;
+        let r = match self.h.kill(sys, SIGKILL) {
+            Err(e) if self.target_gone(sys, e) => Ok(()),
+            other => other,
+        };
         // A stopped target must be released for the signal to act.
-        let st = self.h.status(sys);
-        if let Ok(st) = st {
+        if let Ok(st) = self.h.status(sys) {
             if st.flags & procfs::PR_ISTOP != 0 {
                 let _ = self.h.run(sys, PrRun::default());
             }
         }
-        self.h.close(sys)
+        let close = self.h.close(sys);
+        r.and(close)
     }
 
     /// Runs an encapsulation loop: while the target executes, every entry
@@ -384,7 +489,13 @@ impl Debugger {
         self.h.set_entry_trace(sys, calls)?;
         self.h.set_exit_trace(sys, calls)?;
         loop {
-            self.h.run(sys, PrRun::default())?;
+            if let Err(e) = self.h.run(sys, PrRun::default()) {
+                if self.target_gone(sys, e) {
+                    self.last_status = None;
+                    return Ok(sys.kernel.proc(self.h.pid).map(|p| p.exit_status).unwrap_or(0));
+                }
+                return Err(e);
+            }
             match self.wait_event(sys)? {
                 DebugEvent::SyscallEntry(_) => {
                     // Abort the kernel's execution of the call: it goes
@@ -393,7 +504,7 @@ impl Debugger {
                     self.h.run(sys, PrRun { flags: PRRUN_SABORT, vaddr: 0 })?;
                     match self.wait_event(sys)? {
                         DebugEvent::SyscallExit(nr) => {
-                            let st = self.last_status.clone().expect("status captured");
+                            let st = self.last_status.clone().ok_or(Errno::EIO)?;
                             let mut regs = st.reg;
                             match emulate(nr, &regs) {
                                 Ok(v) => {
@@ -439,18 +550,44 @@ pub fn wait_event_any(
     // One system call covers the whole set; per-handle accounting, which
     // exists to measure exactly this saving (E2), charges nothing here —
     // the classification below pays its own PIOCWSTOP.
-    let sts = sys.host_poll_in(ctl, &fds)?;
-    for (i, st) in sts.iter().enumerate() {
-        if st.ready() {
-            let ev = dbgs[i].wait_event(sys)?;
-            return Ok((i, ev));
+    let mut attempts = 0;
+    loop {
+        let sts = match sys.host_poll_in(ctl, &fds) {
+            Ok(sts) => sts,
+            // An interrupted poll is transparently restarted (bounded).
+            Err(Errno::EINTR) if attempts < crate::proc_io::TRANSIENT_RETRIES => {
+                attempts += 1;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        // Hangups first: a target that died between POLLHUP readiness
+        // and classification must surface as a clean exit. Sending it
+        // through wait_event would issue PIOCWSTOP against a corpse —
+        // a wait that can never complete.
+        for (i, st) in sts.iter().enumerate() {
+            if st.hangup {
+                let ev = dbgs[i].exited_event(sys);
+                return Ok((i, ev));
+            }
+        }
+        for (i, st) in sts.iter().enumerate() {
+            if st.ready() {
+                let ev = dbgs[i].wait_event(sys)?;
+                return Ok((i, ev));
+            }
+        }
+        // Nothing actually ready: a spurious wakeup. Poll again
+        // (bounded, so a pathological plan cannot spin forever).
+        attempts += 1;
+        if attempts > crate::proc_io::TRANSIENT_RETRIES {
+            return Err(Errno::EAGAIN);
         }
     }
-    // host_poll only returns when something is ready.
-    Err(Errno::EAGAIN)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ksim::Cred;

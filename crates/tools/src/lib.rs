@@ -17,6 +17,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The controllers promise to survive a dying, starved or racing target:
+// every fallible path must surface a typed `Errno`, never a panic. Test
+// modules opt back in with a local `allow`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod debugger;
 pub mod lsproc;

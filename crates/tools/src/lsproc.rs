@@ -39,6 +39,7 @@ pub fn ls_l_proc(sys: &mut System, ctl: Pid, users: &UserTable) -> SysResult<Str
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ksim::Cred;

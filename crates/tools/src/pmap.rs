@@ -34,6 +34,7 @@ pub fn render(maps: &[PrMap]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ksim::Cred;

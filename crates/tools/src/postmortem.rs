@@ -132,6 +132,7 @@ pub fn core_exists(sys: &mut System, ctl: Pid, pid: Pid) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ksim::Cred;

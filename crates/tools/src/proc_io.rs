@@ -17,8 +17,19 @@ use vfs::{Errno, OFlags, PollStatus};
 
 /// The `/proc` path of a process (five-digit form, as listed).
 pub fn proc_path(pid: Pid) -> String {
-    format!("/proc/{:05}", pid.0)
+    proc_path_at("/proc", pid)
 }
+
+/// The process file path under an arbitrary mount point (a remote
+/// `/proc` is usually mounted elsewhere, e.g. `/rproc`).
+pub fn proc_path_at(mount: &str, pid: Pid) -> String {
+    format!("{}/{:05}", mount, pid.0)
+}
+
+/// How many times a transient fault (`EINTR` from an interrupted wait,
+/// `EAGAIN` from a starved fork) is retried before the typed error is
+/// surfaced to the caller.
+pub const TRANSIENT_RETRIES: u32 = 8;
 
 /// The host-call surface a `/proc` client needs. [`ProcHandle`] (and
 /// everything built on it — the debugger, `truss`, `ps`, `pmap`) drives
@@ -114,15 +125,91 @@ impl ProcHandle {
         Self::open(sys, ctl, pid, OFlags::rdwr_excl())
     }
 
+    /// Opens the target's process file under an arbitrary mount point
+    /// (for remote `/proc` mounts).
+    pub fn open_at(
+        sys: &mut impl ProcTransport,
+        ctl: Pid,
+        pid: Pid,
+        mount: &str,
+        flags: OFlags,
+    ) -> SysResult<ProcHandle> {
+        let fd = sys.pt_open(ctl, &proc_path_at(mount, pid), flags)?;
+        Ok(ProcHandle { pid, ctl, fd, calls: 1 })
+    }
+
     /// Closes the descriptor.
     pub fn close(mut self, sys: &mut impl ProcTransport) -> SysResult<()> {
         self.calls += 1;
         sys.pt_close(self.ctl, self.fd)
     }
 
+    /// Runs `f` with a freshly opened handle and closes it on *every*
+    /// exit path — normal return, typed error, or panic. This is the
+    /// last-close guard the paper's run-on-last-close semantics need: a
+    /// controller that unwinds mid-operation still closes the process
+    /// file, so a stopped target with `PIOCSRLC` in effect is set
+    /// running again rather than left stopped forever.
+    ///
+    /// (`ProcHandle` cannot do this from `Drop`: closing needs `&mut`
+    /// access to the transport, which a `Drop` impl cannot borrow.)
+    pub fn scoped<S: ProcTransport, T>(
+        sys: &mut S,
+        ctl: Pid,
+        pid: Pid,
+        flags: OFlags,
+        f: impl FnOnce(&mut S, &mut ProcHandle) -> SysResult<T>,
+    ) -> SysResult<T> {
+        Self::scoped_at(sys, ctl, pid, "/proc", flags, f)
+    }
+
+    /// [`ProcHandle::scoped`] under an arbitrary mount point — the same
+    /// unwind-safe last-close guarantee over a remote `/proc`.
+    pub fn scoped_at<S: ProcTransport, T>(
+        sys: &mut S,
+        ctl: Pid,
+        pid: Pid,
+        mount: &str,
+        flags: OFlags,
+        f: impl FnOnce(&mut S, &mut ProcHandle) -> SysResult<T>,
+    ) -> SysResult<T> {
+        let mut h = Self::open_at(sys, ctl, pid, mount, flags)?;
+        let (ctl, fd) = (h.ctl, h.fd);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(sys, &mut h)));
+        // Close no matter how the body ended. A close failure after a
+        // successful body is not surfaced: the target may legitimately
+        // have died while we held the descriptor.
+        let _ = sys.pt_close(ctl, fd);
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
     fn ioctl(&mut self, sys: &mut impl ProcTransport, req: u32, arg: &[u8]) -> SysResult<Vec<u8>> {
         self.calls += 1;
         sys.pt_ioctl(self.ctl, self.fd, req, arg)
+    }
+
+    /// Like [`ProcHandle::ioctl`], but retries a bounded number of times
+    /// when the kernel interrupts the wait with `EINTR` — the discipline
+    /// every blocking `/proc` wait (`PIOCSTOP`, `PIOCWSTOP`) needs under
+    /// an installed fault plan. A persistent `EINTR` storm still
+    /// surfaces, typed, after [`TRANSIENT_RETRIES`] attempts.
+    fn ioctl_retry_intr(
+        &mut self,
+        sys: &mut impl ProcTransport,
+        req: u32,
+        arg: &[u8],
+    ) -> SysResult<Vec<u8>> {
+        let mut attempts = 0;
+        loop {
+            match self.ioctl(sys, req, arg) {
+                Err(Errno::EINTR) if attempts < TRANSIENT_RETRIES => attempts += 1,
+                other => return other,
+            }
+        }
     }
 
     /// `PIOCSTATUS`: the full status in one operation.
@@ -132,14 +219,16 @@ impl ProcHandle {
     }
 
     /// `PIOCSTOP`: direct the process to stop and wait for the stop.
+    /// Interrupted waits are retried (bounded).
     pub fn stop(&mut self, sys: &mut impl ProcTransport) -> SysResult<PrStatus> {
-        let out = self.ioctl(sys, PIOCSTOP, &[])?;
+        let out = self.ioctl_retry_intr(sys, PIOCSTOP, &[])?;
         PrStatus::from_bytes(&out).ok_or(Errno::EIO)
     }
 
     /// `PIOCWSTOP`: wait for the next event-of-interest stop.
+    /// Interrupted waits are retried (bounded).
     pub fn wstop(&mut self, sys: &mut impl ProcTransport) -> SysResult<PrStatus> {
-        let out = self.ioctl(sys, PIOCWSTOP, &[])?;
+        let out = self.ioctl_retry_intr(sys, PIOCWSTOP, &[])?;
         PrStatus::from_bytes(&out).ok_or(Errno::EIO)
     }
 
@@ -278,6 +367,15 @@ impl ProcHandle {
         vfs::remote::WireStats::from_bytes(&out).ok_or(Errno::EIO)
     }
 
+    /// `PIOCKFAULTSTATS`: the kernel fault-injection counters. Answered
+    /// by the kernel owning the target, so over a remote mount the reply
+    /// reports the *server's* fault plan. All zeros when no plan is
+    /// installed.
+    pub fn kfault_stats(&mut self, sys: &mut impl ProcTransport) -> SysResult<ksim::KFaultStats> {
+        let out = self.ioctl(sys, PIOCKFAULTSTATS, &[])?;
+        ksim::KFaultStats::from_bytes(&out)
+    }
+
     /// Non-blocking `poll` readiness of this descriptor — the paper's
     /// proposed extension: the process file is "ready" (readable) when
     /// the target is stopped on an event of interest, and in `hangup`
@@ -344,6 +442,7 @@ impl ProcHandle {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ksim::Cred;

@@ -40,7 +40,7 @@ impl PtraceOverProc {
             let h = ProcHandle::open_rw(sys, self.ctl, pid)?;
             self.handles.insert(pid.0, h);
         }
-        Ok(self.handles.get_mut(&pid.0).expect("inserted above"))
+        self.handles.get_mut(&pid.0).ok_or(Errno::ESRCH)
     }
 
     /// The classic entry point: `ptrace(request, pid, addr, data)`.
@@ -226,6 +226,7 @@ impl PtraceDebugger {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ksim::Cred;

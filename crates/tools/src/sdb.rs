@@ -46,12 +46,9 @@ impl Sdb {
     /// Launches `path` under control, stopped at its first instruction.
     pub fn launch(sys: &mut System, ctl: Pid, path: &str, argv: &[&str]) -> SysResult<Sdb> {
         let dbg = Debugger::launch(sys, ctl, path, argv)?;
+        let pid = dbg.pid();
         let mut s = Sdb { dbg: Some(dbg), transcript: String::new(), finished: false };
-        s.say(&format!(
-            "sdb: {} (pid {}) stopped before first instruction",
-            path,
-            s.dbg.as_ref().expect("just launched").pid()
-        ));
+        s.say(&format!("sdb: {path} (pid {pid}) stopped before first instruction"));
         Ok(s)
     }
 
@@ -121,7 +118,37 @@ impl Sdb {
     }
 
     /// Executes one command line; output goes to the transcript.
+    ///
+    /// A target that dies mid-command (kill -9 from elsewhere, injected
+    /// death) ends the session with a transcript note instead of
+    /// surfacing a raw error: the user typed a debugger command, not a
+    /// syscall, and "the process is gone" is an answer, not a failure.
     pub fn exec(&mut self, sys: &mut System, line: &str) -> SysResult<()> {
+        match self.exec_inner(sys, line) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let gone = self
+                    .dbg
+                    .as_ref()
+                    .map(|d| {
+                        matches!(e, Errno::ESRCH | Errno::ENOENT)
+                            || sys.kernel.proc(d.pid()).map(|p| p.zombie).unwrap_or(true)
+                    })
+                    .unwrap_or(false);
+                if !gone {
+                    return Err(e);
+                }
+                if let Some(dbg) = self.dbg.take() {
+                    let _ = dbg.h.close(sys);
+                }
+                self.finished = true;
+                self.say(&format!("sdb: target gone ({}); session finished", e.name()));
+                Ok(())
+            }
+        }
+    }
+
+    fn exec_inner(&mut self, sys: &mut System, line: &str) -> SysResult<()> {
         if self.finished {
             self.say("sdb: session finished");
             return Ok(());
@@ -288,6 +315,7 @@ impl Sdb {
 pub type SdbHandle = ProcHandle;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ksim::Cred;

@@ -67,7 +67,21 @@ pub fn truss_command(
     argv: &[&str],
     opts: &TrussOptions,
 ) -> SysResult<TrussReport> {
-    let pid = sys.spawn_program(ctl, path, argv)?;
+    // Process-table pressure (real or injected) surfaces as EAGAIN;
+    // retry with backoff like a shell would, bounded so a saturated
+    // table still fails cleanly.
+    let mut pid = None;
+    for attempt in 0..=crate::proc_io::TRANSIENT_RETRIES {
+        match sys.spawn_program(ctl, path, argv) {
+            Ok(p) => {
+                pid = Some(p);
+                break;
+            }
+            Err(Errno::EAGAIN) => sys.run_idle(1 << attempt),
+            Err(e) => return Err(e),
+        }
+    }
+    let pid = pid.ok_or(Errno::EAGAIN)?;
     // The target has not executed an instruction yet (the scheduler only
     // runs inside host calls), so tracing from the very first call is
     // race-free.
@@ -83,7 +97,16 @@ pub fn truss_attach(
     opts: &TrussOptions,
 ) -> SysResult<TrussReport> {
     let mut report = TrussReport::default();
-    let mut traced = vec![arm(sys, ctl, pid, opts)?];
+    // The target can die between the caller naming it and the trace
+    // arming — attach to a corpse reports the exit instead of erroring.
+    let mut traced = match arm(sys, ctl, pid, opts) {
+        Ok(t) => vec![t],
+        Err(e) if target_gone(sys, pid, e) => {
+            push_exit(sys, pid, &mut report);
+            return Ok(report);
+        }
+        Err(e) => return Err(e),
+    };
     let mut events = 0usize;
     while events < opts.max_events {
         // Anything left alive?
@@ -98,18 +121,15 @@ pub fn truss_attach(
             let st = match peek_stop(sys, &mut traced[i]) {
                 Ok(Some(st)) => st,
                 Ok(None) => continue,
+                // An interrupted poll is not a death sentence; come back
+                // to this target on the next sweep.
+                Err(Errno::EINTR) => continue,
                 Err(_) => {
-                    // Process gone: report its exit.
+                    // Process gone (or its descriptor beyond use): release
+                    // it best-effort and report its exit.
+                    let _ = traced[i].handle.run(sys, PrRun::default());
                     let tpid = traced[i].handle.pid;
-                    let status = sys
-                        .kernel
-                        .proc(tpid)
-                        .map(|p| p.exit_status)
-                        .unwrap_or(0);
-                    report.exits.push((tpid, status));
-                    report
-                        .lines
-                        .push(format!("{:>5}: ** process exited, status {status:#06x} **", tpid.0));
+                    push_exit(sys, tpid, &mut report);
                     traced[i].gone = true;
                     progressed = true;
                     continue;
@@ -134,6 +154,20 @@ pub fn truss_attach(
         }
     }
     Ok(report)
+}
+
+/// True when an error from a `/proc` operation means the target is gone
+/// (exited, killed, or already reaped) rather than a genuine failure.
+fn target_gone(sys: &System, pid: Pid, e: Errno) -> bool {
+    matches!(e, Errno::ESRCH | Errno::ENOENT)
+        || sys.kernel.proc(pid).map(|p| p.zombie).unwrap_or(true)
+}
+
+/// Records a target's exit in the report.
+fn push_exit(sys: &System, pid: Pid, report: &mut TrussReport) {
+    let status = sys.kernel.proc(pid).map(|p| p.exit_status).unwrap_or(0);
+    report.exits.push((pid, status));
+    report.lines.push(format!("{:>5}: ** process exited, status {status:#06x} **", pid.0));
 }
 
 /// Opens and arms a fresh target: all syscalls at entry and exit, all
@@ -241,7 +275,15 @@ fn service_stop(
     }
     // Resume without clearing anything: "truss will not alter the
     // behavior of a process other than by slowing it down."
-    t.handle.run(sys, PrRun::default())?;
+    if let Err(e) = t.handle.run(sys, PrRun::default()) {
+        if !target_gone(sys, pid, e) {
+            return Err(e);
+        }
+        // Died at the stop (killed while the event was being decoded):
+        // report the exit rather than surfacing a raw error.
+        push_exit(sys, pid, report);
+        t.gone = true;
+    }
     Ok(child)
 }
 
@@ -285,6 +327,7 @@ fn format_call(sys: &mut System, t: &mut Traced, nr: u16, st: &PrStatus) -> Stri
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use ksim::Cred;

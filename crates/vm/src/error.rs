@@ -28,6 +28,13 @@ pub enum AccessDenied {
         /// The watched area that fired.
         area: WatchArea,
     },
+    /// The kernel could not materialise a page frame for the access
+    /// (memory exhaustion, real or injected by a fault plan). Surfaces
+    /// as `ENOMEM` on /proc address-space I/O.
+    NoMemory {
+        /// The address whose backing frame could not be allocated.
+        addr: u64,
+    },
 }
 
 impl AccessDenied {
@@ -36,7 +43,8 @@ impl AccessDenied {
         match self {
             AccessDenied::Unmapped { addr }
             | AccessDenied::Protection { addr }
-            | AccessDenied::Watch { addr, .. } => *addr,
+            | AccessDenied::Watch { addr, .. }
+            | AccessDenied::NoMemory { addr } => *addr,
         }
     }
 }

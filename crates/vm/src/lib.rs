@@ -48,7 +48,7 @@ pub mod watch;
 
 pub use error::AccessDenied;
 pub use map::{MapFlags, Mapping, Prot, SegName};
-pub use object::{Object, ObjectId, ObjectKind, ObjectStore};
+pub use object::{MemPressure, Object, ObjectId, ObjectKind, ObjectStore};
 pub use page::{PageFrame, PAGE_SIZE};
 pub use space::AddressSpace;
 pub use watch::{WatchArea, WatchFlags};

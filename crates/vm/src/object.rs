@@ -86,6 +86,51 @@ impl Object {
     }
 }
 
+/// Seeded, deterministic memory-pressure source. When attached to an
+/// [`ObjectStore`], page-frame materialisation and address-space growth
+/// sites consult it before allocating; a denial surfaces as
+/// `AccessDenied::NoMemory` / `MapError::NoMemory` and ultimately as
+/// `ENOMEM` through the /proc faces.
+///
+/// The generator is the same xorshift64* used by the wire fault plan, so
+/// a given `(seed, permille)` pair replays the exact same denial
+/// schedule. A rate of zero consumes no generator state at all: a
+/// zero-rate pressure source is byte-for-byte equivalent to none.
+#[derive(Clone, Debug)]
+pub struct MemPressure {
+    state: u64,
+    permille: u16,
+    /// Number of allocations denied so far (fault-plan observability).
+    pub denials: u64,
+}
+
+impl MemPressure {
+    /// Creates a pressure source; a zero seed is remapped so the
+    /// generator never sticks.
+    pub fn new(seed: u64, permille: u16) -> MemPressure {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        MemPressure { state, permille, denials: 0 }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Rolls once; true means this allocation is denied.
+    pub fn deny(&mut self) -> bool {
+        let hit = self.permille > 0 && self.next() % 1000 < u64::from(self.permille);
+        if hit {
+            self.denials += 1;
+        }
+        hit
+    }
+}
+
 /// A reference-counted table of objects. Mappings hold [`ObjectId`]s;
 /// the address-space code increments the count when a mapping is created
 /// or split and decrements it when a mapping is removed; the object's
@@ -98,12 +143,35 @@ pub struct ObjectStore {
     /// writes are visible to every process mapping the object, so
     /// cross-process snapshot caches invalidate on this counter.
     pub content_gen: u64,
+    /// Optional injected memory pressure; `None` (the default) means
+    /// every allocation succeeds, exactly as before.
+    pub pressure: Option<MemPressure>,
 }
 
 impl ObjectStore {
     /// Creates an empty store.
     pub fn new() -> ObjectStore {
         ObjectStore::default()
+    }
+
+    /// Attaches (or, with `permille == 0`, effectively disarms) a
+    /// deterministic memory-pressure source.
+    pub fn set_pressure(&mut self, seed: u64, permille: u16) {
+        self.pressure = Some(MemPressure::new(seed, permille));
+    }
+
+    /// Rolls the pressure source once. `false` means the allocation the
+    /// caller is about to perform must fail with an out-of-memory error.
+    pub fn mem_ok(&mut self) -> bool {
+        match &mut self.pressure {
+            Some(p) => !p.deny(),
+            None => true,
+        }
+    }
+
+    /// Allocations denied so far by injected pressure.
+    pub fn pressure_denials(&self) -> u64 {
+        self.pressure.as_ref().map(|p| p.denials).unwrap_or(0)
     }
 
     fn insert(&mut self, obj: Object) -> ObjectId {

@@ -26,6 +26,9 @@ pub enum MapError {
     NotMapped,
     /// No room in the search region for an anywhere-mapping.
     NoRoom,
+    /// The store's memory-pressure source denied the allocation the
+    /// operation needed. The kernel surfaces this as `ENOMEM`.
+    NoMemory,
 }
 
 /// Access mode for permission checks.
@@ -266,7 +269,6 @@ impl AddressSpace {
     /// Returns true if the fault was resolved and the access should be
     /// retried.
     pub fn as_fault(&mut self, store: &mut ObjectStore, addr: u64) -> bool {
-        let _ = store;
         if self.find(addr).is_some() {
             return false;
         }
@@ -286,6 +288,12 @@ impl AddressSpace {
         if i > 0 && self.maps[i - 1].end() > new_base {
             return false;
         }
+        // Growth needs fresh frames; under injected pressure the fault is
+        // simply not resolved and the access fails as an ordinary bounds
+        // fault, exactly as when the stack limit is exhausted.
+        if !store.mem_ok() {
+            return false;
+        }
         let m = &mut self.maps[i];
         let delta_pages = (m.base - new_base) / PAGE_SIZE;
         let old_overlay = std::mem::take(&mut m.overlay);
@@ -299,7 +307,13 @@ impl AddressSpace {
 
     /// Grows (or shrinks) the break mapping so that it ends at `new_end`
     /// (page-rounded up). Supports only growth; shrinking is ignored.
-    pub fn grow_break(&mut self, new_end: u64) -> Result<u64, MapError> {
+    /// Growth consults the store's pressure source: a denial is the
+    /// paper's `brk` failing with `ENOMEM`.
+    pub fn grow_break(
+        &mut self,
+        store: &mut ObjectStore,
+        new_end: u64,
+    ) -> Result<u64, MapError> {
         let Some(i) = self.maps.iter().position(|m| m.flags.is_break) else {
             return Err(MapError::NotMapped);
         };
@@ -311,6 +325,9 @@ impl AddressSpace {
         // Do not grow into a neighbour above.
         if self.maps.get(i + 1).is_some_and(|n| n.base < end) {
             return Err(MapError::Overlap);
+        }
+        if !store.mem_ok() {
+            return Err(MapError::NoMemory);
         }
         self.total += end - cur_end;
         self.maps[i].len = end - self.maps[i].base;
@@ -459,6 +476,15 @@ impl AddressSpace {
                     let frame = match m.overlay.get_mut(&rel_page) {
                         Some(f) => f,
                         None => {
+                            // Copy-on-write materialises a private frame;
+                            // under injected pressure that allocation can
+                            // fail mid-write (the validated prefix stays
+                            // written, as with a real partial copyout).
+                            if !store.mem_ok() {
+                                return Err(AccessDenied::NoMemory {
+                                    addr: vpage * PAGE_SIZE + off as u64,
+                                });
+                            }
                             let obj_page = (m.obj_off / PAGE_SIZE) + rel_page;
                             debug_assert_eq!(m.obj_off % PAGE_SIZE, 0);
                             let fresh = store
@@ -771,11 +797,11 @@ mod tests {
         let obj = s.alloc_anon(4 * K);
         let flags = MapFlags { is_break: true, ..Default::default() };
         a.map_fixed(0x30000, 4 * K, Prot::RW, flags, obj, 0, SegName::Break).expect("map");
-        let new_end = a.grow_break(0x30000 + 10 * K).expect("grow");
+        let new_end = a.grow_break(&mut s, 0x30000 + 10 * K).expect("grow");
         assert_eq!(new_end, 0x30000 + 12 * K, "page rounded");
         a.write_user(&mut s, 0x30000 + 9 * K, &[5]).expect("grown area usable");
         // Shrinking is a no-op.
-        assert_eq!(a.grow_break(0x30000).expect("noop"), 0x30000 + 12 * K);
+        assert_eq!(a.grow_break(&mut s, 0x30000).expect("noop"), 0x30000 + 12 * K);
     }
 
     #[test]

@@ -1,20 +1,26 @@
-//! Keeps the wire layer honest inside plain `cargo test`: the remote
-//! `/proc` code promises never to panic on damaged input, so it is held
-//! to `clippy -D warnings` (its source additionally carries
+//! Keeps the panic-free promises honest inside plain `cargo test`: the
+//! remote `/proc` wire layer promises never to panic on damaged input,
+//! and the controllers (PR 4) promise never to panic on a dying,
+//! starved or racing target. Both are held to `clippy -D warnings`
+//! (their sources additionally carry
 //! `#![deny(clippy::unwrap_used, clippy::expect_used)]`). Skips cleanly
 //! when the toolchain has no clippy component.
 
 use std::process::Command;
 
-#[test]
-fn wire_layer_is_clippy_clean() {
-    let probe = Command::new("cargo").args(["clippy", "--version"]).output();
-    match probe {
-        Ok(out) if out.status.success() => {}
-        _ => {
-            eprintln!("skipping: cargo clippy is not installed");
-            return;
-        }
+/// True when the toolchain has a clippy component to run.
+fn have_clippy() -> bool {
+    matches!(
+        Command::new("cargo").args(["clippy", "--version"]).output(),
+        Ok(out) if out.status.success()
+    )
+}
+
+/// Runs `cargo clippy -p <package> --all-targets -- -D warnings`.
+fn clippy_clean(package: &str) {
+    if !have_clippy() {
+        eprintln!("skipping: cargo clippy is not installed");
+        return;
     }
     let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml");
     let out = Command::new("cargo")
@@ -23,7 +29,7 @@ fn wire_layer_is_clippy_clean() {
             "--manifest-path",
             manifest,
             "-p",
-            "procsim-vfs",
+            package,
             "--all-targets",
             "--",
             "-D",
@@ -33,7 +39,17 @@ fn wire_layer_is_clippy_clean() {
         .expect("run cargo clippy");
     assert!(
         out.status.success(),
-        "clippy found warnings in the wire layer:\n{}",
+        "clippy found warnings in {package}:\n{}",
         String::from_utf8_lossy(&out.stderr)
     );
+}
+
+#[test]
+fn wire_layer_is_clippy_clean() {
+    clippy_clean("procsim-vfs");
+}
+
+#[test]
+fn controllers_are_clippy_clean() {
+    clippy_clean("procsim-tools");
 }
