@@ -100,6 +100,29 @@ fn bench(c: &mut Criterion) {
         b.iter(|| proc_roundtrip(&mut sys, &mut dbg, tick));
     });
 
+    // E13 before/after on this experiment's own metric. Two densities:
+    //
+    // * `ticker` hits the breakpoint every ~8 instructions — the round
+    //   trip is all controller overhead, and each re-plant is itself an
+    //   invalidation event, so the fast path neither helps nor hurts
+    //   (checked: the `_slow_path` twin of the bench above times the
+    //   same);
+    // * `cruncher` retires ~770 instructions per hit — the realistic
+    //   conditional-breakpoint shape the paper's footnote 3 is about —
+    //   and there breakpoints/sec tracks raw execution speed, which is
+    //   exactly what the software TLB + icache buy.
+    for (leg, fast) in [("fast_path", true), ("slow_path", false)] {
+        group.bench_function(format!("compute_loop_bp_{leg}"), |b| {
+            let (mut sys, ctl) = boot_with_ctl();
+            sys.set_fast_path(fast);
+            let mut dbg = Debugger::launch(&mut sys, ctl, "/bin/cruncher", &["cruncher"])
+                .expect("launch");
+            let tick = dbg.sym("tick").expect("symbol");
+            dbg.set_breakpoint(&mut sys, tick).expect("bp");
+            b.iter(|| proc_roundtrip(&mut sys, &mut dbg, tick));
+        });
+    }
+
     group.bench_function("kernel_ptrace_roundtrip", |b| {
         let (mut sys, ctl) = boot_with_ctl();
         let mut dbg =

@@ -331,6 +331,132 @@ pub fn multi_client_wire_sweep(
         .collect()
 }
 
+/// One leg of the E13 execution fast-path measurement: a hot guest
+/// loop driven for a fixed virtual-tick budget with the per-LWP caches
+/// on or off, timed on the wall clock around `run_idle` only (boot and
+/// spawn are excluded). The instruction stream is identical across
+/// legs — the fast path is an accelerator, not a scheduler — so
+/// insns/sec is directly comparable.
+#[derive(Clone, Copy, Debug)]
+pub struct FastPathPoint {
+    /// Whether the software TLB + decoded-instruction cache were live.
+    pub fast: bool,
+    /// Guest instructions retired by the target during the run.
+    pub insns: u64,
+    /// Wall-clock nanoseconds spent inside `run_idle`.
+    pub wall_ns: u128,
+    /// Retired guest instructions per wall-clock second.
+    pub insns_per_sec: f64,
+    /// Data-TLB probe outcomes (zero on the disabled leg).
+    pub tlb_hits: u64,
+    /// Data-TLB slow-path fills.
+    pub tlb_misses: u64,
+    /// Decoded-instruction cache hits (zero on the disabled leg).
+    pub icache_hits: u64,
+    /// Decoded-instruction cache misses (fetch + decode taken).
+    pub icache_misses: u64,
+}
+
+impl FastPathPoint {
+    /// dTLB hit rate in `[0, 1]`; zero when no probes happened.
+    pub fn tlb_hit_rate(&self) -> f64 {
+        rate(self.tlb_hits, self.tlb_misses)
+    }
+
+    /// icache hit rate in `[0, 1]`; zero when no probes happened.
+    pub fn icache_hit_rate(&self) -> f64 {
+        rate(self.icache_hits, self.icache_misses)
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Measures one E13 leg: boots a fresh machine, flips the fast path,
+/// spawns `program` and drives it for `ticks` scheduler slices under a
+/// wall-clock timer. `/bin/spin` is the icache-bound workload (a
+/// store-free jump loop whose fetches never reach the dTLB once the
+/// icache is warm); `/bin/watched` adds two stores per iteration and
+/// exercises the dTLB as well.
+pub fn fast_path_point(program: &str, fast: bool, ticks: u64) -> FastPathPoint {
+    let (mut sys, ctl) = boot_with_ctl();
+    sys.set_fast_path(fast);
+    let name = program.rsplit('/').next().expect("program name");
+    let pid = sys.spawn_program(ctl, program, &[name]).expect("spawn workload");
+    let start = Instant::now();
+    sys.run_idle(ticks);
+    let wall = start.elapsed();
+    let st = procfs::PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    let wall_ns = wall.as_nanos().max(1);
+    FastPathPoint {
+        fast,
+        insns: st.insns,
+        wall_ns,
+        insns_per_sec: st.insns as f64 * 1e9 / wall_ns as f64,
+        tlb_hits: st.tlb_hits,
+        tlb_misses: st.tlb_misses,
+        icache_hits: st.icache_hits,
+        icache_misses: st.icache_misses,
+    }
+}
+
+/// Both legs of the E13 comparison for one workload, best-of-`reps`
+/// wall time per leg (each rep is a fresh boot, so a scheduling hiccup
+/// in one rep cannot poison the point).
+pub fn fast_path_pair(program: &str, ticks: u64, reps: usize) -> (FastPathPoint, FastPathPoint) {
+    let best = |fast: bool| {
+        (0..reps.max(1))
+            .map(|_| fast_path_point(program, fast, ticks))
+            .min_by(|a, b| a.wall_ns.cmp(&b.wall_ns))
+            .expect("at least one rep")
+    };
+    (best(false), best(true))
+}
+
+/// The E1-metric leg of E13: wall-clock breakpoints/sec fielding a
+/// `/proc` breakpoint on `/bin/cruncher`'s `tick` (one hit per ~770
+/// retired instructions — the paper's footnote-3 conditional-breakpoint
+/// shape, where execution speed rather than controller overhead bounds
+/// the rate). Returns fielded breakpoints per second.
+pub fn breakpoint_rate_point(fast: bool, hits: u64) -> f64 {
+    let (mut sys, ctl) = boot_with_ctl();
+    sys.set_fast_path(fast);
+    let mut dbg = tools::Debugger::launch(&mut sys, ctl, "/bin/cruncher", &["cruncher"])
+        .expect("launch cruncher");
+    let tick = dbg.sym("tick").expect("tick symbol");
+    dbg.set_breakpoint(&mut sys, tick).expect("set breakpoint");
+    let field = |sys: &mut System, dbg: &mut tools::Debugger| {
+        match dbg.cont(sys).expect("cont") {
+            tools::DebugEvent::Breakpoint { addr, .. } => assert_eq!(addr, tick),
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    // One fielding outside the timer absorbs the compulsory stop.
+    field(&mut sys, &mut dbg);
+    let start = Instant::now();
+    for _ in 0..hits {
+        field(&mut sys, &mut dbg);
+    }
+    let wall_ns = start.elapsed().as_nanos().max(1);
+    hits as f64 * 1e9 / wall_ns as f64
+}
+
+/// Both legs of the breakpoints/sec comparison, best-of-`reps` each.
+pub fn breakpoint_rate_pair(hits: u64, reps: usize) -> (f64, f64) {
+    let best = |fast: bool| {
+        (0..reps.max(1))
+            .map(|_| breakpoint_rate_point(fast, hits))
+            .fold(0.0f64, f64::max)
+    };
+    (best(false), best(true))
+}
+
 /// Declares the bench entry function, criterion-style:
 /// `criterion_group!(benches, bench_a, bench_b)` defines `fn benches()`
 /// that runs each target against a fresh [`Criterion`].

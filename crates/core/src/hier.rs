@@ -19,6 +19,7 @@
 //! /proc2/<pid>/map       read-only  prmap array
 //! /proc2/<pid>/cred      read-only  prcred image
 //! /proc2/<pid>/usage     read-only  prusage image
+//! /proc2/<pid>/xstats    read-only  prxstats image (fast-path counters)
 //! /proc2/<pid>/lwp/<tid>/{status,ctl,gregs}   per-thread files
 //! ```
 //!
@@ -32,7 +33,7 @@
 use crate::ioctl::Ioctl;
 use crate::ops;
 use crate::snap::{snap_handle, DirSlot, SnapHandle};
-use crate::types::{PrCred, PrMap, PrUsage, PsInfo};
+use crate::types::{PrCred, PrMap, PrUsage, PrXStats, PsInfo};
 use ksim::proc::LwpState;
 use ksim::{Kernel, Tid, HZ};
 use std::collections::HashMap;
@@ -99,6 +100,7 @@ enum Kind {
     LwpStatus,
     LwpCtl,
     LwpGregs,
+    XStats,
 }
 
 fn pack(pid: Pid, kind: u8, tid: u32) -> NodeId {
@@ -125,6 +127,7 @@ fn unpack(node: NodeId) -> Option<(Pid, Kind, Tid)> {
         11 => Kind::LwpStatus,
         12 => Kind::LwpCtl,
         13 => Kind::LwpGregs,
+        14 => Kind::XStats,
         _ => return None,
     };
     Some((pid, kind, tid))
@@ -146,6 +149,7 @@ fn kind_code(kind: Kind) -> u8 {
         Kind::LwpStatus => 11,
         Kind::LwpCtl => 12,
         Kind::LwpGregs => 13,
+        Kind::XStats => 14,
     }
 }
 
@@ -460,6 +464,7 @@ impl FileSystem<Kernel> for HierFs {
                     "map" => Kind::Map,
                     "cred" => Kind::CredFile,
                     "usage" => Kind::Usage,
+                    "xstats" => Kind::XStats,
                     "lwp" => Kind::LwpDir,
                     _ => return Err(Errno::ENOENT),
                 };
@@ -503,6 +508,9 @@ impl FileSystem<Kernel> for HierFs {
             Kind::PidDir | Kind::LwpDir | Kind::LwpSub => (VnodeKind::Directory, 0o500, 0),
             Kind::Ctl | Kind::LwpCtl => (VnodeKind::Regular, 0o200, 0),
             Kind::As => (VnodeKind::Regular, 0o600, proc.aspace.total_size()),
+            // Fixed-size counter image; changes every retired
+            // instruction, so it bypasses the snapshot cache.
+            Kind::XStats => (VnodeKind::Regular, 0o400, PrXStats::WIRE_LEN as u64),
             _ => {
                 let img_len = self
                     .cached_image(k, pid, kind, tid, |b| b.len() as u64)
@@ -552,6 +560,7 @@ impl FileSystem<Kernel> for HierFs {
                     ("psinfo", Kind::PsInfo),
                     ("status", Kind::Status),
                     ("usage", Kind::Usage),
+                    ("xstats", Kind::XStats),
                 ]
                 .into_iter()
                 .map(|(n, kd)| DirEntry { name: n.to_string(), node: pack(pid, kind_code(kd), 0) })
@@ -687,6 +696,20 @@ impl FileSystem<Kernel> for HierFs {
             }
             Kind::Ctl | Kind::LwpCtl => Err(Errno::EACCES),
             Kind::Root | Kind::PidDir | Kind::LwpDir | Kind::LwpSub => Err(Errno::EISDIR),
+            // Rendered fresh on every read: the fast-path counters
+            // advance with every retired instruction, and nothing
+            // stamps `pr_gen` for them, so the snapshot cache would
+            // serve stale numbers.
+            Kind::XStats => {
+                let img = PrXStats::capture(k, pid)?.to_bytes();
+                let off = off as usize;
+                if off >= img.len() {
+                    return Ok(IoReply::Done(0));
+                }
+                let n = buf.len().min(img.len() - off);
+                buf[..n].copy_from_slice(&img[off..off + n]);
+                Ok(IoReply::Done(n))
+            }
             _ => self.cached_image(k, pid, kind, tid, |img| {
                 let off = off as usize;
                 if off >= img.len() {

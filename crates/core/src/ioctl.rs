@@ -13,7 +13,7 @@
 //! a typed [`IoctlPayload`] via [`Ioctl::decode_reply`].
 
 use crate::ops;
-use crate::types::{PrCacheStats, PrCred, PrMap, PrStatus, PrUsage, PrWatch, PsInfo};
+use crate::types::{PrCacheStats, PrCred, PrMap, PrStatus, PrUsage, PrWatch, PrXStats, PsInfo};
 use isa::{FpregSet, GregSet};
 use ksim::fault::FltSet;
 use ksim::signal::SigSet;
@@ -107,6 +107,11 @@ pub const PIOCCACHESTATS: u32 = 0x5026;
 /// `prioctl` — the fault plan lives on the kernel — so the reply crosses
 /// the remote wire like any other status request.
 pub const PIOCKFAULTSTATS: u32 = 0x5027;
+/// Get execution fast-path counters (`prxstats`): software-TLB and
+/// decoded-instruction-cache hits/misses/invalidations plus retired
+/// instructions. Answered by `prioctl` — the caches live on the
+/// address space and LWPs — so the reply crosses the remote wire.
+pub const PIOCXSTATS: u32 = 0x5028;
 
 /// Get remote-wire traffic/fault/recovery counters (`WireStats`).
 /// Answered locally by the [`vfs::remote::RemoteFs`] client shim — the
@@ -198,6 +203,8 @@ pub enum Ioctl {
     CacheStats,
     /// `PIOCKFAULTSTATS`
     KFaultStats,
+    /// `PIOCXSTATS`
+    XStats,
     /// `PIOCWIRESTATS`
     WireCounters,
 }
@@ -239,6 +246,8 @@ pub enum IoctlPayload {
     CacheStats(PrCacheStats),
     /// Kernel fault-injection counters.
     KFaultStats(ksim::kfault::KFaultStats),
+    /// Execution fast-path counters.
+    XStats(PrXStats),
     /// Remote-wire counters.
     WireStats(WireStats),
     /// An implementation dump (`PIOCGETPR`/`PIOCGETU`, deprecated).
@@ -288,6 +297,7 @@ impl Ioctl {
             PIOCNICE => Ioctl::Nice,
             PIOCCACHESTATS => Ioctl::CacheStats,
             PIOCKFAULTSTATS => Ioctl::KFaultStats,
+            PIOCXSTATS => Ioctl::XStats,
             PIOCWIRESTATS => Ioctl::WireCounters,
             _ => return None,
         })
@@ -335,6 +345,7 @@ impl Ioctl {
             Ioctl::Nice => PIOCNICE,
             Ioctl::CacheStats => PIOCCACHESTATS,
             Ioctl::KFaultStats => PIOCKFAULTSTATS,
+            Ioctl::XStats => PIOCXSTATS,
             Ioctl::WireCounters => PIOCWIRESTATS,
         }
     }
@@ -381,6 +392,7 @@ impl Ioctl {
             Ioctl::Nice => "PIOCNICE",
             Ioctl::CacheStats => "PIOCCACHESTATS",
             Ioctl::KFaultStats => "PIOCKFAULTSTATS",
+            Ioctl::XStats => "PIOCXSTATS",
             Ioctl::WireCounters => "PIOCWIRESTATS",
         }
     }
@@ -413,6 +425,7 @@ impl Ioctl {
                 | Ioctl::Usage
                 | Ioctl::CacheStats
                 | Ioctl::KFaultStats
+                | Ioctl::XStats
         )
     }
 
@@ -450,6 +463,7 @@ impl Ioctl {
             Ioctl::Usage => (0, PrUsage::WIRE_LEN),
             Ioctl::CacheStats => (0, PrCacheStats::WIRE_LEN),
             Ioctl::KFaultStats => (0, ksim::kfault::KFaultStats::WIRE_LEN),
+            Ioctl::XStats => (0, PrXStats::WIRE_LEN),
             // PIOCGETPR / PIOCGETU are variable-sized implementation
             // dumps — precisely the kind of operation that cannot cross
             // a wire. PIOCWIRESTATS never crosses either: it is
@@ -545,6 +559,7 @@ impl Ioctl {
             Ioctl::KFaultStats => IoctlPayload::KFaultStats(
                 ksim::kfault::KFaultStats::from_bytes(bytes).map_err(|_| bad)?,
             ),
+            Ioctl::XStats => IoctlPayload::XStats(PrXStats::from_bytes(bytes).ok_or(bad)?),
             Ioctl::WireCounters => {
                 IoctlPayload::WireStats(WireStats::from_bytes(bytes).ok_or(bad)?)
             }
@@ -761,6 +776,9 @@ pub fn prioctl(
         // requests below) this one is answered here and crosses the
         // remote wire to reach the server's kernel.
         Ioctl::KFaultStats => done(k.kfault_stats().to_bytes()),
+        // Likewise kernel-resident: the TLB lives on the target's
+        // address space and the icache on its LWPs.
+        Ioctl::XStats => done(PrXStats::capture(k, target)?.to_bytes()),
         // Answered above the kernel: the cache lives in the file-system
         // layer and the wire counters live on the client side.
         Ioctl::CacheStats | Ioctl::WireCounters => Err(Errno::ENOTTY),

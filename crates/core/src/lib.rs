@@ -34,7 +34,8 @@ pub use fsimpl::ProcFs;
 pub use hier::{ctl_batch, ctl_record, HierFs};
 pub use snap::{snap_handle, SnapCache, SnapHandle};
 pub use types::{
-    PrCacheStats, PrCred, PrMap, PrRun, PrStatus, PrUsage, PrWatch, PrWhy, PsInfo, PRRUN_CFAULT,
+    PrCacheStats, PrCred, PrMap, PrRun, PrStatus, PrUsage, PrWatch, PrWhy, PrXStats, PsInfo,
+    PRRUN_CFAULT,
     PRRUN_CSIG, PRRUN_SABORT, PRRUN_SSTOP, PRRUN_STEP, PRRUN_SVADDR, PRRUN_WBYPASS, PR_ASLEEP,
     PR_DSTOP, PR_FORK, PR_ISSYS, PR_ISTOP, PR_PTRACE, PR_RLC, PR_STOPPED,
 };

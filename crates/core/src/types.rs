@@ -734,6 +734,92 @@ impl PrCacheStats {
     }
 }
 
+/// Execution fast-path counters (`prxstats`) — read through `PIOCXSTATS`
+/// or the hierarchical `xstats` file; the observability half of the
+/// per-LWP software TLB and decoded-instruction cache. Instruction-cache
+/// counters are summed over the process's current LWPs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrXStats {
+    /// 1 if the fast path is enabled for this address space, else 0.
+    pub enabled: u64,
+    /// Software-TLB lookups served from a validated entry.
+    pub tlb_hits: u64,
+    /// Software-TLB lookups that fell to the slow path.
+    pub tlb_misses: u64,
+    /// Address-space generation bumps (structural invalidations).
+    pub tlb_invalidations: u64,
+    /// Instruction fetches served from a validated decoded slot.
+    pub icache_hits: u64,
+    /// Instruction fetches that decoded fresh.
+    pub icache_misses: u64,
+    /// Probes that matched on pc but failed stamp validation.
+    pub icache_invalidations: u64,
+    /// Instructions retired by this process (all LWPs).
+    pub insns: u64,
+}
+
+impl PrXStats {
+    /// Encoded length: eight little-endian `u64` counters.
+    pub const WIRE_LEN: usize = 64;
+
+    /// Serialises in field order.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(Self::WIRE_LEN);
+        for v in [
+            self.enabled,
+            self.tlb_hits,
+            self.tlb_misses,
+            self.tlb_invalidations,
+            self.icache_hits,
+            self.icache_misses,
+            self.icache_invalidations,
+            self.insns,
+        ] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        b
+    }
+
+    /// Deserialises.
+    pub fn from_bytes(b: &[u8]) -> Option<PrXStats> {
+        if b.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().expect("8 bytes"));
+        Some(PrXStats {
+            enabled: u64_at(0),
+            tlb_hits: u64_at(8),
+            tlb_misses: u64_at(16),
+            tlb_invalidations: u64_at(24),
+            icache_hits: u64_at(32),
+            icache_misses: u64_at(40),
+            icache_invalidations: u64_at(48),
+            insns: u64_at(56),
+        })
+    }
+
+    /// Captures the fast-path counters for `pid`.
+    pub fn capture(k: &Kernel, pid: Pid) -> SysResult<PrXStats> {
+        let proc = k.proc(pid)?;
+        let tlb = proc.aspace.tlb_stats();
+        let mut st = PrXStats {
+            enabled: u64::from(proc.aspace.fast_path_enabled()),
+            tlb_hits: tlb.hits,
+            tlb_misses: tlb.misses,
+            tlb_invalidations: tlb.invalidations,
+            ..PrXStats::default()
+        };
+        for lwp in &proc.lwps {
+            let ic = lwp.icache.stats();
+            st.icache_hits += ic.hits;
+            st.icache_misses += ic.misses;
+            st.icache_invalidations += ic.invalidations;
+            st.insns += lwp.insns;
+        }
+        Ok(st)
+    }
+}
+
 /// Maps a [`SegName`]-style display string back for tools; kept here so
 /// tools do not depend on `vm` directly.
 pub fn seg_display(name: &SegName) -> String {

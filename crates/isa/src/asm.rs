@@ -771,6 +771,7 @@ fn parse_insn(s: &str, line: usize, section: Section) -> Result<Item, AsmError> 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::cpu::{Bus, BusFault, Cpu, RunExit, StepEvent};

@@ -73,6 +73,16 @@ pub trait Bus {
     fn load(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), BusFault>;
     /// Stores `data` at `addr`.
     fn store(&mut self, addr: u64, data: &[u8]) -> Result<(), BusFault>;
+    /// Fetches and decodes the instruction at `addr`. `Ok(None)` means
+    /// the bytes were fetched but do not decode (an illegal
+    /// instruction). The default implementation fetches and decodes
+    /// fresh every time; bus implementations with a decoded-instruction
+    /// cache override this.
+    fn fetch_insn(&mut self, addr: u64) -> Result<Option<Insn>, BusFault> {
+        let mut raw = [0u8; INSN_LEN as usize];
+        self.fetch(addr, &mut raw)?;
+        Ok(Insn::decode(&raw))
+    }
 }
 
 /// What stopped the CPU. Variants map one-to-one onto kernel entry
@@ -163,13 +173,10 @@ impl Cpu {
     ) -> Option<StepEvent> {
         let trace = g.psr & PSR_TRACE != 0;
         let pc = g.pc;
-        let mut raw = [0u8; INSN_LEN as usize];
-        if let Err(fault) = bus.fetch(pc, &mut raw) {
-            return Some(StepEvent::MemFault(fault));
-        }
-        let insn = match Insn::decode(&raw) {
-            Some(i) => i,
-            None => return Some(StepEvent::IllegalInsn),
+        let insn = match bus.fetch_insn(pc) {
+            Err(fault) => return Some(StepEvent::MemFault(fault)),
+            Ok(None) => return Some(StepEvent::IllegalInsn),
+            Ok(Some(i)) => i,
         };
         match self.exec(insn, pc, g, f, bus) {
             Exec::Trap(ev) => Some(ev),

@@ -61,6 +61,7 @@ pub fn format_insn(i: &Insn, pc: u64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::asm::assemble;

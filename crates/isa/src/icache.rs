@@ -1,0 +1,190 @@
+//! Per-LWP decoded-instruction cache.
+//!
+//! Hot loops re-execute the same few instructions; without a cache every
+//! step pays an address-space walk plus a fresh [`Insn::decode`]. This
+//! direct-mapped cache keeps decoded instructions keyed by program
+//! counter and validates each entry against three generation stamps
+//! before serving it:
+//!
+//! * the address-space generation (`as_gen`) — any structural change
+//!   (map/unmap/protect/growth/exec/watchpoint add-remove) moves it;
+//! * the backing mapping's content epoch — any write landing in that
+//!   mapping (user stores, `/proc` breakpoint plants, COW
+//!   materialisation) moves it;
+//! * the object store's content generation — shared-object writes from
+//!   *other* processes move it.
+//!
+//! The cache itself is policy-free: it stores whatever the bus
+//! implementation inserts and hands back entries whose `pc` matches.
+//! Deciding whether the stamps still hold requires the address space, so
+//! validation lives with the bus (see the kernel's `ProcBus`).
+
+use crate::insn::Insn;
+
+/// Number of direct-mapped entries (power of two). 256 entries cover a
+/// 2 KiB straight-line window — comfortably larger than the hot loops
+/// the experiments execute, small enough to clone cheaply on LWP copies.
+const ICACHE_WAYS: usize = 256;
+
+/// One cache slot: a decoded instruction plus the stamps that were
+/// current when it was filled.
+#[derive(Clone, Copy, Debug)]
+pub struct InsnSlot {
+    /// Program counter this slot decodes.
+    pub pc: u64,
+    /// Address-space generation at fill time (0 = empty slot; address
+    /// spaces never use generation 0).
+    pub as_gen: u64,
+    /// Index of the backing mapping at fill time (meaningful only while
+    /// `as_gen` is current).
+    pub map_idx: u32,
+    /// Content epoch of that mapping at fill time.
+    pub epoch: u64,
+    /// Object-store content generation at fill time.
+    pub content_gen: u64,
+    /// The decoded instruction.
+    pub insn: Insn,
+}
+
+/// Hit/miss/invalidation counters; `PIOCXSTATS` reports the per-process
+/// sum over all LWPs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InsnCacheStats {
+    /// Fetches served from a validated slot.
+    pub hits: u64,
+    /// Fetches that decoded fresh (including fills).
+    pub misses: u64,
+    /// Probes that found a matching pc whose stamps had moved (the
+    /// stale-entry replacement count).
+    pub invalidations: u64,
+}
+
+/// A per-LWP direct-mapped decoded-instruction cache. `Clone` because
+/// LWPs are cloned wholesale in places; fork/exec paths construct fresh
+/// LWPs, so children start cold.
+#[derive(Clone, Debug)]
+pub struct InsnCache {
+    slots: Vec<InsnSlot>,
+    stats: InsnCacheStats,
+}
+
+impl Default for InsnCache {
+    fn default() -> InsnCache {
+        InsnCache::new()
+    }
+}
+
+impl InsnCache {
+    /// An empty cache.
+    pub fn new() -> InsnCache {
+        let empty = InsnSlot {
+            pc: 0,
+            as_gen: 0,
+            map_idx: 0,
+            epoch: 0,
+            content_gen: 0,
+            insn: Insn::bare(crate::insn::Opcode::Nop),
+        };
+        InsnCache { slots: vec![empty; ICACHE_WAYS], stats: InsnCacheStats::default() }
+    }
+
+    #[inline]
+    fn index(pc: u64) -> usize {
+        ((pc >> 3) as usize) & (ICACHE_WAYS - 1)
+    }
+
+    /// Returns the slot for `pc` if one is filled and keyed by exactly
+    /// that pc. The caller must still validate the stamps; call
+    /// [`InsnCache::note_hit`] or [`InsnCache::note_stale`] accordingly.
+    #[inline]
+    pub fn probe(&self, pc: u64) -> Option<&InsnSlot> {
+        let s = &self.slots[Self::index(pc)];
+        if s.as_gen != 0 && s.pc == pc {
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// Installs (or replaces) the slot for `pc`.
+    #[inline]
+    pub fn insert(&mut self, slot: InsnSlot) {
+        self.slots[Self::index(slot.pc)] = slot;
+    }
+
+    /// Records a validated hit.
+    #[inline]
+    pub fn note_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Records a fetch that had to decode fresh.
+    #[inline]
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Records a probe that matched on pc but failed stamp validation.
+    #[inline]
+    pub fn note_stale(&mut self) {
+        self.stats.invalidations += 1;
+    }
+
+    /// Drops every slot (exec within the same LWP identity).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.as_gen = 0;
+        }
+    }
+
+    /// The hit/miss/invalidation counters.
+    pub fn stats(&self) -> InsnCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::insn::Opcode;
+
+    fn slot(pc: u64, as_gen: u64) -> InsnSlot {
+        InsnSlot {
+            pc,
+            as_gen,
+            map_idx: 0,
+            epoch: 0,
+            content_gen: 0,
+            insn: Insn::bare(Opcode::Nop),
+        }
+    }
+
+    #[test]
+    fn probe_misses_empty_and_hits_after_insert() {
+        let mut c = InsnCache::new();
+        assert!(c.probe(0x1000).is_none());
+        c.insert(slot(0x1000, 1));
+        assert_eq!(c.probe(0x1000).expect("filled").pc, 0x1000);
+        // A different pc mapping to the same way misses on the pc key.
+        assert!(c.probe(0x1000 + (ICACHE_WAYS as u64) * 8).is_none());
+    }
+
+    #[test]
+    fn insert_replaces_conflicting_way() {
+        let mut c = InsnCache::new();
+        let other = 0x1000 + (ICACHE_WAYS as u64) * 8;
+        c.insert(slot(0x1000, 1));
+        c.insert(slot(other, 1));
+        assert!(c.probe(0x1000).is_none());
+        assert!(c.probe(other).is_some());
+    }
+
+    #[test]
+    fn clear_empties_every_slot() {
+        let mut c = InsnCache::new();
+        c.insert(slot(0x1000, 5));
+        c.clear();
+        assert!(c.probe(0x1000).is_none());
+    }
+}

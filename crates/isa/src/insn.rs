@@ -345,7 +345,9 @@ impl Insn {
         if !regs_ok {
             return None;
         }
-        let imm = i32::from_le_bytes(b[4..8].try_into().expect("slice is 4 bytes"));
+        let mut w = [0u8; 4];
+        w.copy_from_slice(&b[4..8]);
+        let imm = i32::from_le_bytes(w);
         Some(Insn { op, rd, rs1, rs2, imm })
     }
 }

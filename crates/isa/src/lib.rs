@@ -31,14 +31,20 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The fetch/decode path runs under every guest instruction: fallible
+// cases surface typed results (`BusFault`, `Option`), never a panic.
+// Test modules opt back in with a local `allow`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod asm;
 pub mod cpu;
 pub mod dis;
+pub mod icache;
 pub mod insn;
 pub mod reg;
 
 pub use asm::{assemble, Assembly, AsmError};
 pub use cpu::{Access, Bus, BusFault, BusFaultKind, Cpu, RunExit, StepEvent};
+pub use icache::{InsnCache, InsnCacheStats, InsnSlot};
 pub use insn::{Insn, Opcode, INSN_LEN};
 pub use reg::{FpregSet, GregSet, PSR_ERR, PSR_TRACE, REG_A0, REG_RA, REG_RV, REG_SP};

@@ -146,14 +146,22 @@ impl GregSet {
         }
         let mut g = GregSet::default();
         for (i, w) in b.chunks_exact(8).take(NGREG).enumerate() {
-            g.r[i] = u64::from_le_bytes(w.try_into().expect("chunk is 8 bytes"));
+            g.r[i] = u64_at(w, 0);
         }
         let off = NGREG * 8;
-        g.pc = u64::from_le_bytes(b[off..off + 8].try_into().expect("slice is 8 bytes"));
-        g.psr = u64::from_le_bytes(b[off + 8..off + 16].try_into().expect("slice is 8 bytes"));
+        g.pc = u64_at(b, off);
+        g.psr = u64_at(b, off + 8);
         g.normalize();
         Some(g)
     }
+}
+
+/// Reads a little-endian u64 at `off`; the caller guarantees bounds.
+#[inline]
+fn u64_at(b: &[u8], off: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&b[off..off + 8]);
+    u64::from_le_bytes(w)
 }
 
 /// Floating-point register set — the `fpregset_t` of this machine.
@@ -186,10 +194,10 @@ impl FpregSet {
         }
         let mut s = FpregSet::default();
         for (i, w) in b.chunks_exact(8).take(NFPREG).enumerate() {
-            s.f[i] = f64::from_bits(u64::from_le_bytes(w.try_into().expect("chunk is 8 bytes")));
+            s.f[i] = f64::from_bits(u64_at(w, 0));
         }
         let off = NFPREG * 8;
-        s.fsr = u64::from_le_bytes(b[off..off + 8].try_into().expect("slice is 8 bytes"));
+        s.fsr = u64_at(b, off);
         Some(s)
     }
 }
@@ -248,6 +256,7 @@ pub fn parse_freg(s: &str) -> Option<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -79,12 +79,16 @@ pub struct Kernel {
     /// Installed kernel fault schedule; `None` (the default) means the
     /// kernel never injects a fault and consumes no generator state.
     pub fault_plan: Option<crate::kfault::KernelFaultPlan>,
+    /// Execution fast path (software TLB + decoded-instruction cache)
+    /// for newly created processes. On by default; the differential
+    /// oracle turns it off fleet-wide via `System::set_fast_path`.
+    pub fast_path: bool,
 }
 
 impl Kernel {
     /// A kernel with an empty process table; pids start at 0.
     pub fn new() -> Kernel {
-        Kernel { next_pid: 0, ..Default::default() }
+        Kernel { next_pid: 0, fast_path: true, ..Default::default() }
     }
 
     /// Allocates the next pid.
@@ -128,13 +132,15 @@ impl Kernel {
     ) -> Pid {
         let pid = self.alloc_pid();
         let lwp = Lwp::new(Tid(1), 0, 0);
+        let mut aspace = vm::AddressSpace::new();
+        aspace.set_fast_path(self.fast_path);
         let proc = Proc {
             pid,
             ppid,
             pgrp,
             sid,
             cred,
-            aspace: vm::AddressSpace::new(),
+            aspace,
             fds: crate::fd::FdTable::new(),
             lwps: vec![lwp],
             next_tid: 2,

@@ -137,13 +137,33 @@ pub struct KernelFaultPlan {
     pub rates: KernelFaultRates,
     /// Counters for `PIOCKFAULTSTATS`.
     pub stats: KFaultStats,
+    /// Targeted-death mode: death injection only considers processes a
+    /// controller currently holds a writable `/proc` descriptor on
+    /// (`trace.writers > 0`), concentrating the schedule on controller
+    /// races instead of bystanders. When no such process exists the roll
+    /// is spent but nobody dies — exactly as when the victim list is
+    /// empty in untargeted mode.
+    pub targeted_death: bool,
 }
 
 impl KernelFaultPlan {
     /// Creates a plan; a zero seed is remapped so xorshift never sticks.
+    /// Death injection starts untargeted; see
+    /// [`KernelFaultPlan::with_targeted_death`].
     pub fn new(seed: u64, rates: KernelFaultRates) -> KernelFaultPlan {
         let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
-        KernelFaultPlan { state, rates, stats: KFaultStats::default() }
+        KernelFaultPlan {
+            state,
+            rates,
+            stats: KFaultStats::default(),
+            targeted_death: false,
+        }
+    }
+
+    /// Builder: restricts death injection to controller-held targets.
+    pub fn with_targeted_death(mut self, on: bool) -> KernelFaultPlan {
+        self.targeted_death = on;
+        self
     }
 
     fn next(&mut self) -> u64 {
@@ -238,6 +258,16 @@ mod tests {
         assert!(!plan.roll_death());
         assert_eq!(plan.state, before, "zero rates must short-circuit");
         assert_eq!(plan.stats, KFaultStats::default());
+    }
+
+    #[test]
+    fn targeted_death_flag_defaults_off_and_builds_on() {
+        let plan = KernelFaultPlan::new(1, KernelFaultRates::uniform(10));
+        assert!(!plan.targeted_death);
+        let before = plan.state;
+        let plan = plan.with_targeted_death(true);
+        assert!(plan.targeted_death);
+        assert_eq!(plan.state, before, "targeting never touches the generator");
     }
 
     #[test]

@@ -187,6 +187,13 @@ pub struct Lwp {
     pub sleep_interrupted: bool,
     /// Instructions retired by this LWP.
     pub insns: u64,
+    /// Per-LWP decoded-instruction cache. Every LWP construction path
+    /// (boot, `fork`, `exec`, `lwp_create`) goes through [`Lwp::new`],
+    /// so new threads of control always start with a cold cache;
+    /// validity is checked per fetch against the address-space
+    /// generation, the backing mapping's content epoch and the object
+    /// store's content generation.
+    pub icache: isa::InsnCache,
     /// Per-LWP generation stamp, bumped whenever this LWP's externally
     /// visible state changes. LWP-scoped `/proc` images (`lwp/<tid>/
     /// status`, `gregs`) are cached against this stamp instead of the
@@ -216,6 +223,7 @@ impl Lwp {
             user_return_pending: false,
             sleep_interrupted: false,
             insns: 0,
+            icache: isa::InsnCache::new(),
             lwp_gen: 0,
         }
     }

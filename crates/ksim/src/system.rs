@@ -317,10 +317,11 @@ impl System {
         if lwp.single_step {
             lwp.gregs.psr |= PSR_TRACE;
         }
-        let mut bus = ProcBus { asp: aspace, objs: objects };
-        let (n, exit) = cpu.run(&mut lwp.gregs, &mut lwp.fpregs, &mut bus, quantum);
+        let crate::proc::Lwp { gregs, fpregs, icache, insns, .. } = lwp;
+        let mut bus = ProcBus { asp: aspace, objs: objects, icache };
+        let (n, exit) = cpu.run(gregs, fpregs, &mut bus, quantum);
         *cpu_time += n;
-        lwp.insns += n;
+        *insns += n;
         kernel.clock += n.max(1);
         match exit {
             RunExit::Quantum => {
@@ -1441,6 +1442,31 @@ impl System {
         self.kernel.fault_plan = Some(crate::kfault::KernelFaultPlan::new(seed, rates));
     }
 
+    /// Like [`System::install_fault_plan`], but death injection only
+    /// considers processes a controller currently holds a writable
+    /// `/proc` descriptor on — concentrating the schedule on
+    /// controller-vs-target races instead of bystanders.
+    pub fn install_targeted_fault_plan(
+        &mut self,
+        seed: u64,
+        rates: crate::kfault::KernelFaultRates,
+    ) {
+        self.kernel.objects.set_pressure(seed ^ 0xA5A5_5A5A_C3C3_3C3C, rates.enomem);
+        self.kernel.fault_plan =
+            Some(crate::kfault::KernelFaultPlan::new(seed, rates).with_targeted_death(true));
+    }
+
+    /// Turns the per-LWP execution fast path (software TLB + decoded
+    /// instruction cache) on or off for every current and future
+    /// process. Off forces every access down the slow path — the
+    /// differential oracle the fault suites compare transcripts against.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.kernel.fast_path = on;
+        for p in self.kernel.procs.values_mut() {
+            p.aspace.set_fast_path(on);
+        }
+    }
+
     /// The injection counters (`PIOCKFAULTSTATS` answers with these),
     /// with the object store's pressure denials merged in. All zero when
     /// no plan is installed.
@@ -1457,8 +1483,8 @@ impl System {
     /// non-hosted, non-init simulated processes and either SIGKILLs it
     /// or makes it exit quietly.
     fn kfault_maybe_kill(&mut self) {
-        let rolled = match self.kernel.fault_plan.as_mut() {
-            Some(plan) => plan.roll_death(),
+        let (rolled, targeted) = match self.kernel.fault_plan.as_mut() {
+            Some(plan) => (plan.roll_death(), plan.targeted_death),
             None => return,
         };
         if !rolled {
@@ -1468,7 +1494,12 @@ impl System {
             .kernel
             .procs
             .iter()
-            .filter(|(id, p)| **id > 1 && !p.hosted && !p.zombie)
+            .filter(|(id, p)| {
+                **id > 1
+                    && !p.hosted
+                    && !p.zombie
+                    && (!targeted || p.trace.writers > 0)
+            })
             .map(|(id, _)| Pid(*id))
             .collect();
         if victims.is_empty() {
@@ -1689,6 +1720,7 @@ impl System {
 struct ProcBus<'a> {
     asp: &'a mut vm::AddressSpace,
     objs: &'a mut vm::ObjectStore,
+    icache: &'a mut isa::InsnCache,
 }
 
 impl ProcBus<'_> {
@@ -1710,6 +1742,45 @@ impl ProcBus<'_> {
 }
 
 impl Bus for ProcBus<'_> {
+    fn fetch_insn(&mut self, addr: u64) -> Result<Option<isa::Insn>, BusFault> {
+        // Fast path: serve a decoded instruction when all three stamps
+        // still hold. Watched or multi-mapping pages are never inserted
+        // (see `AddressSpace::exec_slot`), so slow-path side effects —
+        // watchpoint accounting, COW, stack growth — cannot be skipped.
+        if self.asp.fast_path_enabled() {
+            if let Some(s) = self.icache.probe(addr) {
+                if s.as_gen == self.asp.generation()
+                    && self.asp.mapping_epoch(s.map_idx as usize) == Some(s.epoch)
+                    && self.objs.content_gen == s.content_gen
+                {
+                    let insn = s.insn;
+                    self.icache.note_hit();
+                    return Ok(Some(insn));
+                }
+                self.icache.note_stale();
+            }
+        }
+        let mut raw = [0u8; isa::INSN_LEN as usize];
+        self.fetch(addr, &mut raw)?;
+        let insn = isa::Insn::decode(&raw);
+        if self.asp.fast_path_enabled() {
+            self.icache.note_miss();
+            if let Some(i) = insn {
+                if let Some((map_idx, epoch)) = self.asp.exec_slot(addr, isa::INSN_LEN) {
+                    self.icache.insert(isa::InsnSlot {
+                        pc: addr,
+                        as_gen: self.asp.generation(),
+                        map_idx: map_idx as u32,
+                        epoch,
+                        content_gen: self.objs.content_gen,
+                        insn: i,
+                    });
+                }
+            }
+        }
+        Ok(insn)
+    }
+
     fn fetch(&mut self, addr: u64, buf: &mut [u8; 8]) -> Result<(), BusFault> {
         match self.asp.fetch_user(self.objs, addr, buf) {
             Ok(()) => Ok(()),

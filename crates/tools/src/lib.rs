@@ -38,6 +38,6 @@ pub use debugger::{DebugEvent, Debugger};
 pub use names::UserTable;
 pub use proc_io::ProcHandle;
 pub use ptrace_lib::{PtraceDebugger, PtraceOverProc};
-pub use sdb::Sdb;
+pub use sdb::{EofPolicy, Sdb};
 pub use truss::{truss_attach, truss_command, TrussOptions, TrussReport};
 pub use userland::{boot_demo, install_userland};

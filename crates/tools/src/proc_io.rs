@@ -12,7 +12,7 @@ use ksim::signal::SigSet;
 use ksim::sysno::SysSet;
 use ksim::{Pid, SysResult, System};
 use procfs::ioctl::*;
-use procfs::{PrCred, PrMap, PrRun, PrStatus, PrUsage, PrWatch, PsInfo};
+use procfs::{PrCred, PrMap, PrRun, PrStatus, PrUsage, PrWatch, PrXStats, PsInfo};
 use vfs::{Errno, OFlags, PollStatus};
 
 /// The `/proc` path of a process (five-digit form, as listed).
@@ -374,6 +374,15 @@ impl ProcHandle {
     pub fn kfault_stats(&mut self, sys: &mut impl ProcTransport) -> SysResult<ksim::KFaultStats> {
         let out = self.ioctl(sys, PIOCKFAULTSTATS, &[])?;
         ksim::KFaultStats::from_bytes(&out)
+    }
+
+    /// `PIOCXSTATS`: the execution fast-path counters (software TLB and
+    /// decoded-instruction cache) for the target. Kernel-resident like
+    /// `PIOCKFAULTSTATS`, so over a remote mount the reply crosses the
+    /// wire and reports the server's caches.
+    pub fn xstats(&mut self, sys: &mut impl ProcTransport) -> SysResult<PrXStats> {
+        let out = self.ioctl(sys, PIOCXSTATS, &[])?;
+        PrXStats::from_bytes(&out).ok_or(Errno::EIO)
     }
 
     /// Non-blocking `poll` readiness of this descriptor — the paper's

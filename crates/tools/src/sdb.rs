@@ -35,6 +35,18 @@ use ksim::signal::sig_name;
 use ksim::{Errno, Pid, SysResult, System};
 use procfs::PrWatch;
 
+/// What [`Sdb::run_script_policy`] does with a target that is still
+/// alive when the script runs out of lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EofPolicy {
+    /// Kill the survivor (the historical behaviour, and what one-shot
+    /// test scripts want).
+    Kill,
+    /// Detach and let it run — fault harnesses reuse scripts against
+    /// targets that must survive the session.
+    Detach,
+}
+
 /// The scripted debugger session.
 pub struct Sdb {
     dbg: Option<Debugger>,
@@ -287,13 +299,29 @@ impl Sdb {
         Ok(())
     }
 
-    /// Runs a whole script, returning the transcript.
+    /// Runs a whole script, returning the transcript. A target that
+    /// survives the script is killed — see [`Sdb::run_script_policy`]
+    /// for the detaching variant.
     pub fn run_script(
         sys: &mut System,
         ctl: Pid,
         path: &str,
         argv: &[&str],
         script: &[&str],
+    ) -> SysResult<String> {
+        Sdb::run_script_policy(sys, ctl, path, argv, script, EofPolicy::Kill)
+    }
+
+    /// Runs a whole script with an explicit end-of-script policy for a
+    /// surviving target: [`EofPolicy::Kill`] destroys it,
+    /// [`EofPolicy::Detach`] releases it to run free.
+    pub fn run_script_policy(
+        sys: &mut System,
+        ctl: Pid,
+        path: &str,
+        argv: &[&str],
+        script: &[&str],
+        eof: EofPolicy,
     ) -> SysResult<String> {
         let mut sdb = Sdb::launch(sys, ctl, path, argv)?;
         for line in script {
@@ -304,7 +332,14 @@ impl Sdb {
         }
         if !sdb.finished {
             if let Some(dbg) = sdb.dbg.take() {
-                let _ = dbg.kill(sys);
+                match eof {
+                    EofPolicy::Kill => {
+                        let _ = dbg.kill(sys);
+                    }
+                    EofPolicy::Detach => {
+                        let _ = dbg.detach(sys);
+                    }
+                }
             }
         }
         Ok(sdb.transcript)
@@ -378,6 +413,32 @@ mod tests {
         let t = Sdb::run_script(&mut sys, ctl, "/bin/greeter", &["greeter"], &["c"])
             .expect("script");
         assert!(t.contains("process exited, status Exited(0)"), "{t}");
+    }
+
+    #[test]
+    fn detach_eof_policy_leaves_target_running() {
+        let (mut sys, ctl) = boot();
+        let t = Sdb::run_script_policy(
+            &mut sys,
+            ctl,
+            "/bin/ticker",
+            &["ticker"],
+            &["s", "regs"],
+            EofPolicy::Detach,
+        )
+        .expect("script");
+        assert!(t.contains("stepped to"), "{t}");
+        // The survivor keeps running after the script: find it and
+        // check it is neither gone nor left stopped.
+        let pid = sys
+            .kernel
+            .procs
+            .values()
+            .find(|p| !p.hosted && p.pid.0 > 1 && !p.zombie)
+            .map(|p| p.pid)
+            .expect("target survived detach");
+        let stopped = sys.kernel.proc(pid).expect("proc").is_event_stopped();
+        assert!(!stopped, "detached target must not be left stopped");
     }
 
     #[test]

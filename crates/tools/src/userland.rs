@@ -28,6 +28,29 @@ tick:
     ret
 "#;
 
+/// Crunches a 256-iteration inner loop between `tick` calls, forever.
+/// The breakpoints-per-second workload with realistic density: a
+/// debugger breaking on `tick` fields one stop per ~770 retired
+/// instructions, so execution speed — not controller overhead —
+/// dominates the round trip (E1/E13).
+pub const CRUNCHER: &str = r#"
+_start:
+    movi a0, 0
+outer:
+    movi a1, 0
+    movi a2, 256
+inner:
+    addi a1, a1, 1
+    beq  a1, a2, hot
+    jmp  inner
+hot:
+    call tick
+    jmp  outer
+tick:
+    addi a0, a0, 1
+    ret
+"#;
+
 /// Performs `a1` getpid calls, then exits 0. Default count comes from
 /// argv; falls back to 1000.
 pub const SYSCALL_BURST: &str = r#"
@@ -274,6 +297,7 @@ pub fn install_userland(sys: &mut System) {
     for (path, src) in [
         ("/bin/spin", SPIN),
         ("/bin/ticker", TICKER),
+        ("/bin/cruncher", CRUNCHER),
         ("/bin/burst", SYSCALL_BURST),
         ("/bin/retired", RETIRED_CALLER),
         ("/bin/forker", FORKER),

@@ -38,6 +38,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The execution fast path runs under every guest instruction: any
+// fallible case must surface a typed `AccessDenied`/`MapError`, never a
+// panic. Test modules opt back in with a local `allow`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod error;
 pub mod map;
@@ -50,5 +54,5 @@ pub use error::AccessDenied;
 pub use map::{MapFlags, Mapping, Prot, SegName};
 pub use object::{MemPressure, Object, ObjectId, ObjectKind, ObjectStore};
 pub use page::{PageFrame, PAGE_SIZE};
-pub use space::AddressSpace;
+pub use space::{AddressSpace, TlbStats};
 pub use watch::{WatchArea, WatchFlags};

@@ -144,6 +144,11 @@ pub struct Mapping {
     pub overlay: BTreeMap<u64, PageFrame>,
     /// Advisory name for tools.
     pub name: SegName,
+    /// Content epoch: bumped on every write that lands in this mapping's
+    /// overlay (user stores, `/proc` breakpoint plants, COW
+    /// materialisation). Decoded-instruction cache entries record the
+    /// epoch at fill time and self-invalidate when it moves.
+    pub epoch: u64,
 }
 
 impl Mapping {
@@ -194,6 +199,7 @@ impl Mapping {
             obj_off: self.obj_off + (addr - self.base),
             overlay: tail_overlay,
             name: self.name.clone(),
+            epoch: self.epoch,
         };
         self.len = addr - self.base;
         tail
@@ -219,6 +225,7 @@ mod tests {
             obj_off: 0,
             overlay: BTreeMap::new(),
             name: SegName::Anon,
+            epoch: 0,
         }
     }
 

@@ -214,7 +214,10 @@ impl ObjectStore {
     /// Panics if `id` is stale (refcounting bug); the address-space code
     /// owns all references.
     pub fn get(&self, id: ObjectId) -> &Object {
-        self.objs[id.0 as usize].as_ref().expect("stale ObjectId")
+        match self.objs[id.0 as usize].as_ref() {
+            Some(o) => o,
+            None => panic!("stale ObjectId {id:?}"),
+        }
     }
 
     /// Exclusive access to an object.
@@ -224,7 +227,10 @@ impl ObjectStore {
     /// Panics if `id` is stale.
     pub fn get_mut(&mut self, id: ObjectId) -> &mut Object {
         self.content_gen = self.content_gen.wrapping_add(1);
-        self.objs[id.0 as usize].as_mut().expect("stale ObjectId")
+        match self.objs[id.0 as usize].as_mut() {
+            Some(o) => o,
+            None => panic!("stale ObjectId {id:?}"),
+        }
     }
 
     /// Adds a reference (a new mapping of the object).
@@ -235,7 +241,10 @@ impl ObjectStore {
     /// Drops a reference, freeing the object's pages when none remain.
     pub fn decref(&mut self, id: ObjectId) {
         let slot = id.0 as usize;
-        let obj = self.objs[slot].as_mut().expect("stale ObjectId");
+        let obj = match self.objs[slot].as_mut() {
+            Some(o) => o,
+            None => panic!("stale ObjectId {id:?}"),
+        };
         obj.refs -= 1;
         if obj.refs == 0 {
             self.objs[slot] = None;

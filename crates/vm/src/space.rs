@@ -42,8 +42,44 @@ pub enum Mode {
     Exec,
 }
 
+/// Number of direct-mapped software-TLB entries (power of two).
+const TLB_WAYS: usize = 64;
+
+/// One software-TLB line: a resolved translation for a virtual page.
+/// The entry caches the *mapping index* and protections — never a page
+/// frame — so copy-on-write `Arc` splits can't serve stale data; frame
+/// resolution still walks the overlay/object on every access.
+#[derive(Clone, Copy, Debug, Default)]
+struct TlbEntry {
+    /// Virtual page number this line translates.
+    vpage: u64,
+    /// `as_gen` at fill time; 0 means the line is empty.
+    stamp: u64,
+    /// Index into `maps` (valid only while `stamp == as_gen`, since any
+    /// structural change bumps the generation).
+    map_idx: u32,
+    /// Protections of the mapping at fill time.
+    prot: Prot,
+    /// Some watch area intersects this page: the line must never hit,
+    /// because watched-page accesses have slow-path side effects
+    /// (recovery counting, one-shot bypass consumption).
+    watched: bool,
+}
+
+/// Hit/miss/invalidation counters for the software TLB; `PIOCXSTATS`
+/// reports these per process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Accesses served entirely from a TLB line.
+    pub hits: u64,
+    /// Fast-path-eligible accesses that fell through to the slow path.
+    pub misses: u64,
+    /// Generation bumps (each one logically flushes the whole TLB).
+    pub invalidations: u64,
+}
+
 /// A process's virtual address space.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AddressSpace {
     /// Mappings sorted by base address, pairwise disjoint.
     maps: Vec<Mapping>,
@@ -63,6 +99,37 @@ pub struct AddressSpace {
     /// operation so [`AddressSpace::total_size`] — the `ls -l /proc`
     /// size — is O(1) instead of a walk over the map list.
     total: u64,
+    /// Address-space generation: bumped by every structural change
+    /// (map/unmap/protect/growth/clear) and by watchpoint add/remove.
+    /// TLB lines and decoded-instruction cache entries stamp themselves
+    /// with this value and self-invalidate with one compare. Starts at 1
+    /// and never revisits 0 (0 is the empty-line sentinel).
+    as_gen: u64,
+    /// Execution fast path enabled (TLB fills/hits and instruction-cache
+    /// fills). Turning it off forces every access down the slow path —
+    /// the differential oracle runs both ways.
+    fast_path: bool,
+    /// Direct-mapped translation cache, indexed by `vpage % TLB_WAYS`.
+    tlb: Vec<TlbEntry>,
+    /// Hit/miss/invalidate counters.
+    tlb_stats: TlbStats,
+}
+
+impl Default for AddressSpace {
+    fn default() -> AddressSpace {
+        AddressSpace {
+            maps: Vec::new(),
+            watchpoints: Vec::new(),
+            watch_bypass_once: false,
+            watch_recovered: 0,
+            stack_limit: 0,
+            total: 0,
+            as_gen: 1,
+            fast_path: true,
+            tlb: vec![TlbEntry::default(); TLB_WAYS],
+            tlb_stats: TlbStats::default(),
+        }
+    }
 }
 
 impl AddressSpace {
@@ -117,6 +184,149 @@ impl AddressSpace {
         }
     }
 
+    /// The current address-space generation. Caches stamped with an older
+    /// value (or with a generation from a different address space — fork
+    /// children start over at 1 with an empty TLB) must re-resolve.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.as_gen
+    }
+
+    /// Invalidates every cached translation by moving the generation.
+    /// Skips 0 on wrap (0 marks an empty TLB line).
+    #[inline]
+    pub fn bump_gen(&mut self) {
+        self.as_gen = self.as_gen.wrapping_add(1);
+        if self.as_gen == 0 {
+            self.as_gen = 1;
+        }
+        self.tlb_stats.invalidations += 1;
+    }
+
+    /// Whether the execution fast path (TLB + instruction cache fills) is
+    /// active for this address space.
+    #[inline]
+    pub fn fast_path_enabled(&self) -> bool {
+        self.fast_path
+    }
+
+    /// Enables or disables the execution fast path. Disabling (and
+    /// re-enabling) bumps the generation so no stale line survives the
+    /// transition.
+    pub fn set_fast_path(&mut self, on: bool) {
+        if self.fast_path != on {
+            self.fast_path = on;
+            self.bump_gen();
+        }
+    }
+
+    /// The TLB hit/miss/invalidate counters.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb_stats
+    }
+
+    /// The content epoch of mapping `idx`, if it exists. Instruction-cache
+    /// entries validate against this (the index is only meaningful while
+    /// the generation that resolved it is current).
+    #[inline]
+    pub fn mapping_epoch(&self, idx: usize) -> Option<u64> {
+        self.maps.get(idx).map(|m| m.epoch)
+    }
+
+    /// Resolves an executable, single-page, watch-free slot for the
+    /// instruction cache: returns `(map_idx, epoch)` when `[addr,
+    /// addr+len)` lies inside one page of one exec-permitted mapping and
+    /// no watch area touches that page. `None` means "do not cache".
+    pub fn exec_slot(&self, addr: u64, len: u64) -> Option<(usize, u64)> {
+        let len = len.max(1);
+        let last = addr.checked_add(len - 1)?;
+        let vpage = addr / PAGE_SIZE;
+        if last / PAGE_SIZE != vpage {
+            return None;
+        }
+        let i = self.find_idx(addr)?;
+        let m = &self.maps[i];
+        if !m.prot.exec || last >= m.end() {
+            return None;
+        }
+        let page_base = vpage * PAGE_SIZE;
+        if self.watchpoints.iter().any(|w| w.same_page(page_base, PAGE_SIZE)) {
+            return None;
+        }
+        Some((i, m.epoch))
+    }
+
+    /// TLB probe: a hit returns the mapping index for an access wholly
+    /// inside one unwatched page whose cached protections permit `mode`.
+    #[inline]
+    fn tlb_lookup(&self, addr: u64, len: u64, mode: Mode) -> Option<usize> {
+        let last = addr.checked_add(len - 1)?;
+        let vpage = addr / PAGE_SIZE;
+        if last / PAGE_SIZE != vpage {
+            return None;
+        }
+        let e = &self.tlb[(vpage as usize) & (TLB_WAYS - 1)];
+        if e.stamp != self.as_gen || e.vpage != vpage || e.watched {
+            return None;
+        }
+        let ok = match mode {
+            Mode::Read => e.prot.read,
+            Mode::Write => e.prot.write,
+            Mode::Exec => e.prot.exec,
+        };
+        if ok {
+            Some(e.map_idx as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Fills the TLB line for the page containing `addr` after a
+    /// successful slow-path access confined to that page.
+    fn tlb_fill(&mut self, addr: u64, len: u64) {
+        if !self.fast_path {
+            return;
+        }
+        let len = len.max(1);
+        let Some(last) = addr.checked_add(len - 1) else { return };
+        let vpage = addr / PAGE_SIZE;
+        if last / PAGE_SIZE != vpage {
+            return;
+        }
+        let Some(map_idx) = self.find_idx(addr) else { return };
+        // The access must not straddle into the next mapping either (the
+        // cached index serves the whole page on later hits).
+        if last >= self.maps[map_idx].end() {
+            return;
+        }
+        let page_base = vpage * PAGE_SIZE;
+        let watched = self.watchpoints.iter().any(|w| w.same_page(page_base, PAGE_SIZE));
+        self.tlb[(vpage as usize) & (TLB_WAYS - 1)] = TlbEntry {
+            vpage,
+            stamp: self.as_gen,
+            map_idx: map_idx as u32,
+            prot: self.maps[map_idx].prot,
+            watched,
+        };
+    }
+
+    /// Single-page data movement for a TLB hit: overlay page if privately
+    /// materialised, else the backing object. Mirrors one `page_chunks`
+    /// step of [`AddressSpace::kernel_read`].
+    fn copy_from_mapping(&self, store: &ObjectStore, mi: usize, addr: u64, buf: &mut [u8]) {
+        let m = &self.maps[mi];
+        let off = (addr % PAGE_SIZE) as usize;
+        if !m.flags.shared {
+            let rel_page = addr / PAGE_SIZE - m.base / PAGE_SIZE;
+            if let Some(frame) = m.overlay.get(&rel_page) {
+                buf.copy_from_slice(&frame.bytes()[off..off + buf.len()]);
+                return;
+            }
+        }
+        let obj_pos = m.obj_off + (addr - m.base);
+        store.get(m.object).read_at(obj_pos, buf);
+    }
+
     /// Installs a mapping at a fixed address. The caller transfers one
     /// object reference for the new mapping (allocate the object, or
     /// `incref` an existing one, before calling).
@@ -141,9 +351,20 @@ impl AddressSpace {
         }
         self.maps.insert(
             idx,
-            Mapping { base, len, prot, flags, object, obj_off, overlay: BTreeMap::new(), name },
+            Mapping {
+                base,
+                len,
+                prot,
+                flags,
+                object,
+                obj_off,
+                overlay: BTreeMap::new(),
+                name,
+                epoch: 0,
+            },
         );
         self.total += len;
+        self.bump_gen();
         Ok(())
     }
 
@@ -202,6 +423,7 @@ impl AddressSpace {
                 i += 1;
             }
         }
+        self.bump_gen();
         Ok(())
     }
 
@@ -229,6 +451,7 @@ impl AddressSpace {
                 m.prot = prot;
             }
         }
+        self.bump_gen();
         Ok(())
     }
 
@@ -254,6 +477,9 @@ impl AddressSpace {
     /// into unmapped areas do not fail but are truncated at the boundary."
     pub fn valid_span(&self, addr: u64, max: u64) -> u64 {
         let mut pos = addr;
+        // Saturate rather than wrap: a span reaching the top of the
+        // address space truncates there, and callers comparing the result
+        // against `max` correctly see a short span.
         let end = addr.saturating_add(max);
         while pos < end {
             match self.find(pos) {
@@ -302,6 +528,7 @@ impl AddressSpace {
         m.len += grown;
         m.base = new_base;
         self.total += grown;
+        self.bump_gen();
         true
     }
 
@@ -331,6 +558,7 @@ impl AddressSpace {
         }
         self.total += end - cur_end;
         self.maps[i].len = end - self.maps[i].base;
+        self.bump_gen();
         Ok(end)
     }
 
@@ -344,9 +572,13 @@ impl AddressSpace {
         mode: Mode,
     ) -> Result<(), AccessDenied> {
         let len = len.max(1);
-        // Page protections first.
+        // Page protections first. An access whose end wraps past the top
+        // of the address space cannot be fully mapped (map ends are
+        // bounded by u64::MAX), so it is simply unmapped somewhere.
+        let Some(end) = addr.checked_add(len) else {
+            return Err(AccessDenied::Unmapped { addr });
+        };
         let mut pos = addr;
-        let end = addr + len;
         while pos < end {
             match self.find(pos) {
                 None => return Err(AccessDenied::Unmapped { addr: pos }),
@@ -398,6 +630,9 @@ impl AddressSpace {
     /// overlapping area (in insertion order) reports the fault.
     pub fn add_watch(&mut self, area: WatchArea) {
         self.watchpoints.push(area);
+        // Lines covering the newly watched page must stop hitting (the
+        // slow path owns watch screening and its side effects).
+        self.bump_gen();
     }
 
     /// Removes watched areas exactly matching `base`/`len`. Returns how
@@ -405,6 +640,7 @@ impl AddressSpace {
     pub fn remove_watch(&mut self, base: u64, len: u64) -> usize {
         let before = self.watchpoints.len();
         self.watchpoints.retain(|w| !(w.base == base && w.len == len));
+        self.bump_gen();
         before - self.watchpoints.len()
     }
 
@@ -419,7 +655,9 @@ impl AddressSpace {
     ) -> Result<(), AccessDenied> {
         let mut done = 0usize;
         let mut pos = addr;
-        let end = addr + buf.len() as u64;
+        let Some(end) = addr.checked_add(buf.len() as u64) else {
+            return Err(AccessDenied::Unmapped { addr });
+        };
         while pos < end {
             let m = self.find(pos).ok_or(AccessDenied::Unmapped { addr: pos })?;
             let chunk_end = m.end().min(end);
@@ -463,8 +701,14 @@ impl AddressSpace {
         let mut pos = addr;
         let end = addr + data.len() as u64;
         while pos < end {
-            let i = self.find_idx(pos).expect("validated above");
+            let Some(i) = self.find_idx(pos) else {
+                return Err(AccessDenied::Unmapped { addr: pos });
+            };
             let m = &mut self.maps[i];
+            // Any write through a mapping (user store, breakpoint plant,
+            // COW materialisation) moves its content epoch so cached
+            // decoded instructions re-resolve.
+            m.epoch = m.epoch.wrapping_add(1);
             let chunk_end = m.end().min(end);
             for (vpage, off, n) in page_chunks(pos, chunk_end - pos) {
                 let rel_page = vpage - m.base / PAGE_SIZE;
@@ -504,37 +748,86 @@ impl AddressSpace {
     }
 
     /// User-mode read: permission + watchpoint check, then data movement.
+    /// A dTLB hit (single unwatched page, cached protections permit)
+    /// skips both the mapping binary search and the watch scan.
     pub fn read_user(
         &mut self,
         store: &ObjectStore,
         addr: u64,
         buf: &mut [u8],
     ) -> Result<(), AccessDenied> {
-        self.check_user_access(addr, buf.len() as u64, Mode::Read)?;
-        self.kernel_read(store, addr, buf)
+        let len = (buf.len() as u64).max(1);
+        if self.fast_path {
+            if let Some(mi) = self.tlb_lookup(addr, len, Mode::Read) {
+                self.tlb_stats.hits += 1;
+                self.copy_from_mapping(store, mi, addr, buf);
+                return Ok(());
+            }
+            self.tlb_stats.misses += 1;
+        }
+        self.check_user_access(addr, len, Mode::Read)?;
+        self.kernel_read(store, addr, buf)?;
+        self.tlb_fill(addr, len);
+        Ok(())
     }
 
     /// User-mode write: permission + watchpoint check, then data movement
     /// (copy-on-write for private mappings, write-through for shared).
+    /// The fast path serves only writes landing in an already
+    /// materialised private overlay page: COW materialisation rolls the
+    /// memory-pressure source and shared writes move the store's content
+    /// generation, and the slow path must keep owning both side effects
+    /// so fast-on and fast-off runs stay transcript-identical.
     pub fn write_user(
         &mut self,
         store: &mut ObjectStore,
         addr: u64,
         data: &[u8],
     ) -> Result<(), AccessDenied> {
-        self.check_user_access(addr, data.len() as u64, Mode::Write)?;
-        self.kernel_write(store, addr, data)
+        let len = (data.len() as u64).max(1);
+        if self.fast_path {
+            if let Some(mi) = self.tlb_lookup(addr, len, Mode::Write) {
+                let m = &mut self.maps[mi];
+                if !m.flags.shared && !data.is_empty() {
+                    let rel_page = addr / PAGE_SIZE - m.base / PAGE_SIZE;
+                    let off = (addr % PAGE_SIZE) as usize;
+                    if let Some(frame) = m.overlay.get_mut(&rel_page) {
+                        frame.make_mut()[off..off + data.len()].copy_from_slice(data);
+                        m.epoch = m.epoch.wrapping_add(1);
+                        self.tlb_stats.hits += 1;
+                        return Ok(());
+                    }
+                }
+            }
+            self.tlb_stats.misses += 1;
+        }
+        self.check_user_access(addr, len, Mode::Write)?;
+        self.kernel_write(store, addr, data)?;
+        self.tlb_fill(addr, len);
+        Ok(())
     }
 
-    /// Instruction fetch: exec permission + watch check, then read.
+    /// Instruction fetch: exec permission + watch check, then read. Hits
+    /// the same dTLB lines as data reads (one cache, three probe modes).
     pub fn fetch_user(
         &mut self,
         store: &ObjectStore,
         addr: u64,
         buf: &mut [u8],
     ) -> Result<(), AccessDenied> {
-        self.check_user_access(addr, buf.len() as u64, Mode::Exec)?;
-        self.kernel_read(store, addr, buf)
+        let len = (buf.len() as u64).max(1);
+        if self.fast_path {
+            if let Some(mi) = self.tlb_lookup(addr, len, Mode::Exec) {
+                self.tlb_stats.hits += 1;
+                self.copy_from_mapping(store, mi, addr, buf);
+                return Ok(());
+            }
+            self.tlb_stats.misses += 1;
+        }
+        self.check_user_access(addr, len, Mode::Exec)?;
+        self.kernel_read(store, addr, buf)?;
+        self.tlb_fill(addr, len);
+        Ok(())
     }
 
     /// Clones the address space for `fork`: mappings are duplicated,
@@ -551,6 +844,13 @@ impl AddressSpace {
             watch_recovered: 0,
             stack_limit: self.stack_limit,
             total: self.total,
+            // The child starts cold: fresh generation, empty TLB, zeroed
+            // counters. Shared frames can't leak stale translations
+            // because no line carries over.
+            as_gen: 1,
+            fast_path: self.fast_path,
+            tlb: vec![TlbEntry::default(); TLB_WAYS],
+            tlb_stats: TlbStats::default(),
         }
     }
 
@@ -564,6 +864,8 @@ impl AddressSpace {
         self.watchpoints.clear();
         self.watch_bypass_once = false;
         self.stack_limit = 0;
+        // exec rebuilds on a clean slate; nothing cached may survive.
+        self.bump_gen();
     }
 
     /// Verifies internal invariants (sortedness, disjointness, alignment);
@@ -581,6 +883,7 @@ impl AddressSpace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::watch::WatchFlags;
@@ -903,7 +1206,7 @@ mod tests {
     /// Random map/unmap/protect sequences preserve the invariants.
     #[test]
     fn invariants_hold_under_random_ops() {
-        let mut rng = 0x1417_A5_u64;
+        let mut rng = 0x0014_17A5_u64;
         for _ in 0..64 {
             let (mut a, mut s) = setup();
             let nops = 1 + (xorshift(&mut rng) % 39) as usize;
@@ -941,6 +1244,101 @@ mod tests {
             a.clear(&mut s);
             assert_eq!(s.live_count(), 0);
         }
+    }
+
+    #[test]
+    fn access_near_u64_max_does_not_overflow() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 4 * K, Prot::RW);
+        // check_user_access: end computation must not wrap to a small
+        // value and "succeed".
+        let err = a
+            .check_user_access(u64::MAX - 2, 8, Mode::Read)
+            .expect_err("wrapping access");
+        assert!(matches!(err, AccessDenied::Unmapped { .. }));
+        // kernel_read with a wrapping range.
+        let mut buf = [0u8; 16];
+        let err = a.kernel_read(&s, u64::MAX - 4, &mut buf).expect_err("wrapping read");
+        assert!(matches!(err, AccessDenied::Unmapped { .. }));
+        // kernel_write validates through valid_span, which saturates.
+        let err = a.kernel_write(&mut s, u64::MAX - 4, &[0u8; 16]).expect_err("wrapping write");
+        assert!(matches!(err, AccessDenied::Unmapped { .. }));
+        // valid_span saturates instead of wrapping: the reported span is
+        // shorter than the request, never bogus-full.
+        assert!(a.valid_span(u64::MAX - 2, 100) < 100);
+        // And the user-mode entry points reject it too.
+        let err = a.read_user(&s, u64::MAX - 2, &mut buf).expect_err("user read");
+        assert!(matches!(err, AccessDenied::Unmapped { .. }));
+        let err = a.write_user(&mut s, u64::MAX - 2, &[0u8; 16]).expect_err("user write");
+        assert!(matches!(err, AccessDenied::Unmapped { .. }));
+    }
+
+    #[test]
+    fn tlb_hits_after_slow_path_and_invalidates_on_change() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 8 * K, Prot::RW);
+        let mut b = [0u8; 4];
+        a.write_user(&mut s, 0x10100, &[1, 2, 3, 4]).expect("w");
+        a.read_user(&s, 0x10100, &mut b).expect("r1");
+        let before = a.tlb_stats();
+        a.read_user(&s, 0x10100, &mut b).expect("r2");
+        assert_eq!(a.tlb_stats().hits, before.hits + 1, "second read hits");
+        // A structural change flushes: the next read misses again.
+        a.protect(&mut s, 0x10000, 4 * K, Prot::R).expect("protect");
+        let mid = a.tlb_stats();
+        a.read_user(&s, 0x10100, &mut b).expect("r3");
+        assert_eq!(a.tlb_stats().misses, mid.misses + 1, "post-protect read misses");
+        assert!(a.tlb_stats().invalidations > before.invalidations);
+    }
+
+    #[test]
+    fn tlb_respects_new_protections_and_watchpoints() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 4 * K, Prot::RW);
+        a.write_user(&mut s, 0x10000, &[7]).expect("warm");
+        a.write_user(&mut s, 0x10000, &[8]).expect("hot");
+        // Revoke write: the cached RW line must not serve the store.
+        a.protect(&mut s, 0x10000, 4 * K, Prot::R).expect("protect");
+        let err = a.write_user(&mut s, 0x10000, &[9]).expect_err("now read-only");
+        assert!(matches!(err, AccessDenied::Protection { .. }));
+        // Watch the page: hot reads must fall back to slow-path
+        // screening and fire.
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 4 * K, Prot::RW);
+        a.write_user(&mut s, 0x10010, &[1]).expect("warm");
+        a.write_user(&mut s, 0x10010, &[2]).expect("hot");
+        a.add_watch(WatchArea { base: 0x10010, len: 4, flags: WatchFlags::write_only() });
+        let err = a.write_user(&mut s, 0x10010, &[3]).expect_err("watched");
+        assert!(matches!(err, AccessDenied::Watch { .. }));
+        // Unwatched byte in the watched page still counts recovery.
+        let rec = a.watch_recovered;
+        a.write_user(&mut s, 0x10100, &[1]).expect("recovered");
+        assert_eq!(a.watch_recovered, rec + 1);
+    }
+
+    #[test]
+    fn fast_path_off_is_equivalent_and_counts_nothing() {
+        let (mut a, mut s) = setup();
+        a.set_fast_path(false);
+        anon_map(&mut a, &mut s, 0x10000, 4 * K, Prot::RW);
+        a.write_user(&mut s, 0x10000, b"abcd").expect("w");
+        let mut b = [0u8; 4];
+        a.read_user(&s, 0x10000, &mut b).expect("r");
+        a.read_user(&s, 0x10000, &mut b).expect("r");
+        assert_eq!(&b, b"abcd");
+        let st = a.tlb_stats();
+        assert_eq!((st.hits, st.misses), (0, 0));
+    }
+
+    #[test]
+    fn fork_child_tlb_starts_cold() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 4 * K, Prot::RW);
+        a.write_user(&mut s, 0x10000, &[1]).expect("warm");
+        a.write_user(&mut s, 0x10000, &[2]).expect("hot");
+        let child = a.fork_clone(&mut s);
+        assert_eq!(child.tlb_stats(), TlbStats::default());
+        assert_eq!(child.generation(), 1);
     }
 
     /// Data written user-mode is read back identically through both

@@ -1,7 +1,16 @@
-//! Smoke-sized run of the e5 multi-client throughput sweep, gating the
-//! wire v2 headline inside `cargo test` (alias: `cargo bench-smoke`):
-//! pipelined multi-client sessions must finish in strictly fewer
-//! virtual ticks than one-op-at-a-time calls, clean and lossy alike.
+//! Smoke-sized runs of the headline performance claims, gated inside
+//! `cargo test` (alias: `cargo bench-smoke`):
+//!
+//! * E5c — pipelined multi-client wire sessions must finish in strictly
+//!   fewer virtual ticks than one-op-at-a-time calls, clean and lossy
+//!   alike;
+//! * E13 — the execution fast path (software TLB + decoded-instruction
+//!   cache) must retire hot-loop instructions at ≥ 2× the slow-path
+//!   rate, and the run drops `BENCH_E13.json` at the repo root so the
+//!   perf trajectory is machine-readable across PRs.
+
+use bench_support::FastPathPoint;
+use std::fmt::Write as _;
 
 #[test]
 fn pipelining_beats_serial_at_smoke_scale() {
@@ -19,4 +28,94 @@ fn pipelining_beats_serial_at_smoke_scale() {
     // On the clean wire every op lands on both legs.
     assert_eq!(points[0].serial_ok, points[0].ops);
     assert_eq!(points[0].pipelined_ok, points[0].ops);
+}
+
+/// Renders one E13 point as a JSON object (hand-rolled: the workspace
+/// takes no external dependencies, and eight scalar fields do not
+/// justify one).
+fn point_json(program: &str, p: &FastPathPoint) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "    {{\"program\": \"{}\", \"fast\": {}, \"insns\": {}, \"wall_ns\": {}, \
+         \"insns_per_sec\": {:.1}, \"tlb_hits\": {}, \"tlb_misses\": {}, \
+         \"tlb_hit_rate\": {:.6}, \"icache_hits\": {}, \"icache_misses\": {}, \
+         \"icache_hit_rate\": {:.6}}}",
+        program,
+        p.fast,
+        p.insns,
+        p.wall_ns,
+        p.insns_per_sec,
+        p.tlb_hits,
+        p.tlb_misses,
+        p.tlb_hit_rate(),
+        p.icache_hits,
+        p.icache_misses,
+        p.icache_hit_rate(),
+    )
+    .expect("write to string");
+    s
+}
+
+/// E13 smoke point: the per-LWP fast path must be a real accelerator,
+/// not a wash. Both legs execute the identical instruction stream (the
+/// 32-seed differential oracles in `kernel_fault`/`remote_fault` prove
+/// behavioral equivalence); here only the wall-clock rate and the cache
+/// hit rates differ. Emits `BENCH_E13.json` as a side effect.
+#[test]
+fn fast_path_doubles_hot_loop_throughput() {
+    const TICKS: u64 = 4000;
+    const REPS: usize = 3;
+    // spin: store-free jump loop, pure icache. watched: two stores per
+    // iteration, exercises the dTLB too.
+    let (spin_off, spin_on) = bench_support::fast_path_pair("/bin/spin", TICKS, REPS);
+    let (watched_off, watched_on) = bench_support::fast_path_pair("/bin/watched", TICKS, REPS);
+
+    // Same tick budget, same deterministic machine: both legs must have
+    // retired the same number of instructions.
+    assert_eq!(spin_off.insns, spin_on.insns, "fast path changed the spin schedule");
+    assert_eq!(watched_off.insns, watched_on.insns, "fast path changed the watched schedule");
+    assert!(spin_on.insns > 100_000, "spin barely ran: {spin_on:?}");
+
+    // The disabled leg reports dark caches; the enabled leg is hot.
+    assert_eq!((spin_off.tlb_hits, spin_off.icache_hits), (0, 0), "{spin_off:?}");
+    assert!(spin_on.icache_hit_rate() > 0.99, "spin icache cold: {spin_on:?}");
+    assert!(watched_on.tlb_hit_rate() > 0.99, "watched dTLB cold: {watched_on:?}");
+
+    // The E1 metric, before/after: breakpoints/sec on the compute-loop
+    // workload (one hit per ~770 retired instructions).
+    let (bp_slow, bp_fast) = bench_support::breakpoint_rate_pair(40, REPS);
+
+    let spin_speedup = spin_on.insns_per_sec / spin_off.insns_per_sec;
+    let watched_speedup = watched_on.insns_per_sec / watched_off.insns_per_sec;
+    let json = format!(
+        "{{\n  \"experiment\": \"E13\",\n  \"title\": \"execution fast path: software TLB + decoded-instruction cache\",\n  \"ticks\": {TICKS},\n  \"reps\": {REPS},\n  \"points\": [\n{},\n{},\n{},\n{}\n  ],\n  \"spin_speedup\": {spin_speedup:.3},\n  \"watched_speedup\": {watched_speedup:.3},\n  \"e1_breakpoints_per_sec_slow_path\": {bp_slow:.1},\n  \"e1_breakpoints_per_sec_fast_path\": {bp_fast:.1},\n  \"e1_speedup\": {:.3}\n}}\n",
+        point_json("/bin/spin", &spin_off),
+        point_json("/bin/spin", &spin_on),
+        point_json("/bin/watched", &watched_off),
+        point_json("/bin/watched", &watched_on),
+        bp_fast / bp_slow,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_E13.json");
+    std::fs::write(out, &json).expect("write BENCH_E13.json");
+
+    // The acceptance bar: ≥ 2× insns/sec on the hot loop. The margin is
+    // wide — the fast path skips both the mapping binary search and the
+    // decoder — so this holds under debug and release profiles alike.
+    assert!(
+        spin_speedup >= 2.0,
+        "fast path only {spin_speedup:.2}x on spin:\noff {spin_off:?}\non  {spin_on:?}"
+    );
+    assert!(
+        watched_speedup >= 2.0,
+        "fast path only {watched_speedup:.2}x on watched:\noff {watched_off:?}\non  {watched_on:?}"
+    );
+    // Breakpoints/sec must improve measurably (release runs show ~3×;
+    // 1.5× leaves room for a loaded machine and the debug profile).
+    assert!(
+        bp_fast >= bp_slow * 1.5,
+        "fast path moved breakpoints/sec only {:.0} -> {:.0}",
+        bp_slow,
+        bp_fast
+    );
 }

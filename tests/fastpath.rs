@@ -1,0 +1,213 @@
+//! The execution fast path's correctness suite: the software TLB and
+//! decoded-instruction cache must never change what the paper's
+//! debugging machinery observes.
+//!
+//! The dangerous moment is *after the caches are hot*: a breakpoint
+//! planted through a `/proc` write patches text the icache has already
+//! decoded, and a watchpoint added through `PIOCSWATCH` makes a page
+//! the dTLB has already translated require slow-path side effects. If
+//! either cache survives its invalidation event, the target sails
+//! through the trap — precisely the bug class the generation stamps
+//! exist to prevent. The counters themselves are checked through all
+//! three faces (flat ioctl, hierarchical file, remote mount).
+
+use ksim::{Cred, Pid, System};
+use procfs::{PrWatch, PrXStats};
+use tools::proc_io::ProcHandle;
+use tools::{DebugEvent, Debugger};
+use vfs::remote::RemoteFs;
+use vfs::OFlags;
+
+const REMOTE_MOUNT: &str = "/procr";
+
+fn boot() -> (System, Pid) {
+    let mut sys = tools::boot_demo();
+    sys.mount(
+        REMOTE_MOUNT,
+        Box::new(
+            RemoteFs::new(Box::new(procfs::ProcFs::new()))
+                .with_ioctl_table(procfs::ioctl::wire_table()),
+        ),
+    );
+    let ctl = sys.spawn_hosted("fastpath", Cred::superuser());
+    (sys, ctl)
+}
+
+/// Steps the target `n` times, asserting each step lands.
+fn heat(sys: &mut System, dbg: &mut Debugger, n: usize) {
+    for i in 0..n {
+        let ev = dbg.step(sys).expect("step");
+        assert!(matches!(ev, DebugEvent::Stepped), "heat step {i}: {ev:?}");
+    }
+}
+
+/// A breakpoint planted via `/proc` *after* the text is hot in the
+/// decoded-instruction cache must still fire: the write bumps the
+/// mapping's epoch, so the stale decoded slot fails validation and the
+/// freshly planted trap instruction is fetched.
+#[test]
+fn breakpoint_fires_after_hot_text_is_patched() {
+    let (mut sys, ctl) = boot();
+    let mut dbg = Debugger::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+    let pid = dbg.pid();
+    // Run the tick loop long enough that every instruction in it has a
+    // validated icache slot.
+    heat(&mut sys, &mut dbg, 48);
+    let hot = PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    assert!(hot.icache_hits > 0, "loop never hit the icache: {hot:?}");
+    assert!(hot.tlb_hits > 0, "loop never hit the TLB: {hot:?}");
+    // Plant the breakpoint in the now-cached text and continue.
+    let tick = dbg.sym("tick").expect("tick symbol");
+    dbg.set_breakpoint(&mut sys, tick).expect("set breakpoint");
+    let ev = dbg.cont(&mut sys).expect("cont");
+    match ev {
+        DebugEvent::Breakpoint { addr, .. } => assert_eq!(addr, tick),
+        other => panic!("hot text swallowed the planted breakpoint: {other:?}"),
+    }
+    // The invalidation was observable, not a lucky miss: the probe that
+    // matched on pc but failed its stamps was counted.
+    let after = PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    assert!(
+        after.icache_invalidations > hot.icache_invalidations,
+        "breakpoint plant did not invalidate any decoded slot: {after:?}"
+    );
+    dbg.kill(&mut sys).expect("kill");
+}
+
+/// Removing the breakpoint restores the original word and the loop runs
+/// on — through re-validated cache entries, not stale ones.
+#[test]
+fn cleared_breakpoint_lets_hot_loop_continue() {
+    let (mut sys, ctl) = boot();
+    let mut dbg = Debugger::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+    heat(&mut sys, &mut dbg, 24);
+    let tick = dbg.sym("tick").expect("tick symbol");
+    dbg.set_breakpoint(&mut sys, tick).expect("set breakpoint");
+    let ev = dbg.cont(&mut sys).expect("cont");
+    assert!(matches!(ev, DebugEvent::Breakpoint { .. }), "{ev:?}");
+    dbg.clear_breakpoint(&mut sys, tick).expect("clear breakpoint");
+    // With the trap gone the loop must step cleanly again — if the trap
+    // byte lingered in a cached decode, this would re-trap instead.
+    heat(&mut sys, &mut dbg, 24);
+    dbg.kill(&mut sys).expect("kill");
+}
+
+/// A watchpoint added *after* the watched page is hot in the dTLB must
+/// still fire on the next store: `PIOCSWATCH` bumps the address-space
+/// generation, flushing every translation for the page, and the
+/// watched-page screen keeps it out of the caches from then on.
+#[test]
+fn watchpoint_fires_after_hot_dtlb() {
+    let (mut sys, ctl) = boot();
+    let mut dbg = Debugger::launch(&mut sys, ctl, "/bin/watched", &["watched"]).expect("launch");
+    let pid = dbg.pid();
+    // The loop stores twice per iteration into cell's page: make those
+    // translations hot.
+    heat(&mut sys, &mut dbg, 40);
+    let hot = PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    assert!(hot.tlb_hits > 0, "store loop never hit the TLB: {hot:?}");
+    let cell = dbg.sym("cell").expect("cell symbol");
+    let mut flt = ksim::FltSet::empty();
+    flt.add(ksim::fault::Fault::Bpt.number());
+    flt.add(ksim::fault::Fault::Trace.number());
+    flt.add(ksim::fault::Fault::Watch.number());
+    dbg.h.set_flt_trace(&mut sys, flt).expect("flt trace");
+    dbg.h.set_watch(&mut sys, PrWatch { vaddr: cell, size: 8, flags: 2 }).expect("set watch");
+    let ev = dbg.cont(&mut sys).expect("cont");
+    assert!(
+        matches!(ev, DebugEvent::Watchpoint),
+        "hot dTLB swallowed the new watchpoint: {ev:?}"
+    );
+    dbg.kill(&mut sys).expect("kill");
+}
+
+/// `PIOCXSTATS` answers coherently through all three faces: the flat
+/// local ioctl, the hierarchical `xstats` file and the remote mount.
+#[test]
+fn xstats_readable_through_all_three_faces() {
+    let (mut sys, ctl) = boot();
+    let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+    sys.run_idle(2000);
+
+    // Face 1: flat ioctl.
+    let mut h = ProcHandle::open_ro(&mut sys, ctl, pid).expect("open flat");
+    let flat = h.xstats(&mut sys).expect("flat xstats");
+    h.close(&mut sys).expect("close");
+    assert_eq!(flat.enabled, 1, "{flat:?}");
+    assert!(flat.insns > 0, "{flat:?}");
+    // spin is a store-free jump loop: its fetches are absorbed by the
+    // icache (a hit skips `fetch_user` entirely), so the dTLB sees at
+    // most the one slow-path fill — the icache is what must be hot.
+    assert!(flat.icache_hits > 0, "spin loop never hit the icache: {flat:?}");
+
+    // Face 2: the hierarchical read-only file.
+    let fd = sys
+        .host_open(ctl, &format!("/proc2/{}/xstats", pid.0), OFlags::rdonly())
+        .expect("open hier");
+    let mut buf = [0u8; PrXStats::WIRE_LEN];
+    let n = sys.host_read(ctl, fd, &mut buf).expect("read hier");
+    sys.host_close(ctl, fd).expect("close hier");
+    assert_eq!(n, PrXStats::WIRE_LEN);
+    let hier = PrXStats::from_bytes(&buf).expect("decode hier");
+    assert_eq!(hier.enabled, 1);
+    // Counters are monotone and the target kept running between reads.
+    assert!(hier.insns >= flat.insns, "hier {hier:?} < flat {flat:?}");
+
+    // Face 3: the same ioctl across the remote mount.
+    let mut rh =
+        ProcHandle::open_at(&mut sys, ctl, pid, REMOTE_MOUNT, OFlags::rdonly()).expect("open remote");
+    let remote = rh.xstats(&mut sys).expect("remote xstats");
+    rh.close(&mut sys).expect("close remote");
+    assert_eq!(remote.enabled, 1);
+    assert!(remote.insns >= hier.insns, "remote {remote:?} < hier {hier:?}");
+}
+
+/// `System::set_fast_path(false)` reaches every live process: counters
+/// freeze, new work runs entirely down the slow path, and the flag is
+/// visible in the reply.
+#[test]
+fn disabled_fast_path_reports_and_counts_nothing() {
+    let (mut sys, ctl) = boot();
+    sys.set_fast_path(false);
+    let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+    sys.run_idle(1000);
+    let st = PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    assert_eq!(st.enabled, 0, "{st:?}");
+    assert_eq!((st.tlb_hits, st.tlb_misses), (0, 0), "disabled TLB still counting: {st:?}");
+    assert_eq!(
+        (st.icache_hits, st.icache_misses),
+        (0, 0),
+        "disabled icache still counting: {st:?}"
+    );
+    assert!(st.insns > 0, "target did not run: {st:?}");
+    // Re-enabling mid-flight warms the caches again.
+    sys.set_fast_path(true);
+    sys.run_idle(1000);
+    let st = PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    assert_eq!(st.enabled, 1);
+    assert!(st.icache_hits > 0, "re-enable never warmed: {st:?}");
+}
+
+/// A forked child starts with cold caches and its own generation
+/// lineage: running both parent and child after the fork keeps their
+/// counter streams separate and the child's text executes correctly
+/// (fork + COW is an invalidation event, not a shared cache).
+#[test]
+fn fork_child_runs_correctly_with_cold_caches() {
+    let (mut sys, ctl) = boot();
+    let pid = sys.spawn_program(ctl, "/bin/forker", &["forker"]).expect("spawn");
+    sys.run_idle(4000);
+    // The forker parent exits 0 only if the child ran and exited first;
+    // reaching a zombie parent with exit status 0 proves both executed.
+    let st = sys.kernel.proc(pid).map(|p| (p.zombie, p.exit_status));
+    match st {
+        Ok((true, status)) => {
+            assert_eq!(
+                ksim::ptrace::decode_status(status),
+                ksim::ptrace::WaitStatus::Exited(0),
+                "forker failed under the fast path"
+            );
+        }
+        other => panic!("forker did not finish: {other:?}"),
+    }
+}

@@ -515,6 +515,71 @@ fn e12_fault_matrix_sweep() {
     }
 }
 
+/// The execution fast path's differential oracle, fault-suite half:
+/// with the software TLB and decoded-instruction cache forced off,
+/// every seed of the kernel fault schedule must reproduce the
+/// fast-path-enabled transcript and injection counters byte for byte.
+/// The caches may only change *when* work happens, never *what*
+/// happens — including which RNG rolls the memory-pressure and fault
+/// plans consume.
+#[test]
+fn fast_path_off_is_transcript_identical_for_32_seeds() {
+    for (i, seed) in seeds().enumerate() {
+        let run = |fast: bool| {
+            let (mut sys, ctl) = boot();
+            sys.set_fast_path(fast);
+            sys.install_fault_plan(seed, rates_for(i as u64));
+            let t = drive(&mut sys, ctl);
+            (t, sys.kfault_stats())
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.0, off.0, "seed {seed:#x}: fast path changed the transcript");
+        assert_eq!(on.1, off.1, "seed {seed:#x}: fast path changed the injection counters");
+    }
+}
+
+/// Satellite 2: a targeted-death plan only kills processes a controller
+/// currently holds a writable `/proc` descriptor on. With death certain
+/// on every op, the held target dies and the bystander survives the
+/// whole session.
+#[test]
+fn targeted_death_spares_bystanders() {
+    let (mut sys, ctl) = boot();
+    let held = spawn_retry(&mut sys, ctl, "/bin/spin").expect("spawn held");
+    let bystander = spawn_retry(&mut sys, ctl, "/bin/spin").expect("spawn bystander");
+    sys.run_idle(50);
+    sys.install_targeted_fault_plan(
+        99,
+        KernelFaultRates { death: 1000, ..Default::default() },
+    );
+    // No writable descriptor is open yet: certain-death rolls are spent
+    // with no victim, and both targets live.
+    let _ = sys.host_poll_in(ctl, &[]);
+    assert!(!sys.kernel.proc(held).map(|p| p.zombie).unwrap_or(true), "held died early");
+    match ProcHandle::open_rw(&mut sys, ctl, held) {
+        Ok(mut h) => {
+            // Every subsequent op rolls certain death against the set
+            // of held targets — which is exactly {held}.
+            for _ in 0..4 {
+                match h.status(&mut sys) {
+                    Ok(_) => {}
+                    Err(e) => assert!(clean_errno(e), "status failed dirty: {e}"),
+                }
+            }
+            let _ = h.close(&mut sys);
+        }
+        Err(e) => assert!(clean_errno(e), "open failed dirty: {e}"),
+    }
+    sys.run_idle(100);
+    let held_gone = sys.kernel.proc(held).map(|p| p.zombie).unwrap_or(true);
+    let bystander_alive = sys.kernel.proc(bystander).map(|p| !p.zombie).unwrap_or(false);
+    assert!(held_gone, "certain targeted death never killed the held target");
+    assert!(bystander_alive, "targeted death killed a bystander");
+    assert!(sys.kfault_stats().deaths > 0, "no deaths counted");
+    release(&mut sys, ctl, bystander);
+}
+
 /// Fault-free runs through `scoped` also release on the way out (the
 /// non-panic half of the guard).
 #[test]

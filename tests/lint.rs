@@ -1,7 +1,9 @@
 //! Keeps the panic-free promises honest inside plain `cargo test`: the
 //! remote `/proc` wire layer promises never to panic on damaged input,
-//! and the controllers (PR 4) promise never to panic on a dying,
-//! starved or racing target. Both are held to `clippy -D warnings`
+//! the controllers (PR 4) promise never to panic on a dying, starved
+//! or racing target, and the execution fast path (PR 5) runs under
+//! every guest instruction where a stray unwrap would take the whole
+//! simulated machine down. All are held to `clippy -D warnings`
 //! (their sources additionally carry
 //! `#![deny(clippy::unwrap_used, clippy::expect_used)]`). Skips cleanly
 //! when the toolchain has no clippy component.
@@ -52,4 +54,14 @@ fn wire_layer_is_clippy_clean() {
 #[test]
 fn controllers_are_clippy_clean() {
     clippy_clean("procsim-tools");
+}
+
+#[test]
+fn address_translation_is_clippy_clean() {
+    clippy_clean("procsim-vm");
+}
+
+#[test]
+fn fetch_decode_is_clippy_clean() {
+    clippy_clean("procsim-isa");
 }

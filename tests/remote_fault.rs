@@ -197,6 +197,35 @@ fn fault_oracle_holds_for_32_seeds() {
     }
 }
 
+/// The execution fast path's differential oracle, wire-suite half:
+/// forcing the software TLB and decoded-instruction cache off must
+/// reproduce every seed's transcript, ack/timeout counts and wire
+/// counters bit for bit — the caches must not change what any guest
+/// instruction or wire frame does, only how fast it happens.
+#[test]
+fn fast_path_off_is_transcript_identical_for_32_seeds() {
+    for i in 0..32u64 {
+        let seed = 0xA11C_E000 + i;
+        let rates = FaultRates::uniform(20 + (i as u16) * 5);
+        let run = |fast: bool| {
+            let (mut sys, ctl, targets) = boot_pair(seed, rates);
+            sys.set_fast_path(fast);
+            let (transcript, ok, to) = drive_workload(&mut sys, ctl, &targets, seed, 20);
+            let stats = wire_stats(&mut sys, ctl, &format!("/proc2f/{}/status", targets[0].0));
+            (transcript, ok, to, stats)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.0, off.0, "seed {seed:#x}: fast path changed the transcript");
+        assert_eq!(
+            (on.1, on.2),
+            (off.1, off.2),
+            "seed {seed:#x}: fast path changed ack/timeout counts"
+        );
+        assert_eq!(on.3, off.3, "seed {seed:#x}: fast path changed the wire counters");
+    }
+}
+
 /// Replaying the same seed reproduces the same per-operation outcomes
 /// *and* the same wire counters, bit for bit.
 #[test]
