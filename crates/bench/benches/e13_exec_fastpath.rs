@@ -1,24 +1,36 @@
 //! E13 — the execution fast path: a direct-mapped software TLB in
-//! front of the address-space mapping search plus a per-LWP
-//! decoded-instruction cache in front of fetch + decode.
+//! front of the address-space mapping search, a per-LWP
+//! decoded-instruction cache in front of fetch + decode, and a
+//! superblock engine that retires straight-line traces in a single
+//! dispatch from the scheduler loop.
 //!
 //! The paper's premise is that `/proc` makes debugging cheap because
 //! the kernel already holds everything a debugger needs; this harness
 //! extends that premise to the simulated CPU itself — the dominant cost
 //! of every experiment above is retiring guest instructions, so E13
-//! tracks how fast the hot loop runs with the caches on vs. off, and
-//! what the hit rates are.
+//! tracks how fast the hot loop runs with the engine on vs. off, what
+//! the hit rates are, and how much of the stream retires inside
+//! superblocks. The dense-breakpoint table at the bottom isolates the
+//! per-page text epochs: a debugger hammering clear-step-replant
+//! cycles into one page must not invalidate blocks on the other pages
+//! of the mapping (`coarse` is the PR 5 whole-mapping behaviour, kept
+//! behind a knob for exactly this comparison).
 //!
 //! Expected shape: ≥ 2× insns/sec on the hot loop (the smoke gate in
 //! `tests/bench_smoke.rs` enforces exactly that and drops
-//! `BENCH_E13.json` at the repo root); hit rates within a whisker of
-//! 1.0 once the loop is warm.
+//! `BENCH_E13.json` at the repo root); hit rates and superblock
+//! coverage within a whisker of 1.0 once the loop is warm; the paged
+//! leg of the dense-breakpoint table beating coarse on both rebuild
+//! count and hits/sec.
 
-use bench_support::{banner, boot_with_ctl, fast_path_pair};
+use bench_support::{banner, boot_with_ctl, dense_breakpoint_pair, fast_path_pair};
 use bench_support::{criterion_group, Criterion};
 
 fn print_rates() {
-    banner("E13", "execution fast path: software TLB + decoded-instruction cache");
+    banner(
+        "E13",
+        "execution fast path: software TLB + decoded-instruction cache + superblocks",
+    );
     const TICKS: u64 = 4000;
     for program in ["/bin/spin", "/bin/watched"] {
         let (off, on) = fast_path_pair(program, TICKS, 3);
@@ -38,7 +50,31 @@ fn print_rates() {
             on.icache_hits + on.icache_misses,
             on.icache_hit_rate(),
         );
+        println!(
+            "{:14} sblocks built {}  dispatched {}  stale {}  coverage {:.4}",
+            "",
+            on.sblock_built,
+            on.sblock_dispatched,
+            on.sblock_stale,
+            on.sblock_coverage(),
+        );
     }
+    let (coarse, paged) = dense_breakpoint_pair(24, 3);
+    println!("dense breakpoints (4-page loop, plant/replant into one page):");
+    for p in [&coarse, &paged] {
+        println!(
+            "  {:18} {:>8.1} hits/s   built {:>5}  stale {:>5}  epoch bumps {:>4}",
+            if p.coarse { "coarse (PR 5)" } else { "per-page epochs" },
+            p.hits_per_sec,
+            p.sblock_built,
+            p.sblock_stale,
+            p.page_epoch_bumps,
+        );
+    }
+    println!(
+        "  per-page epochs vs coarse: {:.2}x hits/s",
+        paged.hits_per_sec / coarse.hits_per_sec
+    );
 }
 
 /// Times one scheduler slice of each workload under both legs; the

@@ -355,6 +355,14 @@ pub struct FastPathPoint {
     pub icache_hits: u64,
     /// Decoded-instruction cache misses (fetch + decode taken).
     pub icache_misses: u64,
+    /// Superblocks traced and installed.
+    pub sblock_built: u64,
+    /// Superblock dispatches.
+    pub sblock_dispatched: u64,
+    /// Instructions retired inside superblock dispatches.
+    pub sblock_insns: u64,
+    /// Superblock probes that failed stamp validation.
+    pub sblock_stale: u64,
 }
 
 impl FastPathPoint {
@@ -366,6 +374,16 @@ impl FastPathPoint {
     /// icache hit rate in `[0, 1]`; zero when no probes happened.
     pub fn icache_hit_rate(&self) -> f64 {
         rate(self.icache_hits, self.icache_misses)
+    }
+
+    /// Fraction of retired instructions executed inside superblock
+    /// dispatches, in `[0, 1]`; zero when nothing retired.
+    pub fn sblock_coverage(&self) -> f64 {
+        if self.insns == 0 {
+            0.0
+        } else {
+            self.sblock_insns as f64 / self.insns as f64
+        }
     }
 }
 
@@ -403,6 +421,10 @@ pub fn fast_path_point(program: &str, fast: bool, ticks: u64) -> FastPathPoint {
         tlb_misses: st.tlb_misses,
         icache_hits: st.icache_hits,
         icache_misses: st.icache_misses,
+        sblock_built: st.sblock_built,
+        sblock_dispatched: st.sblock_dispatched,
+        sblock_insns: st.sblock_insns,
+        sblock_stale: st.sblock_stale,
     }
 }
 
@@ -455,6 +477,104 @@ pub fn breakpoint_rate_pair(hits: u64, reps: usize) -> (f64, f64) {
             .fold(0.0f64, f64::max)
     };
     (best(false), best(true))
+}
+
+/// Instructions per page of text (fixed 8-byte encoding).
+const INSNS_PER_PAGE: usize = 4096 / 8;
+
+/// Source of the dense-breakpoint workload: `/bin/cruncher`'s shape
+/// (hot compute, `call tick`, repeat) stretched so the compute body is
+/// several pages of straight-line code and `tick` sits alone on its own
+/// page. Every breakpoint fielding writes into `tick`'s page twice
+/// (clear + replant); with per-page text epochs the body's superblocks
+/// survive those writes, with whole-mapping epochs they all die and
+/// rebuild each fielding.
+fn dense_workload_src(body_insns: usize) -> String {
+    let mut src = String::from("_start:\n    movi a0, 0\nouter:\n");
+    for _ in 0..body_insns {
+        src.push_str("    addi a0, a0, 1\n");
+    }
+    src.push_str("    call tick\n    jmp  outer\n");
+    // Pad so `tick` starts exactly on the next page boundary. Insns so
+    // far: movi + body + call + jmp.
+    let used = 1 + body_insns + 2;
+    let pad = (INSNS_PER_PAGE - used % INSNS_PER_PAGE) % INSNS_PER_PAGE;
+    for _ in 0..pad {
+        src.push_str("    nop\n");
+    }
+    src.push_str("tick:\n    addi a1, a1, 1\n    ret\n");
+    src
+}
+
+/// One leg of the dense-breakpoint comparison (E1's metric under E13's
+/// engine): wall-clock breakpoints/sec on the multi-page workload, with
+/// text-epoch invalidation either per-page (the shipped policy) or
+/// coarse whole-mapping (the PR 5 behaviour, kept behind a knob for
+/// exactly this measurement).
+#[derive(Clone, Copy, Debug)]
+pub struct DenseBpPoint {
+    /// Whether whole-mapping (coarse) invalidation was forced.
+    pub coarse: bool,
+    /// Fielded breakpoints per wall-clock second.
+    pub hits_per_sec: f64,
+    /// Superblocks rebuilt during the timed fieldings.
+    pub sblock_built: u64,
+    /// Superblock probes killed by stamp validation.
+    pub sblock_stale: u64,
+    /// Per-page text-epoch bumps observed.
+    pub page_epoch_bumps: u64,
+}
+
+/// Measures one dense-breakpoint leg: `hits` fieldings of a breakpoint
+/// on `tick`, fast path on, with `coarse` selecting the invalidation
+/// granularity. The compute body is ~4 pages of straight-line code, so
+/// a coarse leg re-traces every body superblock after each fielding's
+/// clear/replant writes while the per-page leg keeps them warm.
+pub fn dense_breakpoint_point(coarse: bool, hits: u64) -> DenseBpPoint {
+    let (mut sys, ctl) = boot_with_ctl();
+    sys.set_fast_path(true);
+    sys.install_program("/bin/dense", &dense_workload_src(4 * INSNS_PER_PAGE));
+    let mut dbg = tools::Debugger::launch(&mut sys, ctl, "/bin/dense", &["dense"])
+        .expect("launch dense workload");
+    sys.set_coarse_epochs(coarse);
+    let tick = dbg.sym("tick").expect("tick symbol");
+    dbg.set_breakpoint(&mut sys, tick).expect("set breakpoint");
+    let pid = dbg.pid();
+    let field = |sys: &mut System, dbg: &mut tools::Debugger| {
+        match dbg.cont(sys).expect("cont") {
+            tools::DebugEvent::Breakpoint { addr, .. } => assert_eq!(addr, tick),
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    field(&mut sys, &mut dbg);
+    let before = procfs::PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    let start = Instant::now();
+    for _ in 0..hits {
+        field(&mut sys, &mut dbg);
+    }
+    let wall_ns = start.elapsed().as_nanos().max(1);
+    let after = procfs::PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    DenseBpPoint {
+        coarse,
+        hits_per_sec: hits as f64 * 1e9 / wall_ns as f64,
+        sblock_built: after.sblock_built - before.sblock_built,
+        sblock_stale: after.sblock_stale - before.sblock_stale,
+        page_epoch_bumps: after.page_epoch_bumps - before.page_epoch_bumps,
+    }
+}
+
+/// Both granularities of the dense-breakpoint comparison, best-of-`reps`
+/// wall rate each; counters come from the best rep.
+pub fn dense_breakpoint_pair(hits: u64, reps: usize) -> (DenseBpPoint, DenseBpPoint) {
+    let best = |coarse: bool| {
+        (0..reps.max(1))
+            .map(|_| dense_breakpoint_point(coarse, hits))
+            .max_by(|a, b| {
+                a.hits_per_sec.partial_cmp(&b.hits_per_sec).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one rep")
+    };
+    (best(true), best(false))
 }
 
 /// Declares the bench entry function, criterion-style:

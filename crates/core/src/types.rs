@@ -736,8 +736,9 @@ impl PrCacheStats {
 
 /// Execution fast-path counters (`prxstats`) — read through `PIOCXSTATS`
 /// or the hierarchical `xstats` file; the observability half of the
-/// per-LWP software TLB and decoded-instruction cache. Instruction-cache
-/// counters are summed over the process's current LWPs.
+/// per-LWP software TLB, decoded-instruction cache and superblock
+/// engine. Instruction-cache and superblock counters are summed over the
+/// process's current LWPs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PrXStats {
     /// 1 if the fast path is enabled for this address space, else 0.
@@ -756,11 +757,32 @@ pub struct PrXStats {
     pub icache_invalidations: u64,
     /// Instructions retired by this process (all LWPs).
     pub insns: u64,
+    /// TLB hits served straight from a cached resolved frame.
+    pub tlb_frame_hits: u64,
+    /// Per-page text-epoch bumps (each invalidates one page's decoded
+    /// instructions and superblocks, not the whole mapping's).
+    pub page_epoch_bumps: u64,
+    /// Superblocks traced and installed.
+    pub sblock_built: u64,
+    /// Superblock dispatches.
+    pub sblock_dispatched: u64,
+    /// Instructions retired inside superblock dispatches.
+    pub sblock_insns: u64,
+    /// Dispatches that ran the whole trace.
+    pub sblock_exit_end: u64,
+    /// Dispatches that side-exited on an untaken prediction.
+    pub sblock_exit_side: u64,
+    /// Dispatches ended by a trapping instruction.
+    pub sblock_exit_trap: u64,
+    /// Dispatches cut short by the quantum budget.
+    pub sblock_exit_budget: u64,
+    /// Superblock probes that failed stamp validation.
+    pub sblock_stale: u64,
 }
 
 impl PrXStats {
-    /// Encoded length: eight little-endian `u64` counters.
-    pub const WIRE_LEN: usize = 64;
+    /// Encoded length: eighteen little-endian `u64` counters.
+    pub const WIRE_LEN: usize = 144;
 
     /// Serialises in field order.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -774,6 +796,16 @@ impl PrXStats {
             self.icache_misses,
             self.icache_invalidations,
             self.insns,
+            self.tlb_frame_hits,
+            self.page_epoch_bumps,
+            self.sblock_built,
+            self.sblock_dispatched,
+            self.sblock_insns,
+            self.sblock_exit_end,
+            self.sblock_exit_side,
+            self.sblock_exit_trap,
+            self.sblock_exit_budget,
+            self.sblock_stale,
         ] {
             b.extend_from_slice(&v.to_le_bytes());
         }
@@ -795,6 +827,16 @@ impl PrXStats {
             icache_misses: u64_at(40),
             icache_invalidations: u64_at(48),
             insns: u64_at(56),
+            tlb_frame_hits: u64_at(64),
+            page_epoch_bumps: u64_at(72),
+            sblock_built: u64_at(80),
+            sblock_dispatched: u64_at(88),
+            sblock_insns: u64_at(96),
+            sblock_exit_end: u64_at(104),
+            sblock_exit_side: u64_at(112),
+            sblock_exit_trap: u64_at(120),
+            sblock_exit_budget: u64_at(128),
+            sblock_stale: u64_at(136),
         })
     }
 
@@ -807,6 +849,8 @@ impl PrXStats {
             tlb_hits: tlb.hits,
             tlb_misses: tlb.misses,
             tlb_invalidations: tlb.invalidations,
+            tlb_frame_hits: tlb.frame_hits,
+            page_epoch_bumps: proc.aspace.page_epoch_bumps(),
             ..PrXStats::default()
         };
         for lwp in &proc.lwps {
@@ -815,6 +859,15 @@ impl PrXStats {
             st.icache_misses += ic.misses;
             st.icache_invalidations += ic.invalidations;
             st.insns += lwp.insns;
+            let sb = lwp.sblocks.stats();
+            st.sblock_built += sb.built;
+            st.sblock_dispatched += sb.dispatched;
+            st.sblock_insns += sb.insns;
+            st.sblock_exit_end += sb.exit_end;
+            st.sblock_exit_side += sb.exit_side;
+            st.sblock_exit_trap += sb.exit_trap;
+            st.sblock_exit_budget += sb.exit_budget;
+            st.sblock_stale += sb.stale;
         }
         Ok(st)
     }

@@ -23,6 +23,7 @@
 
 use crate::insn::{Insn, Opcode, INSN_LEN};
 use crate::reg::{FpregSet, GregSet, PSR_TRACE, REG_RA};
+use crate::sblock::{BlockSlot, SBLOCK_CAP};
 
 /// The kind of memory access being attempted, carried in fault reports so
 /// the kernel can classify the machine fault.
@@ -83,6 +84,32 @@ pub trait Bus {
         self.fetch(addr, &mut raw)?;
         Ok(Insn::decode(&raw))
     }
+    /// Fetches a validated superblock rooted at `pc` into `out`,
+    /// returning the number of slots filled. Zero means "no block" and
+    /// the CPU falls back to [`Bus::fetch_insn`] for one instruction.
+    /// The default implementation never produces a block; bus
+    /// implementations with a superblock cache override this.
+    fn fetch_block(&mut self, _pc: u64, _out: &mut [BlockSlot; SBLOCK_CAP]) -> usize {
+        0
+    }
+    /// Reports the outcome of executing a block previously returned by
+    /// [`Bus::fetch_block`]: the exit reason and how many of its
+    /// instructions retired.
+    fn note_block_exit(&mut self, _exit: BlockExit, _retired: u64) {}
+}
+
+/// Why a superblock dispatch stopped; reported through
+/// [`Bus::note_block_exit`] for the per-LWP statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockExit {
+    /// Every instruction in the block executed.
+    End,
+    /// Control flow left the traced path (pc mismatch before a slot).
+    Side,
+    /// An instruction trapped (syscall, breakpoint, fault, ...).
+    Trap,
+    /// The quantum budget ran out mid-block.
+    Budget,
 }
 
 /// What stopped the CPU. Variants map one-to-one onto kernel entry
@@ -136,6 +163,16 @@ impl Cpu {
     /// Executes instructions until a trap or until `budget` instructions
     /// have retired. Returns the number retired in this call and the exit
     /// condition.
+    ///
+    /// When the bus serves superblocks ([`Bus::fetch_block`]), whole
+    /// validated traces execute without per-instruction fetches. The
+    /// retirement stream is identical to the stepped path: every slot's
+    /// pc is checked against the live pc before executing (a mismatch
+    /// side-exits and re-dispatches), the budget is enforced per
+    /// instruction, and the trapping-instruction accounting (syscalls
+    /// retire, faults do not) matches [`Cpu::step`]. Single-stepping
+    /// (trace bit) bypasses blocks entirely so the one-instruction trap
+    /// contract holds.
     pub fn run(
         &mut self,
         g: &mut GregSet,
@@ -144,7 +181,48 @@ impl Cpu {
         budget: u64,
     ) -> (u64, RunExit) {
         let mut done = 0;
+        let mut blk: [BlockSlot; SBLOCK_CAP] = [BlockSlot::default(); SBLOCK_CAP];
         while done < budget {
+            if g.psr & PSR_TRACE == 0 {
+                let n = bus.fetch_block(g.pc, &mut blk);
+                if n > 0 {
+                    let mut in_block = 0u64;
+                    let mut exited = false;
+                    for slot in blk.iter().take(n) {
+                        if done >= budget {
+                            bus.note_block_exit(BlockExit::Budget, in_block);
+                            exited = true;
+                            break;
+                        }
+                        if slot.pc != g.pc {
+                            // The trace predicted a branch the machine
+                            // did not take.
+                            bus.note_block_exit(BlockExit::Side, in_block);
+                            exited = true;
+                            break;
+                        }
+                        match self.exec(slot.insn, slot.pc, g, f, bus) {
+                            Exec::Trap(ev) => {
+                                if matches!(ev, StepEvent::Syscall) {
+                                    done += 1;
+                                    in_block += 1;
+                                }
+                                bus.note_block_exit(BlockExit::Trap, in_block);
+                                self.retired += done;
+                                return (done, RunExit::Event(ev));
+                            }
+                            Exec::Done => {
+                                done += 1;
+                                in_block += 1;
+                            }
+                        }
+                    }
+                    if !exited {
+                        bus.note_block_exit(BlockExit::End, in_block);
+                    }
+                    continue;
+                }
+            }
             match self.step(g, f, bus) {
                 None => done += 1,
                 Some(ev) => {

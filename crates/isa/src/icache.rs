@@ -8,9 +8,10 @@
 //!
 //! * the address-space generation (`as_gen`) — any structural change
 //!   (map/unmap/protect/growth/exec/watchpoint add-remove) moves it;
-//! * the backing mapping's content epoch — any write landing in that
-//!   mapping (user stores, `/proc` breakpoint plants, COW
-//!   materialisation) moves it;
+//! * the content epoch of the backing *page* — any write landing in
+//!   that page (user stores, `/proc` breakpoint plants, COW
+//!   materialisation) moves it, while writes to other pages of the
+//!   same mapping leave it alone;
 //! * the object store's content generation — shared-object writes from
 //!   *other* processes move it.
 //!
@@ -38,7 +39,7 @@ pub struct InsnSlot {
     /// Index of the backing mapping at fill time (meaningful only while
     /// `as_gen` is current).
     pub map_idx: u32,
-    /// Content epoch of that mapping at fill time.
+    /// Content epoch of the instruction's page at fill time.
     pub epoch: u64,
     /// Object-store content generation at fill time.
     pub content_gen: u64,

@@ -140,7 +140,7 @@ impl Aout {
             return Err(Errno::ENOEXEC);
         }
         let get_u64 = |pos: &mut usize| -> SysResult<u64> {
-            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().expect("8 bytes")))
+            Ok(crate::bytes::le_u64(take(pos, 8)?))
         };
         let entry = get_u64(&mut pos)?;
         let text_base = get_u64(&mut pos)?;
@@ -189,6 +189,7 @@ pub fn build_lib(src: &str, slot: usize) -> Result<Aout, isa::AsmError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

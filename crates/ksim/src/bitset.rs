@@ -120,7 +120,7 @@ impl<const W: usize> BitSet<W> {
         }
         let mut s = Self::default();
         for (i, chunk) in b.chunks_exact(8).take(W).enumerate() {
-            s.words[i] = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            s.words[i] = crate::bytes::le_u64(chunk);
         }
         s.words[0] &= !1;
         Some(s)
@@ -143,6 +143,7 @@ impl<const W: usize> std::fmt::Debug for BitSet<W> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

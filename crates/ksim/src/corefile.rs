@@ -84,10 +84,10 @@ impl Core {
             return Err(Errno::EINVAL);
         }
         let u32_at = |pos: &mut usize| -> SysResult<u32> {
-            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().expect("4 bytes")))
+            Ok(crate::bytes::le_u32(take(pos, 4)?))
         };
         let u64_at = |pos: &mut usize| -> SysResult<u64> {
-            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().expect("8 bytes")))
+            Ok(crate::bytes::le_u64(take(pos, 8)?))
         };
         let pid = u32_at(&mut pos)?;
         let sig = u32_at(&mut pos)?;
@@ -119,7 +119,7 @@ impl Core {
     pub fn stack_word(&self, addr: u64) -> Option<u64> {
         let off = addr.checked_sub(self.stack_base)? as usize;
         let bytes = self.stack.get(off..off + 8)?;
-        Some(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        Some(crate::bytes::le_u64(bytes))
     }
 }
 
@@ -198,6 +198,7 @@ impl crate::system::System {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -118,6 +118,7 @@ impl std::fmt::Display for Fault {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -234,6 +234,7 @@ impl KernelFaultPlan {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -25,9 +25,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The kernel runs under every guest instruction — the scheduler loop,
+// the syscall layer and the execution engine's bus all sit below the
+// fast path. Fallible cases surface typed results (`Errno`,
+// `AccessDenied`, `Option`), never a panic; invariant violations use an
+// explicit `panic!`/`unreachable!` with a message naming the broken
+// invariant. Test modules opt back in with a local `allow`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod aout;
 pub mod bitset;
+mod bytes;
 pub mod corefile;
 pub mod event;
 pub mod fault;

@@ -194,6 +194,13 @@ pub struct Lwp {
     /// generation, the backing mapping's content epoch and the object
     /// store's content generation.
     pub icache: isa::InsnCache,
+    /// Per-LWP superblock cache: traced straight-line runs the CPU
+    /// executes in one dispatch. Same lifecycle as the icache — every
+    /// LWP construction path goes through [`Lwp::new`], so children
+    /// start cold; blocks validate against the address-space
+    /// generation, their text page's content epoch and the object
+    /// store's content generation before every dispatch.
+    pub sblocks: isa::SBlockCache,
     /// Per-LWP generation stamp, bumped whenever this LWP's externally
     /// visible state changes. LWP-scoped `/proc` images (`lwp/<tid>/
     /// status`, `gregs`) are cached against this stamp instead of the
@@ -224,6 +231,7 @@ impl Lwp {
             sleep_interrupted: false,
             insns: 0,
             icache: isa::InsnCache::new(),
+            sblocks: isa::SBlockCache::new(),
             lwp_gen: 0,
         }
     }
@@ -465,6 +473,7 @@ impl Proc {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -245,6 +245,7 @@ pub fn decode_status(status: u16) -> WaitStatus {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -248,9 +248,12 @@ impl Kernel {
                 // to the handler; the return address is the kernel
                 // sigreturn trampoline.
                 let Kernel { procs, objects, log, .. } = self;
-                let proc = procs.get_mut(&pid.0).expect("checked above");
-                let lwp_idx =
-                    proc.lwps.iter().position(|l| l.tid == tid).expect("checked above");
+                let Some(proc) = procs.get_mut(&pid.0) else {
+                    unreachable!("pid validated at entry")
+                };
+                let Some(lwp_idx) = proc.lwps.iter().position(|l| l.tid == tid) else {
+                    unreachable!("tid validated at entry")
+                };
                 let (pc, psr, held, sp) = {
                     let l = &proc.lwps[lwp_idx];
                     (l.gregs.pc, l.gregs.psr, l.held, l.gregs.sp())
@@ -320,9 +323,12 @@ impl Kernel {
             return false;
         }
         let l = &mut proc.lwps[lwp_idx];
-        l.gregs.pc = u64::from_le_bytes(frame[0..8].try_into().expect("8 bytes"));
-        l.gregs.psr = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
-        l.held = SigSet::from_bytes(&frame[16..32]).expect("16 bytes");
+        l.gregs.pc = crate::bytes::le_u64(&frame[0..8]);
+        l.gregs.psr = crate::bytes::le_u64(&frame[8..16]);
+        let Some(held) = SigSet::from_bytes(&frame[16..32]) else {
+            return false;
+        };
+        l.held = held;
         l.gregs.set_sp(sp + SIGFRAME_LEN);
         proc.touch();
         true
@@ -342,6 +348,7 @@ impl Kernel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::proc::LwpState;

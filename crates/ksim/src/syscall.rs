@@ -251,7 +251,9 @@ impl System {
                     .map(|at| at.saturating_sub(self.kernel.clock) / HZ)
                     .unwrap_or(0);
                 let clock = self.kernel.clock;
-                let proc = self.kernel.proc_mut(pid).expect("checked");
+                let Ok(proc) = self.kernel.proc_mut(pid) else {
+                    return done(Err(Errno::ESRCH));
+                };
                 proc.alarm_at = if args[0] == 0 { None } else { Some(clock + args[0] * HZ) };
                 done(Ok(remaining))
             }
@@ -294,7 +296,10 @@ impl System {
                     SigSet::empty()
                 } else {
                     match self.copyin(pid, args[2], SigSet::WIRE_LEN) {
-                        Ok(b) => SigSet::from_bytes(&b).expect("length checked"),
+                        Ok(b) => match SigSet::from_bytes(&b) {
+                            Some(s) => s,
+                            None => return done(Err(Errno::EINVAL)),
+                        },
                         Err(e) => return done(Err(e)),
                     }
                 };
@@ -320,7 +325,10 @@ impl System {
                     None
                 } else {
                     match self.copyin(pid, args[1], SigSet::WIRE_LEN) {
-                        Ok(b) => Some(SigSet::from_bytes(&b).expect("length checked")),
+                        Ok(b) => match SigSet::from_bytes(&b) {
+                            Some(s) => Some(s),
+                            None => return done(Err(Errno::EINVAL)),
+                        },
                         Err(e) => return done(Err(e)),
                     }
                 };
@@ -356,7 +364,10 @@ impl System {
                 // args: mask ptr. Replace the mask and sleep until a
                 // signal; the old mask is restored when the call finishes.
                 let mask = match self.copyin(pid, args[0], SigSet::WIRE_LEN) {
-                    Ok(b) => SigSet::from_bytes(&b).expect("length checked"),
+                    Ok(b) => match SigSet::from_bytes(&b) {
+                        Some(s) => s,
+                        None => return done(Err(Errno::EINVAL)),
+                    },
                     Err(e) => return done(Err(e)),
                 };
                 let Ok(proc) = self.kernel.proc_mut(pid) else {
@@ -513,7 +524,7 @@ impl System {
         let mut argv = Vec::new();
         for i in 0..MAX_ARGS as u64 {
             let p = self.copyin(pid, addr + i * 8, 8)?;
-            let ptr = u64::from_le_bytes(p.try_into().expect("8 bytes"));
+            let ptr = crate::bytes::le_u64(&p);
             if ptr == 0 {
                 return Ok(argv);
             }
@@ -670,8 +681,8 @@ impl System {
         let mut out = raw.clone();
         let mut ready = 0u64;
         for i in 0..n {
-            let fd = u64::from_le_bytes(raw[i * 12..i * 12 + 8].try_into().expect("8")) as usize;
-            let events = u16::from_le_bytes(raw[i * 12 + 8..i * 12 + 10].try_into().expect("2"));
+            let fd = crate::bytes::le_u64(&raw[i * 12..i * 12 + 8]) as usize;
+            let events = crate::bytes::le_u16(&raw[i * 12 + 8..i * 12 + 10]);
             let st = match self.poll_fd(pid, fd) {
                 Ok(s) => s,
                 Err(_) => {

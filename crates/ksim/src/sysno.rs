@@ -173,6 +173,7 @@ pub fn sys_name(nr: u16) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

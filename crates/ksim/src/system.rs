@@ -126,7 +126,10 @@ impl System {
 
     /// Assembles `src` and installs it at `path` (mode 0755).
     pub fn install_program(&mut self, path: &str, src: &str) {
-        let aout = aout::build_aout(src).expect("program assembles");
+        let aout = match aout::build_aout(src) {
+            Ok(a) => a,
+            Err(e) => panic!("program {path} does not assemble: {e:?}"),
+        };
         self.install_aout(path, &aout, 0o755);
     }
 
@@ -317,8 +320,8 @@ impl System {
         if lwp.single_step {
             lwp.gregs.psr |= PSR_TRACE;
         }
-        let crate::proc::Lwp { gregs, fpregs, icache, insns, .. } = lwp;
-        let mut bus = ProcBus { asp: aspace, objs: objects, icache };
+        let crate::proc::Lwp { gregs, fpregs, icache, sblocks, insns, .. } = lwp;
+        let mut bus = ProcBus { asp: aspace, objs: objects, icache, sblocks };
         let (n, exit) = cpu.run(gregs, fpregs, &mut bus, quantum);
         *cpu_time += n;
         *insns += n;
@@ -417,7 +420,7 @@ impl System {
             return;
         }
         let sig = fault.default_signal();
-        let proc = self.kernel.proc_mut(pid).expect("checked above");
+        let Ok(proc) = self.kernel.proc_mut(pid) else { return };
         let ignored = proc.actions.is_ignored(sig);
         let held = proc.lwp(tid).map(|l| l.held.has(sig)).unwrap_or(false);
         if (ignored || held) && !proc.trace.sig_trace.has(sig) {
@@ -667,7 +670,9 @@ impl System {
             let _ = self.close_fd(pid, fd);
         }
         let Kernel { procs, objects, .. } = &mut self.kernel;
-        let proc = procs.get_mut(&pid.0).expect("live above");
+        let Some(proc) = procs.get_mut(&pid.0) else {
+            unreachable!("pid {pid:?} validated live above")
+        };
         proc.aspace.clear(objects);
         for lwp in &mut proc.lwps {
             lwp.state = LwpState::Zombie;
@@ -924,7 +929,9 @@ impl System {
         }
         // Point of no return: tear down the old image.
         proc.aspace.clear(objects);
-        let img = images.get(&(fsid, node.0)).expect("cached above");
+        let Some(img) = images.get(&(fsid, node.0)) else {
+            unreachable!("exec image cached above")
+        };
         let _ = &img.aout;
         let page_up = |v: u64| v.div_ceil(PAGE_SIZE) * PAGE_SIZE;
         let map_image = |aspace: &mut vm::AddressSpace,
@@ -966,7 +973,9 @@ impl System {
         };
         map_image(&mut proc.aspace, objects, img, vm::SegName::Text, vm::SegName::Data)?;
         // bss + break after data (or text when there is no data).
-        let img = images.get(&(fsid, node.0)).expect("cached above");
+        let Some(img) = images.get(&(fsid, node.0)) else {
+            unreachable!("exec image cached above")
+        };
         let aout_entry = img.aout.entry;
         let data_end = if img.aout.data.is_empty() {
             img.aout.text_base + page_up(img.aout.text.len() as u64)
@@ -1001,7 +1010,9 @@ impl System {
             .map_err(|_| Errno::ENOMEM)?;
         // Libraries.
         for (lfs, lnode, name) in &lib_keys {
-            let limg = images.get(&(*lfs, *lnode)).expect("lib cached above");
+            let Some(limg) = images.get(&(*lfs, *lnode)) else {
+                unreachable!("library image cached above")
+            };
             map_image(
                 &mut proc.aspace,
                 objects,
@@ -1251,7 +1262,8 @@ impl System {
                 }
                 let n = buf.len().min(pipe.buf.len());
                 for b in buf.iter_mut().take(n) {
-                    *b = pipe.buf.pop_front().expect("checked non-empty");
+                    let Some(byte) = pipe.buf.pop_front() else { break };
+                    *b = byte;
                 }
                 self.kernel.wake_channel(WaitChannel::PipeW(p));
                 self.kernel.wake_pollers();
@@ -1464,6 +1476,17 @@ impl System {
         self.kernel.fast_path = on;
         for p in self.kernel.procs.values_mut() {
             p.aspace.set_fast_path(on);
+        }
+    }
+
+    /// Bench-only: emulates the pre-superblock whole-mapping
+    /// invalidation policy in every current process (a write into a
+    /// mapping bumps all of its page epochs instead of just the touched
+    /// page's). The dense-breakpoint benchmark flips this to measure
+    /// per-page epochs against the policy they replaced.
+    pub fn set_coarse_epochs(&mut self, on: bool) {
+        for p in self.kernel.procs.values_mut() {
+            p.aspace.set_coarse_epochs(on);
         }
     }
 
@@ -1721,6 +1744,7 @@ struct ProcBus<'a> {
     asp: &'a mut vm::AddressSpace,
     objs: &'a mut vm::ObjectStore,
     icache: &'a mut isa::InsnCache,
+    sblocks: &'a mut isa::SBlockCache,
 }
 
 impl ProcBus<'_> {
@@ -1739,6 +1763,109 @@ impl ProcBus<'_> {
     fn try_grow(&mut self, d: &vm::AccessDenied) -> bool {
         matches!(d, vm::AccessDenied::Unmapped { addr } if self.asp.as_fault(self.objs, *addr))
     }
+
+    /// Decodes the instruction at `pc` for the block builder. Probes the
+    /// icache first (with the usual hit/stale/miss accounting), then
+    /// falls back to a `kernel_read` of the bytes. Building must be free
+    /// of user-visible side effects — a predicted-but-never-executed pc
+    /// must not grow the stack or consume watchpoint state — so this
+    /// never goes through `Bus::fetch`. Block-eligible pages
+    /// (`sblock_slot`) are mapped, unwatched text, so for reachable pcs
+    /// the read cannot fail; any failure simply ends the trace.
+    fn decode_for_block(&mut self, pc: u64) -> Option<isa::Insn> {
+        if let Some(s) = self.icache.probe(pc) {
+            if s.as_gen == self.asp.generation()
+                && self.asp.page_epoch_at(s.map_idx as usize, pc) == Some(s.epoch)
+                && self.objs.content_gen == s.content_gen
+            {
+                let insn = s.insn;
+                self.icache.note_hit();
+                return Some(insn);
+            }
+            self.icache.note_stale();
+        }
+        let mut raw = [0u8; isa::INSN_LEN as usize];
+        self.asp.kernel_read(self.objs, pc, &mut raw).ok()?;
+        let insn = isa::Insn::decode(&raw)?;
+        self.icache.note_miss();
+        if let Some((map_idx, epoch)) = self.asp.exec_slot(pc, isa::INSN_LEN) {
+            self.icache.insert(isa::InsnSlot {
+                pc,
+                as_gen: self.asp.generation(),
+                map_idx: map_idx as u32,
+                epoch,
+                content_gen: self.objs.content_gen,
+                insn,
+            });
+        }
+        Some(insn)
+    }
+
+    /// The statically predicted successor of `i` at `pc`, or `None` when
+    /// the trace must end (indirect or trapping control flow). Backward
+    /// conditional branches are predicted taken — the hot-loop case,
+    /// which lets a small loop unroll to fill the block. Predictions are
+    /// checked per slot at dispatch, so a wrong one costs a side exit,
+    /// never correctness.
+    fn static_next(i: isa::Insn, pc: u64) -> Option<u64> {
+        use isa::Opcode::*;
+        match i.op {
+            Syscall | Bpt | Halt | Priv | Jmpr | Callr => None,
+            Jmp | Call => Some(pc.wrapping_add(i.imm as i64 as u64)),
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                if i.imm < 0 {
+                    Some(pc.wrapping_add(i.imm as i64 as u64))
+                } else {
+                    Some(pc.wrapping_add(isa::INSN_LEN))
+                }
+            }
+            _ => Some(pc.wrapping_add(isa::INSN_LEN)),
+        }
+    }
+
+    /// Traces and installs a superblock rooted at `start`, filling `out`
+    /// for immediate dispatch. Returns 0 when `start` is not
+    /// block-eligible (writable/shared/watched text, unmapped, or an
+    /// undecodable first instruction).
+    fn build_block(&mut self, start: u64, out: &mut [isa::BlockSlot; isa::SBLOCK_CAP]) -> usize {
+        let Some((map_idx, epoch)) = self.asp.sblock_slot(start, isa::INSN_LEN) else {
+            return 0;
+        };
+        let page = start / vm::PAGE_SIZE;
+        let mut slots: Vec<isa::BlockSlot> = Vec::with_capacity(isa::SBLOCK_CAP);
+        let mut pc = start;
+        while slots.len() < isa::SBLOCK_CAP {
+            // The whole trace stays on the root page: one epoch stamp
+            // covers every slot, and crossing into a page with different
+            // eligibility or epoch state would need its own validation.
+            if pc / vm::PAGE_SIZE != page
+                || (pc + (isa::INSN_LEN - 1)) / vm::PAGE_SIZE != page
+            {
+                break;
+            }
+            let Some(insn) = self.decode_for_block(pc) else { break };
+            slots.push(isa::BlockSlot { pc, insn });
+            match Self::static_next(insn, pc) {
+                Some(next) => pc = next,
+                None => break,
+            }
+        }
+        if slots.is_empty() {
+            return 0;
+        }
+        let n = slots.len();
+        out[..n].copy_from_slice(&slots);
+        self.sblocks.insert(isa::SuperBlock {
+            start_pc: start,
+            as_gen: self.asp.generation(),
+            map_idx: map_idx as u32,
+            epoch,
+            content_gen: self.objs.content_gen,
+            slots,
+        });
+        self.sblocks.note_dispatch();
+        n
+    }
 }
 
 impl Bus for ProcBus<'_> {
@@ -1750,7 +1877,7 @@ impl Bus for ProcBus<'_> {
         if self.asp.fast_path_enabled() {
             if let Some(s) = self.icache.probe(addr) {
                 if s.as_gen == self.asp.generation()
-                    && self.asp.mapping_epoch(s.map_idx as usize) == Some(s.epoch)
+                    && self.asp.page_epoch_at(s.map_idx as usize, addr) == Some(s.epoch)
                     && self.objs.content_gen == s.content_gen
                 {
                     let insn = s.insn;
@@ -1779,6 +1906,33 @@ impl Bus for ProcBus<'_> {
             }
         }
         Ok(insn)
+    }
+
+    fn fetch_block(
+        &mut self,
+        pc: u64,
+        out: &mut [isa::BlockSlot; isa::SBLOCK_CAP],
+    ) -> usize {
+        if !self.asp.fast_path_enabled() {
+            return 0;
+        }
+        if let Some(b) = self.sblocks.probe(pc) {
+            if b.as_gen == self.asp.generation()
+                && self.asp.page_epoch_at(b.map_idx as usize, pc) == Some(b.epoch)
+                && self.objs.content_gen == b.content_gen
+            {
+                let n = b.slots.len().min(isa::SBLOCK_CAP);
+                out[..n].copy_from_slice(&b.slots[..n]);
+                self.sblocks.note_dispatch();
+                return n;
+            }
+            self.sblocks.note_stale();
+        }
+        self.build_block(pc, out)
+    }
+
+    fn note_block_exit(&mut self, exit: isa::BlockExit, retired: u64) {
+        self.sblocks.note_exit(exit, retired);
     }
 
     fn fetch(&mut self, addr: u64, buf: &mut [u8; 8]) -> Result<(), BusFault> {

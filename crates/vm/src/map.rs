@@ -144,11 +144,14 @@ pub struct Mapping {
     pub overlay: BTreeMap<u64, PageFrame>,
     /// Advisory name for tools.
     pub name: SegName,
-    /// Content epoch: bumped on every write that lands in this mapping's
-    /// overlay (user stores, `/proc` breakpoint plants, COW
-    /// materialisation). Decoded-instruction cache entries record the
-    /// epoch at fill time and self-invalidate when it moves.
-    pub epoch: u64,
+    /// Per-page content epochs, keyed by mapping-relative page index;
+    /// absent pages are at epoch 0. A write that lands in a page (user
+    /// store, `/proc` breakpoint plant, COW materialisation) bumps only
+    /// that page's epoch. Decoded-instruction cache entries and
+    /// superblocks record their page's epoch at fill time and
+    /// self-invalidate when it moves — so planting a breakpoint
+    /// invalidates one page's decodes, not the whole mapping's.
+    pub page_epochs: BTreeMap<u64, u64>,
 }
 
 impl Mapping {
@@ -175,17 +178,37 @@ impl Mapping {
         self.obj_off + (addr - self.base)
     }
 
+    /// The content epoch of mapping-relative page `rel_page`. Pages
+    /// never written through this mapping are at epoch 0.
+    #[inline]
+    pub fn page_epoch(&self, rel_page: u64) -> u64 {
+        self.page_epochs.get(&rel_page).copied().unwrap_or(0)
+    }
+
+    /// Moves the content epoch of `rel_page`, invalidating cached
+    /// decodes of that page.
+    #[inline]
+    pub fn bump_page_epoch(&mut self, rel_page: u64) {
+        *self.page_epochs.entry(rel_page).or_insert(0) += 1;
+    }
+
     /// Splits off the tail of the mapping at `addr` (page-aligned, strictly
     /// inside), leaving `self` as the head and returning the tail. Overlay
-    /// pages are partitioned; the object gains a reference (the caller must
-    /// `incref` — see [`crate::space::AddressSpace`], which owns the store
-    /// interaction).
+    /// pages and page epochs are partitioned; the object gains a reference
+    /// (the caller must `incref` — see [`crate::space::AddressSpace`],
+    /// which owns the store interaction).
     pub fn split_at(&mut self, addr: u64) -> Mapping {
         debug_assert!(addr > self.base && addr < self.end());
         debug_assert_eq!(addr % PAGE_SIZE, 0);
         let head_pages = (addr - self.base) / PAGE_SIZE;
         let tail_overlay: BTreeMap<u64, PageFrame> = self
             .overlay
+            .split_off(&head_pages)
+            .into_iter()
+            .map(|(k, v)| (k - head_pages, v))
+            .collect();
+        let tail_epochs: BTreeMap<u64, u64> = self
+            .page_epochs
             .split_off(&head_pages)
             .into_iter()
             .map(|(k, v)| (k - head_pages, v))
@@ -199,7 +222,7 @@ impl Mapping {
             obj_off: self.obj_off + (addr - self.base),
             overlay: tail_overlay,
             name: self.name.clone(),
-            epoch: self.epoch,
+            page_epochs: tail_epochs,
         };
         self.len = addr - self.base;
         tail
@@ -225,7 +248,7 @@ mod tests {
             obj_off: 0,
             overlay: BTreeMap::new(),
             name: SegName::Anon,
-            epoch: 0,
+            page_epochs: BTreeMap::new(),
         }
     }
 

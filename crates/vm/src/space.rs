@@ -45,11 +45,16 @@ pub enum Mode {
 /// Number of direct-mapped software-TLB entries (power of two).
 const TLB_WAYS: usize = 64;
 
-/// One software-TLB line: a resolved translation for a virtual page.
-/// The entry caches the *mapping index* and protections — never a page
-/// frame — so copy-on-write `Arc` splits can't serve stale data; frame
-/// resolution still walks the overlay/object on every access.
-#[derive(Clone, Copy, Debug, Default)]
+/// One software-TLB line: a resolved translation for a virtual page,
+/// optionally carrying the resolved page frame. The frame is only
+/// served while its generation stamps hold: `frame_stamp` must match
+/// the space's frame generation (moved by every slow-path write — COW
+/// materialisation, `/proc` plants) and `frame_cgen` must match the
+/// object store's content generation (moved by every shared/object
+/// write). Watched pages are cached too, with `watched` set; a hit on
+/// one runs the watch screen first, so no slow-path side effect
+/// (recovery counting, one-shot bypass consumption) is ever skipped.
+#[derive(Clone, Debug, Default)]
 struct TlbEntry {
     /// Virtual page number this line translates.
     vpage: u64,
@@ -60,10 +65,16 @@ struct TlbEntry {
     map_idx: u32,
     /// Protections of the mapping at fill time.
     prot: Prot,
-    /// Some watch area intersects this page: the line must never hit,
-    /// because watched-page accesses have slow-path side effects
-    /// (recovery counting, one-shot bypass consumption).
+    /// Some watch area intersects this page: hits must run the watch
+    /// screen before moving any data.
     watched: bool,
+    /// Resolved frame for the page (overlay or object), or `None` when
+    /// not yet resolved / evicted by a store.
+    frame: Option<PageFrame>,
+    /// Space frame generation at frame-resolve time.
+    frame_stamp: u64,
+    /// Store content generation at frame-resolve time.
+    frame_cgen: u64,
 }
 
 /// Hit/miss/invalidation counters for the software TLB; `PIOCXSTATS`
@@ -72,6 +83,9 @@ struct TlbEntry {
 pub struct TlbStats {
     /// Accesses served entirely from a TLB line.
     pub hits: u64,
+    /// Hits additionally served from a cached frame pointer (no
+    /// overlay/object walk at all).
+    pub frame_hits: u64,
     /// Fast-path-eligible accesses that fell through to the slow path.
     pub misses: u64,
     /// Generation bumps (each one logically flushes the whole TLB).
@@ -113,6 +127,18 @@ pub struct AddressSpace {
     tlb: Vec<TlbEntry>,
     /// Hit/miss/invalidate counters.
     tlb_stats: TlbStats,
+    /// Frame generation: moved by every slow-path write (`kernel_write`
+    /// — COW materialisation, breakpoint plants, `/proc` I/O). Cached
+    /// frame pointers in TLB lines re-resolve when it moves. Starts at 1
+    /// and never revisits 0.
+    frame_gen: u64,
+    /// Count of per-page content-epoch bumps (`PIOCXSTATS` reports it;
+    /// the dense-breakpoint bench reads it to show per-page beating
+    /// whole-mapping invalidation).
+    page_epoch_bumps: u64,
+    /// Bench-only knob: emulate PR 5's whole-mapping invalidation by
+    /// bumping every page epoch of a mapping on any write into it.
+    coarse_epochs: bool,
 }
 
 impl Default for AddressSpace {
@@ -128,6 +154,9 @@ impl Default for AddressSpace {
             fast_path: true,
             tlb: vec![TlbEntry::default(); TLB_WAYS],
             tlb_stats: TlbStats::default(),
+            frame_gen: 1,
+            page_epoch_bumps: 0,
+            coarse_epochs: false,
         }
     }
 }
@@ -225,16 +254,35 @@ impl AddressSpace {
         self.tlb_stats
     }
 
-    /// The content epoch of mapping `idx`, if it exists. Instruction-cache
-    /// entries validate against this (the index is only meaningful while
-    /// the generation that resolved it is current).
+    /// Count of per-page content-epoch bumps so far.
     #[inline]
-    pub fn mapping_epoch(&self, idx: usize) -> Option<u64> {
-        self.maps.get(idx).map(|m| m.epoch)
+    pub fn page_epoch_bumps(&self) -> u64 {
+        self.page_epoch_bumps
+    }
+
+    /// Bench-only knob: when set, any write into a mapping bumps *every*
+    /// page epoch of that mapping, emulating the whole-mapping
+    /// invalidation this design replaced. The dense-breakpoint benchmark
+    /// flips this to measure the difference in one binary.
+    pub fn set_coarse_epochs(&mut self, on: bool) {
+        self.coarse_epochs = on;
+    }
+
+    /// The content epoch of the page containing `addr` within mapping
+    /// `idx`, if that mapping exists and covers `addr`. Instruction-cache
+    /// entries and superblocks validate against this (the index is only
+    /// meaningful while the generation that resolved it is current).
+    #[inline]
+    pub fn page_epoch_at(&self, idx: usize, addr: u64) -> Option<u64> {
+        let m = self.maps.get(idx)?;
+        if !m.contains(addr) {
+            return None;
+        }
+        Some(m.page_epoch(addr / PAGE_SIZE - m.base / PAGE_SIZE))
     }
 
     /// Resolves an executable, single-page, watch-free slot for the
-    /// instruction cache: returns `(map_idx, epoch)` when `[addr,
+    /// instruction cache: returns `(map_idx, page_epoch)` when `[addr,
     /// addr+len)` lies inside one page of one exec-permitted mapping and
     /// no watch area touches that page. `None` means "do not cache".
     pub fn exec_slot(&self, addr: u64, len: u64) -> Option<(usize, u64)> {
@@ -253,20 +301,39 @@ impl AddressSpace {
         if self.watchpoints.iter().any(|w| w.same_page(page_base, PAGE_SIZE)) {
             return None;
         }
-        Some((i, m.epoch))
+        Some((i, m.page_epoch(vpage - m.base / PAGE_SIZE)))
     }
 
-    /// TLB probe: a hit returns the mapping index for an access wholly
-    /// inside one unwatched page whose cached protections permit `mode`.
+    /// Resolves a superblock-eligible slot: like
+    /// [`AddressSpace::exec_slot`], but additionally requires the text to
+    /// be immune to stores from *inside* a running block — not
+    /// user-writable (a store could rewrite instructions the block
+    /// pre-validated) and not shared (another mapping of the object could
+    /// do the same). `/proc` writes (breakpoint plants) remain possible;
+    /// they move the page epoch between dispatches, which is enough
+    /// because host-side writes never interleave with a running quantum.
+    pub fn sblock_slot(&self, addr: u64, len: u64) -> Option<(usize, u64)> {
+        let (i, epoch) = self.exec_slot(addr, len)?;
+        let m = &self.maps[i];
+        if m.prot.write || m.flags.shared {
+            return None;
+        }
+        Some((i, epoch))
+    }
+
+    /// TLB probe: a hit returns the mapping index, and whether the page
+    /// is watched, for an access wholly inside one page whose cached
+    /// protections permit `mode`. On a watched hit the caller must run
+    /// [`AddressSpace::watch_screen`] before moving any data.
     #[inline]
-    fn tlb_lookup(&self, addr: u64, len: u64, mode: Mode) -> Option<usize> {
+    fn tlb_lookup(&self, addr: u64, len: u64, mode: Mode) -> Option<(usize, bool)> {
         let last = addr.checked_add(len - 1)?;
         let vpage = addr / PAGE_SIZE;
         if last / PAGE_SIZE != vpage {
             return None;
         }
         let e = &self.tlb[(vpage as usize) & (TLB_WAYS - 1)];
-        if e.stamp != self.as_gen || e.vpage != vpage || e.watched {
+        if e.stamp != self.as_gen || e.vpage != vpage {
             return None;
         }
         let ok = match mode {
@@ -275,14 +342,15 @@ impl AddressSpace {
             Mode::Exec => e.prot.exec,
         };
         if ok {
-            Some(e.map_idx as usize)
+            Some((e.map_idx as usize, e.watched))
         } else {
             None
         }
     }
 
     /// Fills the TLB line for the page containing `addr` after a
-    /// successful slow-path access confined to that page.
+    /// successful slow-path access confined to that page. The frame is
+    /// resolved lazily by the first hit, not here.
     fn tlb_fill(&mut self, addr: u64, len: u64) {
         if !self.fast_path {
             return;
@@ -307,7 +375,68 @@ impl AddressSpace {
             map_idx: map_idx as u32,
             prot: self.maps[map_idx].prot,
             watched,
+            frame: None,
+            frame_stamp: 0,
+            frame_cgen: 0,
         };
+    }
+
+    /// Serves a read/fetch hit from the line's cached frame when the
+    /// frame stamps still hold. Returns false when no valid frame is
+    /// cached; the caller re-resolves and re-caches.
+    #[inline]
+    fn frame_copy(&mut self, store: &ObjectStore, addr: u64, buf: &mut [u8]) -> bool {
+        let vpage = addr / PAGE_SIZE;
+        let e = &self.tlb[(vpage as usize) & (TLB_WAYS - 1)];
+        if e.frame_stamp != self.frame_gen || e.frame_cgen != store.content_gen {
+            return false;
+        }
+        let Some(frame) = &e.frame else { return false };
+        let off = (addr % PAGE_SIZE) as usize;
+        buf.copy_from_slice(&frame.bytes()[off..off + buf.len()]);
+        self.tlb_stats.frame_hits += 1;
+        true
+    }
+
+    /// Resolves the current frame for the page under `addr` and caches
+    /// it in the page's TLB line, stamped with the current frame and
+    /// content generations. Absent (zero-fill) pages and object pages
+    /// behind an unaligned `obj_off` are not cached.
+    fn cache_frame(&mut self, store: &ObjectStore, mi: usize, addr: u64) {
+        let m = &self.maps[mi];
+        let vpage = addr / PAGE_SIZE;
+        let rel_page = vpage - m.base / PAGE_SIZE;
+        let frame = if m.flags.shared {
+            if !m.obj_off.is_multiple_of(PAGE_SIZE) {
+                return;
+            }
+            store.get(m.object).page_cloned(m.obj_off / PAGE_SIZE + rel_page)
+        } else if let Some(f) = m.overlay.get(&rel_page) {
+            Some(f.clone())
+        } else {
+            if !m.obj_off.is_multiple_of(PAGE_SIZE) {
+                return;
+            }
+            store.get(m.object).page_cloned(m.obj_off / PAGE_SIZE + rel_page)
+        };
+        let Some(frame) = frame else { return };
+        let frame_stamp = self.frame_gen;
+        let e = &mut self.tlb[(vpage as usize) & (TLB_WAYS - 1)];
+        if e.stamp == self.as_gen && e.vpage == vpage {
+            e.frame = Some(frame);
+            e.frame_stamp = frame_stamp;
+            e.frame_cgen = store.content_gen;
+        }
+    }
+
+    /// Moves the frame generation, invalidating every cached frame
+    /// pointer. Skips 0 on wrap (0 marks a never-resolved frame).
+    #[inline]
+    fn bump_frame_gen(&mut self) {
+        self.frame_gen = self.frame_gen.wrapping_add(1);
+        if self.frame_gen == 0 {
+            self.frame_gen = 1;
+        }
     }
 
     /// Single-page data movement for a TLB hit: overlay page if privately
@@ -360,7 +489,7 @@ impl AddressSpace {
                 obj_off,
                 overlay: BTreeMap::new(),
                 name,
-                epoch: 0,
+                page_epochs: BTreeMap::new(),
             },
         );
         self.total += len;
@@ -524,6 +653,8 @@ impl AddressSpace {
         let delta_pages = (m.base - new_base) / PAGE_SIZE;
         let old_overlay = std::mem::take(&mut m.overlay);
         m.overlay = old_overlay.into_iter().map(|(k, v)| (k + delta_pages, v)).collect();
+        let old_epochs = std::mem::take(&mut m.page_epochs);
+        m.page_epochs = old_epochs.into_iter().map(|(k, v)| (k + delta_pages, v)).collect();
         let grown = m.base - new_base;
         m.len += grown;
         m.base = new_base;
@@ -595,7 +726,16 @@ impl AddressSpace {
                 }
             }
         }
-        // Watchpoint screening.
+        self.watch_screen(addr, len, mode)
+    }
+
+    /// The watchpoint screen on its own: page-level trigger, byte-level
+    /// decision, transparent recovery for unwatched bytes. Both the slow
+    /// path ([`AddressSpace::check_user_access`]) and watched-page TLB
+    /// hits run exactly this, so caching a watched translation never
+    /// skips a side effect (recovery counting, one-shot bypass
+    /// consumption).
+    fn watch_screen(&mut self, addr: u64, len: u64, mode: Mode) -> Result<(), AccessDenied> {
         let (r, w, x) = match mode {
             Mode::Read => (true, false, false),
             Mode::Write => (false, true, false),
@@ -697,6 +837,11 @@ impl AddressSpace {
             let hole = addr + self.valid_span(addr, data.len() as u64);
             return Err(AccessDenied::Unmapped { addr: hole });
         }
+        // Any slow-path write can change frame identity (COW
+        // materialisation, object writes): cached frame pointers in TLB
+        // lines must re-resolve.
+        self.bump_frame_gen();
+        let coarse = self.coarse_epochs;
         let mut done = 0usize;
         let mut pos = addr;
         let end = addr + data.len() as u64;
@@ -704,15 +849,28 @@ impl AddressSpace {
             let Some(i) = self.find_idx(pos) else {
                 return Err(AccessDenied::Unmapped { addr: pos });
             };
+            let mut bumps = 0u64;
             let m = &mut self.maps[i];
-            // Any write through a mapping (user store, breakpoint plant,
-            // COW materialisation) moves its content epoch so cached
-            // decoded instructions re-resolve.
-            m.epoch = m.epoch.wrapping_add(1);
             let chunk_end = m.end().min(end);
             for (vpage, off, n) in page_chunks(pos, chunk_end - pos) {
                 let rel_page = vpage - m.base / PAGE_SIZE;
                 let src = &data[done..done + n];
+                // A write into executable text (a breakpoint plant, a
+                // `/proc` patch) moves the content epoch of exactly the
+                // touched page, so cached decodes of *other* pages in
+                // the same mapping survive. Non-exec pages have no
+                // decode consumers and skip the bump.
+                if m.prot.exec {
+                    if coarse {
+                        for p in 0..(m.len / PAGE_SIZE) {
+                            m.bump_page_epoch(p);
+                        }
+                        bumps += m.len / PAGE_SIZE;
+                    } else {
+                        m.bump_page_epoch(rel_page);
+                        bumps += 1;
+                    }
+                }
                 if m.flags.shared {
                     let obj_pos = m.obj_off + (vpage * PAGE_SIZE + off as u64 - m.base);
                     store.get_mut(m.object).write_at(obj_pos, src);
@@ -742,14 +900,17 @@ impl AddressSpace {
                 }
                 done += n;
             }
+            self.page_epoch_bumps += bumps;
             pos = chunk_end;
         }
         Ok(())
     }
 
     /// User-mode read: permission + watchpoint check, then data movement.
-    /// A dTLB hit (single unwatched page, cached protections permit)
-    /// skips both the mapping binary search and the watch scan.
+    /// A dTLB hit (single-page access, cached protections permit) skips
+    /// the mapping binary search; a hit with valid frame stamps skips
+    /// the overlay/object walk too and copies straight from the cached
+    /// frame. Watched-page hits run the watch screen first.
     pub fn read_user(
         &mut self,
         store: &ObjectStore,
@@ -758,9 +919,16 @@ impl AddressSpace {
     ) -> Result<(), AccessDenied> {
         let len = (buf.len() as u64).max(1);
         if self.fast_path {
-            if let Some(mi) = self.tlb_lookup(addr, len, Mode::Read) {
+            if let Some((mi, watched)) = self.tlb_lookup(addr, len, Mode::Read) {
+                if watched {
+                    self.watch_screen(addr, len, Mode::Read)?;
+                }
                 self.tlb_stats.hits += 1;
+                if self.frame_copy(store, addr, buf) {
+                    return Ok(());
+                }
                 self.copy_from_mapping(store, mi, addr, buf);
+                self.cache_frame(store, mi, addr);
                 return Ok(());
             }
             self.tlb_stats.misses += 1;
@@ -786,14 +954,37 @@ impl AddressSpace {
     ) -> Result<(), AccessDenied> {
         let len = (data.len() as u64).max(1);
         if self.fast_path {
-            if let Some(mi) = self.tlb_lookup(addr, len, Mode::Write) {
+            if let Some((mi, watched)) = self.tlb_lookup(addr, len, Mode::Write) {
+                if watched {
+                    self.watch_screen(addr, len, Mode::Write)?;
+                }
+                // Drop any cached frame for the page before storing: a
+                // held `Arc` would force `make_mut` to copy, and the
+                // copy would go stale the moment the overlay advances.
+                let vpage = addr / PAGE_SIZE;
+                self.tlb[(vpage as usize) & (TLB_WAYS - 1)].frame = None;
+                let coarse = self.coarse_epochs;
                 let m = &mut self.maps[mi];
                 if !m.flags.shared && !data.is_empty() {
-                    let rel_page = addr / PAGE_SIZE - m.base / PAGE_SIZE;
+                    let rel_page = vpage - m.base / PAGE_SIZE;
                     let off = (addr % PAGE_SIZE) as usize;
                     if let Some(frame) = m.overlay.get_mut(&rel_page) {
                         frame.make_mut()[off..off + data.len()].copy_from_slice(data);
-                        m.epoch = m.epoch.wrapping_add(1);
+                        if m.prot.exec {
+                            // Self-modifying code through a writable
+                            // text page: the decoded-instruction cache
+                            // must see the page move.
+                            let bumps = if coarse {
+                                for p in 0..(m.len / PAGE_SIZE) {
+                                    m.bump_page_epoch(p);
+                                }
+                                m.len / PAGE_SIZE
+                            } else {
+                                m.bump_page_epoch(rel_page);
+                                1
+                            };
+                            self.page_epoch_bumps += bumps;
+                        }
                         self.tlb_stats.hits += 1;
                         return Ok(());
                     }
@@ -817,9 +1008,16 @@ impl AddressSpace {
     ) -> Result<(), AccessDenied> {
         let len = (buf.len() as u64).max(1);
         if self.fast_path {
-            if let Some(mi) = self.tlb_lookup(addr, len, Mode::Exec) {
+            if let Some((mi, watched)) = self.tlb_lookup(addr, len, Mode::Exec) {
+                if watched {
+                    self.watch_screen(addr, len, Mode::Exec)?;
+                }
                 self.tlb_stats.hits += 1;
+                if self.frame_copy(store, addr, buf) {
+                    return Ok(());
+                }
                 self.copy_from_mapping(store, mi, addr, buf);
+                self.cache_frame(store, mi, addr);
                 return Ok(());
             }
             self.tlb_stats.misses += 1;
@@ -851,6 +1049,9 @@ impl AddressSpace {
             fast_path: self.fast_path,
             tlb: vec![TlbEntry::default(); TLB_WAYS],
             tlb_stats: TlbStats::default(),
+            frame_gen: 1,
+            page_epoch_bumps: 0,
+            coarse_epochs: self.coarse_epochs,
         }
     }
 
@@ -1339,6 +1540,104 @@ mod tests {
         let child = a.fork_clone(&mut s);
         assert_eq!(child.tlb_stats(), TlbStats::default());
         assert_eq!(child.generation(), 1);
+    }
+
+    #[test]
+    fn watched_page_caches_with_screen_side_effects() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 4 * K, Prot::RW);
+        a.add_watch(WatchArea { base: 0x10010, len: 4, flags: WatchFlags::write_only() });
+        // First store to an unwatched byte fills the (watched) line.
+        a.write_user(&mut s, 0x10100, &[1]).expect("fill");
+        let warm = a.tlb_stats();
+        let rec = a.watch_recovered;
+        // Second store hits the cached watched line — and still counts
+        // the transparent recovery the slow path would have counted.
+        a.write_user(&mut s, 0x10100, &[2]).expect("hit");
+        assert_eq!(a.tlb_stats().hits, warm.hits + 1, "watched page never cached");
+        assert_eq!(a.watch_recovered, rec + 1, "cached hit skipped the screen");
+        // A store to the watched bytes fires from the hot line.
+        let err = a.write_user(&mut s, 0x10010, &[9]).expect_err("watched");
+        assert!(matches!(err, AccessDenied::Watch { .. }));
+        // Bypass-once is consumed by a cached hit exactly as by the
+        // slow path.
+        a.watch_bypass_once = true;
+        a.write_user(&mut s, 0x10010, &[9]).expect("bypassed");
+        assert!(!a.watch_bypass_once);
+    }
+
+    #[test]
+    fn frame_hits_serve_repeats_and_die_on_kernel_write() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 4 * K, Prot::RW);
+        a.write_user(&mut s, 0x10000, b"aaaa").expect("w");
+        let mut b = [0u8; 4];
+        a.read_user(&s, 0x10000, &mut b).expect("r1 resolves the frame");
+        let before = a.tlb_stats();
+        a.read_user(&s, 0x10000, &mut b).expect("r2");
+        assert_eq!(a.tlb_stats().frame_hits, before.frame_hits + 1, "no frame hit");
+        // A /proc write moves the frame generation: the cached frame
+        // must not serve the stale bytes.
+        a.kernel_write(&mut s, 0x10000, b"bbbb").expect("plant");
+        a.read_user(&s, 0x10000, &mut b).expect("r3");
+        assert_eq!(&b, b"bbbb", "cached frame served stale data");
+    }
+
+    #[test]
+    fn store_evicts_cached_frame_and_keeps_reads_coherent() {
+        let (mut a, mut s) = setup();
+        anon_map(&mut a, &mut s, 0x10000, 4 * K, Prot::RW);
+        a.write_user(&mut s, 0x10000, b"1111").expect("w1");
+        let mut b = [0u8; 4];
+        a.read_user(&s, 0x10000, &mut b).expect("r1");
+        a.read_user(&s, 0x10000, &mut b).expect("r2 frame hit");
+        // In-place fast-path store: evicts the frame, writes the overlay.
+        a.write_user(&mut s, 0x10000, b"2222").expect("w2");
+        a.read_user(&s, 0x10000, &mut b).expect("r3");
+        assert_eq!(&b, b"2222");
+        // The in-place store must not have copied the overlay frame out
+        // from under future reads: read again through a fresh frame hit.
+        a.read_user(&s, 0x10000, &mut b).expect("r4");
+        assert_eq!(&b, b"2222");
+    }
+
+    #[test]
+    fn page_epochs_move_per_page_not_per_mapping() {
+        let (mut a, mut s) = setup();
+        let obj = s.alloc_file(1, 1, "/bin/prog", &[7u8; 2 * PAGE_SIZE as usize]);
+        a.map_fixed(0x10000, 2 * PAGE_SIZE, Prot::RX, MapFlags::default(), obj, 0, SegName::Text)
+            .expect("map");
+        let (i0, e0) = a.exec_slot(0x10000, 8).expect("slot 0");
+        let (i1, e1) = a.exec_slot(0x10000 + PAGE_SIZE, 8).expect("slot 1");
+        assert_eq!((i0, i1), (0, 0));
+        // Plant into page 0 only.
+        a.kernel_write(&mut s, 0x10010, &[0xCC]).expect("plant");
+        assert_ne!(a.page_epoch_at(0, 0x10000), Some(e0), "page 0 epoch must move");
+        assert_eq!(a.page_epoch_at(0, 0x10000 + PAGE_SIZE), Some(e1), "page 1 epoch must hold");
+        assert_eq!(a.page_epoch_bumps(), 1);
+        // The coarse knob restores whole-mapping behaviour for the bench.
+        a.set_coarse_epochs(true);
+        let e1 = a.page_epoch_at(0, 0x10000 + PAGE_SIZE).expect("epoch");
+        a.kernel_write(&mut s, 0x10010, &[0xCC]).expect("plant 2");
+        assert_ne!(a.page_epoch_at(0, 0x10000 + PAGE_SIZE), Some(e1), "coarse bump missed page 1");
+    }
+
+    #[test]
+    fn sblock_slot_requires_immutable_private_text() {
+        let (mut a, mut s) = setup();
+        let obj = s.alloc_file(1, 1, "/bin/prog", &[7u8; PAGE_SIZE as usize]);
+        s.incref(obj);
+        s.incref(obj);
+        a.map_fixed(0x10000, PAGE_SIZE, Prot::RX, MapFlags::default(), obj, 0, SegName::Text)
+            .expect("rx");
+        a.map_fixed(0x20000, PAGE_SIZE, Prot::RWX, MapFlags::default(), obj, 0, SegName::Text)
+            .expect("rwx");
+        let shared = MapFlags { shared: true, ..Default::default() };
+        a.map_fixed(0x30000, PAGE_SIZE, Prot::RX, shared, obj, 0, SegName::Text).expect("shared");
+        assert!(a.sblock_slot(0x10000, 8).is_some(), "plain text refused");
+        assert!(a.sblock_slot(0x20000, 8).is_none(), "writable text accepted");
+        assert!(a.sblock_slot(0x30000, 8).is_none(), "shared text accepted");
+        assert!(a.exec_slot(0x20000, 8).is_some(), "icache still allows writable text");
     }
 
     /// Data written user-mode is read back identically through both

@@ -5,9 +5,11 @@
 //!   fewer virtual ticks than one-op-at-a-time calls, clean and lossy
 //!   alike;
 //! * E13 — the execution fast path (software TLB + decoded-instruction
-//!   cache) must retire hot-loop instructions at ≥ 2× the slow-path
-//!   rate, and the run drops `BENCH_E13.json` at the repo root so the
-//!   perf trajectory is machine-readable across PRs.
+//!   cache + superblock engine) must retire hot-loop instructions at
+//!   ≥ 2× the slow-path rate, per-page text epochs must beat coarse
+//!   whole-mapping invalidation under dense breakpoint traffic, and the
+//!   run drops `BENCH_E13.json` at the repo root so the perf trajectory
+//!   is machine-readable across PRs.
 
 use bench_support::FastPathPoint;
 use std::fmt::Write as _;
@@ -31,7 +33,7 @@ fn pipelining_beats_serial_at_smoke_scale() {
 }
 
 /// Renders one E13 point as a JSON object (hand-rolled: the workspace
-/// takes no external dependencies, and eight scalar fields do not
+/// takes no external dependencies, and a dozen scalar fields do not
 /// justify one).
 fn point_json(program: &str, p: &FastPathPoint) -> String {
     let mut s = String::new();
@@ -40,7 +42,8 @@ fn point_json(program: &str, p: &FastPathPoint) -> String {
         "    {{\"program\": \"{}\", \"fast\": {}, \"insns\": {}, \"wall_ns\": {}, \
          \"insns_per_sec\": {:.1}, \"tlb_hits\": {}, \"tlb_misses\": {}, \
          \"tlb_hit_rate\": {:.6}, \"icache_hits\": {}, \"icache_misses\": {}, \
-         \"icache_hit_rate\": {:.6}}}",
+         \"icache_hit_rate\": {:.6}, \"sblock_built\": {}, \"sblock_dispatched\": {}, \
+         \"sblock_insns\": {}, \"sblock_stale\": {}, \"sblock_coverage\": {:.6}}}",
         program,
         p.fast,
         p.insns,
@@ -52,6 +55,24 @@ fn point_json(program: &str, p: &FastPathPoint) -> String {
         p.icache_hits,
         p.icache_misses,
         p.icache_hit_rate(),
+        p.sblock_built,
+        p.sblock_dispatched,
+        p.sblock_insns,
+        p.sblock_stale,
+        p.sblock_coverage(),
+    )
+    .expect("write to string");
+    s
+}
+
+/// Renders one dense-breakpoint point as a JSON object.
+fn dense_json(p: &bench_support::DenseBpPoint) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "    {{\"coarse\": {}, \"hits_per_sec\": {:.1}, \"sblock_built\": {}, \
+         \"sblock_stale\": {}, \"page_epoch_bumps\": {}}}",
+        p.coarse, p.hits_per_sec, p.sblock_built, p.sblock_stale, p.page_epoch_bumps,
     )
     .expect("write to string");
     s
@@ -78,23 +99,46 @@ fn fast_path_doubles_hot_loop_throughput() {
     assert!(spin_on.insns > 100_000, "spin barely ran: {spin_on:?}");
 
     // The disabled leg reports dark caches; the enabled leg is hot.
-    assert_eq!((spin_off.tlb_hits, spin_off.icache_hits), (0, 0), "{spin_off:?}");
-    assert!(spin_on.icache_hit_rate() > 0.99, "spin icache cold: {spin_on:?}");
+    // Almost all hot-loop instructions must retire inside superblock
+    // dispatches (block execution bypasses per-instruction fetch, so
+    // superblock coverage is the hot-path gate the icache hit rate used
+    // to be).
+    assert_eq!((spin_off.tlb_hits, spin_off.sblock_insns), (0, 0), "{spin_off:?}");
+    assert!(spin_on.sblock_coverage() > 0.99, "spin superblocks cold: {spin_on:?}");
+    assert!(watched_on.sblock_coverage() > 0.99, "watched superblocks cold: {watched_on:?}");
     assert!(watched_on.tlb_hit_rate() > 0.99, "watched dTLB cold: {watched_on:?}");
 
     // The E1 metric, before/after: breakpoints/sec on the compute-loop
     // workload (one hit per ~770 retired instructions).
     let (bp_slow, bp_fast) = bench_support::breakpoint_rate_pair(40, REPS);
 
+    // The dense-breakpoint row: per-page text epochs must beat coarse
+    // whole-mapping invalidation when breakpoint traffic keeps writing
+    // into one page of a multi-page text. The coarse leg re-traces the
+    // compute body's superblocks after every fielding; the per-page leg
+    // keeps them warm, which must show up in the rebuild counters.
+    let (dense_coarse, dense_paged) = bench_support::dense_breakpoint_pair(24, REPS);
+    assert!(
+        dense_paged.sblock_built * 4 < dense_coarse.sblock_built,
+        "per-page epochs did not curb superblock rebuilds:\ncoarse {dense_coarse:?}\npaged  {dense_paged:?}"
+    );
+    assert!(
+        dense_paged.hits_per_sec > dense_coarse.hits_per_sec,
+        "per-page epochs not faster under dense breakpoints:\ncoarse {dense_coarse:?}\npaged  {dense_paged:?}"
+    );
+
     let spin_speedup = spin_on.insns_per_sec / spin_off.insns_per_sec;
     let watched_speedup = watched_on.insns_per_sec / watched_off.insns_per_sec;
     let json = format!(
-        "{{\n  \"experiment\": \"E13\",\n  \"title\": \"execution fast path: software TLB + decoded-instruction cache\",\n  \"ticks\": {TICKS},\n  \"reps\": {REPS},\n  \"points\": [\n{},\n{},\n{},\n{}\n  ],\n  \"spin_speedup\": {spin_speedup:.3},\n  \"watched_speedup\": {watched_speedup:.3},\n  \"e1_breakpoints_per_sec_slow_path\": {bp_slow:.1},\n  \"e1_breakpoints_per_sec_fast_path\": {bp_fast:.1},\n  \"e1_speedup\": {:.3}\n}}\n",
+        "{{\n  \"experiment\": \"E13\",\n  \"title\": \"execution fast path: software TLB + decoded-instruction cache + superblocks\",\n  \"ticks\": {TICKS},\n  \"reps\": {REPS},\n  \"points\": [\n{},\n{},\n{},\n{}\n  ],\n  \"spin_speedup\": {spin_speedup:.3},\n  \"watched_speedup\": {watched_speedup:.3},\n  \"e1_breakpoints_per_sec_slow_path\": {bp_slow:.1},\n  \"e1_breakpoints_per_sec_fast_path\": {bp_fast:.1},\n  \"e1_speedup\": {:.3},\n  \"dense_breakpoints\": [\n{},\n{}\n  ],\n  \"dense_paged_vs_coarse\": {:.3}\n}}\n",
         point_json("/bin/spin", &spin_off),
         point_json("/bin/spin", &spin_on),
         point_json("/bin/watched", &watched_off),
         point_json("/bin/watched", &watched_on),
         bp_fast / bp_slow,
+        dense_json(&dense_coarse),
+        dense_json(&dense_paged),
+        dense_paged.hits_per_sec / dense_coarse.hits_per_sec,
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_E13.json");
     std::fs::write(out, &json).expect("write BENCH_E13.json");

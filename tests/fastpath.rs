@@ -1,6 +1,6 @@
-//! The execution fast path's correctness suite: the software TLB and
-//! decoded-instruction cache must never change what the paper's
-//! debugging machinery observes.
+//! The execution fast path's correctness suite: the software TLB,
+//! decoded-instruction cache and superblock engine must never change
+//! what the paper's debugging machinery observes.
 //!
 //! The dangerous moment is *after the caches are hot*: a breakpoint
 //! planted through a `/proc` write patches text the icache has already
@@ -12,7 +12,7 @@
 //! three faces (flat ioctl, hierarchical file, remote mount).
 
 use ksim::{Cred, Pid, System};
-use procfs::{PrWatch, PrXStats};
+use procfs::{PrUsage, PrWatch, PrXStats};
 use tools::proc_io::ProcHandle;
 use tools::{DebugEvent, Debugger};
 use vfs::remote::RemoteFs;
@@ -121,6 +121,40 @@ fn watchpoint_fires_after_hot_dtlb() {
     dbg.kill(&mut sys).expect("kill");
 }
 
+/// A page carrying a watchpoint stays *cacheable*: stores landing on
+/// the watched page but outside the watched bytes keep hitting the dTLB
+/// (the entry carries the watched bit and every hit re-runs the watch
+/// screen), and the screen's side effects — transparent-recovery
+/// counting — accrue exactly as on the slow path.
+#[test]
+fn watched_adjacent_stores_stay_cached_with_side_effects() {
+    let (mut sys, ctl) = boot();
+    let mut dbg = Debugger::launch(&mut sys, ctl, "/bin/watched", &["watched"]).expect("launch");
+    let pid = dbg.pid();
+    heat(&mut sys, &mut dbg, 16);
+    // Watch 8 bytes in the middle of cell's page; the loop's stores (to
+    // cell and cell+512) share the page but never overlap the range, so
+    // every store is a same-page recovery, not a fault.
+    let cell = dbg.sym("cell").expect("cell symbol");
+    dbg.h
+        .set_watch(&mut sys, PrWatch { vaddr: cell + 256, size: 8, flags: 2 })
+        .expect("set watch");
+    let before = PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    let before_u = PrUsage::capture(&sys.kernel, pid).expect("usage");
+    heat(&mut sys, &mut dbg, 40);
+    let after = PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    let after_u = PrUsage::capture(&sys.kernel, pid).expect("usage");
+    assert!(
+        after.tlb_hits > before.tlb_hits,
+        "watched page fell out of the dTLB: before {before:?} after {after:?}"
+    );
+    assert!(
+        after_u.watch_recoveries > before_u.watch_recoveries,
+        "cached watched page skipped recovery counting: before {before_u:?} after {after_u:?}"
+    );
+    dbg.kill(&mut sys).expect("kill");
+}
+
 /// `PIOCXSTATS` answers coherently through all three faces: the flat
 /// local ioctl, the hierarchical `xstats` file and the remote mount.
 #[test]
@@ -139,6 +173,10 @@ fn xstats_readable_through_all_three_faces() {
     // icache (a hit skips `fetch_user` entirely), so the dTLB sees at
     // most the one slow-path fill — the icache is what must be hot.
     assert!(flat.icache_hits > 0, "spin loop never hit the icache: {flat:?}");
+    // The hot loop runs inside superblock dispatches, and the counters
+    // travel the wire with the rest.
+    assert!(flat.sblock_dispatched > 0, "spin loop never dispatched a block: {flat:?}");
+    assert!(flat.sblock_insns > 0, "blocks retired nothing: {flat:?}");
 
     // Face 2: the hierarchical read-only file.
     let fd = sys
@@ -179,6 +217,11 @@ fn disabled_fast_path_reports_and_counts_nothing() {
         (0, 0),
         "disabled icache still counting: {st:?}"
     );
+    assert_eq!(
+        (st.sblock_built, st.sblock_dispatched, st.sblock_insns),
+        (0, 0, 0),
+        "disabled superblocks still counting: {st:?}"
+    );
     assert!(st.insns > 0, "target did not run: {st:?}");
     // Re-enabling mid-flight warms the caches again.
     sys.set_fast_path(true);
@@ -186,6 +229,7 @@ fn disabled_fast_path_reports_and_counts_nothing() {
     let st = PrXStats::capture(&sys.kernel, pid).expect("xstats");
     assert_eq!(st.enabled, 1);
     assert!(st.icache_hits > 0, "re-enable never warmed: {st:?}");
+    assert!(st.sblock_insns > 0, "re-enable never dispatched a block: {st:?}");
 }
 
 /// A forked child starts with cold caches and its own generation

@@ -1,9 +1,10 @@
 //! Keeps the panic-free promises honest inside plain `cargo test`: the
 //! remote `/proc` wire layer promises never to panic on damaged input,
 //! the controllers (PR 4) promise never to panic on a dying, starved
-//! or racing target, and the execution fast path (PR 5) runs under
-//! every guest instruction where a stray unwrap would take the whole
-//! simulated machine down. All are held to `clippy -D warnings`
+//! or racing target, and the execution fast path (PR 5) plus the
+//! kernel beneath it (PR 6) run under every guest instruction, where a
+//! stray unwrap would take the whole simulated machine down. All are
+//! held to `clippy -D warnings`
 //! (their sources additionally carry
 //! `#![deny(clippy::unwrap_used, clippy::expect_used)]`). Skips cleanly
 //! when the toolchain has no clippy component.
@@ -64,4 +65,9 @@ fn address_translation_is_clippy_clean() {
 #[test]
 fn fetch_decode_is_clippy_clean() {
     clippy_clean("procsim-isa");
+}
+
+#[test]
+fn kernel_is_clippy_clean() {
+    clippy_clean("procsim-ksim");
 }
