@@ -182,6 +182,40 @@ fn print_multi_client_sweep() {
     println!();
 }
 
+/// E5d: the readiness-loop server under a rising client count, on a
+/// clean wire and under the full adversarial-client mix (slow readers,
+/// half-open sessions, frame floods, mid-frame cuts, stale-tag
+/// replays). Throughput is successful ops per 1000 virtual ticks; p99
+/// is the submit-to-completion latency of the 99th-percentile
+/// successful op. Deterministic: same seed, same table.
+fn print_client_count_sweep() {
+    banner("E5d", "wire server client-count sweep, clean vs. adversarial");
+    println!(
+        "{:>8} {:>5} {:>6} {:>5} {:>9} {:>7} {:>9} {:>7} {:>6} {:>6}",
+        "clients", "mix", "ops", "ok", "ticks", "p99", "ok/ktick", "in-hwm", "evict", "shed"
+    );
+    for adversarial in [false, true] {
+        for p in
+            bench_support::client_count_sweep(&[1, 8, 64, 256, 1000], 4, adversarial, 0xE5D0)
+        {
+            println!(
+                "{:>8} {:>5} {:>6} {:>5} {:>9} {:>7} {:>9.2} {:>7} {:>6} {:>6}",
+                p.clients,
+                if p.adversarial { "adv" } else { "clean" },
+                p.ops,
+                p.ok,
+                p.ticks,
+                p.p99_ticks,
+                p.ok_per_kilotick,
+                p.in_queue_hwm,
+                p.sessions_evicted,
+                p.frames_shed,
+            );
+        }
+    }
+    println!();
+}
+
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_remote");
     group.bench_function("flat_remote_piocstatus", |b| {
@@ -239,6 +273,7 @@ fn main() {
     print_comparison();
     print_fault_sweep();
     print_multi_client_sweep();
+    print_client_count_sweep();
     benches();
     Criterion::default().configure_from_args().final_summary();
 }

@@ -331,6 +331,151 @@ pub fn multi_client_wire_sweep(
         .collect()
 }
 
+/// One measured point of the E5d client-count sweep: `clients` wire
+/// sessions each pipelining `ops_per_client` status calls against the
+/// readiness-loop server, on a clean wire or one with the full
+/// adversarial-client mix enabled. Time is the wire's virtual clock, so
+/// every number here replays identically from the seed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClientCountPoint {
+    /// Concurrent client sessions driven through the server.
+    pub clients: usize,
+    /// Whether the adversarial-client fault dimension was armed.
+    pub adversarial: bool,
+    /// Operations issued across all sessions.
+    pub ops: u64,
+    /// Operations that returned a well-formed status image.
+    pub ok: u64,
+    /// Virtual ticks consumed by the whole run.
+    pub ticks: u64,
+    /// 99th-percentile submit-to-completion latency (virtual ticks)
+    /// over the successful operations; zero when none succeeded.
+    pub p99_ticks: u64,
+    /// Successful operations per 1000 virtual ticks.
+    pub ok_per_kilotick: f64,
+    /// Inbound queue high-water mark across all sessions (bytes).
+    pub in_queue_hwm: u64,
+    /// Outbound queue high-water mark across all sessions (bytes).
+    pub out_queue_hwm: u64,
+    /// Sessions the server evicted for persistent misbehaviour.
+    pub sessions_evicted: u64,
+    /// Frames the server shed at a full queue.
+    pub frames_shed: u64,
+}
+
+/// Queue cap used by the E5d sweep: small enough that floods and slow
+/// readers actually hit the bound, large enough that a clean status
+/// round-trip never does.
+const E5D_QUEUE_CAP: usize = 4096;
+
+/// Measures one client count of the E5d sweep. The adversarial leg arms
+/// both the classic wire faults (drop/duplicate/corrupt/delay at 15‰)
+/// and the adversarial-client personas; the clean leg installs a
+/// zero-rate plan so the jitter schedule stays comparable.
+pub fn client_count_point(
+    clients: usize,
+    ops_per_client: usize,
+    adversarial: bool,
+    seed: u64,
+) -> ClientCountPoint {
+    use vfs::FileSystem;
+    let ops = (clients * ops_per_client) as u64;
+    let (mut sys, ctl) = boot_with_ctl();
+    let target = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+    let cred = Cred::new(100, 10);
+    let name = format!("{:05}", target.0);
+
+    let rates = if adversarial { 15 } else { 0 };
+    let mut plan =
+        vfs::remote::FaultPlan::new(seed, vfs::remote::FaultRates::uniform(rates));
+    if adversarial {
+        plan = plan.with_adversary(vfs::remote::AdversaryRates {
+            slow_reader: 120,
+            half_open: 60,
+            flood: 40,
+            mid_frame: 40,
+            stale_replay: 150,
+        });
+    }
+    let mut fs = vfs::remote::RemoteFs::new(Box::new(procfs::ProcFs::new()))
+        .with_ioctl_table(procfs::ioctl::wire_table())
+        .with_faults(plan)
+        .with_queue_caps(E5D_QUEUE_CAP, E5D_QUEUE_CAP);
+
+    // The target's status node is resolved and opened once on the
+    // blocking mount face (session 0, always clean); the backing-fs
+    // token is then valid on every minted session.
+    let root = fs.root();
+    let node = until_ok(|| fs.lookup(&mut sys.kernel, ctl, root, &name));
+    let tok = until_ok(|| fs.open(&mut sys.kernel, ctl, node, vfs::OFlags::rdonly(), &cred));
+
+    let handles: Vec<_> = (0..clients).map(|_| fs.client()).collect();
+    let mut futs = Vec::with_capacity(ops as usize);
+    for _ in 0..ops_per_client {
+        for h in &handles {
+            let born = fs.ticks();
+            futs.push((h.submit_ioctl(ctl, node, tok, procfs::ioctl::PIOCSTATUS, &[]), born));
+        }
+    }
+
+    let pump = fs.client();
+    let mut ok = 0u64;
+    let mut latencies: Vec<u64> = Vec::with_capacity(ops as usize);
+    while !futs.is_empty() {
+        let advanced = pump.pump(&mut sys.kernel);
+        let now = fs.ticks();
+        futs.retain_mut(|(f, born)| match pump.try_complete(f) {
+            Some(Ok(vfs::IoctlReply::Done(b))) => {
+                if procfs::PrStatus::from_bytes(&b).is_some() {
+                    ok += 1;
+                    latencies.push(now.saturating_sub(*born));
+                }
+                false
+            }
+            Some(_) => false,
+            None => true,
+        });
+        if !advanced && !futs.is_empty() {
+            // Idle wire with pending futures: everything left has
+            // already resolved to a typed failure.
+            break;
+        }
+    }
+
+    let ticks = fs.ticks();
+    let stats = fs.stats();
+    latencies.sort_unstable();
+    let p99_ticks =
+        if latencies.is_empty() { 0 } else { latencies[(latencies.len() * 99) / 100] };
+    let ok_per_kilotick = if ticks == 0 { 0.0 } else { ok as f64 * 1000.0 / ticks as f64 };
+    ClientCountPoint {
+        clients,
+        adversarial,
+        ops,
+        ok,
+        ticks,
+        p99_ticks,
+        ok_per_kilotick,
+        in_queue_hwm: stats.in_queue_hwm,
+        out_queue_hwm: stats.out_queue_hwm,
+        sessions_evicted: stats.sessions_evicted,
+        frames_shed: stats.frames_shed,
+    }
+}
+
+/// The full E5d sweep over client counts, one leg per fault mix.
+pub fn client_count_sweep(
+    counts: &[usize],
+    ops_per_client: usize,
+    adversarial: bool,
+    seed: u64,
+) -> Vec<ClientCountPoint> {
+    counts
+        .iter()
+        .map(|&clients| client_count_point(clients, ops_per_client, adversarial, seed))
+        .collect()
+}
+
 /// One leg of the E13 execution fast-path measurement: a hot guest
 /// loop driven for a fixed virtual-tick budget with the per-LWP caches
 /// on or off, timed on the wall clock around `run_idle` only (boot and

@@ -51,10 +51,18 @@ pub struct KernelFaultRates {
     pub wakeup: u16,
     /// Asynchronous target-death rate per host-level controller op.
     pub death: u16,
+    /// Target-death rate *inside* a single blocking host op's pump loop
+    /// (rolled once per scheduler step while e.g. a `PIOCWSTOP` sleeps),
+    /// so a target can vanish between two scheduler steps of one op.
+    /// Deliberately excluded from [`KernelFaultRates::uniform`]: a
+    /// per-step rate compounds over hundreds of steps, so uniform sweeps
+    /// would be dominated by mid-op deaths. Opt in per plan.
+    pub mid_op: u16,
 }
 
 impl KernelFaultRates {
-    /// The same rate at every site.
+    /// The same rate at every *per-op* site. `mid_op` stays zero: it is
+    /// rolled per scheduler step and would swamp a uniform sweep.
     pub fn uniform(permille: u16) -> KernelFaultRates {
         KernelFaultRates {
             enomem: permille,
@@ -62,6 +70,7 @@ impl KernelFaultRates {
             eintr: permille,
             wakeup: permille,
             death: permille,
+            mid_op: 0,
         }
     }
 }
@@ -82,11 +91,14 @@ pub struct KFaultStats {
     pub spurious_wakeups: u64,
     /// Targets killed or exited asynchronously.
     pub deaths: u64,
+    /// Targets killed or exited *mid-op*, between two scheduler steps of
+    /// a single blocking host operation.
+    pub deaths_mid_op: u64,
 }
 
 impl KFaultStats {
-    /// Marshalled size: six little-endian `u64` counters.
-    pub const WIRE_LEN: usize = 6 * 8;
+    /// Marshalled size: seven little-endian `u64` counters.
+    pub const WIRE_LEN: usize = 7 * 8;
 
     /// Serialises in field order.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -98,6 +110,7 @@ impl KFaultStats {
             self.eintr_wait,
             self.spurious_wakeups,
             self.deaths,
+            self.deaths_mid_op,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -123,6 +136,7 @@ impl KFaultStats {
             eintr_wait: at(24),
             spurious_wakeups: at(32),
             deaths: at(40),
+            deaths_mid_op: at(48),
         })
     }
 }
@@ -222,6 +236,14 @@ impl KernelFaultPlan {
         self.roll(self.rates.death)
     }
 
+    /// Should a target die *between two scheduler steps* of the blocking
+    /// host op currently pumping? Rolled once per step while an op
+    /// sleeps. (The caller picks the victim and bumps
+    /// [`KFaultStats::deaths_mid_op`] once it has.)
+    pub fn roll_death_mid_op(&mut self) -> bool {
+        self.roll(self.rates.mid_op)
+    }
+
     /// Uniform pick in `0..n` for victim selection. `n` must be nonzero.
     pub fn pick(&mut self, n: u64) -> u64 {
         self.next() % n
@@ -257,6 +279,7 @@ mod tests {
         assert!(!plan.roll_eintr());
         assert!(!plan.roll_spurious_wakeup());
         assert!(!plan.roll_death());
+        assert!(!plan.roll_death_mid_op());
         assert_eq!(plan.state, before, "zero rates must short-circuit");
         assert_eq!(plan.stats, KFaultStats::default());
     }
@@ -269,6 +292,18 @@ mod tests {
         let plan = plan.with_targeted_death(true);
         assert!(plan.targeted_death);
         assert_eq!(plan.state, before, "targeting never touches the generator");
+    }
+
+    #[test]
+    fn mid_op_rate_is_opt_in() {
+        assert_eq!(
+            KernelFaultRates::uniform(300).mid_op,
+            0,
+            "uniform sweeps exclude the per-step site"
+        );
+        let rates = KernelFaultRates { mid_op: 1000, ..Default::default() };
+        let mut plan = KernelFaultPlan::new(3, rates);
+        assert!(plan.roll_death_mid_op(), "rate 1000 always fires");
     }
 
     #[test]
@@ -287,6 +322,7 @@ mod tests {
             eintr_wait: 4,
             spurious_wakeups: 5,
             deaths: 6,
+            deaths_mid_op: 7,
         };
         let bytes = st.to_bytes();
         assert_eq!(bytes.len(), KFaultStats::WIRE_LEN);

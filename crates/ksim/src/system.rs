@@ -1510,9 +1510,31 @@ impl System {
             Some(plan) => (plan.roll_death(), plan.targeted_death),
             None => return,
         };
-        if !rolled {
-            return;
+        if rolled {
+            self.kfault_kill_one(targeted, false);
         }
+    }
+
+    /// Mid-op death injection: called before every scheduler step taken
+    /// *inside* a single blocking host op's pump loop, so a target can
+    /// vanish between two steps of one `PIOCWSTOP`/`PCWSTOP`/host read —
+    /// after the op has latched its target but before it completes. Off
+    /// unless the plan's `mid_op` rate is set (a per-step roll compounds
+    /// over hundreds of steps, so it is opt-in, not part of `uniform`).
+    fn kfault_pump_tick(&mut self) {
+        let (rolled, targeted) = match self.kernel.fault_plan.as_mut() {
+            Some(plan) => (plan.roll_death_mid_op(), plan.targeted_death),
+            None => return,
+        };
+        if rolled {
+            self.kfault_kill_one(targeted, true);
+        }
+    }
+
+    /// Picks a deterministic victim (shared by the per-op and mid-op
+    /// death sites) and kills it — `SIGKILL` or a quiet exit, one
+    /// generator bit deciding which.
+    fn kfault_kill_one(&mut self, targeted: bool, mid_op: bool) {
         let victims: Vec<Pid> = self
             .kernel
             .procs
@@ -1531,7 +1553,11 @@ impl System {
         let Some(plan) = self.kernel.fault_plan.as_mut() else { return };
         let victim = victims[plan.pick(victims.len() as u64) as usize];
         let hard = plan.next_bit();
-        plan.stats.deaths += 1;
+        if mid_op {
+            plan.stats.deaths_mid_op += 1;
+        } else {
+            plan.stats.deaths += 1;
+        }
         if hard {
             self.force_kill(victim, SIGKILL);
         } else {
@@ -1557,6 +1583,7 @@ impl System {
             if let Some(v) = f(self)? {
                 return Ok(v);
             }
+            self.kfault_pump_tick();
             if self.step() {
                 idle = 0;
             } else {
@@ -1596,6 +1623,7 @@ impl System {
                             return Err(Errno::EINTR);
                         }
                     }
+                    self.kfault_pump_tick();
                     if !self.step() {
                         return Err(Errno::EDEADLK);
                     }
@@ -1630,6 +1658,7 @@ impl System {
                         }
                     }
                     budget = budget.saturating_sub(1);
+                    self.kfault_pump_tick();
                     if budget == 0 || !self.step() {
                         return Err(Errno::EDEADLK);
                     }

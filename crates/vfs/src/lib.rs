@@ -27,6 +27,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The VFS layer sits under every caller in the workspace, including the
+// wire server's fault-injection paths: a stray `unwrap` here turns an
+// injected fault into a panic instead of a typed errno. Tests opt back
+// in per-module.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod cred;
 pub mod errno;

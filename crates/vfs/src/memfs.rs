@@ -79,15 +79,17 @@ impl<K> MemFs<K> {
     }
 
     /// Builder: creates intermediate directories (mode 0755, root-owned)
-    /// along `parts` and returns the final directory's id.
+    /// along `parts` and returns the final directory's id. A plain file
+    /// sitting where a directory is needed is shadowed by a fresh
+    /// directory, so the walk always descends through directories.
     pub fn mkdir_p(&mut self, parts: &[&str]) -> NodeId {
         let mut dir = NodeId(0);
         for part in parts {
             let existing = self
                 .dir_children(dir)
-                .expect("mkdir_p path component is a directory")
-                .get(*part)
-                .copied();
+                .ok()
+                .and_then(|c| c.get(*part).copied())
+                .filter(|&id| self.dir_children(NodeId(id)).is_ok());
             dir = match existing {
                 Some(id) => NodeId(id),
                 None => {
@@ -99,11 +101,10 @@ impl<K> MemFs<K> {
                         nlink: 2,
                         content: Content::Dir(BTreeMap::new()),
                     });
-                    match &mut self.node_mut(dir).expect("parent exists").content {
-                        Content::Dir(c) => {
+                    if let Ok(parent) = self.node_mut(dir) {
+                        if let Content::Dir(c) = &mut parent.content {
                             c.insert(part.to_string(), id.0);
                         }
-                        Content::File(_) => unreachable!("checked directory above"),
                     }
                     id
                 }
@@ -123,9 +124,10 @@ impl<K> MemFs<K> {
         gid: u32,
         content: Vec<u8>,
     ) -> NodeId {
-        let parts = crate::path::components(path).expect("install needs an absolute path");
-        assert!(!parts.is_empty(), "cannot install over the root directory");
-        let (name, dirs) = parts.split_last().expect("non-empty");
+        let parts = crate::path::components(path).unwrap_or_default();
+        let Some((name, dirs)) = parts.split_last() else {
+            panic!("install needs a non-root absolute path, got {path:?}");
+        };
         let dir_refs: Vec<&str> = dirs.iter().map(String::as_str).collect();
         let dir = self.mkdir_p(&dir_refs);
         let id = self.alloc(MemNode {
@@ -136,11 +138,10 @@ impl<K> MemFs<K> {
             nlink: 1,
             content: Content::File(content),
         });
-        match &mut self.node_mut(dir).expect("dir exists").content {
-            Content::Dir(c) => {
+        if let Ok(parent) = self.node_mut(dir) {
+            if let Content::Dir(c) = &mut parent.content {
                 c.insert(name.clone(), id.0);
             }
-            Content::File(_) => unreachable!("mkdir_p returns a directory"),
         }
         id
     }
@@ -377,6 +378,7 @@ impl<K> FileSystem<K> for MemFs<K> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

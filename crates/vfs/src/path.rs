@@ -30,6 +30,7 @@ pub fn join(parts: &[String]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,5 @@
 //! An RFS-like remote-access shim: concurrent tagged sessions over a
-//! lossy, recoverable wire.
+//! lossy, recoverable wire, served by a bounded-queue readiness loop.
 //!
 //! "The SVR4 implementation of /proc works correctly with Remote File
 //! Sharing (RFS). With appropriate permission it is possible to inspect,
@@ -24,13 +24,61 @@
 //! [`RemoteClient::try_complete`]. [`RemoteFs`] keeps the blocking
 //! [`FileSystem`] face by submitting and waiting on one future at a
 //! time, so a remote mount drops into [`crate::mount::MountTable`]
-//! unchanged while pipelined clients share its session.
+//! unchanged while pipelined clients share its wire.
+//!
+//! # The server: a readiness loop over bounded per-session queues
+//!
+//! The server half is structured the way a real `poll(2)`-driven daemon
+//! is. Each connection is a session with a **bounded inbound and
+//! outbound byte queue** (builder: [`RemoteFs::with_queue_caps`]).
+//! Frames arrive as raw bytes appended to the inbound queue; a FIFO
+//! ready-set records which sessions hold servable bytes, and the
+//! service loop pops ready sessions and extracts **at most
+//! [`SERVER_OPS_PER_TICK`] frames per virtual tick** — fairness is
+//! round-robin, so one chatty client cannot starve another, and load
+//! beyond the budget rolls to the next tick via a self-armed service
+//! event. Frame extraction is resynchronising: damaged or truncated
+//! bytes in the stream are skipped (counted in
+//! [`WireStats::resync_bytes`]) until the next frame magic, so one
+//! mangled frame never wedges a session.
+//!
+//! When a queue would overflow its cap the frame is **shed**, not
+//! buffered ([`WireStats::frames_shed`]); a session that keeps shedding
+//! is **evicted** — its queues are dropped, its pending operations
+//! resolve to a typed `EAGAIN` (never a hung future), and any
+//! `OpenToken`s the server granted it are closed on its behalf, so
+//! run-on-last-close semantics survive abrupt client death. The
+//! degradation ladder is typed end to end: `EAGAIN` for shed/evicted/
+//! over-committed work, `ETIMEDOUT` for an exhausted retry budget —
+//! never a panic, never unbounded memory.
+//!
+//! # Adversarial clients
+//!
+//! Real servers die at the hands of misbehaving peers, so the seeded
+//! [`FaultPlan`] grows an adversarial-client dimension
+//! ([`AdversaryRates`], builder [`FaultPlan::with_adversary`]):
+//!
+//! * **slow readers** drain their reply queue one byte per tick;
+//! * **half-open sessions** stop reading entirely but keep writing
+//!   (their reply queue fills until eviction);
+//! * **frame floods** deliver [`FLOOD_COPIES`] extra copies of a
+//!   request in one burst (the dedup window keeps effects
+//!   exactly-once; the queue cap sheds the excess);
+//! * **mid-frame disconnects** cut a request partway through and drop
+//!   the link, which heals [`RECONNECT_TICKS`] later;
+//! * **stale-tag replay** re-injects the session's last sequenced
+//!   frame after a reconnect, which must be answered from the dedup
+//!   window, not re-executed.
+//!
+//! All of it rides the same xorshift64* stream, so one seed still
+//! fixes the entire schedule — faults, personas, churn and
+//! reorderings — and same-seed replays are byte-identical.
 //!
 //! Time is **virtual**: a deterministic event scheduler orders request
-//! arrivals, service completions, reply arrivals and retry timers on a
-//! tick clock ([`WireSession::ticks`]). No wall clock is ever read, so
-//! every interleaving — including multi-client races — replays exactly
-//! from the seeds.
+//! arrivals, service completions, queue drains, reconnects and retry
+//! timers on a tick clock ([`WireSession::ticks`]). No wall clock is
+//! ever read, so every interleaving — including multi-client races —
+//! replays exactly from the seeds.
 //!
 //! Real process-control traffic must survive a network that corrupts,
 //! loses, duplicates and delays messages, so the wire layer is built
@@ -49,8 +97,8 @@
 //! * operations are classified by idempotency ([`OpClass`]): pure reads
 //!   retry freely, while mutating operations (`open`, `close`, `write`,
 //!   `ioctl`) carry their tag into a server-side dedup window so a
-//!   retried or duplicated request is applied exactly once — even when
-//!   retransmissions from different client handles interleave.
+//!   retried, duplicated or replayed request is applied exactly once —
+//!   even when retransmissions from different sessions interleave.
 //!
 //! The crucial asymmetry from the paper survives intact: `read`,
 //! `write`, `lookup` and friends marshal *generically* — their operand
@@ -58,14 +106,13 @@
 //! marshalled without a per-request table of operand sizes and
 //! directions ([`IoctlWireSpec`]); any request missing from the table is
 //! refused with `ENOTSUP` and counted.
-#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::cred::Cred;
 use crate::errno::{Errno, SysResult};
 use crate::fs::{FileSystem, IoReply, IoctlReply, OFlags, OpenToken, PollStatus};
 use crate::node::{DirEntry, Metadata, NodeId, Pid, VnodeKind};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Introspection ioctl answered by [`RemoteFs`] itself (never crossing
@@ -74,7 +121,10 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 /// descriptor, mirroring `PIOCCACHESTATS`.
 pub const PIOCWIRESTATS: u32 = 0x5030;
 
-/// Traffic, fault and recovery counters for the simulated wire.
+/// Traffic, fault, recovery and server-side load counters for the
+/// simulated wire. The first fourteen fields are the PR 2/3 layout;
+/// the rest are the server counters (sessions, shedding, queue
+/// high-water marks, churn) grown for the readiness-loop server.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WireStats {
     /// Remote operations performed.
@@ -95,7 +145,7 @@ pub struct WireStats {
     pub bitflips: u64,
     /// Frames the network duplicated.
     pub duplicates: u64,
-    /// Frames delivered too late to be useful.
+    /// Frames the network delayed by [`LATE_TICKS`].
     pub delays: u64,
     /// Damaged frames rejected by the length/CRC check (either side).
     pub checksum_rejects: u64,
@@ -105,11 +155,32 @@ pub struct WireStats {
     pub dedup_hits: u64,
     /// Operations that exhausted their retry budget (`ETIMEDOUT`).
     pub timeouts: u64,
+    /// Client sessions opened (the blocking mount face is not counted).
+    pub sessions_opened: u64,
+    /// Sessions evicted by the shedding policy.
+    pub sessions_evicted: u64,
+    /// Frames shed at a full queue or a dead link.
+    pub frames_shed: u64,
+    /// High-water mark across all inbound queues, in bytes.
+    pub in_queue_hwm: u64,
+    /// High-water mark across all outbound queues, in bytes.
+    pub out_queue_hwm: u64,
+    /// Connection-churn events (disconnects, reconnects, hangups).
+    pub churn_events: u64,
+    /// Junk bytes skipped while resynchronising to a frame magic.
+    pub resync_bytes: u64,
+    /// Stale sequenced frames replayed after a reconnect.
+    pub stale_replays: u64,
+    /// Submissions rejected with `EAGAIN` (session gone or
+    /// [`INFLIGHT_CAP`] reached).
+    pub eagain_rejected: u64,
+    /// Adversarial frame-flood bursts injected.
+    pub floods: u64,
 }
 
 impl WireStats {
     /// Encoded length of the wire image.
-    pub const WIRE_LEN: usize = 14 * 8;
+    pub const WIRE_LEN: usize = 24 * 8;
 
     /// Serialises, `PIOCWIRESTATS`'s reply format.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -129,6 +200,16 @@ impl WireStats {
             self.retries,
             self.dedup_hits,
             self.timeouts,
+            self.sessions_opened,
+            self.sessions_evicted,
+            self.frames_shed,
+            self.in_queue_hwm,
+            self.out_queue_hwm,
+            self.churn_events,
+            self.resync_bytes,
+            self.stale_replays,
+            self.eagain_rejected,
+            self.floods,
         ] {
             b.extend_from_slice(&v.to_le_bytes());
         }
@@ -161,6 +242,16 @@ impl WireStats {
             retries: at(88),
             dedup_hits: at(96),
             timeouts: at(104),
+            sessions_opened: at(112),
+            sessions_evicted: at(120),
+            frames_shed: at(128),
+            in_queue_hwm: at(136),
+            out_queue_hwm: at(144),
+            churn_events: at(152),
+            resync_bytes: at(160),
+            stale_replays: at(168),
+            eagain_rejected: at(176),
+            floods: at(184),
         })
     }
 
@@ -190,7 +281,7 @@ impl From<WireError> for Errno {
     }
 }
 
-/// Per-mille probabilities for each fault class.
+/// Per-mille probabilities for each network fault class.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultRates {
     /// Frame silently discarded.
@@ -201,7 +292,7 @@ pub struct FaultRates {
     pub bitflip: u16,
     /// Frame delivered twice.
     pub duplicate: u16,
-    /// Frame delivered after the client has given up waiting.
+    /// Frame delivered [`LATE_TICKS`] late.
     pub delay: u16,
 }
 
@@ -218,28 +309,78 @@ impl FaultRates {
     }
 }
 
+/// Per-mille probabilities for each adversarial-client behaviour. The
+/// first two are rolled once per session at creation (they pick the
+/// session's persona); the rest are rolled per arriving request frame
+/// or per reconnect. The blocking mount face (session 0) is exempt —
+/// adversaries are clients, not the local mount.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryRates {
+    /// Session persona: drains its reply queue one byte per tick.
+    pub slow_reader: u16,
+    /// Session persona: stops reading entirely but keeps writing.
+    pub half_open: u16,
+    /// Request arrives as a burst of [`FLOOD_COPIES`] extra copies.
+    pub flood: u16,
+    /// Request is cut mid-frame and the link drops, healing after
+    /// [`RECONNECT_TICKS`].
+    pub mid_frame: u16,
+    /// On reconnect, the session's last sequenced frame is replayed
+    /// with its (now stale) tag.
+    pub stale_replay: u16,
+}
+
+impl AdversaryRates {
+    /// The same per-mille rate for every adversarial behaviour.
+    pub fn uniform(permille: u16) -> AdversaryRates {
+        AdversaryRates {
+            slow_reader: permille,
+            half_open: permille,
+            flood: permille,
+            mid_frame: permille,
+            stale_replay: permille,
+        }
+    }
+}
+
 /// A deterministic, replayable fault schedule: an xorshift64* stream
 /// seeded once, consumed in a fixed order per frame. Re-running the same
-/// operation sequence under the same seed reproduces every fault.
+/// operation sequence under the same seed reproduces every fault,
+/// persona and churn event.
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
     state: u64,
     rates: FaultRates,
+    adv: AdversaryRates,
 }
 
 /// One frame as the network delivered it.
 struct Delivery {
     bytes: Vec<u8>,
-    /// Delivered after the client stopped waiting (the effect of a delay
-    /// fault: the work happens, the reply is wasted).
+    /// Delivered [`LATE_TICKS`] after the rest (the effect of a delay
+    /// fault: the bytes arrive long after the client's patience window,
+    /// so the retry path and the dedup window must absorb them).
     late: bool,
 }
 
 impl FaultPlan {
     /// A plan from a seed and per-fault rates (zero seed is remapped:
-    /// xorshift has an all-zero fixed point).
+    /// xorshift has an all-zero fixed point). Adversarial-client rates
+    /// start at zero; see [`FaultPlan::with_adversary`].
     pub fn new(seed: u64, rates: FaultRates) -> FaultPlan {
-        FaultPlan { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed }, rates }
+        FaultPlan {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            rates,
+            adv: AdversaryRates::default(),
+        }
+    }
+
+    /// Builder: adds an adversarial-client dimension to the schedule.
+    /// Zero rates roll nothing and consume no generator state, so a
+    /// plan without adversaries replays exactly as before.
+    pub fn with_adversary(mut self, adv: AdversaryRates) -> FaultPlan {
+        self.adv = adv;
+        self
     }
 
     fn next(&mut self) -> u64 {
@@ -253,6 +394,32 @@ impl FaultPlan {
 
     fn roll(&mut self, permille: u16) -> bool {
         permille > 0 && self.next() % 1000 < u64::from(permille)
+    }
+
+    fn roll_slow_reader(&mut self) -> bool {
+        self.roll(self.adv.slow_reader)
+    }
+
+    fn roll_half_open(&mut self) -> bool {
+        self.roll(self.adv.half_open)
+    }
+
+    fn roll_flood(&mut self) -> bool {
+        self.roll(self.adv.flood)
+    }
+
+    fn roll_mid_frame(&mut self) -> bool {
+        self.roll(self.adv.mid_frame)
+    }
+
+    fn roll_stale_replay(&mut self) -> bool {
+        self.roll(self.adv.stale_replay)
+    }
+
+    /// Deterministic cut point in `0..len` for mid-frame truncation.
+    /// `len` must be nonzero.
+    fn cut_point(&mut self, len: usize) -> usize {
+        (self.next() as usize) % len
     }
 
     /// Applies the schedule to one outbound frame, returning what the
@@ -334,12 +501,37 @@ const FRAME_HEADER: usize = 4 + 8 + 4 + 4;
 /// Ticks a frame spends crossing the wire in either direction.
 const TRANSIT_TICKS: u64 = 1;
 /// Server service-time jitter, exclusive upper bound: replies complete
-/// `0..SERVICE_JITTER` ticks after arrival, reordering completions.
+/// `0..SERVICE_JITTER` ticks after service, reordering completions.
 const SERVICE_JITTER: u64 = 3;
 /// Client patience per attempt before the retry timer fires. Must
 /// exceed a round trip plus the worst service jitter or clean wires
 /// would retransmit.
 const RETRY_RTT: u64 = 6;
+/// Extra transit ticks a delay fault adds: long past the per-attempt
+/// patience window, so the retry path (and the dedup window) must
+/// absorb the late arrival.
+const LATE_TICKS: u64 = 24;
+/// Ticks a mid-frame disconnect keeps the link down before it heals.
+const RECONNECT_TICKS: u64 = 8;
+/// Largest believable frame body while resynchronising a byte stream;
+/// a corrupted length field beyond this is junk, not a frame to wait
+/// for.
+const MAX_BODY: usize = 1 << 20;
+
+/// Request frames the server extracts per virtual tick, across all
+/// sessions. Load beyond the budget rolls to the next tick (this is
+/// what makes p99 latency grow with client count instead of everything
+/// completing in one magic instant).
+pub const SERVER_OPS_PER_TICK: u32 = 8;
+/// Operations one session may have in flight before `submit` rejects
+/// with `EAGAIN`.
+pub const INFLIGHT_CAP: u32 = 64;
+/// Sheds a session survives before it is evicted.
+pub const EVICT_SHED_LIMIT: u32 = 8;
+/// Extra request copies an adversarial frame flood delivers.
+pub const FLOOD_COPIES: usize = 8;
+/// Default per-direction queue cap, in bytes.
+pub const DEFAULT_QUEUE_CAP: usize = 256 * 1024;
 
 /// CRC-32 (IEEE 802.3 polynomial, bitwise): guarantees detection of any
 /// single-bit flip and any burst up to 32 bits.
@@ -360,8 +552,9 @@ fn frame_crc(tag: u64, body: &[u8]) -> u32 {
     crc32(crc, body)
 }
 
-/// Frames a message body: `[magic][tag][len][crc][body]`.
-fn encode_frame(tag: u64, body: &[u8]) -> Vec<u8> {
+/// Frames a message body: `[magic][tag][len][crc][body]`. Public so
+/// robustness tests can forge raw frames to throw at the server.
+pub fn encode_frame(tag: u64, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER + body.len());
     out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
     out.extend_from_slice(&tag.to_le_bytes());
@@ -373,7 +566,7 @@ fn encode_frame(tag: u64, body: &[u8]) -> Vec<u8> {
 
 /// Validates and unframes a delivered image. Any damage is reported as a
 /// [`WireError`]; nothing is ever parsed out of a damaged frame.
-fn decode_frame(data: &[u8]) -> Result<(u64, Vec<u8>), WireError> {
+pub fn decode_frame(data: &[u8]) -> Result<(u64, Vec<u8>), WireError> {
     let mut r = WireReader::new(data);
     let magic = r.u32().map_err(|_| WireError::Truncated)?;
     if magic != FRAME_MAGIC {
@@ -390,6 +583,79 @@ fn decode_frame(data: &[u8]) -> Result<(u64, Vec<u8>), WireError> {
         return Err(WireError::Corrupt);
     }
     Ok((tag, body.to_vec()))
+}
+
+/// Position of the first frame-magic occurrence in `buf`, if any.
+fn find_magic(buf: &[u8]) -> Option<usize> {
+    let magic = FRAME_MAGIC.to_le_bytes();
+    buf.windows(4).position(|w| w == magic)
+}
+
+/// Extracts the next whole frame from a byte-stream buffer,
+/// resynchronising past damage. Junk before a magic is dropped; a
+/// plausible-looking header whose body bytes can never arrive (another
+/// magic already follows it in the buffer) is skipped one byte at a
+/// time rather than waited on forever — a truncated frame must never
+/// wedge the session behind it. Returns `None` when no complete frame
+/// is available yet (the tail stays buffered for the next arrival).
+fn extract_frame(buf: &mut Vec<u8>, stats: &mut WireStats) -> Option<(u64, Vec<u8>)> {
+    loop {
+        // Resynchronise to the next magic, keeping a possible prefix of
+        // one at the very tail.
+        match find_magic(buf) {
+            Some(0) => {}
+            Some(idx) => {
+                stats.resync_bytes += idx as u64;
+                buf.drain(..idx);
+            }
+            None => {
+                let keep = buf.len().min(3);
+                let junk = buf.len() - keep;
+                if junk > 0 {
+                    stats.resync_bytes += junk as u64;
+                    buf.drain(..junk);
+                }
+                return None;
+            }
+        }
+        if buf.len() < FRAME_HEADER {
+            return None; // header still arriving
+        }
+        let len = buf
+            .get(12..16)
+            .and_then(|s| s.try_into().ok())
+            .map(u32::from_le_bytes)
+            .unwrap_or(u32::MAX) as usize;
+        if len > MAX_BODY {
+            // A corrupted length field: this was never a real header.
+            stats.resync_bytes += 1;
+            buf.drain(..1);
+            continue;
+        }
+        let total = FRAME_HEADER + len;
+        if buf.len() < total {
+            // Not enough bytes yet. If another magic already follows,
+            // the missing tail will never arrive (the frame was cut);
+            // skip forward instead of waiting forever.
+            if find_magic(&buf[4..]).is_some() {
+                stats.resync_bytes += 1;
+                buf.drain(..1);
+                continue;
+            }
+            return None;
+        }
+        match decode_frame(&buf[..total]) {
+            Ok((tag, body)) => {
+                buf.drain(..total);
+                return Some((tag, body));
+            }
+            Err(_) => {
+                stats.checksum_rejects += 1;
+                stats.resync_bytes += 1;
+                buf.drain(..1);
+            }
+        }
+    }
 }
 
 /// Wire shape of one ioctl request: how many bytes go in and (at most)
@@ -512,6 +778,18 @@ fn op_class(op: u8) -> OpClass {
         OP_OPEN | OP_CLOSE | OP_WRITE | OP_IOCTL => OpClass::Sequenced,
         _ => OpClass::Idempotent,
     }
+}
+
+/// Marshals an `OP_WRITE` request body. Public so robustness tests can
+/// forge byte-exact frames (truncated at chosen offsets, replayed with
+/// stale tags) without reimplementing the marshaller.
+pub fn marshal_write(cur: Pid, node: NodeId, token: OpenToken, off: u64, data: &[u8]) -> Vec<u8> {
+    Wire::new(OP_WRITE).u32(cur.0).u64(node.0).u64(token.0).u64(off).bytes(data).0
+}
+
+/// Marshals an `OP_READ` request body (see [`marshal_write`]).
+pub fn marshal_read(cur: Pid, node: NodeId, token: OpenToken, off: u64, len: usize) -> Vec<u8> {
+    Wire::new(OP_READ).u32(cur.0).u64(node.0).u64(token.0).u64(off).u64(len as u64).0
 }
 
 /// The single server-side dispatcher: validates the op byte, unmarshals
@@ -714,14 +992,20 @@ fn parse_never<T>(_: &[u8]) -> SysResult<T> {
 
 // ---- the deterministic event scheduler ----
 
-/// What the wire delivers or the client's timer fires.
+/// What the wire delivers or a timer fires.
 enum NetEvent {
-    /// A request frame reaches the server.
-    Request { bytes: Vec<u8>, late: bool },
-    /// A reply frame reaches the client.
-    Reply { bytes: Vec<u8>, late: bool },
+    /// A request frame's bytes reach the server side of a session.
+    Request { sid: u32, bytes: Vec<u8> },
+    /// A reply frame's bytes reach a session's outbound queue.
+    ReplyEnqueue { sid: u32, bytes: Vec<u8> },
+    /// The client end of a session drains its outbound queue.
+    Drain { sid: u32 },
     /// The per-op retry timer expires.
     Retry { tag: u64 },
+    /// A dropped link heals.
+    Reconnect { sid: u32 },
+    /// The service budget rolled over; ready sessions get a new tick.
+    Service,
 }
 
 /// An event on the virtual clock. Ordered by `(due, id)` — `id` is a
@@ -755,6 +1039,8 @@ impl Ord for Scheduled {
 /// every op the same way and the dedup window keeps sequenced ones
 /// exactly-once.
 struct InFlight {
+    /// The session this op was submitted on (its eviction resolves us).
+    sid: u32,
     body: Vec<u8>,
     attempts: u32,
     backoff: u64,
@@ -762,9 +1048,88 @@ struct InFlight {
     done: Option<SysResult<Vec<u8>>>,
 }
 
-/// One client/server wire session: the in-flight op table, the event
-/// queue, the fault plan and the server end. Shared (behind a mutex) by
-/// every [`RemoteClient`] handle and the mounted [`RemoteFs`].
+/// How a session's client end behaves, fixed at session creation by the
+/// adversary rates. The blocking mount face (session 0) is always
+/// `Clean`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Persona {
+    /// Reads replies promptly (drains everything each drain tick).
+    Clean,
+    /// Drains one reply byte per tick.
+    SlowReader,
+    /// Never reads replies; its outbound queue fills until eviction.
+    HalfOpen,
+}
+
+impl Persona {
+    /// Outbound bytes the client end consumes per drain tick.
+    fn drain_rate(self) -> usize {
+        match self {
+            Persona::Clean => usize::MAX,
+            Persona::SlowReader => 1,
+            Persona::HalfOpen => 0,
+        }
+    }
+}
+
+/// Link state of one session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LinkState {
+    /// Connected; frames flow both ways.
+    Live,
+    /// Dropped mid-stream; arrivals shed until the link heals.
+    Down,
+    /// Evicted or hung up; terminal.
+    Gone,
+}
+
+/// Server-side state of one client session: bounded byte queues, link
+/// state, persona, shed accounting and the `OpenToken`s granted to this
+/// client (closed on its behalf if it dies).
+struct SessionState {
+    link: LinkState,
+    persona: Persona,
+    /// Bytes received from the client, awaiting frame extraction.
+    inbound: Vec<u8>,
+    /// Reply bytes awaiting the client's reads.
+    outbound: Vec<u8>,
+    /// Bytes the client end has drained, awaiting frame extraction.
+    rx: Vec<u8>,
+    /// A drain event is scheduled.
+    drain_armed: bool,
+    /// Frames shed at this session's full queues (eviction trigger).
+    sheds: u32,
+    /// Ops submitted and not yet completed ([`INFLIGHT_CAP`]).
+    pending: u32,
+    /// Tokens the server granted this session: `(pid, node, token,
+    /// open-flag bits)`, auto-closed on eviction or hangup.
+    open_tokens: Vec<(Pid, NodeId, OpenToken, u64)>,
+    /// Raw bytes of the last sequenced request frame this session
+    /// delivered (fuel for the stale-replay adversary).
+    last_seq_frame: Option<Vec<u8>>,
+}
+
+impl SessionState {
+    fn new(persona: Persona) -> SessionState {
+        SessionState {
+            link: LinkState::Live,
+            persona,
+            inbound: Vec::new(),
+            outbound: Vec::new(),
+            rx: Vec::new(),
+            drain_armed: false,
+            sheds: 0,
+            pending: 0,
+            open_tokens: Vec::new(),
+            last_seq_frame: None,
+        }
+    }
+}
+
+/// One server and its client sessions: the in-flight op table, the
+/// event queue, the fault plan, the per-session bounded queues and the
+/// readiness loop. Shared (behind a mutex) by every [`RemoteClient`]
+/// handle and the mounted [`RemoteFs`].
 pub struct WireSession<K> {
     inner: Box<dyn FileSystem<K> + Send>,
     ioctl_table: Option<IoctlTable>,
@@ -772,7 +1137,7 @@ pub struct WireSession<K> {
     retry: RetryPolicy,
     /// Virtual wire clock, in ticks.
     clock: u64,
-    /// Next op tag (session-unique, travels in the frame header).
+    /// Next op tag (server-unique, travels in the frame header).
     next_tag: u64,
     /// Monotone event id: ties on the clock break deterministically.
     next_event_id: u64,
@@ -783,11 +1148,28 @@ pub struct WireSession<K> {
     /// Seeded service-jitter stream: reorders reply completions.
     jitter: u64,
     stats: WireStats,
+    // -- the server half --
+    sessions: HashMap<u32, SessionState>,
+    next_sid: u32,
+    /// FIFO ready-set: sessions holding servable inbound bytes.
+    ready_q: VecDeque<u32>,
+    ready_in: HashSet<u32>,
+    /// Inbound queue cap, bytes.
+    in_cap: usize,
+    /// Outbound queue cap, bytes.
+    out_cap: usize,
+    /// Tick the service budget below applies to.
+    served_tick: u64,
+    /// Frames served at `served_tick` (bounded by
+    /// [`SERVER_OPS_PER_TICK`]).
+    served_count: u32,
+    /// A `Service` rollover event is scheduled.
+    service_armed: bool,
 }
 
 impl<K> WireSession<K> {
     fn new(inner: Box<dyn FileSystem<K> + Send>) -> WireSession<K> {
-        WireSession {
+        let mut s = WireSession {
             inner,
             ioctl_table: None,
             fault: None,
@@ -800,7 +1182,41 @@ impl<K> WireSession<K> {
             dedup: VecDeque::new(),
             jitter: 0x5EED_0F0F_CAFE_F00D,
             stats: WireStats::default(),
+            sessions: HashMap::new(),
+            next_sid: 0,
+            ready_q: VecDeque::new(),
+            ready_in: HashSet::new(),
+            in_cap: DEFAULT_QUEUE_CAP,
+            out_cap: DEFAULT_QUEUE_CAP,
+            served_tick: 0,
+            served_count: 0,
+            service_armed: false,
+        };
+        // Session 0: the blocking mount face. Always clean, always
+        // live — the local mount is not an adversary.
+        let _ = s.create_session();
+        s
+    }
+
+    /// Creates a session, rolling its persona from the adversary rates
+    /// (session 0 and plans without adversaries roll nothing).
+    fn create_session(&mut self) -> u32 {
+        let sid = self.next_sid;
+        self.next_sid += 1;
+        let persona = if sid == 0 {
+            Persona::Clean
+        } else if self.fault.as_mut().is_some_and(FaultPlan::roll_slow_reader) {
+            Persona::SlowReader
+        } else if self.fault.as_mut().is_some_and(FaultPlan::roll_half_open) {
+            Persona::HalfOpen
+        } else {
+            Persona::Clean
+        };
+        if sid != 0 {
+            self.stats.sessions_opened += 1;
         }
+        self.sessions.insert(sid, SessionState::new(persona));
+        sid
     }
 
     fn schedule(&mut self, delay: u64, ev: NetEvent) {
@@ -826,45 +1242,72 @@ impl<K> WireSession<K> {
         }
     }
 
-    /// Submits one marshalled request; returns its op tag. The request
-    /// frame and the first retry timer enter the event queue; nothing
-    /// blocks.
-    fn submit(&mut self, body: Vec<u8>) -> u64 {
+    /// Marks a session's inbound queue servable (idempotent; FIFO).
+    fn mark_ready(&mut self, sid: u32) {
+        if self.ready_in.insert(sid) {
+            self.ready_q.push_back(sid);
+        }
+    }
+
+    /// Submits one marshalled request on a session; returns its op tag.
+    /// Rejects with `EAGAIN` — before any traffic, and without counting
+    /// an op — when the session is gone or over its in-flight cap. The
+    /// request frame and the first retry timer enter the event queue;
+    /// nothing blocks.
+    fn submit(&mut self, sid: u32, body: Vec<u8>) -> SysResult<u64> {
+        let ok = match self.sessions.get(&sid) {
+            Some(s) => s.link != LinkState::Gone && s.pending < INFLIGHT_CAP,
+            None => false,
+        };
+        if !ok {
+            self.stats.eagain_rejected += 1;
+            return Err(Errno::EAGAIN);
+        }
         self.stats.ops += 1;
         let tag = self.next_tag;
         self.next_tag = self.next_tag.wrapping_add(1);
         self.inflight.insert(
             tag,
-            InFlight { body, attempts: 0, backoff: 1, budget: self.retry.budget, done: None },
+            InFlight { sid, body, attempts: 0, backoff: 1, budget: self.retry.budget, done: None },
         );
+        if let Some(s) = self.sessions.get_mut(&sid) {
+            s.pending += 1;
+        }
         self.send_attempt(tag);
-        tag
+        Ok(tag)
     }
 
     /// Frames and transmits one attempt for `tag`, arming its retry
-    /// timer.
+    /// timer. A down or gone link transmits nothing (the bytes are
+    /// lost with the link), but the retry timer still arms so the op
+    /// degrades to `ETIMEDOUT` instead of hanging.
     fn send_attempt(&mut self, tag: u64) {
-        let (body, attempt, backoff) = match self.inflight.get_mut(&tag) {
+        let (body, attempt, backoff, sid) = match self.inflight.get_mut(&tag) {
             Some(op) => {
                 op.attempts += 1;
-                (op.body.clone(), op.attempts, op.backoff)
+                (op.body.clone(), op.attempts, op.backoff, op.sid)
             }
             None => return,
         };
-        if attempt > 1 {
-            self.stats.retries += 1;
-        }
-        let frame = encode_frame(tag, &body);
-        self.stats.frames_sent += 1;
-        self.stats.bytes_sent += frame.len() as u64;
-        let deliveries = self.network(frame);
-        for d in deliveries {
-            self.schedule(TRANSIT_TICKS, NetEvent::Request { bytes: d.bytes, late: d.late });
+        let live = self.sessions.get(&sid).is_some_and(|s| s.link == LinkState::Live);
+        if live {
+            if attempt > 1 {
+                self.stats.retries += 1;
+            }
+            let frame = encode_frame(tag, &body);
+            self.stats.frames_sent += 1;
+            self.stats.bytes_sent += frame.len() as u64;
+            let deliveries = self.network(frame);
+            for d in deliveries {
+                let delay = TRANSIT_TICKS + if d.late { LATE_TICKS } else { 0 };
+                self.schedule(delay, NetEvent::Request { sid, bytes: d.bytes });
+            }
         }
         self.schedule(RETRY_RTT + backoff, NetEvent::Retry { tag });
     }
 
-    /// Processes the next scheduled event, advancing the virtual clock.
+    /// Processes the next scheduled event, advancing the virtual clock,
+    /// then serves any ready sessions within this tick's budget.
     /// Returns false when the queue is empty (the wire is idle).
     fn pump_one(&mut self, k: &mut K) -> bool {
         let Some(s) = self.events.pop() else {
@@ -872,24 +1315,132 @@ impl<K> WireSession<K> {
         };
         self.clock = self.clock.max(s.due);
         match s.ev {
-            NetEvent::Request { bytes, late } => self.on_request(k, &bytes, late),
-            NetEvent::Reply { bytes, late } => self.on_reply(&bytes, late),
+            NetEvent::Request { sid, bytes } => self.on_request_arrive(k, sid, bytes),
+            NetEvent::ReplyEnqueue { sid, bytes } => self.on_reply_enqueue(k, sid, bytes),
+            NetEvent::Drain { sid } => self.on_drain(sid),
             NetEvent::Retry { tag } => self.on_retry(tag),
+            NetEvent::Reconnect { sid } => self.do_reconnect(k, sid),
+            NetEvent::Service => self.service_armed = false,
         }
+        self.service_ready(k);
         true
     }
 
-    /// Server side: validate, dedup, execute, send the reply back with
-    /// seeded service jitter (this is where completions reorder).
-    fn on_request(&mut self, k: &mut K, bytes: &[u8], late: bool) {
-        let (tag, body) = match decode_frame(bytes) {
-            Ok(x) => x,
-            Err(_) => {
-                self.stats.checksum_rejects += 1;
+    /// Request bytes reach the server: adversary rolls (mid-frame cut,
+    /// flood burst), then a cap-checked append to the session's inbound
+    /// queue. Session 0 — the local mount — is exempt from adversarial
+    /// client behaviour.
+    fn on_request_arrive(&mut self, k: &mut K, sid: u32, mut bytes: Vec<u8>) {
+        match self.sessions.get(&sid).map(|s| s.link) {
+            Some(LinkState::Live) => {}
+            _ => {
+                self.stats.frames_shed += 1;
                 return;
             }
+        }
+        if sid != 0 {
+            let mid = self.fault.as_mut().is_some_and(FaultPlan::roll_mid_frame);
+            if mid {
+                if !bytes.is_empty() {
+                    let keep = self
+                        .fault
+                        .as_mut()
+                        .map(|p| p.cut_point(bytes.len()))
+                        .unwrap_or(0);
+                    bytes.truncate(keep);
+                }
+                self.stats.churn_events += 1;
+                if let Some(sess) = self.sessions.get_mut(&sid) {
+                    sess.link = LinkState::Down;
+                    sess.drain_armed = false;
+                }
+                self.schedule(RECONNECT_TICKS, NetEvent::Reconnect { sid });
+                if !bytes.is_empty() {
+                    self.append_inbound(k, sid, bytes);
+                }
+                return;
+            }
+            let flood = self.fault.as_mut().is_some_and(FaultPlan::roll_flood);
+            if flood {
+                self.stats.floods += 1;
+                for _ in 0..FLOOD_COPIES {
+                    self.append_inbound(k, sid, bytes.clone());
+                }
+            }
+        }
+        self.append_inbound(k, sid, bytes);
+    }
+
+    /// Cap-checked append to a session's inbound queue; sheds on
+    /// overflow and evicts a session that keeps shedding.
+    fn append_inbound(&mut self, k: &mut K, sid: u32, bytes: Vec<u8>) {
+        let Some(sess) = self.sessions.get_mut(&sid) else {
+            return;
         };
-        let class = op_class(body.first().copied().unwrap_or(0));
+        if sess.link == LinkState::Gone {
+            self.stats.frames_shed += 1;
+            return;
+        }
+        if sess.inbound.len() + bytes.len() > self.in_cap {
+            self.stats.frames_shed += 1;
+            sess.sheds += 1;
+            let evict = sess.sheds > EVICT_SHED_LIMIT && sid != 0;
+            if evict {
+                self.teardown(k, sid, false);
+            }
+            return;
+        }
+        if let Ok((_, body)) = decode_frame(&bytes) {
+            if op_class(body.first().copied().unwrap_or(0)) == OpClass::Sequenced {
+                sess.last_seq_frame = Some(bytes.clone());
+            }
+        }
+        sess.inbound.extend_from_slice(&bytes);
+        let hw = sess.inbound.len() as u64;
+        self.stats.in_queue_hwm = self.stats.in_queue_hwm.max(hw);
+        self.mark_ready(sid);
+    }
+
+    /// The readiness loop: pops ready sessions FIFO and serves at most
+    /// [`SERVER_OPS_PER_TICK`] frames this tick; leftover readiness
+    /// arms a `Service` rollover event for the next tick.
+    fn service_ready(&mut self, k: &mut K) {
+        if self.clock != self.served_tick {
+            self.served_tick = self.clock;
+            self.served_count = 0;
+        }
+        while self.served_count < SERVER_OPS_PER_TICK {
+            let Some(sid) = self.ready_q.pop_front() else {
+                break;
+            };
+            self.ready_in.remove(&sid);
+            let frame = match self.sessions.get_mut(&sid) {
+                Some(sess) if sess.link == LinkState::Live => {
+                    extract_frame(&mut sess.inbound, &mut self.stats)
+                }
+                _ => None,
+            };
+            let Some((tag, body)) = frame else {
+                continue;
+            };
+            self.served_count += 1;
+            if self.sessions.get(&sid).is_some_and(|s| !s.inbound.is_empty()) {
+                self.mark_ready(sid);
+            }
+            self.handle_request(k, sid, tag, body);
+        }
+        if !self.ready_q.is_empty() && !self.service_armed {
+            self.service_armed = true;
+            self.schedule(1, NetEvent::Service);
+        }
+    }
+
+    /// Serves one extracted request frame: dedup, execute, track
+    /// granted tokens, enqueue the (possibly perturbed) reply with
+    /// service jitter.
+    fn handle_request(&mut self, k: &mut K, sid: u32, tag: u64, body: Vec<u8>) {
+        let op = body.first().copied().unwrap_or(0);
+        let class = op_class(op);
         let cached = (class == OpClass::Sequenced)
             .then(|| self.dedup.iter().find(|(t, _)| *t == tag).map(|(_, b)| b.clone()))
             .flatten();
@@ -911,6 +1462,7 @@ impl<K> WireSession<K> {
                         b
                     }
                 };
+                self.track_tokens(sid, op, &body, &resp);
                 if class == OpClass::Sequenced {
                     self.dedup.push_back((tag, resp.clone()));
                     if self.dedup.len() > DEDUP_WINDOW {
@@ -925,26 +1477,108 @@ impl<K> WireSession<K> {
         let jitter = self.service_jitter();
         let deliveries = self.network(frame);
         for d in deliveries {
-            let l = late || d.late;
-            self.schedule(TRANSIT_TICKS + jitter, NetEvent::Reply { bytes: d.bytes, late: l });
+            let delay = TRANSIT_TICKS + jitter + if d.late { LATE_TICKS } else { 0 };
+            self.schedule(delay, NetEvent::ReplyEnqueue { sid, bytes: d.bytes });
+        }
+    }
+
+    /// Records tokens the server granted (successful opens) and drops
+    /// them again on successful closes, so eviction can release what
+    /// the dead client held.
+    fn track_tokens(&mut self, sid: u32, op: u8, req: &[u8], resp: &[u8]) {
+        let Some(sess) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        match op {
+            OP_OPEN => {
+                let mut r = WireReader::new(req);
+                let parsed = (|| -> WireResult<(Pid, NodeId, u64)> {
+                    let _ = r.u8()?;
+                    Ok((Pid(r.u32()?), NodeId(r.u64()?), r.u64()?))
+                })();
+                if let (Ok((cur, node, bits)), Some((0, rest))) = (parsed, resp.split_first()) {
+                    let mut rr = WireReader::new(rest);
+                    if let Ok(tok) = rr.u64() {
+                        sess.open_tokens.push((cur, node, OpenToken(tok), bits));
+                    }
+                }
+            }
+            OP_CLOSE => {
+                let mut r = WireReader::new(req);
+                let parsed = (|| -> WireResult<(NodeId, OpenToken)> {
+                    let _ = r.u8()?;
+                    let _ = r.u32()?;
+                    Ok((NodeId(r.u64()?), OpenToken(r.u64()?)))
+                })();
+                if let Ok((node, tok)) = parsed {
+                    sess.open_tokens.retain(|(_, n, t, _)| !(*n == node && *t == tok));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Reply bytes reach a session's outbound queue (cap-checked; a
+    /// dead link or a full queue sheds them) and the client end's drain
+    /// is armed.
+    fn on_reply_enqueue(&mut self, k: &mut K, sid: u32, bytes: Vec<u8>) {
+        let Some(sess) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        if sess.link != LinkState::Live {
+            self.stats.frames_shed += 1;
+            return;
+        }
+        if sess.outbound.len() + bytes.len() > self.out_cap {
+            self.stats.frames_shed += 1;
+            sess.sheds += 1;
+            let evict = sess.sheds > EVICT_SHED_LIMIT && sid != 0;
+            if evict {
+                self.teardown(k, sid, false);
+            }
+            return;
+        }
+        sess.outbound.extend_from_slice(&bytes);
+        let hw = sess.outbound.len() as u64;
+        self.stats.out_queue_hwm = self.stats.out_queue_hwm.max(hw);
+        let arm = sess.persona.drain_rate() > 0 && !sess.drain_armed;
+        if arm {
+            sess.drain_armed = true;
+            self.schedule(TRANSIT_TICKS, NetEvent::Drain { sid });
+        }
+    }
+
+    /// The client end reads: moves up to the persona's drain rate from
+    /// the outbound queue into the receive buffer and completes any
+    /// whole frames found there.
+    fn on_drain(&mut self, sid: u32) {
+        let Some(sess) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        if sess.link != LinkState::Live {
+            sess.drain_armed = false;
+            return;
+        }
+        let rate = sess.persona.drain_rate();
+        let n = rate.min(sess.outbound.len());
+        let moved: Vec<u8> = sess.outbound.drain(..n).collect();
+        sess.rx.extend_from_slice(&moved);
+        let rearm = !sess.outbound.is_empty() && rate > 0;
+        sess.drain_armed = rearm;
+        let mut done = Vec::new();
+        while let Some((tag, body)) = extract_frame(&mut sess.rx, &mut self.stats) {
+            done.push((tag, body));
+        }
+        for (tag, body) in done {
+            self.complete_op(tag, &body);
+        }
+        if rearm {
+            self.schedule(1, NetEvent::Drain { sid });
         }
     }
 
     /// Client side: demultiplex a completion into its in-flight slot.
-    fn on_reply(&mut self, bytes: &[u8], late: bool) {
-        if late {
-            // The work happened, but the reply missed the client's
-            // patience window; the retry path (and the dedup window)
-            // must absorb it.
-            return;
-        }
-        let (tag, body) = match decode_frame(bytes) {
-            Ok(x) => x,
-            Err(_) => {
-                self.stats.checksum_rejects += 1;
-                return;
-            }
-        };
+    fn complete_op(&mut self, tag: u64, body: &[u8]) {
         let Some(op) = self.inflight.get_mut(&tag) else {
             return; // stale tag: the op already completed and was taken
         };
@@ -962,6 +1596,10 @@ impl<K> WireSession<K> {
             }
             _ => Err(Errno::EIO),
         });
+        let sid = op.sid;
+        if let Some(s) = self.sessions.get_mut(&sid) {
+            s.pending = s.pending.saturating_sub(1);
+        }
     }
 
     /// Retry timer: resend with doubled (capped) backoff, or degrade the
@@ -974,6 +1612,10 @@ impl<K> WireSession<K> {
         if attempts >= self.retry.max_attempts.max(1) || budget < backoff {
             if let Some(op) = self.inflight.get_mut(&tag) {
                 op.done = Some(Err(Errno::ETIMEDOUT));
+                let sid = op.sid;
+                if let Some(s) = self.sessions.get_mut(&sid) {
+                    s.pending = s.pending.saturating_sub(1);
+                }
             }
             self.stats.timeouts += 1;
             return;
@@ -983,6 +1625,86 @@ impl<K> WireSession<K> {
             op.backoff = (op.backoff * 2).min(self.retry.backoff_cap.max(1));
         }
         self.send_attempt(tag);
+    }
+
+    /// Drops a session's link mid-stream (client-driven churn): queues
+    /// clear, in-flight ops ride their retry timers.
+    fn do_disconnect(&mut self, sid: u32) {
+        let Some(sess) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        if sess.link != LinkState::Live {
+            return;
+        }
+        sess.link = LinkState::Down;
+        sess.inbound.clear();
+        sess.outbound.clear();
+        sess.rx.clear();
+        sess.drain_armed = false;
+        self.stats.churn_events += 1;
+    }
+
+    /// Heals a down link; may replay the session's last sequenced frame
+    /// with its stale tag (the dedup window must answer it, not
+    /// re-execute it).
+    fn do_reconnect(&mut self, k: &mut K, sid: u32) {
+        let Some(sess) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        if sess.link != LinkState::Down {
+            return;
+        }
+        sess.link = LinkState::Live;
+        let arm = !sess.outbound.is_empty() && sess.persona.drain_rate() > 0 && !sess.drain_armed;
+        if arm {
+            sess.drain_armed = true;
+        }
+        let replay = sess.last_seq_frame.clone();
+        self.stats.churn_events += 1;
+        if arm {
+            self.schedule(TRANSIT_TICKS, NetEvent::Drain { sid });
+        }
+        let stale = self.fault.as_mut().is_some_and(FaultPlan::roll_stale_replay);
+        if stale {
+            if let Some(frame) = replay {
+                self.stats.stale_replays += 1;
+                self.append_inbound(k, sid, frame);
+            }
+        }
+    }
+
+    /// Terminal teardown (eviction or hangup): the link goes `Gone`,
+    /// queues drop, every pending op on the session resolves to a typed
+    /// `EAGAIN` (no future ever hangs), and the tokens the server
+    /// granted this client are closed on its behalf — run-on-last-close
+    /// fires exactly as if the client had closed cleanly.
+    fn teardown(&mut self, k: &mut K, sid: u32, churn: bool) {
+        let Some(sess) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        if sess.link == LinkState::Gone {
+            return;
+        }
+        sess.link = LinkState::Gone;
+        sess.inbound.clear();
+        sess.outbound.clear();
+        sess.rx.clear();
+        sess.drain_armed = false;
+        sess.pending = 0;
+        let tokens = std::mem::take(&mut sess.open_tokens);
+        for op in self.inflight.values_mut() {
+            if op.sid == sid && op.done.is_none() {
+                op.done = Some(Err(Errno::EAGAIN));
+            }
+        }
+        if churn {
+            self.stats.churn_events += 1;
+        } else {
+            self.stats.sessions_evicted += 1;
+        }
+        for (cur, node, tok, bits) in tokens {
+            self.inner.close(k, cur, node, tok, OFlags::from_bits(bits));
+        }
     }
 
     /// Removes and returns the completion for `tag` if it has arrived.
@@ -1045,6 +1767,8 @@ fn lock<K>(session: &Arc<Mutex<WireSession<K>>>) -> MutexGuard<'_, WireSession<K
 /// A pending remote operation: a poll-based state machine resolved by
 /// [`RemoteClient::try_complete`] or [`RemoteClient::wait`]. No async
 /// runtime — completion is driven by pumping the session's event queue.
+/// A future whose session is evicted or hung up mid-flight resolves to
+/// `EAGAIN`; it never hangs.
 pub struct OpFuture<T> {
     tag: Option<u64>,
     ready: Option<SysResult<T>>,
@@ -1057,7 +1781,7 @@ impl<T> OpFuture<T> {
     }
 
     /// An operation resolved without touching the wire (local ioctl
-    /// answers, client-side refusals).
+    /// answers, client-side refusals, over-cap submissions).
     fn resolved(r: SysResult<T>) -> OpFuture<T> {
         OpFuture { tag: None, ready: Some(r), parse: parse_never }
     }
@@ -1069,37 +1793,45 @@ impl<T> OpFuture<T> {
     }
 }
 
-/// One client handle onto a shared [`WireSession`]. Handles are cheap to
-/// clone; ops submitted through any handle share the session's in-flight
-/// table, fault plan and dedup window, so concurrent handles' traffic
-/// interleaves on the wire exactly as concurrent processes' would.
+/// One client handle onto a shared [`WireSession`], bound to one
+/// session. `clone` shares the session (tags stay server-unique);
+/// [`RemoteFs::client`] mints a handle with a *new* session — its own
+/// bounded queues, persona and link state. Ops submitted through any
+/// handle share the server's in-flight table, fault plan and dedup
+/// window, so concurrent handles' traffic interleaves on the wire
+/// exactly as concurrent processes' would.
 pub struct RemoteClient<K> {
     session: Arc<Mutex<WireSession<K>>>,
+    sid: u32,
 }
 
 impl<K> Clone for RemoteClient<K> {
     fn clone(&self) -> RemoteClient<K> {
-        RemoteClient { session: Arc::clone(&self.session) }
+        RemoteClient { session: Arc::clone(&self.session), sid: self.sid }
     }
 }
 
 impl<K> RemoteClient<K> {
+    fn start<T>(&self, req: Wire, parse: fn(&[u8]) -> SysResult<T>) -> OpFuture<T> {
+        match lock(&self.session).submit(self.sid, req.0) {
+            Ok(tag) => OpFuture::pending(tag, parse),
+            Err(e) => OpFuture::resolved(Err(e)),
+        }
+    }
+
     /// Pipelined lookup.
     pub fn submit_lookup(&self, cur: Pid, dir: NodeId, name: &str) -> OpFuture<NodeId> {
-        let req = Wire::new(OP_LOOKUP).u32(cur.0).u64(dir.0).str(name);
-        OpFuture::pending(lock(&self.session).submit(req.0), parse_node)
+        self.start(Wire::new(OP_LOOKUP).u32(cur.0).u64(dir.0).str(name), parse_node)
     }
 
     /// Pipelined getattr.
     pub fn submit_getattr(&self, node: NodeId) -> OpFuture<Metadata> {
-        let req = Wire::new(OP_GETATTR).u64(node.0);
-        OpFuture::pending(lock(&self.session).submit(req.0), parse_metadata)
+        self.start(Wire::new(OP_GETATTR).u64(node.0), parse_metadata)
     }
 
     /// Pipelined readdir.
     pub fn submit_readdir(&self, cur: Pid, dir: NodeId) -> OpFuture<Vec<DirEntry>> {
-        let req = Wire::new(OP_READDIR).u32(cur.0).u64(dir.0);
-        OpFuture::pending(lock(&self.session).submit(req.0), parse_dirents)
+        self.start(Wire::new(OP_READDIR).u32(cur.0).u64(dir.0), parse_dirents)
     }
 
     /// Pipelined open (sequenced: exactly-once under retransmission).
@@ -1111,7 +1843,7 @@ impl<K> RemoteClient<K> {
         cred: &Cred,
     ) -> OpFuture<OpenToken> {
         let req = cred_wire(Wire::new(OP_OPEN).u32(cur.0).u64(node.0).u64(flags.to_bits()), cred);
-        OpFuture::pending(lock(&self.session).submit(req.0), parse_token)
+        self.start(req, parse_token)
     }
 
     /// Pipelined close (sequenced).
@@ -1123,7 +1855,7 @@ impl<K> RemoteClient<K> {
         flags: OFlags,
     ) -> OpFuture<()> {
         let req = Wire::new(OP_CLOSE).u32(cur.0).u64(node.0).u64(token.0).u64(flags.to_bits());
-        OpFuture::pending(lock(&self.session).submit(req.0), parse_unit)
+        self.start(req, parse_unit)
     }
 
     /// Pipelined read.
@@ -1137,7 +1869,7 @@ impl<K> RemoteClient<K> {
     ) -> OpFuture<RemoteRead> {
         let req =
             Wire::new(OP_READ).u32(cur.0).u64(node.0).u64(token.0).u64(off).u64(len as u64);
-        OpFuture::pending(lock(&self.session).submit(req.0), parse_read)
+        self.start(req, parse_read)
     }
 
     /// Pipelined write (sequenced).
@@ -1150,7 +1882,7 @@ impl<K> RemoteClient<K> {
         data: &[u8],
     ) -> OpFuture<IoReply> {
         let req = Wire::new(OP_WRITE).u32(cur.0).u64(node.0).u64(token.0).u64(off).bytes(data);
-        OpFuture::pending(lock(&self.session).submit(req.0), parse_write)
+        self.start(req, parse_write)
     }
 
     /// Pipelined ioctl (sequenced). Wire-stats introspection and
@@ -1168,7 +1900,10 @@ impl<K> RemoteClient<K> {
             Ok(_) => {
                 let req =
                     Wire::new(OP_IOCTL).u32(cur.0).u64(node.0).u64(token.0).u32(req_no).bytes(arg);
-                OpFuture::pending(s.submit(req.0), parse_ioctl)
+                match s.submit(self.sid, req.0) {
+                    Ok(tag) => OpFuture::pending(tag, parse_ioctl),
+                    Err(e) => OpFuture::resolved(Err(e)),
+                }
             }
             Err(IoctlGate::Local(reply)) => OpFuture::resolved(Ok(reply)),
             Err(IoctlGate::Refused(e)) => OpFuture::resolved(Err(e)),
@@ -1177,8 +1912,7 @@ impl<K> RemoteClient<K> {
 
     /// Pipelined poll of a remote descriptor's readiness.
     pub fn submit_poll(&self, node: NodeId, token: OpenToken) -> OpFuture<PollStatus> {
-        let req = Wire::new(OP_POLL).u64(node.0).u64(token.0);
-        OpFuture::pending(lock(&self.session).submit(req.0), parse_poll)
+        self.start(Wire::new(OP_POLL).u64(node.0).u64(token.0), parse_poll)
     }
 
     /// Processes one scheduled wire event; false when the wire is idle.
@@ -1200,7 +1934,8 @@ impl<K> RemoteClient<K> {
     }
 
     /// Blocks (pumping the wire) until the future completes. Other
-    /// handles' in-flight ops progress underneath.
+    /// handles' in-flight ops progress underneath. An evicted session's
+    /// futures resolve to `EAGAIN` — this never hangs.
     pub fn wait<T>(&self, k: &mut K, mut fut: OpFuture<T>) -> SysResult<T> {
         if let Some(r) = fut.ready.take() {
             return r;
@@ -1213,7 +1948,7 @@ impl<K> RemoteClient<K> {
         (fut.parse)(&raw)
     }
 
-    /// Ops submitted but not yet completed.
+    /// Ops submitted but not yet completed, across all sessions.
     pub fn in_flight(&self) -> usize {
         let s = lock(&self.session);
         s.inflight.values().filter(|op| op.done.is_none()).count()
@@ -1233,12 +1968,65 @@ impl<K> RemoteClient<K> {
     pub fn reset_stats(&self) {
         lock(&self.session).stats = WireStats::default();
     }
+
+    /// This handle's session id (0 is the blocking mount face).
+    pub fn session_id(&self) -> u32 {
+        self.sid
+    }
+
+    /// Readiness of this handle's session, in `poll(2)` terms:
+    /// readable when a completed op is waiting to be taken, writable
+    /// when the link is live and under its in-flight cap, hangup once
+    /// the session is evicted or hung up.
+    pub fn poll_session(&self) -> PollStatus {
+        let s = lock(&self.session);
+        let sess = s.sessions.get(&self.sid);
+        let hangup = sess.is_none_or(|x| x.link == LinkState::Gone);
+        let writable =
+            sess.is_some_and(|x| x.link == LinkState::Live && x.pending < INFLIGHT_CAP);
+        let readable = s
+            .inflight
+            .values()
+            .any(|op| op.sid == self.sid && op.done.is_some());
+        PollStatus { readable, writable, hangup }
+    }
+
+    /// Drops this session's link mid-stream (connection churn): queued
+    /// bytes are lost, in-flight ops ride their retry timers, and the
+    /// link stays down until [`RemoteClient::reconnect`].
+    pub fn disconnect(&self) {
+        lock(&self.session).do_disconnect(self.sid);
+    }
+
+    /// Heals a dropped link. Under an adversarial plan the reconnect
+    /// may replay the session's last sequenced frame with a stale tag —
+    /// the dedup window answers it without re-executing.
+    pub fn reconnect(&self, k: &mut K) {
+        lock(&self.session).do_reconnect(k, self.sid);
+    }
+
+    /// Hangs the session up for good: pending ops resolve to `EAGAIN`,
+    /// server-side tokens it held are closed on its behalf, and further
+    /// submissions are rejected.
+    pub fn hangup(&self, k: &mut K) {
+        lock(&self.session).teardown(k, self.sid, true);
+    }
+
+    /// Injects raw bytes into this session's inbound queue, as a
+    /// misbehaving peer would, then lets the readiness loop serve them.
+    /// Robustness tests use this to deliver forged, truncated and
+    /// replayed frames.
+    pub fn inject_inbound(&self, k: &mut K, bytes: &[u8]) {
+        let mut s = lock(&self.session);
+        s.append_inbound(k, self.sid, bytes.to_vec());
+        s.service_ready(k);
+    }
 }
 
 /// A file system accessed across a simulated (and possibly lossy) wire:
-/// the blocking [`FileSystem`] face of a [`WireSession`]. Mint
-/// pipelined handles with [`RemoteFs::client`] before (or after)
-/// mounting — they share this session's wire.
+/// the blocking [`FileSystem`] face of a [`WireSession`] (always
+/// session 0). Mint pipelined handles with [`RemoteFs::client`] before
+/// (or after) mounting — each gets its own session on this server.
 pub struct RemoteFs<K> {
     session: Arc<Mutex<WireSession<K>>>,
 }
@@ -1258,7 +2046,7 @@ impl<K> RemoteFs<K> {
 
     /// Makes the wire lossy under a deterministic fault plan. The
     /// service-jitter stream reseeds from the plan so one seed fixes the
-    /// whole schedule — faults and reorderings both.
+    /// whole schedule — faults, personas and reorderings.
     pub fn with_faults(self, plan: FaultPlan) -> RemoteFs<K> {
         {
             let mut s = lock(&self.session);
@@ -1274,9 +2062,22 @@ impl<K> RemoteFs<K> {
         self
     }
 
-    /// Mints a pipelined client handle sharing this session's wire.
+    /// Overrides the per-session queue caps (bytes per direction).
+    /// Smaller caps shed sooner; see [`DEFAULT_QUEUE_CAP`].
+    pub fn with_queue_caps(self, in_cap: usize, out_cap: usize) -> RemoteFs<K> {
+        {
+            let mut s = lock(&self.session);
+            s.in_cap = in_cap.max(1);
+            s.out_cap = out_cap.max(1);
+        }
+        self
+    }
+
+    /// Mints a pipelined client handle with its own session (bounded
+    /// queues, persona, link state) on this server.
     pub fn client(&self) -> RemoteClient<K> {
-        RemoteClient { session: Arc::clone(&self.session) }
+        let sid = lock(&self.session).create_session();
+        RemoteClient { session: Arc::clone(&self.session), sid }
     }
 
     /// A snapshot of the traffic counters.
@@ -1295,7 +2096,7 @@ impl<K> RemoteFs<K> {
     }
 
     /// Blocking submit-and-wait: one op end to end through the shared
-    /// session.
+    /// session (always session 0, the mount face).
     fn call<T>(
         &self,
         k: &mut K,
@@ -1303,7 +2104,7 @@ impl<K> RemoteFs<K> {
         parse: fn(&[u8]) -> SysResult<T>,
     ) -> SysResult<T> {
         let mut s = lock(&self.session);
-        let tag = s.submit(req.0);
+        let tag = s.submit(0, req.0)?;
         let raw = s.wait_raw(k, tag)?;
         parse(&raw)
     }
@@ -1412,7 +2213,7 @@ impl<K> FileSystem<K> for RemoteFs<K> {
             Ok(_) => {
                 let req =
                     Wire::new(OP_IOCTL).u32(cur.0).u64(node.0).u64(token.0).u32(req_no).bytes(arg);
-                let tag = s.submit(req.0);
+                let tag = s.submit(0, req.0)?;
                 let raw = s.wait_raw(k, tag)?;
                 parse_ioctl(&raw)
             }
@@ -1445,6 +2246,13 @@ mod tests {
         let mut fs = MemFs::<()>::new();
         fs.install("/bin/tool", 0o755, 0, 0, b"payload-bytes".to_vec());
         RemoteFs::new(Box::new(fs)).with_faults(FaultPlan::new(seed, rates))
+    }
+
+    /// Forces a persona on a client's session (tests drive personas
+    /// directly instead of fishing for the right seed).
+    fn force_persona(c: &RemoteClient<()>, p: Persona) {
+        let mut s = lock(&c.session);
+        s.sessions.get_mut(&c.sid).expect("session").persona = p;
     }
 
     #[test]
@@ -1555,7 +2363,16 @@ mod tests {
 
     #[test]
     fn wirestats_roundtrip() {
-        let s = WireStats { ops: 7, drops: 3, dedup_hits: 11, timeouts: 1, ..Default::default() };
+        let s = WireStats {
+            ops: 7,
+            drops: 3,
+            dedup_hits: 11,
+            timeouts: 1,
+            sessions_evicted: 2,
+            frames_shed: 5,
+            stale_replays: 4,
+            ..Default::default()
+        };
         let b = s.to_bytes();
         assert_eq!(b.len(), WireStats::WIRE_LEN);
         assert_eq!(WireStats::from_bytes(&b), Some(s));
@@ -1758,5 +2575,300 @@ mod tests {
             pipelined < serial,
             "pipelined ({pipelined} ticks) must beat serial ({serial} ticks)"
         );
+    }
+
+    // ---- the readiness-loop server and the adversarial clients ----
+
+    #[test]
+    fn truncated_stream_resyncs_to_next_frame() {
+        // A frame cut mid-body followed by an intact frame: extraction
+        // must skip the corpse and return the good frame, not wait
+        // forever for bytes that never come.
+        let mut stats = WireStats::default();
+        let cut = encode_frame(7, b"this frame was cut off");
+        let good = encode_frame(8, b"good");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&cut[..FRAME_HEADER + 5]);
+        buf.extend_from_slice(&good);
+        let got = extract_frame(&mut buf, &mut stats).expect("resync finds the good frame");
+        assert_eq!(got, (8, b"good".to_vec()));
+        assert!(stats.resync_bytes > 0, "junk was skipped, not kept");
+        assert!(extract_frame(&mut buf, &mut stats).is_none());
+        // Pure junk drains without yielding anything.
+        let mut junk: Vec<u8> = (0u8..200).map(|b| b ^ 0x5A).collect();
+        assert!(extract_frame(&mut junk, &mut stats).is_none());
+        assert!(junk.len() <= 3, "junk does not accumulate");
+    }
+
+    #[test]
+    fn split_delivery_waits_for_the_tail() {
+        // A frame arriving in two chunks is not junk: the head waits
+        // buffered until the tail arrives.
+        let mut stats = WireStats::default();
+        let frame = encode_frame(9, b"split across arrivals");
+        let mut buf = frame[..10].to_vec();
+        assert!(extract_frame(&mut buf, &mut stats).is_none());
+        buf.extend_from_slice(&frame[10..]);
+        let got = extract_frame(&mut buf, &mut stats).expect("whole now");
+        assert_eq!(got, (9, b"split across arrivals".to_vec()));
+        assert_eq!(stats.checksum_rejects, 0);
+    }
+
+    #[test]
+    fn inflight_cap_rejects_with_eagain() {
+        let r = remote_memfs();
+        let c = r.client();
+        let mut futs: Vec<OpFuture<NodeId>> = (0..INFLIGHT_CAP)
+            .map(|_| c.submit_lookup(P, NodeId(0), "bin"))
+            .collect();
+        let mut over = c.submit_lookup(P, NodeId(0), "bin");
+        assert_eq!(
+            c.try_complete(&mut over),
+            Some(Err(Errno::EAGAIN)),
+            "the over-cap submit is rejected before any traffic"
+        );
+        assert_eq!(c.stats().eagain_rejected, 1);
+        assert_eq!(c.stats().ops, u64::from(INFLIGHT_CAP), "rejected ops are not counted");
+        for fut in futs.drain(..) {
+            assert!(c.wait(&mut (), fut).is_ok(), "capped ops all complete");
+        }
+        // Capacity is back.
+        let again = c.submit_lookup(P, NodeId(0), "bin");
+        assert!(c.wait(&mut (), again).is_ok());
+    }
+
+    #[test]
+    fn half_open_session_is_evicted_and_futures_resolve_eagain() {
+        // A half-open client (writes, never reads) behind a tiny reply
+        // queue: every reply is shed, the shed counter passes the
+        // eviction limit, and the pending futures resolve to EAGAIN
+        // instead of hanging wait() forever.
+        let r = remote_memfs().with_queue_caps(4096, 8);
+        let c = r.client();
+        force_persona(&c, Persona::HalfOpen);
+        let f1 = c.submit_lookup(P, NodeId(0), "bin");
+        let f2 = c.submit_lookup(P, NodeId(0), "bin");
+        assert_eq!(c.wait(&mut (), f1), Err(Errno::EAGAIN), "no hang, typed error");
+        assert_eq!(c.wait(&mut (), f2), Err(Errno::EAGAIN));
+        let st = c.stats();
+        assert_eq!(st.sessions_evicted, 1, "the session was evicted");
+        assert!(st.frames_shed > u64::from(EVICT_SHED_LIMIT));
+        assert!(st.out_queue_hwm <= 8, "the cap held");
+        // The session is gone for good: submits bounce immediately.
+        let mut f3 = c.submit_lookup(P, NodeId(0), "bin");
+        assert_eq!(c.try_complete(&mut f3), Some(Err(Errno::EAGAIN)));
+        let p = c.poll_session();
+        assert!(p.hangup && !p.writable);
+        // Session 0 (the blocking mount face) is never evicted: its
+        // replies shed under the same tiny cap, but it degrades to a
+        // clean timeout instead of an eviction.
+        let mut rfs = r;
+        assert_eq!(rfs.lookup(&mut (), P, NodeId(0), "bin"), Err(Errno::ETIMEDOUT));
+        assert_eq!(rfs.stats().sessions_evicted, 1, "still just the one eviction");
+    }
+
+    #[test]
+    fn hangup_resolves_pending_futures_and_rejects_submits() {
+        let r = remote_memfs();
+        let c = r.client();
+        let fut = c.submit_lookup(P, NodeId(0), "bin");
+        c.hangup(&mut ());
+        assert_eq!(c.wait(&mut (), fut), Err(Errno::EAGAIN), "teardown resolved it");
+        let mut after = c.submit_lookup(P, NodeId(0), "bin");
+        assert_eq!(c.try_complete(&mut after), Some(Err(Errno::EAGAIN)));
+        assert!(c.poll_session().hangup);
+        assert!(c.stats().churn_events > 0);
+        // Other sessions are untouched.
+        let c2 = r.client();
+        assert!(c2.wait(&mut (), c2.submit_lookup(P, NodeId(0), "bin")).is_ok());
+    }
+
+    #[test]
+    fn slow_reader_completes_but_pays_in_ticks() {
+        let run = |persona: Persona| -> u64 {
+            let r = remote_memfs();
+            let c = r.client();
+            force_persona(&c, persona);
+            let fut = c.submit_lookup(P, NodeId(0), "bin");
+            assert!(c.wait(&mut (), fut).is_ok());
+            c.ticks()
+        };
+        let clean = run(Persona::Clean);
+        let slow = run(Persona::SlowReader);
+        assert!(
+            slow > clean,
+            "one byte per tick ({slow}) must be slower than a clean drain ({clean})"
+        );
+    }
+
+    #[test]
+    fn disconnect_and_reconnect_churn_recovers() {
+        let r = remote_memfs();
+        let c = r.client();
+        let fut = c.submit_lookup(P, NodeId(0), "bin");
+        c.disconnect();
+        assert!(!c.poll_session().writable, "down links are not writable");
+        // Pump a few events while down: retries transmit nothing.
+        for _ in 0..4 {
+            c.pump(&mut ());
+        }
+        c.reconnect(&mut ());
+        let got = c.wait(&mut (), fut).expect("retry after reconnect completes the op");
+        assert!(got.0 > 0);
+        assert!(c.stats().churn_events >= 2, "both transitions counted");
+    }
+
+    #[test]
+    fn mid_frame_cuts_recover_exactly_once_with_stale_replays() {
+        // Heavy mid-frame disconnects plus guaranteed stale replays on
+        // a sequenced write stream: the write must land exactly once no
+        // matter how many cut/reconnect/replay rounds it takes.
+        let adv = AdversaryRates { mid_frame: 400, stale_replay: 1000, ..Default::default() };
+        let mut fs = MemFs::<()>::new();
+        fs.install("/log", 0o644, 0, 0, Vec::new());
+        let r = RemoteFs::new(Box::new(fs))
+            .with_faults(FaultPlan::new(0xC0FFEE, FaultRates::default()).with_adversary(adv));
+        let c = r.client();
+        let cred = Cred::superuser();
+        let log = c.wait(&mut (), c.submit_lookup(P, NodeId(0), "log")).expect("log");
+        let tok = c
+            .wait(&mut (), c.submit_open(P, log, OFlags::rdwr(), &cred))
+            .expect("open");
+        for i in 0..8u64 {
+            let fut = c.submit_write(P, log, tok, i, &[b'a' + i as u8]);
+            match c.wait(&mut (), fut) {
+                Ok(IoReply::Done(1)) | Err(Errno::ETIMEDOUT) => {}
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        let st = c.stats();
+        assert!(st.churn_events > 0, "mid-frame cuts actually happened");
+        // Replays only fire when a reconnect rolls one and a sequenced
+        // frame was delivered before the cut; with these rates some
+        // must have fired, and every one must hit the dedup window.
+        assert!(st.stale_replays > 0, "stale replays actually happened");
+        assert!(st.dedup_hits >= st.stale_replays, "replays answered from the window");
+        // Exactly-once: each offset holds its byte or was never written
+        // (timed out); never a doubled effect.
+        let mut rfs = r;
+        let mut buf = [0u8; 8];
+        if let Ok(IoReply::Done(n)) = rfs.read(&mut (), P, log, tok, 0, &mut buf) {
+            for (i, got) in buf[..n].iter().enumerate() {
+                assert!(
+                    *got == 0 || *got == b'a' + i as u8,
+                    "offset {i} holds {got}: a write landed twice or corrupted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_floods_are_absorbed_by_dedup_and_caps() {
+        let adv = AdversaryRates { flood: 1000, ..Default::default() };
+        let mut fs = MemFs::<()>::new();
+        fs.install("/log", 0o644, 0, 0, Vec::new());
+        let r = RemoteFs::new(Box::new(fs))
+            .with_faults(FaultPlan::new(0xF100D, FaultRates::default()).with_adversary(adv));
+        let c = r.client();
+        let cred = Cred::superuser();
+        let log = c.wait(&mut (), c.submit_lookup(P, NodeId(0), "log")).expect("log");
+        let tok = c
+            .wait(&mut (), c.submit_open(P, log, OFlags::rdwr(), &cred))
+            .expect("open");
+        let fut = c.submit_write(P, log, tok, 0, b"once");
+        assert_eq!(c.wait(&mut (), fut), Ok(IoReply::Done(4)));
+        let st = c.stats();
+        assert!(st.floods > 0, "floods actually fired");
+        assert!(st.dedup_hits > 0, "extra copies answered from the window");
+        assert!(st.in_queue_hwm <= DEFAULT_QUEUE_CAP as u64, "caps never exceeded");
+        let mut rfs = r;
+        let mut buf = [0u8; 8];
+        let n = match rfs.read(&mut (), P, log, tok, 0, &mut buf).expect("read") {
+            IoReply::Done(n) => n,
+            IoReply::Block => panic!("memfs never blocks"),
+        };
+        assert_eq!(&buf[..n], b"once", "the flood applied exactly once");
+    }
+
+    #[test]
+    fn adversarial_schedules_replay_identically() {
+        let run = || {
+            let plan = FaultPlan::new(0x00AD_5EED, FaultRates::uniform(60))
+                .with_adversary(AdversaryRates::uniform(120));
+            let r = remote_memfs().with_faults(plan).with_queue_caps(2048, 2048);
+            let mut outcomes = Vec::new();
+            for round in 0..6 {
+                let c = r.client();
+                for i in 0..4 {
+                    let name = if (round + i) % 3 == 0 { "missing" } else { "bin" };
+                    let fut = c.submit_lookup(P, NodeId(0), name);
+                    outcomes.push(c.wait(&mut (), fut));
+                }
+            }
+            (outcomes, r.stats(), r.ticks())
+        };
+        let (a, sa, ta) = run();
+        let (b, sb, tb) = run();
+        assert_eq!(a, b, "per-op outcomes replay exactly");
+        assert_eq!(sa, sb, "server and adversary counters replay exactly");
+        assert_eq!(ta, tb, "the virtual clock replays exactly");
+        assert_eq!(sa.sessions_opened, 6);
+    }
+
+    #[test]
+    fn no_session_starves_another_under_load() {
+        // One chatty client floods its own session with work; a second
+        // client's single op must still complete within the round-robin
+        // budget, not behind the entire backlog.
+        let r = remote_memfs();
+        let chatty = r.client();
+        let quiet = r.client();
+        let futs: Vec<OpFuture<NodeId>> = (0..u64::from(INFLIGHT_CAP))
+            .map(|_| chatty.submit_lookup(P, NodeId(0), "bin"))
+            .collect();
+        let q = quiet.submit_lookup(P, NodeId(0), "bin");
+        let quiet_done = {
+            let mut fut = q;
+            loop {
+                if let Some(res) = quiet.try_complete(&mut fut) {
+                    break res;
+                }
+                quiet.pump(&mut ());
+            }
+        };
+        assert!(quiet_done.is_ok(), "the quiet session completed");
+        let quiet_ticks = quiet.ticks();
+        for fut in futs {
+            assert!(chatty.wait(&mut (), fut).is_ok());
+        }
+        let all_ticks = chatty.ticks();
+        assert!(
+            quiet_ticks < all_ticks,
+            "quiet op ({quiet_ticks}) finished before the backlog drained ({all_ticks})"
+        );
+    }
+
+    #[test]
+    fn injected_junk_has_no_side_effects() {
+        let mut fs = MemFs::<()>::new();
+        fs.install("/log", 0o644, 0, 0, b"untouched".to_vec());
+        let r = RemoteFs::new(Box::new(fs));
+        let c = r.client();
+        // Raw garbage, a truncated forged write, a bad-CRC frame.
+        c.inject_inbound(&mut (), b"not a frame at all");
+        let forged = encode_frame(999, &marshal_write(P, NodeId(1), OpenToken(0), 0, b"EVIL"));
+        c.inject_inbound(&mut (), &forged[..forged.len() - 3]);
+        let mut bad = encode_frame(1000, &marshal_write(P, NodeId(1), OpenToken(0), 0, b"EVIL"));
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        c.inject_inbound(&mut (), &bad);
+        while c.pump(&mut ()) {}
+        let mut rfs = r;
+        let log = rfs.lookup(&mut (), P, NodeId(0), "log").expect("log");
+        let cred = Cred::superuser();
+        let tok = rfs.open(&mut (), P, log, OFlags::rdonly(), &cred).expect("open");
+        let mut buf = [0u8; 9];
+        rfs.read(&mut (), P, log, tok, 0, &mut buf).expect("read");
+        assert_eq!(&buf, b"untouched", "no forged write ever applied");
     }
 }

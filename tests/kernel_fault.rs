@@ -580,6 +580,41 @@ fn targeted_death_spares_bystanders() {
     release(&mut sys, ctl, bystander);
 }
 
+/// Satellite (PR 7): the mid-op death site fires *inside* a single
+/// blocking op's pump loop — after `PIOCWSTOP` has latched its target
+/// but before the wait completes, which the per-op site (rolled only at
+/// op entry) can never reach. A targeted certain-mid-op plan kills the
+/// held target between two scheduler steps of one stop; the controller
+/// surfaces a typed result, and the mid-op counter — not the per-op
+/// one — records the death.
+#[test]
+fn target_death_mid_wstop_is_typed_and_counted() {
+    let (mut sys, ctl) = boot();
+    let pid = spawn_retry(&mut sys, ctl, "/bin/spin").expect("spawn");
+    sys.run_idle(50);
+    let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
+    sys.install_targeted_fault_plan(
+        0x3D0_7EA,
+        KernelFaultRates { mid_op: 1000, ..Default::default() },
+    );
+    // The wait either reports a stop that raced ahead of the kill or
+    // degrades to a typed error — never a panic, never a hang.
+    match h.stop(&mut sys) {
+        Ok(_) => {}
+        Err(e) => assert!(clean_errno(e), "mid-op death surfaced dirty: {e}"),
+    }
+    let _ = h.close(&mut sys);
+    sys.run_idle(100);
+    let st = sys.kfault_stats();
+    assert!(st.deaths_mid_op > 0, "the in-pump hook never fired");
+    assert_eq!(st.deaths, 0, "the per-op site must not have fired (its rate is zero)");
+    assert!(
+        sys.kernel.proc(pid).map(|p| p.zombie).unwrap_or(true),
+        "certain mid-op death left the held target alive"
+    );
+    assert_all_released(&mut sys, 0x3D0_7EA);
+}
+
 /// Fault-free runs through `scoped` also release on the way out (the
 /// non-panic half of the guard).
 #[test]

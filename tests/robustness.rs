@@ -316,3 +316,121 @@ fn many_processes_under_observation() {
     let starved = snaps.iter().filter(|p| p.fname == "spin" && p.time == 0).count();
     assert_eq!(starved, 0, "no spinner starved");
 }
+
+/// Forges a sequenced `PCKILL` write frame against a target's hier ctl
+/// node, exactly as a hostile client would put it on the wire.
+fn forge_kill_frame(
+    sys: &mut System,
+    fs: &mut vfs::remote::RemoteFs<procsim::ksim::Kernel>,
+    ctl: Pid,
+    pid: Pid,
+    tag: u64,
+) -> (Vec<u8>, vfs::NodeId, vfs::OpenToken) {
+    use procsim::procfs::{ctl_record, hier::PCKILL};
+    use vfs::FileSystem;
+    let cred = Cred::superuser();
+    let k = &mut sys.kernel;
+    let dir = fs.lookup(k, ctl, vfs::NodeId(0), &pid.0.to_string()).expect("pid dir");
+    let node = fs.lookup(k, ctl, dir, "ctl").expect("ctl node");
+    let tok = fs.open(k, ctl, node, vfs::OFlags::wronly(), &cred).expect("open ctl");
+    let rec = ctl_record(PCKILL, &(procsim::ksim::signal::SIGUSR1 as u32).to_le_bytes());
+    let body = vfs::remote::marshal_write(ctl, node, tok, 0, &rec);
+    (vfs::remote::encode_frame(tag, &body), node, tok)
+}
+
+/// Adversarial frame kind: mid-frame truncation at *every* byte offset.
+/// Each strict prefix of a forged control-write frame, injected raw
+/// into its own server session, must have zero side effects — then the
+/// intact frame applies exactly once, and replaying its bytes with the
+/// same (stale) tag is absorbed by the dedup window, not re-executed.
+#[test]
+fn truncated_frames_at_every_offset_have_no_side_effects() {
+    use procsim::procfs::HierFs;
+    use vfs::remote::RemoteFs;
+    let mut sys = tools::boot_demo();
+    let ctl = sys.spawn_hosted("forger", Cred::superuser());
+    let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+    sys.run_idle(50);
+    let mut fs = RemoteFs::new(Box::new(HierFs::new()));
+    let (frame, _, _) = forge_kill_frame(&mut sys, &mut fs, ctl, pid, 42);
+
+    // Every strict prefix: its own session, no effect, no panic.
+    for cut in 0..frame.len() {
+        let c = fs.client();
+        c.inject_inbound(&mut sys.kernel, &frame[..cut]);
+        while c.pump(&mut sys.kernel) {}
+    }
+    sys.run_idle(200);
+    assert_eq!(
+        sys.kernel.log.sig_posts_of(pid, procsim::ksim::signal::SIGUSR1),
+        0,
+        "a truncated forged frame had a side effect"
+    );
+
+    // The intact frame applies — exactly once.
+    let c = fs.client();
+    c.inject_inbound(&mut sys.kernel, &frame);
+    while c.pump(&mut sys.kernel) {}
+    sys.run_idle(200);
+    assert_eq!(sys.kernel.log.sig_posts_of(pid, procsim::ksim::signal::SIGUSR1), 1);
+
+    // Stale-tag replay behind a mid-frame cut: a truncated copy whose
+    // body never finishes, then the same stale bytes twice — the
+    // stream resyncs past the corpse and the server-wide dedup window
+    // answers the replays from its cache.
+    let c2 = fs.client();
+    let mut cut_then_replay = frame[..frame.len() / 2].to_vec();
+    cut_then_replay.extend_from_slice(&frame);
+    c2.inject_inbound(&mut sys.kernel, &cut_then_replay);
+    c2.inject_inbound(&mut sys.kernel, &frame);
+    while c2.pump(&mut sys.kernel) {}
+    sys.run_idle(200);
+    assert_eq!(
+        sys.kernel.log.sig_posts_of(pid, procsim::ksim::signal::SIGUSR1),
+        1,
+        "a stale-tag replay re-executed a sequenced op"
+    );
+    assert!(fs.stats().dedup_hits >= 2, "the replays were not answered from the window");
+    assert!(fs.stats().resync_bytes > 0, "truncated junk was never resynced past");
+}
+
+/// Adversarial frame kind: a flood burst of one forged control frame
+/// against a session with a small inbound cap. The burst is shed at
+/// the cap (high-water mark proves it never overflowed), the flooding
+/// session is evicted, and the control message still applies exactly
+/// once — flooding buys the adversary nothing.
+#[test]
+fn flood_bursts_are_shed_capped_and_exactly_once() {
+    use procsim::procfs::HierFs;
+    use vfs::remote::RemoteFs;
+    const CAP: usize = 512;
+    let mut sys = tools::boot_demo();
+    let ctl = sys.spawn_hosted("flooder", Cred::superuser());
+    let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+    sys.run_idle(50);
+    let mut fs = RemoteFs::new(Box::new(HierFs::new())).with_queue_caps(CAP, CAP);
+    let (frame, _, _) = forge_kill_frame(&mut sys, &mut fs, ctl, pid, 7);
+
+    let c = fs.client();
+    for _ in 0..64 {
+        c.inject_inbound(&mut sys.kernel, &frame);
+    }
+    while c.pump(&mut sys.kernel) {}
+    sys.run_idle(200);
+    assert_eq!(
+        sys.kernel.log.sig_posts_of(pid, procsim::ksim::signal::SIGUSR1),
+        1,
+        "a flood burst must apply its op exactly once"
+    );
+    let st = fs.stats();
+    assert!(st.in_queue_hwm <= CAP as u64, "the inbound cap was exceeded");
+    assert!(st.frames_shed > 0, "nothing was shed under a 64-frame burst");
+    assert!(st.dedup_hits >= 1, "delivered duplicates were not absorbed");
+    assert_eq!(st.sessions_evicted, 1, "the flooding session was not evicted");
+    // The blocking face still works: the flood starved nobody else.
+    use vfs::FileSystem;
+    let dir = fs
+        .lookup(&mut sys.kernel, ctl, vfs::NodeId(0), &pid.0.to_string())
+        .expect("blocking face survives the flood");
+    assert!(dir.0 > 0);
+}
