@@ -11,6 +11,11 @@
 //! order and scales with total events; sequential WSTOP waits head-of-
 //! line.
 
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use bench_support::{banner, boot_with_ctl};
 use bench_support::{criterion_group, Criterion};
 use ksim::signal::SIGUSR1;
@@ -108,5 +113,5 @@ criterion_group!(benches, bench);
 fn main() {
     print_demo();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

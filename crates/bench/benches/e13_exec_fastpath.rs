@@ -23,7 +23,12 @@
 //! leg of the dense-breakpoint table beating coarse on both rebuild
 //! count and hits/sec.
 
-use bench_support::{banner, boot_with_ctl, dense_breakpoint_pair, fast_path_pair};
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
+use bench_support::{banner, dense_breakpoint_pair, fast_path_pair};
 use bench_support::{criterion_group, Criterion};
 
 fn print_rates() {
@@ -86,8 +91,8 @@ fn bench(c: &mut Criterion) {
     for (leg, fast) in [("slow_path", false), ("fast_path", true)] {
         for program in ["/bin/spin", "/bin/watched"] {
             let name = program.rsplit('/').next().expect("name");
-            let (mut sys, ctl) = boot_with_ctl();
-            sys.set_fast_path(fast);
+            let (mut sys, ctl) =
+                bench_support::boot_with_ctl_cfg(ksim::SimConfig::standard().fast_path(fast));
             sys.spawn_program(ctl, program, &[name]).expect("spawn");
             // Warm the caches (a no-op on the slow leg) so the timer
             // sees steady state, not the compulsory misses.
@@ -105,5 +110,5 @@ criterion_group!(benches, bench);
 fn main() {
     print_rates();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

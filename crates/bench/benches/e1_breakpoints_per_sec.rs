@@ -13,6 +13,11 @@
 //! Expected shape: /proc ≥ kernel-ptrace > ptrace-over-/proc, with the
 //! call counts explaining the gaps.
 
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use bench_support::{banner, boot_with_ctl};
 use bench_support::{criterion_group, Criterion};
 use ksim::ptrace::WaitStatus;
@@ -113,8 +118,8 @@ fn bench(c: &mut Criterion) {
     //   exactly what the software TLB + icache buy.
     for (leg, fast) in [("fast_path", true), ("slow_path", false)] {
         group.bench_function(format!("compute_loop_bp_{leg}"), |b| {
-            let (mut sys, ctl) = boot_with_ctl();
-            sys.set_fast_path(fast);
+            let (mut sys, ctl) =
+                bench_support::boot_with_ctl_cfg(ksim::SimConfig::standard().fast_path(fast));
             let mut dbg = Debugger::launch(&mut sys, ctl, "/bin/cruncher", &["cruncher"])
                 .expect("launch");
             let tick = dbg.sym("tick").expect("symbol");
@@ -169,5 +174,5 @@ criterion_group!(benches, bench);
 fn main() {
     print_counts();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

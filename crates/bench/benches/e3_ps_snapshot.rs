@@ -7,6 +7,11 @@
 //! a mutator racing the multi-op gather demonstrates the torn-snapshot
 //! hazard the single operation eliminates.
 
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use bench_support::{banner, boot_with_root};
 use bench_support::{criterion_group, Criterion};
 use ksim::Cred;
@@ -73,5 +78,5 @@ criterion_group!(benches, bench);
 fn main() {
     print_demo();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

@@ -9,6 +9,11 @@
 //! batch costs one interface crossing instead of k, and wins by roughly
 //! the per-crossing overhead times (k-1).
 
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use bench_support::{banner, boot_with_ctl};
 use bench_support::{criterion_group, Criterion};
 use ksim::signal::SigSet;
@@ -108,5 +113,5 @@ criterion_group!(benches, bench);
 fn main() {
     print_comparison();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

@@ -13,12 +13,17 @@
 //! payoff: many clients' tagged ops in flight at once complete out of
 //! order, beating one-at-a-time calls on the same lossy wire.
 
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use bench_support::banner;
 use bench_support::{criterion_group, Criterion};
 use ksim::{Cred, System};
 use procfs::{HierFs, ProcFs, PrStatus};
 use tools::proc_io::ProcHandle;
-use vfs::remote::{FaultPlan, FaultRates, RemoteFs};
+use vfs::remote::{FaultRates, RemoteFs, WireConfig};
 use vfs::OFlags;
 
 /// Boots a system whose /proc generations are mounted across the wire.
@@ -93,7 +98,7 @@ fn boot_remote_faulted(permille: u16) -> (System, ksim::Pid) {
     let mut sys = System::boot();
     tools::install_userland(&mut sys);
     let hier = RemoteFs::new(Box::new(HierFs::new()))
-        .with_faults(FaultPlan::new(0xE5_FA_17, FaultRates::uniform(permille)));
+        .with_config(&WireConfig::faulty(0xE5_FA_17, FaultRates::uniform(permille)));
     sys.mount("/proc2", Box::new(hier));
     let ctl = sys.spawn_hosted("remote-ctl", Cred::new(100, 10));
     (sys, ctl)
@@ -275,5 +280,5 @@ fn main() {
     print_multi_client_sweep();
     print_client_count_sweep();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

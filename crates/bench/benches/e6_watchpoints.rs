@@ -11,6 +11,11 @@
 //! slower than (b) (every same-page store takes the recovery path) but
 //! the process never stops.
 
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use bench_support::{banner, boot_with_ctl};
 use bench_support::{criterion_group, Criterion};
 use procfs::PrWatch;
@@ -119,5 +124,5 @@ criterion_group!(benches, bench);
 fn main() {
     print_table();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

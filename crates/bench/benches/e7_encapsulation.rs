@@ -10,6 +10,11 @@
 //! magnitude slower than native, but the *program* is byte-for-byte
 //! unmodified and cannot tell.
 
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use bench_support::{banner, boot_with_ctl};
 use bench_support::{criterion_group, Criterion};
 use ksim::ptrace::{decode_status, WaitStatus};
@@ -130,5 +135,5 @@ criterion_group!(benches, bench);
 fn main() {
     print_demo();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

@@ -8,6 +8,11 @@
 //! times the first (copying) write against subsequent writes to the
 //! already-private page.
 
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use bench_support::{banner, boot_with_ctl};
 use bench_support::{criterion_group, Criterion};
 use tools::ProcHandle;
@@ -95,5 +100,5 @@ criterion_group!(benches, bench);
 fn main() {
     print_demo();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

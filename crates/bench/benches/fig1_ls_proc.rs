@@ -3,6 +3,11 @@
 //! virtual memory, with system processes at size zero. Times the full
 //! readdir-plus-stat pass that `ls` performs.
 
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use bench_support::{banner, boot_with_root};
 use bench_support::{criterion_group, Criterion};
 use ksim::Cred;
@@ -48,5 +53,5 @@ criterion_group!(benches, bench);
 fn main() {
     print_figure();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

@@ -4,6 +4,11 @@
 //! mappings for both, plus the named stack and break segments. Times
 //! `PIOCMAP` itself.
 
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use bench_support::{banner, boot_with_ctl};
 use bench_support::{criterion_group, Criterion};
 use tools::pmap::pmap;
@@ -35,5 +40,5 @@ criterion_group!(benches, bench);
 fn main() {
     print_figure();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

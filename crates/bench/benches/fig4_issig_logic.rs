@@ -3,6 +3,11 @@
 //! kernel, and the decision trace is printed; the benchmark times the
 //! promotion/gate machinery itself.
 
+// Bench drivers are throwaway executables: a failed step should abort
+// the run loudly, so the harness-wide panic-free gate is waived here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use bench_support::banner;
 use bench_support::{criterion_group, Criterion};
 use ksim::sched::{Issig, SleepSig};
@@ -160,5 +165,5 @@ criterion_group!(benches, bench);
 fn main() {
     print_figure();
     benches();
-    Criterion::default().configure_from_args().final_summary();
+    Criterion.configure_from_args().final_summary();
 }

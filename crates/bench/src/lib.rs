@@ -12,16 +12,48 @@
 //! with no external registry dependencies.
 
 #![forbid(unsafe_code)]
+// Harness code fields controller-visible errors like any other tool
+// layer: fallible steps go through [`setup`]/[`setup_some`] so a failed
+// boot or spawn aborts the run naming the step, never via a bare
+// `unwrap`. The bench *executables* under `benches/` opt back out with
+// a file-level `allow` — they are throwaway drivers, not library code.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use ksim::{Cred, Pid, System};
 use std::time::{Duration, Instant};
 use tools::install_userland;
 
+
+/// Unwraps a bench-setup step. The harness has no caller to propagate
+/// errors to, so a failed boot, spawn or launch aborts the run with the
+/// step name — the panic-free gate's sanctioned invariant form.
+#[track_caller]
+pub fn setup<T, E: std::fmt::Debug>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("bench setup: {what} failed: {e:?}"),
+    }
+}
+
+/// [`setup`] for `Option`-shaped lookups (symbols, first reps).
+#[track_caller]
+pub fn setup_some<T>(o: Option<T>, what: &str) -> T {
+    match o {
+        Some(v) => v,
+        None => panic!("bench setup: {what} missing"),
+    }
+}
+
 /// Boots a demo system (both `/proc` generations + userland) with a
 /// uid-100 controller.
 pub fn boot_with_ctl() -> (System, Pid) {
-    let mut sys = procfs::boot_with_proc();
-    install_userland(&mut sys);
+    boot_with_ctl_cfg(ksim::SimConfig::standard())
+}
+
+/// [`boot_with_ctl`] under an explicit construction config — how the
+/// benches choose fast-path / invalidation-policy legs.
+pub fn boot_with_ctl_cfg(cfg: ksim::SimConfig) -> (System, Pid) {
+    let mut sys = tools::boot_demo_cfg(cfg);
     let ctl = sys.spawn_hosted("bench-ctl", Cred::new(100, 10));
     (sys, ctl)
 }
@@ -129,7 +161,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
         f(&mut b);
         per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
     }
-    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    per_iter_ns.sort_by(f64::total_cmp);
     let lo = per_iter_ns[0];
     let med = per_iter_ns[per_iter_ns.len() / 2];
     let hi = per_iter_ns[per_iter_ns.len() - 1];
@@ -231,7 +263,7 @@ fn faulted_remote_proc(
 ) -> vfs::remote::RemoteFs<ksim::Kernel> {
     vfs::remote::RemoteFs::new(Box::new(procfs::ProcFs::new()))
         .with_ioctl_table(procfs::ioctl::wire_table())
-        .with_faults(vfs::remote::FaultPlan::new(
+        .with_config(&vfs::remote::WireConfig::faulty(
             seed,
             vfs::remote::FaultRates::uniform(permille),
         ))
@@ -259,7 +291,7 @@ pub fn multi_client_wire_point(
     use vfs::FileSystem;
     let ops = (clients * ops_per_client) as u64;
     let (mut sys, ctl) = boot_with_ctl();
-    let target = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+    let target = setup(sys.spawn_program(ctl, "/bin/spin", &["spin"]), "spawn /bin/spin");
     let cred = Cred::new(100, 10);
     let name = format!("{:05}", target.0);
 
@@ -381,15 +413,15 @@ pub fn client_count_point(
     use vfs::FileSystem;
     let ops = (clients * ops_per_client) as u64;
     let (mut sys, ctl) = boot_with_ctl();
-    let target = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+    let target = setup(sys.spawn_program(ctl, "/bin/spin", &["spin"]), "spawn /bin/spin");
     let cred = Cred::new(100, 10);
     let name = format!("{:05}", target.0);
 
     let rates = if adversarial { 15 } else { 0 };
-    let mut plan =
-        vfs::remote::FaultPlan::new(seed, vfs::remote::FaultRates::uniform(rates));
+    let mut wire = vfs::remote::WireConfig::faulty(seed, vfs::remote::FaultRates::uniform(rates))
+        .queue_caps(E5D_QUEUE_CAP, E5D_QUEUE_CAP);
     if adversarial {
-        plan = plan.with_adversary(vfs::remote::AdversaryRates {
+        wire = wire.adversarial(vfs::remote::AdversaryRates {
             slow_reader: 120,
             half_open: 60,
             flood: 40,
@@ -399,8 +431,7 @@ pub fn client_count_point(
     }
     let mut fs = vfs::remote::RemoteFs::new(Box::new(procfs::ProcFs::new()))
         .with_ioctl_table(procfs::ioctl::wire_table())
-        .with_faults(plan)
-        .with_queue_caps(E5D_QUEUE_CAP, E5D_QUEUE_CAP);
+        .with_config(&wire);
 
     // The target's status node is resolved and opened once on the
     // blocking mount face (session 0, always clean); the backing-fs
@@ -548,14 +579,13 @@ fn rate(hits: u64, misses: u64) -> f64 {
 /// icache is warm); `/bin/watched` adds two stores per iteration and
 /// exercises the dTLB as well.
 pub fn fast_path_point(program: &str, fast: bool, ticks: u64) -> FastPathPoint {
-    let (mut sys, ctl) = boot_with_ctl();
-    sys.set_fast_path(fast);
-    let name = program.rsplit('/').next().expect("program name");
-    let pid = sys.spawn_program(ctl, program, &[name]).expect("spawn workload");
+    let (mut sys, ctl) = boot_with_ctl_cfg(ksim::SimConfig::standard().fast_path(fast));
+    let name = program.rsplit('/').next().unwrap_or(program);
+    let pid = setup(sys.spawn_program(ctl, program, &[name]), "spawn workload");
     let start = Instant::now();
     sys.run_idle(ticks);
     let wall = start.elapsed();
-    let st = procfs::PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    let st = setup(procfs::PrXStats::capture(&sys.kernel, pid), "xstats");
     let wall_ns = wall.as_nanos().max(1);
     FastPathPoint {
         fast,
@@ -581,7 +611,7 @@ pub fn fast_path_pair(program: &str, ticks: u64, reps: usize) -> (FastPathPoint,
         (0..reps.max(1))
             .map(|_| fast_path_point(program, fast, ticks))
             .min_by(|a, b| a.wall_ns.cmp(&b.wall_ns))
-            .expect("at least one rep")
+            .unwrap_or_else(|| unreachable!("reps.max(1) yields at least one rep"))
     };
     (best(false), best(true))
 }
@@ -592,14 +622,13 @@ pub fn fast_path_pair(program: &str, ticks: u64, reps: usize) -> (FastPathPoint,
 /// shape, where execution speed rather than controller overhead bounds
 /// the rate). Returns fielded breakpoints per second.
 pub fn breakpoint_rate_point(fast: bool, hits: u64) -> f64 {
-    let (mut sys, ctl) = boot_with_ctl();
-    sys.set_fast_path(fast);
-    let mut dbg = tools::Debugger::launch(&mut sys, ctl, "/bin/cruncher", &["cruncher"])
-        .expect("launch cruncher");
-    let tick = dbg.sym("tick").expect("tick symbol");
-    dbg.set_breakpoint(&mut sys, tick).expect("set breakpoint");
+    let (mut sys, ctl) = boot_with_ctl_cfg(ksim::SimConfig::standard().fast_path(fast));
+    let mut dbg =
+        setup(tools::Debugger::launch(&mut sys, ctl, "/bin/cruncher", &["cruncher"]), "launch");
+    let tick = setup(dbg.sym("tick"), "tick symbol");
+    setup(dbg.set_breakpoint(&mut sys, tick), "set breakpoint");
     let field = |sys: &mut System, dbg: &mut tools::Debugger| {
-        match dbg.cont(sys).expect("cont") {
+        match setup(dbg.cont(sys), "cont") {
             tools::DebugEvent::Breakpoint { addr, .. } => assert_eq!(addr, tick),
             other => panic!("unexpected {other:?}"),
         }
@@ -676,29 +705,28 @@ pub struct DenseBpPoint {
 /// a coarse leg re-traces every body superblock after each fielding's
 /// clear/replant writes while the per-page leg keeps them warm.
 pub fn dense_breakpoint_point(coarse: bool, hits: u64) -> DenseBpPoint {
-    let (mut sys, ctl) = boot_with_ctl();
-    sys.set_fast_path(true);
+    let (mut sys, ctl) =
+        boot_with_ctl_cfg(ksim::SimConfig::standard().fast_path(true).coarse_epochs(coarse));
     sys.install_program("/bin/dense", &dense_workload_src(4 * INSNS_PER_PAGE));
-    let mut dbg = tools::Debugger::launch(&mut sys, ctl, "/bin/dense", &["dense"])
-        .expect("launch dense workload");
-    sys.set_coarse_epochs(coarse);
-    let tick = dbg.sym("tick").expect("tick symbol");
-    dbg.set_breakpoint(&mut sys, tick).expect("set breakpoint");
+    let mut dbg =
+        setup(tools::Debugger::launch(&mut sys, ctl, "/bin/dense", &["dense"]), "launch");
+    let tick = setup(dbg.sym("tick"), "tick symbol");
+    setup(dbg.set_breakpoint(&mut sys, tick), "set breakpoint");
     let pid = dbg.pid();
     let field = |sys: &mut System, dbg: &mut tools::Debugger| {
-        match dbg.cont(sys).expect("cont") {
+        match setup(dbg.cont(sys), "cont") {
             tools::DebugEvent::Breakpoint { addr, .. } => assert_eq!(addr, tick),
             other => panic!("unexpected {other:?}"),
         }
     };
     field(&mut sys, &mut dbg);
-    let before = procfs::PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    let before = setup(procfs::PrXStats::capture(&sys.kernel, pid), "xstats");
     let start = Instant::now();
     for _ in 0..hits {
         field(&mut sys, &mut dbg);
     }
     let wall_ns = start.elapsed().as_nanos().max(1);
-    let after = procfs::PrXStats::capture(&sys.kernel, pid).expect("xstats");
+    let after = setup(procfs::PrXStats::capture(&sys.kernel, pid), "xstats");
     DenseBpPoint {
         coarse,
         hits_per_sec: hits as f64 * 1e9 / wall_ns as f64,
@@ -714,12 +742,122 @@ pub fn dense_breakpoint_pair(hits: u64, reps: usize) -> (DenseBpPoint, DenseBpPo
     let best = |coarse: bool| {
         (0..reps.max(1))
             .map(|_| dense_breakpoint_point(coarse, hits))
-            .max_by(|a, b| {
-                a.hits_per_sec.partial_cmp(&b.hits_per_sec).unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("at least one rep")
+            .max_by(|a, b| a.hits_per_sec.total_cmp(&b.hits_per_sec))
+            .unwrap_or_else(|| unreachable!("reps.max(1) yields at least one rep"))
     };
     (best(true), best(false))
+}
+
+/// One leg of the E14 record-overhead comparison: the same workload
+/// with the recorder off or on, plus what the recorder banked.
+#[derive(Clone, Debug)]
+pub struct RecordPoint {
+    /// Whether the recorder was on for this leg.
+    pub recorded: bool,
+    /// Wall-clock nanoseconds for the measured run.
+    pub wall_ns: u128,
+    /// Guest instructions retired (same on both legs — the recorder
+    /// must not perturb the simulation).
+    pub insns: u64,
+    /// Records in the log at the end of the run.
+    pub records: usize,
+    /// Bytes folded into digests over the run.
+    pub bytes_logged: u64,
+    /// Copy-on-write snapshots taken.
+    pub snapshots: u64,
+}
+
+/// Runs the E14 workload — a hot loop interleaved with `/proc` status
+/// reads, so the log carries both `Steps` batches and host-call records
+/// — with the recorder off or on.
+pub fn record_overhead_point(record: bool, snapshot_every: usize, ticks: u64) -> RecordPoint {
+    let cfg = if record {
+        ksim::SimConfig::standard().record(true).snapshot_every(snapshot_every)
+    } else {
+        ksim::SimConfig::standard()
+    };
+    let (mut sys, ctl) = boot_with_ctl_cfg(cfg);
+    let pid = setup(sys.spawn_program(ctl, "/bin/spin", &["spin"]), "spawn /bin/spin");
+    const SLICES: u64 = 32;
+    let start = Instant::now();
+    for _ in 0..SLICES {
+        sys.run_idle(ticks / SLICES);
+        if let Ok(fd) =
+            sys.host_open(ctl, &format!("/proc/{:05}", pid.0), vfs::OFlags::rdonly())
+        {
+            let mut buf = [0u8; 64];
+            let _ = sys.host_read(ctl, fd, &mut buf);
+            let _ = sys.host_close(ctl, fd);
+        }
+    }
+    let wall_ns = start.elapsed().as_nanos().max(1);
+    let st = setup(procfs::PrXStats::capture(&sys.kernel, pid), "xstats");
+    let (records, bytes_logged, snapshots) = match sys.kernel.recorder.as_ref() {
+        Some(r) => (r.records.len(), r.stats.bytes_logged, r.stats.snapshots),
+        None => (0, 0, 0),
+    };
+    RecordPoint { recorded: record, wall_ns, insns: st.insns, records, bytes_logged, snapshots }
+}
+
+/// One E14 time-travel point: latency of `goto_tick` to the end of a
+/// recorded log via the nearest snapshot, against the full-rebuild
+/// path replaying the whole prefix.
+#[derive(Clone, Debug)]
+pub struct GotoPoint {
+    /// Snapshot cadence (records between snapshots) of the recorded run.
+    pub snapshot_every: usize,
+    /// Log length the run produced.
+    pub len: usize,
+    /// Snapshots the recorder banked.
+    pub snapshots: u64,
+    /// Nanoseconds for `goto_tick` (snapshot resume + tail replay).
+    pub goto_ns: u128,
+    /// Records the snapshot path actually re-applied live.
+    pub goto_replayed: u64,
+    /// Nanoseconds for the full rebuild (`replay_to` from tick zero).
+    pub rebuild_ns: u128,
+    /// Records the full rebuild re-applied (the whole prefix).
+    pub rebuild_replayed: u64,
+}
+
+/// Records the E14 workload at the given snapshot cadence, then times
+/// landing on the final tick both ways. Best-of-`reps` wall time per
+/// leg; the replayed-record counts are deterministic.
+pub fn goto_latency_point(snapshot_every: usize, ticks: u64, reps: usize) -> GotoPoint {
+    let (mut sys, ctl) = boot_with_ctl_cfg(
+        ksim::SimConfig::standard().record(true).snapshot_every(snapshot_every),
+    );
+    let pid = setup(sys.spawn_program(ctl, "/bin/spin", &["spin"]), "spawn /bin/spin");
+    const SLICES: u64 = 32;
+    for _ in 0..SLICES {
+        sys.run_idle(ticks / SLICES);
+        if let Ok(fd) =
+            sys.host_open(ctl, &format!("/proc/{:05}", pid.0), vfs::OFlags::rdonly())
+        {
+            let mut buf = [0u8; 64];
+            let _ = sys.host_read(ctl, fd, &mut buf);
+            let _ = sys.host_close(ctl, fd);
+        }
+    }
+    let rec = setup_some(sys.recording(), "recording on");
+    let snapshots = sys.kernel.recorder.as_ref().map_or(0, |r| r.stats.snapshots);
+    let k = rec.len();
+    let replays_of = |s: &System| s.kernel.recorder.as_ref().map_or(0, |r| r.stats.replays);
+    let mut goto_ns = u128::MAX;
+    let mut goto_replayed = 0;
+    let mut rebuild_ns = u128::MAX;
+    let mut rebuild_replayed = 0;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let restored = setup(procfs::goto_tick(&sys, k), "goto_tick");
+        goto_ns = goto_ns.min(start.elapsed().as_nanos().max(1));
+        goto_replayed = replays_of(&restored);
+        let start = Instant::now();
+        let rebuilt = setup(procfs::replay_to(&rec, k), "replay_to");
+        rebuild_ns = rebuild_ns.min(start.elapsed().as_nanos().max(1));
+        rebuild_replayed = replays_of(&rebuilt);
+    }
+    GotoPoint { snapshot_every, len: k, snapshots, goto_ns, goto_replayed, rebuild_ns, rebuild_replayed }
 }
 
 /// Declares the bench entry function, criterion-style:

@@ -17,6 +17,7 @@ use crate::ioctl::{
 use crate::snap::{snap_handle, DirSlot, SnapHandle};
 use ksim::proc::LwpState;
 use ksim::{Kernel, HZ};
+use std::sync::PoisonError;
 use vfs::{
     Cred, DirEntry, Errno, FileSystem, IoReply, IoctlReply, Metadata, NodeId, OFlags, OpenToken,
     Pid, PollStatus, SysResult, VnodeKind,
@@ -133,7 +134,7 @@ impl FileSystem<Kernel> for ProcFs {
         if dir.0 != 0 {
             return Err(Errno::ENOTDIR);
         }
-        let mut cache = self.cache.lock().expect("snap cache poisoned");
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(list) = cache.dir(DirSlot::Flat, k.table_gen) {
             return Ok(list);
         }
@@ -153,7 +154,7 @@ impl FileSystem<Kernel> for ProcFs {
                     v /= 10;
                 }
                 DirEntry {
-                    name: std::str::from_utf8(&name[i..]).expect("digits").to_string(),
+                    name: String::from_utf8_lossy(&name[i..]).into_owned(),
                     node: NodeId(p.pid.0 as u64 + 1),
                 }
             })
@@ -333,12 +334,12 @@ impl FileSystem<Kernel> for ProcFs {
             }
         }
         if req == PIOCCACHESTATS {
-            return Ok(IoctlReply::Done(self.cache.lock().expect("snap cache poisoned").stats().to_bytes()));
+            return Ok(IoctlReply::Done(self.cache.lock().unwrap_or_else(PoisonError::into_inner).stats().to_bytes()));
         }
         if let Some(kind) = flat_cache_kind(req) {
             let pr_gen = k.proc(pid)?.pr_gen;
             let mem_gen = k.objects.content_gen;
-            let mut cache = self.cache.lock().expect("snap cache poisoned");
+            let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(bytes) =
                 cache.lookup(pid.0, kind, 0, pr_gen, mem_gen, 0, |b| b.to_vec())
             {

@@ -37,6 +37,7 @@ use crate::types::{PrCred, PrMap, PrUsage, PrXStats, PsInfo};
 use ksim::proc::LwpState;
 use ksim::{Kernel, Tid, HZ};
 use std::collections::HashMap;
+use std::sync::PoisonError;
 use vfs::{
     Cred, DirEntry, Errno, FileSystem, IoReply, IoctlReply, Metadata, NodeId, OFlags, OpenToken,
     Pid, PollStatus, SysResult, VnodeKind,
@@ -209,15 +210,24 @@ impl HierFs {
         };
         let mem_gen = k.objects.content_gen;
         let code = kind_code(kind);
-        let mut cache = self.cache.lock().expect("snap cache poisoned");
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        // `f` is FnOnce but threads two mutually exclusive paths (cache
+        // hit vs rebuilt image); the Option proves each path runs it at
+        // most once.
         let mut f = Some(f);
-        if let Some(r) = cache
-            .lookup(pid.0, code, tid.0, pr_gen, mem_gen, lwp_gen, |b| (f.take().expect("once"))(b))
-        {
+        if let Some(r) = cache.lookup(pid.0, code, tid.0, pr_gen, mem_gen, lwp_gen, |b| {
+            match f.take() {
+                Some(g) => g(b),
+                None => unreachable!("cache lookup invoked the image closure twice"),
+            }
+        }) {
             return Ok(r);
         }
         let img = Self::file_image(k, pid, kind, tid)?;
-        let r = (f.take().expect("once"))(&img);
+        let r = match f.take() {
+            Some(g) => g(&img),
+            None => unreachable!("image closure consumed without a cache hit"),
+        };
         cache.insert(pid.0, code, tid.0, pr_gen, mem_gen, lwp_gen, img);
         Ok(r)
     }
@@ -418,7 +428,7 @@ impl HierFs {
             if pos + 8 > data.len() {
                 return Err(Errno::EINVAL);
             }
-            let len = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"))
+            let len = crate::bytes::le_u32(&data[pos + 4..])
                 as usize;
             if len > MAX_CTL_PAYLOAD || pos + 8 + len > data.len() {
                 return Err(Errno::EINVAL);
@@ -533,7 +543,7 @@ impl FileSystem<Kernel> for HierFs {
         let (pid, kind, tid) = unpack(dir).ok_or(Errno::ENOENT)?;
         match kind {
             Kind::Root => {
-                let mut cache = self.cache.lock().expect("snap cache poisoned");
+                let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
                 if let Some(list) = cache.dir(DirSlot::Hier, k.table_gen) {
                     return Ok(list);
                 }
@@ -773,9 +783,9 @@ impl FileSystem<Kernel> for HierFs {
                 Self::check_ctl_framing(&data[pos.min(data.len())..])?;
                 while pos < data.len() {
                     let op =
-                        u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
+                        crate::bytes::le_u32(&data[pos..]);
                     let len =
-                        u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"))
+                        crate::bytes::le_u32(&data[pos + 4..])
                             as usize;
                     let payload = &data[pos + 8..pos + 8 + len];
                     match Self::exec_ctl(k, cur, pid, ctl_tid, op, payload) {
@@ -864,6 +874,7 @@ pub fn ctl_batch(records: &[(u32, Vec<u8>)]) -> Vec<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -22,16 +22,26 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The `/proc` layer decodes wire images and controller-supplied ioctl
+// arguments — hostile input by construction. Fallible cases surface
+// typed results (`Errno`, `WireError`, `Option`), never a panic;
+// invariant violations use an explicit `panic!`/`unreachable!` naming
+// the broken invariant. Test modules opt back in with a local `allow`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
+mod bytes;
 pub mod fsimpl;
 pub mod hier;
 pub mod ioctl;
 pub mod ops;
+pub mod replay;
 pub mod snap;
 pub mod types;
 
 pub use fsimpl::ProcFs;
 pub use hier::{ctl_batch, ctl_record, HierFs};
+pub use ioctl::StatsReport;
+pub use replay::{build_sim, goto_tick, replay, replay_to};
 pub use snap::{snap_handle, SnapCache, SnapHandle};
 pub use types::{
     PrCacheStats, PrCred, PrMap, PrRun, PrStatus, PrUsage, PrWatch, PrWhy, PrXStats, PsInfo,

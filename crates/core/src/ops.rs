@@ -201,12 +201,12 @@ fn read_u32(arg: &[u8]) -> SysResult<u32> {
     if arg.len() < 4 {
         return Err(Errno::EINVAL);
     }
-    Ok(u32::from_le_bytes(arg[0..4].try_into().expect("4 bytes")))
+    Ok(crate::bytes::le_u32(arg))
 }
 
 fn read_u64(arg: &[u8]) -> SysResult<u64> {
     if arg.len() < 8 {
         return Err(Errno::EINVAL);
     }
-    Ok(u64::from_le_bytes(arg[0..8].try_into().expect("8 bytes")))
+    Ok(crate::bytes::le_u64(arg))
 }

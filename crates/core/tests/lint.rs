@@ -1,0 +1,38 @@
+//! Crate-local panic-free gate: the `/proc` layer decodes
+//! controller-supplied ioctl arguments, ctl messages and recorded
+//! inputs — hostile bytes by construction — so its source carries
+//! `#![deny(clippy::unwrap_used, clippy::expect_used)]` and this test
+//! holds the whole crate to `clippy -D warnings` even when run from
+//! the crate directory rather than the workspace root. Skips cleanly
+//! when the toolchain has no clippy component.
+
+use std::process::Command;
+
+#[test]
+fn proc_layer_is_clippy_clean() {
+    let probe = Command::new("cargo").args(["clippy", "--version"]).output();
+    if !matches!(probe, Ok(ref out) if out.status.success()) {
+        eprintln!("skipping: cargo clippy is not installed");
+        return;
+    }
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml");
+    let out = Command::new("cargo")
+        .args([
+            "clippy",
+            "--manifest-path",
+            manifest,
+            "-p",
+            "procsim-core",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ])
+        .output()
+        .expect("run cargo clippy");
+    assert!(
+        out.status.success(),
+        "clippy found warnings in procsim-core:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

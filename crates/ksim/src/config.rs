@@ -1,0 +1,226 @@
+//! Unified construction-time configuration for a simulated system.
+//!
+//! PRs 2–7 accreted one-off `System` knobs — `set_fast_path`,
+//! `set_coarse_epochs`, the kernel and wire `FaultPlan` installers,
+//! `with_queue_caps` — each set imperatively at a different point in a
+//! test's setup. [`SimConfig`] collapses them into one declarative value
+//! consumed once at construction ([`crate::System::with_config`]), which
+//! is also exactly what the record/replay subsystem needs: the config is
+//! recorded verbatim at the head of a [`crate::record::Recording`], so
+//! replaying a run starts from a byte-identical machine.
+
+use crate::kfault::KernelFaultRates;
+use vfs::remote::WireConfig;
+
+/// A kernel fault schedule: seed + per-site rates, and whether death
+/// injection targets only processes a controller holds a writable
+/// `/proc` descriptor on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelFaultSpec {
+    /// Generator seed; one seed fixes the whole schedule.
+    pub seed: u64,
+    /// Per-site injection rates in permille.
+    pub rates: KernelFaultRates,
+    /// Concentrate death injection on controller-held targets.
+    pub targeted: bool,
+}
+
+/// What to mount at a path: interpreted by the `procfs` crate's
+/// `build_sim` (ksim itself only records the plan — mounting needs the
+/// `/proc` implementations, which live a layer up).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MountPlan {
+    /// The flat, ioctl-driven `/proc` of the paper's shipped design.
+    ProcFlat,
+    /// The hierarchical, file-per-datum `/proc` of the paper's proposal.
+    ProcHier,
+    /// A flat `/proc` served across the simulated wire under this
+    /// configuration.
+    RemoteProc(WireConfig),
+}
+
+impl MountPlan {
+    fn tag(&self) -> u8 {
+        match self {
+            MountPlan::ProcFlat => 0,
+            MountPlan::ProcHier => 1,
+            MountPlan::RemoteProc(_) => 2,
+        }
+    }
+}
+
+/// Construction-time configuration of a [`crate::System`]: scheduler
+/// parameters, execution-engine switches, the kernel fault plan, the
+/// mount plan, and whether the run is recorded.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Instructions per scheduling quantum.
+    pub quantum: u64,
+    /// Idle-step limit for hosted blocking calls before `EDEADLK`.
+    pub pump_limit: u64,
+    /// Execution fast path (software TLB + decoded-instruction cache +
+    /// superblocks) for every process.
+    pub fast_path: bool,
+    /// Bench-only: PR 5's whole-mapping invalidation policy instead of
+    /// per-page text epochs.
+    pub coarse_epochs: bool,
+    /// Kernel fault schedule; `None` consumes no generator state.
+    pub kernel_faults: Option<KernelFaultSpec>,
+    /// Record every nondeterministic input for replay.
+    pub record: bool,
+    /// Take a copy-on-write snapshot every this many recorded inputs
+    /// (only meaningful with `record`; 0 means never snapshot).
+    pub snapshot_every: usize,
+    /// Mounts to establish at construction, in order.
+    pub mounts: Vec<(String, MountPlan)>,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            quantum: 256,
+            pump_limit: 1_000_000,
+            fast_path: true,
+            coarse_epochs: false,
+            kernel_faults: None,
+            record: false,
+            snapshot_every: 64,
+            mounts: Vec::new(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// The default configuration: no mounts, no faults, no recording.
+    pub fn new() -> SimConfig {
+        SimConfig::default()
+    }
+
+    /// The standard two-face layout: flat `/proc` plus hierarchical
+    /// `/proc2`, sharing one snapshot cache.
+    pub fn standard() -> SimConfig {
+        SimConfig::new()
+            .mount("/proc", MountPlan::ProcFlat)
+            .mount("/proc2", MountPlan::ProcHier)
+    }
+
+    /// Adds a mount.
+    pub fn mount(mut self, path: &str, plan: MountPlan) -> SimConfig {
+        self.mounts.push((path.to_string(), plan));
+        self
+    }
+
+    /// Sets the scheduling quantum.
+    pub fn quantum(mut self, quantum: u64) -> SimConfig {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Sets the pump budget for blocking host calls.
+    pub fn pump_limit(mut self, limit: u64) -> SimConfig {
+        self.pump_limit = limit;
+        self
+    }
+
+    /// Turns the execution fast path on or off.
+    pub fn fast_path(mut self, on: bool) -> SimConfig {
+        self.fast_path = on;
+        self
+    }
+
+    /// Selects the coarse (whole-mapping) invalidation policy.
+    pub fn coarse_epochs(mut self, on: bool) -> SimConfig {
+        self.coarse_epochs = on;
+        self
+    }
+
+    /// Installs a kernel fault schedule.
+    pub fn kernel_faults(mut self, seed: u64, rates: KernelFaultRates) -> SimConfig {
+        self.kernel_faults = Some(KernelFaultSpec { seed, rates, targeted: false });
+        self
+    }
+
+    /// Installs a kernel fault schedule whose death injection only
+    /// considers controller-held targets.
+    pub fn targeted_kernel_faults(mut self, seed: u64, rates: KernelFaultRates) -> SimConfig {
+        self.kernel_faults = Some(KernelFaultSpec { seed, rates, targeted: true });
+        self
+    }
+
+    /// Turns input recording on.
+    pub fn record(mut self, on: bool) -> SimConfig {
+        self.record = on;
+        self
+    }
+
+    /// Sets the snapshot interval, in recorded inputs.
+    pub fn snapshot_every(mut self, every: usize) -> SimConfig {
+        self.snapshot_every = every;
+        self
+    }
+
+    /// Folds every field into a stable little-endian byte encoding; the
+    /// recording digests cover this, so replaying under a different
+    /// construction config is detected as a divergence at tick 0.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.quantum.to_le_bytes());
+        out.extend_from_slice(&self.pump_limit.to_le_bytes());
+        out.push(self.fast_path as u8);
+        out.push(self.coarse_epochs as u8);
+        match &self.kernel_faults {
+            None => out.push(0),
+            Some(f) => {
+                out.push(1);
+                out.extend_from_slice(&f.seed.to_le_bytes());
+                let r = f.rates;
+                for v in [r.enomem, r.eagain, r.eintr, r.wakeup, r.death, r.mid_op] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out.push(f.targeted as u8);
+            }
+        }
+        out.extend_from_slice(&(self.snapshot_every as u64).to_le_bytes());
+        out.extend_from_slice(&(self.mounts.len() as u64).to_le_bytes());
+        for (path, plan) in &self.mounts {
+            out.extend_from_slice(&(path.len() as u64).to_le_bytes());
+            out.extend_from_slice(path.as_bytes());
+            out.push(plan.tag());
+            if let MountPlan::RemoteProc(w) = plan {
+                w.encode(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = SimConfig::standard()
+            .quantum(128)
+            .fast_path(false)
+            .kernel_faults(7, KernelFaultRates::uniform(5))
+            .record(true)
+            .snapshot_every(16);
+        assert_eq!(cfg.quantum, 128);
+        assert!(!cfg.fast_path);
+        assert_eq!(cfg.mounts.len(), 2);
+        assert!(cfg.record);
+        assert_eq!(cfg.kernel_faults.unwrap().seed, 7);
+    }
+
+    #[test]
+    fn encoding_distinguishes_configs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        SimConfig::standard().encode(&mut a);
+        SimConfig::standard().quantum(128).encode(&mut b);
+        assert_ne!(a, b);
+        let mut c = Vec::new();
+        SimConfig::standard().encode(&mut c);
+        assert_eq!(a, c);
+    }
+}

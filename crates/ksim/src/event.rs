@@ -78,7 +78,7 @@ pub enum Event {
 }
 
 /// A bounded in-kernel event log.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct EventLog {
     events: Vec<Event>,
     /// Recording on/off (benchmarks switch it off).

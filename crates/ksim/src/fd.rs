@@ -91,7 +91,7 @@ pub struct OpenFile {
 }
 
 /// The system open-file table.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct FileTable {
     files: Vec<Option<OpenFile>>,
     free: Vec<FileId>,
@@ -158,7 +158,7 @@ impl FileTable {
 }
 
 /// An in-kernel pipe.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Pipe {
     /// Buffered bytes.
     pub buf: VecDeque<u8>,
@@ -172,7 +172,7 @@ pub struct Pipe {
 pub const PIPE_CAP: usize = 8192;
 
 /// Table of pipes.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PipeTable {
     pipes: Vec<Option<Pipe>>,
 }

@@ -21,7 +21,7 @@ pub const HZ: u64 = 10_000;
 /// Cached executable image: the parsed a.out plus the shared page-cache
 /// objects for its sections, so every process running one program shares
 /// text pages (private mappings of a common object).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CachedImage {
     /// Parsed image.
     pub aout: Aout,
@@ -83,6 +83,41 @@ pub struct Kernel {
     /// for newly created processes. On by default; the differential
     /// oracle turns it off fleet-wide via `System::set_fast_path`.
     pub fast_path: bool,
+    /// Coarse (whole-mapping) invalidation policy for newly created
+    /// processes — the bench-only PR 5 comparison knob, applied at
+    /// construction through `SimConfig`.
+    pub coarse_epochs: bool,
+    /// Attached input recorder; `None` means the run is not recorded.
+    /// Boxed: the recorder carries the whole input log plus snapshots,
+    /// and most kernels never have one.
+    pub recorder: Option<Box<crate::record::Recorder>>,
+}
+
+// A manual impl so `clone()` *is* the copy-on-write snapshot operation:
+// page frames are `Arc`-shared (`vm::PageFrame`), so the deep clone of
+// the object store and every address space is cheap until either side
+// writes. The recorder deliberately does not travel — a snapshot is a
+// passive state capture, not a second recording in progress (and cloning
+// it would recursively clone every prior snapshot it holds).
+impl Clone for Kernel {
+    fn clone(&self) -> Kernel {
+        Kernel {
+            procs: self.procs.clone(),
+            next_pid: self.next_pid,
+            files: self.files.clone(),
+            pipes: self.pipes.clone(),
+            objects: self.objects.clone(),
+            clock: self.clock,
+            log: self.log.clone(),
+            poll_gen: self.poll_gen,
+            table_gen: self.table_gen,
+            images: self.images.clone(),
+            fault_plan: self.fault_plan.clone(),
+            fast_path: self.fast_path,
+            coarse_epochs: self.coarse_epochs,
+            recorder: None,
+        }
+    }
 }
 
 impl Kernel {
@@ -96,6 +131,18 @@ impl Kernel {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         pid
+    }
+
+    /// A copy-on-write snapshot of the kernel: a deep clone whose page
+    /// frames are shared until written, with no recorder attached.
+    pub fn snapshot(&self) -> Box<Kernel> {
+        Box::new(self.clone())
+    }
+
+    /// The recorder counters (`PIOCRECSTATS` answers with these); all
+    /// zero when the run is not recorded.
+    pub fn rec_stats(&self) -> crate::record::RecStats {
+        self.recorder.as_ref().map(|r| r.stats).unwrap_or_default()
     }
 
     /// The fault-injection counters, with the object store's pressure
@@ -134,6 +181,7 @@ impl Kernel {
         let lwp = Lwp::new(Tid(1), 0, 0);
         let mut aspace = vm::AddressSpace::new();
         aspace.set_fast_path(self.fast_path);
+        aspace.set_coarse_epochs(self.coarse_epochs);
         let proc = Proc {
             pid,
             ppid,

@@ -36,6 +36,8 @@
 pub mod aout;
 pub mod bitset;
 mod bytes;
+pub mod ckpt;
+pub mod config;
 pub mod corefile;
 pub mod event;
 pub mod fault;
@@ -44,6 +46,7 @@ pub mod kernel;
 pub mod kfault;
 pub mod proc;
 pub mod ptrace;
+pub mod record;
 pub mod sched;
 pub mod signal;
 pub mod syscall;
@@ -54,10 +57,12 @@ pub use aout::Aout;
 pub use event::{Event, EventLog};
 pub use fault::{FltSet, Fault};
 pub use kernel::{Kernel, RunOpts, HZ};
+pub use config::{KernelFaultSpec, MountPlan, SimConfig};
 pub use kfault::{KFaultStats, KernelFaultPlan, KernelFaultRates};
+pub use record::{Input, RecStats, Record, Recorder, Recording, ReplayDivergence};
 pub use proc::{Lwp, LwpState, Proc, StopWhy, SysPhase, SyscallCtx, Tid, TraceState, WaitChannel};
 pub use sched::{Issig, Psig, SleepSig};
 pub use signal::{SigAction, SigSet};
 pub use sysno::SysSet;
-pub use system::System;
+pub use system::{FsSlot, System};
 pub use vfs::{Cred, Errno, Pid, SysResult};

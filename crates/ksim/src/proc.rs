@@ -319,7 +319,7 @@ impl TraceState {
 }
 
 /// A process.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Proc {
     /// Process id.
     pub pid: Pid,

@@ -13,9 +13,11 @@
 //!   level and inside interruptible sleeps.
 
 use crate::aout::{self, Aout};
+use crate::config::SimConfig;
 use crate::fault::Fault;
 use crate::fd::{FileId, FileKind, PIPE_CAP};
 use crate::kernel::{CachedImage, Kernel};
+use crate::record::{self, Input, Recorder, Recording};
 use crate::proc::{LwpState, StopWhy, SysPhase, SyscallCtx, Tid, WaitChannel};
 use crate::signal::{SIGCHLD, SIGKILL, SIGPIPE, SIGSEGV};
 use crate::sysno::SYS_FORK;
@@ -83,23 +85,41 @@ pub struct System {
 }
 
 impl System {
-    /// Boots a system: root memfs mounted at `/`, process 0 (`sched`) and
-    /// process 1 (`init`) created as hosted system processes.
+    /// Boots a system under the default [`SimConfig`]: root memfs
+    /// mounted at `/`, process 0 (`sched`) and process 1 (`init`)
+    /// created as hosted system processes.
     pub fn boot() -> System {
+        System::with_config(SimConfig::new())
+    }
+
+    /// Boots a system under `cfg` — the one construction path every
+    /// knob goes through. Mount plans in `cfg.mounts` are *not*
+    /// interpreted here (the `/proc` faces live a crate up); the
+    /// `procfs` crate's `build_sim` consumes them after this returns.
+    pub fn with_config(cfg: SimConfig) -> System {
+        let mut kernel = Kernel::new();
+        kernel.fast_path = cfg.fast_path;
+        kernel.coarse_epochs = cfg.coarse_epochs;
         let mut sys = System {
-            kernel: Kernel::new(),
+            kernel,
             fss: vec![FsSlot::Mem(vfs::MemFs::new())],
             mounts: MountTable::new(),
             cpu: Cpu::new(),
             run_cursor: 0,
-            quantum: 256,
-            pump_limit: 1_000_000,
+            quantum: cfg.quantum,
+            pump_limit: cfg.pump_limit,
         };
         sys.mounts.add("/", 0);
         let p0 = sys.kernel.new_proc(Pid(0), Pid(0), Pid(0), Cred::superuser(), "sched", true);
         debug_assert_eq!(p0, Pid(0));
         let p1 = sys.kernel.new_proc(p0, Pid(1), Pid(1), Cred::superuser(), "init", true);
         debug_assert_eq!(p1, Pid(1));
+        if let Some(f) = cfg.kernel_faults {
+            sys.apply_fault_plan(f.seed, f.rates, f.targeted);
+        }
+        if cfg.record {
+            sys.kernel.recorder = Some(Box::new(Recorder::new(cfg)));
+        }
         sys
     }
 
@@ -119,12 +139,113 @@ impl System {
         }
     }
 
-    /// Installs an executable image at `path` in the root file system.
-    pub fn install_aout(&mut self, path: &str, aout: &Aout, mode: u16) {
-        self.memfs_mut().install(path, mode, 0, 0, aout.to_bytes());
+    // ------------------------------------------------------------------
+    // Recording
+    // ------------------------------------------------------------------
+
+    /// True when a recorder is attached and not suppressed (i.e. this
+    /// call is a genuine host-boundary input, not the interior of one).
+    fn rec_active(&self) -> bool {
+        self.kernel.recorder.as_ref().map(|r| r.suppress == 0).unwrap_or(false)
     }
 
-    /// Assembles `src` and installs it at `path` (mode 0755).
+    fn rec_suppress(&mut self, on: bool) {
+        if let Some(r) = self.kernel.recorder.as_mut() {
+            if on {
+                r.suppress += 1;
+            } else {
+                r.suppress = r.suppress.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Takes a copy-on-write snapshot (kernel clone + root memfs clone)
+    /// if the recorder's interval says the current position needs one.
+    /// Must run *before* the input it precedes executes.
+    fn rec_snapshot_if_due(&mut self, will_extend: bool) {
+        let due = match self.kernel.recorder.as_ref() {
+            Some(r) if r.suppress == 0 => r.wants_snapshot(will_extend),
+            _ => false,
+        };
+        if !due {
+            return;
+        }
+        let kernel = self.kernel.snapshot();
+        let root = match &self.fss[0] {
+            FsSlot::Mem(m) => m.clone(),
+            FsSlot::Dyn(_) => return,
+        };
+        if let Some(r) = self.kernel.recorder.as_mut() {
+            r.push_snap(kernel, root);
+        }
+    }
+
+    fn rec_commit(&mut self, input: Input, result: &[u8]) {
+        let clock = self.kernel.clock;
+        if let Some(r) = self.kernel.recorder.as_mut() {
+            r.commit(input, result, clock);
+        }
+    }
+
+    /// Records one host-boundary call: pre-snapshot if due, run `f` with
+    /// recording suppressed (its interior pump steps are not inputs),
+    /// then commit the input with the encoded result.
+    fn recorded<T>(
+        &mut self,
+        f: impl FnOnce(&mut System) -> SysResult<T>,
+        input: impl FnOnce() -> Input,
+        enc: impl FnOnce(&T, &mut Vec<u8>),
+    ) -> SysResult<T> {
+        if !self.rec_active() {
+            return f(self);
+        }
+        self.rec_snapshot_if_due(false);
+        self.rec_suppress(true);
+        let r = f(self);
+        self.rec_suppress(false);
+        let res = record::result_bytes(&r, enc);
+        self.rec_commit(input(), &res);
+        r
+    }
+
+    /// The recording so far (config + input log), when recording.
+    pub fn recording(&self) -> Option<Recording> {
+        self.kernel.recorder.as_ref().map(|r| r.recording())
+    }
+
+    /// Installs raw file content at `path` in the root file system.
+    /// Recorded with the bytes inline, so replay re-installs verbatim.
+    pub fn install_file(&mut self, path: &str, mode: u16, bytes: &[u8]) {
+        self.rec_snapshot_if_due(false);
+        self.memfs_mut().install(path, mode, 0, 0, bytes.to_vec());
+        if self.rec_active() {
+            self.rec_commit(
+                Input::InstallFile { path: path.to_string(), mode, bytes: bytes.to_vec() },
+                &[],
+            );
+        }
+    }
+
+    /// Creates `path` (and any missing parents) as a directory with
+    /// `mode` in the root file system.
+    pub fn install_dir(&mut self, path: &str, mode: u16) {
+        self.rec_snapshot_if_due(false);
+        let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+        let id = self.memfs_mut().mkdir_p(&parts);
+        self.memfs_mut().set_mode(id, mode);
+        if self.rec_active() {
+            self.rec_commit(Input::InstallDir { path: path.to_string(), mode }, &[]);
+        }
+    }
+
+    /// Installs an executable image at `path` in the root file system.
+    pub fn install_aout(&mut self, path: &str, aout: &Aout, mode: u16) {
+        self.install_file(path, mode, &aout.to_bytes());
+    }
+
+    /// Assembles `src` and installs it at `path` (mode 0755). The
+    /// recording stores the *assembled* image, so replay needs no
+    /// assembler.
     pub fn install_program(&mut self, path: &str, src: &str) {
         let aout = match aout::build_aout(src) {
             Ok(a) => a,
@@ -139,8 +260,31 @@ impl System {
 
     /// Runs one scheduling step: fires timers, picks a runnable LWP and
     /// runs it for up to one quantum. Returns false when nothing can make
-    /// progress (no runnable LWPs and no timed sleepers).
+    /// progress (no runnable LWPs and no timed sleepers). When recording,
+    /// the step (and its progress bit and post-step clock) coalesces
+    /// into the trailing `Steps` record.
     pub fn step(&mut self) -> bool {
+        if !self.rec_active() {
+            return self.step_inner();
+        }
+        let will_extend = self
+            .kernel
+            .recorder
+            .as_ref()
+            .map(|r| r.step_will_extend())
+            .unwrap_or(false);
+        self.rec_snapshot_if_due(will_extend);
+        self.rec_suppress(true);
+        let ran = self.step_inner();
+        self.rec_suppress(false);
+        let clock = self.kernel.clock;
+        if let Some(r) = self.kernel.recorder.as_mut() {
+            r.commit_step(ran, clock);
+        }
+        ran
+    }
+
+    fn step_inner(&mut self) -> bool {
         self.fire_timers();
         self.autoreap_init_children();
         let Some((pid, tid)) = self.pick_next() else {
@@ -620,13 +764,32 @@ impl System {
     /// Creates a hosted process (a controlling program running as Rust
     /// code). It is a child of init unless `parent` says otherwise.
     pub fn spawn_hosted(&mut self, name: &str, cred: Cred) -> Pid {
-        self.kernel.new_proc(Pid(1), Pid(1), Pid(1), cred, name, true)
+        self.rec_snapshot_if_due(false);
+        let pid = self.kernel.new_proc(Pid(1), Pid(1), Pid(1), cred.clone(), name, true);
+        if self.rec_active() {
+            let mut res = vec![1u8];
+            res.extend_from_slice(&pid.0.to_le_bytes());
+            self.rec_commit(Input::SpawnHosted { name: name.to_string(), cred }, &res);
+        }
+        pid
     }
 
     /// Creates a process and execs `path` in it. The child's parent is
     /// `parent` (so hosted controllers can `wait` for their targets),
     /// and it inherits `parent`'s credentials.
     pub fn spawn_program(&mut self, parent: Pid, path: &str, argv: &[&str]) -> SysResult<Pid> {
+        self.recorded(
+            |s| s.spawn_program_inner(parent, path, argv),
+            || Input::SpawnProgram {
+                parent: parent.0,
+                path: path.to_string(),
+                argv: argv.iter().map(|a| a.to_string()).collect(),
+            },
+            |pid, out| out.extend_from_slice(&pid.0.to_le_bytes()),
+        )
+    }
+
+    fn spawn_program_inner(&mut self, parent: Pid, path: &str, argv: &[&str]) -> SysResult<Pid> {
         if let Some(plan) = self.kernel.fault_plan.as_mut() {
             if plan.roll_eagain_spawn() {
                 return Err(Errno::EAGAIN);
@@ -1357,8 +1520,18 @@ impl System {
         fss[fs as usize].as_fs().ioctl(kernel, cur, node, token, req, arg)
     }
 
-    /// Poll status of a descriptor.
+    /// Poll status of a descriptor. Instantaneous — never blocks — but
+    /// still a recorded input: a `/proc` poll over a remote mount can
+    /// advance wire-session state, so replay must re-issue it.
     pub fn poll_fd(&mut self, cur: Pid, fd: usize) -> SysResult<PollStatus> {
+        self.recorded(
+            |s| s.poll_fd_inner(cur, fd),
+            || Input::HostPollFd { pid: cur.0, fd: fd as u32 },
+            |st, out| record::poll_bytes(std::slice::from_ref(st), out),
+        )
+    }
+
+    fn poll_fd_inner(&mut self, cur: Pid, fd: usize) -> SysResult<PollStatus> {
         let fid = self.file_of(cur, fd)?;
         let file = self.kernel.files.get(fid).ok_or(Errno::EBADF)?.clone();
         match file.kind {
@@ -1448,30 +1621,40 @@ impl System {
     /// and, derived from the same seed, a [`vm::MemPressure`] source on
     /// the object store so vm allocation sites fail too. Passing
     /// all-zero rates installs a plan that consumes no generator state —
-    /// byte-for-byte identical to no plan at all.
-    pub fn install_fault_plan(&mut self, seed: u64, rates: crate::kfault::KernelFaultRates) {
+    /// byte-for-byte identical to no plan at all. This is the single
+    /// installation site behind [`SimConfig::kernel_faults`] and the
+    /// deprecated imperative shims.
+    fn apply_fault_plan(&mut self, seed: u64, rates: crate::kfault::KernelFaultRates, targeted: bool) {
         self.kernel.objects.set_pressure(seed ^ 0xA5A5_5A5A_C3C3_3C3C, rates.enomem);
-        self.kernel.fault_plan = Some(crate::kfault::KernelFaultPlan::new(seed, rates));
+        let plan = crate::kfault::KernelFaultPlan::new(seed, rates);
+        self.kernel.fault_plan =
+            Some(if targeted { plan.with_targeted_death(true) } else { plan });
     }
 
-    /// Like [`System::install_fault_plan`], but death injection only
-    /// considers processes a controller currently holds a writable
-    /// `/proc` descriptor on — concentrating the schedule on
-    /// controller-vs-target races instead of bystanders.
+    /// Installs a kernel fault schedule after construction.
+    #[deprecated(note = "configure via SimConfig::kernel_faults at construction")]
+    pub fn install_fault_plan(&mut self, seed: u64, rates: crate::kfault::KernelFaultRates) {
+        self.apply_fault_plan(seed, rates, false);
+    }
+
+    /// Like the untargeted installer, but death injection only considers
+    /// processes a controller currently holds a writable `/proc`
+    /// descriptor on — concentrating the schedule on controller-vs-target
+    /// races instead of bystanders.
+    #[deprecated(note = "configure via SimConfig::targeted_kernel_faults at construction")]
     pub fn install_targeted_fault_plan(
         &mut self,
         seed: u64,
         rates: crate::kfault::KernelFaultRates,
     ) {
-        self.kernel.objects.set_pressure(seed ^ 0xA5A5_5A5A_C3C3_3C3C, rates.enomem);
-        self.kernel.fault_plan =
-            Some(crate::kfault::KernelFaultPlan::new(seed, rates).with_targeted_death(true));
+        self.apply_fault_plan(seed, rates, true);
     }
 
     /// Turns the per-LWP execution fast path (software TLB + decoded
     /// instruction cache) on or off for every current and future
     /// process. Off forces every access down the slow path — the
     /// differential oracle the fault suites compare transcripts against.
+    #[deprecated(note = "configure via SimConfig::fast_path at construction")]
     pub fn set_fast_path(&mut self, on: bool) {
         self.kernel.fast_path = on;
         for p in self.kernel.procs.values_mut() {
@@ -1480,11 +1663,13 @@ impl System {
     }
 
     /// Bench-only: emulates the pre-superblock whole-mapping
-    /// invalidation policy in every current process (a write into a
-    /// mapping bumps all of its page epochs instead of just the touched
-    /// page's). The dense-breakpoint benchmark flips this to measure
-    /// per-page epochs against the policy they replaced.
+    /// invalidation policy in every current and future process (a write
+    /// into a mapping bumps all of its page epochs instead of just the
+    /// touched page's). The dense-breakpoint benchmark flips this to
+    /// measure per-page epochs against the policy they replaced.
+    #[deprecated(note = "configure via SimConfig::coarse_epochs at construction")]
     pub fn set_coarse_epochs(&mut self, on: bool) {
+        self.kernel.coarse_epochs = on;
         for p in self.kernel.procs.values_mut() {
             p.aspace.set_coarse_epochs(on);
         }
@@ -1598,17 +1783,44 @@ impl System {
 
     /// Host `open(2)`.
     pub fn host_open(&mut self, cur: Pid, path: &str, flags: OFlags) -> SysResult<usize> {
-        self.open_path(cur, path, flags)
+        self.recorded(
+            |s| s.open_path(cur, path, flags),
+            || Input::HostOpen { pid: cur.0, path: path.to_string(), flags },
+            |fd, out| out.extend_from_slice(&(*fd as u64).to_le_bytes()),
+        )
     }
 
     /// Host `close(2)`.
     pub fn host_close(&mut self, cur: Pid, fd: usize) -> SysResult<()> {
-        self.close_fd(cur, fd)
+        self.recorded(
+            |s| s.close_fd(cur, fd),
+            || Input::HostClose { pid: cur.0, fd: fd as u32 },
+            |(), _| {},
+        )
     }
 
     /// Host `read(2)`: blocks (pumping the scheduler) until data arrives
     /// or the pump budget is exhausted.
     pub fn host_read(&mut self, cur: Pid, fd: usize, buf: &mut [u8]) -> SysResult<usize> {
+        if !self.rec_active() {
+            return self.host_read_inner(cur, fd, buf);
+        }
+        self.rec_snapshot_if_due(false);
+        self.rec_suppress(true);
+        let r = self.host_read_inner(cur, fd, buf);
+        self.rec_suppress(false);
+        let res = record::result_bytes(&r, |n, out| {
+            out.extend_from_slice(&(*n as u64).to_le_bytes());
+            out.extend_from_slice(&buf[..*n]);
+        });
+        self.rec_commit(
+            Input::HostRead { pid: cur.0, fd: fd as u32, len: buf.len() as u32 },
+            &res,
+        );
+        r
+    }
+
+    fn host_read_inner(&mut self, cur: Pid, fd: usize, buf: &mut [u8]) -> SysResult<usize> {
         self.kfault_maybe_kill();
         let mut intr_pending = true;
         for _ in 0..self.pump_limit {
@@ -1636,6 +1848,14 @@ impl System {
     /// Host `write(2)`: blocks (pumping) while the file would block, up
     /// to the pump budget.
     pub fn host_write(&mut self, cur: Pid, fd: usize, data: &[u8]) -> SysResult<usize> {
+        self.recorded(
+            |s| s.host_write_inner(cur, fd, data),
+            || Input::HostWrite { pid: cur.0, fd: fd as u32, data: data.to_vec() },
+            |n, out| out.extend_from_slice(&(*n as u64).to_le_bytes()),
+        )
+    }
+
+    fn host_write_inner(&mut self, cur: Pid, fd: usize, data: &[u8]) -> SysResult<usize> {
         self.kfault_maybe_kill();
         let mut written = 0;
         let mut budget = self.pump_limit;
@@ -1670,13 +1890,35 @@ impl System {
 
     /// Host `lseek(2)`.
     pub fn host_lseek(&mut self, cur: Pid, fd: usize, off: i64, whence: u32) -> SysResult<u64> {
-        self.kfault_maybe_kill();
-        self.lseek_fd(cur, fd, off, whence)
+        self.recorded(
+            |s| {
+                s.kfault_maybe_kill();
+                s.lseek_fd(cur, fd, off, whence)
+            },
+            || Input::HostLseek { pid: cur.0, fd: fd as u32, off, whence },
+            |pos, out| out.extend_from_slice(&pos.to_le_bytes()),
+        )
     }
 
     /// Host `ioctl(2)`: blocks (pumping) while the operation would block
     /// (`PIOCWSTOP`).
     pub fn host_ioctl(&mut self, cur: Pid, fd: usize, req: u32, arg: &[u8]) -> SysResult<Vec<u8>> {
+        self.recorded(
+            |s| s.host_ioctl_inner(cur, fd, req, arg),
+            || Input::HostIoctl {
+                pid: cur.0,
+                fd: fd as u32,
+                req,
+                arg: arg.to_vec(),
+            },
+            |bytes, out| {
+                out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+                out.extend_from_slice(bytes);
+            },
+        )
+    }
+
+    fn host_ioctl_inner(&mut self, cur: Pid, fd: usize, req: u32, arg: &[u8]) -> SysResult<Vec<u8>> {
         self.kfault_maybe_kill();
         let arg = arg.to_vec();
         let mut intr_pending = true;
@@ -1698,6 +1940,14 @@ impl System {
 
     /// Host `kill(2)` with permission checks.
     pub fn host_kill(&mut self, cur: Pid, target: Pid, sig: usize) -> SysResult<()> {
+        self.recorded(
+            |s| s.host_kill_inner(cur, target, sig),
+            || Input::HostKill { pid: cur.0, target: target.0, sig: sig as u32 },
+            |(), _| {},
+        )
+    }
+
+    fn host_kill_inner(&mut self, cur: Pid, target: Pid, sig: usize) -> SysResult<()> {
         let sender = self.kernel.proc(cur)?.cred.clone();
         let tcred = self.kernel.proc(target)?.cred.clone();
         if !Kernel::kill_permitted(&sender, &tcred) {
@@ -1711,12 +1961,27 @@ impl System {
 
     /// Host `wait(2)`: blocks until a child changes state.
     pub fn host_wait(&mut self, cur: Pid) -> SysResult<(Pid, u16)> {
-        self.pump_until(move |s| s.wait_check(cur))
+        self.recorded(
+            |s| s.pump_until(move |s| s.wait_check(cur)),
+            || Input::HostWait { pid: cur.0 },
+            |(pid, status), out| {
+                out.extend_from_slice(&pid.0.to_le_bytes());
+                out.extend_from_slice(&status.to_le_bytes());
+            },
+        )
     }
 
     /// Host `poll(2)` over descriptors: blocks until at least one is
     /// ready; returns per-descriptor statuses.
     pub fn host_poll(&mut self, cur: Pid, fds: &[usize]) -> SysResult<Vec<PollStatus>> {
+        self.recorded(
+            |s| s.host_poll_inner(cur, fds),
+            || Input::HostPoll { pid: cur.0, fds: fds.iter().map(|&f| f as u32).collect() },
+            |sts, out| record::poll_bytes(sts, out),
+        )
+    }
+
+    fn host_poll_inner(&mut self, cur: Pid, fds: &[usize]) -> SysResult<Vec<PollStatus>> {
         let fds = fds.to_vec();
         self.pump_until(move |s| {
             let mut out = Vec::with_capacity(fds.len());
@@ -1736,6 +2001,14 @@ impl System {
     /// live processes are always writable, so this is the mode a
     /// debugger uses to wait on N traced processes with one call.
     pub fn host_poll_in(&mut self, cur: Pid, fds: &[usize]) -> SysResult<Vec<PollStatus>> {
+        self.recorded(
+            |s| s.host_poll_in_inner(cur, fds),
+            || Input::HostPollIn { pid: cur.0, fds: fds.iter().map(|&f| f as u32).collect() },
+            |sts, out| record::poll_bytes(sts, out),
+        )
+    }
+
+    fn host_poll_in_inner(&mut self, cur: Pid, fds: &[usize]) -> SysResult<Vec<PollStatus>> {
         self.kfault_maybe_kill();
         if let Some(plan) = self.kernel.fault_plan.as_mut() {
             if plan.roll_eintr() {

@@ -40,4 +40,4 @@ pub use proc_io::ProcHandle;
 pub use ptrace_lib::{PtraceDebugger, PtraceOverProc};
 pub use sdb::{EofPolicy, Sdb};
 pub use truss::{truss_attach, truss_command, TrussOptions, TrussReport};
-pub use userland::{boot_demo, install_userland};
+pub use userland::{boot_demo, boot_demo_cfg, install_userland};

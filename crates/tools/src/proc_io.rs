@@ -357,14 +357,43 @@ impl ProcHandle {
         Ok(())
     }
 
+    /// Any of the five stats ioctls (`PIOCCACHESTATS`,
+    /// `PIOCKFAULTSTATS`, `PIOCXSTATS`, `PIOCWIRESTATS`,
+    /// `PIOCRECSTATS`), decoded through the one typed
+    /// [`procfs::StatsReport`] path. The typed accessors below delegate
+    /// here; callers that iterate over families (e.g. a stats dumper)
+    /// can use this directly and walk `StatsReport::counters()`.
+    pub fn stats(
+        &mut self,
+        sys: &mut impl ProcTransport,
+        req: u32,
+    ) -> SysResult<procfs::StatsReport> {
+        let out = self.ioctl(sys, req, &[])?;
+        match Ioctl::from_req(req).ok_or(Errno::EINVAL)?.decode_reply(&out)? {
+            IoctlPayload::Stats(s) => Ok(s),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// `PIOCCACHESTATS`: the snapshot-cache counters of the `/proc`
+    /// mount serving this descriptor.
+    pub fn cache_stats(&mut self, sys: &mut impl ProcTransport) -> SysResult<procfs::PrCacheStats> {
+        match self.stats(sys, PIOCCACHESTATS)? {
+            procfs::StatsReport::Cache(c) => Ok(c),
+            _ => Err(Errno::EIO),
+        }
+    }
+
     /// `PIOCWIRESTATS`: the wire-layer transport counters, when the
     /// descriptor's `/proc` is mounted behind a [`vfs::remote::RemoteFs`].
     /// Answered by the client stub without crossing the wire, so it works
     /// even when the network is down; over a local mount it fails with
     /// the mount's unknown-ioctl errno.
     pub fn wire_stats(&mut self, sys: &mut impl ProcTransport) -> SysResult<vfs::remote::WireStats> {
-        let out = self.ioctl(sys, vfs::remote::PIOCWIRESTATS, &[])?;
-        vfs::remote::WireStats::from_bytes(&out).ok_or(Errno::EIO)
+        match self.stats(sys, vfs::remote::PIOCWIRESTATS)? {
+            procfs::StatsReport::Wire(w) => Ok(w),
+            _ => Err(Errno::EIO),
+        }
     }
 
     /// `PIOCKFAULTSTATS`: the kernel fault-injection counters. Answered
@@ -372,8 +401,10 @@ impl ProcHandle {
     /// reports the *server's* fault plan. All zeros when no plan is
     /// installed.
     pub fn kfault_stats(&mut self, sys: &mut impl ProcTransport) -> SysResult<ksim::KFaultStats> {
-        let out = self.ioctl(sys, PIOCKFAULTSTATS, &[])?;
-        ksim::KFaultStats::from_bytes(&out)
+        match self.stats(sys, PIOCKFAULTSTATS)? {
+            procfs::StatsReport::KernelFaults(f) => Ok(f),
+            _ => Err(Errno::EIO),
+        }
     }
 
     /// `PIOCXSTATS`: the execution fast-path counters (software TLB and
@@ -381,8 +412,40 @@ impl ProcHandle {
     /// `PIOCKFAULTSTATS`, so over a remote mount the reply crosses the
     /// wire and reports the server's caches.
     pub fn xstats(&mut self, sys: &mut impl ProcTransport) -> SysResult<PrXStats> {
-        let out = self.ioctl(sys, PIOCXSTATS, &[])?;
-        PrXStats::from_bytes(&out).ok_or(Errno::EIO)
+        match self.stats(sys, PIOCXSTATS)? {
+            procfs::StatsReport::Exec(x) => Ok(x),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    /// `PIOCRECSTATS`: the record/replay counters of the kernel owning
+    /// the target. All zeros when recording is off.
+    pub fn rec_stats(&mut self, sys: &mut impl ProcTransport) -> SysResult<ksim::RecStats> {
+        match self.stats(sys, PIOCRECSTATS)? {
+            procfs::StatsReport::Recorder(r) => Ok(r),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    /// `PIOCCKPT`: checkpoint the stopped target into a self-contained
+    /// image (identity, registers, signal mask, sparse address space).
+    /// Works over local and remote mounts alike — the image crosses the
+    /// wire as an ordinary variable-length reply.
+    pub fn checkpoint(&mut self, sys: &mut impl ProcTransport) -> SysResult<Vec<u8>> {
+        let out = self.ioctl(sys, PIOCCKPT, &[])?;
+        match Ioctl::Ckpt.decode_reply(&out)? {
+            IoctlPayload::Image(img) => Ok(img),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    /// `PIOCRESTORE`: restore a [`ProcHandle::checkpoint`] image into
+    /// the stopped target, replacing its address space, registers and
+    /// signal mask. A malformed image fails with `EINVAL` before any
+    /// state is touched.
+    pub fn restore(&mut self, sys: &mut impl ProcTransport, image: &[u8]) -> SysResult<()> {
+        self.ioctl(sys, PIOCRESTORE, image)?;
+        Ok(())
     }
 
     /// Non-blocking `poll` readiness of this descriptor — the paper's

@@ -25,7 +25,23 @@
 //! where                   symbolise the current PC
 //! kill                    kill the target and finish
 //! detach                  release the target and finish
+//! tick                    show the recording position
+//! reverse-step            undo the last step/cont stop  (alias: rs)
+//! reverse-cont            undo back past the last cont  (alias: rc)
+//! goto-tick <k>           re-materialize the run at tick k
 //! ```
+//!
+//! The reverse commands need a *recorded* system (booted from a
+//! [`ksim::SimConfig`] with `record(true)`, e.g. via
+//! [`crate::userland::boot_demo_cfg`]): each forward stop pushes a mark
+//! at the current recording position, and reversing re-materializes the
+//! run at an earlier mark through [`procfs::goto_tick`] — the whole
+//! `System` is rebuilt, but the debugger's `/proc` descriptor is valid
+//! in the replayed state because the replay reproduces the descriptor
+//! table along with everything else. On an unrecorded system they print
+//! a note and do nothing. Breakpoints planted *after* the mark being
+//! reversed to are unplanted in the restored state, exactly as they
+//! were at that point in history.
 
 use crate::debugger::{DebugEvent, Debugger};
 use crate::proc_io::ProcHandle;
@@ -52,6 +68,15 @@ pub struct Sdb {
     dbg: Option<Debugger>,
     transcript: String,
     finished: bool,
+    /// Reverse-execution marks: `(recording position, command)` for the
+    /// session start and every step/cont stop, oldest first. The last
+    /// mark is "now"; reversing pops it and lands on the one below.
+    marks: Vec<(usize, String)>,
+}
+
+/// The recording position of a system, when it records.
+fn rec_pos(sys: &System) -> Option<usize> {
+    sys.kernel.recorder.as_ref().map(|r| r.records.len())
 }
 
 impl Sdb {
@@ -59,7 +84,9 @@ impl Sdb {
     pub fn launch(sys: &mut System, ctl: Pid, path: &str, argv: &[&str]) -> SysResult<Sdb> {
         let dbg = Debugger::launch(sys, ctl, path, argv)?;
         let pid = dbg.pid();
-        let mut s = Sdb { dbg: Some(dbg), transcript: String::new(), finished: false };
+        let mut s =
+            Sdb { dbg: Some(dbg), transcript: String::new(), finished: false, marks: Vec::new() };
+        s.mark(sys, "launch");
         s.say(&format!("sdb: {path} (pid {pid}) stopped before first instruction"));
         Ok(s)
     }
@@ -67,9 +94,37 @@ impl Sdb {
     /// Grabs a running process.
     pub fn attach(sys: &mut System, ctl: Pid, pid: Pid) -> SysResult<Sdb> {
         let dbg = Debugger::attach(sys, ctl, pid)?;
-        let mut s = Sdb { dbg: Some(dbg), transcript: String::new(), finished: false };
+        let mut s =
+            Sdb { dbg: Some(dbg), transcript: String::new(), finished: false, marks: Vec::new() };
+        s.mark(sys, "attach");
         s.say(&format!("sdb: grabbed pid {pid}"));
         Ok(s)
+    }
+
+    fn mark(&mut self, sys: &System, label: &str) {
+        if let Some(pos) = rec_pos(sys) {
+            self.marks.push((pos, label.to_string()));
+        }
+    }
+
+    /// Re-materializes `sys` at recording position `k`. A divergence is
+    /// reported in the transcript and surfaced as `EIO` — it means the
+    /// log no longer reproduces (e.g. it was tampered with), which a
+    /// debugger must not paper over.
+    fn goto(&mut self, sys: &mut System, k: usize) -> SysResult<()> {
+        match procfs::goto_tick(sys, k) {
+            Ok(restored) => {
+                *sys = restored;
+                Ok(())
+            }
+            Err(d) => {
+                self.say(&format!(
+                    "sdb: replay diverged at tick {} (expected {:#018x}, got {:#018x})",
+                    d.tick, d.expected, d.got
+                ));
+                Err(Errno::EIO)
+            }
+        }
     }
 
     /// True once the target exited or was released.
@@ -183,6 +238,8 @@ impl Sdb {
                 let ev = self.dbg()?.cont(sys)?;
                 if matches!(ev, DebugEvent::Exited(_)) {
                     self.finished = true;
+                } else {
+                    self.mark(sys, "cont");
                 }
                 let msg = self.describe(&ev);
                 self.say(&msg);
@@ -194,12 +251,15 @@ impl Sdb {
                     if !matches!(ev, DebugEvent::Stepped) {
                         if matches!(ev, DebugEvent::Exited(_)) {
                             self.finished = true;
+                        } else {
+                            self.mark(sys, "step");
                         }
                         let msg = self.describe(&ev);
                         self.say(&msg);
                         return Ok(());
                     }
                 }
+                self.mark(sys, "step");
                 let regs = self.dbg()?.regs(sys)?;
                 let line = {
                     let dbg = self.dbg()?;
@@ -293,6 +353,62 @@ impl Sdb {
                 }
                 self.finished = true;
                 self.say("detached");
+            }
+            ("tick", []) => match rec_pos(sys) {
+                Some(pos) => self.say(&format!("tick {pos}")),
+                None => self.say("sdb: recording is off"),
+            },
+            ("reverse-step" | "rs", []) => {
+                if rec_pos(sys).is_none() {
+                    self.say("sdb: recording is off; reverse execution unavailable");
+                    return Ok(());
+                }
+                if self.marks.len() < 2 {
+                    self.say("sdb: already at the earliest recorded stop");
+                    return Ok(());
+                }
+                self.marks.pop();
+                let target = self.marks.last().map(|m| m.0).unwrap_or(0);
+                self.goto(sys, target)?;
+                let pc = self.dbg()?.regs(sys)?.pc;
+                self.say(&format!("sdb: reversed to tick {target}, pc = {pc:#x}"));
+            }
+            ("reverse-cont" | "rc", []) => {
+                if rec_pos(sys).is_none() {
+                    self.say("sdb: recording is off; reverse execution unavailable");
+                    return Ok(());
+                }
+                if self.marks.len() < 2 {
+                    self.say("sdb: already at the earliest recorded stop");
+                    return Ok(());
+                }
+                // Pop stops until a `cont` stop has been undone (or the
+                // session start is all that remains): the reverse of
+                // "run to the next event" is "un-run the last event".
+                while self.marks.len() > 1 {
+                    let undone = self.marks.pop();
+                    if matches!(&undone, Some((_, l)) if l == "cont") {
+                        break;
+                    }
+                }
+                let target = self.marks.last().map(|m| m.0).unwrap_or(0);
+                self.goto(sys, target)?;
+                let pc = self.dbg()?.regs(sys)?.pc;
+                self.say(&format!("sdb: reversed to tick {target}, pc = {pc:#x}"));
+            }
+            ("goto-tick", [k]) => {
+                let Some(pos) = rec_pos(sys) else {
+                    self.say("sdb: recording is off; reverse execution unavailable");
+                    return Ok(());
+                };
+                let k: usize = k.parse().map_err(|_| Errno::EINVAL)?;
+                let k = k.min(pos);
+                self.goto(sys, k)?;
+                self.marks.retain(|m| m.0 <= k);
+                if self.marks.is_empty() {
+                    self.marks.push((k, "goto".to_string()));
+                }
+                self.say(&format!("sdb: at tick {k}"));
             }
             _ => self.say(&format!("sdb: unknown command `{line}`")),
         }
@@ -439,6 +555,69 @@ mod tests {
             .expect("target survived detach");
         let stopped = sys.kernel.proc(pid).expect("proc").is_event_stopped();
         assert!(!stopped, "detached target must not be left stopped");
+    }
+
+    fn boot_recorded() -> (System, Pid) {
+        let mut sys =
+            crate::userland::boot_demo_cfg(ksim::SimConfig::standard().record(true));
+        let ctl = sys.spawn_hosted("sdb", Cred::new(100, 10));
+        (sys, ctl)
+    }
+
+    #[test]
+    fn reverse_step_restores_register_state() {
+        let (mut sys, ctl) = boot_recorded();
+        let mut sdb = Sdb::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        sdb.exec(&mut sys, "step").expect("step");
+        let before = sdb.dbg().expect("dbg").regs(&mut sys).expect("regs");
+        sdb.exec(&mut sys, "step 3").expect("step 3");
+        let after = sdb.dbg().expect("dbg").regs(&mut sys).expect("regs");
+        assert_ne!(before, after, "three steps must move the pc");
+        sdb.exec(&mut sys, "reverse-step").expect("reverse-step");
+        let reversed = sdb.dbg().expect("dbg").regs(&mut sys).expect("regs");
+        assert_eq!(before, reversed, "reverse-step must land on the pre-step registers");
+        assert!(sdb.transcript().contains("reversed to tick"), "{}", sdb.transcript());
+    }
+
+    #[test]
+    fn reverse_cont_undoes_a_breakpoint_hit() {
+        let (mut sys, ctl) = boot_recorded();
+        let mut sdb = Sdb::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        sdb.exec(&mut sys, "break tick").expect("break");
+        sdb.exec(&mut sys, "cont").expect("cont 1");
+        let first_hit = sdb.dbg().expect("dbg").regs(&mut sys).expect("regs");
+        sdb.exec(&mut sys, "cont").expect("cont 2");
+        let second_hit = sdb.dbg().expect("dbg").regs(&mut sys).expect("regs");
+        assert_ne!(first_hit, second_hit, "tick call counter must advance between hits");
+        sdb.exec(&mut sys, "reverse-cont").expect("reverse-cont");
+        let reversed = sdb.dbg().expect("dbg").regs(&mut sys).expect("regs");
+        assert_eq!(first_hit, reversed, "reverse-cont must land on the first hit's registers");
+        // Forward from the restored state: the next cont re-reaches the
+        // second hit with identical registers — history is consistent.
+        sdb.exec(&mut sys, "cont").expect("cont again");
+        let forward = sdb.dbg().expect("dbg").regs(&mut sys).expect("regs");
+        assert_eq!(second_hit, forward, "re-running forward must reproduce the second hit");
+    }
+
+    #[test]
+    fn goto_tick_and_tick_report_positions() {
+        let (mut sys, ctl) = boot_recorded();
+        let mut sdb = Sdb::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        sdb.exec(&mut sys, "step").expect("step");
+        sdb.exec(&mut sys, "tick").expect("tick");
+        assert!(sdb.transcript().contains("tick "), "{}", sdb.transcript());
+        let pos = ksim::System::recording(&sys).expect("recording").len();
+        sdb.exec(&mut sys, &format!("goto-tick {pos}")).expect("goto");
+        assert!(sdb.transcript().contains(&format!("at tick {pos}")), "{}", sdb.transcript());
+    }
+
+    #[test]
+    fn reverse_without_recording_is_a_note_not_an_error() {
+        let (mut sys, ctl) = boot();
+        let mut sdb = Sdb::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        sdb.exec(&mut sys, "reverse-step").expect("reverse-step");
+        assert!(sdb.transcript().contains("recording is off"), "{}", sdb.transcript());
+        sdb.exec(&mut sys, "kill").expect("kill");
     }
 
     #[test]

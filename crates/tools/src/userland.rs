@@ -292,8 +292,7 @@ side:
 /// Installs every canned program (plus `/lib/libdemo` and `/bin/libuser`)
 /// into the system's root file system.
 pub fn install_userland(sys: &mut System) {
-    let tmp = sys.memfs_mut().mkdir_p(&["tmp"]);
-    sys.memfs_mut().set_mode(tmp, 0o777);
+    sys.install_dir("/tmp", 0o777);
     for (path, src) in [
         ("/bin/spin", SPIN),
         ("/bin/ticker", TICKER),
@@ -325,7 +324,15 @@ pub fn install_userland(sys: &mut System) {
 /// Boots a full demonstration system: `/proc` + `/proc2` mounted and the
 /// userland installed.
 pub fn boot_demo() -> System {
-    let mut sys = procfs::boot_with_proc();
+    boot_demo_cfg(ksim::SimConfig::standard())
+}
+
+/// Boots a demonstration system under an explicit [`ksim::SimConfig`]
+/// (mounts interpreted by [`procfs::build_sim`]), then installs the
+/// userland. With `cfg.record(true)` the installs are the head of the
+/// recording, so a replay reconstructs the same `/bin`.
+pub fn boot_demo_cfg(cfg: ksim::SimConfig) -> System {
+    let mut sys = procfs::build_sim(&cfg);
     install_userland(&mut sys);
     sys
 }

@@ -12,13 +12,13 @@ use crate::node::{DirEntry, Metadata, NodeId, Pid, VnodeKind};
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Content {
     File(Vec<u8>),
     Dir(BTreeMap<String, u64>),
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct MemNode {
     mode: u16,
     uid: u32,
@@ -38,6 +38,14 @@ pub struct MemFs<K> {
 impl<K> Default for MemFs<K> {
     fn default() -> Self {
         MemFs::new()
+    }
+}
+
+// A manual impl: the kernel marker `K` is phantom, so cloning the file
+// system must not require `K: Clone` (the derive would add that bound).
+impl<K> Clone for MemFs<K> {
+    fn clone(&self) -> Self {
+        MemFs { nodes: self.nodes.clone(), _kernel: PhantomData }
     }
 }
 

@@ -2023,6 +2023,97 @@ impl<K> RemoteClient<K> {
     }
 }
 
+/// Declarative wire configuration: everything the ad-hoc
+/// [`RemoteFs::with_faults`] / [`RemoteFs::with_retry_policy`] /
+/// [`RemoteFs::with_queue_caps`] builders used to set, as one plain
+/// value. A `SimConfig` mount plan carries one of these so a recorded
+/// run can reconstruct its wire byte-for-byte; apply it with
+/// [`RemoteFs::with_config`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Seed for the fault plan (unused when `faults` is `None`).
+    pub fault_seed: u64,
+    /// Network-fault rates; `None` means a perfect wire.
+    pub faults: Option<FaultRates>,
+    /// Adversarial-client persona rates (only meaningful with `faults`).
+    pub adversary: Option<AdversaryRates>,
+    /// Client retry discipline override.
+    pub retry: Option<RetryPolicy>,
+    /// Per-session queue caps `(in, out)` in bytes.
+    pub queue_caps: Option<(usize, usize)>,
+}
+
+impl WireConfig {
+    /// A perfect wire: no faults, default retry and caps.
+    pub fn clean() -> WireConfig {
+        WireConfig::default()
+    }
+
+    /// A lossy wire under `rates`, scheduled from `seed`.
+    pub fn faulty(seed: u64, rates: FaultRates) -> WireConfig {
+        WireConfig { fault_seed: seed, faults: Some(rates), ..WireConfig::default() }
+    }
+
+    /// Adds adversarial-client personas to a faulty wire.
+    pub fn adversarial(mut self, adv: AdversaryRates) -> WireConfig {
+        self.adversary = Some(adv);
+        self
+    }
+
+    /// Overrides the retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> WireConfig {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Overrides the per-session queue caps (bytes per direction).
+    pub fn queue_caps(mut self, in_cap: usize, out_cap: usize) -> WireConfig {
+        self.queue_caps = Some((in_cap, out_cap));
+        self
+    }
+
+    /// Folds every field into a stable little-endian byte encoding (the
+    /// recording digest covers the construction config).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.fault_seed.to_le_bytes());
+        match self.faults {
+            None => out.push(0),
+            Some(r) => {
+                out.push(1);
+                for v in [r.drop, r.truncate, r.bitflip, r.duplicate, r.delay] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        match self.adversary {
+            None => out.push(0),
+            Some(a) => {
+                out.push(1);
+                for v in [a.slow_reader, a.half_open, a.flood, a.mid_frame, a.stale_replay] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        match self.retry {
+            None => out.push(0),
+            Some(p) => {
+                out.push(1);
+                out.extend_from_slice(&p.max_attempts.to_le_bytes());
+                out.extend_from_slice(&p.backoff_cap.to_le_bytes());
+                out.extend_from_slice(&p.budget.to_le_bytes());
+            }
+        }
+        match self.queue_caps {
+            None => out.push(0),
+            Some((i, o)) => {
+                out.push(1);
+                out.extend_from_slice(&(i as u64).to_le_bytes());
+                out.extend_from_slice(&(o as u64).to_le_bytes());
+            }
+        }
+    }
+}
+
 /// A file system accessed across a simulated (and possibly lossy) wire:
 /// the blocking [`FileSystem`] face of a [`WireSession`] (always
 /// session 0). Mint pipelined handles with [`RemoteFs::client`] before
@@ -2071,6 +2162,27 @@ impl<K> RemoteFs<K> {
             s.out_cap = out_cap.max(1);
         }
         self
+    }
+
+    /// Applies a declarative [`WireConfig`] — the construction-time
+    /// path `SimConfig` mount plans use instead of chaining the
+    /// individual builders.
+    pub fn with_config(self, cfg: &WireConfig) -> RemoteFs<K> {
+        let mut fs = self;
+        if let Some(rates) = cfg.faults {
+            let mut plan = FaultPlan::new(cfg.fault_seed, rates);
+            if let Some(adv) = cfg.adversary {
+                plan = plan.with_adversary(adv);
+            }
+            fs = fs.with_faults(plan);
+        }
+        if let Some(policy) = cfg.retry {
+            fs = fs.with_retry_policy(policy);
+        }
+        if let Some((i, o)) = cfg.queue_caps {
+            fs = fs.with_queue_caps(i, o);
+        }
+        fs
     }
 
     /// Mints a pipelined client handle with its own session (bounded

@@ -34,7 +34,7 @@ pub enum ObjectKind {
 
 /// A backing object: a sparse collection of page frames plus a length.
 /// Pages not present read as zeroes and are materialised on first write.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Object {
     /// Backing kind.
     pub kind: ObjectKind,
@@ -135,7 +135,7 @@ impl MemPressure {
 /// the address-space code increments the count when a mapping is created
 /// or split and decrements it when a mapping is removed; the object's
 /// pages are freed when the count reaches zero.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ObjectStore {
     objs: Vec<Option<Object>>,
     free: Vec<usize>,

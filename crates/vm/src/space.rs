@@ -93,7 +93,7 @@ pub struct TlbStats {
 }
 
 /// A process's virtual address space.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct AddressSpace {
     /// Mappings sorted by base address, pairwise disjoint.
     maps: Vec<Mapping>,

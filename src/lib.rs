@@ -6,6 +6,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Pure re-export surface, but gated like the crates it re-exports so a
+// future helper added here cannot slip a panic past `cargo lint`.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub use isa;
 pub use ksim;

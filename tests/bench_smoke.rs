@@ -248,3 +248,81 @@ fn fast_path_doubles_hot_loop_throughput() {
         bp_fast
     );
 }
+
+/// Renders one E14 goto point as a JSON object.
+fn goto_json(p: &bench_support::GotoPoint) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "    {{\"snapshot_every\": {}, \"records\": {}, \"snapshots\": {}, \
+         \"goto_ns\": {}, \"goto_replayed\": {}, \"rebuild_ns\": {}, \
+         \"rebuild_replayed\": {}, \"speedup\": {:.3}}}",
+        p.snapshot_every,
+        p.len,
+        p.snapshots,
+        p.goto_ns,
+        p.goto_replayed,
+        p.rebuild_ns,
+        p.rebuild_replayed,
+        p.rebuild_ns as f64 / p.goto_ns as f64,
+    )
+    .expect("write to string");
+    s
+}
+
+/// E14 smoke gate: time travel must be cheap in both directions. The
+/// recorder must not perturb the run (identical guest instruction
+/// counts with it off and on), the log and snapshots must actually
+/// accumulate, and `goto_tick` via the nearest snapshot must re-apply
+/// only the tail of the log where the full rebuild re-applies all of
+/// it — with wall-clock to match at the densest cadence. Emits
+/// `BENCH_E14.json` as a side effect.
+#[test]
+fn record_replay_time_travel_is_cheap() {
+    const TICKS: u64 = 2048;
+
+    let off = bench_support::record_overhead_point(false, 64, TICKS);
+    let on = bench_support::record_overhead_point(true, 64, TICKS);
+    assert_eq!(off.insns, on.insns, "recording perturbed the run:\noff {off:?}\non  {on:?}");
+    assert!(on.records > 50, "log barely grew: {on:?}");
+    assert!(on.bytes_logged > 1000, "digests folded almost nothing: {on:?}");
+    assert!(on.snapshots > 0, "no snapshot landed: {on:?}");
+    assert_eq!(off.records, 0, "recorder ran while off: {off:?}");
+
+    let points: Vec<bench_support::GotoPoint> =
+        [256, 64, 16].iter().map(|&n| bench_support::goto_latency_point(n, TICKS, 3)).collect();
+    for p in &points {
+        // The exactness claim, independent of wall clock: the snapshot
+        // path re-applies at most one cadence worth of records (plus
+        // the odd record while a snapshot was pending), the rebuild
+        // re-applies every one.
+        assert_eq!(p.rebuild_replayed as usize, p.len, "rebuild skipped records: {p:?}");
+        if p.snapshots > 1 {
+            assert!(
+                p.goto_replayed <= 2 * p.snapshot_every as u64,
+                "snapshot resume replayed too much: {p:?}"
+            );
+        }
+    }
+    // The felt claim, at the densest cadence only (widest margin):
+    // resuming from the last snapshot must beat replaying the world.
+    let dense = &points[2];
+    assert!(dense.snapshots > 1, "densest cadence banked no snapshots: {dense:?}");
+    assert!(
+        dense.goto_ns < dense.rebuild_ns,
+        "snapshot resume not faster than full rebuild: {dense:?}"
+    );
+
+    let overhead = on.wall_ns as f64 / off.wall_ns as f64;
+    let json = format!(
+        "{{\n  \"experiment\": \"E14\",\n  \"title\": \"record/replay: logging overhead and time-travel latency\",\n  \"ticks\": {TICKS},\n  \"record_overhead\": {{\"off_wall_ns\": {}, \"on_wall_ns\": {}, \"ratio\": {overhead:.3}, \"records\": {}, \"bytes_logged\": {}, \"snapshots\": {}}},\n  \"goto_points\": [\n{}\n  ]\n}}\n",
+        off.wall_ns,
+        on.wall_ns,
+        on.records,
+        on.bytes_logged,
+        on.snapshots,
+        points.iter().map(goto_json).collect::<Vec<_>>().join(",\n"),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_E14.json");
+    std::fs::write(out, &json).expect("write BENCH_E14.json");
+}

@@ -202,8 +202,11 @@ fn xstats_readable_through_all_three_faces() {
 
 /// `System::set_fast_path(false)` reaches every live process: counters
 /// freeze, new work runs entirely down the slow path, and the flag is
-/// visible in the reply.
+/// visible in the reply. This test exercises the *mid-flight* toggle —
+/// the deprecated shim's remaining purpose — so it deliberately does
+/// not go through `SimConfig::fast_path`.
 #[test]
+#[allow(deprecated)]
 fn disabled_fast_path_reports_and_counts_nothing() {
     let (mut sys, ctl) = boot();
     sys.set_fast_path(false);

@@ -15,12 +15,12 @@
 //! * replay the same seed to the same transcript, and run a zero-rate
 //!   plan byte-for-byte identically to no plan at all.
 
-use ksim::{Cred, Errno, KernelFaultRates, Pid, System};
+use ksim::{Cred, Errno, KernelFaultRates, MountPlan, Pid, SimConfig, System};
 use procfs::hier::{PCRUN, PCSTOP};
 use procfs::{ctl_record, PrRun};
 use tools::proc_io::ProcHandle;
 use tools::{truss_command, DebugEvent, Debugger, TrussOptions};
-use vfs::remote::RemoteFs;
+use vfs::remote::WireConfig;
 use vfs::OFlags;
 
 /// Third face: the flat interface re-exported across the wire shim.
@@ -36,18 +36,22 @@ fn rates_for(i: u64) -> KernelFaultRates {
     KernelFaultRates::uniform(20 + (i % 32) as u16 * 5)
 }
 
-/// Boots the demo system with the standard mounts plus the remote face.
-fn boot() -> (System, Pid) {
-    let mut sys = tools::boot_demo();
-    sys.mount(
-        REMOTE_MOUNT,
-        Box::new(
-            RemoteFs::new(Box::new(procfs::ProcFs::new()))
-                .with_ioctl_table(procfs::ioctl::wire_table()),
-        ),
-    );
+/// The standard mounts plus the remote face, as a declarative config;
+/// fault schedules are added per test and consumed at construction.
+fn config() -> SimConfig {
+    SimConfig::standard().mount(REMOTE_MOUNT, MountPlan::RemoteProc(WireConfig::clean()))
+}
+
+/// Boots the demo system under `cfg`.
+fn boot_cfg(cfg: SimConfig) -> (System, Pid) {
+    let mut sys = tools::boot_demo_cfg(cfg);
     let ctl = sys.spawn_hosted("kfault-oracle", Cred::superuser());
     (sys, ctl)
+}
+
+/// Boots the fault-free demo system.
+fn boot() -> (System, Pid) {
+    boot_cfg(config())
 }
 
 /// The failure modes a controller is allowed to surface under injection:
@@ -331,8 +335,7 @@ fn assert_all_released(sys: &mut System, seed: u64) {
 fn fault_matrix_holds_for_32_seeds() {
     let mut total_injected = 0u64;
     for (i, seed) in seeds().enumerate() {
-        let (mut sys, ctl) = boot();
-        sys.install_fault_plan(seed, rates_for(i as u64));
+        let (mut sys, ctl) = boot_cfg(config().kernel_faults(seed, rates_for(i as u64)));
         drive(&mut sys, ctl);
         assert_all_released(&mut sys, seed);
         let st = sys.kfault_stats();
@@ -352,8 +355,8 @@ fn fault_matrix_holds_for_32_seeds() {
 fn same_seed_replays_identically() {
     for seed in [0xFA_017_003u64, 0xFA_017_01C] {
         let run = |seed: u64| {
-            let (mut sys, ctl) = boot();
-            sys.install_fault_plan(seed, KernelFaultRates::uniform(120));
+            let (mut sys, ctl) =
+                boot_cfg(config().kernel_faults(seed, KernelFaultRates::uniform(120)));
             let t = drive(&mut sys, ctl);
             (t, sys.kfault_stats())
         };
@@ -374,8 +377,8 @@ fn empty_plan_reproduces_clean_run() {
         drive(&mut sys, ctl)
     };
     let zeroed = {
-        let (mut sys, ctl) = boot();
-        sys.install_fault_plan(0xDEAD_BEEF, KernelFaultRates::default());
+        let (mut sys, ctl) =
+            boot_cfg(config().kernel_faults(0xDEAD_BEEF, KernelFaultRates::default()));
         let t = drive(&mut sys, ctl);
         assert_eq!(
             sys.kfault_stats(),
@@ -391,8 +394,8 @@ fn empty_plan_reproduces_clean_run() {
 /// every tool still unwinds to a typed result.
 #[test]
 fn certain_death_degrades_cleanly() {
-    let (mut sys, ctl) = boot();
-    sys.install_fault_plan(7, KernelFaultRates { death: 1000, ..Default::default() });
+    let (mut sys, ctl) =
+        boot_cfg(config().kernel_faults(7, KernelFaultRates { death: 1000, ..Default::default() }));
     drive(&mut sys, ctl);
     assert_all_released(&mut sys, 7);
     assert!(sys.kfault_stats().deaths > 0, "nothing died under a certain-death plan");
@@ -468,8 +471,9 @@ fn wait_event_any_reports_death_as_exited() {
 /// successful once a real event lands.
 #[test]
 fn spurious_wakeups_are_absorbed() {
-    let (mut sys, ctl) = boot();
-    sys.install_fault_plan(11, KernelFaultRates { wakeup: 1000, ..Default::default() });
+    let (mut sys, ctl) = boot_cfg(
+        config().kernel_faults(11, KernelFaultRates { wakeup: 1000, ..Default::default() }),
+    );
     let a = Debugger::launch(&mut sys, ctl, "/bin/spin", &["spin"]).expect("launch");
     let victim = a.pid();
     let mut dbgs = vec![a];
@@ -500,10 +504,11 @@ fn e12_fault_matrix_sweep() {
         let mut counts = [[0u32; 2]; 4];
         for s in 0..8u64 {
             let seed = 0xE12_000 + s;
-            let (mut sys, ctl) = boot();
+            let mut cfg = config();
             if permille > 0 {
-                sys.install_fault_plan(seed, KernelFaultRates::uniform(permille));
+                cfg = cfg.kernel_faults(seed, KernelFaultRates::uniform(permille));
             }
+            let (mut sys, ctl) = boot_cfg(cfg);
             for (t, line) in drive(&mut sys, ctl).iter().enumerate() {
                 counts[t][usize::from(line.contains("err"))] += 1;
             }
@@ -526,9 +531,8 @@ fn e12_fault_matrix_sweep() {
 fn fast_path_off_is_transcript_identical_for_32_seeds() {
     for (i, seed) in seeds().enumerate() {
         let run = |fast: bool| {
-            let (mut sys, ctl) = boot();
-            sys.set_fast_path(fast);
-            sys.install_fault_plan(seed, rates_for(i as u64));
+            let (mut sys, ctl) =
+                boot_cfg(config().fast_path(fast).kernel_faults(seed, rates_for(i as u64)));
             let t = drive(&mut sys, ctl);
             (t, sys.kfault_stats())
         };
@@ -545,14 +549,13 @@ fn fast_path_off_is_transcript_identical_for_32_seeds() {
 /// whole session.
 #[test]
 fn targeted_death_spares_bystanders() {
-    let (mut sys, ctl) = boot();
+    let (mut sys, ctl) = boot_cfg(
+        config()
+            .targeted_kernel_faults(99, KernelFaultRates { death: 1000, ..Default::default() }),
+    );
     let held = spawn_retry(&mut sys, ctl, "/bin/spin").expect("spawn held");
     let bystander = spawn_retry(&mut sys, ctl, "/bin/spin").expect("spawn bystander");
     sys.run_idle(50);
-    sys.install_targeted_fault_plan(
-        99,
-        KernelFaultRates { death: 1000, ..Default::default() },
-    );
     // No writable descriptor is open yet: certain-death rolls are spent
     // with no victim, and both targets live.
     let _ = sys.host_poll_in(ctl, &[]);
@@ -589,14 +592,13 @@ fn targeted_death_spares_bystanders() {
 /// one — records the death.
 #[test]
 fn target_death_mid_wstop_is_typed_and_counted() {
-    let (mut sys, ctl) = boot();
+    let (mut sys, ctl) = boot_cfg(config().targeted_kernel_faults(
+        0x3D0_7EA,
+        KernelFaultRates { mid_op: 1000, ..Default::default() },
+    ));
     let pid = spawn_retry(&mut sys, ctl, "/bin/spin").expect("spawn");
     sys.run_idle(50);
     let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open");
-    sys.install_targeted_fault_plan(
-        0x3D0_7EA,
-        KernelFaultRates { mid_op: 1000, ..Default::default() },
-    );
     // The wait either reports a stop that raced ahead of the kill or
     // degrades to a typed error — never a panic, never a hang.
     match h.stop(&mut sys) {

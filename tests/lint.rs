@@ -1,10 +1,12 @@
 //! Keeps the panic-free promises honest inside plain `cargo test`: the
 //! remote `/proc` wire layer promises never to panic on damaged input,
 //! the controllers (PR 4) promise never to panic on a dying, starved
-//! or racing target, and the execution fast path (PR 5) plus the
+//! or racing target, the execution fast path (PR 5) plus the
 //! kernel beneath it (PR 6) run under every guest instruction, where a
-//! stray unwrap would take the whole simulated machine down. All are
-//! held to `clippy -D warnings`
+//! stray unwrap would take the whole simulated machine down, and the
+//! `/proc` layer itself (PR 8) decodes controller-supplied ioctl
+//! arguments and recorded inputs — hostile bytes by construction. All
+//! are held to `clippy -D warnings`
 //! (their sources additionally carry
 //! `#![deny(clippy::unwrap_used, clippy::expect_used)]`). Skips cleanly
 //! when the toolchain has no clippy component.
@@ -70,4 +72,19 @@ fn fetch_decode_is_clippy_clean() {
 #[test]
 fn kernel_is_clippy_clean() {
     clippy_clean("procsim-ksim");
+}
+
+#[test]
+fn proc_layer_is_clippy_clean() {
+    clippy_clean("procsim-core");
+}
+
+#[test]
+fn bench_harness_is_clippy_clean() {
+    clippy_clean("procsim-bench");
+}
+
+#[test]
+fn umbrella_is_clippy_clean() {
+    clippy_clean("procsim");
 }

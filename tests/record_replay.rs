@@ -1,0 +1,191 @@
+//! The PR 8 determinism gate: a run *is* its input history.
+//!
+//! Every nondeterministic input to a simulation — construction config,
+//! installs, spawns, host system calls, step batches — lands in the
+//! [`ksim::Recording`] with a digest folding the input, its result and
+//! the post-call clock. Replaying the log through the public host API
+//! must therefore reproduce the run byte-for-byte, *including* under
+//! active kernel-fault and wire-fault plans: the fault draws are
+//! functions of recorded seeds and recorded call order, nothing else.
+//!
+//! Three gates:
+//!  * a 32-seed record-then-replay oracle with kernel faults and an
+//!    adversarial remote `/proc` mount both live — replayed logs must
+//!    equal the originals record-for-record;
+//!  * a corruption detector — flip one digest bit mid-log and replay
+//!    must report a typed divergence at exactly that tick;
+//!  * a `PIOCCKPT`/`PIOCRESTORE` round-trip over the faulted remote
+//!    mount — restore rewinds the guest's register file to the
+//!    checkpointed state even though every wire frame in between was
+//!    subject to the fault plan.
+
+use ksim::{Cred, KernelFaultRates, MountPlan, Pid, SimConfig, SysResult, System};
+use tools::proc_io::ProcHandle;
+use vfs::remote::{AdversaryRates, FaultRates, WireConfig};
+use vfs::OFlags;
+
+const REMOTE_MOUNT: &str = "/procr";
+
+/// The standard mounts plus an adversarial remote `/proc`, kernel
+/// faults, and the recorder — everything the oracle wants live at once.
+fn faulted_recorded_config(seed: u64) -> SimConfig {
+    let wire = WireConfig::faulty(seed ^ 0x51DE, FaultRates::uniform(25))
+        .adversarial(AdversaryRates::uniform(40));
+    SimConfig::standard()
+        .mount(REMOTE_MOUNT, MountPlan::RemoteProc(wire))
+        .kernel_faults(seed, KernelFaultRates::uniform(20))
+        .record(true)
+        .snapshot_every(8)
+}
+
+/// Drives a modest but varied workload across every surface the
+/// recorder covers: spawns, local and remote `/proc` traffic, stepping,
+/// signals and reaping. Individual calls are allowed to fail — under
+/// the fault plans many will — but each failure is itself a recorded,
+/// reproducible result.
+fn drive(sys: &mut System, ctl: Pid) {
+    let ticker = sys.spawn_program(ctl, "/bin/ticker", &["ticker"]);
+    let forker = sys.spawn_program(ctl, "/bin/forker", &["forker"]);
+    sys.run_idle(60);
+
+    if let Ok(pid) = ticker {
+        // Local flat mount: status read.
+        if let Ok(fd) = sys.host_open(ctl, &format!("/proc/{:05}", pid.0), OFlags::rdonly()) {
+            let mut buf = [0u8; 128];
+            let _ = sys.host_read(ctl, fd, &mut buf);
+            let _ = sys.host_close(ctl, fd);
+        }
+        // Hierarchical mount: psinfo read.
+        if let Ok(fd) =
+            sys.host_open(ctl, &format!("/proc2/{}/psinfo", pid.0), OFlags::rdonly())
+        {
+            let mut buf = [0u8; 128];
+            let _ = sys.host_read(ctl, fd, &mut buf);
+            let _ = sys.host_close(ctl, fd);
+        }
+        // Remote mount: a handle's stop/gregs/resume cycle plus stats,
+        // every frame subject to the wire fault plan.
+        if let Ok(mut h) = ProcHandle::open_at(sys, ctl, pid, REMOTE_MOUNT, OFlags::rdwr()) {
+            let _ = h.stop(sys);
+            let _ = h.gregs(sys);
+            let _ = h.wire_stats(sys);
+            let _ = h.resume(sys);
+            let _ = h.close(sys);
+        }
+        let _ = sys.host_kill(ctl, pid, 9);
+    }
+    sys.run_idle(80);
+    if let Ok(pid) = forker {
+        let _ = sys.host_kill(ctl, pid, 9);
+    }
+    sys.run_idle(40);
+    let _ = sys.host_wait(ctl);
+}
+
+fn recorded_run(seed: u64) -> System {
+    let mut sys = tools::boot_demo_cfg(faulted_recorded_config(seed));
+    let ctl = sys.spawn_hosted("rr-oracle", Cred::superuser());
+    drive(&mut sys, ctl);
+    sys
+}
+
+/// The tentpole acceptance gate: 32 seeds, kernel faults and an
+/// adversarial wire both active, replay byte-identical every time.
+#[test]
+fn replay_matrix_32_seeds_byte_identical() {
+    let mut total = 0usize;
+    for i in 0..32u64 {
+        let seed = 0x00DE_7EC7 + i * 0x9E37;
+        let sys = recorded_run(seed);
+        let rec = sys.recording().expect("recording on");
+        // Fault draws legitimately shrink a seed's log (a failed spawn
+        // skips its whole branch), but the fault-free boot prefix alone
+        // guarantees a floor, and across seeds the workload must be
+        // substantial.
+        assert!(rec.len() > 15, "seed {seed:#x}: workload too small ({} records)", rec.len());
+        total += rec.len();
+        let replayed = match procfs::replay(&rec) {
+            Ok(s) => s,
+            Err(d) => panic!(
+                "seed {seed:#x}: replay diverged at tick {} (expected {:#018x}, got {:#018x})",
+                d.tick, d.expected, d.got
+            ),
+        };
+        let rlog = replayed.recording().expect("recording on after replay");
+        assert_eq!(
+            rlog.records, rec.records,
+            "seed {seed:#x}: replay produced a different log"
+        );
+    }
+    assert!(total > 32 * 20, "matrix workload too small ({total} records across seeds)");
+}
+
+/// Corrupt one recorded digest and the replay must fail *typed* and
+/// *located*: a `ReplayDivergence` whose tick is exactly the corrupted
+/// index, not a later cascade or a panic.
+#[test]
+fn corrupted_frame_reports_divergence_at_exact_tick() {
+    let sys = recorded_run(0xBADF_00D1);
+    let mut rec = sys.recording().expect("recording on");
+    let tick = rec.len() / 3;
+    rec.records[tick].digest ^= 0x80;
+    match procfs::replay(&rec) {
+        Ok(_) => panic!("replay accepted a corrupted log"),
+        Err(d) => {
+            assert_eq!(d.tick, tick, "divergence reported at the wrong tick");
+            assert_ne!(d.expected, d.got);
+        }
+    }
+}
+
+/// Retries an operation under the fault plan: any individual frame may
+/// draw a fault, but the plans here are sub-certain, so a bounded retry
+/// always lands.
+fn eventually<T>(what: &str, mut f: impl FnMut() -> SysResult<T>) -> T {
+    let mut last = None;
+    for _ in 0..400 {
+        match f() {
+            Ok(v) => return v,
+            Err(e) => last = Some(e),
+        }
+    }
+    panic!("{what} failed 400 straight times under the fault plan: {last:?}");
+}
+
+/// `PIOCCKPT`/`PIOCRESTORE` over the adversarial remote mount: capture
+/// a stopped guest's image, let it run on, then rewind it — the
+/// register file must come back exactly, with every frame of the
+/// checkpoint and restore subject to wire faults.
+#[test]
+fn checkpoint_restore_round_trips_over_faulted_remote_mount() {
+    let mut sys = tools::boot_demo_cfg(faulted_recorded_config(0x00C4_9701));
+    let ctl = sys.spawn_hosted("rr-ckpt", Cred::superuser());
+    let pid = sys.spawn_program(ctl, "/bin/ticker", &["ticker"]).expect("spawn ticker");
+    sys.run_idle(120);
+
+    let mut h = eventually("open", || {
+        ProcHandle::open_at(&mut sys, ctl, pid, REMOTE_MOUNT, OFlags::rdwr())
+    });
+    eventually("stop", || h.stop(&mut sys));
+    let at_ckpt = eventually("gregs", || h.gregs(&mut sys));
+    let image = eventually("checkpoint", || h.checkpoint(&mut sys));
+    assert!(!image.is_empty(), "checkpoint produced an empty image");
+
+    // Run on so the register file provably moves.
+    eventually("resume", || h.resume(&mut sys));
+    sys.run_idle(150);
+    eventually("stop again", || h.stop(&mut sys));
+    let moved = eventually("gregs after run", || h.gregs(&mut sys));
+    assert_ne!(at_ckpt, moved, "target never advanced between checkpoint and restore");
+
+    // Restore is idempotent, so it is safe to retry wholesale.
+    eventually("restore", || h.restore(&mut sys, &image));
+    let back = eventually("gregs after restore", || h.gregs(&mut sys));
+    assert_eq!(at_ckpt, back, "restore did not rewind the register file");
+    let _ = h.close(&mut sys);
+
+    // The whole dance — faults included — replays byte-identically.
+    let rec = sys.recording().expect("recording on");
+    let replayed = procfs::replay(&rec).expect("ckpt/restore run must replay cleanly");
+    assert_eq!(replayed.recording().expect("recording").records, rec.records);
+}

@@ -14,18 +14,26 @@ use bench_support::XorShift;
 use ksim::{signal, Cred, Errno, Pid, System, SysResult};
 use procfs::hier::PCKILL;
 use procfs::{ctl_record, HierFs, ProcFs};
-use vfs::remote::{FaultPlan, FaultRates, OpFuture, RemoteClient, RemoteFs, RemoteRead, WireStats, PIOCWIRESTATS};
+use vfs::remote::{FaultRates, OpFuture, RemoteClient, RemoteFs, RemoteRead, WireConfig, WireStats, PIOCWIRESTATS};
 use vfs::{NodeId, OFlags};
 
 /// Boots a system with the hierarchical interface mounted twice: clean
 /// at `/proc2`, faulted (under `seed`/`rates`) at `/proc2f`.
 fn boot_pair(seed: u64, rates: FaultRates) -> (System, Pid, Vec<Pid>) {
-    let mut sys = System::boot();
+    boot_pair_fast(seed, rates, true)
+}
+
+/// [`boot_pair`] with the execution fast path chosen at construction.
+fn boot_pair_fast(seed: u64, rates: FaultRates, fast: bool) -> (System, Pid, Vec<Pid>) {
+    let mut sys = System::with_config(ksim::SimConfig::new().fast_path(fast));
     tools::install_userland(&mut sys);
     sys.mount("/proc2", Box::new(RemoteFs::new(Box::new(HierFs::new()))));
     sys.mount(
         "/proc2f",
-        Box::new(RemoteFs::new(Box::new(HierFs::new())).with_faults(FaultPlan::new(seed, rates))),
+        Box::new(
+            RemoteFs::new(Box::new(HierFs::new()))
+                .with_config(&WireConfig::faulty(seed, rates)),
+        ),
     );
     let ctl = sys.spawn_hosted("oracle", Cred::superuser());
     let targets: Vec<Pid> = (0..3)
@@ -43,7 +51,7 @@ fn boot_flat_faulted(seed: u64, rates: FaultRates) -> (System, Pid) {
     tools::install_userland(&mut sys);
     let fs = RemoteFs::new(Box::new(ProcFs::new()))
         .with_ioctl_table(procfs::ioctl::wire_table())
-        .with_faults(FaultPlan::new(seed, rates));
+        .with_config(&WireConfig::faulty(seed, rates));
     sys.mount("/proc", Box::new(fs));
     let ctl = sys.spawn_hosted("remote-ctl", Cred::new(100, 10));
     (sys, ctl)
@@ -208,8 +216,7 @@ fn fast_path_off_is_transcript_identical_for_32_seeds() {
         let seed = 0xA11C_E000 + i;
         let rates = FaultRates::uniform(20 + (i as u16) * 5);
         let run = |fast: bool| {
-            let (mut sys, ctl, targets) = boot_pair(seed, rates);
-            sys.set_fast_path(fast);
+            let (mut sys, ctl, targets) = boot_pair_fast(seed, rates, fast);
             let (transcript, ok, to) = drive_workload(&mut sys, ctl, &targets, seed, 20);
             let stats = wire_stats(&mut sys, ctl, &format!("/proc2f/{}/status", targets[0].0));
             (transcript, ok, to, stats)
@@ -480,7 +487,7 @@ fn multi_client_streams_agree_per_handle_for_32_seeds() {
         let clean_fs = RemoteFs::new(Box::new(HierFs::new()));
         let clean = run_two_handle_streams(&mut sys.kernel, &clean_fs, ctl, &scripts);
         let faulted_fs =
-            RemoteFs::new(Box::new(HierFs::new())).with_faults(FaultPlan::new(seed, rates));
+            RemoteFs::new(Box::new(HierFs::new())).with_config(&WireConfig::faulty(seed, rates));
         let faulted = run_two_handle_streams(&mut sys.kernel, &faulted_fs, ctl, &scripts);
 
         for h in 0..2 {
@@ -523,7 +530,8 @@ fn sequenced_ops_apply_exactly_once_across_handles_for_32_seeds() {
             .map(|_| sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn"))
             .collect();
         sys.run_idle(100);
-        let fs = RemoteFs::new(Box::new(HierFs::new())).with_faults(FaultPlan::new(seed, rates));
+        let fs =
+            RemoteFs::new(Box::new(HierFs::new())).with_config(&WireConfig::faulty(seed, rates));
         let handles = [fs.client(), fs.client()];
         let cred = Cred::superuser();
         let k = &mut sys.kernel;

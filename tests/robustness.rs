@@ -408,7 +408,8 @@ fn flood_bursts_are_shed_capped_and_exactly_once() {
     let ctl = sys.spawn_hosted("flooder", Cred::superuser());
     let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
     sys.run_idle(50);
-    let mut fs = RemoteFs::new(Box::new(HierFs::new())).with_queue_caps(CAP, CAP);
+    let mut fs = RemoteFs::new(Box::new(HierFs::new()))
+        .with_config(&vfs::remote::WireConfig::clean().queue_caps(CAP, CAP));
     let (frame, _, _) = forge_kill_frame(&mut sys, &mut fs, ctl, pid, 7);
 
     let c = fs.client();

@@ -30,7 +30,8 @@ use procfs::ioctl::{PIOCSRLC, PIOCSTATUS, PIOCSTOP};
 use procfs::{ctl_record, HierFs, ProcFs};
 use tools::proc_io::ProcHandle;
 use vfs::remote::{
-    AdversaryRates, FaultPlan, FaultRates, OpFuture, RemoteClient, RemoteFs, RemoteRead, WireStats,
+    AdversaryRates, FaultRates, OpFuture, RemoteClient, RemoteFs, RemoteRead, WireConfig,
+    WireStats,
 };
 use vfs::{FileSystem, IoReply, IoctlReply, NodeId, OFlags};
 
@@ -84,12 +85,11 @@ fn adversarial_run(
     seed: u64,
 ) -> (Vec<String>, WireStats, u64) {
     let files = ["status", "psinfo", "cred"];
-    let mut fs = RemoteFs::new(Box::new(HierFs::new()))
-        .with_faults(
-            FaultPlan::new(seed, FaultRates::default())
-                .with_adversary(AdversaryRates::uniform(250)),
-        )
-        .with_queue_caps(1024, 1024);
+    let mut fs = RemoteFs::new(Box::new(HierFs::new())).with_config(
+        &WireConfig::faulty(seed, FaultRates::default())
+            .adversarial(AdversaryRates::uniform(250))
+            .queue_caps(1024, 1024),
+    );
     let mut transcript = Vec::new();
     for h in 0..6u64 {
         let c = fs.client();
@@ -161,7 +161,7 @@ fn session_read(
 fn adversarial_oracle_holds_and_replays_for_32_seeds() {
     let mut adversary_activity = 0u64;
     for i in 0..32u64 {
-        let seed = 0x5E1_7E57_000 + i;
+        let seed = 0x005E_17E5_7000 + i;
         let (mut sys, ctl, targets) = boot_targets(3);
         let a = adversarial_run(&mut sys, ctl, &targets, seed);
         let b = adversarial_run(&mut sys, ctl, &targets, seed);
@@ -200,7 +200,7 @@ fn sequenced_ops_stay_exactly_once_across_churn_for_32_seeds() {
             ..Default::default()
         };
         let fs = RemoteFs::new(Box::new(HierFs::new()))
-            .with_faults(FaultPlan::new(seed, rates).with_adversary(adv));
+            .with_config(&WireConfig::faulty(seed, rates).adversarial(adv));
         let handles = [fs.client(), fs.client()];
         let cred = Cred::superuser();
         let msg = ctl_record(PCKILL, &(signal::SIGUSR1 as u32).to_le_bytes());
@@ -317,7 +317,7 @@ fn churned_sessions_leak_no_tokens_and_release_their_targets_for_32_seeds() {
         let adv = AdversaryRates { mid_frame: 120, stale_replay: 350, ..Default::default() };
         let fs = RemoteFs::new(Box::new(ProcFs::new()))
             .with_ioctl_table(procfs::ioctl::wire_table())
-            .with_faults(FaultPlan::new(seed, rates).with_adversary(adv));
+            .with_config(&WireConfig::faulty(seed, rates).adversarial(adv));
         let c = fs.client();
         let cred = Cred::superuser();
 
