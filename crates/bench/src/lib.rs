@@ -860,6 +860,135 @@ pub fn goto_latency_point(snapshot_every: usize, ticks: u64, reps: usize) -> Got
     GotoPoint { snapshot_every, len: k, snapshots, goto_ns, goto_replayed, rebuild_ns, rebuild_replayed }
 }
 
+/// One E15 migration point: a full live migration of a guest from a
+/// clean source into a destination reached through a remote `/proc`
+/// mount at the given wire fault rate.
+#[derive(Clone, Debug)]
+pub struct MigratePoint {
+    /// Per-op wire fault rate (permille) on the destination mount.
+    pub fault_permille: u16,
+    /// Per-op adversary persona rate (permille) on the same mount.
+    pub adversary_permille: u16,
+    /// Wall-clock nanoseconds for the end-to-end migration.
+    pub wall_ns: u128,
+    /// Checkpoint image size streamed across.
+    pub bytes: usize,
+    /// Chunk ops the driver issued (first sends plus refills).
+    pub chunks: u32,
+    /// Wire-level re-sends the driver needed on top of that.
+    pub retries: u32,
+    /// Chunks the destination kernel discarded as already-applied —
+    /// the idempotency discipline absorbing duplicate delivery.
+    pub dup_chunks: u64,
+    /// Transfers the destination kernel resumed mid-stream after a
+    /// driver or placeholder restart.
+    pub resumes: u64,
+    /// The floor: chunks a loss-free wire would need for this image.
+    pub min_chunks: u32,
+}
+
+/// Runs one E15 migration leg: boots a source with a live guest and a
+/// destination whose `/proc` is also mounted remotely at the given
+/// fault/adversary rates, then drives [`tools::migrate::migrate`]
+/// across that wire. Panics (via [`setup`]) if the migration does not
+/// commit — every swept rate is sub-certain, so the bounded-retry
+/// driver must land.
+pub fn migrate_point(seed: u64, fault_permille: u16, adversary_permille: u16) -> MigratePoint {
+    let mut src = tools::boot_demo();
+    let src_ctl = src.spawn_hosted("bench-mig-src", Cred::superuser());
+    let target =
+        setup(src.spawn_program(src_ctl, "/bin/ticker", &["ticker"]), "spawn /bin/ticker");
+    src.run_idle(120);
+
+    let mut wire = vfs::remote::WireConfig::faulty(
+        seed,
+        vfs::remote::FaultRates::uniform(fault_permille),
+    );
+    if adversary_permille > 0 {
+        wire = wire.adversarial(vfs::remote::AdversaryRates::uniform(adversary_permille));
+    }
+    let mut dst = tools::boot_demo_cfg(
+        ksim::SimConfig::standard().mount("/procr", ksim::MountPlan::RemoteProc(wire)),
+    );
+    let dst_ctl = dst.spawn_hosted("bench-mig-dst", Cred::superuser());
+
+    let start = Instant::now();
+    let report = setup(
+        tools::migrate::migrate(&mut src, src_ctl, "/proc", target, &mut dst, dst_ctl, "/procr"),
+        "migrate",
+    );
+    let wall_ns = start.elapsed().as_nanos().max(1);
+    let min_chunks = report.bytes.div_ceil(ksim::migrate::MIG_CHUNK_MAX) as u32;
+    MigratePoint {
+        fault_permille,
+        adversary_permille,
+        wall_ns,
+        bytes: report.bytes,
+        chunks: report.chunks,
+        retries: report.retries,
+        dup_chunks: dst.kernel.mig_stats.dup_chunks,
+        resumes: dst.kernel.mig_stats.resumes,
+        min_chunks,
+    }
+}
+
+/// One E15 durability point: cost of taking a recording through the
+/// on-disk format and back, against replaying it directly in memory.
+#[derive(Clone, Debug)]
+pub struct RecfilePoint {
+    /// Records in the log the workload produced.
+    pub records: usize,
+    /// Size of the serialised recfile image.
+    pub bytes: usize,
+    /// Nanoseconds to serialise ([`ksim::System::save_recfile`]).
+    pub save_ns: u128,
+    /// Nanoseconds to parse and checksum-verify the image
+    /// ([`ksim::recfile::load`]) without rebuilding the system.
+    pub load_ns: u128,
+    /// Nanoseconds for the full [`procfs::replay_file`] rebuild — the
+    /// cross-process resume a consumer actually pays for.
+    pub replay_ns: u128,
+}
+
+/// Records the E14 workload, then times the recfile round trip:
+/// serialise, parse-and-verify, and full replay-from-bytes.
+/// Best-of-`reps` wall time per leg.
+pub fn recfile_point(snapshot_every: usize, ticks: u64, reps: usize) -> RecfilePoint {
+    let (mut sys, ctl) = boot_with_ctl_cfg(
+        ksim::SimConfig::standard().record(true).snapshot_every(snapshot_every),
+    );
+    let pid = setup(sys.spawn_program(ctl, "/bin/spin", &["spin"]), "spawn /bin/spin");
+    const SLICES: u64 = 32;
+    for _ in 0..SLICES {
+        sys.run_idle(ticks / SLICES);
+        if let Ok(fd) =
+            sys.host_open(ctl, &format!("/proc/{:05}", pid.0), vfs::OFlags::rdonly())
+        {
+            let mut buf = [0u8; 64];
+            let _ = sys.host_read(ctl, fd, &mut buf);
+            let _ = sys.host_close(ctl, fd);
+        }
+    }
+    let records = setup_some(sys.recording(), "recording on").len();
+    let mut save_ns = u128::MAX;
+    let mut load_ns = u128::MAX;
+    let mut replay_ns = u128::MAX;
+    let mut bytes = Vec::new();
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        bytes = setup_some(sys.save_recfile(), "save_recfile");
+        save_ns = save_ns.min(start.elapsed().as_nanos().max(1));
+        let start = Instant::now();
+        let parsed = setup(ksim::recfile::load(&bytes), "recfile::load");
+        load_ns = load_ns.min(start.elapsed().as_nanos().max(1));
+        assert_eq!(parsed.recording.len(), records, "recfile dropped records");
+        let start = Instant::now();
+        let _rebuilt = setup(procfs::replay_file(&bytes), "replay_file");
+        replay_ns = replay_ns.min(start.elapsed().as_nanos().max(1));
+    }
+    RecfilePoint { records, bytes: bytes.len(), save_ns, load_ns, replay_ns }
+}
+
 /// Declares the bench entry function, criterion-style:
 /// `criterion_group!(benches, bench_a, bench_b)` defines `fn benches()`
 /// that runs each target against a fresh [`Criterion`].

@@ -124,6 +124,16 @@ pub const PIOCCKPT: u32 = 0x502A;
 /// replacing its registers, identity and entire address space —
 /// migration when the image came from another mount.
 pub const PIOCRESTORE: u32 = 0x502B;
+/// Live-migration sub-operation (BEGIN/CHUNK/COMMIT/ABORT multiplexed
+/// by the operand's first byte): stream a checkpoint image into the
+/// destination kernel chunk by chunk and materialise it into the target
+/// at COMMIT after an end-to-end digest check. Issued against the
+/// *destination's* placeholder process, usually over the remote mount.
+pub const PIOCMIGRATE: u32 = 0x502C;
+/// Get migration protocol counters (`MigStats`): transfers begun,
+/// chunks/bytes accepted, duplicates absorbed, commits, aborts, digest
+/// mismatches, resumes. Answered by `prioctl` on the destination.
+pub const PIOCMIGSTATS: u32 = 0x502D;
 
 /// Get remote-wire traffic/fault/recovery counters (`WireStats`).
 /// Answered locally by the [`vfs::remote::RemoteFs`] client shim — the
@@ -225,6 +235,10 @@ pub enum Ioctl {
     Ckpt,
     /// `PIOCRESTORE`
     Restore,
+    /// `PIOCMIGRATE`
+    Migrate,
+    /// `PIOCMIGSTATS`
+    MigStats,
 }
 
 /// One decoded counter family. Every stats-style `PIOC*` reply decodes
@@ -243,6 +257,8 @@ pub enum StatsReport {
     Wire(WireStats),
     /// Record/replay counters (`PIOCRECSTATS`).
     Recorder(ksim::RecStats),
+    /// Migration protocol counters (`PIOCMIGSTATS`).
+    Migrate(ksim::MigStats),
 }
 
 impl StatsReport {
@@ -254,6 +270,7 @@ impl StatsReport {
             StatsReport::Exec(_) => "exec",
             StatsReport::Wire(_) => "wire",
             StatsReport::Recorder(_) => "recorder",
+            StatsReport::Migrate(_) => "migrate",
         }
     }
 
@@ -331,6 +348,20 @@ impl StatsReport {
                 ("divergences", r.divergences),
                 ("restores", r.restores),
                 ("ckpts", r.ckpts),
+                ("file_saves", r.file_saves),
+                ("file_loads", r.file_loads),
+                ("file_bytes", r.file_bytes),
+                ("file_errors", r.file_errors),
+            ],
+            StatsReport::Migrate(m) => vec![
+                ("begins", m.begins),
+                ("chunks", m.chunks),
+                ("bytes", m.bytes),
+                ("dup_chunks", m.dup_chunks),
+                ("commits", m.commits),
+                ("aborts", m.aborts),
+                ("digest_mismatches", m.digest_mismatches),
+                ("resumes", m.resumes),
             ],
         }
     }
@@ -441,6 +472,8 @@ impl Ioctl {
             PIOCRECSTATS => Ioctl::RecStats,
             PIOCCKPT => Ioctl::Ckpt,
             PIOCRESTORE => Ioctl::Restore,
+            PIOCMIGRATE => Ioctl::Migrate,
+            PIOCMIGSTATS => Ioctl::MigStats,
             _ => return None,
         })
     }
@@ -492,6 +525,8 @@ impl Ioctl {
             Ioctl::RecStats => PIOCRECSTATS,
             Ioctl::Ckpt => PIOCCKPT,
             Ioctl::Restore => PIOCRESTORE,
+            Ioctl::Migrate => PIOCMIGRATE,
+            Ioctl::MigStats => PIOCMIGSTATS,
         }
     }
 
@@ -542,6 +577,8 @@ impl Ioctl {
             Ioctl::RecStats => "PIOCRECSTATS",
             Ioctl::Ckpt => "PIOCCKPT",
             Ioctl::Restore => "PIOCRESTORE",
+            Ioctl::Migrate => "PIOCMIGRATE",
+            Ioctl::MigStats => "PIOCMIGSTATS",
         }
     }
 
@@ -576,6 +613,7 @@ impl Ioctl {
                 | Ioctl::XStats
                 | Ioctl::RecStats
                 | Ioctl::Ckpt
+                | Ioctl::MigStats
         )
     }
 
@@ -620,6 +658,13 @@ impl Ioctl {
             // bounded so the frames fit under the default queue caps.
             Ioctl::Ckpt => (0, ksim::ckpt::CKPT_MAX),
             Ioctl::Restore => (ksim::ckpt::CKPT_MAX, 0),
+            // Migration sub-ops carry at most one chunk plus a fixed
+            // header; the reply is a fixed status/offset record.
+            Ioctl::Migrate => (
+                ksim::migrate::MIG_CHUNK_MAX + 32,
+                ksim::migrate::MIG_REPLY_LEN,
+            ),
+            Ioctl::MigStats => (0, ksim::MigStats::WIRE_LEN),
             // PIOCGETPR / PIOCGETU are variable-sized implementation
             // dumps — precisely the kind of operation that cannot cross
             // a wire. PIOCWIRESTATS never crosses either: it is
@@ -723,6 +768,9 @@ impl Ioctl {
             )),
             Ioctl::RecStats => IoctlPayload::Stats(StatsReport::Recorder(
                 ksim::RecStats::from_bytes(bytes).ok_or(bad)?,
+            )),
+            Ioctl::MigStats => IoctlPayload::Stats(StatsReport::Migrate(
+                ksim::MigStats::from_bytes(bytes).ok_or(bad)?,
             )),
             Ioctl::Ckpt => IoctlPayload::Image(bytes.to_vec()),
             Ioctl::GetProc | Ioctl::GetUArea => {
@@ -949,6 +997,10 @@ pub fn prioctl(
             ksim::ckpt::restore(k, target, arg)?;
             done(vec![])
         }
+        // The destination half of a migration: sub-op multiplexed by the
+        // operand, materialising into `target` at COMMIT.
+        Ioctl::Migrate => done(ksim::migrate::handle(k, target, arg)?),
+        Ioctl::MigStats => done(k.mig_stats.to_bytes()),
         // Answered above the kernel: the cache lives in the file-system
         // layer and the wire counters live on the client side.
         Ioctl::CacheStats | Ioctl::WireCounters => Err(Errno::ENOTTY),

@@ -41,7 +41,7 @@ pub mod types;
 pub use fsimpl::ProcFs;
 pub use hier::{ctl_batch, ctl_record, HierFs};
 pub use ioctl::StatsReport;
-pub use replay::{build_sim, goto_tick, replay, replay_to};
+pub use replay::{build_sim, goto_tick, replay, replay_file, replay_to, LoadError};
 pub use snap::{snap_handle, SnapCache, SnapHandle};
 pub use types::{
     PrCacheStats, PrCred, PrMap, PrRun, PrStatus, PrUsage, PrWatch, PrWhy, PrXStats, PsInfo,

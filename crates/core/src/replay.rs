@@ -15,12 +15,17 @@
 //!   can keep recording seamlessly from wherever it landed.
 //! * [`goto_tick`] re-materializes a *live* recorded system at an
 //!   earlier position: restore the nearest copy-on-write snapshot at or
-//!   below the target and replay the remainder, falling back to a full
-//!   rebuild when snapshot resume is unsafe (remote mounts carry wire
-//!   session state that is deliberately not snapshotted) or when the
+//!   below the target and replay the remainder. Remote mounts take the
+//!   fast path too — their wire-session state (sequence numbers,
+//!   fault-generator position, queues) travels in the snapshot's
+//!   [`Snap::wires`] bank and is replanted into the freshly built
+//!   [`RemoteFs`]. The full rebuild remains the fallback when the
 //!   resumed run diverges (file-system-layer state such as cache
-//!   counters is not snapshotted either — a divergence there is honest,
-//!   and the full rebuild is always exact).
+//!   counters is not snapshotted — a divergence there is honest, and
+//!   the full rebuild is always exact).
+//! * [`replay_file`] closes the durability loop: a recfile image saved
+//!   by one process ([`ksim::recfile`]) parses, replays byte-identically
+//!   and re-banks its snapshots in a fresh one.
 
 use ksim::record::Snap;
 use ksim::{
@@ -164,50 +169,97 @@ pub fn replay(rec: &Recording) -> Result<System, ReplayDivergence> {
 
 /// Resumes from a copy-on-write snapshot: fresh mounts from
 /// [`build_sim`], the snapshot's kernel and root file system
-/// transplanted in, a recorder pre-loaded with the applied prefix, then
-/// records `snap.pos..k` replayed on top.
-fn resume_from_snap(rec: &Recording, snap: &Snap, k: usize) -> Result<System, ReplayDivergence> {
+/// transplanted in, the banked wire-transport state replanted into the
+/// remote mounts, a recorder pre-loaded with the applied prefix, then
+/// records `snap.pos..k` replayed on top. `None` when the snapshot
+/// cannot be applied to this config's mounts (the full rebuild is the
+/// caller's fallback).
+fn resume_from_snap(rec: &Recording, snap: &Snap, k: usize) -> Option<System> {
     let mut sys = build_sim(&rec.config);
     sys.kernel = (*snap.kernel).clone();
     sys.fss[0] = FsSlot::Mem(snap.root.clone());
+    // Every wire-carrying slot must have banked state in the snapshot
+    // and accept it back; anything else means the mount shape changed
+    // under the recording and resume would be dishonest.
+    for (i, slot) in sys.fss.iter_mut().enumerate() {
+        let FsSlot::Dyn(fs) = slot else { continue };
+        if fs.wire_snapshot().is_none() {
+            continue; // not a wire-carrying mount; rebuilt fresh is exact
+        }
+        let banked = snap.wires.iter().find(|(s, _)| *s == i).map(|(_, w)| w)?;
+        if !fs.wire_restore(banked) {
+            return None;
+        }
+    }
     let mut r = Recorder::new(rec.config.clone());
     r.records = rec.records[..snap.pos].to_vec();
     r.stats.restores = 1;
     sys.kernel.recorder = Some(Box::new(r));
-    apply_range(&mut sys, rec, snap.pos, k)?;
-    Ok(sys)
-}
-
-/// True when snapshot resume cannot work for this config: remote mounts
-/// carry wire-session state (sequence numbers, fault-generator
-/// position) that is not part of a snapshot.
-fn must_rebuild(cfg: &SimConfig) -> bool {
-    cfg.mounts.iter().any(|(_, p)| matches!(p, MountPlan::RemoteProc(_)))
+    apply_range(&mut sys, rec, snap.pos, k).ok()?;
+    Some(sys)
 }
 
 /// Re-materializes the run recorded by `sys` at position `k` (clamped
 /// to the log length): nearest snapshot plus replay of the remainder
-/// when safe, full rebuild otherwise. The returned system is *live* —
-/// it records, so stepping it forward extends its log from tick `k`.
+/// when possible — including over remote mounts, whose transport state
+/// rides in the snapshot — full rebuild otherwise. The returned system
+/// is *live*: it records, so stepping it forward extends its log from
+/// tick `k`.
 pub fn goto_tick(sys: &System, k: usize) -> Result<System, ReplayDivergence> {
     let Some(rec) = sys.kernel.recorder.as_ref() else {
         return Ok(build_sim(&SimConfig::new().record(true)));
     };
     let recording = rec.recording();
     let k = k.min(recording.len());
-    if !must_rebuild(&recording.config) {
-        if let Some(snap) = rec.nearest_snap(k) {
-            if snap.pos > 0 {
-                // A divergence on the fast path means non-snapshotted
-                // file-system-layer state influenced a reply; the full
-                // rebuild below is always exact, so fall through.
-                if let Ok(restored) = resume_from_snap(&recording, snap, k) {
-                    return Ok(restored);
-                }
+    if let Some(snap) = rec.nearest_snap(k) {
+        if snap.pos > 0 {
+            // A failed resume (divergence from non-snapshotted
+            // file-system-layer state, or a mount-shape mismatch) falls
+            // through to the full rebuild, which is always exact.
+            if let Some(restored) = resume_from_snap(&recording, snap, k) {
+                return Ok(restored);
             }
         }
     }
     replay_to(&recording, k)
+}
+
+/// Why a recfile image failed to become a live system.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoadError {
+    /// The image failed structural validation.
+    File(ksim::RecfileError),
+    /// The image parsed but its recording did not reproduce.
+    Replay(ReplayDivergence),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::File(e) => write!(f, "{e}"),
+            LoadError::Replay(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Loads a recfile image saved by [`ksim::System::save_recfile`] —
+/// possibly in another process — and replays it in full. Recording is
+/// re-enabled (the file's config deliberately carries `record = false`),
+/// so the returned system re-banks its snapshots at the same positions
+/// the original run did and keeps recording from the end of the log.
+/// The recorder's file counters are stamped on success.
+pub fn replay_file(bytes: &[u8]) -> Result<System, LoadError> {
+    let file = ksim::recfile::load(bytes).map_err(LoadError::File)?;
+    let mut rec = file.recording;
+    rec.config.record = true;
+    let mut sys = replay(&rec).map_err(LoadError::Replay)?;
+    if let Some(r) = sys.kernel.recorder.as_mut() {
+        r.stats.file_loads += 1;
+        r.stats.file_bytes += bytes.len() as u64;
+    }
+    Ok(sys)
 }
 
 #[cfg(test)]

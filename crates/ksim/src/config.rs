@@ -10,7 +10,7 @@
 //! replaying a run starts from a byte-identical machine.
 
 use crate::kfault::KernelFaultRates;
-use vfs::remote::WireConfig;
+use vfs::remote::{WireConfig, WireError, WireReader};
 
 /// A kernel fault schedule: seed + per-site rates, and whether death
 /// injection targets only processes a controller holds a writable
@@ -190,6 +190,67 @@ impl SimConfig {
             }
         }
     }
+
+    /// Parses the [`SimConfig::encode`] byte layout back into a config,
+    /// advancing `r` past it. The `record` flag is not encoded (a loaded
+    /// recording is always replayed with recording on), so it comes back
+    /// `false`; callers turn it on themselves. Any truncation or
+    /// malformed tag is a typed [`WireError`], never a panic.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<SimConfig, WireError> {
+        let quantum = r.u64()?;
+        let pump_limit = r.u64()?;
+        let flag = |r: &mut WireReader<'_>| -> Result<bool, WireError> {
+            match r.u8()? {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(WireError::Malformed),
+            }
+        };
+        let fast_path = flag(r)?;
+        let coarse_epochs = flag(r)?;
+        let kernel_faults = if flag(r)? {
+            let seed = r.u64()?;
+            let rates = KernelFaultRates {
+                enomem: r.u16()?,
+                eagain: r.u16()?,
+                eintr: r.u16()?,
+                wakeup: r.u16()?,
+                death: r.u16()?,
+                mid_op: r.u16()?,
+            };
+            let targeted = flag(r)?;
+            Some(KernelFaultSpec { seed, rates, targeted })
+        } else {
+            None
+        };
+        let snapshot_every = r.u64()? as usize;
+        let nmounts = r.u64()?;
+        if nmounts > 64 {
+            return Err(WireError::Malformed);
+        }
+        let mut mounts = Vec::with_capacity(nmounts as usize);
+        for _ in 0..nmounts {
+            let plen = r.u64()? as usize;
+            let path = String::from_utf8_lossy(r.take(plen)?).into_owned();
+            let plan = match r.u8()? {
+                0 => MountPlan::ProcFlat,
+                1 => MountPlan::ProcHier,
+                2 => MountPlan::RemoteProc(WireConfig::decode(r)?),
+                _ => return Err(WireError::Malformed),
+            };
+            mounts.push((path, plan));
+        }
+        Ok(SimConfig {
+            quantum,
+            pump_limit,
+            fast_path,
+            coarse_epochs,
+            kernel_faults,
+            record: false,
+            snapshot_every,
+            mounts,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +271,29 @@ mod tests {
         assert_eq!(cfg.mounts.len(), 2);
         assert!(cfg.record);
         assert_eq!(cfg.kernel_faults.unwrap().seed, 7);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cfg = SimConfig::standard()
+            .quantum(96)
+            .pump_limit(4096)
+            .fast_path(false)
+            .targeted_kernel_faults(0xDEAD, KernelFaultRates::uniform(9))
+            .snapshot_every(24)
+            .mount("/procr", MountPlan::RemoteProc(WireConfig::faulty(7, Default::default())));
+        let mut bytes = Vec::new();
+        cfg.encode(&mut bytes);
+        let mut r = WireReader::new(&bytes);
+        let back = SimConfig::decode(&mut r).expect("decodes");
+        assert_eq!(r.remaining(), 0, "decode consumed exactly the encoding");
+        // `record` is deliberately not carried.
+        assert_eq!(back, SimConfig { record: false, ..cfg });
+        // Every truncation point is a typed error, never a panic.
+        for keep in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..keep]);
+            assert!(SimConfig::decode(&mut r).is_err(), "cut at {keep} parsed");
+        }
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub struct Kernel {
     /// Boxed: the recorder carries the whole input log plus snapshots,
     /// and most kernels never have one.
     pub recorder: Option<Box<crate::record::Recorder>>,
+    /// In-flight inbound migration transfers (`PIOCMIGRATE`), keyed by
+    /// transfer id. BTreeMap for deterministic iteration.
+    pub migrations: std::collections::BTreeMap<u64, crate::migrate::MigXfer>,
+    /// Migration protocol counters (`PIOCMIGSTATS`).
+    pub mig_stats: crate::migrate::MigStats,
 }
 
 // A manual impl so `clone()` *is* the copy-on-write snapshot operation:
@@ -116,6 +121,8 @@ impl Clone for Kernel {
             fast_path: self.fast_path,
             coarse_epochs: self.coarse_epochs,
             recorder: None,
+            migrations: self.migrations.clone(),
+            mig_stats: self.mig_stats,
         }
     }
 }

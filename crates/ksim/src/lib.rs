@@ -44,8 +44,10 @@ pub mod fault;
 pub mod fd;
 pub mod kernel;
 pub mod kfault;
+pub mod migrate;
 pub mod proc;
 pub mod ptrace;
+pub mod recfile;
 pub mod record;
 pub mod sched;
 pub mod signal;
@@ -59,6 +61,8 @@ pub use fault::{FltSet, Fault};
 pub use kernel::{Kernel, RunOpts, HZ};
 pub use config::{KernelFaultSpec, MountPlan, SimConfig};
 pub use kfault::{KFaultStats, KernelFaultPlan, KernelFaultRates};
+pub use migrate::{MigReply, MigStats, MigrateError};
+pub use recfile::{RecFile, RecfileError};
 pub use record::{Input, RecStats, Record, Recorder, Recording, ReplayDivergence};
 pub use proc::{Lwp, LwpState, Proc, StopWhy, SysPhase, SyscallCtx, Tid, TraceState, WaitChannel};
 pub use sched::{Issig, Psig, SleepSig};

@@ -63,6 +63,14 @@ fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
+/// FNV-1a digest of `bytes` from the standard offset basis — the same
+/// fold the recording digests use. Exposed so the migration protocol and
+/// the on-disk recording format can stamp payloads with a digest the
+/// receiving side recomputes identically.
+pub fn fnv(bytes: &[u8]) -> u64 {
+    fnv_fold(FNV_OFFSET, bytes)
+}
+
 /// One nondeterministic input to a run: a host-boundary call with
 /// everything needed to re-issue it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -456,11 +464,19 @@ pub struct RecStats {
     /// Single-process checkpoint images built (`PIOCCKPT`) or applied
     /// (`PIOCRESTORE`).
     pub ckpts: u64,
+    /// Recordings serialised to the on-disk recfile format.
+    pub file_saves: u64,
+    /// Recfile images parsed back into recordings.
+    pub file_loads: u64,
+    /// Bytes written to or parsed from recfile images.
+    pub file_bytes: u64,
+    /// Recfile loads rejected with a typed error.
+    pub file_errors: u64,
 }
 
 impl RecStats {
     /// Byte length of the wire image.
-    pub const WIRE_LEN: usize = 8 * 8;
+    pub const WIRE_LEN: usize = 12 * 8;
 
     /// Serialises to the `PIOCRECSTATS` wire image.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -474,6 +490,10 @@ impl RecStats {
             self.divergences,
             self.restores,
             self.ckpts,
+            self.file_saves,
+            self.file_loads,
+            self.file_bytes,
+            self.file_errors,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -495,6 +515,10 @@ impl RecStats {
             divergences: w(5),
             restores: w(6),
             ckpts: w(7),
+            file_saves: w(8),
+            file_loads: w(9),
+            file_bytes: w(10),
+            file_errors: w(11),
         })
     }
 }
@@ -512,6 +536,11 @@ pub struct Snap {
     pub kernel: Box<Kernel>,
     /// Root file-system clone.
     pub root: vfs::MemFs<Kernel>,
+    /// Wire-transport state per mounted slot (slot index → snapshot) for
+    /// remote mounts; the transport queues/sessions live outside the
+    /// kernel, so `goto`-style restores replant them here instead of
+    /// falling back to a full rebuild.
+    pub wires: Vec<(usize, vfs::remote::WireSnapshot)>,
 }
 
 /// The live recording state attached to a [`Kernel`].
@@ -604,9 +633,14 @@ impl Recorder {
     }
 
     /// Stores a snapshot at the current position.
-    pub fn push_snap(&mut self, kernel: Box<Kernel>, root: vfs::MemFs<Kernel>) {
+    pub fn push_snap(
+        &mut self,
+        kernel: Box<Kernel>,
+        root: vfs::MemFs<Kernel>,
+        wires: Vec<(usize, vfs::remote::WireSnapshot)>,
+    ) {
         self.stats.snapshots += 1;
-        self.snaps.push(Snap { pos: self.records.len(), kernel, root });
+        self.snaps.push(Snap { pos: self.records.len(), kernel, root, wires });
     }
 
     /// The nearest snapshot at or below `pos`, if any.
@@ -662,7 +696,7 @@ mod tests {
     fn snapshot_positions_follow_interval() {
         let mut r = Recorder::new(SimConfig::new().snapshot_every(2));
         assert!(r.wants_snapshot(false));
-        r.push_snap(Box::new(Kernel::new()), vfs::MemFs::new());
+        r.push_snap(Box::new(Kernel::new()), vfs::MemFs::new(), Vec::new());
         assert!(!r.wants_snapshot(false));
         r.commit(Input::HostWait { pid: 1 }, b"", 0);
         assert!(!r.wants_snapshot(false));
@@ -683,6 +717,10 @@ mod tests {
             divergences: 6,
             restores: 7,
             ckpts: 8,
+            file_saves: 9,
+            file_loads: 10,
+            file_bytes: 11,
+            file_errors: 12,
         };
         assert_eq!(RecStats::from_bytes(&st.to_bytes()), Some(st));
         assert!(RecStats::from_bytes(&[0u8; 7]).is_none());

@@ -159,9 +159,10 @@ impl System {
         }
     }
 
-    /// Takes a copy-on-write snapshot (kernel clone + root memfs clone)
-    /// if the recorder's interval says the current position needs one.
-    /// Must run *before* the input it precedes executes.
+    /// Takes a copy-on-write snapshot (kernel clone + root memfs clone +
+    /// per-slot wire-transport state) if the recorder's interval says
+    /// the current position needs one. Must run *before* the input it
+    /// precedes executes.
     fn rec_snapshot_if_due(&mut self, will_extend: bool) {
         let due = match self.kernel.recorder.as_ref() {
             Some(r) if r.suppress == 0 => r.wants_snapshot(will_extend),
@@ -175,8 +176,21 @@ impl System {
             FsSlot::Mem(m) => m.clone(),
             FsSlot::Dyn(_) => return,
         };
+        // Mounted `/proc` faces are views over the kernel and rebuild
+        // fresh on restore — except the remote mount, whose transport
+        // (sessions, dedup window, queues) lives outside the kernel and
+        // must travel with the snapshot for `goto` to restore it.
+        let wires: Vec<(usize, vfs::remote::WireSnapshot)> = self
+            .fss
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                FsSlot::Dyn(fs) => fs.wire_snapshot().map(|w| (i, w)),
+                FsSlot::Mem(_) => None,
+            })
+            .collect();
         if let Some(r) = self.kernel.recorder.as_mut() {
-            r.push_snap(kernel, root);
+            r.push_snap(kernel, root, wires);
         }
     }
 
@@ -211,6 +225,20 @@ impl System {
     /// The recording so far (config + input log), when recording.
     pub fn recording(&self) -> Option<Recording> {
         self.kernel.recorder.as_ref().map(|r| r.recording())
+    }
+
+    /// Serialises the attached recording — config, input log and the
+    /// positions of the banked snapshots — to the durable recfile image
+    /// ([`crate::recfile`]), bumping the recorder's file counters.
+    /// `None` when the run is not recorded.
+    pub fn save_recfile(&mut self) -> Option<Vec<u8>> {
+        let r = self.kernel.recorder.as_mut()?;
+        let rec = r.recording();
+        let marks: Vec<usize> = r.snaps.iter().map(|s| s.pos).collect();
+        let bytes = crate::recfile::save(&rec, &marks);
+        r.stats.file_saves += 1;
+        r.stats.file_bytes += bytes.len() as u64;
+        Some(bytes)
     }
 
     /// Installs raw file content at `path` in the root file system.
@@ -1622,57 +1650,12 @@ impl System {
     /// the object store so vm allocation sites fail too. Passing
     /// all-zero rates installs a plan that consumes no generator state —
     /// byte-for-byte identical to no plan at all. This is the single
-    /// installation site behind [`SimConfig::kernel_faults`] and the
-    /// deprecated imperative shims.
+    /// installation site behind [`SimConfig::kernel_faults`].
     fn apply_fault_plan(&mut self, seed: u64, rates: crate::kfault::KernelFaultRates, targeted: bool) {
         self.kernel.objects.set_pressure(seed ^ 0xA5A5_5A5A_C3C3_3C3C, rates.enomem);
         let plan = crate::kfault::KernelFaultPlan::new(seed, rates);
         self.kernel.fault_plan =
             Some(if targeted { plan.with_targeted_death(true) } else { plan });
-    }
-
-    /// Installs a kernel fault schedule after construction.
-    #[deprecated(note = "configure via SimConfig::kernel_faults at construction")]
-    pub fn install_fault_plan(&mut self, seed: u64, rates: crate::kfault::KernelFaultRates) {
-        self.apply_fault_plan(seed, rates, false);
-    }
-
-    /// Like the untargeted installer, but death injection only considers
-    /// processes a controller currently holds a writable `/proc`
-    /// descriptor on — concentrating the schedule on controller-vs-target
-    /// races instead of bystanders.
-    #[deprecated(note = "configure via SimConfig::targeted_kernel_faults at construction")]
-    pub fn install_targeted_fault_plan(
-        &mut self,
-        seed: u64,
-        rates: crate::kfault::KernelFaultRates,
-    ) {
-        self.apply_fault_plan(seed, rates, true);
-    }
-
-    /// Turns the per-LWP execution fast path (software TLB + decoded
-    /// instruction cache) on or off for every current and future
-    /// process. Off forces every access down the slow path — the
-    /// differential oracle the fault suites compare transcripts against.
-    #[deprecated(note = "configure via SimConfig::fast_path at construction")]
-    pub fn set_fast_path(&mut self, on: bool) {
-        self.kernel.fast_path = on;
-        for p in self.kernel.procs.values_mut() {
-            p.aspace.set_fast_path(on);
-        }
-    }
-
-    /// Bench-only: emulates the pre-superblock whole-mapping
-    /// invalidation policy in every current and future process (a write
-    /// into a mapping bumps all of its page epochs instead of just the
-    /// touched page's). The dense-breakpoint benchmark flips this to
-    /// measure per-page epochs against the policy they replaced.
-    #[deprecated(note = "configure via SimConfig::coarse_epochs at construction")]
-    pub fn set_coarse_epochs(&mut self, on: bool) {
-        self.kernel.coarse_epochs = on;
-        for p in self.kernel.procs.values_mut() {
-            p.aspace.set_coarse_epochs(on);
-        }
     }
 
     /// The injection counters (`PIOCKFAULTSTATS` answers with these),

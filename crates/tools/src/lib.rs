@@ -12,6 +12,9 @@
 //!   benchmark harness;
 //! * [`postmortem`] — core-file analysis (death report, symbolised PC,
 //!   heuristic backtrace);
+//! * [`migrate`] — the live-migration driver: streams a `PIOCCKPT`
+//!   image between two systems as idempotent `PIOCMIGRATE`
+//!   sub-operations over the (possibly adversarial) wire;
 //! * [`proc_io`] — the typed client handle the tools share;
 //! * [`userland`] — the canned simulated programs everything operates on.
 
@@ -24,6 +27,7 @@
 
 pub mod debugger;
 pub mod lsproc;
+pub mod migrate;
 pub mod names;
 pub mod pmap;
 pub mod postmortem;
@@ -35,6 +39,7 @@ pub mod truss;
 pub mod userland;
 
 pub use debugger::{DebugEvent, Debugger};
+pub use migrate::MigrateReport;
 pub use names::UserTable;
 pub use proc_io::ProcHandle;
 pub use ptrace_lib::{PtraceDebugger, PtraceOverProc};

@@ -1,0 +1,339 @@
+//! Live guest migration: move one process from a source [`System`] to a
+//! destination [`System`] over `/proc`.
+//!
+//! The driver side of `PIOCMIGRATE` (the kernel side lives in
+//! [`ksim::migrate`]):
+//!
+//! 1. stop the source target and take a `PIOCCKPT` image;
+//! 2. spawn a stopped placeholder process on the destination;
+//! 3. stream the image into the placeholder's process file as
+//!    `BEGIN` / `CHUNK*` / `COMMIT` sub-operations, each at most
+//!    [`ksim::migrate::MIG_CHUNK_MAX`] bytes;
+//! 4. on a committed transfer (the destination's end-to-end FNV digest
+//!    matched and `PIOCRESTORE` succeeded), kill the source target —
+//!    the guest now runs exactly once, on the destination;
+//! 5. on any failure, send a best-effort `ABORT`, kill the placeholder,
+//!    and set the source target running again — source untouched,
+//!    destination empty.
+//!
+//! Every sub-operation is idempotent on the kernel side (duplicate
+//! chunks are absorbed, a re-sent `BEGIN` resumes, a re-sent `COMMIT`
+//! of a done transfer just re-reports), so the driver recovers from any
+//! transport failure by re-sending and resynchronising from the
+//! reply's `next_off` — the discipline that makes the transfer
+//! exactly-once over an adversarial wire. Protocol rejections arrive as
+//! `MIG_ST_ERR` *inside successful replies* (so the wire's own retry
+//! machinery never re-runs a rejected mutation) and are rebuilt here
+//! into the typed [`MigrateError`].
+
+use crate::proc_io::ProcHandle;
+use ksim::migrate::{arg_abort, arg_begin, arg_chunk, arg_commit, MIG_CHUNK_MAX, MIG_ST_ERR};
+use ksim::signal::SIGKILL;
+use ksim::{MigReply, MigrateError, Pid, System};
+use vfs::{Errno, OFlags};
+
+/// How many times the driver re-sends one sub-operation whose transport
+/// failed before surfacing [`MigrateError::Transport`]. Each re-send is
+/// safe (the kernel side is idempotent), so this bounds patience, not
+/// correctness.
+pub const MIG_DRIVER_RETRIES: u32 = 400;
+
+/// The placeholder program materialised on the destination to receive
+/// the image (single-LWP, so `PIOCRESTORE`'s shape check passes).
+pub const MIG_PLACEHOLDER: &str = "/bin/spin";
+
+/// How many placeholders the driver will burn through before giving up:
+/// destination fault injection may kill one mid-transfer, and because
+/// the kernel keys transfer state by id (not by pid), a fresh
+/// placeholder resumes the same transfer where the last one died.
+pub const PLACEHOLDER_ATTEMPTS: u32 = 8;
+
+/// Does this failure mean the placeholder itself is gone (so a respawn
+/// can resume the transfer), rather than the transfer being refused?
+fn placeholder_died(e: &MigrateError) -> bool {
+    matches!(
+        e,
+        MigrateError::Transport(Errno::ENOENT | Errno::ESRCH)
+            | MigrateError::Rejected { errno: Errno::ESRCH, .. }
+    )
+}
+
+/// What a completed migration looked like.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrateReport {
+    /// The destination pid now holding the guest (left stopped; the
+    /// caller decides when it runs).
+    pub dst_pid: Pid,
+    /// Image size transferred, in bytes.
+    pub bytes: usize,
+    /// `CHUNK` sub-operations that drew an `OK` reply.
+    pub chunks: u32,
+    /// Sub-operations re-sent after a transport failure.
+    pub retries: u32,
+}
+
+/// Sends one migration sub-operation, re-sending on transport failure
+/// until a decodable reply lands or the retry budget runs out.
+fn mig_op(
+    dst: &mut System,
+    h: &mut ProcHandle,
+    arg: &[u8],
+    retries: &mut u32,
+) -> Result<MigReply, MigrateError> {
+    let mut last = Errno::EIO;
+    for attempt in 0..=MIG_DRIVER_RETRIES {
+        if attempt > 0 {
+            *retries += 1;
+        }
+        match h.migrate_op(dst, arg) {
+            Ok(reply) => return Ok(reply),
+            Err(e) => last = e,
+        }
+    }
+    Err(MigrateError::Transport(last))
+}
+
+/// Rebuilds a `MIG_ST_ERR` reply into the typed driver error. A commit
+/// rejected with `EIO` carries the destination's computed digest in
+/// `detail` — that is the end-to-end check failing, which gets its own
+/// variant.
+fn rejected(op: &'static str, reply: MigReply, expected: u64) -> MigrateError {
+    let errno = Errno::from_i32(reply.errno).unwrap_or(Errno::EIO);
+    if op == "commit" && errno == Errno::EIO {
+        return MigrateError::DigestMismatch { expected, got: reply.detail };
+    }
+    MigrateError::Rejected { op, errno }
+}
+
+/// Retries a source-side `/proc` operation through transient faults,
+/// mapping a persistent failure to [`MigrateError::Transport`].
+fn src_op<T>(
+    what: &'static str,
+    mut f: impl FnMut() -> ksim::SysResult<T>,
+) -> Result<T, MigrateError> {
+    let mut last = Errno::EIO;
+    for _ in 0..=MIG_DRIVER_RETRIES {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) => last = e,
+        }
+    }
+    let _ = what;
+    Err(MigrateError::Transport(last))
+}
+
+/// Streams `image` into the (already stopped) destination process
+/// behind `h`, returning the chunk/retry counts on a committed
+/// transfer. On `Err` the transfer has been best-effort aborted and the
+/// destination holds nothing.
+fn stream_image(
+    dst: &mut System,
+    h: &mut ProcHandle,
+    xfer: u64,
+    image: &[u8],
+    digest: u64,
+) -> Result<(u32, u32), MigrateError> {
+    let mut retries = 0u32;
+    let total = image.len() as u64;
+
+    let begin = arg_begin(xfer, total, digest);
+    let mut reply = mig_op(dst, h, &begin, &mut retries)?;
+    if reply.status == MIG_ST_ERR && Errno::from_i32(reply.errno) == Some(Errno::EBUSY) {
+        // A stale transfer with different parameters holds our id:
+        // clear it and claim the id once more.
+        let _ = mig_op(dst, h, &arg_abort(xfer), &mut retries)?;
+        reply = mig_op(dst, h, &begin, &mut retries)?;
+    }
+    if reply.status == MIG_ST_ERR {
+        return Err(rejected("begin", reply, digest));
+    }
+
+    // `next` always comes from the destination's reply — a duplicate or
+    // out-of-order chunk resynchronises the driver instead of failing.
+    let mut next = reply.next_off;
+    let mut chunks = 0u32;
+    let mut commits = 0u32;
+    loop {
+        while next < total {
+            let at = next as usize;
+            let end = (at + MIG_CHUNK_MAX).min(image.len());
+            let reply = mig_op(dst, h, &arg_chunk(xfer, next, &image[at..end]), &mut retries)?;
+            if reply.status == MIG_ST_ERR {
+                return Err(rejected("chunk", reply, digest));
+            }
+            if reply.next_off <= next && end as u64 != total {
+                // The destination refuses to advance: protocol, not wire.
+                return Err(MigrateError::Protocol("chunk made no progress"));
+            }
+            next = reply.next_off;
+            chunks += 1;
+        }
+        let reply = mig_op(dst, h, &arg_commit(xfer, digest), &mut retries)?;
+        if reply.status == MIG_ST_ERR {
+            let errno = Errno::from_i32(reply.errno);
+            if errno == Some(Errno::EINVAL) && reply.next_off < total && commits < 8 {
+                // Incomplete buffer (a tail chunk was lost after its
+                // reply): resynchronise and refill.
+                commits += 1;
+                next = reply.next_off;
+                continue;
+            }
+            return Err(rejected("commit", reply, digest));
+        }
+        return Ok((chunks, retries));
+    }
+}
+
+/// Migrates `target` from `src` (its process file reached through
+/// `src_mount`) into a fresh process on `dst` (streamed through
+/// `dst_mount`, which is the adversarial remote mount in the tests).
+///
+/// On `Ok`, the source target has been killed and the returned
+/// [`MigrateReport::dst_pid`] holds the guest, stopped, transcript-
+/// identical to a local restore of the same image. On `Err`, the source
+/// target is set running again and the destination placeholder is
+/// killed — nothing was materialised.
+pub fn migrate(
+    src: &mut System,
+    src_ctl: Pid,
+    src_mount: &str,
+    target: Pid,
+    dst: &mut System,
+    dst_ctl: Pid,
+    dst_mount: &str,
+) -> Result<MigrateReport, MigrateError> {
+    // -- Source side: stop and image the guest. ---------------------
+    let mut sh = src_op("open source", || {
+        ProcHandle::open_at(src, src_ctl, target, src_mount, OFlags::rdwr())
+    })?;
+    if let Err(e) = src_op("stop source", || sh.stop(src)) {
+        let _ = sh.close(src);
+        return Err(e);
+    }
+    let image = match src_op("checkpoint", || sh.checkpoint(src)) {
+        Ok(img) => img,
+        Err(e) => {
+            let _ = sh.resume(src);
+            let _ = sh.close(src);
+            return Err(e);
+        }
+    };
+    if image.len() > ksim::ckpt::CKPT_MAX {
+        let _ = sh.resume(src);
+        let _ = sh.close(src);
+        return Err(MigrateError::TooLarge(image.len()));
+    }
+    let digest = ksim::record::fnv(&image);
+    // The transfer id is a function of the image, so a driver restarted
+    // wholesale resumes the same transfer instead of colliding.
+    let xfer = digest ^ (image.len() as u64);
+
+    // -- Destination side: a stopped placeholder to restore into. ---
+    // The placeholder itself is expendable: if fault injection kills it
+    // (ENOENT/ESRCH) or spuriously wakes it (a commit-time EBUSY), the
+    // transfer state survives in the destination kernel, keyed by
+    // `xfer`, and a fresh attempt resumes it from `next_off` instead of
+    // restarting — that is what makes the whole operation exactly-once
+    // rather than at-most-once.
+    let mut placeholder: Option<Pid> = None;
+    let mut chunks = 0u32;
+    let mut retries = 0u32;
+    let mut outcome: Result<Pid, MigrateError> =
+        Err(MigrateError::Protocol("no placeholder attempt ran"));
+    'attempt: for _ in 0..PLACEHOLDER_ATTEMPTS {
+        // A live placeholder, respawned if the last one died under us.
+        let pid = match placeholder {
+            Some(p) if dst.kernel.proc(p).map(|pr| !pr.zombie).unwrap_or(false) => p,
+            _ => {
+                let mut spawned = Err(Errno::EAGAIN);
+                for _ in 0..=MIG_DRIVER_RETRIES {
+                    spawned = dst.spawn_program(dst_ctl, MIG_PLACEHOLDER, &["migrated"]);
+                    if spawned.is_ok() {
+                        break;
+                    }
+                }
+                match spawned {
+                    Ok(p) => {
+                        dst.run_idle(30);
+                        placeholder = Some(p);
+                        p
+                    }
+                    Err(e) => {
+                        outcome = Err(MigrateError::Transport(e));
+                        break 'attempt;
+                    }
+                }
+            }
+        };
+        let mut dh = match src_op("open destination", || {
+            ProcHandle::open_at(dst, dst_ctl, pid, dst_mount, OFlags::rdwr())
+        }) {
+            Ok(h) => h,
+            Err(e) => {
+                if placeholder_died(&e) {
+                    placeholder = None;
+                    continue;
+                }
+                outcome = Err(e);
+                break;
+            }
+        };
+        let step = match src_op("stop destination", || dh.stop(dst)) {
+            Ok(_) => stream_image(dst, &mut dh, xfer, &image, digest),
+            Err(e) => Err(e),
+        };
+        let _ = dh.close(dst);
+        match step {
+            Ok((c, r)) => {
+                chunks += c;
+                retries += r;
+                outcome = Ok(pid);
+                break;
+            }
+            Err(e) if placeholder_died(&e) => placeholder = None,
+            Err(MigrateError::Rejected { op: "commit", errno: Errno::EBUSY }) => {
+                // Spurious wakeup set the placeholder running between
+                // the stop and the restore; the next attempt re-stops
+                // it and resumes the (complete) transfer.
+            }
+            Err(e) => {
+                outcome = Err(e);
+                break;
+            }
+        }
+    }
+
+    let dst_pid = match outcome {
+        Ok(pid) => pid,
+        Err(e) => {
+            // Best-effort teardown: drop the half-built transfer, kill
+            // whatever placeholder remains, let the source run on —
+            // source untouched, destination empty.
+            if let Some(pid) = placeholder {
+                if let Ok(mut dh) =
+                    ProcHandle::open_at(dst, dst_ctl, pid, dst_mount, OFlags::rdwr())
+                {
+                    let mut r = 0u32;
+                    let _ = mig_op(dst, &mut dh, &arg_abort(xfer), &mut r);
+                    let _ = dh.kill(dst, SIGKILL);
+                    let _ = dh.resume(dst);
+                    let _ = dh.close(dst);
+                } else {
+                    let _ = dst.kernel.post_signal(pid, SIGKILL);
+                }
+            }
+            let _ = sh.resume(src);
+            let _ = sh.close(src);
+            return Err(e);
+        }
+    };
+
+    // Committed: the guest exists on the destination. Retire the source
+    // copy so it runs exactly once. (ESRCH here means it already died —
+    // equally retired.)
+    let _ = src_op("kill source", || sh.kill(src, SIGKILL));
+    let _ = sh.resume(src);
+    let _ = sh.close(src);
+
+    Ok(MigrateReport { dst_pid, bytes: image.len(), chunks, retries })
+}

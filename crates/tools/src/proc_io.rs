@@ -357,9 +357,9 @@ impl ProcHandle {
         Ok(())
     }
 
-    /// Any of the five stats ioctls (`PIOCCACHESTATS`,
+    /// Any of the six stats ioctls (`PIOCCACHESTATS`,
     /// `PIOCKFAULTSTATS`, `PIOCXSTATS`, `PIOCWIRESTATS`,
-    /// `PIOCRECSTATS`), decoded through the one typed
+    /// `PIOCRECSTATS`, `PIOCMIGSTATS`), decoded through the one typed
     /// [`procfs::StatsReport`] path. The typed accessors below delegate
     /// here; callers that iterate over families (e.g. a stats dumper)
     /// can use this directly and walk `StatsReport::counters()`.
@@ -423,6 +423,30 @@ impl ProcHandle {
     pub fn rec_stats(&mut self, sys: &mut impl ProcTransport) -> SysResult<ksim::RecStats> {
         match self.stats(sys, PIOCRECSTATS)? {
             procfs::StatsReport::Recorder(r) => Ok(r),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    /// `PIOCMIGRATE`: one migration sub-operation (a raw
+    /// [`ksim::migrate`] argument image), with the reply decoded into a
+    /// typed [`ksim::MigReply`]. Protocol rejections ride *successful*
+    /// ioctls (`MIG_ST_ERR` inside the reply), so a transport error here
+    /// always means the wire, never the protocol.
+    pub fn migrate_op(
+        &mut self,
+        sys: &mut impl ProcTransport,
+        arg: &[u8],
+    ) -> SysResult<ksim::MigReply> {
+        let out = self.ioctl(sys, PIOCMIGRATE, arg)?;
+        ksim::MigReply::from_bytes(&out).ok_or(Errno::EIO)
+    }
+
+    /// `PIOCMIGSTATS`: the migration counters of the kernel owning the
+    /// target (begins, chunks, duplicate absorptions, commits, aborts,
+    /// digest mismatches, resumes).
+    pub fn mig_stats(&mut self, sys: &mut impl ProcTransport) -> SysResult<ksim::MigStats> {
+        match self.stats(sys, PIOCMIGSTATS)? {
+            procfs::StatsReport::Migrate(m) => Ok(m),
             _ => Err(Errno::EIO),
         }
     }

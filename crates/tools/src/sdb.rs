@@ -29,6 +29,9 @@
 //! reverse-step            undo the last step/cont stop  (alias: rs)
 //! reverse-cont            undo back past the last cont  (alias: rc)
 //! goto-tick <k>           re-materialize the run at tick k
+//! save-rec <file>         write the recording as a durable recfile
+//! load-rec <file>         re-materialize a run from a saved recfile
+//! migrate                 move the target to a fresh system over the wire
 //! ```
 //!
 //! The reverse commands need a *recorded* system (booted from a
@@ -396,6 +399,82 @@ impl Sdb {
                 let pc = self.dbg()?.regs(sys)?.pc;
                 self.say(&format!("sdb: reversed to tick {target}, pc = {pc:#x}"));
             }
+            ("save-rec", [path]) => match sys.save_recfile() {
+                Some(bytes) => {
+                    let n = bytes.len();
+                    match std::fs::write(path, bytes) {
+                        Ok(()) => {
+                            self.say(&format!("sdb: recording saved to {path} ({n} bytes)"));
+                        }
+                        Err(e) => {
+                            if let Some(r) = sys.kernel.recorder.as_mut() {
+                                r.stats.file_errors += 1;
+                            }
+                            self.say(&format!("sdb: save-rec failed: {e}"));
+                        }
+                    }
+                }
+                None => self.say("sdb: recording is off"),
+            },
+            ("load-rec", [path]) => {
+                let bytes = match std::fs::read(path) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        self.say(&format!("sdb: load-rec failed: {e}"));
+                        return Ok(());
+                    }
+                };
+                match procfs::replay_file(&bytes) {
+                    Ok(loaded) => {
+                        *sys = loaded;
+                        let pos = rec_pos(sys).unwrap_or(0);
+                        self.marks.retain(|m| m.0 <= pos);
+                        if self.marks.is_empty() {
+                            self.marks.push((pos, "load".to_string()));
+                        }
+                        self.say(&format!("sdb: loaded {path}, at tick {pos}"));
+                    }
+                    Err(e) => {
+                        if let Some(r) = sys.kernel.recorder.as_mut() {
+                            r.stats.file_errors += 1;
+                        }
+                        self.say(&format!("sdb: load-rec failed: {e}"));
+                    }
+                }
+            }
+            ("migrate", []) => {
+                let (ctl, target) = {
+                    let dbg = self.dbg()?;
+                    (dbg.h.ctl, dbg.pid())
+                };
+                // A fresh destination system reached through a clean
+                // remote mount — the demonstration counterpart of
+                // migrating to another machine.
+                let cfg = ksim::SimConfig::standard().mount(
+                    "/procr",
+                    ksim::MountPlan::RemoteProc(vfs::remote::WireConfig::clean()),
+                );
+                let mut dst = crate::userland::boot_demo_cfg(cfg);
+                let dst_ctl = dst.spawn_hosted("sdb-migrate", ksim::Cred::superuser());
+                match crate::migrate::migrate(sys, ctl, "/proc", target, &mut dst, dst_ctl, "/procr")
+                {
+                    Ok(r) => {
+                        self.say(&format!(
+                            "sdb: migrated pid {target} -> destination pid {} ({} bytes in {} chunks); source retired",
+                            r.dst_pid, r.bytes, r.chunks
+                        ));
+                        self.dbg = None;
+                        self.finished = true;
+                    }
+                    Err(e) => {
+                        // The driver's failure path sets the source
+                        // running again; re-stop it so the session's
+                        // stopped-at-prompt invariant holds.
+                        self.say(&format!("sdb: migrate failed: {e}; target kept here"));
+                        let _ = self.dbg()?.h.stop(sys);
+                    }
+                }
+            }
             ("goto-tick", [k]) => {
                 let Some(pos) = rec_pos(sys) else {
                     self.say("sdb: recording is off; reverse execution unavailable");
@@ -618,6 +697,62 @@ mod tests {
         sdb.exec(&mut sys, "reverse-step").expect("reverse-step");
         assert!(sdb.transcript().contains("recording is off"), "{}", sdb.transcript());
         sdb.exec(&mut sys, "kill").expect("kill");
+    }
+
+    #[test]
+    fn save_rec_and_load_rec_round_trip_through_a_file() {
+        let (mut sys, ctl) = boot_recorded();
+        let mut sdb = Sdb::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        sdb.exec(&mut sys, "step 4").expect("step");
+        let before = sdb.dbg().expect("dbg").regs(&mut sys).expect("regs");
+
+        let path = std::env::temp_dir().join(format!("sdb-recfile-{}.rec", std::process::id()));
+        let path_s = path.to_string_lossy().into_owned();
+        sdb.exec(&mut sys, &format!("save-rec {path_s}")).expect("save-rec");
+        assert!(sdb.transcript().contains("recording saved"), "{}", sdb.transcript());
+
+        sdb.exec(&mut sys, &format!("load-rec {path_s}")).expect("load-rec");
+        let _ = std::fs::remove_file(&path);
+        assert!(sdb.transcript().contains("loaded"), "{}", sdb.transcript());
+        // The re-materialised run reproduces the session state exactly.
+        let after = sdb.dbg().expect("dbg").regs(&mut sys).expect("regs");
+        assert_eq!(before, after, "load-rec landed on different registers");
+        sdb.exec(&mut sys, "kill").expect("kill");
+    }
+
+    #[test]
+    fn load_rec_of_garbage_is_a_note_not_a_panic() {
+        let (mut sys, ctl) = boot_recorded();
+        let mut sdb = Sdb::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        let path = std::env::temp_dir().join(format!("sdb-garbage-{}.rec", std::process::id()));
+        std::fs::write(&path, b"not a recfile at all").expect("write garbage");
+        let path_s = path.to_string_lossy().into_owned();
+        sdb.exec(&mut sys, &format!("load-rec {path_s}")).expect("load-rec");
+        let _ = std::fs::remove_file(&path);
+        assert!(sdb.transcript().contains("load-rec failed"), "{}", sdb.transcript());
+        // The session survived: the rejected load is a counted error.
+        let stats = sys.kernel.recorder.as_ref().expect("recorder").stats;
+        assert_eq!(stats.file_errors, 1, "{stats:?}");
+        sdb.exec(&mut sys, "kill").expect("kill");
+    }
+
+    #[test]
+    fn migrate_command_moves_the_target_out() {
+        let (mut sys, ctl) = boot();
+        let mut sdb = Sdb::launch(&mut sys, ctl, "/bin/ticker", &["ticker"]).expect("launch");
+        sdb.exec(&mut sys, "migrate").expect("migrate");
+        let t = sdb.transcript().to_string();
+        assert!(t.contains("migrated pid"), "{t}");
+        assert!(t.contains("source retired"), "{t}");
+        // The session is over; further commands degrade gracefully
+        // rather than erroring out.
+        let before = sdb.transcript().len();
+        let _ = sdb.exec(&mut sys, "regs");
+        assert!(
+            !sdb.transcript()[before..].contains("pc  ="),
+            "a migrated-away target still reported registers: {}",
+            sdb.transcript()
+        );
     }
 
     #[test]

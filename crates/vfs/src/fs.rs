@@ -246,6 +246,22 @@ pub trait FileSystem<K> {
     fn poll(&mut self, _k: &mut K, _node: NodeId, _token: OpenToken) -> SysResult<PollStatus> {
         Ok(PollStatus { readable: true, writable: true, hangup: false })
     }
+
+    /// Captures transport state carried *outside* the kernel, for
+    /// recording snapshots. Only the remote wire has any
+    /// ([`crate::remote::RemoteFs`] overrides this); plain file systems
+    /// return `None` and are cloned wholesale instead.
+    fn wire_snapshot(&self) -> Option<crate::remote::WireSnapshot> {
+        None
+    }
+
+    /// Restores transport state captured by
+    /// [`FileSystem::wire_snapshot`]. Returns `false` when this file
+    /// system has no wire state to restore (the snapshot cannot be
+    /// applied and the caller must rebuild instead).
+    fn wire_restore(&mut self, _snap: &crate::remote::WireSnapshot) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -534,8 +534,10 @@ pub const FLOOD_COPIES: usize = 8;
 pub const DEFAULT_QUEUE_CAP: usize = 256 * 1024;
 
 /// CRC-32 (IEEE 802.3 polynomial, bitwise): guarantees detection of any
-/// single-bit flip and any burst up to 32 bits.
-fn crc32(seed: u32, data: &[u8]) -> u32 {
+/// single-bit flip and any burst up to 32 bits. Public so the on-disk
+/// recording format can checksum its segments with the same discipline
+/// the wire uses for frames.
+pub fn crc32(seed: u32, data: &[u8]) -> u32 {
     let mut crc = !seed;
     for &b in data {
         crc ^= u32::from(b);
@@ -677,13 +679,16 @@ struct Wire(Vec<u8>);
 
 /// Fallible cursor over a received message. Every accessor reports
 /// [`WireError::Truncated`] instead of panicking: recovery paths must
-/// not hide panics.
-struct WireReader<'a> {
+/// not hide panics. Public so other binary decoders (the on-disk
+/// recording format, [`WireConfig::decode`]) parse with the same
+/// discipline.
+pub struct WireReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
-type WireResult<T> = Result<T, WireError>;
+/// Result alias for wire parsing.
+pub type WireResult<T> = Result<T, WireError>;
 
 impl Wire {
     fn new(op: u8) -> Wire {
@@ -713,31 +718,51 @@ impl Wire {
 }
 
 impl<'a> WireReader<'a> {
-    fn new(buf: &'a [u8]) -> WireReader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
         WireReader { buf, pos: 0 }
     }
-    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+    /// Consumes the next `n` bytes, or reports truncation.
+    pub fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
         let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
         let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
         Ok(s)
     }
-    fn u8(&mut self) -> WireResult<u8> {
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+    /// Next byte.
+    pub fn u8(&mut self) -> WireResult<u8> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> WireResult<u32> {
+    /// Next little-endian `u16`.
+    pub fn u16(&mut self) -> WireResult<u16> {
+        let s = self.take(2)?;
+        s.try_into().map(u16::from_le_bytes).map_err(|_| WireError::Truncated)
+    }
+    /// Next little-endian `u32`.
+    pub fn u32(&mut self) -> WireResult<u32> {
         let s = self.take(4)?;
         s.try_into().map(u32::from_le_bytes).map_err(|_| WireError::Truncated)
     }
-    fn u64(&mut self) -> WireResult<u64> {
+    /// Next little-endian `u64`.
+    pub fn u64(&mut self) -> WireResult<u64> {
         let s = self.take(8)?;
         s.try_into().map(u64::from_le_bytes).map_err(|_| WireError::Truncated)
     }
-    fn str(&mut self) -> WireResult<String> {
+    /// Next `u32`-length-prefixed UTF-8 string (lossy).
+    pub fn str(&mut self) -> WireResult<String> {
         let n = self.u32()? as usize;
         Ok(String::from_utf8_lossy(self.take(n)?).into_owned())
     }
-    fn bytes(&mut self) -> WireResult<Vec<u8>> {
+    /// Next `u32`-length-prefixed byte run.
+    pub fn bytes(&mut self) -> WireResult<Vec<u8>> {
         let n = self.u32()? as usize;
         Ok(self.take(n)?.to_vec())
     }
@@ -992,7 +1017,9 @@ fn parse_never<T>(_: &[u8]) -> SysResult<T> {
 
 // ---- the deterministic event scheduler ----
 
-/// What the wire delivers or a timer fires.
+/// What the wire delivers or a timer fires. `Clone` so a wire
+/// snapshot can carry the whole event queue.
+#[derive(Clone)]
 enum NetEvent {
     /// A request frame's bytes reach the server side of a session.
     Request { sid: u32, bytes: Vec<u8> },
@@ -1010,6 +1037,7 @@ enum NetEvent {
 
 /// An event on the virtual clock. Ordered by `(due, id)` — `id` is a
 /// monotone tie-breaker so equal-time events replay in schedule order.
+#[derive(Clone)]
 struct Scheduled {
     due: u64,
     id: u64,
@@ -1038,6 +1066,7 @@ impl Ord for Scheduled {
 /// lives server-side (derived from the op byte): the client retries
 /// every op the same way and the dedup window keeps sequenced ones
 /// exactly-once.
+#[derive(Clone)]
 struct InFlight {
     /// The session this op was submitted on (its eviction resolves us).
     sid: u32,
@@ -1086,6 +1115,7 @@ enum LinkState {
 /// Server-side state of one client session: bounded byte queues, link
 /// state, persona, shed accounting and the `OpenToken`s granted to this
 /// client (closed on its behalf if it dies).
+#[derive(Clone)]
 struct SessionState {
     link: LinkState,
     persona: Persona,
@@ -1752,6 +1782,96 @@ impl<K> WireSession<K> {
         }
         Ok(spec)
     }
+
+    /// Deep-copies every piece of wire state *except* the served file
+    /// system and the ioctl table (both are reconstructed from the
+    /// `SimConfig` at restore time) into a [`WireSnapshot`].
+    fn capture_state(&self) -> WireSnapshot {
+        WireSnapshot {
+            fault: self.fault.clone(),
+            retry: self.retry,
+            clock: self.clock,
+            next_tag: self.next_tag,
+            next_event_id: self.next_event_id,
+            events: self.events.iter().cloned().collect(),
+            inflight: self.inflight.iter().map(|(t, op)| (*t, op.clone())).collect(),
+            dedup: self.dedup.iter().cloned().collect(),
+            jitter: self.jitter,
+            stats: self.stats,
+            sessions: self.sessions.iter().map(|(s, st)| (*s, st.clone())).collect(),
+            next_sid: self.next_sid,
+            ready_q: self.ready_q.iter().copied().collect(),
+            in_cap: self.in_cap,
+            out_cap: self.out_cap,
+            served_tick: self.served_tick,
+            served_count: self.served_count,
+            service_armed: self.service_armed,
+        }
+    }
+
+    /// Overwrites every captured field from a [`WireSnapshot`], leaving
+    /// the served file system and the ioctl table as constructed.
+    fn restore_state(&mut self, snap: &WireSnapshot) {
+        self.fault = snap.fault.clone();
+        self.retry = snap.retry;
+        self.clock = snap.clock;
+        self.next_tag = snap.next_tag;
+        self.next_event_id = snap.next_event_id;
+        self.events = snap.events.iter().cloned().collect();
+        self.inflight = snap.inflight.iter().map(|(t, op)| (*t, op.clone())).collect();
+        self.dedup = snap.dedup.iter().cloned().collect();
+        self.jitter = snap.jitter;
+        self.stats = snap.stats;
+        self.sessions = snap.sessions.iter().map(|(s, st)| (*s, st.clone())).collect();
+        self.next_sid = snap.next_sid;
+        self.ready_q = snap.ready_q.iter().copied().collect();
+        self.ready_in = snap.ready_q.iter().copied().collect();
+        self.in_cap = snap.in_cap;
+        self.out_cap = snap.out_cap;
+        self.served_tick = snap.served_tick;
+        self.served_count = snap.served_count;
+        self.service_armed = snap.service_armed;
+    }
+}
+
+/// A deep copy of one [`WireSession`]'s state — clock, tags, event
+/// queue, in-flight ops, dedup window, per-session queues and personas,
+/// fault-plan RNG position, counters — *without* the served file system
+/// or the ioctl table (those are rebuilt from the `SimConfig`). Banked
+/// into a recording `Snap` so remote-mount configs resume from a
+/// snapshot instead of rebuilding from tick zero.
+#[derive(Clone)]
+pub struct WireSnapshot {
+    fault: Option<FaultPlan>,
+    retry: RetryPolicy,
+    clock: u64,
+    next_tag: u64,
+    next_event_id: u64,
+    events: Vec<Scheduled>,
+    inflight: Vec<(u64, InFlight)>,
+    dedup: Vec<(u64, Vec<u8>)>,
+    jitter: u64,
+    stats: WireStats,
+    sessions: Vec<(u32, SessionState)>,
+    next_sid: u32,
+    ready_q: Vec<u32>,
+    in_cap: usize,
+    out_cap: usize,
+    served_tick: u64,
+    served_count: u32,
+    service_armed: bool,
+}
+
+impl std::fmt::Debug for WireSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireSnapshot")
+            .field("clock", &self.clock)
+            .field("next_tag", &self.next_tag)
+            .field("events", &self.events.len())
+            .field("inflight", &self.inflight.len())
+            .field("sessions", &self.sessions.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Outcome of the client-side ioctl gate when no wire op is needed.
@@ -2112,6 +2232,54 @@ impl WireConfig {
             }
         }
     }
+
+    /// Parses the [`WireConfig::encode`] byte layout back into a config,
+    /// advancing `r` past it. The inverse the on-disk recording loader
+    /// needs; any truncation or malformed presence byte is a
+    /// [`WireError`], never a panic or a half-parsed config.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<WireConfig, WireError> {
+        let fault_seed = r.u64()?;
+        let presence = |r: &mut WireReader<'_>| -> Result<bool, WireError> {
+            match r.u8()? {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(WireError::Malformed),
+            }
+        };
+        let faults = if presence(r)? {
+            Some(FaultRates {
+                drop: r.u16()?,
+                truncate: r.u16()?,
+                bitflip: r.u16()?,
+                duplicate: r.u16()?,
+                delay: r.u16()?,
+            })
+        } else {
+            None
+        };
+        let adversary = if presence(r)? {
+            Some(AdversaryRates {
+                slow_reader: r.u16()?,
+                half_open: r.u16()?,
+                flood: r.u16()?,
+                mid_frame: r.u16()?,
+                stale_replay: r.u16()?,
+            })
+        } else {
+            None
+        };
+        let retry = if presence(r)? {
+            Some(RetryPolicy { max_attempts: r.u32()?, backoff_cap: r.u64()?, budget: r.u64()? })
+        } else {
+            None
+        };
+        let queue_caps = if presence(r)? {
+            Some((r.u64()? as usize, r.u64()? as usize))
+        } else {
+            None
+        };
+        Ok(WireConfig { fault_seed, faults, adversary, retry, queue_caps })
+    }
 }
 
 /// A file system accessed across a simulated (and possibly lossy) wire:
@@ -2207,6 +2375,17 @@ impl<K> RemoteFs<K> {
         lock(&self.session).clock
     }
 
+    /// Captures the wire state (see [`WireSnapshot`]).
+    pub fn snapshot_wire(&self) -> WireSnapshot {
+        lock(&self.session).capture_state()
+    }
+
+    /// Restores previously captured wire state over this session's
+    /// served file system and ioctl table.
+    pub fn restore_wire(&self, snap: &WireSnapshot) {
+        lock(&self.session).restore_state(snap);
+    }
+
     /// Blocking submit-and-wait: one op end to end through the shared
     /// session (always session 0, the mount face).
     fn call<T>(
@@ -2225,6 +2404,15 @@ impl<K> RemoteFs<K> {
 impl<K> FileSystem<K> for RemoteFs<K> {
     fn type_name(&self) -> &'static str {
         "remote"
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        Some(self.snapshot_wire())
+    }
+
+    fn wire_restore(&mut self, snap: &WireSnapshot) -> bool {
+        self.restore_wire(snap);
+        true
     }
 
     fn root(&self) -> NodeId {

@@ -13,7 +13,13 @@
 //!   ≥ 2× the slow-path rate, per-page text epochs must beat coarse
 //!   whole-mapping invalidation under dense breakpoint traffic, and the
 //!   run drops `BENCH_E13.json` at the repo root so the perf trajectory
-//!   is machine-readable across PRs.
+//!   is machine-readable across PRs;
+//! * E14 — record/replay must be near-free while recording and
+//!   snapshot-cheap while travelling (`BENCH_E14.json`);
+//! * E15 — live migration over the adversarial wire must cost only
+//!   bounded re-sends on top of the loss-free chunk floor, and the
+//!   durable recfile round trip must parse strictly cheaper than the
+//!   full cross-process rebuild (`BENCH_E15.json`).
 
 use bench_support::FastPathPoint;
 use std::fmt::Write as _;
@@ -325,4 +331,81 @@ fn record_replay_time_travel_is_cheap() {
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_E14.json");
     std::fs::write(out, &json).expect("write BENCH_E14.json");
+}
+
+/// Renders one E15 migration point as a JSON object.
+fn migrate_json(p: &bench_support::MigratePoint) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "    {{\"fault_permille\": {}, \"adversary_permille\": {}, \
+         \"wall_ns\": {}, \"bytes\": {}, \"chunks\": {}, \"min_chunks\": {}, \
+         \"retries\": {}, \"dup_chunks\": {}, \"resumes\": {}}}",
+        p.fault_permille,
+        p.adversary_permille,
+        p.wall_ns,
+        p.bytes,
+        p.chunks,
+        p.min_chunks,
+        p.retries,
+        p.dup_chunks,
+        p.resumes,
+    )
+    .expect("write to string");
+    s
+}
+
+/// E15 smoke gate: live migration over the wire and recording
+/// durability must be cheap and exactly-once. A clean wire moves the
+/// image in exactly the loss-free chunk floor with zero re-sends;
+/// faulted and adversarial wires still commit, paying only bounded
+/// retries whose duplicate deliveries the destination kernel absorbs
+/// as `dup_chunks` rather than double-applying. The recfile round
+/// trip must parse-and-verify strictly cheaper than the full
+/// cross-process rebuild it feeds. Emits `BENCH_E15.json` as a side
+/// effect.
+#[test]
+fn migration_and_recfile_durability_are_cheap() {
+    let sweep: [(u16, u16); 3] = [(0, 0), (80, 0), (120, 150)];
+    let points: Vec<bench_support::MigratePoint> = sweep
+        .iter()
+        .enumerate()
+        .map(|(i, &(f, a))| {
+            bench_support::migrate_point(0xE150_0001 + i as u64 * 0x9E37, f, a)
+        })
+        .collect();
+
+    // Clean wire: the floor exactly — no re-sends, no duplicates, no
+    // resumed transfers.
+    let clean = &points[0];
+    assert_eq!(clean.retries, 0, "clean wire needed retries: {clean:?}");
+    assert_eq!(clean.chunks, clean.min_chunks, "clean wire off the chunk floor: {clean:?}");
+    assert_eq!(clean.dup_chunks, 0, "clean wire duplicated chunks: {clean:?}");
+    assert_eq!(clean.resumes, 0, "clean wire resumed a transfer: {clean:?}");
+    for p in &points {
+        // Every leg committed (migrate_point panics otherwise) and no
+        // leg beats the loss-free floor — re-sends only ever add work.
+        assert!(p.bytes > 0, "empty checkpoint image: {p:?}");
+        assert!(p.chunks >= p.min_chunks, "fewer chunks than the floor: {p:?}");
+    }
+
+    let rf = bench_support::recfile_point(64, 2048, 3);
+    assert!(rf.records > 50, "recfile workload barely logged: {rf:?}");
+    assert!(rf.bytes > 0, "empty recfile image: {rf:?}");
+    assert!(
+        rf.load_ns < rf.replay_ns,
+        "parse+verify not cheaper than the full rebuild: {rf:?}"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E15\",\n  \"title\": \"live migration over the adversarial wire and recfile durability\",\n  \"migrate_points\": [\n{}\n  ],\n  \"recfile\": {{\"records\": {}, \"bytes\": {}, \"save_ns\": {}, \"load_ns\": {}, \"replay_ns\": {}}}\n}}\n",
+        points.iter().map(migrate_json).collect::<Vec<_>>().join(",\n"),
+        rf.records,
+        rf.bytes,
+        rf.save_ns,
+        rf.load_ns,
+        rf.replay_ns,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_E15.json");
+    std::fs::write(out, &json).expect("write BENCH_E15.json");
 }

@@ -200,16 +200,16 @@ fn xstats_readable_through_all_three_faces() {
     assert!(remote.insns >= hier.insns, "remote {remote:?} < hier {hier:?}");
 }
 
-/// `System::set_fast_path(false)` reaches every live process: counters
-/// freeze, new work runs entirely down the slow path, and the flag is
-/// visible in the reply. This test exercises the *mid-flight* toggle —
-/// the deprecated shim's remaining purpose — so it deliberately does
-/// not go through `SimConfig::fast_path`.
+/// `SimConfig::fast_path(false)` reaches every process the system will
+/// ever run: counters stay frozen, work runs entirely down the slow
+/// path, and the flag is visible in the reply. The second leg boots the
+/// same workload with the fast path on and sees the caches warm — the
+/// two construction-time configurations that replaced the retired
+/// mid-flight toggle.
 #[test]
-#[allow(deprecated)]
 fn disabled_fast_path_reports_and_counts_nothing() {
-    let (mut sys, ctl) = boot();
-    sys.set_fast_path(false);
+    let mut sys = tools::boot_demo_cfg(ksim::SimConfig::standard().fast_path(false));
+    let ctl = sys.spawn_hosted("fastpath", Cred::superuser());
     let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
     sys.run_idle(1000);
     let st = PrXStats::capture(&sys.kernel, pid).expect("xstats");
@@ -226,13 +226,17 @@ fn disabled_fast_path_reports_and_counts_nothing() {
         "disabled superblocks still counting: {st:?}"
     );
     assert!(st.insns > 0, "target did not run: {st:?}");
-    // Re-enabling mid-flight warms the caches again.
-    sys.set_fast_path(true);
+
+    // The enabled leg: the identical workload under the fast path
+    // counts and warms.
+    let mut sys = tools::boot_demo_cfg(ksim::SimConfig::standard().fast_path(true));
+    let ctl = sys.spawn_hosted("fastpath", Cred::superuser());
+    let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
     sys.run_idle(1000);
     let st = PrXStats::capture(&sys.kernel, pid).expect("xstats");
     assert_eq!(st.enabled, 1);
-    assert!(st.icache_hits > 0, "re-enable never warmed: {st:?}");
-    assert!(st.sblock_insns > 0, "re-enable never dispatched a block: {st:?}");
+    assert!(st.icache_hits > 0, "fast path never warmed: {st:?}");
+    assert!(st.sblock_insns > 0, "fast path never dispatched a block: {st:?}");
 }
 
 /// A forked child starts with cold caches and its own generation

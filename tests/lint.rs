@@ -21,7 +21,8 @@ fn have_clippy() -> bool {
     )
 }
 
-/// Runs `cargo clippy -p <package> --all-targets -- -D warnings`.
+/// Runs `cargo clippy -p <package> --all-targets -- -D warnings
+/// -D deprecated`.
 fn clippy_clean(package: &str) {
     if !have_clippy() {
         eprintln!("skipping: cargo clippy is not installed");
@@ -39,6 +40,10 @@ fn clippy_clean(package: &str) {
             "--",
             "-D",
             "warnings",
+            // The mid-run knob shims are gone; nothing may grow back on
+            // a deprecated surface without failing the gate.
+            "-D",
+            "deprecated",
         ])
         .output()
         .expect("run cargo clippy");

@@ -189,3 +189,33 @@ fn checkpoint_restore_round_trips_over_faulted_remote_mount() {
     let replayed = procfs::replay(&rec).expect("ckpt/restore run must replay cleanly");
     assert_eq!(replayed.recording().expect("recording").records, rec.records);
 }
+
+/// PR 9: a remote-mount configuration no longer forces `goto_tick` down
+/// the full-rebuild path. Wire-session state is banked into each `Snap`
+/// alongside the kernel, so navigation lands on the nearest snapshot
+/// (`restores == 1`) and re-applies only the tail of the log
+/// (`replays < k`) — and the restored system is still byte-faithful to
+/// the recording.
+#[test]
+fn goto_tick_over_remote_mount_takes_the_snapshot_fast_path() {
+    let sys = recorded_run(0x0FA5_7F00);
+    let len = sys.recording().expect("recording on").len();
+    assert!(len > 24, "workload too small to exercise navigation ({len} records)");
+    let k = len * 3 / 4;
+    let restored = procfs::goto_tick(&sys, k).expect("goto_tick over the remote mount");
+    let stats = restored.kernel.recorder.as_ref().expect("recorder survives").stats;
+    assert_eq!(
+        stats.restores, 1,
+        "remote-mount navigation fell back to a full rebuild: {stats:?}"
+    );
+    assert!(
+        (stats.replays as usize) < k,
+        "snapshot fast path replayed the whole log: {} >= {k}",
+        stats.replays
+    );
+    assert_eq!(
+        restored.recording().expect("recording on").records[..],
+        sys.recording().expect("recording on").records[..k],
+        "fast-path navigation diverged from the log prefix"
+    );
+}

@@ -435,3 +435,163 @@ fn flood_bursts_are_shed_capped_and_exactly_once() {
         .expect("blocking face survives the flood");
     assert!(dir.0 > 0);
 }
+
+// ---------------------------------------------------------------------
+// On-disk recfile loader fuzz (PR 9): hostile bytes by construction.
+// ---------------------------------------------------------------------
+
+use procsim::ksim::recfile::{self, RecfileError};
+
+/// A small real recording with several committed segments and banked
+/// snapshot marks — the honest input the corruptions below start from.
+fn small_recfile() -> (Vec<u8>, procsim::ksim::Recording) {
+    let cfg = procsim::ksim::SimConfig::standard().record(true).snapshot_every(4);
+    let mut sys = tools::boot_demo_cfg(cfg);
+    let ctl = sys.spawn_hosted("recfuzz", Cred::superuser());
+    let _ = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+    sys.run_idle(400);
+    let bytes = sys.save_recfile().expect("recording is on");
+    let rec = sys.recording().expect("recording is on");
+    (bytes, rec)
+}
+
+/// Truncate the file at *every* byte offset: each cut must come back
+/// typed — a strict-load error, or (only at an exact segment boundary)
+/// a shorter but valid file — and `load_committed` must always surface
+/// the committed prefix intact. No cut may panic.
+#[test]
+fn recfile_truncated_at_every_offset_loads_typed() {
+    let (bytes, full) = small_recfile();
+    assert!(bytes.len() > 64, "recording too small to fuzz meaningfully");
+    let full_loaded = recfile::load(&bytes).expect("the untruncated file loads");
+    assert_eq!(full_loaded.recording.records, full.records);
+
+    for cut in 0..bytes.len() {
+        let b = &bytes[..cut];
+        match recfile::load(b) {
+            // An exact segment boundary: a valid, strictly shorter file.
+            Ok(f) => {
+                assert!(
+                    f.recording.records.len() < full.records.len() || cut == bytes.len(),
+                    "cut {cut}: truncation loaded the full log"
+                );
+                assert_eq!(
+                    f.recording.records[..],
+                    full.records[..f.recording.records.len()],
+                    "cut {cut}: committed prefix diverges"
+                );
+            }
+            Err(e) => {
+                // Typed is the requirement; the Display impl must hold
+                // up too (it is what an operator sees).
+                assert!(!e.to_string().is_empty(), "cut {cut}: silent error");
+            }
+        }
+        // The crash-consistency promise: whatever was committed before
+        // the torn tail is still there.
+        if let Ok((prefix, _tail)) = recfile::load_committed(b) {
+            assert_eq!(
+                prefix.recording.records[..],
+                full.records[..prefix.recording.records.len()],
+                "cut {cut}: load_committed returned a non-prefix"
+            );
+        }
+    }
+}
+
+/// Flip bits through the header and the first segments, and one bit in
+/// every byte of the whole file: every flip must be *detected* (magic,
+/// version, checksum, commit or malformed — all typed), because CRC32
+/// catches all single-bit errors and the header fields are validated
+/// field by field. No flip may panic or load silently.
+#[test]
+fn recfile_single_bit_flips_are_always_detected() {
+    let (bytes, _) = small_recfile();
+
+    // Exhaustive over the header + first segment region.
+    let dense = bytes.len().min(160);
+    for pos in 0..dense {
+        for bit in 0..8u8 {
+            let mut b = bytes.clone();
+            b[pos] ^= 1 << bit;
+            assert!(
+                recfile::load(&b).is_err(),
+                "flip at byte {pos} bit {bit} went undetected"
+            );
+        }
+    }
+    // One bit per byte across the rest of the file.
+    for pos in dense..bytes.len() {
+        let mut b = bytes.clone();
+        b[pos] ^= 1 << (pos % 8);
+        assert!(recfile::load(&b).is_err(), "flip at byte {pos} went undetected");
+    }
+}
+
+/// Structured header damage gets the precise error, not a generic one:
+/// wrong magic is `BadMagic`, an unknown version is `BadVersion`, and a
+/// corrupted config region is the header checksum failing (segment 0).
+#[test]
+fn recfile_header_damage_is_precisely_typed() {
+    let (bytes, _) = small_recfile();
+
+    let mut magic = bytes.clone();
+    magic[0] ^= 0xFF;
+    assert!(matches!(recfile::load(&magic), Err(RecfileError::BadMagic)));
+
+    let mut version = bytes.clone();
+    version[8] = 0xEE; // version u32 lives right after the 8-byte magic
+    assert!(matches!(recfile::load(&version), Err(RecfileError::BadVersion(_))));
+
+    let mut config = bytes.clone();
+    config[17] ^= 0x10; // inside the encoded SimConfig
+    assert!(matches!(
+        recfile::load(&config),
+        Err(RecfileError::BadChecksum { segment: 0 } | RecfileError::Malformed { segment: 0, .. })
+    ));
+
+    assert!(matches!(recfile::load(&[]), Err(RecfileError::Truncated)));
+    assert!(matches!(recfile::load(b"PSRECF"), Err(RecfileError::Truncated)));
+}
+
+/// The committed prefix of a torn file does not just parse — it
+/// *replays*: sampled truncation points must yield prefixes the replay
+/// engine reproduces without divergence.
+#[test]
+fn recfile_committed_prefixes_still_replay() {
+    let (bytes, full) = small_recfile();
+    let header_end = 16
+        + u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize
+        + 4;
+    let mut replayed_any = false;
+    for i in 1..8 {
+        let cut = header_end + (bytes.len() - header_end) * i / 8;
+        let Ok((prefix, tail)) = recfile::load_committed(&bytes[..cut]) else {
+            continue; // cut inside the header region: typed, nothing committed
+        };
+        assert!(
+            prefix.recording.records.len() <= full.records.len(),
+            "cut {cut}: prefix longer than the original"
+        );
+        if cut < bytes.len() {
+            assert!(
+                tail.is_some() || prefix.recording.records.len() < full.records.len(),
+                "cut {cut}: a torn tail went unreported"
+            );
+        }
+        if prefix.recording.records.is_empty() {
+            continue;
+        }
+        let mut rec = prefix.recording.clone();
+        rec.config.record = true;
+        let sys = procsim::procfs::replay(&rec)
+            .unwrap_or_else(|d| panic!("cut {cut}: committed prefix diverged: {d:?}"));
+        assert_eq!(
+            sys.recording().expect("replayed recorder").records,
+            prefix.recording.records,
+            "cut {cut}: replayed prefix diverges"
+        );
+        replayed_any = true;
+    }
+    assert!(replayed_any, "no sampled cut produced a replayable prefix");
+}

@@ -112,15 +112,28 @@ fn signal_delivery_transcript_identical_fast_on_and_off() {
 /// Drives a seeded kernel-fault schedule (ENOMEM at vm sites, EAGAIN at
 /// fork) under fork + COW traffic and returns the transcript.
 fn kfault_transcript(fast: bool, seed: u64) -> String {
-    let (mut sys, ctl) = boot(fast);
-    let forker = sys.spawn_program(ctl, "/bin/forker", &["forker"]).expect("spawn forker");
-    let watched = sys.spawn_program(ctl, "/bin/watched", &["watched"]).expect("spawn watched");
-    // Installed after the controller's own spawns so injection lands on
-    // the targets' forks and vm growth, not on test setup — mid-run
-    // installation is the point here, so this stays on the deprecated
-    // shim rather than `SimConfig::kernel_faults`.
-    #[allow(deprecated)]
-    sys.install_fault_plan(seed, KernelFaultRates::uniform(60));
+    // The plan is installed at construction (`SimConfig::kernel_faults`,
+    // the only installation site since the mid-run shims were retired),
+    // so the seeded schedule covers the setup spawns too: they may draw
+    // EAGAIN/ENOMEM themselves and retry. The draws consumed during
+    // setup are identical across the fast/slow legs — the host-call
+    // sequence does not depend on the execution engine.
+    let mut sys = tools::boot_demo_cfg(
+        ksim::SimConfig::standard()
+            .fast_path(fast)
+            .kernel_faults(seed, KernelFaultRates::uniform(60)),
+    );
+    let ctl = sys.spawn_hosted("sblock-test", Cred::superuser());
+    let spawn = |sys: &mut ksim::System, path: &str, name: &str| {
+        for _ in 0..200 {
+            if let Ok(pid) = sys.spawn_program(ctl, path, &[name]) {
+                return pid;
+            }
+        }
+        panic!("{path} failed to spawn 200 straight times under the fault plan");
+    };
+    let forker = spawn(&mut sys, "/bin/forker", "forker");
+    let watched = spawn(&mut sys, "/bin/watched", "watched");
     let mut t = String::new();
     for step in 0..16 {
         sys.run_idle(53);
