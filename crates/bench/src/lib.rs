@@ -989,6 +989,88 @@ pub fn recfile_point(snapshot_every: usize, ticks: u64, reps: usize) -> RecfileP
     RecfilePoint { records, bytes: bytes.len(), save_ns, load_ns, replay_ns }
 }
 
+/// One E16 shard-sweep point: a farm of compute-bound spinners driven
+/// for `ticks` scheduler rounds at a given shard count, timed on the
+/// wall clock around `run_idle` only. `shards == 0` is the legacy
+/// single-slice engine (the pre-PR-10 baseline row); `shards >= 1` is
+/// the gang-round engine, whose guest-visible results are identical at
+/// every shard count — only the wall-clock rate may differ.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardPoint {
+    /// Shard count (0 = legacy engine).
+    pub shards: u32,
+    /// Guest processes in the farm.
+    pub guests: usize,
+    /// Guest instructions retired across the whole farm.
+    pub insns: u64,
+    /// Final simulated clock — with `insns`, the determinism fingerprint.
+    pub clock: u64,
+    /// Wall-clock nanoseconds spent inside `run_idle`.
+    pub wall_ns: u128,
+    /// Retired guest instructions per wall-clock second.
+    pub insns_per_sec: f64,
+}
+
+/// The fixed interleave seed every E16 row shares, so rows differ only
+/// in their shard count.
+const E16_SEED: u64 = 0xE16_5EED;
+
+fn shard_cfg(shards: u32) -> ksim::SimConfig {
+    ksim::SimConfig::standard().shards(shards).interleave_seed(E16_SEED).shard_batch(8)
+}
+
+/// Sums retired instructions over every simulated (non-hosted) process,
+/// live or zombie — fork children included, so pipe farms count both
+/// halves of each pair.
+fn farm_insns(sys: &System) -> u64 {
+    sys.kernel.procs.iter().filter(|(_, p)| !p.hosted).map(|(_, p)| p.cpu_time).sum()
+}
+
+/// Measures one E16 spin-farm point: `guests` copies of `/bin/spin`
+/// (pure user work, the embarrassingly parallel best case) driven for
+/// `ticks` rounds.
+pub fn shard_sweep_point(shards: u32, guests: usize, ticks: u64) -> ShardPoint {
+    let (mut sys, ctl) = boot_with_ctl_cfg(shard_cfg(shards));
+    for _ in 0..guests {
+        setup(sys.spawn_program(ctl, "/bin/spin", &["spin"]), "spawn spin farm");
+    }
+    let start = Instant::now();
+    sys.run_idle(ticks);
+    let wall_ns = start.elapsed().as_nanos().max(1);
+    let insns = farm_insns(&sys);
+    ShardPoint {
+        shards,
+        guests,
+        insns,
+        clock: sys.kernel.clock,
+        wall_ns,
+        insns_per_sec: insns as f64 * 1e9 / wall_ns as f64,
+    }
+}
+
+/// Measures one E16 pipe-farm point: `pairs` copies of `/bin/piper`
+/// (each forks a child and talks to it through a pipe — every slice
+/// ends in a kernel entry, so the whole workload runs through the
+/// serial commit phase and cross-shard wakeups).
+pub fn pipe_farm_point(shards: u32, pairs: usize, ticks: u64) -> ShardPoint {
+    let (mut sys, ctl) = boot_with_ctl_cfg(shard_cfg(shards));
+    for _ in 0..pairs {
+        setup(sys.spawn_program(ctl, "/bin/piper", &["piper"]), "spawn pipe farm");
+    }
+    let start = Instant::now();
+    sys.run_idle(ticks);
+    let wall_ns = start.elapsed().as_nanos().max(1);
+    let insns = farm_insns(&sys);
+    ShardPoint {
+        shards,
+        guests: pairs,
+        insns,
+        clock: sys.kernel.clock,
+        wall_ns,
+        insns_per_sec: insns as f64 * 1e9 / wall_ns as f64,
+    }
+}
+
 /// Declares the bench entry function, criterion-style:
 /// `criterion_group!(benches, bench_a, bench_b)` defines `fn benches()`
 /// that runs each target against a fresh [`Criterion`].

@@ -73,6 +73,22 @@ pub struct SimConfig {
     pub snapshot_every: usize,
     /// Mounts to establish at construction, in order.
     pub mounts: Vec<(String, MountPlan)>,
+    /// Scheduler shards. 0 (the default) keeps the legacy one-LWP-per-
+    /// step loop; `n >= 1` switches `System::step` to the gang-round
+    /// engine, whose speculative user slices run on up to `n` host
+    /// worker threads. The *logical* schedule depends only on
+    /// `interleave_seed`, never on `n`: any two shard counts produce
+    /// byte-identical transcripts for the same seed.
+    pub shards: u32,
+    /// Seed for the round engine's commit-order permutation. Part of the
+    /// recorded config: a replay at a different shard count but the same
+    /// seed replays the same interleaving.
+    pub interleave_seed: u64,
+    /// Scheduling quanta per speculative slice in one round (round
+    /// engine only). Larger batches amortise the per-round thread fork;
+    /// the value changes the schedule (slice length) but, like
+    /// `quantum`, not its shard-count independence.
+    pub shard_batch: u32,
 }
 
 impl Default for SimConfig {
@@ -86,6 +102,9 @@ impl Default for SimConfig {
             record: false,
             snapshot_every: 64,
             mounts: Vec::new(),
+            shards: 0,
+            interleave_seed: 0,
+            shard_batch: 4,
         }
     }
 }
@@ -159,6 +178,27 @@ impl SimConfig {
         self
     }
 
+    /// Selects the sharded round engine with `n` worker shards (`0`
+    /// keeps the legacy loop). The schedule is shard-count independent:
+    /// `shards(1)` and `shards(8)` replay byte-identically for the same
+    /// [`SimConfig::interleave_seed`].
+    pub fn shards(mut self, n: u32) -> SimConfig {
+        self.shards = n;
+        self
+    }
+
+    /// Seeds the round engine's deterministic commit-order permutation.
+    pub fn interleave_seed(mut self, seed: u64) -> SimConfig {
+        self.interleave_seed = seed;
+        self
+    }
+
+    /// Sets how many quanta one speculative slice runs per round.
+    pub fn shard_batch(mut self, quanta: u32) -> SimConfig {
+        self.shard_batch = quanta.max(1);
+        self
+    }
+
     /// Folds every field into a stable little-endian byte encoding; the
     /// recording digests cover this, so replaying under a different
     /// construction config is detected as a divergence at tick 0.
@@ -173,7 +213,15 @@ impl SimConfig {
                 out.push(1);
                 out.extend_from_slice(&f.seed.to_le_bytes());
                 let r = f.rates;
-                for v in [r.enomem, r.eagain, r.eintr, r.wakeup, r.death, r.mid_op] {
+                for v in [
+                    r.enomem,
+                    r.eagain,
+                    r.eintr,
+                    r.wakeup,
+                    r.death,
+                    r.mid_op,
+                    r.controller_death,
+                ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
                 out.push(f.targeted as u8);
@@ -189,6 +237,9 @@ impl SimConfig {
                 w.encode(out);
             }
         }
+        out.extend_from_slice(&self.shards.to_le_bytes());
+        out.extend_from_slice(&self.interleave_seed.to_le_bytes());
+        out.extend_from_slice(&self.shard_batch.to_le_bytes());
     }
 
     /// Parses the [`SimConfig::encode`] byte layout back into a config,
@@ -217,6 +268,7 @@ impl SimConfig {
                 wakeup: r.u16()?,
                 death: r.u16()?,
                 mid_op: r.u16()?,
+                controller_death: r.u16()?,
             };
             let targeted = flag(r)?;
             Some(KernelFaultSpec { seed, rates, targeted })
@@ -240,6 +292,9 @@ impl SimConfig {
             };
             mounts.push((path, plan));
         }
+        let shards = r.u32()?;
+        let interleave_seed = r.u64()?;
+        let shard_batch = r.u32()?;
         Ok(SimConfig {
             quantum,
             pump_limit,
@@ -249,6 +304,9 @@ impl SimConfig {
             record: false,
             snapshot_every,
             mounts,
+            shards,
+            interleave_seed,
+            shard_batch,
         })
     }
 }
@@ -281,7 +339,10 @@ mod tests {
             .fast_path(false)
             .targeted_kernel_faults(0xDEAD, KernelFaultRates::uniform(9))
             .snapshot_every(24)
-            .mount("/procr", MountPlan::RemoteProc(WireConfig::faulty(7, Default::default())));
+            .mount("/procr", MountPlan::RemoteProc(WireConfig::faulty(7, Default::default())))
+            .shards(4)
+            .interleave_seed(0xBEEF)
+            .shard_batch(8);
         let mut bytes = Vec::new();
         cfg.encode(&mut bytes);
         let mut r = WireReader::new(&bytes);
@@ -306,5 +367,8 @@ mod tests {
         let mut c = Vec::new();
         SimConfig::standard().encode(&mut c);
         assert_eq!(a, c);
+        let mut d = Vec::new();
+        SimConfig::standard().shards(2).interleave_seed(5).encode(&mut d);
+        assert_ne!(a, d, "shard dimension is part of the recorded config");
     }
 }

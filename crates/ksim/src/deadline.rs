@@ -1,0 +1,87 @@
+//! Per-kernel timer deadline index.
+//!
+//! The scheduler used to discover due `alarm()` timers and
+//! `nanosleep` wakeups by scanning every LWP of every process on every
+//! step — O(procs × lwps) work plus a fresh `Vec` allocation per step,
+//! all of it wasted on the overwhelmingly common step where nothing is
+//! due. [`DeadlineHeap`] replaces the scan with a min-heap of
+//! `(tick, pid)` entries, pushed when a deadline is armed (`alarm`,
+//! `sleep`) and *lazily* validated when popped: a process may have
+//! cancelled its alarm, been killed, or been woken early, so an entry
+//! is only trusted if the process still holds a matching live deadline.
+//!
+//! Lazy deletion keeps the arm/disarm paths O(log n) with no lookup
+//! structure; stale entries cost one pop each. Entries are keyed
+//! `(tick, pid)` so ties break by pid — the same order the legacy scan
+//! produced — and the heap is part of [`crate::Kernel`], so snapshots
+//! and `goto_tick` restores carry it wholesale.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Min-heap of pending timer deadlines, keyed `(tick, pid)`.
+#[derive(Clone, Debug, Default)]
+pub struct DeadlineHeap {
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl DeadlineHeap {
+    /// Records that `pid` has a deadline at absolute tick `t`. Duplicate
+    /// and stale entries are fine — they are filtered on pop.
+    pub fn arm(&mut self, t: u64, pid: u32) {
+        self.heap.push(Reverse((t, pid)));
+    }
+
+    /// The earliest recorded deadline, without validation. Callers must
+    /// treat this as a hint: the entry may be stale.
+    pub fn peek(&self) -> Option<(u64, u32)> {
+        self.heap.peek().map(|Reverse(e)| *e)
+    }
+
+    /// Pops the earliest entry.
+    pub fn pop(&mut self) -> Option<(u64, u32)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Number of live + stale entries (test/diagnostic aid).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entries are recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_tick_then_pid_order() {
+        let mut h = DeadlineHeap::default();
+        h.arm(20, 7);
+        h.arm(10, 9);
+        h.arm(10, 3);
+        h.arm(15, 1);
+        let mut out = Vec::new();
+        while let Some(e) = h.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![(10, 3), (10, 9), (15, 1), (20, 7)]);
+    }
+
+    #[test]
+    fn duplicates_survive_and_clone_is_deep() {
+        let mut h = DeadlineHeap::default();
+        h.arm(5, 2);
+        h.arm(5, 2);
+        let mut c = h.clone();
+        assert_eq!(h.len(), 2);
+        assert_eq!(c.pop(), Some((5, 2)));
+        assert_eq!(c.pop(), Some((5, 2)));
+        assert!(c.is_empty());
+        assert_eq!(h.len(), 2, "clone must not drain the original");
+    }
+}

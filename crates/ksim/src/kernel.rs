@@ -96,6 +96,13 @@ pub struct Kernel {
     pub migrations: std::collections::BTreeMap<u64, crate::migrate::MigXfer>,
     /// Migration protocol counters (`PIOCMIGSTATS`).
     pub mig_stats: crate::migrate::MigStats,
+    /// Pending `alarm`/`sleep` deadlines, lazily validated on pop so the
+    /// scheduler's timer check is O(1) when nothing is due.
+    pub deadlines: crate::deadline::DeadlineHeap,
+    /// Completed scheduler rounds; seeds the per-round commit
+    /// permutation of the sharded engine and rotates LWP selection, so
+    /// it must travel with snapshots to keep `goto_tick` deterministic.
+    pub sched_rounds: u64,
 }
 
 // A manual impl so `clone()` *is* the copy-on-write snapshot operation:
@@ -123,6 +130,8 @@ impl Clone for Kernel {
             recorder: None,
             migrations: self.migrations.clone(),
             mig_stats: self.mig_stats,
+            deadlines: self.deadlines.clone(),
+            sched_rounds: self.sched_rounds,
         }
     }
 }

@@ -58,6 +58,14 @@ pub struct KernelFaultRates {
     /// per-step rate compounds over hundreds of steps, so uniform sweeps
     /// would be dominated by mid-op deaths. Opt in per plan.
     pub mid_op: u16,
+    /// *Controller*-death rate, rolled once per scheduler step inside
+    /// `System::step` (both the legacy loop and the sharded round
+    /// engine): a hosted controlling program itself can vanish between
+    /// two scheduler steps, exercising run-on-last-close release and
+    /// stopped-target cleanup. Per-step like `mid_op`, and excluded
+    /// from [`KernelFaultRates::uniform`] for the same compounding
+    /// reason.
+    pub controller_death: u16,
 }
 
 impl KernelFaultRates {
@@ -71,6 +79,7 @@ impl KernelFaultRates {
             wakeup: permille,
             death: permille,
             mid_op: 0,
+            controller_death: 0,
         }
     }
 }
@@ -94,11 +103,14 @@ pub struct KFaultStats {
     /// Targets killed or exited *mid-op*, between two scheduler steps of
     /// a single blocking host operation.
     pub deaths_mid_op: u64,
+    /// Hosted *controllers* killed inside `System::step` (the
+    /// `controller_death` per-step site).
+    pub controller_deaths: u64,
 }
 
 impl KFaultStats {
-    /// Marshalled size: seven little-endian `u64` counters.
-    pub const WIRE_LEN: usize = 7 * 8;
+    /// Marshalled size: eight little-endian `u64` counters.
+    pub const WIRE_LEN: usize = 8 * 8;
 
     /// Serialises in field order.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -111,6 +123,7 @@ impl KFaultStats {
             self.spurious_wakeups,
             self.deaths,
             self.deaths_mid_op,
+            self.controller_deaths,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -137,6 +150,7 @@ impl KFaultStats {
             spurious_wakeups: at(32),
             deaths: at(40),
             deaths_mid_op: at(48),
+            controller_deaths: at(56),
         })
     }
 }
@@ -244,6 +258,13 @@ impl KernelFaultPlan {
         self.roll(self.rates.mid_op)
     }
 
+    /// Should a hosted *controller* die at this scheduler step? Rolled
+    /// once per `System::step` at any shard count. (The caller picks the
+    /// victim and bumps [`KFaultStats::controller_deaths`] once it has.)
+    pub fn roll_controller_death(&mut self) -> bool {
+        self.roll(self.rates.controller_death)
+    }
+
     /// Uniform pick in `0..n` for victim selection. `n` must be nonzero.
     pub fn pick(&mut self, n: u64) -> u64 {
         self.next() % n
@@ -280,6 +301,7 @@ mod tests {
         assert!(!plan.roll_spurious_wakeup());
         assert!(!plan.roll_death());
         assert!(!plan.roll_death_mid_op());
+        assert!(!plan.roll_controller_death());
         assert_eq!(plan.state, before, "zero rates must short-circuit");
         assert_eq!(plan.stats, KFaultStats::default());
     }
@@ -323,6 +345,7 @@ mod tests {
             spurious_wakeups: 5,
             deaths: 6,
             deaths_mid_op: 7,
+            controller_deaths: 8,
         };
         let bytes = st.to_bytes();
         assert_eq!(bytes.len(), KFaultStats::WIRE_LEN);

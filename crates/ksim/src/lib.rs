@@ -39,6 +39,7 @@ mod bytes;
 pub mod ckpt;
 pub mod config;
 pub mod corefile;
+pub mod deadline;
 pub mod event;
 pub mod fault;
 pub mod fd;
@@ -68,5 +69,5 @@ pub use proc::{Lwp, LwpState, Proc, StopWhy, SysPhase, SyscallCtx, Tid, TraceSta
 pub use sched::{Issig, Psig, SleepSig};
 pub use signal::{SigAction, SigSet};
 pub use sysno::SysSet;
-pub use system::{FsSlot, System};
+pub use system::{FsSlot, StepOutcome, System};
 pub use vfs::{Cred, Errno, Pid, SysResult};

@@ -47,8 +47,12 @@ use vfs::{Cred, OFlags};
 /// First eight bytes of every recfile image.
 pub const RECFILE_MAGIC: &[u8; 8] = b"PSRECF01";
 
-/// Current format version.
-pub const RECFILE_VERSION: u32 = 1;
+/// Current format version. Version 2 extends the embedded
+/// `SimConfig` encoding with the scheduler shard dimension
+/// (`shards`/`interleave_seed`/`shard_batch`) and the
+/// `controller_death` fault rate; version-1 images predate both and are
+/// rejected with a typed [`RecfileError::BadVersion`].
+pub const RECFILE_VERSION: u32 = 2;
 
 /// Records per batch segment; bounds how much one torn segment can lose.
 pub const RECORDS_PER_SEGMENT: usize = 256;

@@ -255,6 +255,9 @@ impl System {
                     return done(Err(Errno::ESRCH));
                 };
                 proc.alarm_at = if args[0] == 0 { None } else { Some(clock + args[0] * HZ) };
+                if let Some(at) = proc.alarm_at {
+                    self.kernel.deadlines.arm(at, pid.0);
+                }
                 done(Ok(remaining))
             }
             SYS_PAUSE => SysOutcome::Sleep(WaitChannel::Pause),

@@ -82,6 +82,35 @@ pub struct System {
     pub quantum: u64,
     /// Idle-step limit for hosted blocking calls before `EDEADLK`.
     pub pump_limit: u64,
+    /// Shard count for the gang-round scheduler; 0 selects the legacy
+    /// one-LWP-per-step loop (see [`SimConfig::shards`]).
+    pub shards: u32,
+    /// Quanta each selected LWP runs per gang round.
+    pub shard_batch: u32,
+    /// Seed for the per-round commit permutation.
+    pub interleave_seed: u64,
+}
+
+/// What one scheduler step actually did. `System::step` collapses this
+/// to a bool (`true` unless `Blocked`), preserving its original contract;
+/// budgeted drivers ([`System::run_until`], [`System::run_idle`]) use the
+/// full outcome so an idle fast-forward over a long sleep consumes
+/// budget in proportion to the simulated time it skipped, instead of
+/// counting as one step and letting a frozen frontier spin the budget
+/// away one tick-jump at a time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A slice (or gang round) of guest or kernel work ran.
+    Ran,
+    /// Nothing was runnable; the clock fast-forwarded `jumped` ticks to
+    /// the next timer deadline.
+    Idle {
+        /// Ticks skipped to reach the deadline.
+        jumped: u64,
+    },
+    /// Nothing runnable and no timed sleeper: the machine cannot make
+    /// progress without outside input.
+    Blocked,
 }
 
 impl System {
@@ -108,6 +137,9 @@ impl System {
             run_cursor: 0,
             quantum: cfg.quantum,
             pump_limit: cfg.pump_limit,
+            shards: cfg.shards,
+            shard_batch: cfg.shard_batch,
+            interleave_seed: cfg.interleave_seed,
         };
         sys.mounts.add("/", 0);
         let p0 = sys.kernel.new_proc(Pid(0), Pid(0), Pid(0), Cred::superuser(), "sched", true);
@@ -292,8 +324,14 @@ impl System {
     /// the step (and its progress bit and post-step clock) coalesces
     /// into the trailing `Steps` record.
     pub fn step(&mut self) -> bool {
+        !matches!(self.step_outcome(), StepOutcome::Blocked)
+    }
+
+    /// Like [`System::step`], but reports *what* the step did — real
+    /// work, an idle fast-forward (and how far), or no progress at all.
+    pub fn step_outcome(&mut self) -> StepOutcome {
         if !self.rec_active() {
-            return self.step_inner();
+            return self.step_dispatch();
         }
         let will_extend = self
             .kernel
@@ -303,40 +341,76 @@ impl System {
             .unwrap_or(false);
         self.rec_snapshot_if_due(will_extend);
         self.rec_suppress(true);
-        let ran = self.step_inner();
+        let out = self.step_dispatch();
         self.rec_suppress(false);
         let clock = self.kernel.clock;
+        let ran = !matches!(out, StepOutcome::Blocked);
         if let Some(r) = self.kernel.recorder.as_mut() {
             r.commit_step(ran, clock);
         }
-        ran
+        out
     }
 
-    fn step_inner(&mut self) -> bool {
+    fn step_dispatch(&mut self) -> StepOutcome {
+        if self.shards > 0 {
+            self.step_round()
+        } else {
+            self.step_inner()
+        }
+    }
+
+    fn step_inner(&mut self) -> StepOutcome {
+        self.kfault_controller_tick();
         self.fire_timers();
         self.autoreap_init_children();
         let Some((pid, tid)) = self.pick_next() else {
-            // Idle: fast-forward to the next timed wakeup if one exists.
-            if let Some(t) = self.next_deadline() {
-                self.kernel.clock = self.kernel.clock.max(t);
-                self.fire_timers();
-                return true;
-            }
-            return false;
+            return self.idle_jump();
         };
         self.run_slice(pid, tid);
-        true
+        StepOutcome::Ran
+    }
+
+    /// Idle: fast-forward to the next timed wakeup if one exists. A
+    /// deadline at or before the current clock would mean a zero-tick
+    /// jump — with nothing runnable that is a guaranteed spin, so it
+    /// reports `Blocked` (it cannot happen after `fire_timers`, which
+    /// drains everything due).
+    fn idle_jump(&mut self) -> StepOutcome {
+        let Some(t) = self.next_deadline() else {
+            return StepOutcome::Blocked;
+        };
+        let jumped = t.saturating_sub(self.kernel.clock);
+        if jumped == 0 {
+            return StepOutcome::Blocked;
+        }
+        self.kernel.clock += jumped;
+        self.fire_timers();
+        StepOutcome::Idle { jumped }
+    }
+
+    /// Steps a budgeted driver loop: an idle fast-forward consumes
+    /// budget proportional to the simulated time it skipped (in quantum
+    /// units, minimum one), so `budget` bounds simulated work whether
+    /// the machine is busy or sleeping.
+    fn budget_charge(&self, out: StepOutcome) -> u64 {
+        match out {
+            StepOutcome::Ran => 1,
+            StepOutcome::Idle { jumped } => (jumped / self.quantum.max(1)).max(1),
+            StepOutcome::Blocked => 0,
+        }
     }
 
     /// Runs steps until `cond` holds or the budget is exhausted. Returns
     /// whether the condition was met.
     pub fn run_until(&mut self, budget: u64, mut cond: impl FnMut(&System) -> bool) -> bool {
-        for _ in 0..budget {
+        let mut spent = 0u64;
+        while spent < budget {
             if cond(self) {
                 return true;
             }
-            if !self.step() {
-                return cond(self);
+            match self.step_outcome() {
+                StepOutcome::Blocked => return cond(self),
+                out => spent = spent.saturating_add(self.budget_charge(out)),
             }
         }
         cond(self)
@@ -344,17 +418,36 @@ impl System {
 
     /// Steps until the machine is fully idle or the budget is exhausted.
     pub fn run_idle(&mut self, budget: u64) {
-        for _ in 0..budget {
-            if !self.step() {
-                return;
+        let mut spent = 0u64;
+        while spent < budget {
+            match self.step_outcome() {
+                StepOutcome::Blocked => return,
+                out => spent = spent.saturating_add(self.budget_charge(out)),
             }
         }
     }
 
     fn fire_timers(&mut self) {
         let clock = self.kernel.clock;
+        // Lazy-deletion pop: the heap may hold entries for cancelled
+        // alarms, rescheduled alarms and interrupted sleeps; collect the
+        // distinct pids with *any* entry due and re-validate per process.
+        // Pids are visited in ascending order — the same order the old
+        // full-table scan produced.
+        let mut due: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        while let Some((t, pid)) = self.kernel.deadlines.peek() {
+            if t > clock {
+                break;
+            }
+            self.kernel.deadlines.pop();
+            due.insert(pid);
+        }
+        if due.is_empty() {
+            return;
+        }
         let mut alarms = Vec::new();
-        for proc in self.kernel.procs.values_mut() {
+        for pid in due {
+            let Some(proc) = self.kernel.procs.get_mut(&pid) else { continue };
             if let Some(at) = proc.alarm_at {
                 if at <= clock {
                     proc.alarm_at = None;
@@ -395,19 +488,31 @@ impl System {
         }
     }
 
-    fn next_deadline(&self) -> Option<u64> {
-        let mut min = None;
-        for proc in self.kernel.procs.values() {
-            if let Some(at) = proc.alarm_at {
-                min = Some(min.map_or(at, |m: u64| m.min(at)));
+    /// The earliest live timer deadline, in O(stale entries) rather than
+    /// a process-table scan: peeks the heap and discards entries whose
+    /// process no longer holds a matching alarm or `Ticks` sleep.
+    fn next_deadline(&mut self) -> Option<u64> {
+        while let Some((t, pid)) = self.kernel.deadlines.peek() {
+            let live = self
+                .kernel
+                .procs
+                .get(&pid)
+                .map(|p| {
+                    p.alarm_at == Some(t)
+                        || p.lwps.iter().any(|l| {
+                            matches!(
+                                l.state,
+                                LwpState::Sleeping { chan: WaitChannel::Ticks(d), .. } if d == t
+                            )
+                        })
+                })
+                .unwrap_or(false);
+            if live {
+                return Some(t);
             }
-            for lwp in &proc.lwps {
-                if let LwpState::Sleeping { chan: WaitChannel::Ticks(t), .. } = lwp.state {
-                    min = Some(min.map_or(t, |m: u64| m.min(t)));
-                }
-            }
+            self.kernel.deadlines.pop();
         }
-        min
+        None
     }
 
     fn pick_next(&mut self) -> Option<(Pid, Tid)> {
@@ -493,7 +598,7 @@ impl System {
             lwp.gregs.psr |= PSR_TRACE;
         }
         let crate::proc::Lwp { gregs, fpregs, icache, sblocks, insns, .. } = lwp;
-        let mut bus = ProcBus { asp: aspace, objs: objects, icache, sblocks };
+        let mut bus = ProcBus { asp: aspace, store: StoreRef::Full(objects), icache, sblocks };
         let (n, exit) = cpu.run(gregs, fpregs, &mut bus, quantum);
         *cpu_time += n;
         *insns += n;
@@ -514,6 +619,41 @@ impl System {
         }
     }
 
+    /// Runs user code only — no signal gate, no syscall continuation —
+    /// for up to `budget` instructions with full store access. This is
+    /// the serial tail of a speculative slice that stalled on the frozen
+    /// store: the gang round already ran the kernel-entry phases, so the
+    /// remainder is pure re-execution from the stalled pc.
+    fn run_user_burst(&mut self, pid: Pid, tid: Tid, budget: u64) {
+        let System { kernel, cpu, .. } = self;
+        let Kernel { procs, objects, .. } = kernel;
+        let Some(proc) = procs.get_mut(&pid.0) else { return };
+        if proc.zombie {
+            return;
+        }
+        let crate::proc::Proc { aspace, lwps, cpu_time, .. } = proc;
+        let Some(lwp) = lwps.iter_mut().find(|l| l.tid == tid) else {
+            return;
+        };
+        if lwp.state != LwpState::Runnable {
+            return;
+        }
+        let crate::proc::Lwp { gregs, fpregs, icache, sblocks, insns, .. } = lwp;
+        let mut bus = ProcBus { asp: aspace, store: StoreRef::Full(objects), icache, sblocks };
+        let (n, exit) = cpu.run(gregs, fpregs, &mut bus, budget.max(1));
+        *cpu_time += n;
+        *insns += n;
+        kernel.clock += n.max(1);
+        match exit {
+            RunExit::Quantum => {
+                if let Some(l) = kernel.proc_mut(pid).ok().and_then(|p| p.lwp_mut(tid)) {
+                    l.user_return_pending = true;
+                }
+            }
+            RunExit::Event(ev) => self.handle_trap(pid, tid, ev),
+        }
+    }
+
     fn lwp_runnable(&self, pid: Pid, tid: Tid) -> bool {
         self.kernel
             .proc(pid)
@@ -521,6 +661,218 @@ impl System {
             .and_then(|p| p.lwp(tid))
             .map(|l| l.state == LwpState::Runnable)
             .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Gang-round scheduler (shards > 0)
+    // ------------------------------------------------------------------
+
+    /// True when the slice is *pure user*: the next thing this LWP does
+    /// is execute user instructions, with no kernel entry owed first.
+    /// The issig() gate would answer `Run` without mutating anything (no
+    /// pending or current signal, no stop directive), there is no system
+    /// call to continue, and no single-step latch — so the slice can be
+    /// speculated against a frozen store with every effect process-local.
+    fn slice_eligible(proc: &crate::proc::Proc, lwp: &crate::proc::Lwp) -> bool {
+        !proc.hosted
+            && !proc.zombie
+            && proc.pending.is_empty()
+            && lwp.state == LwpState::Runnable
+            && lwp.syscall.is_none()
+            && lwp.cursig.is_none()
+            && !lwp.stop_directive
+            && !lwp.single_step
+    }
+
+    /// One gang round of the sharded scheduler (`shards > 0`).
+    ///
+    /// Selection picks one runnable LWP per non-hosted process (rotated
+    /// by round number, so multi-LWP processes interleave). Pure-user
+    /// slices are speculated in parallel — partitioned `pid % shards`
+    /// onto host threads, each running up to `shard_batch` quanta
+    /// against the round-start state with a frozen store view — while
+    /// slices owing a kernel entry wait for the serial phase. The
+    /// commit phase then applies *every* slice's kernel effect in an
+    /// order drawn from the seeded interleave permutation.
+    ///
+    /// Determinism: commit order is a pure function of
+    /// `(interleave_seed, round)`, speculation sees only round-start
+    /// state, and aborted speculation (`BusFaultKind::Frozen`) re-runs
+    /// serially — so transcripts, digests and replay are byte-identical
+    /// across shard counts and host thread timing for a given seed.
+    fn step_round(&mut self) -> StepOutcome {
+        self.kfault_controller_tick();
+        self.fire_timers();
+        self.autoreap_init_children();
+        let round = self.kernel.sched_rounds;
+        self.kernel.sched_rounds = round.wrapping_add(1);
+
+        let mut eligible: Vec<(Pid, Tid)> = Vec::new();
+        let mut serial: Vec<(Pid, Tid)> = Vec::new();
+        for proc in self.kernel.procs.values() {
+            if proc.hosted || proc.zombie {
+                continue;
+            }
+            let runnable: Vec<&crate::proc::Lwp> =
+                proc.lwps.iter().filter(|l| l.state == LwpState::Runnable).collect();
+            if runnable.is_empty() {
+                continue;
+            }
+            let lwp = runnable[(round % runnable.len() as u64) as usize];
+            if Self::slice_eligible(proc, lwp) {
+                eligible.push((proc.pid, lwp.tid));
+            } else {
+                serial.push((proc.pid, lwp.tid));
+            }
+        }
+        if eligible.is_empty() && serial.is_empty() {
+            return self.idle_jump();
+        }
+
+        // Parallel phase: speculate the pure-user slices, sharded by pid.
+        let batch = self.quantum.saturating_mul(self.shard_batch.max(1) as u64);
+        let shards = self.shards.max(1) as usize;
+        let mut results: Vec<Option<(u64, RunExit)>> =
+            (0..eligible.len()).map(|_| None).collect();
+        {
+            let Kernel { procs, objects, .. } = &mut self.kernel;
+            let mut want: std::collections::BTreeMap<u32, (Tid, usize)> = eligible
+                .iter()
+                .enumerate()
+                .map(|(i, (p, t))| (p.0, (*t, i)))
+                .collect();
+            let mut buckets: Vec<Vec<(usize, Tid, &mut crate::proc::Proc)>> =
+                (0..shards).map(|_| Vec::new()).collect();
+            for (pid, proc) in procs.iter_mut() {
+                if let Some((tid, idx)) = want.remove(pid) {
+                    buckets[(*pid as usize) % shards].push((idx, tid, proc));
+                }
+            }
+            let objs: &vm::ObjectStore = objects;
+            let live: Vec<_> = buckets.into_iter().filter(|b| !b.is_empty()).collect();
+            if live.len() <= 1 {
+                // One shard's worth of work: run it on this thread. This
+                // is also the `shards=1` path, which therefore executes
+                // the identical speculate-then-commit algorithm.
+                for bucket in live {
+                    for (idx, tid, proc) in bucket {
+                        results[idx] = spec_slice(proc, tid, objs, batch);
+                    }
+                }
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = live
+                        .into_iter()
+                        .map(|bucket| {
+                            s.spawn(move || {
+                                bucket
+                                    .into_iter()
+                                    .map(|(idx, tid, proc)| {
+                                        (idx, spec_slice(proc, tid, objs, batch))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        match h.join() {
+                            Ok(rs) => {
+                                for (idx, r) in rs {
+                                    results[idx] = r;
+                                }
+                            }
+                            Err(p) => std::panic::resume_unwind(p),
+                        }
+                    }
+                });
+            }
+        }
+
+        // Commit phase: the seeded interleaving decides the order in
+        // which this round's slices take their kernel effects.
+        let total = eligible.len() + serial.len();
+        for idx in commit_order(total, self.interleave_seed, round) {
+            if idx < eligible.len() {
+                let (pid, tid) = eligible[idx];
+                if let Some((n, exit)) = results[idx].take() {
+                    self.commit_spec(pid, tid, n, exit, batch);
+                }
+            } else {
+                let (pid, tid) = serial[idx - eligible.len()];
+                self.run_slice(pid, tid);
+            }
+        }
+        StepOutcome::Ran
+    }
+
+    /// Applies one speculated slice's outcome at its commit slot: the
+    /// retired prefix advances the clock, then the slice's kernel entry
+    /// (quantum interrupt, trap, or frozen-store stall) is handled with
+    /// full store access. A `Frozen` stall means the speculation stopped
+    /// at an instruction needing store mutation (stack growth, COW,
+    /// shared-mapping write): the remainder of the batch re-runs
+    /// serially from that exact pc.
+    fn commit_spec(&mut self, pid: Pid, tid: Tid, n: u64, exit: RunExit, batch: u64) {
+        self.cpu.retired += n;
+        let alive = self.kernel.procs.get(&pid.0).map(|p| !p.zombie).unwrap_or(false);
+        if let RunExit::Event(StepEvent::MemFault(bf)) = &exit {
+            if bf.kind == BusFaultKind::Frozen {
+                self.kernel.clock += n;
+                if alive {
+                    self.run_user_burst(pid, tid, batch.saturating_sub(n));
+                } else {
+                    self.kernel.clock += 1;
+                }
+                return;
+            }
+        }
+        self.kernel.clock += n.max(1);
+        if !alive {
+            return;
+        }
+        match exit {
+            RunExit::Quantum => {
+                if let Some(l) = self.kernel.proc_mut(pid).ok().and_then(|p| p.lwp_mut(tid)) {
+                    l.user_return_pending = true;
+                }
+            }
+            RunExit::Event(ev) => self.handle_trap(pid, tid, ev),
+        }
+    }
+
+    /// Controller-death injection in the scheduler: rolled once per
+    /// step/round, so a *hosted* controlling process can die between any
+    /// two rounds — at a barrier, with its targets possibly stopped.
+    /// The exit path closes the controller's `/proc` descriptors, whose
+    /// run-on-last-close semantics must set every stopped target running
+    /// again (the property `tests/kernel_fault.rs` pins).
+    fn kfault_controller_tick(&mut self) {
+        let rolled = match self.kernel.fault_plan.as_mut() {
+            Some(plan) => plan.roll_controller_death(),
+            None => return,
+        };
+        if rolled {
+            self.kfault_kill_controller();
+        }
+    }
+
+    /// Picks a deterministic hosted victim (never init or sched) and
+    /// makes it exit quietly, as a crashed controller would.
+    fn kfault_kill_controller(&mut self) {
+        let victims: Vec<Pid> = self
+            .kernel
+            .procs
+            .iter()
+            .filter(|(id, p)| **id > 1 && p.hosted && !p.zombie)
+            .map(|(id, _)| Pid(*id))
+            .collect();
+        if victims.is_empty() {
+            return;
+        }
+        let Some(plan) = self.kernel.fault_plan.as_mut() else { return };
+        let victim = victims[plan.pick(victims.len() as u64) as usize];
+        plan.stats.controller_deaths += 1;
+        self.do_exit(victim, Kernel::status_exited(0));
     }
 
     // ------------------------------------------------------------------
@@ -574,6 +926,14 @@ impl System {
             BusFaultKind::Unmapped => Fault::Bounds,
             BusFaultKind::Protection => Fault::Access,
             BusFaultKind::Watch => Fault::Watch,
+            // A frozen-store stall is a scheduler artefact, consumed by
+            // the gang-round commit phase before trap handling; if one
+            // ever leaks here, re-running with the full store is the
+            // correct (and side-effect-free) recovery.
+            BusFaultKind::Frozen => {
+                self.run_user_burst(pid, tid, 1);
+                return;
+            }
         };
         self.take_fault(pid, tid, fault);
     }
@@ -707,6 +1067,9 @@ impl System {
         match self.do_syscall(pid, tid, nr, args) {
             SysOutcome::Done(res) => self.finish_syscall(pid, tid, res),
             SysOutcome::Sleep(chan) => {
+                if let WaitChannel::Ticks(t) = chan {
+                    self.kernel.deadlines.arm(t, pid.0);
+                }
                 if let Ok(p) = self.kernel.proc_mut(pid) {
                     if let Some(l) = p.lwp_mut(tid) {
                         l.state = LwpState::Sleeping { chan, interruptible: true };
@@ -909,7 +1272,7 @@ impl System {
             }
         }
         let child_pid = self.kernel.alloc_pid();
-        let Kernel { procs, objects, files, pipes, clock, .. } = &mut self.kernel;
+        let Kernel { procs, objects, files, clock, .. } = &mut self.kernel;
         let Some(pp) = procs.get_mut(&parent.0) else {
             return SysOutcome::Done(Err(Errno::ESRCH));
         };
@@ -929,17 +1292,17 @@ impl System {
         let mut cctx = SyscallCtx::new(nr, insn_pc);
         cctx.phase = SysPhase::Exit(Ok(0));
         clwp.syscall = Some(cctx);
-        // Descriptors: share open files (and pipe ends).
+        // Descriptors: share open files. Pipe end counts track open
+        // *file descriptions*, not descriptors — fork shares the
+        // description (one `incref`), so the end counts don't move;
+        // they drop only when the last reference dies in `close_fd`.
+        // Counting per descriptor here would leave `readers`/`writers`
+        // permanently above zero after a fork, so a blocked writer
+        // would never see the last reader vanish (no `SIGPIPE`) and a
+        // reader would never see writer-side EOF.
         let cfds = pp.fds.clone();
         for (_, fid) in cfds.iter() {
             files.incref(fid);
-            if let Some(f) = files.get(fid) {
-                match f.kind {
-                    FileKind::PipeR(p) => pipes.add_end(p, false),
-                    FileKind::PipeW(p) => pipes.add_end(p, true),
-                    FileKind::Vnode { .. } => {}
-                }
-            }
         }
         let trace = if pp.trace.inherit_on_fork {
             pp.trace.inherited()
@@ -1586,16 +1949,15 @@ impl System {
         }
     }
 
-    /// Duplicates a descriptor.
+    /// Duplicates a descriptor. The new descriptor shares the open file
+    /// description, so pipe end counts (which track descriptions, not
+    /// descriptors) are untouched.
     pub fn dup_fd(&mut self, cur: Pid, fd: usize) -> SysResult<usize> {
         let fid = self.file_of(cur, fd)?;
-        let kind = self.kernel.files.get(fid).ok_or(Errno::EBADF)?.kind.clone();
-        self.kernel.files.incref(fid);
-        match kind {
-            FileKind::PipeR(p) => self.kernel.pipes.add_end(p, false),
-            FileKind::PipeW(p) => self.kernel.pipes.add_end(p, true),
-            FileKind::Vnode { .. } => {}
+        if self.kernel.files.get(fid).is_none() {
+            return Err(Errno::EBADF);
         }
+        self.kernel.files.incref(fid);
         let proc = self.kernel.proc_mut(cur)?;
         match proc.fds.alloc(fid) {
             Some(nfd) => Ok(nfd),
@@ -2022,12 +2384,80 @@ impl System {
     }
 }
 
+/// The parallel half of a gang round: runs one eligible LWP for up to
+/// `batch` instructions against a frozen store view on whichever host
+/// thread owns its shard. Eligibility guarantees the issig() gate would
+/// answer `Run` without mutating anything, so the user-return latch is
+/// cleared here, and every mutation the slice makes — registers,
+/// private overlay pages, per-LWP caches, instruction counts — is
+/// process-local. The slice's kernel effect (its [`RunExit`]) is
+/// returned for the serial commit phase to apply.
+fn spec_slice(
+    proc: &mut crate::proc::Proc,
+    tid: Tid,
+    objs: &vm::ObjectStore,
+    batch: u64,
+) -> Option<(u64, RunExit)> {
+    proc.touch();
+    let crate::proc::Proc { aspace, lwps, cpu_time, .. } = proc;
+    let lwp = lwps.iter_mut().find(|l| l.tid == tid)?;
+    lwp.user_return_pending = false;
+    let crate::proc::Lwp { gregs, fpregs, icache, sblocks, insns, .. } = lwp;
+    let mut bus = ProcBus { asp: aspace, store: StoreRef::Frozen(objs), icache, sblocks };
+    let mut cpu = Cpu::new();
+    let (n, exit) = cpu.run(gregs, fpregs, &mut bus, batch.max(1));
+    *cpu_time += n;
+    *insns += n;
+    Some((n, exit))
+}
+
+/// The commit permutation for one gang round: a Fisher–Yates shuffle
+/// driven by an xorshift64 stream seeded from `(seed, round)`. Pure —
+/// the interleaving schedule is a function of the recorded config and
+/// the round counter, which is what makes it replayable and identical
+/// at every shard count.
+fn commit_order(len: usize, seed: u64, round: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    let mut s = seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    if s == 0 {
+        s = 0x2545_F491_4F6C_DD1D;
+    }
+    for i in (1..len).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        order.swap(i, (s % (i as u64 + 1)) as usize);
+    }
+    order
+}
+
+/// The object store as a bus sees it: the legacy engine and the serial
+/// commit phase hold it mutably (COW materialisation, stack growth and
+/// shared writes all work in place), while speculative gang-round slices
+/// hold a frozen shared view — any access that would have to mutate the
+/// store aborts the slice with [`BusFaultKind::Frozen`] instead.
+enum StoreRef<'a> {
+    /// Full mutable access (serial execution).
+    Full(&'a mut vm::ObjectStore),
+    /// Frozen view (speculative execution); store-mutating accesses abort.
+    Frozen(&'a vm::ObjectStore),
+}
+
+impl StoreRef<'_> {
+    fn shared(&self) -> &vm::ObjectStore {
+        match self {
+            StoreRef::Full(s) => s,
+            StoreRef::Frozen(s) => s,
+        }
+    }
+}
+
 /// The CPU's view of a process address space: protections, copy-on-write,
 /// transparent stack growth and watchpoint screening all live behind this
 /// bus.
 struct ProcBus<'a> {
     asp: &'a mut vm::AddressSpace,
-    objs: &'a mut vm::ObjectStore,
+    store: StoreRef<'a>,
     icache: &'a mut isa::InsnCache,
     sblocks: &'a mut isa::SBlockCache,
 }
@@ -2041,12 +2471,27 @@ impl ProcBus<'_> {
             // A user-mode access the kernel cannot back with a frame dies
             // as a bounds fault — the CPU has no out-of-memory fault.
             vm::AccessDenied::NoMemory { .. } => BusFaultKind::Unmapped,
+            // Only the frozen path produces this; mapped here defensively.
+            vm::AccessDenied::NeedStore { .. } => BusFaultKind::Frozen,
         };
         BusFault { addr: d.addr(), access, kind }
     }
 
-    fn try_grow(&mut self, d: &vm::AccessDenied) -> bool {
-        matches!(d, vm::AccessDenied::Unmapped { addr } if self.asp.as_fault(self.objs, *addr))
+    /// Fault classification for a speculative (frozen-store) access.
+    /// Protection and watch verdicts are pure — re-running the access
+    /// with the full store reproduces them exactly — so they surface as
+    /// themselves. Everything else (stack growth, COW materialisation,
+    /// pressure accounting) might be cured by mutating the store, so the
+    /// slice aborts with `Frozen` and the commit phase retries serially.
+    fn frozen_fault(d: vm::AccessDenied, access: Access) -> BusFault {
+        let kind = match d {
+            vm::AccessDenied::Protection { .. } => BusFaultKind::Protection,
+            vm::AccessDenied::Watch { .. } => BusFaultKind::Watch,
+            vm::AccessDenied::Unmapped { .. }
+            | vm::AccessDenied::NoMemory { .. }
+            | vm::AccessDenied::NeedStore { .. } => BusFaultKind::Frozen,
+        };
+        BusFault { addr: d.addr(), access, kind }
     }
 
     /// Decodes the instruction at `pc` for the block builder. Probes the
@@ -2061,7 +2506,7 @@ impl ProcBus<'_> {
         if let Some(s) = self.icache.probe(pc) {
             if s.as_gen == self.asp.generation()
                 && self.asp.page_epoch_at(s.map_idx as usize, pc) == Some(s.epoch)
-                && self.objs.content_gen == s.content_gen
+                && self.store.shared().content_gen == s.content_gen
             {
                 let insn = s.insn;
                 self.icache.note_hit();
@@ -2070,7 +2515,7 @@ impl ProcBus<'_> {
             self.icache.note_stale();
         }
         let mut raw = [0u8; isa::INSN_LEN as usize];
-        self.asp.kernel_read(self.objs, pc, &mut raw).ok()?;
+        self.asp.kernel_read(self.store.shared(), pc, &mut raw).ok()?;
         let insn = isa::Insn::decode(&raw)?;
         self.icache.note_miss();
         if let Some((map_idx, epoch)) = self.asp.exec_slot(pc, isa::INSN_LEN) {
@@ -2079,7 +2524,7 @@ impl ProcBus<'_> {
                 as_gen: self.asp.generation(),
                 map_idx: map_idx as u32,
                 epoch,
-                content_gen: self.objs.content_gen,
+                content_gen: self.store.shared().content_gen,
                 insn,
             });
         }
@@ -2145,7 +2590,7 @@ impl ProcBus<'_> {
             as_gen: self.asp.generation(),
             map_idx: map_idx as u32,
             epoch,
-            content_gen: self.objs.content_gen,
+            content_gen: self.store.shared().content_gen,
             slots,
         });
         self.sblocks.note_dispatch();
@@ -2163,7 +2608,7 @@ impl Bus for ProcBus<'_> {
             if let Some(s) = self.icache.probe(addr) {
                 if s.as_gen == self.asp.generation()
                     && self.asp.page_epoch_at(s.map_idx as usize, addr) == Some(s.epoch)
-                    && self.objs.content_gen == s.content_gen
+                    && self.store.shared().content_gen == s.content_gen
                 {
                     let insn = s.insn;
                     self.icache.note_hit();
@@ -2184,7 +2629,7 @@ impl Bus for ProcBus<'_> {
                         as_gen: self.asp.generation(),
                         map_idx: map_idx as u32,
                         epoch,
-                        content_gen: self.objs.content_gen,
+                        content_gen: self.store.shared().content_gen,
                         insn: i,
                     });
                 }
@@ -2204,7 +2649,7 @@ impl Bus for ProcBus<'_> {
         if let Some(b) = self.sblocks.probe(pc) {
             if b.as_gen == self.asp.generation()
                 && self.asp.page_epoch_at(b.map_idx as usize, pc) == Some(b.epoch)
-                && self.objs.content_gen == b.content_gen
+                && self.store.shared().content_gen == b.content_gen
             {
                 let n = b.slots.len().min(isa::SBLOCK_CAP);
                 out[..n].copy_from_slice(&b.slots[..n]);
@@ -2221,12 +2666,19 @@ impl Bus for ProcBus<'_> {
     }
 
     fn fetch(&mut self, addr: u64, buf: &mut [u8; 8]) -> Result<(), BusFault> {
-        match self.asp.fetch_user(self.objs, addr, buf) {
-            Ok(()) => Ok(()),
-            Err(d) => {
-                if self.try_grow(&d) {
+        let first = self.asp.fetch_user(self.store.shared(), addr, buf);
+        let d = match first {
+            Ok(()) => return Ok(()),
+            Err(d) => d,
+        };
+        match &mut self.store {
+            StoreRef::Frozen(_) => Err(Self::frozen_fault(d, Access::Exec)),
+            StoreRef::Full(objs) => {
+                let grown = matches!(&d, vm::AccessDenied::Unmapped { addr }
+                    if self.asp.as_fault(objs, *addr));
+                if grown {
                     self.asp
-                        .fetch_user(self.objs, addr, buf)
+                        .fetch_user(objs, addr, buf)
                         .map_err(|d| Self::denied_to_fault(d, Access::Exec))
                 } else {
                     Err(Self::denied_to_fault(d, Access::Exec))
@@ -2236,12 +2688,19 @@ impl Bus for ProcBus<'_> {
     }
 
     fn load(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), BusFault> {
-        match self.asp.read_user(self.objs, addr, buf) {
-            Ok(()) => Ok(()),
-            Err(d) => {
-                if self.try_grow(&d) {
+        let first = self.asp.read_user(self.store.shared(), addr, buf);
+        let d = match first {
+            Ok(()) => return Ok(()),
+            Err(d) => d,
+        };
+        match &mut self.store {
+            StoreRef::Frozen(_) => Err(Self::frozen_fault(d, Access::Read)),
+            StoreRef::Full(objs) => {
+                let grown = matches!(&d, vm::AccessDenied::Unmapped { addr }
+                    if self.asp.as_fault(objs, *addr));
+                if grown {
                     self.asp
-                        .read_user(self.objs, addr, buf)
+                        .read_user(objs, addr, buf)
                         .map_err(|d| Self::denied_to_fault(d, Access::Read))
                 } else {
                     Err(Self::denied_to_fault(d, Access::Read))
@@ -2251,17 +2710,28 @@ impl Bus for ProcBus<'_> {
     }
 
     fn store(&mut self, addr: u64, data: &[u8]) -> Result<(), BusFault> {
-        match self.asp.write_user(self.objs, addr, data) {
-            Ok(()) => Ok(()),
-            Err(d) => {
-                if self.try_grow(&d) {
-                    self.asp
-                        .write_user(self.objs, addr, data)
-                        .map_err(|d| Self::denied_to_fault(d, Access::Write))
-                } else {
-                    Err(Self::denied_to_fault(d, Access::Write))
+        match &mut self.store {
+            // Speculative write: only the TLB-hit, already-materialised
+            // private-overlay-page case commits in place (it touches
+            // nothing shared); everything else aborts the slice.
+            StoreRef::Frozen(_) => self
+                .asp
+                .write_user_frozen(addr, data)
+                .map_err(|d| Self::frozen_fault(d, Access::Write)),
+            StoreRef::Full(objs) => match self.asp.write_user(objs, addr, data) {
+                Ok(()) => Ok(()),
+                Err(d) => {
+                    let grown = matches!(&d, vm::AccessDenied::Unmapped { addr }
+                        if self.asp.as_fault(objs, *addr));
+                    if grown {
+                        self.asp
+                            .write_user(objs, addr, data)
+                            .map_err(|d| Self::denied_to_fault(d, Access::Write))
+                    } else {
+                        Err(Self::denied_to_fault(d, Access::Write))
+                    }
                 }
-            }
+            },
         }
     }
 }

@@ -617,6 +617,93 @@ fn target_death_mid_wstop_is_typed_and_counted() {
     assert_all_released(&mut sys, 0x3D0_7EA);
 }
 
+/// PR 10: the 32-seed fault matrix re-run through the sharded gang-round
+/// engine at `shards ∈ {1, 2, 4}`. Kernel fault injection consumes
+/// generator state per *site visit*, so the schedule — and therefore the
+/// controller transcripts, the injection counters and the final clock —
+/// must be byte-identical across shard counts: the commit permutation
+/// reorders host threads, never observable kernel work.
+#[test]
+fn fault_matrix_transcripts_identical_across_shard_counts() {
+    for (i, seed) in seeds().enumerate() {
+        let run = |shards: u32| {
+            let (mut sys, ctl) = boot_cfg(
+                config()
+                    .shards(shards)
+                    .interleave_seed(seed)
+                    .kernel_faults(seed, rates_for(i as u64)),
+            );
+            let t = drive(&mut sys, ctl);
+            assert_all_released(&mut sys, seed);
+            (t, sys.kfault_stats(), sys.kernel.clock)
+        };
+        let base = run(1);
+        for shards in [2u32, 4] {
+            let got = run(shards);
+            assert_eq!(
+                base.0, got.0,
+                "seed {seed:#x}: transcripts diverged between shards=1 and shards={shards}"
+            );
+            assert_eq!(
+                base.1, got.1,
+                "seed {seed:#x}: injection counters diverged at shards={shards}"
+            );
+            assert_eq!(base.2, got.2, "seed {seed:#x}: clock diverged at shards={shards}");
+        }
+    }
+}
+
+/// PR 10 satellite: `controller_death` fires *inside the scheduler* — a
+/// hosted controller that holds a target stopped (with run-on-last-close
+/// latched) dies between two gang rounds. Its exit closes its `/proc`
+/// descriptors, which must clear the stop directive and set the target
+/// running: no shard count may deadlock or leak a stopped process, and
+/// the simulation keeps making progress after its controller is gone.
+#[test]
+fn controller_death_in_scheduler_releases_targets_at_every_shard_count() {
+    for shards in [1u32, 2, 4] {
+        let (mut sys, ctl) = boot_cfg(
+            config().shards(shards).interleave_seed(0xC0DE).kernel_faults(
+                0x0C01_70DE + u64::from(shards),
+                KernelFaultRates { controller_death: 1000, ..Default::default() },
+            ),
+        );
+        let pid = sys.spawn_program(ctl, "/bin/spin", &["spin"]).expect("spawn");
+        // Host-API setup does not step the machine, so the certain-death
+        // roll cannot have fired yet: open a writable handle, latch
+        // run-on-last-close, then ask for a blocking stop.
+        let mut h = ProcHandle::open_rw(&mut sys, ctl, pid).expect("open handle");
+        h.set_run_on_last_close(&mut sys, true).expect("PIOCSRLC");
+        // The blocking stop pumps the scheduler, and the first round
+        // kills the controller out from under its own wait: either the
+        // stop latched ahead of the death or the wait surfaces a typed
+        // error from the corpse — never a hang.
+        match h.stop(&mut sys) {
+            Ok(_) => {}
+            Err(e) => assert!(clean_errno(e), "shards={shards}: stop died dirty: {e}"),
+        }
+        let _ = h.close(&mut sys);
+        sys.run_idle(200);
+        let st = sys.kfault_stats();
+        assert!(st.controller_deaths >= 1, "shards={shards}: the scheduler site never fired");
+        assert!(
+            sys.kernel.proc(ctl).map(|p| p.zombie).unwrap_or(true),
+            "shards={shards}: certain controller death left the controller alive"
+        );
+        assert!(
+            sys.kernel.proc(pid).map(|p| !p.zombie).unwrap_or(false),
+            "shards={shards}: the target must survive its controller"
+        );
+        assert_all_released(&mut sys, u64::from(shards));
+        // Progress after the controller died: the released target keeps
+        // retiring instructions.
+        let before = sys.kernel.proc(pid).map(|p| p.cpu_time).unwrap_or(0);
+        sys.run_idle(20);
+        let after = sys.kernel.proc(pid).map(|p| p.cpu_time).unwrap_or(0);
+        assert!(after > before, "shards={shards}: no progress after controller death");
+    }
+}
+
 /// Fault-free runs through `scoped` also release on the way out (the
 /// non-panic half of the guard).
 #[test]

@@ -49,6 +49,7 @@ fn transient_kfaults(permille: u16) -> KernelFaultRates {
         wakeup: permille,
         death: 0,
         mid_op: 0,
+        controller_death: 0,
     }
 }
 
@@ -167,6 +168,7 @@ fn placeholder_death_is_survived_or_aborted_cleanly() {
             wakeup: 10,
             death: 30,
             mid_op: 0,
+            controller_death: 0,
         };
         let mut dst = tools::boot_demo_cfg(
             SimConfig::standard()

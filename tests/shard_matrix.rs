@@ -1,0 +1,324 @@
+//! PR 10 gates: the sharded gang-round scheduler is *deterministic by
+//! construction* — `shards=N` must be byte-identical to `shards=1` for
+//! the same interleave seed.
+//!
+//! The engine speculates pure-user slices in parallel against a frozen
+//! store and commits every slice's kernel effect in an order drawn from
+//! the seeded interleave permutation, so nothing observable depends on
+//! the shard count or host thread timing. These gates pin that:
+//!
+//!  * a 32-seed oracle running a mixed workload at `shards ∈ {1,2,4}`
+//!    — recorder transcripts, kernel event logs and final clocks must
+//!    match across shard counts record-for-record;
+//!  * pipe-connected parent/child pairs split across shards deliver
+//!    EOF-ordered data and `SIGPIPE` exactly as `shards=1` does;
+//!  * a `shards=4` recording replays byte-identically through the
+//!    sharded engine, and `goto_tick` navigation works over it (the
+//!    round counter and timer heap travel with kernel snapshots);
+//!  * the idle fast-forward fix: a long sleep consumes driver budget in
+//!    proportion to the simulated time it skips, so a small budget can
+//!    no longer be spent spinning a frozen frontier.
+
+use ksim::proc::{LwpState, WaitChannel};
+use ksim::{Cred, Pid, SimConfig, StepOutcome, System};
+
+/// A recorded config for the sharded engine. The interleave seed is
+/// deliberately derived from the workload seed so every seed exercises a
+/// different commit schedule.
+fn shard_config(shards: u32, seed: u64) -> SimConfig {
+    SimConfig::standard()
+        .shards(shards)
+        .interleave_seed(seed ^ 0x5EED_1EAF)
+        .shard_batch(4)
+        .record(true)
+        .snapshot_every(8)
+}
+
+/// A parent that closes its read end and writes until `SIGPIPE` kills
+/// it; the child drains one read, closes, and exits — so the fatal
+/// signal is raised by a *cross-process* wakeup (the reader vanishing
+/// under a blocked writer), the classic cross-shard interaction.
+const PIPEKILL: &str = r#"
+_start:
+    movi rv, 42         ; pipe(fds)
+    la   a0, fds
+    syscall
+    movi rv, 2          ; fork
+    syscall
+    beq  rv, zero, child
+    la   a0, fds
+    ld   a0, [a0]
+    movi rv, 6          ; close(rfd) in the parent
+    syscall
+pwrite:
+    la   a0, fds
+    ld   a0, [a0+8]
+    movi rv, 4          ; write(wfd, msg, 4) forever
+    la   a1, msg
+    movi a2, 4
+    syscall
+    jmp  pwrite
+child:
+    la   a0, fds
+    ld   a0, [a0+8]
+    movi rv, 6          ; close(wfd) in the child
+    syscall
+    la   a0, fds
+    ld   a0, [a0]
+    movi rv, 3          ; read(rfd, buf, 16) once
+    la   a1, buf
+    movi a2, 16
+    syscall
+    la   a0, fds
+    ld   a0, [a0]
+    movi rv, 6          ; close(rfd): no readers remain
+    syscall
+    movi rv, 1          ; exit(0)
+    movi a0, 0
+    syscall
+.data
+.align 8
+fds: .space 16
+msg: .asciz "abc"
+buf: .space 16
+"#;
+
+fn boot_sharded(shards: u32, seed: u64) -> (System, Pid) {
+    let mut sys = tools::boot_demo_cfg(shard_config(shards, seed));
+    sys.install_program("/bin/pipekill", PIPEKILL);
+    let ctl = sys.spawn_hosted("shard-oracle", Cred::superuser());
+    (sys, ctl)
+}
+
+/// A mixed workload: compute-bound spinners that shard cleanly, a
+/// forker and two pipe pairs that talk across shard boundaries, a timed
+/// sleeper for the deadline heap, and host-API kills and reaps.
+fn drive(sys: &mut System, ctl: Pid) {
+    let spin = sys.spawn_program(ctl, "/bin/spin", &["spin"]);
+    let ticker = sys.spawn_program(ctl, "/bin/ticker", &["ticker"]);
+    let piper = sys.spawn_program(ctl, "/bin/piper", &["piper"]);
+    let pipekill = sys.spawn_program(ctl, "/bin/pipekill", &["pipekill"]);
+    let forker = sys.spawn_program(ctl, "/bin/forker", &["forker"]);
+    let sleeper = sys.spawn_program(ctl, "/bin/sleeper", &["sleeper"]);
+    sys.run_idle(250);
+    for p in [spin, ticker, sleeper, forker].into_iter().flatten() {
+        let _ = sys.host_kill(ctl, p, 9);
+    }
+    sys.run_idle(120);
+    let _ = piper;
+    let _ = pipekill;
+    while sys.host_wait(ctl).is_ok() {}
+    sys.run_idle(40);
+}
+
+/// Everything the oracle compares across shard counts: the recorder
+/// transcript, the kernel event log, the clock and per-process totals.
+type Fingerprint = (Vec<ksim::Record>, Vec<ksim::Event>, u64, Vec<(u32, u64, u16)>);
+
+fn fingerprint(sys: &System) -> Fingerprint {
+    let rec = sys.recording().expect("recording on").records;
+    let log = sys.kernel.log.events().to_vec();
+    let procs = sys
+        .kernel
+        .procs
+        .iter()
+        .map(|(id, p)| (*id, p.cpu_time, p.exit_status))
+        .collect();
+    (rec, log, sys.kernel.clock, procs)
+}
+
+fn run_at(shards: u32, seed: u64) -> (System, Pid) {
+    let (mut sys, ctl) = boot_sharded(shards, seed);
+    drive(&mut sys, ctl);
+    (sys, ctl)
+}
+
+/// The tentpole gate: 32 seeds, `shards ∈ {1, 2, 4}`, byte-identical
+/// transcripts, event logs, clocks and per-process counters.
+#[test]
+fn cross_shard_transcripts_byte_identical_32_seeds() {
+    for i in 0..32u64 {
+        let seed = 0x5AAD_0001 + i * 0x9E37;
+        let (base_sys, _) = run_at(1, seed);
+        let base = fingerprint(&base_sys);
+        assert!(
+            base.0.len() > 15,
+            "seed {seed:#x}: workload too small ({} records)",
+            base.0.len()
+        );
+        for shards in [2u32, 4] {
+            let (sys, _) = run_at(shards, seed);
+            let got = fingerprint(&sys);
+            assert_eq!(
+                base.2, got.2,
+                "seed {seed:#x}: clock diverged between shards=1 and shards={shards}"
+            );
+            assert_eq!(
+                base.1, got.1,
+                "seed {seed:#x}: event log diverged between shards=1 and shards={shards}"
+            );
+            assert_eq!(
+                base.0, got.0,
+                "seed {seed:#x}: transcript diverged between shards=1 and shards={shards}"
+            );
+            assert_eq!(
+                base.3, got.3,
+                "seed {seed:#x}: process table diverged between shards=1 and shards={shards}"
+            );
+        }
+    }
+}
+
+/// Pipe affinity: a parent/child pair connected by a pipe, with pids
+/// landing on *different* shards at `shards=2`, must deliver the data,
+/// the EOF-side interactions and the blocked-writer `SIGPIPE` in
+/// exactly the order `shards=1` produced.
+#[test]
+fn pipe_pair_split_across_shards_matches_single_shard() {
+    let run = |shards: u32| {
+        let (mut sys, ctl) = boot_sharded(shards, 0x1212);
+        let pk = sys.spawn_program(ctl, "/bin/pipekill", &["pipekill"]).expect("spawn pipekill");
+        let pp = sys.spawn_program(ctl, "/bin/piper", &["piper"]).expect("spawn piper");
+        // The pipekill parent and child are consecutive pids: at
+        // shards=2 they speculate on different host shards every round.
+        sys.run_idle(400);
+        while sys.host_wait(ctl).is_ok() {}
+        sys.run_idle(50);
+        let events = sys.kernel.log.events().to_vec();
+        let sigpipe_exit = events.iter().any(|e| {
+            matches!(e, ksim::Event::Exit { pid, status }
+                if *pid == pk && *status == ksim::Kernel::status_signalled(ksim::signal::SIGPIPE, false))
+        });
+        assert!(
+            sigpipe_exit,
+            "shards={shards}: pipekill parent {pk:?} did not die of SIGPIPE: {events:?}"
+        );
+        let piper_exited = events
+            .iter()
+            .any(|e| matches!(e, ksim::Event::Exit { pid, .. } if *pid == pp));
+        assert!(piper_exited, "shards={shards}: piper never exited");
+        events
+    };
+    let single = run(1);
+    assert_eq!(single, run(2), "event order diverged between shards=1 and shards=2");
+    assert_eq!(single, run(4), "event order diverged between shards=1 and shards=4");
+}
+
+/// A `shards=4` recording replays byte-identically — the replayed
+/// system boots from the recorded config, so the whole log re-executes
+/// through the sharded engine.
+#[test]
+fn shard_recording_replays_through_sharded_engine() {
+    let (sys, _) = run_at(4, 0x4EC0_4D11);
+    let rec = sys.recording().expect("recording on");
+    assert!(rec.len() > 15, "workload too small ({} records)", rec.len());
+    let replayed = match procfs::replay(&rec) {
+        Ok(s) => s,
+        Err(d) => panic!(
+            "shards=4 replay diverged at tick {} (expected {:#018x}, got {:#018x})",
+            d.tick, d.expected, d.got
+        ),
+    };
+    assert_eq!(
+        replayed.recording().expect("recording on").records,
+        rec.records,
+        "shards=4 replay produced a different log"
+    );
+}
+
+/// `goto_tick` over a sharded recording: the gang-round counter and the
+/// timer deadline heap live in the kernel, so snapshot navigation must
+/// restore them and the re-applied tail must land on the log prefix.
+#[test]
+fn goto_tick_navigates_sharded_recording() {
+    let (sys, _) = run_at(4, 0x6070_71CC);
+    let len = sys.recording().expect("recording on").len();
+    assert!(len > 24, "workload too small to navigate ({len} records)");
+    let k = len * 2 / 3;
+    let restored = procfs::goto_tick(&sys, k).expect("goto_tick over sharded recording");
+    assert_eq!(
+        restored.recording().expect("recording on").records[..],
+        sys.recording().expect("recording on").records[..k],
+        "sharded navigation diverged from the log prefix"
+    );
+}
+
+/// The idle-budget fix (satellite 6): an idle fast-forward reports how
+/// far it jumped and charges the driver loop proportionally. A sleeper
+/// parked 2000 ticks out used to cost `run_idle` one unit of budget per
+/// *jump*; now the jump itself consumes `jumped/quantum` units, so a
+/// small budget ends at the frontier instead of silently running the
+/// woken guest.
+#[test]
+fn idle_fast_forward_charges_budget_proportionally() {
+    let mut sys = tools::boot_demo_cfg(SimConfig::standard());
+    let ctl = sys.spawn_hosted("idle-test", Cred::superuser());
+    let pid = sys.spawn_program(ctl, "/bin/sleeper", &["sleeper"]).expect("spawn sleeper");
+    // Run until the sleeper is parked in its timed sleep and the
+    // machine is otherwise idle.
+    let asleep = |s: &System| {
+        s.kernel
+            .proc(pid)
+            .ok()
+            .map(|p| {
+                p.lwps.iter().any(|l| {
+                    matches!(l.state, LwpState::Sleeping { chan: WaitChannel::Ticks(_), .. })
+                })
+            })
+            .unwrap_or(false)
+    };
+    assert!(sys.run_until(10_000, asleep), "sleeper never reached its timed sleep");
+    let insns_before = sys.kernel.proc(pid).expect("sleeper alive").cpu_time;
+    let clock_before = sys.kernel.clock;
+
+    // Budget 2 is far below the jump's proportional cost (2000 ticks at
+    // quantum 256 ≈ 7 units), so run_idle must stop at the woken
+    // frontier without granting the guest another slice.
+    sys.run_idle(2);
+    let insns_after = sys.kernel.proc(pid).expect("sleeper alive").cpu_time;
+    assert!(
+        sys.kernel.clock > clock_before,
+        "run_idle made no progress over the sleeping frontier"
+    );
+    assert_eq!(
+        insns_before, insns_after,
+        "a 2-unit budget ran the guest after paying for a multi-quantum idle jump"
+    );
+}
+
+/// `step_outcome` distinguishes the three cases: real work, a timed
+/// idle jump (with the distance), and a fully blocked machine.
+#[test]
+fn step_outcome_reports_ran_idle_and_blocked() {
+    let mut sys = tools::boot_demo_cfg(SimConfig::standard());
+    let ctl = sys.spawn_hosted("outcome-test", Cred::superuser());
+    // Hosted processes never run on the simulated CPU: blocked.
+    assert_eq!(sys.step_outcome(), StepOutcome::Blocked);
+    assert!(!sys.step(), "step() must report no progress when blocked");
+
+    let pid = sys.spawn_program(ctl, "/bin/sleeper", &["sleeper"]).expect("spawn sleeper");
+    assert_eq!(sys.step_outcome(), StepOutcome::Ran);
+    let asleep = |s: &System| {
+        s.kernel
+            .proc(pid)
+            .ok()
+            .map(|p| {
+                p.lwps.iter().any(|l| {
+                    matches!(l.state, LwpState::Sleeping { chan: WaitChannel::Ticks(_), .. })
+                })
+            })
+            .unwrap_or(false)
+    };
+    assert!(sys.run_until(10_000, asleep), "sleeper never reached its timed sleep");
+    match sys.step_outcome() {
+        StepOutcome::Idle { jumped } => {
+            assert!(jumped > 0, "idle jump must cover a positive distance")
+        }
+        other => panic!("expected an idle fast-forward, got {other:?}"),
+    }
+
+    let _ = sys.host_kill(ctl, pid, 9);
+    sys.run_idle(50);
+    let _ = sys.host_wait(ctl);
+    assert_eq!(sys.step_outcome(), StepOutcome::Blocked, "dead machine must block");
+}
